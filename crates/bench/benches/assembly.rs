@@ -1,0 +1,59 @@
+//! FEM assembly cost: global vs per-subdomain (unassembled) assembly.
+//! The EDD strategy's setup advantage is skipping the assembled matrix
+//! entirely (paper claim i).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfem::fem::{assembly, SubdomainSystem};
+use parfem::prelude::*;
+use std::hint::black_box;
+
+fn bench_assembly(c: &mut Criterion) {
+    let p = CantileverProblem::paper_mesh(4);
+    let mut group = c.benchmark_group("assembly_mesh4");
+    group.sample_size(20);
+
+    group.bench_function("global_stiffness", |b| {
+        b.iter(|| {
+            black_box(assembly::assemble_stiffness(
+                &p.mesh,
+                &p.dof_map,
+                &p.material,
+            ))
+        })
+    });
+    group.bench_function("global_with_bc_and_rhs", |b| {
+        b.iter(|| {
+            black_box(assembly::build_static(
+                &p.mesh,
+                &p.dof_map,
+                &p.material,
+                &p.loads,
+            ))
+        })
+    });
+
+    for parts in [2usize, 4, 8] {
+        let subs = ElementPartition::strips_x(&p.mesh, parts).subdomains(&p.mesh);
+        group.bench_with_input(
+            BenchmarkId::new("all_subdomains", parts),
+            &subs,
+            |b, subs| {
+                b.iter(|| {
+                    let systems: Vec<SubdomainSystem> = subs
+                        .iter()
+                        .map(|s| {
+                            SubdomainSystem::build(
+                                &p.mesh, &p.dof_map, &p.material, s, &p.loads, None,
+                            )
+                        })
+                        .collect();
+                    black_box(systems)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Interface-exchange overhead of the threaded message substrate: the real
+//! (wall-clock) cost of one `⊕Σ_{∂Ω}` round at P = 2..4, versus the payload
+//! size — measures the substrate's own overhead, which the virtual-time
+//! model deliberately excludes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfem_msg::{run_ranks, Communicator, MachineModel};
+use std::hint::black_box;
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interface_exchange");
+    group.sample_size(20);
+    for &len in &[64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::new("pairwise_p2", len), &len, |b, &len| {
+            b.iter(|| {
+                let out = run_ranks(2, MachineModel::ideal(), |comm| {
+                    let other = 1 - comm.rank();
+                    let data = vec![vec![comm.rank() as f64; len]];
+                    // Ten rounds per spawn to amortize thread start-up.
+                    let mut acc = 0.0;
+                    for _ in 0..10 {
+                        let got = comm.exchange(&[other], &data);
+                        acc += got[0][0];
+                    }
+                    acc
+                });
+                black_box(out.results)
+            })
+        });
+    }
+    group.bench_function("allreduce_p4_batched_dots", |b| {
+        b.iter(|| {
+            let out = run_ranks(4, MachineModel::ideal(), |comm| {
+                let v = vec![comm.rank() as f64; 26]; // one Arnoldi column of dots
+                let mut acc = 0.0;
+                for _ in 0..10 {
+                    acc += comm.allreduce_sum(&v)[0];
+                }
+                acc
+            });
+            black_box(out.results)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Norm-1 diagonal scaling cost (paper Algorithm 3/4): construction and
+//! application are one pass over the matrix — negligible next to the solve,
+//! which is why the paper treats it as a free pre-process.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfem::prelude::*;
+use parfem::sparse::scaling::{scale_system, DiagonalScaling};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagonal_scaling");
+    for k in [2usize, 4, 6] {
+        let p = CantileverProblem::paper_mesh(k);
+        let sys = p.static_system();
+        group.bench_with_input(
+            BenchmarkId::new("construct", format!("mesh{k}")),
+            &sys.stiffness,
+            |b, m| b.iter(|| black_box(DiagonalScaling::from_matrix(m).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_scale_system", format!("mesh{k}")),
+            &sys,
+            |b, s| b.iter(|| black_box(scale_system(&s.stiffness, &s.rhs).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Spectrum-estimation cost: a 30-step Lanczos run (the `GlsAuto` setup
+//! overhead) versus plain power iteration, on the paper's Mesh4 operator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parfem::krylov::lanczos;
+use parfem::prelude::*;
+use parfem::sparse::gershgorin;
+use parfem::sparse::scaling::scale_system;
+use std::hint::black_box;
+
+fn bench_spectrum(c: &mut Criterion) {
+    let p = CantileverProblem::paper_mesh(4);
+    let sys = p.static_system();
+    let (a, _, _) = scale_system(&sys.stiffness, &sys.rhs).unwrap();
+
+    let mut group = c.benchmark_group("spectrum_estimation_mesh4");
+    group.sample_size(20);
+    group.bench_function("lanczos_30_steps", |b| {
+        b.iter(|| black_box(lanczos::estimate_spectrum(&a, 30)))
+    });
+    group.bench_function("power_iteration_lambda_max_1e-6", |b| {
+        b.iter(|| black_box(gershgorin::power_iteration_lambda_max(&a, 10_000, 1e-6)))
+    });
+    group.bench_function("gershgorin_bounds", |b| {
+        b.iter(|| {
+            black_box((
+                gershgorin::gershgorin_lower_bound(&a),
+                gershgorin::gershgorin_upper_bound(&a),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectrum);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! SpMV kernel bench: the single stiffness-matrix operation every solver
+//! phase reduces to (paper Section 3.1.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parfem::prelude::*;
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for k in [2usize, 4, 6] {
+        let p = CantileverProblem::paper_mesh(k);
+        let sys = p.static_system();
+        let a = sys.stiffness;
+        let x = vec![1.0; a.n_cols()];
+        let mut y = vec![0.0; a.n_rows()];
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("csr", format!("mesh{k}_nnz{}", a.nnz())),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    a.spmv_into(black_box(&x), black_box(&mut y));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

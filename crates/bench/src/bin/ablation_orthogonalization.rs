@@ -1,0 +1,65 @@
+//! Ablation: classical vs modified Gram–Schmidt in FGMRES.
+//!
+//! The paper picks classical GS so each Arnoldi step needs one batched
+//! global reduction (Algorithms 5/6/8). This ablation verifies the choice
+//! is numerically safe for the paper's workloads: iteration counts match
+//! MGS on every mesh/preconditioner combination tested.
+
+use parfem::krylov::gmres::Orthogonalization;
+use parfem::prelude::*;
+use parfem::sequential::SeqPrecond;
+use parfem_bench::{banner, write_csv};
+
+fn main() {
+    banner("Ablation: CGS vs MGS orthogonalization");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>8}",
+        "mesh", "precond", "cgs_iters", "mgs_iters", "delta"
+    );
+    let mut rows = Vec::new();
+    let mut max_delta = 0i64;
+    for k in [1usize, 2, 3] {
+        let p = CantileverProblem::paper_mesh(k);
+        for pc in [SeqPrecond::None, SeqPrecond::Gls(7), SeqPrecond::Neumann(20)] {
+            let mut iters = Vec::new();
+            for ortho in [Orthogonalization::Classical, Orthogonalization::Modified] {
+                let cfg = GmresConfig {
+                    tol: 1e-6,
+                    max_iters: 20_000,
+                    ortho,
+                    ..Default::default()
+                };
+                let (_, h) = parfem::sequential::solve_static(&p, &pc, &cfg).unwrap();
+                assert!(h.converged(), "Mesh{k} {} {ortho:?}", pc.name());
+                iters.push(h.iterations());
+            }
+            let delta = iters[0] as i64 - iters[1] as i64;
+            max_delta = max_delta.max(delta.abs());
+            println!(
+                "{:>6} {:>12} {:>10} {:>10} {:>8}",
+                format!("Mesh{k}"),
+                pc.name(),
+                iters[0],
+                iters[1],
+                delta
+            );
+            rows.push(vec![
+                format!("Mesh{k}"),
+                pc.name(),
+                iters[0].to_string(),
+                iters[1].to_string(),
+                delta.to_string(),
+            ]);
+        }
+    }
+    write_csv(
+        "ablation_orthogonalization",
+        &["mesh", "precond", "cgs_iters", "mgs_iters", "delta"],
+        &rows,
+    );
+    assert!(
+        max_delta <= 2,
+        "CGS must track MGS within 2 iterations on these systems (max delta {max_delta})"
+    );
+    println!("\nCGS is safe here: worst-case difference {max_delta} iterations — the paper's choice holds");
+}

@@ -1,0 +1,76 @@
+//! Ablation: GMRES restart dimension m̃ (the paper fixes m̃ = 25).
+//!
+//! Small restarts save memory (the Krylov basis is m̃+1 vectors plus m̃
+//! flexible vectors) but risk stagnation; this sweep shows where the
+//! paper's choice sits for its workloads.
+
+use parfem::prelude::*;
+use parfem::sequential::SeqPrecond;
+use parfem_bench::{banner, write_csv};
+
+fn main() {
+    banner("Ablation: restart dimension (Mesh3, static)");
+    let p = CantileverProblem::paper_mesh(3);
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "restart", "gls(7) iters", "none iters", "restarts"
+    );
+    let mut rows = Vec::new();
+    let mut gls_by_restart = Vec::new();
+    for restart in [5usize, 10, 25, 50, 100] {
+        let cfg = GmresConfig {
+            tol: 1e-6,
+            max_iters: 60_000,
+            restart,
+            ..Default::default()
+        };
+        let (_, hg) = parfem::sequential::solve_static(&p, &SeqPrecond::Gls(7), &cfg).unwrap();
+        let (_, hn) = parfem::sequential::solve_static(&p, &SeqPrecond::None, &cfg).unwrap();
+        println!(
+            "{:>8} {:>14} {:>14} {:>10}",
+            restart,
+            format!("{}{}", hg.iterations(), if hg.converged() { "" } else { "*" }),
+            format!("{}{}", hn.iterations(), if hn.converged() { "" } else { "*" }),
+            hg.restarts
+        );
+        rows.push(vec![
+            restart.to_string(),
+            hg.iterations().to_string(),
+            hg.converged().to_string(),
+            hn.iterations().to_string(),
+            hn.converged().to_string(),
+        ]);
+        if hg.converged() {
+            gls_by_restart.push((restart, hg.iterations()));
+        }
+    }
+    write_csv(
+        "ablation_restart",
+        &[
+            "restart",
+            "gls7_iters",
+            "gls7_converged",
+            "none_iters",
+            "none_converged",
+        ],
+        &rows,
+    );
+    // With gls(7) the iteration count at the paper's restart 25 must be
+    // within 20% of the unrestarted (restart 100) count — i.e. m = 25 is
+    // already in the flat region for preconditioned runs.
+    let at25 = gls_by_restart
+        .iter()
+        .find(|(r, _)| *r == 25)
+        .expect("restart 25 converged")
+        .1;
+    let at100 = gls_by_restart
+        .iter()
+        .find(|(r, _)| *r == 100)
+        .expect("restart 100 converged")
+        .1;
+    assert!(
+        (at25 as f64) <= 1.2 * at100 as f64,
+        "m=25 should be near-optimal for gls(7): {at25} vs {at100}"
+    );
+    println!("\nthe paper's m = 25 sits in the flat region once polynomial preconditioning is on");
+}

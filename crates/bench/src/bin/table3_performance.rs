@@ -1,0 +1,128 @@
+//! Table 3: iterations, CPU time and speedup of EDD-FGMRES-GLS(m) for the
+//! static cantilever problem on the (virtual) SGI Origin — meshes 1–7,
+//! P ∈ {1, 2, 4, 8}, degrees m ∈ {7, 8, 9, 10}.
+//!
+//! The paper's observations to reproduce:
+//! 1. iteration counts are essentially independent of P;
+//! 2. speedup improves with mesh size;
+//! 3. GLS(10) often needs fewer iterations than GLS(7) but costs more time
+//!    (three extra matvecs per iteration) — the convergence/CPU trade-off.
+//!
+//! Set `PARFEM_QUICK=1` to restrict to meshes 1–4 and degrees {7, 10}.
+
+use parfem::prelude::*;
+use parfem_bench::{banner, write_csv};
+
+fn main() {
+    let quick = std::env::var("PARFEM_QUICK").is_ok();
+    let meshes: Vec<usize> = if quick {
+        vec![1, 2, 3, 4]
+    } else {
+        vec![1, 2, 3, 4, 5, 6, 7]
+    };
+    let degrees: Vec<usize> = if quick { vec![7, 10] } else { vec![7, 8, 9, 10] };
+    let ps = [1usize, 2, 4, 8];
+    let model = MachineModel::sgi_origin();
+
+    banner("Table 3: EDD-FGMRES-GLS(m), static problem, virtual SGI-Origin");
+    println!(
+        "{:>6} {:>3} | {}",
+        "Mesh",
+        "P",
+        degrees
+            .iter()
+            .map(|m| format!("{:>8} {:>10} {:>6}", format!("it(m={m})"), "time(s)", "S"))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+
+    let mut rows = Vec::new();
+    // (mesh, degree) -> per-P iterations for the shape checks.
+    let mut iter_table: Vec<Vec<usize>> = Vec::new();
+    let mut speedup8_by_mesh: Vec<f64> = Vec::new();
+
+    for &k in &meshes {
+        let prob = CantileverProblem::paper_mesh(k);
+        // Mesh1 has only 7 element columns: cap the strip count.
+        let max_p = prob.mesh.nx();
+        let mut t1: Vec<f64> = vec![0.0; degrees.len()];
+        for &np in &ps {
+            let np_eff = np.min(max_p);
+            let mut cells = Vec::new();
+            let mut row = vec![format!("Mesh{k}"), np.to_string()];
+            for (di, &m) in degrees.iter().enumerate() {
+                let cfg = SolverConfig {
+                    gmres: GmresConfig::default(),
+                    precond: PrecondSpec::Gls {
+                        degree: m,
+                        theta: None,
+                    },
+                    variant: EddVariant::Enhanced,
+                };
+                let out = solve_edd(
+                    &prob.mesh,
+                    &prob.dof_map,
+                    &prob.material,
+                    &prob.loads,
+                    &ElementPartition::strips_x(&prob.mesh, np_eff),
+                    model.clone(),
+                    &cfg,
+                );
+                assert!(out.history.converged(), "Mesh{k} P={np} gls({m})");
+                if np == 1 {
+                    t1[di] = out.modeled_time;
+                }
+                let s = t1[di] / out.modeled_time;
+                cells.push(format!(
+                    "{:>8} {:>10.4} {:>6.2}",
+                    out.history.iterations(),
+                    out.modeled_time,
+                    s
+                ));
+                row.push(m.to_string());
+                row.push(out.history.iterations().to_string());
+                row.push(format!("{:.6}", out.modeled_time));
+                row.push(format!("{s:.3}"));
+                if di == 0 {
+                    if np == 1 {
+                        iter_table.push(Vec::new());
+                    }
+                    iter_table.last_mut().unwrap().push(out.history.iterations());
+                    if np == 8 {
+                        speedup8_by_mesh.push(s);
+                    }
+                }
+            }
+            println!("{:>6} {:>3} | {}", format!("Mesh{k}"), np, cells.join(" | "));
+            rows.push(row);
+        }
+        println!();
+    }
+    write_csv(
+        "table3_performance",
+        &[
+            "mesh", "P", "m_a", "it_a", "t_a", "s_a", "m_b", "it_b", "t_b", "s_b", "m_c", "it_c",
+            "t_c", "s_c", "m_d", "it_d", "t_d", "s_d",
+        ],
+        &rows,
+    );
+
+    // Shape check 1: iterations vary by at most 2 across P per mesh.
+    for (k, iters) in meshes.iter().zip(&iter_table) {
+        let min = *iters.iter().min().unwrap();
+        let max = *iters.iter().max().unwrap();
+        assert!(
+            max - min <= 2,
+            "Mesh{k}: iteration counts vary across P: {iters:?}"
+        );
+    }
+    // Shape check 2: speedup at P=8 grows with mesh size (last vs Mesh2;
+    // Mesh1 is degenerate at 7 columns).
+    if speedup8_by_mesh.len() >= 3 {
+        assert!(
+            speedup8_by_mesh.last().unwrap() > &speedup8_by_mesh[1],
+            "speedup must grow with size: {speedup8_by_mesh:?}"
+        );
+    }
+    println!("shape checks passed: iterations P-independent; speedup grows with size");
+}

@@ -1,0 +1,83 @@
+//! Shared harness utilities for the figure/table regenerator binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper:
+//! it prints the paper-style rows to stdout **and** writes a CSV under
+//! `results/` at the workspace root, so the data can be re-plotted.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The workspace-root `results/` directory (created on demand).
+///
+/// # Panics
+/// Panics if the directory cannot be created.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes `rows` (plus a `header`) as `results/<name>.csv`.
+///
+/// # Panics
+/// Panics on I/O errors — the harness should fail loudly.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    println!("[wrote {}]", path.display());
+}
+
+/// Formats a float for table output.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.4e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_switches_notation() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(12345.6).contains('e'));
+        assert!(fmt(0.0001).contains('e'));
+        assert_eq!(fmt(1.5), "1.5000");
+    }
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn write_csv_round_trips() {
+        write_csv(
+            "unit_test_artifact",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let content =
+            std::fs::read_to_string(results_dir().join("unit_test_artifact.csv")).unwrap();
+        assert!(content.starts_with("a,b\n1,2"));
+        let _ = std::fs::remove_file(results_dir().join("unit_test_artifact.csv"));
+    }
+}

@@ -1,0 +1,321 @@
+//! `parfem` — command-line driver for the solver stack.
+//!
+//! ```text
+//! parfem meshes                          # list the paper's Table 2 meshes
+//! parfem spectrum --mesh 40x8            # spectrum bounds of the scaled operator
+//! parfem solve --mesh 100x100 --parts 8 --strategy edd --precond gls:7 \
+//!              --machine origin --tol 1e-6 --load pull:1.0 [--mtx-out prefix]
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free.
+
+use parfem::prelude::*;
+use parfem::sparse::{gershgorin, io as mmio, scaling::scale_system};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  parfem meshes
+  parfem spectrum --mesh NXxNY | --paper-mesh K
+  parfem solve [options]
+
+solve options:
+  --mesh NXxNY          element grid (e.g. 100x100)
+  --paper-mesh K        use Table 2 Mesh K (1..10) instead of --mesh
+  --distort AMP         distort interior nodes by AMP cell widths (0..0.5)
+  --load pull:F|shear:F load case and total force (default pull:1.0)
+  --parts P             number of subdomains/ranks (default 4)
+  --strategy edd|rdd    decomposition strategy (default edd)
+  --variant basic|enhanced   EDD algorithm variant (default enhanced)
+  --precond SPEC        none|jacobi|gls:M|neumann:M|chebyshev:M (default gls:7)
+  --machine origin|sp2|ideal  virtual machine model (default origin)
+  --tol T               relative residual tolerance (default 1e-6)
+  --restart M           GMRES restart dimension (default 25)
+  --mtx-out PREFIX      write PREFIX_k.mtx / PREFIX_f.mtx / PREFIX_u.mtx"
+    );
+    ExitCode::from(2)
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn value_of(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+}
+
+fn parse_grid(s: &str) -> Option<(usize, usize)> {
+    let (a, b) = s.split_once(['x', 'X'])?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+fn build_problem(args: &Args) -> Result<CantileverProblem, String> {
+    let load = match args.value_of("--load") {
+        None => LoadCase::PullX(1.0),
+        Some(spec) => {
+            let (kind, mag) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("bad --load {spec}"))?;
+            let f: f64 = mag.parse().map_err(|_| format!("bad force {mag}"))?;
+            match kind {
+                "pull" => LoadCase::PullX(f),
+                "shear" => LoadCase::ShearY(f),
+                _ => return Err(format!("unknown load kind {kind}")),
+            }
+        }
+    };
+    if let Some(k) = args.value_of("--paper-mesh") {
+        let k: usize = k.parse().map_err(|_| "bad --paper-mesh".to_string())?;
+        return Ok(CantileverProblem::paper_mesh(k));
+    }
+    let grid = args
+        .value_of("--mesh")
+        .ok_or_else(|| "need --mesh or --paper-mesh".to_string())?;
+    let (nx, ny) = parse_grid(grid).ok_or_else(|| format!("bad --mesh {grid}"))?;
+    let mesh = match args.value_of("--distort") {
+        None => QuadMesh::cantilever(nx, ny),
+        Some(a) => {
+            let amp: f64 = a.parse().map_err(|_| "bad --distort".to_string())?;
+            QuadMesh::distorted(nx, ny, nx as f64, ny as f64, amp, 0x5eed)
+        }
+    };
+    let mut dof_map = DofMap::new(mesh.n_nodes());
+    dof_map.clamp_edge(&mesh, Edge::Left);
+    let mut loads = vec![0.0; dof_map.n_dofs()];
+    match load {
+        LoadCase::PullX(f) => {
+            parfem::fem::assembly::edge_load(&mesh, &dof_map, Edge::Right, f, 0.0, &mut loads)
+        }
+        LoadCase::ShearY(f) => {
+            parfem::fem::assembly::edge_load(&mesh, &dof_map, Edge::Right, 0.0, f, &mut loads)
+        }
+    }
+    Ok(CantileverProblem {
+        mesh,
+        dof_map,
+        material: Material::unit(),
+        loads,
+    })
+}
+
+fn parse_precond(spec: &str) -> Result<PrecondSpec, String> {
+    let (kind, deg) = match spec.split_once(':') {
+        Some((k, d)) => (k, Some(d)),
+        None => (spec, None),
+    };
+    let degree = |d: Option<&str>| -> Result<usize, String> {
+        d.ok_or_else(|| format!("{kind} needs a degree, e.g. {kind}:7"))?
+            .parse()
+            .map_err(|_| "bad degree".to_string())
+    };
+    match kind {
+        "none" => Ok(PrecondSpec::None),
+        "jacobi" => Ok(PrecondSpec::Jacobi),
+        "gls" => Ok(PrecondSpec::Gls {
+            degree: degree(deg)?,
+            theta: None,
+        }),
+        "neumann" => Ok(PrecondSpec::Neumann {
+            degree: degree(deg)?,
+        }),
+        "chebyshev" => Ok(PrecondSpec::Chebyshev {
+            degree: degree(deg)?,
+        }),
+        _ => Err(format!("unknown preconditioner {kind}")),
+    }
+}
+
+fn cmd_meshes() -> ExitCode {
+    println!("{:>7} {:>12} {:>8} {:>8}", "Mesh", "grid", "nNode", "nEqn");
+    for k in 1..=10 {
+        let p = CantileverProblem::paper_mesh(k);
+        let (nx, ny) = PAPER_MESHES[k - 1];
+        println!(
+            "{:>7} {:>12} {:>8} {:>8}",
+            format!("Mesh{k}"),
+            format!("{nx}x{ny}"),
+            p.mesh.n_nodes(),
+            p.n_eqn()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_spectrum(args: &Args) -> ExitCode {
+    let problem = match build_problem(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let sys = problem.static_system();
+    let (a, _, _) = scale_system(&sys.stiffness, &sys.rhs).expect("square system");
+    let lmax = gershgorin::power_iteration_lambda_max(&a, 50_000, 1e-12);
+    let lmin = gershgorin::power_iteration_lambda_min(&a, 50_000, 1e-12);
+    let (glo, ghi) = gershgorin::gershgorin_interval(&a);
+    println!("scaled operator ({} equations):", problem.n_eqn());
+    println!("  power iteration: lambda in [{lmin:.4e}, {lmax:.6}]");
+    println!("  gershgorin:      lambda in [{glo:.4}, {ghi:.4}]");
+    println!("  condition estimate kappa ~ {:.3e}", lmax / lmin.max(1e-300));
+    println!("  suggested theta: (eps, 1)  [paper default after norm-1 scaling]");
+    ExitCode::SUCCESS
+}
+
+fn cmd_solve(args: &Args) -> ExitCode {
+    let problem = match build_problem(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let parts: usize = args
+        .value_of("--parts")
+        .map(|s| s.parse().unwrap_or(4))
+        .unwrap_or(4);
+    let machine = match args.value_of("--machine").unwrap_or("origin") {
+        "origin" => MachineModel::sgi_origin(),
+        "sp2" => MachineModel::ibm_sp2(),
+        "ideal" => MachineModel::ideal(),
+        m => {
+            eprintln!("unknown machine {m}");
+            return usage();
+        }
+    };
+    let precond = match parse_precond(args.value_of("--precond").unwrap_or("gls:7")) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let variant = match args.value_of("--variant").unwrap_or("enhanced") {
+        "basic" => EddVariant::Basic,
+        "enhanced" => EddVariant::Enhanced,
+        v => {
+            eprintln!("unknown variant {v}");
+            return usage();
+        }
+    };
+    let cfg = SolverConfig {
+        gmres: GmresConfig {
+            tol: args
+                .value_of("--tol")
+                .map(|s| s.parse().unwrap_or(1e-6))
+                .unwrap_or(1e-6),
+            restart: args
+                .value_of("--restart")
+                .map(|s| s.parse().unwrap_or(25))
+                .unwrap_or(25),
+            max_iters: 200_000,
+            ..Default::default()
+        },
+        precond,
+        variant,
+    };
+
+    let strategy = args.value_of("--strategy").unwrap_or("edd");
+    println!(
+        "solving {} equations with {} on {} ranks ({}, {})",
+        problem.n_eqn(),
+        cfg.precond.name(),
+        parts,
+        strategy,
+        machine.name
+    );
+    let out = match strategy {
+        "edd" => solve_edd(
+            &problem.mesh,
+            &problem.dof_map,
+            &problem.material,
+            &problem.loads,
+            &ElementPartition::strips_x(&problem.mesh, parts),
+            machine,
+            &cfg,
+        ),
+        "rdd" => solve_rdd(
+            &problem.mesh,
+            &problem.dof_map,
+            &problem.material,
+            &problem.loads,
+            &NodePartition::strips_x(&problem.mesh, parts),
+            machine,
+            &cfg,
+        ),
+        s => {
+            eprintln!("unknown strategy {s}");
+            return usage();
+        }
+    };
+
+    // Verify against the assembled system.
+    let sys = problem.static_system();
+    let r = sys.stiffness.spmv(&out.u);
+    let res: f64 = r
+        .iter()
+        .zip(&sys.rhs)
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let rhs_norm: f64 = sys.rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
+    println!(
+        "converged = {}, iterations = {}, restarts = {}",
+        out.history.converged(),
+        out.history.iterations(),
+        out.history.restarts
+    );
+    println!(
+        "true relative residual = {:.3e}, modeled time = {:.4} s",
+        res / rhs_norm.max(1e-300),
+        out.modeled_time
+    );
+    let s0 = &out.reports[0].stats;
+    println!(
+        "rank 0: {} exchanges, {} reductions, {} bytes sent, {:.0} Mflops counted",
+        s0.neighbor_exchanges,
+        s0.allreduces,
+        s0.bytes_sent,
+        s0.flops as f64 / 1e6
+    );
+
+    if let Some(prefix) = args.value_of("--mtx-out") {
+        let write = |suffix: &str, f: &dyn Fn(&mut std::fs::File) -> std::io::Result<()>| {
+            let path = format!("{prefix}_{suffix}.mtx");
+            let mut file = std::fs::File::create(&path).expect("create mtx file");
+            f(&mut file).expect("write mtx");
+            println!("wrote {path}");
+        };
+        write("k", &|w| mmio::write_matrix(w, &sys.stiffness));
+        write("f", &|w| mmio::write_vector(w, &sys.rhs));
+        write("u", &|w| mmio::write_vector(w, &out.u));
+    }
+    if out.history.converged() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let args = Args(argv[1..].to_vec());
+    match cmd.as_str() {
+        "meshes" => cmd_meshes(),
+        "spectrum" => cmd_spectrum(&args),
+        "solve" => cmd_solve(&args),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command {other}");
+            usage()
+        }
+    }
+}

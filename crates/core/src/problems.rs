@@ -1,0 +1,147 @@
+//! The paper's benchmark problems: the cantilever plate family of Table 2.
+//!
+//! Fig. 9 describes a rectangular cantilever discretized with 4-node
+//! quadrilaterals, clamped along one edge, loaded at the opposite edge. The
+//! convergence experiments use a "pulling load" (axial tension); the
+//! default material is the dimensionless unit material since only iteration
+//! counts and timings are reported.
+
+use parfem_fem::{assembly, Material};
+use parfem_mesh::{DofMap, Edge, QuadMesh};
+
+/// The ten meshes of the paper's Table 2 as `(nXele, nYele)`.
+pub const PAPER_MESHES: [(usize, usize); 10] = [
+    (7, 1),
+    (40, 8),
+    (40, 20),
+    (50, 50),
+    (60, 60),
+    (70, 70),
+    (80, 80),
+    (90, 90),
+    (100, 100),
+    (200, 100),
+];
+
+/// How the free end of the cantilever is loaded (total force).
+#[derive(Debug, Clone, Copy)]
+pub enum LoadCase {
+    /// Axial tension along `+x` on the right edge — the paper's
+    /// "pulling load".
+    PullX(f64),
+    /// Transverse shear along `y` on the right edge (classic tip-loaded
+    /// cantilever bending).
+    ShearY(f64),
+}
+
+/// A ready-to-solve cantilever problem.
+#[derive(Debug, Clone)]
+pub struct CantileverProblem {
+    /// The structured quadrilateral mesh.
+    pub mesh: QuadMesh,
+    /// DOF map with the left edge clamped.
+    pub dof_map: DofMap,
+    /// Material.
+    pub material: Material,
+    /// Global load vector (`dof_map.n_dofs()` long).
+    pub loads: Vec<f64>,
+}
+
+impl CantileverProblem {
+    /// Builds an `nx × ny`-element cantilever, clamped along `x = 0`,
+    /// loaded on the right edge per `load`.
+    pub fn new(nx: usize, ny: usize, material: Material, load: LoadCase) -> Self {
+        let mesh = QuadMesh::cantilever(nx, ny);
+        let mut dof_map = DofMap::new(mesh.n_nodes());
+        dof_map.clamp_edge(&mesh, Edge::Left);
+        let mut loads = vec![0.0; dof_map.n_dofs()];
+        match load {
+            LoadCase::PullX(f) => {
+                assembly::edge_load(&mesh, &dof_map, Edge::Right, f, 0.0, &mut loads)
+            }
+            LoadCase::ShearY(f) => {
+                assembly::edge_load(&mesh, &dof_map, Edge::Right, 0.0, f, &mut loads)
+            }
+        }
+        CantileverProblem {
+            mesh,
+            dof_map,
+            material,
+            loads,
+        }
+    }
+
+    /// The paper's `Mesh{k}` (1-based, Table 2) with the unit material and
+    /// a unit pulling load.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= k <= 10`.
+    pub fn paper_mesh(k: usize) -> Self {
+        assert!((1..=10).contains(&k), "paper meshes are Mesh1..Mesh10");
+        let (nx, ny) = PAPER_MESHES[k - 1];
+        Self::new(nx, ny, Material::unit(), LoadCase::PullX(1.0))
+    }
+
+    /// The number of free equations (the paper's `nEqn`).
+    pub fn n_eqn(&self) -> usize {
+        self.dof_map.n_free()
+    }
+
+    /// Total DOFs including constrained ones.
+    pub fn n_dofs(&self) -> usize {
+        self.dof_map.n_dofs()
+    }
+
+    /// Assembles the constrained static system `K u = f`.
+    pub fn static_system(&self) -> assembly::StaticSystem {
+        assembly::build_static(&self.mesh, &self.dof_map, &self.material, &self.loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_meshes_match_table2_node_counts() {
+        let expected_nodes = [16, 369, 861, 2601, 3721, 5041, 6561, 8281, 10201, 20301];
+        for (k, &nn) in (1..=10).zip(&expected_nodes) {
+            let p = CantileverProblem::paper_mesh(k);
+            assert_eq!(p.mesh.n_nodes(), nn, "Mesh{k}");
+        }
+    }
+
+    #[test]
+    fn mesh1_neqn_matches_paper() {
+        // Table 2 lists nEqn = 28 for Mesh1 (left edge clamped).
+        assert_eq!(CantileverProblem::paper_mesh(1).n_eqn(), 28);
+    }
+
+    #[test]
+    fn load_cases_put_force_on_the_right_edge() {
+        let p = CantileverProblem::new(4, 2, Material::unit(), LoadCase::PullX(3.0));
+        let fx: f64 = (0..p.mesh.n_nodes())
+            .map(|n| p.loads[p.dof_map.dof(n, 0)])
+            .sum();
+        assert!((fx - 3.0).abs() < 1e-12);
+        let q = CantileverProblem::new(4, 2, Material::unit(), LoadCase::ShearY(-2.0));
+        let fy: f64 = (0..q.mesh.n_nodes())
+            .map(|n| q.loads[q.dof_map.dof(n, 1)])
+            .sum();
+        assert!((fy + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_system_is_well_posed() {
+        let p = CantileverProblem::new(5, 2, Material::unit(), LoadCase::PullX(1.0));
+        let sys = p.static_system();
+        assert_eq!(sys.stiffness.n_rows(), p.n_dofs());
+        assert!(sys.stiffness.is_symmetric(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "Mesh1..Mesh10")]
+    fn out_of_range_mesh_rejected() {
+        CantileverProblem::paper_mesh(0);
+    }
+}

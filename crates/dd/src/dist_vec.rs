@@ -1,0 +1,219 @@
+//! Distributed vector formats (paper Definitions 1–2) and the interface sum.
+//!
+//! A subdomain's slice of a global vector comes in two flavours:
+//!
+//! - **local distributed** `û⁽ˢ⁾`: only this subdomain's own contributions —
+//!   summing `Bₛᵀ û⁽ˢ⁾` over subdomains reconstructs the global vector;
+//! - **global distributed** `ū⁽ˢ⁾ = Bₛ u`: the full global values at the
+//!   local DOFs — interface entries are *identical* across sharing
+//!   subdomains.
+//!
+//! Conversion local → global is the nearest-neighbour sum
+//! `ū⁽ˢ⁾ = ⊕Σ_{∂Ωₛ} û⁽ˢ⁾` (Eq. 28): each pair of neighbouring subdomains
+//! swaps its interface contributions and adds what it receives. Conversion
+//! global → local divides interface entries by their multiplicity (any
+//! splitting works; the uniform one keeps symmetry).
+
+use parfem_fem::subdomain::SubdomainSystem;
+use parfem_msg::Communicator;
+
+/// Interface layout of one subdomain: everything needed to run `⊕Σ_{∂Ω}`
+/// and deduplicated inner products.
+#[derive(Debug, Clone)]
+pub struct EddLayout {
+    /// Per neighbour: `(rank, shared local DOF indices)` in the canonical
+    /// pairing order.
+    pub neighbors: Vec<(usize, Vec<usize>)>,
+    /// `1 / multiplicity` per local DOF.
+    pub inv_multiplicity: Vec<f64>,
+}
+
+impl EddLayout {
+    /// Extracts the layout from an assembled subdomain system.
+    pub fn from_system(sys: &SubdomainSystem) -> Self {
+        EddLayout {
+            neighbors: sys
+                .neighbors
+                .iter()
+                .map(|l| (l.rank, l.shared_local_dofs.clone()))
+                .collect(),
+            inv_multiplicity: sys.multiplicity.iter().map(|&m| 1.0 / m).collect(),
+        }
+    }
+
+    /// Number of local DOFs.
+    pub fn n_local(&self) -> usize {
+        self.inv_multiplicity.len()
+    }
+
+    /// The nearest-neighbour interface sum `v ← ⊕Σ_{∂Ω} v` (Eq. 28):
+    /// converts a local distributed vector into the global distributed
+    /// format in place. One exchange round with every neighbour.
+    ///
+    /// # Panics
+    /// Panics if `v` has the wrong length.
+    pub fn interface_sum<C: Communicator>(&self, comm: &C, v: &mut [f64]) {
+        assert_eq!(v.len(), self.n_local(), "interface_sum: length mismatch");
+        if self.neighbors.is_empty() {
+            comm.count_neighbor_exchange();
+            return;
+        }
+        let ranks: Vec<usize> = self.neighbors.iter().map(|(r, _)| *r).collect();
+        let outgoing: Vec<Vec<f64>> = self
+            .neighbors
+            .iter()
+            .map(|(_, dofs)| dofs.iter().map(|&l| v[l]).collect())
+            .collect();
+        let incoming = comm.exchange(&ranks, &outgoing);
+        for ((_, dofs), buf) in self.neighbors.iter().zip(&incoming) {
+            for (&l, &x) in dofs.iter().zip(buf) {
+                v[l] += x;
+            }
+        }
+        // 1 add per received interface value.
+        let recv_total: usize = incoming.iter().map(|b| b.len()).sum();
+        comm.work(recv_total as u64);
+    }
+
+    /// Converts a global distributed vector to local distributed in place by
+    /// multiplicity weighting (`Σ Bᵀ` of the result reproduces the global
+    /// vector). No communication.
+    pub fn to_local_distributed(&self, v: &mut [f64]) {
+        for (vi, w) in v.iter_mut().zip(&self.inv_multiplicity) {
+            *vi *= w;
+        }
+    }
+
+    /// Local partial of the deduplicated inner product of two *global
+    /// distributed* vectors: `Σ_l x_l y_l / mult_l`. Summed across ranks
+    /// (all-reduce) this equals the true global `⟨x, y⟩` (Eq. 33–35).
+    pub fn dot_partial(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_local(), "dot_partial: x length mismatch");
+        assert_eq!(y.len(), self.n_local(), "dot_partial: y length mismatch");
+        x.iter()
+            .zip(y)
+            .zip(&self.inv_multiplicity)
+            .map(|((a, b), w)| a * b * w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_fem::{assembly, Material, SubdomainSystem};
+    use parfem_mesh::{DofMap, Edge, ElementPartition, QuadMesh};
+    use parfem_msg::{run_ranks, MachineModel};
+
+    fn systems(nx: usize, ny: usize, p: usize) -> (Vec<SubdomainSystem>, usize) {
+        let mesh = QuadMesh::cantilever(nx, ny);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+        let part = ElementPartition::strips_x(&mesh, p);
+        let systems: Vec<SubdomainSystem> = part
+            .subdomains(&mesh)
+            .iter()
+            .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
+            .collect();
+        (systems, dm.n_dofs())
+    }
+
+    #[test]
+    fn interface_sum_reproduces_global_gather() {
+        // For a global vector u, restrict to local, weight to local
+        // distributed, interface-sum -> must reproduce the restriction
+        // (global distributed) exactly.
+        let (systems, n) = systems(6, 2, 3);
+        let u: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let out = run_ranks(3, MachineModel::ideal(), |comm| {
+            let sys = &systems[comm.rank()];
+            let layout = EddLayout::from_system(sys);
+            let mut v = sys.restrict(&u);
+            layout.to_local_distributed(&mut v);
+            layout.interface_sum(comm, &mut v);
+            // Compare against the plain restriction.
+            let want = sys.restrict(&u);
+            v.iter()
+                .zip(&want)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max)
+        });
+        for err in out.results {
+            assert!(err < 1e-12, "max deviation {err}");
+        }
+    }
+
+    #[test]
+    fn dot_partial_sums_to_true_inner_product() {
+        let (systems, n) = systems(8, 2, 4);
+        let x: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i % 3) as f64) + 0.5).collect();
+        let want: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let out = run_ranks(4, MachineModel::ideal(), |comm| {
+            let sys = &systems[comm.rank()];
+            let layout = EddLayout::from_system(sys);
+            let xl = sys.restrict(&x);
+            let yl = sys.restrict(&y);
+            comm.allreduce_sum_scalar(layout.dot_partial(&xl, &yl))
+        });
+        for got in out.results {
+            assert!((got - want).abs() < 1e-10 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn single_rank_interface_sum_is_identity() {
+        let (systems, n) = systems(3, 2, 1);
+        let u: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let out = run_ranks(1, MachineModel::ideal(), |comm| {
+            let sys = &systems[0];
+            let layout = EddLayout::from_system(sys);
+            let mut v = sys.restrict(&u);
+            layout.interface_sum(comm, &mut v);
+            v
+        });
+        assert_eq!(out.results[0], u);
+        // The exchange is still *counted* (it is a communication point in
+        // the algorithm), even though a lone rank sends nothing.
+        assert_eq!(out.reports[0].stats.neighbor_exchanges, 1);
+        assert_eq!(out.reports[0].stats.sends, 0);
+    }
+
+    #[test]
+    fn matvec_identity_under_interface_sum() {
+        // y_global = K x == gathers of (local spmv + interface sum).
+        let mesh = QuadMesh::cantilever(6, 2);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let loads = vec![0.0; dm.n_dofs()];
+        let sys_global = assembly::build_static(&mesh, &dm, &mat, &loads);
+        let part = ElementPartition::strips_x(&mesh, 3);
+        let systems: Vec<SubdomainSystem> = part
+            .subdomains(&mesh)
+            .iter()
+            .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
+            .collect();
+        let x: Vec<f64> = (0..dm.n_dofs()).map(|i| ((i * 3 % 11) as f64) - 5.0).collect();
+        let y_want = sys_global.stiffness.spmv(&x);
+        let out = run_ranks(3, MachineModel::ideal(), |comm| {
+            let sys = &systems[comm.rank()];
+            let layout = EddLayout::from_system(sys);
+            let xl = sys.restrict(&x);
+            let mut yl = sys.k_local.spmv(&xl);
+            layout.interface_sum(comm, &mut yl);
+            // Compare with the restriction of the global product.
+            let want = sys.restrict(&y_want);
+            yl.iter()
+                .zip(&want)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max)
+        });
+        for err in out.results {
+            assert!(err < 1e-9, "max deviation {err}");
+        }
+    }
+}

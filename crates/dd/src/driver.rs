@@ -1,0 +1,517 @@
+//! High-level parallel solve drivers.
+//!
+//! These wire the full pipeline of the paper's Algorithm 2: partition the
+//! mesh, assemble per-subdomain (EDD) or block-row (RDD) systems, apply the
+//! distributed norm-1 diagonal scaling, build the requested preconditioner,
+//! run the distributed FGMRES over `P` ranks on the virtual-time machine,
+//! and gather the physical solution.
+
+use crate::dist_vec::EddLayout;
+use crate::edd::{edd_fgmres, EddVariant};
+use crate::rdd::{rdd_fgmres, RddSystem};
+use crate::scaling::DistributedScaling;
+use parfem_fem::{Material, SubdomainSystem};
+use parfem_krylov::gmres::GmresConfig;
+use parfem_krylov::history::ConvergenceHistory;
+use parfem_mesh::{DofMap, ElementPartition, NodePartition, QuadMesh};
+use parfem_msg::{run_ranks, Communicator, MachineModel, RankReport};
+use parfem_precond::{
+    ChebyshevPrecond, EscalatingGls, GlsPrecond, IdentityPrecond, IntervalUnion, JacobiPrecond,
+    NeumannPrecond, Preconditioner,
+};
+use parfem_sparse::{scaling::scale_system, LinearOperator};
+
+/// Which preconditioner the distributed solver should build.
+#[derive(Debug, Clone)]
+pub enum PrecondSpec {
+    /// No preconditioning.
+    None,
+    /// Diagonal (Jacobi) preconditioning on the assembled diagonal.
+    Jacobi,
+    /// GLS polynomial of the given degree; `theta` defaults to the
+    /// post-scaling `(ε, 1)`.
+    Gls {
+        /// Polynomial degree `m`.
+        degree: usize,
+        /// Spectrum estimate; `None` means `(ε, 1)`.
+        theta: Option<IntervalUnion>,
+    },
+    /// Neumann series of the given degree (`ω = 1` after scaling).
+    Neumann {
+        /// Polynomial degree `m`.
+        degree: usize,
+    },
+    /// Chebyshev (min-max) polynomial on the post-scaling interval.
+    Chebyshev {
+        /// Polynomial degree `m`.
+        degree: usize,
+    },
+    /// Degree-escalating GLS (1→3→7→10) switching every `period`
+    /// applications — the flexible-GMRES showcase. Each rank holds its own
+    /// schedule state; since every rank performs the same sequence of
+    /// applications, the schedules stay in lock step.
+    GlsEscalating {
+        /// Applications per schedule stage.
+        period: usize,
+    },
+}
+
+impl PrecondSpec {
+    /// Display name matching the paper's curve labels.
+    pub fn name(&self) -> String {
+        match self {
+            PrecondSpec::None => "none".into(),
+            PrecondSpec::Jacobi => "jacobi".into(),
+            PrecondSpec::Gls { degree, .. } => format!("gls({degree})"),
+            PrecondSpec::Neumann { degree } => format!("neumann({degree})"),
+            PrecondSpec::Chebyshev { degree } => format!("chebyshev({degree})"),
+            PrecondSpec::GlsEscalating { period } => format!("gls-escalating(x{period})"),
+        }
+    }
+}
+
+/// Full configuration of a distributed solve.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// GMRES restart/tolerance settings (paper: `m̃ = 25`, `tol = 1e-6`).
+    pub gmres: GmresConfig,
+    /// Preconditioner choice.
+    pub precond: PrecondSpec,
+    /// EDD algorithm variant (ignored by RDD).
+    pub variant: EddVariant,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            gmres: GmresConfig::default(),
+            precond: PrecondSpec::Gls {
+                degree: 7,
+                theta: None,
+            },
+            variant: EddVariant::Enhanced,
+        }
+    }
+}
+
+/// Output of a distributed solve.
+#[derive(Debug, Clone)]
+pub struct DdSolveOutput {
+    /// The physical (unscaled) global solution.
+    pub u: Vec<f64>,
+    /// Convergence history (identical on every rank; rank 0's copy).
+    pub history: ConvergenceHistory,
+    /// Per-rank virtual time and communication statistics.
+    pub reports: Vec<RankReport>,
+    /// Modeled parallel time (max over rank clocks), in seconds.
+    pub modeled_time: f64,
+}
+
+/// Dispatches a closure with the concrete preconditioner for `spec`.
+fn with_precond<Op, R>(
+    spec: &PrecondSpec,
+    diag: impl FnOnce() -> Vec<f64>,
+    run: impl FnOnce(&dyn Preconditioner<Op>) -> R,
+) -> R
+where
+    Op: LinearOperator,
+{
+    match spec {
+        PrecondSpec::None => run(&IdentityPrecond),
+        PrecondSpec::Jacobi => run(&JacobiPrecond::from_diagonal(&diag())),
+        PrecondSpec::Gls { degree, theta } => {
+            let t = theta.clone().unwrap_or_else(IntervalUnion::unit);
+            run(&GlsPrecond::new(*degree, t))
+        }
+        PrecondSpec::Neumann { degree } => run(&NeumannPrecond::for_scaled_system(*degree)),
+        PrecondSpec::Chebyshev { degree } => {
+            run(&ChebyshevPrecond::for_scaled_system(*degree))
+        }
+        PrecondSpec::GlsEscalating { period } => {
+            run(&EscalatingGls::default_for_scaled_system(*period))
+        }
+    }
+}
+
+/// Solves the static system with element-based domain decomposition over
+/// `part.n_parts()` ranks.
+///
+/// `loads` is the global load vector (`dm.n_dofs()` long). Returns the
+/// gathered physical solution plus performance reports.
+///
+/// ```
+/// use parfem_dd::{solve_edd, SolverConfig};
+/// use parfem_fem::{assembly, Material};
+/// use parfem_mesh::{DofMap, Edge, ElementPartition, QuadMesh};
+/// use parfem_msg::MachineModel;
+///
+/// let mesh = QuadMesh::cantilever(8, 2);
+/// let mut dm = DofMap::new(mesh.n_nodes());
+/// dm.clamp_edge(&mesh, Edge::Left);
+/// let mut loads = vec![0.0; dm.n_dofs()];
+/// assembly::edge_load(&mesh, &dm, Edge::Right, 1.0, 0.0, &mut loads);
+///
+/// let out = solve_edd(
+///     &mesh, &dm, &Material::unit(), &loads,
+///     &ElementPartition::strips_x(&mesh, 4),
+///     MachineModel::sgi_origin(), &SolverConfig::default(),
+/// );
+/// assert!(out.history.converged());
+/// assert_eq!(out.u.len(), dm.n_dofs());
+/// ```
+pub fn solve_edd(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+    part: &ElementPartition,
+    model: MachineModel,
+    cfg: &SolverConfig,
+) -> DdSolveOutput {
+    let systems: Vec<SubdomainSystem> = part
+        .subdomains(mesh)
+        .iter()
+        .map(|s| SubdomainSystem::build(mesh, dm, material, s, loads, None))
+        .collect();
+    solve_edd_systems(&systems, dm.n_dofs(), model, cfg)
+}
+
+/// Runs the EDD pipeline (distributed scaling → preconditioner → FGMRES →
+/// gather) over *prebuilt* subdomain systems — one rank per system.
+///
+/// This is the element-agnostic entry point: build the systems with
+/// [`SubdomainSystem::build`] (Q4), [`SubdomainSystem::build_tri`] (T3) or
+/// [`SubdomainSystem::build_quad8`] (Q8) and hand them over.
+pub fn solve_edd_systems(
+    systems: &[SubdomainSystem],
+    n_dofs: usize,
+    model: MachineModel,
+    cfg: &SolverConfig,
+) -> DdSolveOutput {
+    let p = systems.len();
+    assert!(p > 0, "need at least one subdomain system");
+    let out = run_ranks(p, model, |comm| {
+        let sys = &systems[comm.rank()];
+        let layout = EddLayout::from_system(sys);
+        let sc = DistributedScaling::build(comm, &layout, &sys.k_local);
+        let mut b = sys.f_local.clone();
+        let a = sc.apply(&sys.k_local, &mut b);
+        let x0 = vec![0.0; b.len()];
+        let res = with_precond(
+            &cfg.precond,
+            || {
+                // Assembled diagonal of the scaled operator for Jacobi.
+                let mut d = a.diagonal();
+                layout.interface_sum(comm, &mut d);
+                d
+            },
+            |pc| edd_fgmres(comm, &layout, &a, pc, &b, &x0, &cfg.gmres, cfg.variant),
+        );
+        let mut u = res.x;
+        sc.unscale(&mut u);
+        (u, res.history)
+    });
+
+    let mut u = vec![0.0; n_dofs];
+    for (rank, (ul, _)) in out.results.iter().enumerate() {
+        for (l, &g) in systems[rank].global_dofs.iter().enumerate() {
+            u[g] = ul[l];
+        }
+    }
+    DdSolveOutput {
+        u,
+        history: out.results[0].1.clone(),
+        reports: out.reports,
+        modeled_time: out.modeled_time,
+    }
+}
+
+/// Solves the static system with the row-based (block-row) decomposition
+/// over `node_part.n_parts()` ranks — the Section 4 baseline.
+///
+/// Assembly and scaling happen at setup (the RDD strategy requires the
+/// assembled matrix — one of the overheads the paper's EDD avoids).
+pub fn solve_rdd(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+    node_part: &NodePartition,
+    model: MachineModel,
+    cfg: &SolverConfig,
+) -> DdSolveOutput {
+    let assembled = parfem_fem::assembly::build_static(mesh, dm, material, loads);
+    let (a, b, sc) =
+        scale_system(&assembled.stiffness, &assembled.rhs).expect("square assembled system");
+    let systems = RddSystem::build_all(&a, &b, node_part);
+    let p = node_part.n_parts();
+
+    let out = run_ranks(p, model, |comm| {
+        let sys = &systems[comm.rank()];
+        let x0 = vec![0.0; sys.n_local()];
+        let res = with_precond(
+            &cfg.precond,
+            || sys.rows.iter().map(|&d| a.get(d, d)).collect(),
+            |pc| rdd_fgmres(comm, sys, pc, &x0, &cfg.gmres),
+        );
+        (res.x, res.history)
+    });
+
+    let mut x = vec![0.0; dm.n_dofs()];
+    for (rank, (xl, _)) in out.results.iter().enumerate() {
+        systems[rank].scatter(xl, &mut x);
+    }
+    DdSolveOutput {
+        u: sc.unscale_solution(&x),
+        history: out.results[0].1.clone(),
+        reports: out.reports,
+        modeled_time: out.modeled_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_fem::assembly;
+    use parfem_mesh::Edge;
+
+    fn problem(nx: usize, ny: usize) -> (QuadMesh, DofMap, Material, Vec<f64>) {
+        let mesh = QuadMesh::cantilever(nx, ny);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+        (mesh, dm, mat, loads)
+    }
+
+    fn residual(mesh: &QuadMesh, dm: &DofMap, mat: &Material, loads: &[f64], u: &[f64]) -> f64 {
+        let sys = assembly::build_static(mesh, dm, mat, loads);
+        let r = sys.stiffness.spmv(u);
+        r.iter()
+            .zip(&sys.rhs)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn edd_driver_solves_cantilever() {
+        let (mesh, dm, mat, loads) = problem(8, 3);
+        let part = ElementPartition::strips_x(&mesh, 4);
+        let out = solve_edd(
+            &mesh,
+            &dm,
+            &mat,
+            &loads,
+            &part,
+            MachineModel::ideal(),
+            &SolverConfig::default(),
+        );
+        assert!(out.history.converged());
+        assert!(residual(&mesh, &dm, &mat, &loads, &out.u) < 1e-4);
+        assert_eq!(out.reports.len(), 4);
+        assert!(out.modeled_time > 0.0);
+    }
+
+    #[test]
+    fn rdd_driver_solves_cantilever() {
+        let (mesh, dm, mat, loads) = problem(8, 3);
+        let part = NodePartition::contiguous(mesh.n_nodes(), 4);
+        let out = solve_rdd(
+            &mesh,
+            &dm,
+            &mat,
+            &loads,
+            &part,
+            MachineModel::ideal(),
+            &SolverConfig::default(),
+        );
+        assert!(out.history.converged());
+        assert!(residual(&mesh, &dm, &mat, &loads, &out.u) < 1e-4);
+    }
+
+    #[test]
+    fn edd_and_rdd_agree_on_the_solution() {
+        let (mesh, dm, mat, loads) = problem(6, 3);
+        let epart = ElementPartition::strips_x(&mesh, 3);
+        let npart = NodePartition::contiguous(mesh.n_nodes(), 3);
+        let cfg = SolverConfig {
+            gmres: GmresConfig {
+                tol: 1e-10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let ue = solve_edd(&mesh, &dm, &mat, &loads, &epart, MachineModel::ideal(), &cfg);
+        let ur = solve_rdd(&mesh, &dm, &mat, &loads, &npart, MachineModel::ideal(), &cfg);
+        let scale = ue
+            .u
+            .iter()
+            .fold(0.0_f64, |m, v| m.max(v.abs()))
+            .max(1e-12);
+        for (a, b) in ue.u.iter().zip(&ur.u) {
+            assert!((a - b).abs() < 1e-5 * scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_precond_specs_run_edd() {
+        let (mesh, dm, mat, loads) = problem(6, 2);
+        let part = ElementPartition::strips_x(&mesh, 2);
+        for spec in [
+            PrecondSpec::None,
+            PrecondSpec::Jacobi,
+            PrecondSpec::Gls {
+                degree: 5,
+                theta: None,
+            },
+            PrecondSpec::Neumann { degree: 8 },
+            PrecondSpec::Chebyshev { degree: 8 },
+            PrecondSpec::GlsEscalating { period: 3 },
+        ] {
+            let cfg = SolverConfig {
+                gmres: GmresConfig {
+                    max_iters: 5000,
+                    ..Default::default()
+                },
+                precond: spec.clone(),
+                variant: EddVariant::Enhanced,
+            };
+            let out = solve_edd(&mesh, &dm, &mat, &loads, &part, MachineModel::ideal(), &cfg);
+            assert!(
+                out.history.converged(),
+                "{} failed to converge",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_time_shrinks_with_more_ranks_on_ideal_machine() {
+        let (mesh, dm, mat, loads) = problem(32, 8);
+        let cfg = SolverConfig::default();
+        let t1 = solve_edd(
+            &mesh,
+            &dm,
+            &mat,
+            &loads,
+            &ElementPartition::strips_x(&mesh, 1),
+            MachineModel::ideal(),
+            &cfg,
+        )
+        .modeled_time;
+        let t4 = solve_edd(
+            &mesh,
+            &dm,
+            &mat,
+            &loads,
+            &ElementPartition::strips_x(&mesh, 4),
+            MachineModel::ideal(),
+            &cfg,
+        )
+        .modeled_time;
+        let speedup = t1 / t4;
+        assert!(
+            speedup > 2.5,
+            "ideal-machine speedup on 4 ranks too low: {speedup}"
+        );
+    }
+
+    #[test]
+    fn edd_runs_on_triangle_meshes() {
+        // The element-agnostic pipeline: T3 subdomains through the same
+        // distributed solver, checked against the assembled T3 system.
+        let tmesh = parfem_mesh::TriMesh::cantilever(8, 3);
+        let mut dm = DofMap::new(tmesh.n_nodes());
+        for n in tmesh.edge_nodes(Edge::Left) {
+            dm.clamp_node(n);
+        }
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        loads[dm.dof(tmesh.node_at(8, 3), 1)] = -1.0;
+        let part = parfem_mesh::ElementPartition::strips_x_tri(&tmesh, 3);
+        let systems: Vec<parfem_fem::SubdomainSystem> = part
+            .subdomains_of(&tmesh)
+            .iter()
+            .map(|s| {
+                parfem_fem::SubdomainSystem::build_tri(&tmesh, &dm, &mat, s, &loads, None)
+            })
+            .collect();
+        let out = crate::driver::solve_edd_systems(
+            &systems,
+            dm.n_dofs(),
+            MachineModel::ideal(),
+            &SolverConfig::default(),
+        );
+        assert!(out.history.converged());
+        // Residual against the assembled T3 system.
+        let k_raw = parfem_fem::tri3::assemble_stiffness(&tmesh, &dm, &mat);
+        let mut rhs = loads.clone();
+        let k_bc = parfem_fem::assembly::apply_dirichlet(&k_raw, &dm, &mut rhs);
+        let r = k_bc.spmv(&out.u);
+        let err: f64 = r
+            .iter()
+            .zip(&rhs)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-5, "T3 residual {err}");
+    }
+
+    #[test]
+    fn edd_runs_on_quad8_meshes() {
+        let emesh = parfem_mesh::Quad8Mesh::cantilever(6, 2);
+        let mut dm = DofMap::new(emesh.n_nodes());
+        for n in emesh.edge_nodes(Edge::Left) {
+            dm.clamp_node(n);
+        }
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        for n in emesh.edge_nodes(Edge::Right) {
+            loads[dm.dof(n, 0)] = 0.2;
+        }
+        let part = parfem_mesh::ElementPartition::strips_x_quad8(&emesh, 3);
+        let systems: Vec<parfem_fem::SubdomainSystem> = part
+            .subdomains_of(&emesh)
+            .iter()
+            .map(|s| {
+                parfem_fem::SubdomainSystem::build_quad8(&emesh, &dm, &mat, s, &loads, None)
+            })
+            .collect();
+        let out = crate::driver::solve_edd_systems(
+            &systems,
+            dm.n_dofs(),
+            MachineModel::ideal(),
+            &SolverConfig::default(),
+        );
+        assert!(out.history.converged());
+        let k_raw = parfem_fem::quad8s::assemble_stiffness(&emesh, &dm, &mat);
+        let mut rhs = loads.clone();
+        let k_bc = parfem_fem::assembly::apply_dirichlet(&k_raw, &dm, &mut rhs);
+        let r = k_bc.spmv(&out.u);
+        let err: f64 = r
+            .iter()
+            .zip(&rhs)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let scale: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err < 1e-5 * scale.max(1.0), "Q8 residual {err}");
+    }
+
+    #[test]
+    fn precond_spec_names_match_paper_labels() {
+        assert_eq!(PrecondSpec::None.name(), "none");
+        assert_eq!(
+            PrecondSpec::Gls {
+                degree: 10,
+                theta: None
+            }
+            .name(),
+            "gls(10)"
+        );
+        assert_eq!(PrecondSpec::Neumann { degree: 20 }.name(), "neumann(20)");
+        assert_eq!(PrecondSpec::Jacobi.name(), "jacobi");
+    }
+}

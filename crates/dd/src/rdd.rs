@@ -1,0 +1,703 @@
+//! Row-based (block-row) domain decomposition — the paper's Section 4
+//! baseline (Algorithm 8), the strategy of PSPARSLIB/Aztec/pARMS.
+//!
+//! A node partition induces a block-row partition of the *assembled* matrix:
+//! rank `s` owns the rows of its nodes' DOFs. Each local row block is split
+//! into `A_loc` (columns owned by this rank, renumbered locally) and `A_ext`
+//! (columns owned by neighbours). The matrix–vector product (Eq. 48)
+//!
+//! ```text
+//! scatter x_bnd to neighbours;  gather x_ext from neighbours;
+//! y = A_loc x_loc + A_ext x_ext
+//! ```
+//!
+//! needs one halo exchange per product — like EDD — but the exchanged
+//! values are *matrix-coupled* rows rather than interface sums, the
+//! assembled matrix must exist (assembly cost + interface communication at
+//! setup), and a local DOF reordering is required for the split. Inner
+//! products are trivially deduplicated (rows are disjoint): one local dot
+//! plus an all-reduce.
+
+use parfem_krylov::givens::Givens;
+use parfem_krylov::gmres::GmresConfig;
+use parfem_krylov::history::{ConvergenceHistory, StopReason};
+use parfem_mesh::numbering::DOFS_PER_NODE;
+use parfem_mesh::NodePartition;
+use parfem_msg::Communicator;
+use parfem_precond::Preconditioner;
+use parfem_sparse::{CooMatrix, CsrMatrix, LinearOperator};
+
+/// One rank's block-row system.
+#[derive(Debug, Clone)]
+pub struct RddSystem {
+    /// This block's rank.
+    pub rank: usize,
+    /// Global DOFs of the owned rows, ascending.
+    pub rows: Vec<usize>,
+    /// Coupling among owned DOFs (`n_loc × n_loc`, locally renumbered).
+    pub a_loc: CsrMatrix,
+    /// Coupling to external DOFs (`n_loc × n_ext`).
+    pub a_ext: CsrMatrix,
+    /// Global DOFs of the external columns, ascending.
+    pub ext_dofs: Vec<usize>,
+    /// Local right-hand side (owned rows of the global RHS).
+    pub b_loc: Vec<f64>,
+    /// Per neighbour `(rank, local row indices to send)`, sorted by rank;
+    /// the indices are in the neighbour's expected (global-DOF) order.
+    pub send_to: Vec<(usize, Vec<usize>)>,
+    /// Per neighbour `(rank, external-column positions to fill)`, sorted by
+    /// rank, in the same canonical order as the sender's list.
+    pub recv_from: Vec<(usize, Vec<usize>)>,
+}
+
+impl RddSystem {
+    /// Number of owned DOFs.
+    pub fn n_local(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Builds all `P` block-row systems from the assembled system.
+    ///
+    /// # Panics
+    /// Panics if shapes are inconsistent.
+    pub fn build_all(a: &CsrMatrix, b: &[f64], part: &NodePartition) -> Vec<RddSystem> {
+        let n = a.n_rows();
+        assert_eq!(b.len(), n, "rdd: rhs length mismatch");
+        assert_eq!(
+            part.owners().len() * DOFS_PER_NODE,
+            n,
+            "rdd: node partition does not match matrix"
+        );
+        let p = part.n_parts();
+        let dof_owner = |d: usize| part.owner(d / DOFS_PER_NODE);
+
+        // Owned rows per rank, ascending, and global -> local row maps.
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for d in 0..n {
+            rows[dof_owner(d)].push(d);
+        }
+        let mut local_of = vec![usize::MAX; n];
+        for r in rows.iter() {
+            for (l, &d) in r.iter().enumerate() {
+                local_of[d] = l;
+            }
+        }
+
+        // External column sets per rank.
+        let mut ext: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for s in 0..p {
+            let mut set: Vec<usize> = Vec::new();
+            for &row in &rows[s] {
+                let (cols, _) = a.row(row);
+                for &c in cols {
+                    if dof_owner(c) != s && !set.contains(&c) {
+                        set.push(c);
+                    }
+                }
+            }
+            set.sort_unstable();
+            ext[s] = set;
+        }
+
+        let mut out = Vec::with_capacity(p);
+        for s in 0..p {
+            let n_loc = rows[s].len();
+            let mut loc_coo = CooMatrix::new(n_loc, n_loc);
+            let mut ext_coo = CooMatrix::new(n_loc, ext[s].len().max(1));
+            for (lr, &row) in rows[s].iter().enumerate() {
+                let (cols, vals) = a.row(row);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    if dof_owner(c) == s {
+                        loc_coo.push(lr, local_of[c], v).expect("in bounds");
+                    } else {
+                        let pos = ext[s].binary_search(&c).expect("ext col present");
+                        ext_coo.push(lr, pos, v).expect("in bounds");
+                    }
+                }
+            }
+            // Communication lists: I receive ext dofs grouped by owner; the
+            // owner sends its matching rows in the same ascending-dof order.
+            let mut recv_from: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (pos, &d) in ext[s].iter().enumerate() {
+                let o = dof_owner(d);
+                match recv_from.iter_mut().find(|(r, _)| *r == o) {
+                    Some((_, list)) => list.push(pos),
+                    None => recv_from.push((o, vec![pos])),
+                }
+            }
+            recv_from.sort_by_key(|(r, _)| *r);
+            out.push(RddSystem {
+                rank: s,
+                rows: rows[s].clone(),
+                a_loc: loc_coo.to_csr(),
+                a_ext: ext_coo.to_csr(),
+                ext_dofs: ext[s].clone(),
+                b_loc: rows[s].iter().map(|&d| b[d]).collect(),
+                send_to: Vec::new(), // filled below
+                recv_from,
+            });
+        }
+        // Fill send lists from the receivers' needs.
+        for s in 0..p {
+            let needs: Vec<(usize, Vec<usize>)> = out[s]
+                .recv_from
+                .iter()
+                .map(|(o, positions)| {
+                    (
+                        *o,
+                        positions.iter().map(|&pos| out[s].ext_dofs[pos]).collect(),
+                    )
+                })
+                .collect();
+            for (o, dofs) in needs {
+                let send_rows: Vec<usize> = dofs.iter().map(|&d| local_of[d]).collect();
+                out[o].send_to.push((s, send_rows));
+            }
+        }
+        for sys in &mut out {
+            sys.send_to.sort_by_key(|(r, _)| *r);
+        }
+        out
+    }
+
+    /// Restriction of a global vector to the owned rows.
+    pub fn restrict(&self, global: &[f64]) -> Vec<f64> {
+        self.rows.iter().map(|&d| global[d]).collect()
+    }
+
+    /// Scatters local values into a global vector.
+    pub fn scatter(&self, local: &[f64], global: &mut [f64]) {
+        for (&d, &v) in self.rows.iter().zip(local) {
+            global[d] = v;
+        }
+    }
+}
+
+/// The row-based distributed operator.
+pub struct RddOperator<'a, C: Communicator> {
+    /// The local block-row system.
+    pub sys: &'a RddSystem,
+    /// Communicator endpoint.
+    pub comm: &'a C,
+}
+
+impl<C: Communicator> RddOperator<'_, C> {
+    /// Performs the halo exchange for `x_loc` and returns the external
+    /// values in `ext_dofs` order.
+    fn gather_ext(&self, x: &[f64]) -> Vec<f64> {
+        let sys = self.sys;
+        // One merged neighbour set: FEM matrices are structurally symmetric,
+        // so senders and receivers pair up.
+        let ranks: Vec<usize> = sys.send_to.iter().map(|(r, _)| *r).collect();
+        let outgoing: Vec<Vec<f64>> = sys
+            .send_to
+            .iter()
+            .map(|(_, idx)| idx.iter().map(|&l| x[l]).collect())
+            .collect();
+        let incoming = self.comm.exchange(&ranks, &outgoing);
+        let mut x_ext = vec![0.0; sys.ext_dofs.len().max(1)];
+        for ((rank, positions), buf) in sys.recv_from.iter().zip(&incoming) {
+            debug_assert_eq!(*rank, sys.send_to[sys.recv_from.iter().position(|(r, _)| r == rank).unwrap()].0);
+            for (&pos, &v) in positions.iter().zip(buf) {
+                x_ext[pos] = v;
+            }
+        }
+        x_ext
+    }
+}
+
+impl<C: Communicator> LinearOperator for RddOperator<'_, C> {
+    fn dim(&self) -> usize {
+        self.sys.n_local()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        let sys = self.sys;
+        assert_eq!(x.len(), sys.n_local(), "rdd apply: x length mismatch");
+        let x_ext = self.gather_ext(x);
+        sys.a_loc.spmv_into(x, y);
+        if !sys.ext_dofs.is_empty() {
+            sys.a_ext.spmv_add_into(&x_ext, y);
+        }
+        self.comm
+            .work(sys.a_loc.spmv_flops() + sys.a_ext.spmv_flops());
+    }
+
+    fn apply_flops(&self) -> u64 {
+        self.sys.a_loc.spmv_flops() + self.sys.a_ext.spmv_flops()
+    }
+}
+
+/// Rank-local ILU(0) preconditioning for the row-based solver — the
+/// non-overlapping additive Schwarz / block-Jacobi scheme the paper's
+/// Section 4 attributes to pARMS/PSPARSLIB ("additive Schwartz, Schur
+/// complement and ILU methods ... extensions of the block Jacobi method
+/// whose kernel is to solve the local system `K_loc z = v`").
+///
+/// Application is communication-free: each rank back-solves its own
+/// diagonal block. Construction fails on a singular local block, mirroring
+/// the floating-subdomain failure of EDD-local ILU.
+#[derive(Debug, Clone)]
+pub struct RddLocalIlu {
+    ilu: parfem_sparse::Ilu0,
+}
+
+impl RddLocalIlu {
+    /// Factorizes this rank's local block `A_loc`.
+    ///
+    /// # Errors
+    /// Propagates [`parfem_sparse::SparseError::ZeroPivot`] for singular
+    /// blocks.
+    pub fn factorize(sys: &RddSystem) -> Result<Self, parfem_sparse::SparseError> {
+        Ok(RddLocalIlu {
+            ilu: parfem_sparse::Ilu0::factorize(&sys.a_loc)?,
+        })
+    }
+}
+
+impl<C: Communicator> Preconditioner<RddOperator<'_, C>> for RddLocalIlu {
+    fn apply_into(&self, _op: &RddOperator<'_, C>, v: &[f64], z: &mut [f64]) {
+        self.ilu.solve_into(v, z);
+    }
+
+    fn name(&self) -> String {
+        "local-ilu0".to_string()
+    }
+}
+
+/// Result of the RDD solve on one rank.
+#[derive(Debug, Clone)]
+pub struct RddResult {
+    /// The solution over the owned rows.
+    pub x: Vec<f64>,
+    /// Convergence history (identical on all ranks).
+    pub history: ConvergenceHistory,
+}
+
+/// Restarted flexible GMRES on the block-row operator (Algorithm 8).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn rdd_fgmres<'a, C, P>(
+    comm: &'a C,
+    sys: &'a RddSystem,
+    precond: &P,
+    x0: &[f64],
+    cfg: &GmresConfig,
+) -> RddResult
+where
+    C: Communicator,
+    P: Preconditioner<RddOperator<'a, C>> + ?Sized,
+{
+    let n = sys.n_local();
+    assert_eq!(x0.len(), n, "rdd_fgmres: x0 length mismatch");
+    assert!(cfg.restart > 0, "rdd_fgmres: restart must be positive");
+    let m = cfg.restart;
+    let op = RddOperator { sys, comm };
+
+    let mut x = x0.to_vec();
+    let mut residuals = Vec::new();
+    let mut restarts = 0usize;
+    let mut total_iters = 0usize;
+
+    let local_dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(p, q)| p * q).sum() };
+    let residual_of = |x: &[f64]| -> Vec<f64> {
+        let mut t = vec![0.0; n];
+        op.apply_into(x, &mut t);
+        for (ti, bi) in t.iter_mut().zip(&sys.b_loc) {
+            *ti = bi - *ti;
+        }
+        comm.work(n as u64);
+        t
+    };
+    let global_norm = |v: &[f64]| -> f64 {
+        comm.work(2 * n as u64);
+        comm.allreduce_sum_scalar(local_dot(v, v)).sqrt()
+    };
+
+    let mut r = residual_of(&x);
+    let r0_norm = global_norm(&r);
+    residuals.push(1.0);
+    if r0_norm == 0.0 {
+        return RddResult {
+            x,
+            history: ConvergenceHistory {
+                relative_residuals: residuals,
+                stop: StopReason::Converged,
+                restarts: 0,
+            },
+        };
+    }
+    let breakdown_tol = 1e-14 * r0_norm;
+
+    loop {
+        let beta = global_norm(&r);
+        if beta / r0_norm <= cfg.tol {
+            return RddResult {
+                x,
+                history: ConvergenceHistory {
+                    relative_residuals: residuals,
+                    stop: StopReason::Converged,
+                    restarts,
+                },
+            };
+        }
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        let mut z: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut rotations: Vec<Givens> = Vec::with_capacity(m);
+        let mut g = vec![0.0; m + 1];
+        g[0] = beta;
+        let mut v0 = r.clone();
+        for t in &mut v0 {
+            *t /= beta;
+        }
+        v.push(v0);
+
+        let mut j_done = 0usize;
+        let mut stop: Option<StopReason> = None;
+
+        for j in 0..m {
+            if total_iters >= cfg.max_iters {
+                stop = Some(StopReason::MaxIterations);
+                break;
+            }
+            total_iters += 1;
+            let zj = precond.apply(&op, &v[j]);
+            let mut w = vec![0.0; n];
+            op.apply_into(&zj, &mut w);
+            z.push(zj);
+
+            let mut partials = Vec::with_capacity(j + 2);
+            for vi in v.iter() {
+                partials.push(local_dot(&w, vi));
+            }
+            partials.push(local_dot(&w, &w));
+            comm.work((2 * n * (j + 2)) as u64);
+            let sums = comm.allreduce_sum(&partials);
+
+            let mut hcol = vec![0.0; j + 2];
+            hcol[..(j + 1)].copy_from_slice(&sums[..(j + 1)]);
+            let ww = sums[j + 1];
+            for (i, vi) in v.iter().enumerate() {
+                let hi = hcol[i];
+                for (wk, vk) in w.iter_mut().zip(vi) {
+                    *wk -= hi * vk;
+                }
+            }
+            comm.work((2 * n * (j + 1)) as u64);
+            // Guarded Pythagorean norm — see the matching comment in edd.rs.
+            let h_sq: f64 = hcol[..(j + 1)].iter().map(|h| h * h).sum();
+            let mut hh = ww - h_sq;
+            if hh < 1e-2 * ww.max(1e-300) {
+                hh = comm.allreduce_sum_scalar(local_dot(&w, &w)).max(0.0);
+                comm.work(2 * n as u64);
+            }
+            let h_next = hh.max(0.0).sqrt();
+            hcol[j + 1] = h_next;
+
+            for (i, rot) in rotations.iter().enumerate() {
+                let (a, b2) = rot.apply(hcol[i], hcol[i + 1]);
+                hcol[i] = a;
+                hcol[i + 1] = b2;
+            }
+            let (rot, rr) = Givens::compute(hcol[j], hcol[j + 1]);
+            hcol[j] = rr;
+            hcol[j + 1] = 0.0;
+            let (g0, g1) = rot.apply(g[j], g[j + 1]);
+            g[j] = g0;
+            g[j + 1] = g1;
+            rotations.push(rot);
+            h_cols.push(hcol);
+            j_done = j + 1;
+
+            let rel = g[j + 1].abs() / r0_norm;
+            residuals.push(rel);
+            if rel <= cfg.tol {
+                stop = Some(StopReason::Converged);
+                break;
+            }
+            if h_next <= breakdown_tol {
+                stop = Some(StopReason::Breakdown);
+                break;
+            }
+            let mut vj1 = w;
+            for t in &mut vj1 {
+                *t /= h_next;
+            }
+            v.push(vj1);
+        }
+
+        if j_done > 0 {
+            let mut y = vec![0.0; j_done];
+            for i in (0..j_done).rev() {
+                let mut acc = g[i];
+                for k in (i + 1)..j_done {
+                    acc -= h_cols[k][i] * y[k];
+                }
+                y[i] = acc / h_cols[i][i];
+            }
+            for (k, yk) in y.iter().enumerate() {
+                for (xi, zi) in x.iter_mut().zip(&z[k]) {
+                    *xi += yk * zi;
+                }
+            }
+            comm.work((2 * n * j_done) as u64);
+        }
+
+        match stop {
+            Some(reason @ (StopReason::Converged | StopReason::Breakdown)) => {
+                return RddResult {
+                    x,
+                    history: ConvergenceHistory {
+                        relative_residuals: residuals,
+                        stop: reason,
+                        restarts,
+                    },
+                };
+            }
+            Some(StopReason::MaxIterations) => {
+                return RddResult {
+                    x,
+                    history: ConvergenceHistory {
+                        relative_residuals: residuals,
+                        stop: StopReason::MaxIterations,
+                        restarts,
+                    },
+                };
+            }
+            None => {
+                restarts += 1;
+                r = residual_of(&x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_fem::{assembly, Material};
+    use parfem_krylov::gmres::fgmres;
+    use parfem_mesh::{DofMap, Edge, QuadMesh};
+    use parfem_msg::{run_ranks, MachineModel};
+    use parfem_precond::{GlsPrecond, IdentityPrecond};
+    use parfem_sparse::scaling::scale_system;
+
+    fn assembled(nx: usize, ny: usize) -> (CsrMatrix, Vec<f64>, usize) {
+        let mesh = QuadMesh::cantilever(nx, ny);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+        let sys = assembly::build_static(&mesh, &dm, &mat, &loads);
+        let n_nodes = mesh.n_nodes();
+        (sys.stiffness, sys.rhs, n_nodes)
+    }
+
+    #[test]
+    fn block_row_split_reconstructs_matrix() {
+        let (a, b, n_nodes) = assembled(5, 2);
+        let part = NodePartition::contiguous(n_nodes, 3);
+        let systems = RddSystem::build_all(&a, &b, &part);
+        // Every row of A must be fully represented between a_loc and a_ext.
+        for sys in &systems {
+            for (lr, &row) in sys.rows.iter().enumerate() {
+                let (cols, vals) = a.row(row);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let got = if part.owner(c / DOFS_PER_NODE) == sys.rank {
+                        let lc = sys.rows.binary_search(&c).expect("owned col");
+                        sys.a_loc.get(lr, lc)
+                    } else {
+                        let pos = sys.ext_dofs.binary_search(&c).expect("ext col");
+                        sys.a_ext.get(lr, pos)
+                    };
+                    assert_eq!(got, v, "row {row} col {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_matvec_matches_sequential() {
+        let (a, b, n_nodes) = assembled(6, 3);
+        let part = NodePartition::contiguous(n_nodes, 4);
+        let systems = RddSystem::build_all(&a, &b, &part);
+        let n = a.n_rows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 5 % 13) as f64) - 6.0).collect();
+        let want = a.spmv(&x);
+        let out = run_ranks(4, MachineModel::ideal(), |comm| {
+            let sys = &systems[comm.rank()];
+            let op = RddOperator { sys, comm };
+            let xl = sys.restrict(&x);
+            let y = op.apply(&xl);
+            let wl = sys.restrict(&want);
+            y.iter()
+                .zip(&wl)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0_f64, f64::max)
+        });
+        for err in out.results {
+            assert!(err < 1e-10, "max deviation {err}");
+        }
+    }
+
+    #[test]
+    fn rdd_solve_matches_sequential_solution() {
+        let (k, f, n_nodes) = assembled(8, 2);
+        let (a, b, sc) = scale_system(&k, &f).unwrap();
+        let cfg = GmresConfig {
+            tol: 1e-9,
+            ..Default::default()
+        };
+        // Sequential reference.
+        let seq = fgmres(
+            &a,
+            &GlsPrecond::for_scaled_system(5),
+            &b,
+            &vec![0.0; a.n_rows()],
+            &cfg,
+        );
+        let u_seq = sc.unscale_solution(&seq.x);
+        // Parallel.
+        let part = NodePartition::contiguous(n_nodes, 4);
+        let systems = RddSystem::build_all(&a, &b, &part);
+        let gls = GlsPrecond::for_scaled_system(5);
+        let out = run_ranks(4, MachineModel::ideal(), |comm| {
+            let sys = &systems[comm.rank()];
+            let res = rdd_fgmres(comm, sys, &gls, &vec![0.0; sys.n_local()], &cfg);
+            (res.x, res.history)
+        });
+        let mut x = vec![0.0; a.n_rows()];
+        for (rank, (xl, _)) in out.results.iter().enumerate() {
+            systems[rank].scatter(xl, &mut x);
+        }
+        let u_par = sc.unscale_solution(&x);
+        let h_par = &out.results[0].1;
+        assert!(h_par.converged());
+        assert_eq!(h_par.iterations(), seq.history.iterations());
+        for (p, s) in u_par.iter().zip(&u_seq) {
+            assert!((p - s).abs() < 1e-6 * (1.0 + s.abs()), "{p} vs {s}");
+        }
+    }
+
+    #[test]
+    fn rdd_unpreconditioned_converges() {
+        let (k, f, n_nodes) = assembled(5, 2);
+        let (a, b, _) = scale_system(&k, &f).unwrap();
+        let part = NodePartition::contiguous(n_nodes, 2);
+        let systems = RddSystem::build_all(&a, &b, &part);
+        let cfg = GmresConfig {
+            tol: 1e-7,
+            max_iters: 2000,
+            ..Default::default()
+        };
+        let out = run_ranks(2, MachineModel::ideal(), |comm| {
+            let sys = &systems[comm.rank()];
+            let res = rdd_fgmres(comm, sys, &IdentityPrecond, &vec![0.0; sys.n_local()], &cfg);
+            res.history.converged()
+        });
+        assert!(out.results.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn single_rank_rdd_is_sequential() {
+        let (k, f, n_nodes) = assembled(4, 2);
+        let (a, b, _) = scale_system(&k, &f).unwrap();
+        let part = NodePartition::contiguous(n_nodes, 1);
+        let systems = RddSystem::build_all(&a, &b, &part);
+        assert!(systems[0].ext_dofs.is_empty());
+        assert!(systems[0].send_to.is_empty());
+        let cfg = GmresConfig::default();
+        let seq = fgmres(&a, &IdentityPrecond, &b, &vec![0.0; a.n_rows()], &cfg);
+        let out = run_ranks(1, MachineModel::ideal(), |comm| {
+            let res = rdd_fgmres(
+                comm,
+                &systems[0],
+                &IdentityPrecond,
+                &vec![0.0; systems[0].n_local()],
+                &cfg,
+            );
+            (res.x, res.history.iterations())
+        });
+        assert_eq!(out.results[0].1, seq.history.iterations());
+        for (p, s) in out.results[0].0.iter().zip(&seq.x) {
+            assert!((p - s).abs() < 1e-9 * (1.0 + s.abs()));
+        }
+    }
+
+    #[test]
+    fn local_ilu_preconditioning_accelerates_rdd() {
+        // The additive Schwarz scheme of Section 4: local ILU(0) per rank.
+        let (k, f, n_nodes) = assembled(10, 4);
+        let (a, b, _) = scale_system(&k, &f).unwrap();
+        let part = NodePartition::contiguous(n_nodes, 3);
+        let systems = RddSystem::build_all(&a, &b, &part);
+        let cfg = GmresConfig {
+            tol: 1e-8,
+            max_iters: 5000,
+            ..Default::default()
+        };
+        let out = run_ranks(3, MachineModel::ideal(), |comm| {
+            let sys = &systems[comm.rank()];
+            let ilu = RddLocalIlu::factorize(sys).expect("clamped blocks factorize");
+            let pre = rdd_fgmres(comm, sys, &ilu, &vec![0.0; sys.n_local()], &cfg);
+            let plain =
+                rdd_fgmres(comm, sys, &IdentityPrecond, &vec![0.0; sys.n_local()], &cfg);
+            (
+                pre.history.iterations(),
+                plain.history.iterations(),
+                pre.history.converged() && plain.history.converged(),
+            )
+        });
+        for (pre, plain, both) in out.results {
+            assert!(both);
+            assert!(
+                pre < plain,
+                "local ILU must accelerate RDD: {pre} vs {plain}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_ilu_application_is_communication_free() {
+        let (k, f, n_nodes) = assembled(6, 2);
+        let (a, b, _) = scale_system(&k, &f).unwrap();
+        let part = NodePartition::contiguous(n_nodes, 2);
+        let systems = RddSystem::build_all(&a, &b, &part);
+        let out = run_ranks(2, MachineModel::ideal(), |comm| {
+            let sys = &systems[comm.rank()];
+            let ilu = RddLocalIlu::factorize(sys).unwrap();
+            let before = comm.stats().sends;
+            let op = RddOperator { sys, comm };
+            let v = vec![1.0; sys.n_local()];
+            let _ = ilu.apply(&op, &v);
+            comm.stats().sends - before
+        });
+        assert_eq!(out.results, vec![0, 0], "preconditioner must not communicate");
+    }
+
+    #[test]
+    fn communication_lists_are_symmetric() {
+        let (a, b, n_nodes) = assembled(6, 2);
+        let part = NodePartition::contiguous(n_nodes, 3);
+        let systems = RddSystem::build_all(&a, &b, &part);
+        for sys in &systems {
+            assert_eq!(sys.send_to.len(), sys.recv_from.len());
+            for ((sr, sl), (rr, rl)) in sys.send_to.iter().zip(&sys.recv_from) {
+                assert_eq!(sr, rr, "send/recv neighbour sets must pair");
+                // My send list to neighbour matches what that neighbour
+                // expects to receive from me, entry for entry.
+                let other = &systems[*sr];
+                let (_, their_recv) = other
+                    .recv_from
+                    .iter()
+                    .find(|(r, _)| *r == sys.rank)
+                    .expect("symmetric link");
+                assert_eq!(sl.len(), their_recv.len());
+                let _ = rl;
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Global finite-element assembly and Dirichlet boundary conditions.
+//!
+//! Constrained DOFs keep their global numbers: the constrained equation is
+//! replaced by the identity row `u_i = ū_i` and the coupling entries are
+//! moved to the right-hand side. No renumbering ever happens — the property
+//! the element-based decomposition exploits (paper claim ii).
+
+use crate::material::Material;
+use crate::quad4;
+use parfem_mesh::{DofMap, Edge, QuadMesh};
+use parfem_sparse::{CooMatrix, CsrMatrix};
+
+/// A fully assembled, boundary-condition-applied static system `K u = f`.
+#[derive(Debug, Clone)]
+pub struct StaticSystem {
+    /// The stiffness matrix with identity rows at constrained DOFs.
+    pub stiffness: CsrMatrix,
+    /// The right-hand side, constraint contributions included.
+    pub rhs: Vec<f64>,
+}
+
+/// Assembles the raw global stiffness matrix (no boundary conditions).
+pub fn assemble_stiffness(mesh: &QuadMesh, dm: &DofMap, material: &Material) -> CsrMatrix {
+    let n = dm.n_dofs();
+    // Each Q4 element contributes a dense 8x8 block.
+    let mut coo = CooMatrix::with_capacity(n, n, mesh.n_elems() * 64);
+    for e in 0..mesh.n_elems() {
+        let ke = quad4::stiffness(&mesh.elem_coords(e), material);
+        let dofs = dm.elem_dofs(mesh.elem_nodes(e));
+        coo.push_block(&dofs, &ke).expect("element dofs in bounds");
+    }
+    coo.to_csr()
+}
+
+/// Assembles the raw global stiffness of an unstructured quadrilateral
+/// mesh (no boundary conditions).
+pub fn assemble_stiffness_generic(
+    mesh: &parfem_mesh::GenericQuadMesh,
+    dm: &DofMap,
+    material: &Material,
+) -> CsrMatrix {
+    let n = dm.n_dofs();
+    let mut coo = CooMatrix::with_capacity(n, n, mesh.n_elems() * 64);
+    for e in 0..mesh.n_elems() {
+        let ke = quad4::stiffness(&mesh.elem_coords(e), material);
+        let dofs = dm.elem_dofs(mesh.elem_nodes(e));
+        coo.push_block(&dofs, &ke).expect("element dofs in bounds");
+    }
+    coo.to_csr()
+}
+
+/// Assembles the raw global mass matrix (no boundary conditions).
+///
+/// With `lumped = true` the row-sum lumped (diagonal) element mass is used;
+/// otherwise the consistent mass.
+pub fn assemble_mass(mesh: &QuadMesh, dm: &DofMap, material: &Material, lumped: bool) -> CsrMatrix {
+    let n = dm.n_dofs();
+    let mut coo = CooMatrix::with_capacity(n, n, mesh.n_elems() * 64);
+    for e in 0..mesh.n_elems() {
+        let dofs = dm.elem_dofs(mesh.elem_nodes(e));
+        if lumped {
+            // Scatter only the diagonal so the global matrix stays diagonal.
+            let me = quad4::lumped_mass(&mesh.elem_coords(e), material);
+            for (i, &d) in dofs.iter().enumerate() {
+                coo.push(d, d, me[i * 8 + i]).expect("element dofs in bounds");
+            }
+        } else {
+            let me = quad4::consistent_mass(&mesh.elem_coords(e), material);
+            coo.push_block(&dofs, &me).expect("element dofs in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Applies Dirichlet conditions to an assembled matrix and right-hand side.
+///
+/// Returns the constrained matrix; `rhs` is modified in place:
+/// - constrained row `i`: replaced by `u_i = ū_i` (unit diagonal, `rhs_i = ū_i`);
+/// - free row `i`: coupling to constrained columns `j` moves to the RHS as
+///   `rhs_i -= K_ij ū_j`.
+pub fn apply_dirichlet(k: &CsrMatrix, dm: &DofMap, rhs: &mut [f64]) -> CsrMatrix {
+    let n = k.n_rows();
+    assert_eq!(n, dm.n_dofs(), "matrix does not match DOF map");
+    assert_eq!(rhs.len(), n, "rhs does not match DOF map");
+    let mut coo = CooMatrix::with_capacity(n, n, k.nnz());
+    for r in 0..n {
+        if dm.is_fixed(r) {
+            coo.push(r, r, 1.0).expect("in bounds");
+            rhs[r] = dm.fixed_value(r);
+            continue;
+        }
+        let (cols, vals) = k.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            if dm.is_fixed(c) {
+                rhs[r] -= v * dm.fixed_value(c);
+            } else {
+                coo.push(r, c, v).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Applies Dirichlet conditions to a *mass* matrix: constrained rows and
+/// columns are zeroed (no unit diagonal), so that `αM + βK` keeps the clean
+/// constraint rows of `K` scaled by `β`.
+pub fn apply_dirichlet_mass(m: &CsrMatrix, dm: &DofMap) -> CsrMatrix {
+    let n = m.n_rows();
+    assert_eq!(n, dm.n_dofs(), "matrix does not match DOF map");
+    let mut coo = CooMatrix::with_capacity(n, n, m.nnz());
+    for r in 0..n {
+        if dm.is_fixed(r) {
+            continue;
+        }
+        let (cols, vals) = m.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            if !dm.is_fixed(c) {
+                coo.push(r, c, v).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Adds a point load `(fx, fy)` at `node` to the load vector.
+pub fn point_load(dm: &DofMap, node: usize, fx: f64, fy: f64, rhs: &mut [f64]) {
+    rhs[dm.dof(node, 0)] += fx;
+    rhs[dm.dof(node, 1)] += fy;
+}
+
+/// Adds a uniformly distributed edge traction with total force `(fx, fy)`,
+/// consistently partitioned over the edge nodes (half weights at the two end
+/// nodes — the trapezoidal rule for linear shape functions on a uniform
+/// edge).
+pub fn edge_load(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    edge: Edge,
+    fx: f64,
+    fy: f64,
+    rhs: &mut [f64],
+) {
+    let nodes = mesh.edge_nodes(edge);
+    let n_seg = (nodes.len() - 1) as f64;
+    for (k, &node) in nodes.iter().enumerate() {
+        let w = if k == 0 || k == nodes.len() - 1 {
+            0.5 / n_seg
+        } else {
+            1.0 / n_seg
+        };
+        rhs[dm.dof(node, 0)] += w * fx;
+        rhs[dm.dof(node, 1)] += w * fy;
+    }
+}
+
+/// Assembles the complete constrained static system for a mesh with loads
+/// already accumulated in `loads` (length `dm.n_dofs()`).
+pub fn build_static(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+) -> StaticSystem {
+    let k = assemble_stiffness(mesh, dm, material);
+    let mut rhs = loads.to_vec();
+    let k_bc = apply_dirichlet(&k, dm, &mut rhs);
+    StaticSystem {
+        stiffness: k_bc,
+        rhs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_sparse::dense;
+
+    fn cantilever_fixture(nx: usize, ny: usize) -> (QuadMesh, DofMap, Material) {
+        let mesh = QuadMesh::cantilever(nx, ny);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        (mesh, dm, Material::unit())
+    }
+
+    /// Dense reference solve through `parfem_sparse::dense::solve_dense`.
+    fn dense_solve(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+        let mut m = a.to_dense();
+        dense::solve_dense(a.n_rows(), &mut m, b)
+    }
+
+    #[test]
+    fn raw_stiffness_is_symmetric_and_singular() {
+        let (mesh, dm, mat) = cantilever_fixture(3, 2);
+        let k = assemble_stiffness(&mesh, &dm, &mat);
+        assert_eq!(k.n_rows(), dm.n_dofs());
+        assert!(k.is_symmetric(1e-12));
+        // Rigid x-translation is in the null space before BCs.
+        let mut tx = vec![0.0; dm.n_dofs()];
+        for node in 0..mesh.n_nodes() {
+            tx[dm.dof(node, 0)] = 1.0;
+        }
+        for v in k.spmv(&tx) {
+            assert!(v.abs() < 1e-9, "rigid-mode residual {v}");
+        }
+    }
+
+    #[test]
+    fn constrained_system_is_nonsingular_and_consistent() {
+        let (mesh, dm, mat) = cantilever_fixture(4, 2);
+        let mut loads = vec![0.0; dm.n_dofs()];
+        point_load(&dm, mesh.node_at(4, 2), 0.0, -1.0, &mut loads);
+        let sys = build_static(&mesh, &dm, &mat, &loads);
+        let u = dense_solve(&sys.stiffness, &sys.rhs);
+        // Constrained DOFs stay at zero.
+        for (d, v) in dm.fixed_dofs() {
+            assert!((u[d] - v).abs() < 1e-12);
+        }
+        // The tip deflects downward.
+        let tip = dm.dof(mesh.node_at(4, 2), 1);
+        assert!(u[tip] < 0.0, "tip deflection {}", u[tip]);
+        // Residual of the solve itself.
+        let r = sys.stiffness.spmv(&u);
+        for (ri, fi) in r.iter().zip(&sys.rhs) {
+            assert!((ri - fi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn patch_test_constant_strain_is_reproduced() {
+        // Prescribe the linear field u_x = 0.01 x on the whole boundary of a
+        // distorted-numbering mesh; the interior must follow the same field
+        // (completeness/patch test for Q4).
+        let mesh = QuadMesh::rectangle(3, 3, 3.0, 3.0);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        let eps = 0.01;
+        for node in 0..mesh.n_nodes() {
+            let [x, y] = mesh.node_coords(node);
+            let boundary = x == 0.0 || y == 0.0 || x == 3.0 || y == 3.0;
+            if boundary {
+                dm.fix_dof(dm.dof(node, 0), eps * x);
+                dm.fix_dof(dm.dof(node, 1), -0.3 * eps * y); // nu * eps contraction
+            }
+        }
+        let mat = Material::unit();
+        let loads = vec![0.0; dm.n_dofs()];
+        let sys = build_static(&mesh, &dm, &mat, &loads);
+        let u = dense_solve(&sys.stiffness, &sys.rhs);
+        for node in 0..mesh.n_nodes() {
+            let [x, y] = mesh.node_coords(node);
+            assert!(
+                (u[dm.dof(node, 0)] - eps * x).abs() < 1e-10,
+                "patch test u_x at node {node}"
+            );
+            assert!(
+                (u[dm.dof(node, 1)] + 0.3 * eps * y).abs() < 1e-10,
+                "patch test u_y at node {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn cantilever_deflection_matches_beam_theory_within_tolerance() {
+        // Slender cantilever with a tip transverse load: Euler-Bernoulli
+        // predicts delta = P L^3 / (3 E I). Q4 meshes are stiff (shear
+        // locking), so allow a generous band; one refinement must move the
+        // answer toward the beam value.
+        let p_total = -1e-3;
+        let predict = |nx: usize, ny: usize| -> f64 {
+            let mesh = QuadMesh::rectangle(nx, ny, 16.0, 1.0);
+            let mut dm = DofMap::new(mesh.n_nodes());
+            dm.clamp_edge(&mesh, Edge::Left);
+            let mut loads = vec![0.0; dm.n_dofs()];
+            edge_load(&mesh, &dm, Edge::Right, 0.0, p_total, &mut loads);
+            let mat = Material::unit();
+            let sys = build_static(&mesh, &dm, &mat, &loads);
+            let u = dense_solve(&sys.stiffness, &sys.rhs);
+            u[dm.dof(mesh.node_at(nx, ny / 2), 1)]
+        };
+        let coarse = predict(16, 2);
+        let fine = predict(32, 4);
+        let l: f64 = 16.0;
+        let i = 1.0 / 12.0; // unit-depth rectangular section
+        let beam = p_total * l.powi(3) / (3.0 * 1.0 * i);
+        assert!(coarse < 0.0 && fine < 0.0);
+        // Within 40% of beam theory and converging toward it.
+        assert!(
+            (fine - beam).abs() / beam.abs() < 0.4,
+            "fine {fine} vs beam {beam}"
+        );
+        assert!(
+            (fine - beam).abs() <= (coarse - beam).abs() + 1e-12,
+            "refinement must not diverge: coarse {coarse}, fine {fine}, beam {beam}"
+        );
+    }
+
+    #[test]
+    fn mass_matrix_total_mass_is_density_times_area() {
+        let (mesh, dm, mat) = cantilever_fixture(5, 3);
+        for lumped in [false, true] {
+            let m = assemble_mass(&mesh, &dm, &mat, lumped);
+            let mut tx = vec![0.0; dm.n_dofs()];
+            for node in 0..mesh.n_nodes() {
+                tx[dm.dof(node, 0)] = 1.0;
+            }
+            let mx = m.spmv(&tx);
+            let total = dense::dot(&tx, &mx);
+            // rho * area * thickness = 1 * 15 * 1.
+            assert!((total - 15.0).abs() < 1e-9, "total mass {total} lumped={lumped}");
+        }
+    }
+
+    #[test]
+    fn lumped_mass_is_diagonal_globally() {
+        let (mesh, dm, mat) = cantilever_fixture(4, 4);
+        let m = assemble_mass(&mesh, &dm, &mat, true);
+        for r in 0..m.n_rows() {
+            let (cols, _) = m.row(r);
+            assert_eq!(cols, &[r], "row {r} has off-diagonal mass");
+        }
+    }
+
+    #[test]
+    fn apply_dirichlet_mass_zeroes_constrained_rows() {
+        let (mesh, dm, mat) = cantilever_fixture(3, 1);
+        let m = assemble_mass(&mesh, &dm, &mat, false);
+        let mbc = apply_dirichlet_mass(&m, &dm);
+        for (d, _) in dm.fixed_dofs() {
+            let (cols, _) = mbc.row(d);
+            assert!(cols.is_empty(), "constrained mass row {d} not empty");
+            // Columns too.
+            for r in 0..mbc.n_rows() {
+                assert_eq!(mbc.get(r, d), 0.0);
+            }
+        }
+        assert!(mbc.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn edge_load_total_force_is_preserved() {
+        let (mesh, dm, _) = cantilever_fixture(6, 3);
+        let mut rhs = vec![0.0; dm.n_dofs()];
+        edge_load(&mesh, &dm, Edge::Right, 2.0, -5.0, &mut rhs);
+        let fx: f64 = (0..mesh.n_nodes()).map(|n| rhs[dm.dof(n, 0)]).sum();
+        let fy: f64 = (0..mesh.n_nodes()).map(|n| rhs[dm.dof(n, 1)]).sum();
+        assert!((fx - 2.0).abs() < 1e-12);
+        assert!((fy + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonzero_prescribed_displacement_moves_rhs() {
+        // One element, clamp left edge, pull right edge to a prescribed u_x.
+        let mesh = QuadMesh::rectangle(1, 1, 1.0, 1.0);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        for node in mesh.edge_nodes(Edge::Right) {
+            dm.fix_dof(dm.dof(node, 0), 0.1);
+        }
+        let mat = Material::unit();
+        let loads = vec![0.0; dm.n_dofs()];
+        let sys = build_static(&mesh, &dm, &mat, &loads);
+        let u = dense_solve(&sys.stiffness, &sys.rhs);
+        for node in mesh.edge_nodes(Edge::Right) {
+            assert!((u[dm.dof(node, 0)] - 0.1).abs() < 1e-12);
+        }
+        // The free u_y DOFs must have moved (Poisson contraction).
+        let uy = u[dm.dof(mesh.node_at(1, 1), 1)];
+        assert!(uy.abs() > 1e-6, "expected contraction, got {uy}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Finite-element substrate for the `parfem` solver stack.
+//!
+//! Implements everything the paper's evaluation needs from a FEM code:
+//!
+//! - [`material`] — isotropic linear elasticity (plane stress / plane
+//!   strain) constitutive matrices,
+//! - [`quad4`] — the 4-node bilinear quadrilateral of the paper's cantilever
+//!   experiments: stiffness and (consistent or lumped) mass matrices by 2×2
+//!   Gauss quadrature,
+//! - [`truss`] — the 1-D two-node truss of the paper's Fig. 5, used to
+//!   explain local vs. global distributed formats,
+//! - [`assembly`] — global CSR assembly with Dirichlet boundary conditions
+//!   handled as identity rows (no renumbering), plus load vectors,
+//! - [`subdomain`] — per-subdomain *unassembled* local systems for the
+//!   element-based domain decomposition: `K = Σ Bₛᵀ K̂⁽ˢ⁾ Bₛ` holds exactly,
+//! - [`dynamics`] — Newmark time integration of `M ü + K u = f` producing
+//!   the effective systems `[αM + βK] u = f̂` of the paper's Eq. 52.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Indexed `for r in 0..n` loops are the idiomatic form for the sparse/FEM
+// kernels in this workspace (the index feeds several arrays and the CSR
+// row spans at once); the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod assembly;
+pub mod dynamics;
+pub mod material;
+pub mod quad4;
+pub mod quad8s;
+pub mod stress;
+pub mod subdomain;
+pub mod tri3;
+pub mod truss;
+
+pub use assembly::{assemble_mass, assemble_stiffness, StaticSystem};
+pub use dynamics::{NewmarkIntegrator, NewmarkParams};
+pub use material::Material;
+pub use subdomain::SubdomainSystem;

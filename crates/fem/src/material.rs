@@ -1,0 +1,141 @@
+//! Isotropic linear-elastic material models.
+
+/// The 2-D stress assumption of the constitutive law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneModel {
+    /// Plane stress (thin plates — the paper's cantilever plate).
+    Stress,
+    /// Plane strain (long prismatic bodies).
+    Strain,
+}
+
+/// An isotropic linear-elastic material.
+#[derive(Debug, Clone, Copy)]
+pub struct Material {
+    /// Young's modulus `E`.
+    pub youngs_modulus: f64,
+    /// Poisson's ratio `ν`.
+    pub poissons_ratio: f64,
+    /// Mass density `ρ` (per unit volume).
+    pub density: f64,
+    /// Out-of-plane thickness `t`.
+    pub thickness: f64,
+    /// Plane stress or plane strain.
+    pub model: PlaneModel,
+}
+
+impl Material {
+    /// A steel-like plane-stress material with unit thickness — the default
+    /// for the cantilever experiments.
+    pub fn steel() -> Self {
+        Material {
+            youngs_modulus: 200e9,
+            poissons_ratio: 0.3,
+            density: 7850.0,
+            thickness: 1.0,
+            model: PlaneModel::Stress,
+        }
+    }
+
+    /// A dimensionless unit material (`E = 1`, `ν = 0.3`, `ρ = 1`, `t = 1`)
+    /// used in tests where only the matrix structure matters.
+    pub fn unit() -> Self {
+        Material {
+            youngs_modulus: 1.0,
+            poissons_ratio: 0.3,
+            density: 1.0,
+            thickness: 1.0,
+            model: PlaneModel::Stress,
+        }
+    }
+
+    /// The 3×3 constitutive matrix `D` mapping engineering strains
+    /// `(εxx, εyy, γxy)` to stresses `(σxx, σyy, τxy)`, row-major.
+    ///
+    /// # Panics
+    /// Panics for physically inadmissible Poisson ratios (`ν ≥ 0.5` in plane
+    /// strain, `|ν| ≥ 1` in plane stress).
+    pub fn d_matrix(&self) -> [f64; 9] {
+        let e = self.youngs_modulus;
+        let nu = self.poissons_ratio;
+        match self.model {
+            PlaneModel::Stress => {
+                assert!(nu.abs() < 1.0, "plane stress requires |nu| < 1");
+                let c = e / (1.0 - nu * nu);
+                [
+                    c,
+                    c * nu,
+                    0.0,
+                    c * nu,
+                    c,
+                    0.0,
+                    0.0,
+                    0.0,
+                    c * (1.0 - nu) / 2.0,
+                ]
+            }
+            PlaneModel::Strain => {
+                assert!(nu < 0.5, "plane strain requires nu < 1/2");
+                let c = e / ((1.0 + nu) * (1.0 - 2.0 * nu));
+                [
+                    c * (1.0 - nu),
+                    c * nu,
+                    0.0,
+                    c * nu,
+                    c * (1.0 - nu),
+                    0.0,
+                    0.0,
+                    0.0,
+                    c * (1.0 - 2.0 * nu) / 2.0,
+                ]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_stress_d_matrix_is_symmetric_positive() {
+        let d = Material::unit().d_matrix();
+        assert_eq!(d[1], d[3]);
+        assert!(d[0] > 0.0 && d[4] > 0.0 && d[8] > 0.0);
+        // Uniaxial stress recovers E: sigma_xx under eps_xx = 1, with
+        // eps_yy = -nu chosen so sigma_yy = 0.
+        let nu = 0.3;
+        let sigma_xx = d[0] * 1.0 + d[1] * (-nu);
+        assert!((sigma_xx - 1.0).abs() < 1e-12, "sigma_xx {sigma_xx}");
+        let sigma_yy = d[3] * 1.0 + d[4] * (-nu);
+        assert!(sigma_yy.abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_strain_is_stiffer_than_plane_stress() {
+        let mut m = Material::unit();
+        let ds = m.d_matrix();
+        m.model = PlaneModel::Strain;
+        let dn = m.d_matrix();
+        assert!(dn[0] > ds[0]);
+    }
+
+    #[test]
+    fn shear_modulus_matches_both_models() {
+        // D[2][2] must equal G = E / (2 (1 + nu)) in both models.
+        let g = 1.0 / (2.0 * 1.3);
+        let mut m = Material::unit();
+        assert!((m.d_matrix()[8] - g).abs() < 1e-12);
+        m.model = PlaneModel::Strain;
+        assert!((m.d_matrix()[8] - g).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nu < 1/2")]
+    fn incompressible_plane_strain_rejected() {
+        let mut m = Material::unit();
+        m.poissons_ratio = 0.5;
+        m.model = PlaneModel::Strain;
+        m.d_matrix();
+    }
+}

@@ -1,0 +1,150 @@
+//! Stress recovery and von Mises post-processing.
+//!
+//! After the solver produces nodal displacements, engineering output needs
+//! element stresses `σ = D B uₑ`. Centroid evaluation (`ξ = η = 0`) is the
+//! superconvergent point of the bilinear quadrilateral.
+
+use crate::material::Material;
+use crate::quad4;
+use parfem_mesh::{DofMap, QuadMesh};
+
+/// Stress state of one element (evaluated at the centroid).
+#[derive(Debug, Clone, Copy)]
+pub struct ElementStress {
+    /// In-plane stresses `(σxx, σyy, τxy)`.
+    pub sigma: [f64; 3],
+    /// The von Mises equivalent stress.
+    pub von_mises: f64,
+}
+
+/// The 2-D (plane stress) von Mises stress
+/// `√(σxx² − σxx σyy + σyy² + 3 τxy²)`.
+pub fn von_mises_2d(sigma: &[f64; 3]) -> f64 {
+    let [sx, sy, txy] = *sigma;
+    (sx * sx - sx * sy + sy * sy + 3.0 * txy * txy).sqrt()
+}
+
+/// Stress `σ = D B uₑ` of a Q4 element at reference point `(xi, eta)`.
+pub fn q4_stress_at(
+    coords: &[[f64; 2]; 4],
+    material: &Material,
+    u_elem: &[f64; 8],
+    xi: f64,
+    eta: f64,
+) -> [f64; 3] {
+    let (_, dx, dy) = quad4::physical_gradients(coords, xi, eta);
+    // Strains from B * u.
+    let mut eps = [0.0f64; 3];
+    for i in 0..4 {
+        eps[0] += dx[i] * u_elem[2 * i];
+        eps[1] += dy[i] * u_elem[2 * i + 1];
+        eps[2] += dy[i] * u_elem[2 * i] + dx[i] * u_elem[2 * i + 1];
+    }
+    let d = material.d_matrix();
+    [
+        d[0] * eps[0] + d[1] * eps[1] + d[2] * eps[2],
+        d[3] * eps[0] + d[4] * eps[1] + d[5] * eps[2],
+        d[6] * eps[0] + d[7] * eps[1] + d[8] * eps[2],
+    ]
+}
+
+/// Recovers centroid stresses for every element of a Q4 mesh from the
+/// global displacement vector.
+///
+/// # Panics
+/// Panics if `u` does not match the DOF map.
+pub fn centroid_stresses(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    u: &[f64],
+) -> Vec<ElementStress> {
+    assert_eq!(u.len(), dm.n_dofs(), "displacement vector length mismatch");
+    (0..mesh.n_elems())
+        .map(|e| {
+            let coords = mesh.elem_coords(e);
+            let dofs = dm.elem_dofs(mesh.elem_nodes(e));
+            let mut ue = [0.0f64; 8];
+            for (k, &d) in dofs.iter().enumerate() {
+                ue[k] = u[d];
+            }
+            let sigma = q4_stress_at(&coords, material, &ue, 0.0, 0.0);
+            ElementStress {
+                sigma,
+                von_mises: von_mises_2d(&sigma),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly;
+    use parfem_mesh::Edge;
+    use parfem_sparse::dense;
+
+    #[test]
+    fn von_mises_special_cases() {
+        // Uniaxial: sigma_vm = |sigma_xx|.
+        assert!((von_mises_2d(&[5.0, 0.0, 0.0]) - 5.0).abs() < 1e-12);
+        // Pure shear: sigma_vm = sqrt(3) * tau.
+        assert!((von_mises_2d(&[0.0, 0.0, 2.0]) - 2.0 * 3.0_f64.sqrt()).abs() < 1e-12);
+        // Equibiaxial: sigma_vm = |sigma|.
+        assert!((von_mises_2d(&[3.0, 3.0, 0.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_tension_recovers_uniform_stress() {
+        // Bar in tension: sigma_xx = F / A everywhere, sigma_yy = txy = 0.
+        let mesh = QuadMesh::rectangle(8, 2, 8.0, 2.0);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        // Roller boundary: left edge fixed in x, one corner also in y.
+        for n in mesh.edge_nodes(Edge::Left) {
+            dm.fix_dof(dm.dof(n, 0), 0.0);
+        }
+        dm.fix_dof(dm.dof(mesh.node_at(0, 0), 1), 0.0);
+        let mat = Material::unit();
+        let f_total = 2.0;
+        let mut loads = vec![0.0; dm.n_dofs()];
+        assembly::edge_load(&mesh, &dm, Edge::Right, f_total, 0.0, &mut loads);
+        let sys = assembly::build_static(&mesh, &dm, &mat, &loads);
+        let mut d = sys.stiffness.to_dense();
+        let u = dense::solve_dense(sys.stiffness.n_rows(), &mut d, &sys.rhs);
+        let stresses = centroid_stresses(&mesh, &dm, &mat, &u);
+        let expected = f_total / 2.0; // area = ly * t = 2
+        for (e, s) in stresses.iter().enumerate() {
+            assert!(
+                (s.sigma[0] - expected).abs() < 1e-8,
+                "element {e}: sigma_xx {}",
+                s.sigma[0]
+            );
+            assert!(s.sigma[1].abs() < 1e-8, "element {e}: sigma_yy {}", s.sigma[1]);
+            assert!(s.sigma[2].abs() < 1e-8, "element {e}: tau {}", s.sigma[2]);
+            assert!((s.von_mises - expected).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn bending_stress_changes_sign_through_thickness() {
+        // Tip-loaded cantilever: sigma_xx tensile on one face, compressive
+        // on the other near the root.
+        let mesh = QuadMesh::rectangle(12, 4, 12.0, 4.0);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1e-3, &mut loads);
+        let sys = assembly::build_static(&mesh, &dm, &mat, &loads);
+        let mut d = sys.stiffness.to_dense();
+        let u = dense::solve_dense(sys.stiffness.n_rows(), &mut d, &sys.rhs);
+        let stresses = centroid_stresses(&mesh, &dm, &mat, &u);
+        // Root column of elements: bottom element (j=0) vs top (j=3).
+        let bottom = stresses[mesh.elem_at(1, 0)].sigma[0];
+        let top = stresses[mesh.elem_at(1, 3)].sigma[0];
+        assert!(
+            bottom * top < 0.0,
+            "bending stress must change sign: bottom {bottom} top {top}"
+        );
+    }
+}

@@ -1,0 +1,609 @@
+//! Per-subdomain local systems for element-based domain decomposition.
+//!
+//! Each subdomain assembles **only its own elements** into a matrix over its
+//! *local* DOF numbering — the "local distributed format" of the paper's
+//! Definition 1. Nothing is ever assembled across the interface, so
+//!
+//! ```text
+//! K = Σₛ Bₛᵀ K̂⁽ˢ⁾ Bₛ          (paper Eq. 32)
+//! f = Σₛ Bₛᵀ f̂⁽ˢ⁾
+//! ```
+//!
+//! hold exactly, where `Bₛ` is the boolean gather of the subdomain's DOFs.
+//! Dirichlet rows become `1/mult` diagonal contributions so the assembled
+//! operator keeps clean unit identity rows, and shared load entries are
+//! divided by their node multiplicity so the assembled RHS is unchanged.
+
+use crate::material::Material;
+use crate::quad4;
+use parfem_mesh::numbering::DOFS_PER_NODE;
+use parfem_mesh::{DofMap, QuadMesh, Subdomain};
+use parfem_sparse::{CooMatrix, CsrMatrix};
+
+/// Interface DOFs shared with one neighbouring subdomain.
+///
+/// `shared_local_dofs` lists local DOF indices in the canonical order
+/// induced by the subdomain's shared-node lists, so position `k` matches
+/// position `k` on the neighbour's corresponding link.
+#[derive(Debug, Clone)]
+pub struct NeighborDofs {
+    /// Neighbour rank.
+    pub rank: usize,
+    /// Local DOF indices shared with that neighbour, canonical order.
+    pub shared_local_dofs: Vec<usize>,
+}
+
+/// The local distributed system of one subdomain.
+#[derive(Debug, Clone)]
+pub struct SubdomainSystem {
+    /// Subdomain rank.
+    pub rank: usize,
+    /// Global node ids of the local nodes, ascending.
+    pub nodes: Vec<usize>,
+    /// Local stiffness `K̂⁽ˢ⁾` over local DOFs, boundary conditions applied.
+    pub k_local: CsrMatrix,
+    /// Local mass `M̂⁽ˢ⁾` (zero rows/columns at constrained DOFs).
+    pub m_local: Option<CsrMatrix>,
+    /// Local distributed right-hand side `f̂⁽ˢ⁾`.
+    pub f_local: Vec<f64>,
+    /// Multiplicity of each local DOF (how many subdomains share it).
+    pub multiplicity: Vec<f64>,
+    /// Interface links, sorted by neighbour rank.
+    pub neighbors: Vec<NeighborDofs>,
+    /// Global DOF of each local DOF.
+    pub global_dofs: Vec<usize>,
+}
+
+impl SubdomainSystem {
+    /// Assembles the subdomain system for a Q4 mesh.
+    ///
+    /// `loads` is the *global* load vector (`dm.n_dofs()` long); its entries
+    /// are split across sharing subdomains by multiplicity. Set
+    /// `with_mass` to also assemble the local (lumped or consistent) mass.
+    pub fn build(
+        mesh: &QuadMesh,
+        dm: &DofMap,
+        material: &Material,
+        sub: &Subdomain,
+        loads: &[f64],
+        with_mass: Option<bool>,
+    ) -> Self {
+        Self::build_from_elements(dm, sub, loads, with_mass.is_some(), |e| {
+            let ke = quad4::stiffness(&mesh.elem_coords(e), material).to_vec();
+            let me = with_mass.map(|lumped| {
+                if lumped {
+                    quad4::lumped_mass(&mesh.elem_coords(e), material).to_vec()
+                } else {
+                    quad4::consistent_mass(&mesh.elem_coords(e), material).to_vec()
+                }
+            });
+            (mesh.elem_nodes(e).to_vec(), ke, me)
+        })
+    }
+
+    /// Assembles the subdomain system for a 3-node triangle mesh (partition
+    /// from [`parfem_mesh::ElementPartition::strips_x_tri`] or any
+    /// cells-generic partition).
+    pub fn build_tri(
+        mesh: &parfem_mesh::TriMesh,
+        dm: &DofMap,
+        material: &Material,
+        sub: &Subdomain,
+        loads: &[f64],
+        with_mass: Option<bool>,
+    ) -> Self {
+        Self::build_from_elements(dm, sub, loads, with_mass.is_some(), |e| {
+            let ke = crate::tri3::stiffness(&mesh.elem_coords(e), material).to_vec();
+            let me = with_mass.map(|_| {
+                // T3 mass: consistent only (lumping is rho*A/3 diag — use
+                // consistent here, the dynamic driver lumps by row sums).
+                crate::tri3::consistent_mass(&mesh.elem_coords(e), material).to_vec()
+            });
+            (mesh.elem_nodes(e).to_vec(), ke, me)
+        })
+    }
+
+    /// Assembles the subdomain system for an unstructured quadrilateral
+    /// mesh (imported via [`parfem_mesh::GenericQuadMesh`]).
+    pub fn build_generic(
+        mesh: &parfem_mesh::GenericQuadMesh,
+        dm: &DofMap,
+        material: &Material,
+        sub: &Subdomain,
+        loads: &[f64],
+        with_mass: Option<bool>,
+    ) -> Self {
+        Self::build_from_elements(dm, sub, loads, with_mass.is_some(), |e| {
+            let ke = quad4::stiffness(&mesh.elem_coords(e), material).to_vec();
+            let me = with_mass.map(|lumped| {
+                if lumped {
+                    quad4::lumped_mass(&mesh.elem_coords(e), material).to_vec()
+                } else {
+                    quad4::consistent_mass(&mesh.elem_coords(e), material).to_vec()
+                }
+            });
+            (mesh.elem_nodes(e).to_vec(), ke, me)
+        })
+    }
+
+    /// Assembles the subdomain system for an 8-node serendipity mesh.
+    pub fn build_quad8(
+        mesh: &parfem_mesh::Quad8Mesh,
+        dm: &DofMap,
+        material: &Material,
+        sub: &Subdomain,
+        loads: &[f64],
+        with_mass: Option<bool>,
+    ) -> Self {
+        Self::build_from_elements(dm, sub, loads, with_mass.is_some(), |e| {
+            let ke = crate::quad8s::stiffness(&mesh.elem_coords(e), material).to_vec();
+            let me = with_mass
+                .map(|_| crate::quad8s::consistent_mass(&mesh.elem_coords(e), material).to_vec());
+            (mesh.elem_nodes(e).to_vec(), ke, me)
+        })
+    }
+
+    /// Element-generic assembly core: `element_of(e)` returns the global
+    /// node list plus dense stiffness (and optional mass) of element `e`,
+    /// row-major over `2 × n_nodes` interleaved DOFs.
+    pub fn build_from_elements(
+        dm: &DofMap,
+        sub: &Subdomain,
+        loads: &[f64],
+        with_mass: bool,
+        mut element_of: impl FnMut(usize) -> (Vec<usize>, Vec<f64>, Option<Vec<f64>>),
+    ) -> Self {
+        assert_eq!(loads.len(), dm.n_dofs(), "loads do not match DOF map");
+        let n_local_nodes = sub.n_local_nodes();
+        let n_local = n_local_nodes * DOFS_PER_NODE;
+
+        // Local DOF bookkeeping.
+        let mut global_dofs = Vec::with_capacity(n_local);
+        let mut multiplicity = Vec::with_capacity(n_local);
+        for (l, &g_node) in sub.nodes.iter().enumerate() {
+            let m = sub.multiplicity[l] as f64;
+            for c in 0..DOFS_PER_NODE {
+                global_dofs.push(dm.dof(g_node, c));
+                multiplicity.push(m);
+            }
+        }
+
+        // Local distributed RHS: global loads split by multiplicity.
+        let mut f_local: Vec<f64> = global_dofs
+            .iter()
+            .zip(&multiplicity)
+            .map(|(&g, &m)| loads[g] / m)
+            .collect();
+
+        // Element assembly with Dirichlet handling identical (per element)
+        // to the global `apply_dirichlet`.
+        let mut k_coo = CooMatrix::with_capacity(n_local, n_local, sub.elements.len() * 64);
+        let mut m_coo =
+            with_mass.then(|| CooMatrix::with_capacity(n_local, n_local, sub.elements.len() * 64));
+        for &e in &sub.elements {
+            let (g_nodes, ke, me) = element_of(e);
+            let nd = g_nodes.len() * DOFS_PER_NODE;
+            assert_eq!(ke.len(), nd * nd, "element stiffness shape mismatch");
+            // Local dof of each element dof.
+            let mut ldofs = vec![0usize; nd];
+            let mut gdofs = vec![0usize; nd];
+            for (k, &gn) in g_nodes.iter().enumerate() {
+                let ln = sub
+                    .local_node(gn)
+                    .expect("owned element references a local node");
+                for c in 0..DOFS_PER_NODE {
+                    ldofs[2 * k + c] = ln * DOFS_PER_NODE + c;
+                    gdofs[2 * k + c] = dm.dof(gn, c);
+                }
+            }
+            for i in 0..nd {
+                if dm.is_fixed(gdofs[i]) {
+                    continue; // constrained rows are identity, added below
+                }
+                for j in 0..nd {
+                    let v = ke[i * nd + j];
+                    if dm.is_fixed(gdofs[j]) {
+                        f_local[ldofs[i]] -= v * dm.fixed_value(gdofs[j]);
+                    } else {
+                        k_coo.push(ldofs[i], ldofs[j], v).expect("in bounds");
+                    }
+                }
+            }
+            if let (Some(coo), Some(me)) = (m_coo.as_mut(), me) {
+                assert_eq!(me.len(), nd * nd, "element mass shape mismatch");
+                for i in 0..nd {
+                    if dm.is_fixed(gdofs[i]) {
+                        continue;
+                    }
+                    for j in 0..nd {
+                        if !dm.is_fixed(gdofs[j]) {
+                            coo.push(ldofs[i], ldofs[j], me[i * nd + j])
+                                .expect("in bounds");
+                        }
+                    }
+                }
+            }
+        }
+        // Constraint rows: diag 1/mult so the assembled diagonal is 1, and
+        // the RHS carries ū/mult so the assembled RHS is ū.
+        for (l, &g) in global_dofs.iter().enumerate() {
+            if dm.is_fixed(g) {
+                k_coo
+                    .push(l, l, 1.0 / multiplicity[l])
+                    .expect("in bounds");
+                f_local[l] = dm.fixed_value(g) / multiplicity[l];
+            }
+        }
+
+        // Neighbour DOF links from the node links.
+        let neighbors = sub
+            .neighbors
+            .iter()
+            .map(|link| NeighborDofs {
+                rank: link.rank,
+                shared_local_dofs: link
+                    .shared_local_nodes
+                    .iter()
+                    .flat_map(|&ln| (0..DOFS_PER_NODE).map(move |c| ln * DOFS_PER_NODE + c))
+                    .collect(),
+            })
+            .collect();
+
+        SubdomainSystem {
+            rank: sub.rank,
+            nodes: sub.nodes.clone(),
+            k_local: k_coo.to_csr(),
+            m_local: m_coo.map(|c| c.to_csr()),
+            f_local,
+            multiplicity,
+            neighbors,
+            global_dofs,
+        }
+    }
+
+    /// Number of local DOFs.
+    pub fn n_local_dofs(&self) -> usize {
+        self.global_dofs.len()
+    }
+
+    /// Restriction `Bₛ u`: gathers local values from a global vector
+    /// ("global distributed format" of a subdomain).
+    pub fn restrict(&self, global: &[f64]) -> Vec<f64> {
+        self.global_dofs.iter().map(|&g| global[g]).collect()
+    }
+
+    /// Scatter-add `global += Bₛᵀ local`.
+    pub fn scatter_add(&self, local: &[f64], global: &mut [f64]) {
+        assert_eq!(local.len(), self.n_local_dofs(), "local length mismatch");
+        for (&g, &v) in self.global_dofs.iter().zip(local) {
+            global[g] += v;
+        }
+    }
+
+    /// The effective local matrix `α M̂ + β K̂` of the paper's Eq. 52.
+    ///
+    /// # Panics
+    /// Panics if the mass was not assembled.
+    pub fn effective_local(&self, alpha: f64, beta: f64) -> CsrMatrix {
+        let m = self
+            .m_local
+            .as_ref()
+            .expect("effective_local requires an assembled mass");
+        // beta*K + alpha*M, keeping K's sparsity union.
+        let mut k_scaled = self.k_local.clone();
+        for v in k_scaled.values_mut() {
+            *v *= beta;
+        }
+        k_scaled
+            .add_scaled(alpha, m)
+            .expect("local matrices share the shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly;
+    use parfem_mesh::{Edge, ElementPartition};
+
+    fn fixture(
+        nx: usize,
+        ny: usize,
+        p: usize,
+    ) -> (QuadMesh, DofMap, Material, Vec<SubdomainSystem>, Vec<f64>) {
+        let mesh = QuadMesh::cantilever(nx, ny);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+        let part = ElementPartition::strips_x(&mesh, p);
+        let subs = part.subdomains(&mesh);
+        let systems = subs
+            .iter()
+            .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
+            .collect();
+        (mesh, dm, mat, systems, loads)
+    }
+
+    #[test]
+    fn assembled_sum_equals_global_matrix() {
+        // Sum_s B^T K_local B must equal the globally assembled, BC-applied
+        // stiffness, entry for entry.
+        let (mesh, dm, mat, systems, loads) = fixture(6, 3, 3);
+        let sys = assembly::build_static(&mesh, &dm, &mat, &loads);
+        let n = dm.n_dofs();
+        let mut dense_sum = vec![0.0; n * n];
+        for s in &systems {
+            let kd = s.k_local.to_dense();
+            let nl = s.n_local_dofs();
+            for i in 0..nl {
+                for j in 0..nl {
+                    dense_sum[s.global_dofs[i] * n + s.global_dofs[j]] += kd[i * nl + j];
+                }
+            }
+        }
+        let global = sys.stiffness.to_dense();
+        for (idx, (a, b)) in dense_sum.iter().zip(&global).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10,
+                "entry ({}, {}): {a} vs {b}",
+                idx / n,
+                idx % n
+            );
+        }
+    }
+
+    #[test]
+    fn assembled_rhs_equals_global_rhs() {
+        let (mesh, dm, mat, systems, loads) = fixture(6, 3, 3);
+        let sys = assembly::build_static(&mesh, &dm, &mat, &loads);
+        let mut f_sum = vec![0.0; dm.n_dofs()];
+        for s in &systems {
+            s.scatter_add(&s.f_local, &mut f_sum);
+        }
+        for (a, b) in f_sum.iter().zip(&sys.rhs) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        let _ = mesh;
+    }
+
+    #[test]
+    fn local_spmv_plus_interface_sum_equals_global_spmv() {
+        // The EDD matvec identity (Eq. 36-37): for x global,
+        // y = K x == Sum_s B^T (K_local (B x)).
+        let (_, dm, _, systems, loads) = fixture(8, 2, 4);
+        let (mesh2, dm2, mat2, _, _) = fixture(8, 2, 4);
+        let sys = assembly::build_static(&mesh2, &dm2, &mat2, &loads);
+        let x: Vec<f64> = (0..dm.n_dofs()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let y_global = sys.stiffness.spmv(&x);
+        let mut y_sum = vec![0.0; dm.n_dofs()];
+        for s in &systems {
+            let xl = s.restrict(&x);
+            let yl = s.k_local.spmv(&xl);
+            s.scatter_add(&yl, &mut y_sum);
+        }
+        for (a, b) in y_sum.iter().zip(&y_global) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn neighbor_dof_lists_pair_up() {
+        let (_, _, _, systems, _) = fixture(6, 2, 3);
+        for s in &systems {
+            for link in &s.neighbors {
+                let t = &systems[link.rank];
+                let back = t
+                    .neighbors
+                    .iter()
+                    .find(|l| l.rank == s.rank)
+                    .expect("symmetric link");
+                assert_eq!(link.shared_local_dofs.len(), back.shared_local_dofs.len());
+                for (la, lb) in link.shared_local_dofs.iter().zip(&back.shared_local_dofs) {
+                    assert_eq!(s.global_dofs[*la], t.global_dofs[*lb]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicities_match_dof_sharing() {
+        let (_, dm, _, systems, _) = fixture(4, 2, 2);
+        let mut counts = vec![0usize; dm.n_dofs()];
+        for s in &systems {
+            for &g in &s.global_dofs {
+                counts[g] += 1;
+            }
+        }
+        for s in &systems {
+            for (l, &g) in s.global_dofs.iter().enumerate() {
+                assert_eq!(s.multiplicity[l] as usize, counts[g]);
+            }
+        }
+    }
+
+    #[test]
+    fn floating_subdomain_stiffness_is_singular() {
+        // Strips away from the clamped edge have no Dirichlet support; their
+        // local stiffness has the rigid-body null space — the paper's ILU
+        // failure case. Verify singularity via the rigid x-translation.
+        let (_, _, _, systems, _) = fixture(8, 2, 4);
+        let s_last = &systems[3]; // far from the clamped left edge
+        let nl = s_last.n_local_dofs();
+        let mut tx = vec![0.0; nl];
+        for l in 0..nl {
+            if l % 2 == 0 {
+                tx[l] = 1.0;
+            }
+        }
+        let r = s_last.k_local.spmv(&tx);
+        let norm: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm < 1e-9, "floating subdomain should be singular: {norm}");
+    }
+
+    #[test]
+    fn ilu0_fails_with_zero_pivot_on_single_floating_element() {
+        // On a one-element subdomain the pattern is dense, so ILU(0) is the
+        // exact LU of the rank-deficient element stiffness and must hit a
+        // zero pivot — the paper's Section 3.2.3 failure mode in its purest
+        // form. (On multi-element floating subdomains the *incomplete*
+        // factorization can survive numerically while the matrix is still
+        // singular; the preconditioner is then garbage without erroring.)
+        let mesh = QuadMesh::cantilever(2, 1);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let loads = vec![0.0; dm.n_dofs()];
+        let part = ElementPartition::strips_x(&mesh, 2);
+        let subs = part.subdomains(&mesh);
+        let right = SubdomainSystem::build(&mesh, &dm, &mat, &subs[1], &loads, None);
+        assert!(matches!(
+            parfem_sparse::Ilu0::factorize(&right.k_local),
+            Err(parfem_sparse::SparseError::ZeroPivot { .. })
+        ));
+        // The clamped-side subdomain factorizes fine.
+        let left = SubdomainSystem::build(&mesh, &dm, &mat, &subs[0], &loads, None);
+        assert!(parfem_sparse::Ilu0::factorize(&left.k_local).is_ok());
+    }
+
+    #[test]
+    fn mass_assembly_sums_to_global_mass() {
+        let mesh = QuadMesh::cantilever(4, 2);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let loads = vec![0.0; dm.n_dofs()];
+        let part = ElementPartition::strips_x(&mesh, 2);
+        let systems: Vec<SubdomainSystem> = part
+            .subdomains(&mesh)
+            .iter()
+            .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, Some(false)))
+            .collect();
+        let m_raw = assembly::assemble_mass(&mesh, &dm, &mat, false);
+        let m_bc = assembly::apply_dirichlet_mass(&m_raw, &dm);
+        let n = dm.n_dofs();
+        let mut dense_sum = vec![0.0; n * n];
+        for s in &systems {
+            let md = s.m_local.as_ref().unwrap().to_dense();
+            let nl = s.n_local_dofs();
+            for i in 0..nl {
+                for j in 0..nl {
+                    dense_sum[s.global_dofs[i] * n + s.global_dofs[j]] += md[i * nl + j];
+                }
+            }
+        }
+        for (a, b) in dense_sum.iter().zip(&m_bc.to_dense()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn effective_local_combines_mass_and_stiffness() {
+        let mesh = QuadMesh::cantilever(3, 1);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let loads = vec![0.0; dm.n_dofs()];
+        let part = ElementPartition::strips_x(&mesh, 1);
+        let sub = &part.subdomains(&mesh)[0];
+        let s = SubdomainSystem::build(&mesh, &dm, &mat, sub, &loads, Some(true));
+        let eff = s.effective_local(2.0, 3.0);
+        let k = &s.k_local;
+        let m = s.m_local.as_ref().unwrap();
+        for r in 0..eff.n_rows() {
+            let (cols, vals) = eff.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let want = 3.0 * k.get(r, c) + 2.0 * m.get(r, c);
+                assert!((v - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an assembled mass")]
+    fn effective_local_without_mass_panics() {
+        let (_, _, _, systems, _) = fixture(4, 1, 2);
+        systems[0].effective_local(1.0, 1.0);
+    }
+
+    #[test]
+    fn tri_subdomains_sum_to_the_assembled_triangle_matrix() {
+        let tmesh = parfem_mesh::TriMesh::cantilever(6, 3);
+        let mut dm = DofMap::new(tmesh.n_nodes());
+        for n in tmesh.edge_nodes(Edge::Left) {
+            dm.clamp_node(n);
+        }
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        // Nodal load on the top-right node.
+        loads[dm.dof(tmesh.node_at(6, 3), 1)] = -1.0;
+        let part = ElementPartition::strips_x_tri(&tmesh, 3);
+        let systems: Vec<SubdomainSystem> = part
+            .subdomains_of(&tmesh)
+            .iter()
+            .map(|s| SubdomainSystem::build_tri(&tmesh, &dm, &mat, s, &loads, None))
+            .collect();
+        // Global reference with the same BC handling.
+        let k_raw = crate::tri3::assemble_stiffness(&tmesh, &dm, &mat);
+        let mut rhs = loads.clone();
+        let k_bc = crate::assembly::apply_dirichlet(&k_raw, &dm, &mut rhs);
+        let n = dm.n_dofs();
+        let mut dense_sum = vec![0.0; n * n];
+        let mut f_sum = vec![0.0; n];
+        for s in &systems {
+            let kd = s.k_local.to_dense();
+            let nl = s.n_local_dofs();
+            for i in 0..nl {
+                for j in 0..nl {
+                    dense_sum[s.global_dofs[i] * n + s.global_dofs[j]] += kd[i * nl + j];
+                }
+            }
+            s.scatter_add(&s.f_local, &mut f_sum);
+        }
+        for (a, b) in dense_sum.iter().zip(&k_bc.to_dense()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+        for (a, b) in f_sum.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quad8_subdomains_sum_to_the_assembled_q8_matrix() {
+        let emesh = parfem_mesh::Quad8Mesh::cantilever(4, 2);
+        let mut dm = DofMap::new(emesh.n_nodes());
+        for n in emesh.edge_nodes(Edge::Left) {
+            dm.clamp_node(n);
+        }
+        let mat = Material::unit();
+        let loads = vec![0.0; dm.n_dofs()];
+        let part = ElementPartition::strips_x_quad8(&emesh, 2);
+        let systems: Vec<SubdomainSystem> = part
+            .subdomains_of(&emesh)
+            .iter()
+            .map(|s| SubdomainSystem::build_quad8(&emesh, &dm, &mat, s, &loads, None))
+            .collect();
+        let k_raw = crate::quad8s::assemble_stiffness(&emesh, &dm, &mat);
+        let mut rhs = loads.clone();
+        let k_bc = crate::assembly::apply_dirichlet(&k_raw, &dm, &mut rhs);
+        let n = dm.n_dofs();
+        let mut dense_sum = vec![0.0; n * n];
+        for s in &systems {
+            let kd = s.k_local.to_dense();
+            let nl = s.n_local_dofs();
+            for i in 0..nl {
+                for j in 0..nl {
+                    dense_sum[s.global_dofs[i] * n + s.global_dofs[j]] += kd[i * nl + j];
+                }
+            }
+        }
+        for (a, b) in dense_sum.iter().zip(&k_bc.to_dense()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // Q8 strip interfaces carry three nodes per cell edge: corners +
+        // the vertical mid-edge node.
+        let link = &systems[0].neighbors[0];
+        assert_eq!(link.shared_local_dofs.len(), 2 * (2 * 2 + 1));
+    }
+}

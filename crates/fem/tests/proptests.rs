@@ -1,0 +1,143 @@
+//! Property-based tests for the finite-element substrate.
+
+use parfem_fem::{quad4, tri3, Material};
+use proptest::prelude::*;
+
+/// Strategy: a convex, non-degenerate quadrilateral built by perturbing the
+/// unit square (perturbations < 0.3 keep it convex and CCW).
+fn quad_coords() -> impl Strategy<Value = [[f64; 2]; 4]> {
+    prop::collection::vec(-0.25..0.25f64, 8).prop_map(|d| {
+        [
+            [0.0 + d[0], 0.0 + d[1]],
+            [1.0 + d[2], 0.0 + d[3]],
+            [1.0 + d[4], 1.0 + d[5]],
+            [0.0 + d[6], 1.0 + d[7]],
+        ]
+    })
+}
+
+/// Strategy: a CCW triangle with area bounded away from zero.
+fn tri_coords() -> impl Strategy<Value = [[f64; 2]; 3]> {
+    prop::collection::vec(-0.2..0.2f64, 6).prop_map(|d| {
+        [
+            [0.0 + d[0], 0.0 + d[1]],
+            [1.0 + d[2], 0.0 + d[3]],
+            [0.3 + d[4], 1.0 + d[5]],
+        ]
+    })
+}
+
+fn matvec(n: usize, m: &[f64], x: &[f64]) -> Vec<f64> {
+    (0..n)
+        .map(|r| (0..n).map(|c| m[r * n + c] * x[c]).sum())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quad_stiffness_symmetric_psd_with_rigid_null_space(coords in quad_coords(),
+                                                          nu in 0.0..0.45f64) {
+        let mut mat = Material::unit();
+        mat.poissons_ratio = nu;
+        let ke = quad4::stiffness(&coords, &mat);
+        // Symmetry.
+        for r in 0..8 {
+            for c in 0..8 {
+                prop_assert!((ke[r * 8 + c] - ke[c * 8 + r]).abs() < 1e-10);
+            }
+        }
+        // Rigid modes in the null space.
+        let mut tx = [0.0; 8];
+        let mut ty = [0.0; 8];
+        let mut rot = [0.0; 8];
+        for i in 0..4 {
+            tx[2 * i] = 1.0;
+            ty[2 * i + 1] = 1.0;
+            rot[2 * i] = -coords[i][1];
+            rot[2 * i + 1] = coords[i][0];
+        }
+        for mode in [tx, ty, rot] {
+            for v in matvec(8, &ke, &mode) {
+                prop_assert!(v.abs() < 1e-8, "rigid force {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn quad_energy_nonnegative_for_random_displacements(coords in quad_coords(),
+                                                        u in prop::collection::vec(-2.0..2.0f64, 8)) {
+        let ke = quad4::stiffness(&coords, &Material::unit());
+        let ku = matvec(8, &ke, &u);
+        let e: f64 = u.iter().zip(&ku).map(|(a, b)| a * b).sum();
+        prop_assert!(e >= -1e-9, "negative energy {}", e);
+    }
+
+    #[test]
+    fn quad_mass_total_equals_density_area(coords in quad_coords()) {
+        let mat = Material::unit();
+        let me = quad4::consistent_mass(&coords, &mat);
+        // Shoelace area of the quadrilateral.
+        let mut area = 0.0;
+        for i in 0..4 {
+            let j = (i + 1) % 4;
+            area += coords[i][0] * coords[j][1] - coords[j][0] * coords[i][1];
+        }
+        area *= 0.5;
+        let mut tx = [0.0; 8];
+        for i in 0..4 {
+            tx[2 * i] = 1.0;
+        }
+        let mx = matvec(8, &me, &tx);
+        let total: f64 = tx.iter().zip(&mx).map(|(a, b)| a * b).sum();
+        prop_assert!((total - area).abs() < 1e-9 * area.max(1.0),
+            "mass {} vs area {}", total, area);
+    }
+
+    #[test]
+    fn lumped_mass_equals_consistent_row_sums(coords in quad_coords()) {
+        let mat = Material::unit();
+        let lm = quad4::lumped_mass(&coords, &mat);
+        let cm = quad4::consistent_mass(&coords, &mat);
+        for r in 0..8 {
+            let row_sum: f64 = (0..8).map(|c| cm[r * 8 + c]).sum();
+            prop_assert!((lm[r * 8 + r] - row_sum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tri_stiffness_invariants(coords in tri_coords()) {
+        let ke = tri3::stiffness(&coords, &Material::unit());
+        for r in 0..6 {
+            for c in 0..6 {
+                prop_assert!((ke[r * 6 + c] - ke[c * 6 + r]).abs() < 1e-10);
+            }
+        }
+        let mut rot = [0.0; 6];
+        for i in 0..3 {
+            rot[2 * i] = -coords[i][1];
+            rot[2 * i + 1] = coords[i][0];
+        }
+        for v in matvec(6, &ke, &rot) {
+            prop_assert!(v.abs() < 1e-9, "rigid rotation force {}", v);
+        }
+    }
+
+    #[test]
+    fn tri_translation_invariance(coords in tri_coords(),
+                                  shift in prop::collection::vec(-5.0..5.0f64, 2)) {
+        // Stiffness depends only on shape, not position.
+        let mat = Material::unit();
+        let k1 = tri3::stiffness(&coords, &mat);
+        let shifted = [
+            [coords[0][0] + shift[0], coords[0][1] + shift[1]],
+            [coords[1][0] + shift[0], coords[1][1] + shift[1]],
+            [coords[2][0] + shift[0], coords[2][1] + shift[1]],
+        ];
+        let k2 = tri3::stiffness(&shifted, &mat);
+        for i in 0..36 {
+            prop_assert!((k1[i] - k2[i]).abs() < 1e-9 * (1.0 + k1[i].abs()));
+        }
+    }
+}

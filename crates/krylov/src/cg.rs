@@ -1,0 +1,248 @@
+//! Preconditioned conjugate gradients — the textbook SPD baseline.
+//!
+//! The paper's systems are symmetric positive definite after boundary
+//! conditions, so CG is the natural yardstick for the GMRES-based solvers;
+//! it also exercises the [`Preconditioner`] trait from a second consumer.
+
+use crate::history::{ConvergenceHistory, StopReason};
+use parfem_precond::Preconditioner;
+use parfem_sparse::{dense, LinearOperator};
+
+/// Configuration for [`pcg`].
+#[derive(Debug, Clone, Copy)]
+pub struct CgConfig {
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Relative residual tolerance `‖r‖/‖r₀‖`.
+    pub tol: f64,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig {
+            max_iters: 10_000,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// Result of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// The convergence history.
+    pub history: ConvergenceHistory,
+}
+
+/// Solves the SPD system `A x = b` by preconditioned conjugate gradients.
+///
+/// The preconditioner must be symmetric positive definite for the method's
+/// theory to hold (polynomial preconditioners on an SPD operator are).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn pcg<Op, P>(op: &Op, precond: &P, b: &[f64], x0: &[f64], cfg: &CgConfig) -> CgResult
+where
+    Op: LinearOperator + ?Sized,
+    P: Preconditioner<Op> + ?Sized,
+{
+    let n = op.dim();
+    assert_eq!(b.len(), n, "pcg: b length mismatch");
+    assert_eq!(x0.len(), n, "pcg: x0 length mismatch");
+
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; n];
+    op.apply_into(&x, &mut r);
+    let ax = r.clone();
+    dense::sub_into(b, &ax, &mut r);
+    let r0_norm = dense::norm2(&r);
+    let mut residuals = vec![1.0];
+    if r0_norm == 0.0 {
+        return CgResult {
+            x,
+            history: ConvergenceHistory {
+                relative_residuals: residuals,
+                stop: StopReason::Converged,
+                restarts: 0,
+            },
+        };
+    }
+
+    let mut z = precond.apply(op, &r);
+    let mut p = z.clone();
+    let mut rz = dense::dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for _ in 0..cfg.max_iters {
+        op.apply_into(&p, &mut ap);
+        let pap = dense::dot(&p, &ap);
+        if pap <= 0.0 {
+            // Operator (or preconditioner) is not SPD on this subspace.
+            return CgResult {
+                x,
+                history: ConvergenceHistory {
+                    relative_residuals: residuals,
+                    stop: StopReason::Breakdown,
+                    restarts: 0,
+                },
+            };
+        }
+        let alpha = rz / pap;
+        dense::axpy(alpha, &p, &mut x);
+        dense::axpy(-alpha, &ap, &mut r);
+        let rel = dense::norm2(&r) / r0_norm;
+        residuals.push(rel);
+        if rel <= cfg.tol {
+            return CgResult {
+                x,
+                history: ConvergenceHistory {
+                    relative_residuals: residuals,
+                    stop: StopReason::Converged,
+                    restarts: 0,
+                },
+            };
+        }
+        precond.apply_into(op, &r, &mut z);
+        let rz_new = dense::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+
+    CgResult {
+        x,
+        history: ConvergenceHistory {
+            relative_residuals: residuals,
+            stop: StopReason::MaxIterations,
+            restarts: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_precond::{GlsPrecond, IdentityPrecond, JacobiPrecond};
+    use parfem_sparse::{scaling, CooMatrix, CsrMatrix};
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn solves_laplacian() {
+        let n = 32;
+        let a = laplacian(n);
+        let xe: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let b = a.spmv(&xe);
+        let cfg = CgConfig {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let res = pcg(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg);
+        assert!(res.history.converged());
+        for (xi, ei) in res.x.iter().zip(&xe) {
+            assert!((xi - ei).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cg_terminates_in_n_iterations_exactly() {
+        // Exact-arithmetic CG finishes in at most n steps.
+        let n = 10;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cfg = CgConfig {
+            tol: 1e-12,
+            max_iters: n + 2,
+        };
+        let res = pcg(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg);
+        assert!(res.history.converged());
+        assert!(res.history.iterations() <= n);
+    }
+
+    #[test]
+    fn gls_preconditioning_accelerates_cg() {
+        let n = 80;
+        let k = laplacian(n);
+        let f = vec![1.0; n];
+        let (a, b, _) = scaling::scale_system(&k, &f).unwrap();
+        let cfg = CgConfig {
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let plain = pcg(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg);
+        let gls = GlsPrecond::for_scaled_system(7);
+        let pre = pcg(&a, &gls, &b, &vec![0.0; n], &cfg);
+        assert!(plain.history.converged() && pre.history.converged());
+        assert!(
+            pre.history.iterations() * 2 < plain.history.iterations(),
+            "gls {} vs plain {}",
+            pre.history.iterations(),
+            plain.history.iterations()
+        );
+    }
+
+    #[test]
+    fn jacobi_cg_on_variable_diagonal() {
+        let mut coo = CooMatrix::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, (i + 1) as f64 * 2.0).unwrap();
+            if i + 1 < 6 {
+                coo.push(i, i + 1, -0.5).unwrap();
+                coo.push(i + 1, i, -0.5).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let b = vec![1.0; 6];
+        let p = JacobiPrecond::from_matrix(&a);
+        let res = pcg(&a, &p, &b, &[0.0; 6], &CgConfig::default());
+        assert!(res.history.converged());
+        let r = a.spmv(&res.x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_breakdown() {
+        let a = CsrMatrix::from_diagonal(&[1.0, -1.0]);
+        let b = [1.0, 1.0];
+        let res = pcg(&a, &IdentityPrecond, &b, &[0.0; 2], &CgConfig::default());
+        // Either it breaks down or fails to converge — never silently wrong.
+        assert!(
+            res.history.stop == StopReason::Breakdown
+                || res.history.stop == StopReason::MaxIterations
+                || {
+                    // If it "converged", the residual must actually be small.
+                    let r = a.spmv(&res.x);
+                    r.iter().zip(&b).all(|(ri, bi)| (ri - bi).abs() < 1e-5)
+                }
+        );
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = laplacian(4);
+        let res = pcg(
+            &a,
+            &IdentityPrecond,
+            &[0.0; 4],
+            &[0.0; 4],
+            &CgConfig::default(),
+        );
+        assert!(res.history.converged());
+        assert_eq!(res.history.iterations(), 0);
+    }
+}

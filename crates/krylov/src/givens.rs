@@ -1,0 +1,72 @@
+//! Givens plane rotations for the GMRES least-squares update.
+//!
+//! GMRES reduces the `(j+2)×(j+1)` Hessenberg least-squares problem
+//! `min‖βe₁ − H̄y‖` to triangular form one column at a time with plane
+//! rotations; the running `|g_{j+1}|` is exactly the current residual norm,
+//! giving the per-iteration convergence monitor for free.
+
+/// A plane rotation `(c, s)` with `c² + s² = 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct Givens {
+    /// Cosine component.
+    pub c: f64,
+    /// Sine component.
+    pub s: f64,
+}
+
+impl Givens {
+    /// Computes the rotation annihilating `b` against `a`:
+    /// `[c s; -s c]ᵀ [a; b] = [r; 0]` with `r = √(a² + b²)`.
+    pub fn compute(a: f64, b: f64) -> (Givens, f64) {
+        if b == 0.0 {
+            return (Givens { c: 1.0, s: 0.0 }, a);
+        }
+        let r = a.hypot(b);
+        (Givens { c: a / r, s: b / r }, r)
+    }
+
+    /// Applies the rotation to the pair `(x, y)`.
+    #[inline]
+    pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        (self.c * x + self.s * y, -self.s * x + self.c * y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_annihilates_second_component() {
+        let (g, r) = Givens::compute(3.0, 4.0);
+        assert!((r - 5.0).abs() < 1e-14);
+        let (x, y) = g.apply(3.0, 4.0);
+        assert!((x - 5.0).abs() < 1e-14);
+        assert!(y.abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_b_is_identity() {
+        let (g, r) = Givens::compute(7.0, 0.0);
+        assert_eq!(r, 7.0);
+        let (x, y) = g.apply(2.0, 3.0);
+        assert_eq!((x, y), (2.0, 3.0));
+    }
+
+    #[test]
+    fn rotation_preserves_norms() {
+        let (g, _) = Givens::compute(1.0, 2.0);
+        let (x, y) = g.apply(-3.0, 0.5);
+        let before = (-3.0f64).hypot(0.5);
+        let after = x.hypot(y);
+        assert!((before - after).abs() < 1e-14);
+    }
+
+    #[test]
+    fn negative_components() {
+        let (g, r) = Givens::compute(-3.0, -4.0);
+        assert!((r.abs() - 5.0).abs() < 1e-14);
+        let (_, y) = g.apply(-3.0, -4.0);
+        assert!(y.abs() < 1e-14);
+    }
+}

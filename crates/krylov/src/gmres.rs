@@ -1,0 +1,551 @@
+//! Restarted flexible GMRES (the paper's Algorithm 1).
+//!
+//! Flexible GMRES stores the preconditioned vectors `z_j = C v_j` and builds
+//! the solution update from them (`x = x₀ + Z y`), which permits a different
+//! preconditioner at every iteration — the property that lets the paper
+//! swap polynomial preconditioners freely. With right-style application
+//! (`w = A z_j`) the Givens residual estimate is the *true* residual norm,
+//! so the convergence monitor `‖r_i‖/‖r₀‖ ≤ tol` of the paper's Section 6
+//! comes for free.
+//!
+//! Orthogonalization is **classical Gram–Schmidt**, matching the parallel
+//! Algorithms 5/6/8 (classical GS batches the inner products into one
+//! global reduction, which is why the paper chooses it); the restart
+//! dimension default is the paper's `m̃ = 25`.
+
+use crate::givens::Givens;
+use crate::history::{ConvergenceHistory, StopReason};
+use parfem_precond::Preconditioner;
+use parfem_sparse::{dense, LinearOperator};
+
+/// Arnoldi orthogonalization scheme.
+///
+/// The paper's parallel algorithms use **classical** Gram–Schmidt because
+/// it batches all inner products of an iteration into a single global
+/// reduction; **modified** Gram–Schmidt is numerically sturdier but costs
+/// one reduction per basis vector in a distributed setting. The sequential
+/// solver offers both for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Orthogonalization {
+    /// Classical Gram–Schmidt (one batched reduction; the paper's choice).
+    #[default]
+    Classical,
+    /// Modified Gram–Schmidt (sequential projections).
+    Modified,
+}
+
+/// Configuration for [`fgmres`].
+#[derive(Debug, Clone, Copy)]
+pub struct GmresConfig {
+    /// Krylov subspace dimension between restarts (the paper's `m̃`).
+    pub restart: usize,
+    /// Maximum total inner iterations.
+    pub max_iters: usize,
+    /// Relative residual tolerance `‖r‖/‖r₀‖` (the paper uses `1e-6`).
+    pub tol: f64,
+    /// Gram–Schmidt variant.
+    pub ortho: Orthogonalization,
+}
+
+impl Default for GmresConfig {
+    fn default() -> Self {
+        GmresConfig {
+            restart: 25,
+            max_iters: 10_000,
+            tol: 1e-6,
+            ortho: Orthogonalization::Classical,
+        }
+    }
+}
+
+/// Result of a GMRES solve.
+#[derive(Debug, Clone)]
+pub struct GmresResult {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// The convergence history.
+    pub history: ConvergenceHistory,
+}
+
+/// Solves `A x = b` by restarted flexible GMRES.
+///
+/// ```
+/// use parfem_krylov::{fgmres, GmresConfig};
+/// use parfem_precond::IdentityPrecond;
+/// use parfem_sparse::CsrMatrix;
+///
+/// let a = CsrMatrix::from_dense(2, 2, &[2.0, -1.0, -1.0, 2.0]);
+/// let res = fgmres(&a, &IdentityPrecond, &[1.0, 0.0], &[0.0, 0.0],
+///                  &GmresConfig::default());
+/// assert!(res.history.converged());
+/// assert!((res.x[0] - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+///
+/// # Panics
+/// Panics on dimension mismatches or a zero restart dimension.
+pub fn fgmres<Op, P>(
+    op: &Op,
+    precond: &P,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &GmresConfig,
+) -> GmresResult
+where
+    Op: LinearOperator + ?Sized,
+    P: Preconditioner<Op> + ?Sized,
+{
+    let n = op.dim();
+    assert_eq!(b.len(), n, "fgmres: b length mismatch");
+    assert_eq!(x0.len(), n, "fgmres: x0 length mismatch");
+    assert!(cfg.restart > 0, "fgmres: restart dimension must be positive");
+    let m = cfg.restart;
+
+    let mut x = x0.to_vec();
+    let mut residuals = Vec::new();
+    let mut restarts = 0usize;
+    let mut total_iters = 0usize;
+
+    // Initial residual.
+    let mut r = vec![0.0; n];
+    op.apply_into(&x, &mut r);
+    dense::sub_into(b, &r.clone(), &mut r);
+    let r0_norm = dense::norm2(&r);
+    residuals.push(1.0);
+    if r0_norm == 0.0 {
+        return GmresResult {
+            x,
+            history: ConvergenceHistory {
+                relative_residuals: residuals,
+                stop: StopReason::Converged,
+                restarts: 0,
+            },
+        };
+    }
+
+    // Breakdown threshold relative to the initial residual scale.
+    let breakdown_tol = 1e-14 * r0_norm;
+
+    loop {
+        let beta = dense::norm2(&r);
+        if beta / r0_norm <= cfg.tol {
+            return GmresResult {
+                x,
+                history: ConvergenceHistory {
+                    relative_residuals: residuals,
+                    stop: StopReason::Converged,
+                    restarts,
+                },
+            };
+        }
+        // Arnoldi basis V, flexible vectors Z, Hessenberg columns (upper
+        // triangular after rotations), rotations, and the rhs g.
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        let mut z: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut rotations: Vec<Givens> = Vec::with_capacity(m);
+        let mut g = vec![0.0; m + 1];
+        g[0] = beta;
+        let mut v0 = r.clone();
+        dense::scale(1.0 / beta, &mut v0);
+        v.push(v0);
+
+        let mut j_done = 0usize;
+        let mut stop: Option<StopReason> = None;
+
+        for j in 0..m {
+            if total_iters >= cfg.max_iters {
+                stop = Some(StopReason::MaxIterations);
+                break;
+            }
+            total_iters += 1;
+            // Flexible preconditioning z_j = C v_j.
+            let zj = precond.apply(op, &v[j]);
+            let mut w = vec![0.0; n];
+            op.apply_into(&zj, &mut w);
+            z.push(zj);
+
+            let mut hcol = vec![0.0; j + 2];
+            match cfg.ortho {
+                Orthogonalization::Classical => {
+                    // All projections off the same w (batchable dots).
+                    for (i, vi) in v.iter().enumerate() {
+                        hcol[i] = dense::dot(&w, vi);
+                    }
+                    for (i, vi) in v.iter().enumerate() {
+                        dense::axpy(-hcol[i], vi, &mut w);
+                    }
+                }
+                Orthogonalization::Modified => {
+                    // Sequential projections off the running w.
+                    for (i, vi) in v.iter().enumerate() {
+                        let h = dense::dot(&w, vi);
+                        dense::axpy(-h, vi, &mut w);
+                        hcol[i] = h;
+                    }
+                }
+            }
+            let h_next = dense::norm2(&w);
+            hcol[j + 1] = h_next;
+
+            // Apply accumulated rotations to the new column.
+            for (i, rot) in rotations.iter().enumerate() {
+                let (a, b2) = rot.apply(hcol[i], hcol[i + 1]);
+                hcol[i] = a;
+                hcol[i + 1] = b2;
+            }
+            let (rot, rr) = Givens::compute(hcol[j], hcol[j + 1]);
+            hcol[j] = rr;
+            hcol[j + 1] = 0.0;
+            let (g0, g1) = rot.apply(g[j], g[j + 1]);
+            g[j] = g0;
+            g[j + 1] = g1;
+            rotations.push(rot);
+            h_cols.push(hcol);
+            j_done = j + 1;
+
+            let rel = g[j + 1].abs() / r0_norm;
+            residuals.push(rel);
+
+            if rel <= cfg.tol {
+                stop = Some(StopReason::Converged);
+                break;
+            }
+            if h_next <= breakdown_tol {
+                // Invariant subspace: the least-squares solution is exact.
+                stop = Some(StopReason::Breakdown);
+                break;
+            }
+            let mut vj1 = w;
+            dense::scale(1.0 / h_next, &mut vj1);
+            v.push(vj1);
+        }
+
+        // Solve the triangular system R y = g for the iterations done.
+        if j_done > 0 {
+            let mut y = vec![0.0; j_done];
+            for i in (0..j_done).rev() {
+                let mut acc = g[i];
+                for k in (i + 1)..j_done {
+                    acc -= h_cols[k][i] * y[k];
+                }
+                y[i] = acc / h_cols[i][i];
+            }
+            for (k, yk) in y.iter().enumerate() {
+                dense::axpy(*yk, &z[k], &mut x);
+            }
+        }
+
+        match stop {
+            Some(reason @ (StopReason::Converged | StopReason::Breakdown)) => {
+                return GmresResult {
+                    x,
+                    history: ConvergenceHistory {
+                        relative_residuals: residuals,
+                        stop: reason,
+                        restarts,
+                    },
+                };
+            }
+            Some(StopReason::MaxIterations) => {
+                return GmresResult {
+                    x,
+                    history: ConvergenceHistory {
+                        relative_residuals: residuals,
+                        stop: StopReason::MaxIterations,
+                        restarts,
+                    },
+                };
+            }
+            None => {
+                // Restart: recompute the true residual.
+                restarts += 1;
+                op.apply_into(&x, &mut r);
+                let ax = r.clone();
+                dense::sub_into(b, &ax, &mut r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_precond::{GlsPrecond, IdentityPrecond, Ilu0Precond, JacobiPrecond};
+    use parfem_sparse::{scaling, CooMatrix, CsrMatrix};
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn residual_norm(a: &CsrMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.spmv(x);
+        ax.iter()
+            .zip(b)
+            .map(|(p, q)| (p - q).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn identity_system_converges_immediately() {
+        let a = CsrMatrix::identity(5);
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let res = fgmres(&a, &IdentityPrecond, &b, &[0.0; 5], &GmresConfig::default());
+        assert!(res.history.converged());
+        assert!(res.history.iterations() <= 1);
+        for (xi, bi) in res.x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_x0() {
+        let a = laplacian(4);
+        let res = fgmres(
+            &a,
+            &IdentityPrecond,
+            &[0.0; 4],
+            &[0.0; 4],
+            &GmresConfig::default(),
+        );
+        assert!(res.history.converged());
+        assert_eq!(res.x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn diagonal_matrix_converges_in_distinct_eigenvalue_count() {
+        // GMRES terminates in at most (#distinct eigenvalues) iterations.
+        let a = CsrMatrix::from_diagonal(&[1.0, 1.0, 2.0, 2.0, 3.0]);
+        let b = [1.0, 1.0, 1.0, 1.0, 1.0];
+        let cfg = GmresConfig {
+            tol: 1e-12,
+            ..Default::default()
+        };
+        let res = fgmres(&a, &IdentityPrecond, &b, &[0.0; 5], &cfg);
+        assert!(res.history.converged());
+        assert!(
+            res.history.iterations() <= 3,
+            "took {} iterations",
+            res.history.iterations()
+        );
+    }
+
+    #[test]
+    fn laplacian_solution_matches_reference() {
+        let n = 24;
+        let a = laplacian(n);
+        let x_exact: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let b = a.spmv(&x_exact);
+        let cfg = GmresConfig {
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let res = fgmres(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg);
+        assert!(res.history.converged());
+        for (xi, ei) in res.x.iter().zip(&x_exact) {
+            assert!((xi - ei).abs() < 1e-7, "{xi} vs {ei}");
+        }
+    }
+
+    #[test]
+    fn restart_still_converges() {
+        let n = 30;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cfg = GmresConfig {
+            restart: 5,
+            max_iters: 5000,
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let res = fgmres(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg);
+        assert!(res.history.converged());
+        assert!(res.history.restarts > 0, "restart must have happened");
+        assert!(residual_norm(&a, &res.x, &b) < 1e-6);
+    }
+
+    #[test]
+    fn residual_history_is_monotone_within_cycles() {
+        // GMRES minimizes the residual over a growing subspace, so within a
+        // restart cycle it never increases.
+        let n = 20;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cfg = GmresConfig {
+            restart: 25,
+            max_iters: 200,
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let res = fgmres(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg);
+        let h = &res.history.relative_residuals;
+        for w in h.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn gls_preconditioning_cuts_iterations() {
+        // Diagonally scale the Laplacian so sigma in (0, 1), then compare
+        // identity vs GLS(7) — the paper's headline comparison.
+        let n = 60;
+        let k = laplacian(n);
+        let f = vec![1.0; n];
+        let (a, b, _) = scaling::scale_system(&k, &f).unwrap();
+        let cfg = GmresConfig {
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let plain = fgmres(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg);
+        let gls = GlsPrecond::for_scaled_system(7);
+        let pre = fgmres(&a, &gls, &b, &vec![0.0; n], &cfg);
+        assert!(plain.history.converged() && pre.history.converged());
+        assert!(
+            pre.history.iterations() * 2 < plain.history.iterations(),
+            "gls {} vs plain {}",
+            pre.history.iterations(),
+            plain.history.iterations()
+        );
+    }
+
+    #[test]
+    fn ilu0_preconditioning_converges_fast_on_tridiagonal() {
+        // ILU(0) on a tridiagonal matrix is the exact LU: 1 iteration.
+        let n = 40;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let p = Ilu0Precond::factorize(&a).unwrap();
+        let res = fgmres(&a, &p, &b, &vec![0.0; n], &GmresConfig::default());
+        assert!(res.history.converged());
+        assert!(
+            res.history.iterations() <= 2,
+            "took {}",
+            res.history.iterations()
+        );
+    }
+
+    #[test]
+    fn jacobi_preconditioning_matches_identity_for_constant_diagonal() {
+        // With a constant diagonal, Jacobi is a scalar multiple of the
+        // identity: GMRES iteration counts must match exactly.
+        let n = 25;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cfg = GmresConfig {
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let rj = fgmres(&a, &JacobiPrecond::from_matrix(&a), &b, &vec![0.0; n], &cfg);
+        let ri = fgmres(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg);
+        assert_eq!(rj.history.iterations(), ri.history.iterations());
+    }
+
+    #[test]
+    fn max_iterations_is_honoured() {
+        let n = 50;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cfg = GmresConfig {
+            restart: 5,
+            max_iters: 7,
+            tol: 1e-14,
+            ..Default::default()
+        };
+        let res = fgmres(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg);
+        assert_eq!(res.history.stop, StopReason::MaxIterations);
+        assert_eq!(res.history.iterations(), 7);
+    }
+
+    #[test]
+    fn nonzero_initial_guess_is_used() {
+        let n = 16;
+        let a = laplacian(n);
+        let x_exact: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b = a.spmv(&x_exact);
+        // Start from the exact solution: zero iterations.
+        let res = fgmres(&a, &IdentityPrecond, &b, &x_exact, &GmresConfig::default());
+        assert!(res.history.converged());
+        assert_eq!(res.history.iterations(), 0);
+    }
+
+    #[test]
+    fn flexible_gmres_supports_changing_preconditioners() {
+        // The defining FGMRES capability (paper Sec. 2.3): the
+        // preconditioner may differ at every iteration. An escalating-degree
+        // GLS schedule must still converge to the right answer.
+        use parfem_precond::EscalatingGls;
+        let n = 50;
+        let k = laplacian(n);
+        let f = vec![1.0; n];
+        let (a, b, sc) = parfem_sparse::scaling::scale_system(&k, &f).unwrap();
+        let p = EscalatingGls::default_for_scaled_system(4);
+        let cfg = GmresConfig {
+            tol: 1e-9,
+            ..Default::default()
+        };
+        let res = fgmres(&a, &p, &b, &vec![0.0; n], &cfg);
+        assert!(res.history.converged());
+        assert!(p.applications() == res.history.iterations());
+        let u = sc.unscale_solution(&res.x);
+        let r = k.spmv(&u);
+        for (ri, fi) in r.iter().zip(&f) {
+            assert!((ri - fi).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn modified_gram_schmidt_agrees_with_classical() {
+        let n = 40;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cgs = GmresConfig {
+            tol: 1e-10,
+            ortho: Orthogonalization::Classical,
+            ..Default::default()
+        };
+        let mgs = GmresConfig {
+            tol: 1e-10,
+            ortho: Orthogonalization::Modified,
+            ..Default::default()
+        };
+        let rc = fgmres(&a, &IdentityPrecond, &b, &vec![0.0; n], &cgs);
+        let rm = fgmres(&a, &IdentityPrecond, &b, &vec![0.0; n], &mgs);
+        assert!(rc.history.converged() && rm.history.converged());
+        // On a well-conditioned problem the iterate counts coincide.
+        assert!(
+            rc.history.iterations().abs_diff(rm.history.iterations()) <= 1,
+            "cgs {} vs mgs {}",
+            rc.history.iterations(),
+            rm.history.iterations()
+        );
+        for (x, y) in rc.x.iter().zip(&rm.x) {
+            assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn breakdown_produces_exact_solution() {
+        // A 2x2 system where the Krylov space closes after one step when
+        // started in an eigvector direction: A = diag(2, 3), b = e1.
+        let a = CsrMatrix::from_diagonal(&[2.0, 3.0]);
+        let b = [4.0, 0.0];
+        let cfg = GmresConfig {
+            tol: 1e-30, // force the breakdown path rather than tol-stop
+            max_iters: 10,
+            restart: 5,
+            ..Default::default()
+        };
+        let res = fgmres(&a, &IdentityPrecond, &b, &[0.0; 2], &cfg);
+        assert!(res.history.converged());
+        assert!((res.x[0] - 2.0).abs() < 1e-12);
+        assert!(res.x[1].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+//! Convergence histories.
+
+/// Why a solve stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The relative residual dropped below the tolerance.
+    Converged,
+    /// The iteration budget was exhausted.
+    MaxIterations,
+    /// The Arnoldi process broke down with an (numerically) invariant
+    /// subspace — for a consistent system this implies an exact solution.
+    Breakdown,
+}
+
+/// Per-iteration record of a Krylov solve.
+#[derive(Debug, Clone)]
+pub struct ConvergenceHistory {
+    /// Relative residual norms `‖r_i‖₂ / ‖r_0‖₂`, starting at 1.
+    pub relative_residuals: Vec<f64>,
+    /// Why the iteration stopped.
+    pub stop: StopReason,
+    /// Number of restart cycles performed (GMRES only; 0 otherwise).
+    pub restarts: usize,
+}
+
+impl ConvergenceHistory {
+    /// Total inner iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.relative_residuals.len().saturating_sub(1)
+    }
+
+    /// Whether the solve converged.
+    pub fn converged(&self) -> bool {
+        self.stop == StopReason::Converged || self.stop == StopReason::Breakdown
+    }
+
+    /// The final relative residual.
+    pub fn final_residual(&self) -> f64 {
+        *self
+            .relative_residuals
+            .last()
+            .expect("history always holds the initial residual")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_accessors() {
+        let h = ConvergenceHistory {
+            relative_residuals: vec![1.0, 0.1, 1e-7],
+            stop: StopReason::Converged,
+            restarts: 0,
+        };
+        assert_eq!(h.iterations(), 2);
+        assert!(h.converged());
+        assert_eq!(h.final_residual(), 1e-7);
+    }
+
+    #[test]
+    fn non_convergence_is_reported() {
+        let h = ConvergenceHistory {
+            relative_residuals: vec![1.0, 0.9],
+            stop: StopReason::MaxIterations,
+            restarts: 3,
+        };
+        assert!(!h.converged());
+        assert_eq!(h.restarts, 3);
+    }
+}

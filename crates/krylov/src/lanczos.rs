@@ -1,0 +1,261 @@
+//! Lanczos spectrum estimation (Ritz values).
+//!
+//! The paper's Fig. 10 shows GLS convergence is governed by the quality of
+//! the spectrum estimate `Θ`; after norm-1 scaling it settles for the safe
+//! `Θ = (ε, 1)`. The practical instrument for a *sharper* estimate is a
+//! short Lanczos run: for symmetric `A` the Krylov process produces a small
+//! tridiagonal matrix whose eigenvalues (Ritz values) converge to `σ(A)`'s
+//! extremes first. Thirty matvecs typically pin `λ_max` to several digits
+//! and give a usable `λ_min` floor.
+
+use parfem_sparse::{dense, LinearOperator};
+
+/// Runs `steps` Lanczos iterations on the symmetric operator `op` with full
+/// reorthogonalization (robust for estimation purposes), returning the
+/// tridiagonal coefficients `(alpha, beta)` with `alpha.len() == k` and
+/// `beta.len() == k-1` for the `k ≤ steps` completed steps.
+///
+/// # Panics
+/// Panics for a zero-dimensional operator.
+pub fn lanczos_tridiagonal<Op: LinearOperator + ?Sized>(
+    op: &Op,
+    steps: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = op.dim();
+    assert!(n > 0, "lanczos: empty operator");
+    let steps = steps.min(n);
+
+    // Deterministic pseudo-random start.
+    let mut state = 0x243f_6a88_85a3_08d3_u64;
+    let mut v: Vec<f64> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+    let nv = dense::norm2(&v).max(1e-300);
+    dense::scale(1.0 / nv, &mut v);
+
+    let mut basis: Vec<Vec<f64>> = vec![v.clone()];
+    let mut alpha = Vec::with_capacity(steps);
+    let mut beta: Vec<f64> = Vec::with_capacity(steps.saturating_sub(1));
+    let mut w = vec![0.0; n];
+
+    for k in 0..steps {
+        op.apply_into(&basis[k], &mut w);
+        let a_k = dense::dot(&w, &basis[k]);
+        alpha.push(a_k);
+        // w -= alpha_k v_k + beta_{k-1} v_{k-1}; then full reorth.
+        dense::axpy(-a_k, &basis[k], &mut w);
+        if k > 0 {
+            dense::axpy(-beta[k - 1], &basis[k - 1], &mut w);
+        }
+        for vb in &basis {
+            let h = dense::dot(&w, vb);
+            dense::axpy(-h, vb, &mut w);
+        }
+        let b_k = dense::norm2(&w);
+        if k + 1 == steps {
+            break;
+        }
+        if b_k < 1e-13 * alpha[0].abs().max(1.0) {
+            break; // invariant subspace: Ritz values are exact
+        }
+        beta.push(b_k);
+        let mut v_next = w.clone();
+        dense::scale(1.0 / b_k, &mut v_next);
+        basis.push(v_next);
+    }
+    (alpha, beta)
+}
+
+/// Eigenvalues of the symmetric tridiagonal matrix with diagonal `alpha`
+/// and off-diagonal `beta`, by the implicit-shift QL algorithm, ascending.
+///
+/// # Panics
+/// Panics on inconsistent lengths or failure to converge (more than 50
+/// sweeps per eigenvalue — unreachable for well-formed input).
+pub fn sym_tridiag_eigenvalues(alpha: &[f64], beta: &[f64]) -> Vec<f64> {
+    let n = alpha.len();
+    assert!(
+        beta.len() + 1 == n || (n == 0 && beta.is_empty()),
+        "tridiagonal shape mismatch"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut d = alpha.to_vec();
+    // e[0..n-1] sub-diagonal, e[n-1] scratch zero.
+    let mut e = vec![0.0; n];
+    e[..(n - 1)].copy_from_slice(beta);
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "QL failed to converge");
+            // Implicit shift from the 2x2 at the bottom of the block.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0, 1.0);
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                f = 0.0;
+                let _ = f;
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    d.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN eigenvalues"));
+    d
+}
+
+/// Estimated spectrum `(λ_min, λ_max)` of a symmetric operator from `steps`
+/// Lanczos iterations, with small safety margins (Ritz values bracket the
+/// spectrum from inside: the max is inflated by 2%, the min deflated by
+/// 50% because the smallest Ritz value converges slowest).
+pub fn estimate_spectrum<Op: LinearOperator + ?Sized>(op: &Op, steps: usize) -> (f64, f64) {
+    let (alpha, beta) = lanczos_tridiagonal(op, steps);
+    let eigs = sym_tridiag_eigenvalues(&alpha, &beta);
+    let lmin = *eigs.first().expect("at least one Ritz value");
+    let lmax = *eigs.last().expect("at least one Ritz value");
+    (lmin * 0.5, lmax * 1.02)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_sparse::{CooMatrix, CsrMatrix};
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn laplacian_extremes(n: usize) -> (f64, f64) {
+        let h = std::f64::consts::PI / (n as f64 + 1.0);
+        (2.0 - 2.0 * h.cos(), 2.0 - 2.0 * ((n as f64) * h).cos())
+    }
+
+    #[test]
+    fn tridiag_eigenvalues_of_known_matrices() {
+        // Diagonal matrix: eigenvalues are the diagonal.
+        let eigs = sym_tridiag_eigenvalues(&[3.0, 1.0, 2.0], &[0.0, 0.0]);
+        assert_eq!(eigs.len(), 3);
+        assert!((eigs[0] - 1.0).abs() < 1e-12);
+        assert!((eigs[2] - 3.0).abs() < 1e-12);
+
+        // 2x2 [[2, 1], [1, 2]]: eigenvalues 1, 3.
+        let eigs = sym_tridiag_eigenvalues(&[2.0, 2.0], &[1.0]);
+        assert!((eigs[0] - 1.0).abs() < 1e-12);
+        assert!((eigs[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tridiag_eigenvalues_match_laplacian_closed_form() {
+        // The full tridiagonal Laplacian: all eigenvalues known.
+        let n = 12;
+        let alpha = vec![2.0; n];
+        let beta = vec![-1.0; n - 1];
+        let eigs = sym_tridiag_eigenvalues(&alpha, &beta);
+        let h = std::f64::consts::PI / (n as f64 + 1.0);
+        for (k, e) in eigs.iter().enumerate() {
+            let exact = 2.0 - 2.0 * ((k as f64 + 1.0) * h).cos();
+            assert!((e - exact).abs() < 1e-10, "eig {k}: {e} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn lanczos_ritz_values_bracket_the_spectrum() {
+        let a = laplacian(60);
+        let (alpha, beta) = lanczos_tridiagonal(&a, 25);
+        let eigs = sym_tridiag_eigenvalues(&alpha, &beta);
+        let (lmin, lmax) = laplacian_extremes(60);
+        // Ritz values are inside the spectrum...
+        assert!(*eigs.first().unwrap() >= lmin - 1e-10);
+        assert!(*eigs.last().unwrap() <= lmax + 1e-10);
+        // ...and the top one converges fast (the Laplacian's top eigenvalues
+        // cluster, so "fast" here means a few parts in a thousand).
+        assert!(
+            (eigs.last().unwrap() - lmax).abs() < 5e-3 * lmax,
+            "top Ritz {} vs {}",
+            eigs.last().unwrap(),
+            lmax
+        );
+    }
+
+    #[test]
+    fn estimate_spectrum_brackets_with_margins() {
+        let a = laplacian(40);
+        let (lo, hi) = estimate_spectrum(&a, 30);
+        let (lmin, lmax) = laplacian_extremes(40);
+        assert!(lo <= lmin, "floor {lo} must not exceed lambda_min {lmin}");
+        assert!(hi >= lmax, "cap {hi} must cover lambda_max {lmax}");
+        assert!(hi < 1.2 * lmax, "cap {hi} not wildly loose");
+    }
+
+    #[test]
+    fn lanczos_exact_on_small_operators() {
+        // steps >= n: Ritz values equal the exact spectrum.
+        let a = laplacian(6);
+        let (alpha, beta) = lanczos_tridiagonal(&a, 6);
+        let eigs = sym_tridiag_eigenvalues(&alpha, &beta);
+        let h = std::f64::consts::PI / 7.0;
+        for (k, e) in eigs.iter().enumerate() {
+            let exact = 2.0 - 2.0 * ((k as f64 + 1.0) * h).cos();
+            assert!((e - exact).abs() < 1e-8, "eig {k}: {e} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn single_step_gives_rayleigh_quotient() {
+        let a = CsrMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        let (alpha, beta) = lanczos_tridiagonal(&a, 1);
+        assert_eq!(alpha.len(), 1);
+        assert!(beta.is_empty());
+        assert!(alpha[0] >= 1.0 && alpha[0] <= 3.0);
+    }
+}

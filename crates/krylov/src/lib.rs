@@ -1,0 +1,27 @@
+//! Sequential Krylov solvers for the `parfem` stack.
+//!
+//! - [`gmres`] — restarted flexible GMRES (the paper's Algorithm 1): Arnoldi
+//!   with classical Gram–Schmidt (the variant the paper parallelizes),
+//!   Givens-rotation least squares, and flexible per-iteration
+//!   preconditioning,
+//! - [`cg`] — conjugate gradients, the textbook SPD baseline,
+//! - [`history`] — convergence histories consumed by the experiment harness
+//!   (the per-iteration relative residuals plotted in Figs. 10–14).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Indexed `for r in 0..n` loops are the idiomatic form for the sparse/FEM
+// kernels in this workspace (the index feeds several arrays and the CSR
+// row spans at once); the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod cg;
+pub mod givens;
+pub mod gmres;
+pub mod history;
+pub mod lanczos;
+
+pub use gmres::{fgmres, GmresConfig, Orthogonalization};
+pub use lanczos::estimate_spectrum;
+pub use history::{ConvergenceHistory, StopReason};

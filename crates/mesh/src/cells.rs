@@ -1,0 +1,78 @@
+//! The [`Cells`] abstraction: any mesh as a list of node-connected cells.
+//!
+//! Partitioning, interface discovery and subdomain construction only need
+//! connectivity — not geometry or element order. Abstracting it lets the
+//! element-based decomposition machinery run unchanged over 4-node
+//! quadrilaterals, 3-node triangles and 8-node serendipity quadrilaterals,
+//! which is what the Section-5 element-family comparisons need.
+
+use crate::quad8::Quad8Mesh;
+use crate::structured::QuadMesh;
+use crate::tri::TriMesh;
+
+/// A mesh viewed as cells over shared nodes.
+pub trait Cells {
+    /// Total number of nodes.
+    fn n_cell_nodes(&self) -> usize;
+    /// Total number of cells.
+    fn n_cells(&self) -> usize;
+    /// Node ids of cell `e`.
+    fn cell_nodes(&self, e: usize) -> Vec<usize>;
+}
+
+impl Cells for QuadMesh {
+    fn n_cell_nodes(&self) -> usize {
+        self.n_nodes()
+    }
+    fn n_cells(&self) -> usize {
+        self.n_elems()
+    }
+    fn cell_nodes(&self, e: usize) -> Vec<usize> {
+        self.elem_nodes(e).to_vec()
+    }
+}
+
+impl Cells for TriMesh {
+    fn n_cell_nodes(&self) -> usize {
+        self.n_nodes()
+    }
+    fn n_cells(&self) -> usize {
+        self.n_elems()
+    }
+    fn cell_nodes(&self, e: usize) -> Vec<usize> {
+        self.elem_nodes(e).to_vec()
+    }
+}
+
+impl Cells for Quad8Mesh {
+    fn n_cell_nodes(&self) -> usize {
+        self.n_nodes()
+    }
+    fn n_cells(&self) -> usize {
+        self.n_elems()
+    }
+    fn cell_nodes(&self, e: usize) -> Vec<usize> {
+        self.elem_nodes(e).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_meshes_implement_cells() {
+        let q = QuadMesh::rectangle(3, 2, 3.0, 2.0);
+        assert_eq!(Cells::n_cells(&q), 6);
+        assert_eq!(Cells::cell_nodes(&q, 0).len(), 4);
+
+        let t = TriMesh::from_quad_mesh(&q);
+        assert_eq!(Cells::n_cells(&t), 12);
+        assert_eq!(Cells::cell_nodes(&t, 0).len(), 3);
+        assert_eq!(Cells::n_cell_nodes(&t), Cells::n_cell_nodes(&q));
+
+        let e = Quad8Mesh::rectangle(3, 2, 3.0, 2.0);
+        assert_eq!(Cells::n_cells(&e), 6);
+        assert_eq!(Cells::cell_nodes(&e, 0).len(), 8);
+    }
+}

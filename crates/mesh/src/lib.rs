@@ -1,0 +1,36 @@
+//! Meshes and domain partitioning for the `parfem` solver stack.
+//!
+//! - [`structured`] — structured 2-D quadrilateral meshes (the cantilever
+//!   meshes Mesh1–Mesh10 of the paper's Table 2),
+//! - [`numbering`] — DOF numbering (2 displacement DOFs per node) and
+//!   Dirichlet constraint sets,
+//! - [`partition`] — element-based partitions (the paper's EDD, Section 3)
+//!   and node-based partitions (the RDD baseline, Section 4), including the
+//!   subdomain interface graphs that drive nearest-neighbour communication,
+//! - [`graph`] — mesh adjacency graphs and a greedy BFS partitioner for
+//!   unstructured input.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Indexed `for r in 0..n` loops are the idiomatic form for the sparse/FEM
+// kernels in this workspace (the index feeds several arrays and the CSR
+// row spans at once); the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod cells;
+pub mod generic;
+pub mod graph;
+pub mod numbering;
+pub mod partition;
+pub mod quad8;
+pub mod structured;
+pub mod tri;
+
+pub use cells::Cells;
+pub use generic::GenericQuadMesh;
+pub use numbering::{DofMap, Edge};
+pub use partition::{ElementPartition, NodePartition, Subdomain};
+pub use quad8::Quad8Mesh;
+pub use structured::QuadMesh;
+pub use tri::TriMesh;

@@ -1,0 +1,188 @@
+//! DOF numbering and Dirichlet constraint bookkeeping.
+//!
+//! Each node of a 2-D elasticity mesh carries two displacement DOFs
+//! `(u_x, u_y)`; DOF `2*node + c` is component `c` of `node`. Constrained
+//! (Dirichlet) DOFs keep their global numbers — the assembly replaces their
+//! equations with identity rows instead of renumbering, which is what lets
+//! the element-based decomposition avoid any reordering (paper claim ii).
+
+use crate::structured::QuadMesh;
+
+/// A boundary edge of the rectangular domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// `x = 0`.
+    Left,
+    /// `x = lx`.
+    Right,
+    /// `y = 0`.
+    Bottom,
+    /// `y = ly`.
+    Top,
+}
+
+/// Number of displacement DOFs per node in 2-D elasticity.
+pub const DOFS_PER_NODE: usize = 2;
+
+/// Maps nodes to global DOFs and tracks Dirichlet constraints.
+#[derive(Debug, Clone)]
+pub struct DofMap {
+    n_nodes: usize,
+    /// `fixed[d]` is true when DOF `d` is Dirichlet-constrained.
+    fixed: Vec<bool>,
+    /// Prescribed values for constrained DOFs (same length as `fixed`).
+    values: Vec<f64>,
+}
+
+impl DofMap {
+    /// An unconstrained DOF map over `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> Self {
+        DofMap {
+            n_nodes,
+            fixed: vec![false; n_nodes * DOFS_PER_NODE],
+            values: vec![0.0; n_nodes * DOFS_PER_NODE],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Total number of DOFs (constrained + free).
+    pub fn n_dofs(&self) -> usize {
+        self.n_nodes * DOFS_PER_NODE
+    }
+
+    /// Number of unconstrained DOFs (the paper's `nEqn`).
+    pub fn n_free(&self) -> usize {
+        self.fixed.iter().filter(|&&f| !f).count()
+    }
+
+    /// The global DOF of component `c` (0 = x, 1 = y) of `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` or `c` is out of range.
+    #[inline]
+    pub fn dof(&self, node: usize, c: usize) -> usize {
+        assert!(node < self.n_nodes, "node out of range");
+        assert!(c < DOFS_PER_NODE, "component out of range");
+        node * DOFS_PER_NODE + c
+    }
+
+    /// The global DOFs of a 4-node element, in the element-local order
+    /// `[u0x, u0y, u1x, u1y, u2x, u2y, u3x, u3y]`.
+    pub fn elem_dofs(&self, nodes: [usize; 4]) -> [usize; 8] {
+        let mut out = [0usize; 8];
+        for (k, &n) in nodes.iter().enumerate() {
+            out[2 * k] = self.dof(n, 0);
+            out[2 * k + 1] = self.dof(n, 1);
+        }
+        out
+    }
+
+    /// Constrains a single DOF to `value`.
+    pub fn fix_dof(&mut self, dof: usize, value: f64) {
+        self.fixed[dof] = true;
+        self.values[dof] = value;
+    }
+
+    /// Constrains both components of `node` to zero (a clamped node).
+    pub fn clamp_node(&mut self, node: usize) {
+        self.fix_dof(self.dof(node, 0), 0.0);
+        self.fix_dof(self.dof(node, 1), 0.0);
+    }
+
+    /// Clamps every node of a boundary edge (the paper's cantilever root).
+    pub fn clamp_edge(&mut self, mesh: &QuadMesh, edge: Edge) {
+        for node in mesh.edge_nodes(edge) {
+            self.clamp_node(node);
+        }
+    }
+
+    /// Whether DOF `d` is constrained.
+    #[inline]
+    pub fn is_fixed(&self, d: usize) -> bool {
+        self.fixed[d]
+    }
+
+    /// Prescribed value of DOF `d` (zero for free DOFs).
+    #[inline]
+    pub fn fixed_value(&self, d: usize) -> f64 {
+        self.values[d]
+    }
+
+    /// Iterator over the constrained DOFs and their prescribed values.
+    pub fn fixed_dofs(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.fixed
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(d, _)| (d, self.values[d]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dof_numbering_is_two_per_node() {
+        let m = DofMap::new(5);
+        assert_eq!(m.n_dofs(), 10);
+        assert_eq!(m.dof(0, 0), 0);
+        assert_eq!(m.dof(0, 1), 1);
+        assert_eq!(m.dof(4, 1), 9);
+    }
+
+    #[test]
+    fn elem_dofs_interleave_components() {
+        let m = DofMap::new(10);
+        let dofs = m.elem_dofs([2, 3, 7, 6]);
+        assert_eq!(dofs, [4, 5, 6, 7, 14, 15, 12, 13]);
+    }
+
+    #[test]
+    fn clamp_edge_fixes_all_edge_dofs() {
+        let mesh = QuadMesh::rectangle(3, 2, 3.0, 2.0);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        // Left edge has ny+1 = 3 nodes -> 6 fixed DOFs.
+        assert_eq!(dm.n_free(), dm.n_dofs() - 6);
+        for node in mesh.edge_nodes(Edge::Left) {
+            assert!(dm.is_fixed(dm.dof(node, 0)));
+            assert!(dm.is_fixed(dm.dof(node, 1)));
+        }
+        // Right edge must stay free.
+        for node in mesh.edge_nodes(Edge::Right) {
+            assert!(!dm.is_fixed(dm.dof(node, 0)));
+        }
+    }
+
+    #[test]
+    fn fixed_values_are_retrievable() {
+        let mut dm = DofMap::new(3);
+        dm.fix_dof(2, 0.5);
+        assert!(dm.is_fixed(2));
+        assert_eq!(dm.fixed_value(2), 0.5);
+        assert_eq!(dm.fixed_value(0), 0.0);
+        let fixed: Vec<(usize, f64)> = dm.fixed_dofs().collect();
+        assert_eq!(fixed, vec![(2, 0.5)]);
+    }
+
+    #[test]
+    fn mesh1_free_count_with_left_clamp() {
+        // Mesh1 of Table 2: 7x1 elements, 16 nodes, left edge clamped
+        // (2 nodes) -> 28 free equations, matching the paper's nEqn.
+        let mesh = QuadMesh::cantilever(7, 1);
+        let mut dm = DofMap::new(mesh.n_nodes());
+        dm.clamp_edge(&mesh, Edge::Left);
+        assert_eq!(dm.n_free(), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn dof_rejects_bad_node() {
+        DofMap::new(2).dof(2, 0);
+    }
+}

@@ -1,0 +1,553 @@
+//! Element- and node-based domain partitioning.
+//!
+//! The paper contrasts two decompositions of the same mesh:
+//!
+//! - **Element-based (EDD, Section 3)**: elements are partitioned into `P`
+//!   non-overlapping sets; interface *nodes* are duplicated on every
+//!   subdomain whose elements touch them. Each subdomain assembles only its
+//!   own elements, so the global operator is `Σ Bₛᵀ K̂⁽ˢ⁾ Bₛ` and interface
+//!   values are combined by a nearest-neighbour sum (Eq. 28).
+//! - **Node-based (RDD, Section 4)**: nodes (hence matrix rows) are
+//!   partitioned; the assembled matrix is block-row distributed, and the
+//!   matvec needs external interface values gathered from neighbours
+//!   (Eq. 48).
+//!
+//! [`Subdomain`] carries everything a rank needs: its elements, its local
+//! node numbering, node multiplicities, and per-neighbour shared-node lists
+//! in a canonical order (ascending global node id) so that paired sends and
+//! receives line up without any negotiation.
+
+use crate::cells::Cells;
+use crate::quad8::Quad8Mesh;
+use crate::structured::QuadMesh;
+use crate::tri::TriMesh;
+use std::collections::BTreeMap;
+
+/// A partition of mesh *elements* into `P` subdomains (EDD).
+#[derive(Debug, Clone)]
+pub struct ElementPartition {
+    n_parts: usize,
+    owner: Vec<usize>,
+}
+
+impl ElementPartition {
+    /// Builds a partition from an explicit per-element owner array.
+    ///
+    /// # Panics
+    /// Panics if any owner is `>= n_parts` or if some part is empty.
+    pub fn from_owner(n_parts: usize, owner: Vec<usize>) -> Self {
+        assert!(n_parts > 0, "need at least one part");
+        let mut seen = vec![false; n_parts];
+        for &o in &owner {
+            assert!(o < n_parts, "element owner {o} out of range");
+            seen[o] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every part must own at least one element"
+        );
+        ElementPartition { n_parts, owner }
+    }
+
+    /// Partition into `p` vertical strips of element columns (balanced to
+    /// within one column). This is the natural partition of the paper's
+    /// elongated cantilever meshes.
+    ///
+    /// # Panics
+    /// Panics if `p` is zero or exceeds the number of element columns.
+    pub fn strips_x(mesh: &QuadMesh, p: usize) -> Self {
+        assert!(p > 0 && p <= mesh.nx(), "strip count must be in 1..=nx");
+        let nx = mesh.nx();
+        let owner = (0..mesh.n_elems())
+            .map(|e| {
+                let i = e % nx;
+                // Balanced block distribution of columns.
+                (i * p) / nx
+            })
+            .collect();
+        ElementPartition {
+            n_parts: p,
+            owner,
+        }
+    }
+
+    /// Vertical element-column strips of a triangulated structured mesh
+    /// (each source quad cell contributes its two triangles to the same
+    /// strip, so the interfaces match [`ElementPartition::strips_x`]).
+    ///
+    /// # Panics
+    /// Panics if `p` is zero or exceeds the column count.
+    pub fn strips_x_tri(mesh: &TriMesh, p: usize) -> Self {
+        assert!(p > 0 && p <= mesh.nx(), "strip count must be in 1..=nx");
+        let nx = mesh.nx();
+        let owner = (0..mesh.n_elems())
+            .map(|e| {
+                let quad_cell = e / 2;
+                let i = quad_cell % nx;
+                (i * p) / nx
+            })
+            .collect();
+        ElementPartition { n_parts: p, owner }
+    }
+
+    /// Vertical element-column strips of an 8-node quadrilateral mesh.
+    ///
+    /// # Panics
+    /// Panics if `p` is zero or exceeds the column count.
+    pub fn strips_x_quad8(mesh: &Quad8Mesh, p: usize) -> Self {
+        assert!(p > 0 && p <= mesh.nx(), "strip count must be in 1..=nx");
+        let nx = mesh.nx();
+        let owner = (0..mesh.n_elems())
+            .map(|e| {
+                let i = e % nx;
+                (i * p) / nx
+            })
+            .collect();
+        ElementPartition { n_parts: p, owner }
+    }
+
+    /// Partition into a `px x py` grid of element blocks.
+    ///
+    /// # Panics
+    /// Panics if the grid is empty or exceeds the element grid.
+    pub fn blocks(mesh: &QuadMesh, px: usize, py: usize) -> Self {
+        assert!(px > 0 && py > 0, "block grid must be non-empty");
+        assert!(
+            px <= mesh.nx() && py <= mesh.ny(),
+            "block grid exceeds element grid"
+        );
+        let nx = mesh.nx();
+        let ny = mesh.ny();
+        let owner = (0..mesh.n_elems())
+            .map(|e| {
+                let i = e % nx;
+                let j = e / nx;
+                let bi = (i * px) / nx;
+                let bj = (j * py) / ny;
+                bj * px + bi
+            })
+            .collect();
+        ElementPartition {
+            n_parts: px * py,
+            owner,
+        }
+    }
+
+    /// Number of parts.
+    pub fn n_parts(&self) -> usize {
+        self.n_parts
+    }
+
+    /// Owner of element `e`.
+    pub fn owner(&self, e: usize) -> usize {
+        self.owner[e]
+    }
+
+    /// Per-element owner array.
+    pub fn owners(&self) -> &[usize] {
+        &self.owner
+    }
+
+    /// Builds the full subdomain descriptions for a quadrilateral mesh.
+    pub fn subdomains(&self, mesh: &QuadMesh) -> Vec<Subdomain> {
+        self.subdomains_of(mesh)
+    }
+
+    /// Builds subdomain descriptions for any [`Cells`] mesh (T3, Q4, Q8, …).
+    pub fn subdomains_of<M: Cells>(&self, mesh: &M) -> Vec<Subdomain> {
+        assert_eq!(
+            self.owner.len(),
+            mesh.n_cells(),
+            "partition does not match mesh"
+        );
+        let p = self.n_parts;
+        // Which parts touch each node, sorted (BTreeMap keyed by node).
+        let mut node_parts: Vec<Vec<usize>> = vec![Vec::new(); mesh.n_cell_nodes()];
+        for (e, &o) in self.owner.iter().enumerate() {
+            for &n in &mesh.cell_nodes(e) {
+                if !node_parts[n].contains(&o) {
+                    node_parts[n].push(o);
+                }
+            }
+        }
+        for parts in &mut node_parts {
+            parts.sort_unstable();
+        }
+
+        let mut subs: Vec<Subdomain> = (0..p)
+            .map(|rank| Subdomain {
+                rank,
+                elements: Vec::new(),
+                nodes: Vec::new(),
+                global_to_local: BTreeMap::new(),
+                multiplicity: Vec::new(),
+                neighbors: Vec::new(),
+            })
+            .collect();
+
+        for (e, &o) in self.owner.iter().enumerate() {
+            subs[o].elements.push(e);
+        }
+
+        // Local node sets in ascending global order.
+        for (n, parts) in node_parts.iter().enumerate() {
+            for &s in parts {
+                let local = subs[s].nodes.len();
+                subs[s].nodes.push(n);
+                subs[s].global_to_local.insert(n, local);
+                subs[s].multiplicity.push(parts.len());
+            }
+        }
+
+        // Neighbour links: nodes shared between pairs of parts, ascending
+        // global id (canonical on both sides).
+        for (n, parts) in node_parts.iter().enumerate() {
+            if parts.len() < 2 {
+                continue;
+            }
+            for (ai, &a) in parts.iter().enumerate() {
+                for &b in &parts[ai + 1..] {
+                    let la = subs[a].global_to_local[&n];
+                    push_shared(&mut subs[a].neighbors, b, la);
+                    let lb = subs[b].global_to_local[&n];
+                    push_shared(&mut subs[b].neighbors, a, lb);
+                }
+            }
+        }
+        for s in &mut subs {
+            s.neighbors.sort_by_key(|l| l.rank);
+        }
+        subs
+    }
+}
+
+fn push_shared(links: &mut Vec<NeighborLink>, rank: usize, local_node: usize) {
+    if let Some(l) = links.iter_mut().find(|l| l.rank == rank) {
+        l.shared_local_nodes.push(local_node);
+    } else {
+        links.push(NeighborLink {
+            rank,
+            shared_local_nodes: vec![local_node],
+        });
+    }
+}
+
+/// Shared-interface description between one subdomain and one neighbour.
+///
+/// `shared_local_nodes` lists *local* node indices in ascending global-node
+/// order; since both sides sort by the same global ids, entry `k` on rank `a`
+/// and entry `k` on rank `b` refer to the same physical node.
+#[derive(Debug, Clone)]
+pub struct NeighborLink {
+    /// The neighbouring subdomain's rank.
+    pub rank: usize,
+    /// Local node indices shared with that neighbour, canonical order.
+    pub shared_local_nodes: Vec<usize>,
+}
+
+/// One subdomain of an element-based partition.
+#[derive(Debug, Clone)]
+pub struct Subdomain {
+    /// This subdomain's rank (its index in the partition).
+    pub rank: usize,
+    /// Global ids of the elements owned by this subdomain.
+    pub elements: Vec<usize>,
+    /// Global ids of all nodes touched by those elements, ascending.
+    pub nodes: Vec<usize>,
+    /// Map from global node id to local index in `nodes`.
+    global_to_local: BTreeMap<usize, usize>,
+    /// For each local node, how many subdomains share it (1 = interior).
+    pub multiplicity: Vec<usize>,
+    /// Interface links to neighbouring subdomains, sorted by rank.
+    pub neighbors: Vec<NeighborLink>,
+}
+
+impl Subdomain {
+    /// Number of local nodes.
+    pub fn n_local_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The local index of global node `n`, if present.
+    pub fn local_node(&self, n: usize) -> Option<usize> {
+        self.global_to_local.get(&n).copied()
+    }
+
+    /// Whether the local node `l` lies on the subdomain interface.
+    pub fn is_interface(&self, l: usize) -> bool {
+        self.multiplicity[l] > 1
+    }
+
+    /// Number of interface nodes.
+    pub fn n_interface_nodes(&self) -> usize {
+        self.multiplicity.iter().filter(|&&m| m > 1).count()
+    }
+}
+
+/// A partition of mesh *nodes* into `P` parts (RDD block-row partition).
+#[derive(Debug, Clone)]
+pub struct NodePartition {
+    n_parts: usize,
+    owner: Vec<usize>,
+}
+
+impl NodePartition {
+    /// Builds a partition from an explicit per-node owner array.
+    ///
+    /// # Panics
+    /// Panics if any owner is out of range or some part is empty.
+    pub fn from_owner(n_parts: usize, owner: Vec<usize>) -> Self {
+        assert!(n_parts > 0, "need at least one part");
+        let mut seen = vec![false; n_parts];
+        for &o in &owner {
+            assert!(o < n_parts, "node owner {o} out of range");
+            seen[o] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every part must own a node");
+        NodePartition { n_parts, owner }
+    }
+
+    /// Splits the node ids into `p` contiguous ranges, balanced to within
+    /// one node. With row-major numbering this yields horizontal strips —
+    /// the natural block-row partition of the assembled matrix.
+    ///
+    /// # Panics
+    /// Panics if `p` is zero or exceeds the node count.
+    pub fn contiguous(n_nodes: usize, p: usize) -> Self {
+        assert!(p > 0 && p <= n_nodes, "part count must be in 1..=n_nodes");
+        let owner = (0..n_nodes).map(|n| (n * p) / n_nodes).collect();
+        NodePartition { n_parts: p, owner }
+    }
+
+    /// Partitions the nodes of a structured mesh into `p` vertical strips
+    /// of node columns — the node-based counterpart of
+    /// [`ElementPartition::strips_x`], giving the same interface
+    /// orientation for fair EDD-vs-RDD comparisons.
+    ///
+    /// # Panics
+    /// Panics if `p` is zero or exceeds the number of node columns.
+    pub fn strips_x(mesh: &QuadMesh, p: usize) -> Self {
+        let ncols = mesh.nx() + 1;
+        assert!(p > 0 && p <= ncols, "strip count must be in 1..=nx+1");
+        let owner = (0..mesh.n_nodes())
+            .map(|n| {
+                let i = n % ncols;
+                (i * p) / ncols
+            })
+            .collect();
+        NodePartition { n_parts: p, owner }
+    }
+
+    /// Number of parts.
+    pub fn n_parts(&self) -> usize {
+        self.n_parts
+    }
+
+    /// Owner of node `n`.
+    pub fn owner(&self, n: usize) -> usize {
+        self.owner[n]
+    }
+
+    /// Per-node owner array.
+    pub fn owners(&self) -> &[usize] {
+        &self.owner
+    }
+
+    /// The nodes owned by `rank`, ascending.
+    pub fn nodes_of(&self, rank: usize) -> Vec<usize> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o == rank)
+            .map(|(n, _)| n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_cover_all_elements_once() {
+        let mesh = QuadMesh::rectangle(8, 3, 8.0, 3.0);
+        let part = ElementPartition::strips_x(&mesh, 4);
+        assert_eq!(part.n_parts(), 4);
+        let mut counts = vec![0usize; 4];
+        for e in 0..mesh.n_elems() {
+            counts[part.owner(e)] += 1;
+        }
+        // 8 columns over 4 parts -> 2 columns x 3 rows = 6 elements each.
+        assert_eq!(counts, vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn strip_subdomains_have_linear_neighbor_chain() {
+        let mesh = QuadMesh::rectangle(8, 2, 8.0, 2.0);
+        let part = ElementPartition::strips_x(&mesh, 4);
+        let subs = part.subdomains(&mesh);
+        assert_eq!(subs.len(), 4);
+        // Interior strips have exactly two neighbours, end strips one.
+        assert_eq!(subs[0].neighbors.len(), 1);
+        assert_eq!(subs[1].neighbors.len(), 2);
+        assert_eq!(subs[2].neighbors.len(), 2);
+        assert_eq!(subs[3].neighbors.len(), 1);
+        assert_eq!(subs[0].neighbors[0].rank, 1);
+        assert_eq!(subs[3].neighbors[0].rank, 2);
+        // Each strip interface is one node column: ny+1 = 3 nodes.
+        assert_eq!(subs[0].neighbors[0].shared_local_nodes.len(), 3);
+    }
+
+    #[test]
+    fn shared_node_lists_pair_up() {
+        let mesh = QuadMesh::rectangle(6, 4, 6.0, 4.0);
+        let part = ElementPartition::blocks(&mesh, 2, 2);
+        let subs = part.subdomains(&mesh);
+        for s in &subs {
+            for link in &s.neighbors {
+                let t = &subs[link.rank];
+                let back = t
+                    .neighbors
+                    .iter()
+                    .find(|l| l.rank == s.rank)
+                    .expect("neighbour link must be symmetric");
+                assert_eq!(
+                    link.shared_local_nodes.len(),
+                    back.shared_local_nodes.len()
+                );
+                // Entry k on both sides must be the same global node.
+                for (la, lb) in link.shared_local_nodes.iter().zip(&back.shared_local_nodes) {
+                    assert_eq!(s.nodes[*la], t.nodes[*lb]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicities_sum_matches_duplication() {
+        // Sum over subdomains of local node counts equals sum over nodes of
+        // multiplicity.
+        let mesh = QuadMesh::rectangle(5, 5, 5.0, 5.0);
+        let part = ElementPartition::blocks(&mesh, 2, 2);
+        let subs = part.subdomains(&mesh);
+        let total_local: usize = subs.iter().map(|s| s.n_local_nodes()).sum();
+        assert!(total_local > mesh.n_nodes(), "interfaces are duplicated");
+        // Each node appears exactly once per owning subdomain.
+        let mut per_node = vec![0usize; mesh.n_nodes()];
+        for s in &subs {
+            for &n in &s.nodes {
+                per_node[n] += 1;
+            }
+        }
+        for (n, &cnt) in per_node.iter().enumerate() {
+            assert!(cnt >= 1, "node {n} lost");
+        }
+        let mult_sum: usize = subs
+            .iter()
+            .flat_map(|s| s.multiplicity.iter())
+            .sum::<usize>();
+        // Sum of multiplicities counts each node (multiplicity m) m times in
+        // each of its m subdomains: m^2 total. Cross-check against per_node.
+        let expect: usize = per_node.iter().map(|&c| c * c).sum();
+        assert_eq!(mult_sum, expect);
+    }
+
+    #[test]
+    fn corner_nodes_in_block_partition_have_multiplicity_four() {
+        let mesh = QuadMesh::rectangle(4, 4, 4.0, 4.0);
+        let part = ElementPartition::blocks(&mesh, 2, 2);
+        let subs = part.subdomains(&mesh);
+        // The centre node (2,2) = node 12 touches all four blocks.
+        let centre = mesh.node_at(2, 2);
+        for s in &subs {
+            let l = s.local_node(centre).expect("centre is in every block");
+            assert_eq!(s.multiplicity[l], 4);
+            assert!(s.is_interface(l));
+        }
+        // All four blocks are pairwise neighbours through the centre node.
+        assert_eq!(subs[0].neighbors.len(), 3);
+    }
+
+    #[test]
+    fn interior_nodes_have_multiplicity_one() {
+        let mesh = QuadMesh::rectangle(6, 2, 6.0, 2.0);
+        let part = ElementPartition::strips_x(&mesh, 2);
+        let subs = part.subdomains(&mesh);
+        let interior = mesh.node_at(1, 1); // deep inside strip 0
+        let s0 = &subs[0];
+        let l = s0.local_node(interior).unwrap();
+        assert_eq!(s0.multiplicity[l], 1);
+        assert!(!s0.is_interface(l));
+        assert!(subs[1].local_node(interior).is_none());
+        assert_eq!(s0.n_interface_nodes(), 3);
+    }
+
+    #[test]
+    fn single_part_partition_has_no_neighbors() {
+        let mesh = QuadMesh::rectangle(3, 3, 3.0, 3.0);
+        let part = ElementPartition::strips_x(&mesh, 1);
+        let subs = part.subdomains(&mesh);
+        assert_eq!(subs.len(), 1);
+        assert!(subs[0].neighbors.is_empty());
+        assert_eq!(subs[0].n_local_nodes(), mesh.n_nodes());
+        assert!(subs[0].multiplicity.iter().all(|&m| m == 1));
+    }
+
+    #[test]
+    fn from_owner_validates() {
+        let mesh = QuadMesh::rectangle(2, 1, 2.0, 1.0);
+        let part = ElementPartition::from_owner(2, vec![0, 1]);
+        assert_eq!(part.owner(0), 0);
+        assert_eq!(part.owner(1), 1);
+        let _ = mesh; // explicit partitions need not reference a mesh
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_owner_rejects_bad_rank() {
+        ElementPartition::from_owner(2, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn from_owner_rejects_empty_part() {
+        ElementPartition::from_owner(3, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn node_partition_contiguous_is_balanced() {
+        let np = NodePartition::contiguous(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|r| np.nodes_of(r).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+        // Ranges are contiguous and ordered.
+        assert_eq!(np.owner(0), 0);
+        assert_eq!(np.owner(9), 2);
+        for n in 1..10 {
+            assert!(np.owner(n) >= np.owner(n - 1));
+        }
+    }
+
+    #[test]
+    fn node_strips_follow_columns() {
+        let mesh = QuadMesh::rectangle(5, 2, 5.0, 2.0); // 6 node columns
+        let np = NodePartition::strips_x(&mesh, 3);
+        for j in 0..=2 {
+            assert_eq!(np.owner(mesh.node_at(0, j)), 0);
+            assert_eq!(np.owner(mesh.node_at(2, j)), 1);
+            assert_eq!(np.owner(mesh.node_at(5, j)), 2);
+        }
+        // All parts non-empty.
+        for r in 0..3 {
+            assert!(!np.nodes_of(r).is_empty());
+        }
+    }
+
+    #[test]
+    fn node_partition_from_owner_round_trips() {
+        let np = NodePartition::from_owner(2, vec![0, 1, 0, 1]);
+        assert_eq!(np.nodes_of(0), vec![0, 2]);
+        assert_eq!(np.nodes_of(1), vec![1, 3]);
+        assert_eq!(np.owners(), &[0, 1, 0, 1]);
+    }
+}

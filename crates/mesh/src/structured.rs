@@ -1,0 +1,411 @@
+//! Structured 2-D quadrilateral meshes.
+//!
+//! The paper's experiments all run on a rectangular cantilever discretized by
+//! `nXele x nYele` four-node quadrilaterals (Fig. 9, Table 2). Nodes are
+//! numbered row-major: node `(i, j)` (column `i` of `0..=nx`, row `j` of
+//! `0..=ny`) has index `j * (nx + 1) + i`. Element `(i, j)` has counter-
+//! clockwise connectivity `[(i,j), (i+1,j), (i+1,j+1), (i,j+1)]`.
+
+use crate::numbering::Edge;
+
+/// A structured mesh of 4-node quadrilaterals on a rectangle.
+///
+/// ```
+/// use parfem_mesh::QuadMesh;
+///
+/// let mesh = QuadMesh::cantilever(40, 8); // the paper's Mesh2
+/// assert_eq!(mesh.n_nodes(), 369);
+/// assert_eq!(mesh.n_elems(), 320);
+/// assert_eq!(mesh.elem_nodes(0), [0, 1, 42, 41]); // CCW corners
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadMesh {
+    nx: usize,
+    ny: usize,
+    lx: f64,
+    ly: f64,
+    coords: Vec<[f64; 2]>,
+    elems: Vec<[usize; 4]>,
+}
+
+impl QuadMesh {
+    /// Builds an `nx x ny`-element mesh of the rectangle `[0, lx] x [0, ly]`.
+    ///
+    /// # Panics
+    /// Panics if any of `nx`, `ny` is zero or a length is non-positive.
+    pub fn rectangle(nx: usize, ny: usize, lx: f64, ly: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "mesh must have at least one element");
+        assert!(lx > 0.0 && ly > 0.0, "mesh lengths must be positive");
+        let n_nodes = (nx + 1) * (ny + 1);
+        let mut coords = Vec::with_capacity(n_nodes);
+        for j in 0..=ny {
+            for i in 0..=nx {
+                coords.push([lx * i as f64 / nx as f64, ly * j as f64 / ny as f64]);
+            }
+        }
+        let mut elems = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                let n0 = j * (nx + 1) + i;
+                elems.push([n0, n0 + 1, n0 + nx + 2, n0 + nx + 1]);
+            }
+        }
+        QuadMesh {
+            nx,
+            ny,
+            lx,
+            ly,
+            coords,
+            elems,
+        }
+    }
+
+    /// A unit-thickness cantilever beam mesh with element counts from the
+    /// paper's Table 2 and an aspect-ratio-preserving geometry (each element
+    /// is a unit square).
+    pub fn cantilever(nx: usize, ny: usize) -> Self {
+        Self::rectangle(nx, ny, nx as f64, ny as f64)
+    }
+
+    /// A mapped mesh: the unit-square reference grid `(s, t) ∈ [0,1]²` is
+    /// pushed through `map(s, t) -> [x, y]`. Connectivity and node numbering
+    /// are those of the reference grid, so partitioning, DOF maps and
+    /// boundary-edge queries ([`QuadMesh::edge_nodes`] in reference space)
+    /// all work unchanged — this is how curved domains (arcs, wedges,
+    /// tapered beams) enter the pipeline while the isoparametric Q4 element
+    /// handles the geometry.
+    ///
+    /// # Panics
+    /// Panics if the map inverts any element (non-positive corner-ordering
+    /// area), or for empty grids.
+    pub fn mapped(
+        nx: usize,
+        ny: usize,
+        map: impl Fn(f64, f64) -> [f64; 2],
+    ) -> Self {
+        assert!(nx > 0 && ny > 0, "mesh must have at least one element");
+        let mut mesh = Self::rectangle(nx, ny, 1.0, 1.0);
+        for j in 0..=ny {
+            for i in 0..=nx {
+                let n = j * (nx + 1) + i;
+                mesh.coords[n] = map(i as f64 / nx as f64, j as f64 / ny as f64);
+            }
+        }
+        // lx/ly lose their rectangle meaning; keep the bounding box.
+        let (mut xmax, mut ymax) = (f64::MIN, f64::MIN);
+        for c in &mesh.coords {
+            xmax = xmax.max(c[0]);
+            ymax = ymax.max(c[1]);
+        }
+        mesh.lx = xmax;
+        mesh.ly = ymax;
+        // Validate orientation.
+        for e in 0..mesh.n_elems() {
+            let c = mesh.elem_coords(e);
+            let area = 0.5
+                * ((c[0][0] * c[1][1] - c[1][0] * c[0][1])
+                    + (c[1][0] * c[2][1] - c[2][0] * c[1][1])
+                    + (c[2][0] * c[3][1] - c[3][0] * c[2][1])
+                    + (c[3][0] * c[0][1] - c[0][0] * c[3][1]));
+            assert!(area > 0.0, "map inverts element {e} (area {area})");
+        }
+        mesh
+    }
+
+    /// A deterministically distorted rectangle: every *interior* node is
+    /// displaced by up to `amplitude` cell-widths in each direction
+    /// (xorshift64 seeded by `seed`). `amplitude < 0.5` keeps all elements
+    /// convex and counter-clockwise. Boundary nodes stay put so boundary
+    /// conditions and edge loads are unchanged.
+    ///
+    /// Distorted meshes exercise the general isoparametric Q4 path (the
+    /// structured meshes only ever see rectangles) and degrade the matrix
+    /// conditioning — a realistic stress test for the preconditioners.
+    ///
+    /// # Panics
+    /// Panics if `amplitude` is not in `[0, 0.5)`.
+    pub fn distorted(nx: usize, ny: usize, lx: f64, ly: f64, amplitude: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..0.5).contains(&amplitude),
+            "amplitude must be in [0, 0.5) to keep elements valid"
+        );
+        let mut mesh = Self::rectangle(nx, ny, lx, ly);
+        let hx = lx / nx as f64;
+        let hy = ly / ny as f64;
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        for j in 1..ny {
+            for i in 1..nx {
+                let n = j * (nx + 1) + i;
+                mesh.coords[n][0] += amplitude * hx * next();
+                mesh.coords[n][1] += amplitude * hy * next();
+            }
+        }
+        mesh
+    }
+
+    /// Elements in the x direction.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Elements in the y direction.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Domain length in x.
+    pub fn lx(&self) -> f64 {
+        self.lx
+    }
+
+    /// Domain length in y.
+    pub fn ly(&self) -> f64 {
+        self.ly
+    }
+
+    /// Total number of nodes (`(nx+1) * (ny+1)`, the paper's `nNode`).
+    pub fn n_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Total number of elements.
+    pub fn n_elems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Node coordinates, indexed by node id.
+    pub fn coords(&self) -> &[[f64; 2]] {
+        &self.coords
+    }
+
+    /// The coordinates of one node.
+    pub fn node_coords(&self, node: usize) -> [f64; 2] {
+        self.coords[node]
+    }
+
+    /// Element connectivity (counter-clockwise node ids), indexed by element.
+    pub fn elems(&self) -> &[[usize; 4]] {
+        &self.elems
+    }
+
+    /// Connectivity of one element.
+    pub fn elem_nodes(&self, e: usize) -> [usize; 4] {
+        self.elems[e]
+    }
+
+    /// The node id at grid position `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if the position is outside the grid.
+    pub fn node_at(&self, i: usize, j: usize) -> usize {
+        assert!(i <= self.nx && j <= self.ny, "grid position out of range");
+        j * (self.nx + 1) + i
+    }
+
+    /// The element id at grid position `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if the position is outside the grid.
+    pub fn elem_at(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.nx && j < self.ny, "element position out of range");
+        j * self.nx + i
+    }
+
+    /// The coordinates of the four nodes of element `e`, counter-clockwise.
+    pub fn elem_coords(&self, e: usize) -> [[f64; 2]; 4] {
+        let n = self.elems[e];
+        [
+            self.coords[n[0]],
+            self.coords[n[1]],
+            self.coords[n[2]],
+            self.coords[n[3]],
+        ]
+    }
+
+    /// Node ids along one boundary edge of the rectangle, in grid order.
+    pub fn edge_nodes(&self, edge: Edge) -> Vec<usize> {
+        match edge {
+            Edge::Left => (0..=self.ny).map(|j| self.node_at(0, j)).collect(),
+            Edge::Right => (0..=self.ny).map(|j| self.node_at(self.nx, j)).collect(),
+            Edge::Bottom => (0..=self.nx).map(|i| self.node_at(i, 0)).collect(),
+            Edge::Top => (0..=self.nx).map(|i| self.node_at(i, self.ny)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element_mesh() {
+        let m = QuadMesh::rectangle(1, 1, 2.0, 3.0);
+        assert_eq!(m.n_nodes(), 4);
+        assert_eq!(m.n_elems(), 1);
+        assert_eq!(m.elem_nodes(0), [0, 1, 3, 2]);
+        assert_eq!(m.node_coords(0), [0.0, 0.0]);
+        assert_eq!(m.node_coords(1), [2.0, 0.0]);
+        assert_eq!(m.node_coords(2), [0.0, 3.0]);
+        assert_eq!(m.node_coords(3), [2.0, 3.0]);
+    }
+
+    #[test]
+    fn table2_node_counts_match_paper() {
+        // Table 2 of the paper: (nXele, nYele) -> nNode.
+        let cases = [
+            (7usize, 1usize, 16usize),
+            (40, 8, 369),
+            (40, 20, 861),
+            (50, 50, 2601),
+            (60, 60, 3721),
+            (70, 70, 5041),
+            (80, 80, 6561),
+            (90, 90, 8281),
+            (100, 100, 10201),
+            (200, 100, 20301),
+        ];
+        for (nx, ny, n_nodes) in cases {
+            let m = QuadMesh::cantilever(nx, ny);
+            assert_eq!(m.n_nodes(), n_nodes, "mesh {nx}x{ny}");
+            assert_eq!(m.n_elems(), nx * ny);
+        }
+    }
+
+    #[test]
+    fn connectivity_is_counter_clockwise() {
+        let m = QuadMesh::rectangle(3, 2, 3.0, 2.0);
+        for e in 0..m.n_elems() {
+            let c = m.elem_coords(e);
+            // Shoelace area must be positive for CCW ordering.
+            let area = 0.5
+                * ((c[0][0] * c[1][1] - c[1][0] * c[0][1])
+                    + (c[1][0] * c[2][1] - c[2][0] * c[1][1])
+                    + (c[2][0] * c[3][1] - c[3][0] * c[2][1])
+                    + (c[3][0] * c[0][1] - c[0][0] * c[3][1]));
+            assert!(area > 0.0, "element {e} not CCW");
+            assert!((area - 1.0).abs() < 1e-12, "element {e} area {area}");
+        }
+    }
+
+    #[test]
+    fn shared_nodes_between_adjacent_elements() {
+        let m = QuadMesh::rectangle(2, 1, 2.0, 1.0);
+        let e0 = m.elem_nodes(0);
+        let e1 = m.elem_nodes(1);
+        let shared: Vec<usize> = e0.iter().filter(|n| e1.contains(n)).copied().collect();
+        assert_eq!(shared.len(), 2, "adjacent elements share an edge");
+    }
+
+    #[test]
+    fn edge_nodes_cover_boundaries() {
+        let m = QuadMesh::rectangle(3, 2, 3.0, 2.0);
+        assert_eq!(m.edge_nodes(Edge::Left), vec![0, 4, 8]);
+        assert_eq!(m.edge_nodes(Edge::Right), vec![3, 7, 11]);
+        assert_eq!(m.edge_nodes(Edge::Bottom), vec![0, 1, 2, 3]);
+        assert_eq!(m.edge_nodes(Edge::Top), vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn node_and_elem_grid_lookup() {
+        let m = QuadMesh::rectangle(4, 3, 4.0, 3.0);
+        assert_eq!(m.node_at(0, 0), 0);
+        assert_eq!(m.node_at(4, 3), m.n_nodes() - 1);
+        assert_eq!(m.elem_at(0, 0), 0);
+        assert_eq!(m.elem_at(3, 2), m.n_elems() - 1);
+    }
+
+    #[test]
+    fn mapped_mesh_builds_a_quarter_annulus() {
+        // (s, t) -> polar: radius 1..2, angle pi/2..0 (decreasing with s
+        // keeps the (x, y) orientation positive).
+        let m = QuadMesh::mapped(8, 4, |s, t| {
+            let r = 1.0 + t;
+            let a = (1.0 - s) * std::f64::consts::FRAC_PI_2;
+            [r * a.cos(), r * a.sin()]
+        });
+        assert_eq!(m.n_elems(), 32);
+        // Total area = pi/4 * (4 - 1) ~ 2.356; FEM cell shoelace areas
+        // approximate it from inside (polygonal approximation of arcs).
+        let total: f64 = (0..m.n_elems())
+            .map(|e| {
+                let c = m.elem_coords(e);
+                0.5 * ((c[0][0] * c[1][1] - c[1][0] * c[0][1])
+                    + (c[1][0] * c[2][1] - c[2][0] * c[1][1])
+                    + (c[2][0] * c[3][1] - c[3][0] * c[2][1])
+                    + (c[3][0] * c[0][1] - c[0][0] * c[3][1]))
+            })
+            .sum();
+        let exact = std::f64::consts::FRAC_PI_4 * 3.0;
+        assert!((total - exact).abs() < 0.02 * exact, "area {total} vs {exact}");
+        // Reference-space edges still work: Edge::Left (s = 0) is the
+        // angle-pi/2 edge, i.e. x = 0.
+        for n in m.edge_nodes(Edge::Left) {
+            assert!(m.node_coords(n)[0].abs() < 1e-12);
+        }
+        // Edge::Right (s = 1) is the angle-0 edge, y = 0.
+        for n in m.edge_nodes(Edge::Right) {
+            assert!(m.node_coords(n)[1].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverts element")]
+    fn inverting_map_is_rejected() {
+        QuadMesh::mapped(2, 2, |s, t| [t, s]); // orientation-reversing
+    }
+
+    #[test]
+    fn distorted_mesh_keeps_valid_ccw_elements() {
+        let m = QuadMesh::distorted(8, 6, 8.0, 6.0, 0.35, 42);
+        for e in 0..m.n_elems() {
+            let c = m.elem_coords(e);
+            let area = 0.5
+                * ((c[0][0] * c[1][1] - c[1][0] * c[0][1])
+                    + (c[1][0] * c[2][1] - c[2][0] * c[1][1])
+                    + (c[2][0] * c[3][1] - c[3][0] * c[2][1])
+                    + (c[3][0] * c[0][1] - c[0][0] * c[3][1]));
+            assert!(area > 0.0, "element {e} inverted (area {area})");
+        }
+    }
+
+    #[test]
+    fn distorted_mesh_keeps_boundary_fixed() {
+        let m = QuadMesh::distorted(5, 4, 5.0, 4.0, 0.4, 7);
+        let r = QuadMesh::rectangle(5, 4, 5.0, 4.0);
+        for edge in [Edge::Left, Edge::Right, Edge::Bottom, Edge::Top] {
+            for n in m.edge_nodes(edge) {
+                assert_eq!(m.node_coords(n), r.node_coords(n), "node {n} moved");
+            }
+        }
+        // But some interior node did move.
+        let interior = m.node_at(2, 2);
+        assert_ne!(m.node_coords(interior), r.node_coords(interior));
+    }
+
+    #[test]
+    fn distortion_is_deterministic_per_seed() {
+        let a = QuadMesh::distorted(4, 4, 4.0, 4.0, 0.3, 1);
+        let b = QuadMesh::distorted(4, 4, 4.0, 4.0, 0.3, 1);
+        let c = QuadMesh::distorted(4, 4, 4.0, 4.0, 0.3, 2);
+        assert_eq!(a.coords(), b.coords());
+        assert_ne!(a.coords(), c.coords());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_elements_rejected() {
+        QuadMesh::rectangle(0, 1, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_at_out_of_range_panics() {
+        QuadMesh::rectangle(2, 2, 1.0, 1.0).node_at(3, 0);
+    }
+}

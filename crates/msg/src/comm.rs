@@ -1,0 +1,128 @@
+//! The communicator abstraction.
+//!
+//! Exactly the MPI subset the paper's algorithms use: paired point-to-point
+//! messages on the subdomain interface graph, a summing all-reduce for the
+//! Gram–Schmidt inner products, and a barrier. Implementations additionally
+//! account virtual time (see [`crate::model`]) so modeled parallel
+//! performance can be extracted from any run.
+
+use crate::stats::CommStats;
+
+/// A rank's endpoint into a `P`-way communicator.
+pub trait Communicator {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// Sends `data` to rank `to` (asynchronous, unbounded buffering — the
+    /// classic MPI eager protocol, which makes paired exchanges
+    /// deadlock-free).
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or equal to this rank.
+    fn send(&self, to: usize, data: &[f64]);
+
+    /// Receives the next message from rank `from`, blocking.
+    ///
+    /// Messages between a fixed pair of ranks arrive in send order.
+    ///
+    /// # Panics
+    /// Panics if `from` is out of range, equal to this rank, or the peer
+    /// disconnected.
+    fn recv(&self, from: usize) -> Vec<f64>;
+
+    /// Element-wise sum of `v` across all ranks. All ranks must call with
+    /// equal lengths; every rank receives the same result (summed in rank
+    /// order, so the outcome is deterministic).
+    fn allreduce_sum(&self, v: &[f64]) -> Vec<f64>;
+
+    /// Scalar convenience wrapper over [`Communicator::allreduce_sum`].
+    fn allreduce_sum_scalar(&self, v: f64) -> f64 {
+        self.allreduce_sum(&[v])[0]
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    fn barrier(&self);
+
+    /// Reports `flops` of local computation to the virtual clock.
+    fn work(&self, flops: u64);
+
+    /// This rank's current virtual time in modeled seconds.
+    fn virtual_time(&self) -> f64;
+
+    /// Snapshot of this rank's communication counters.
+    fn stats(&self) -> CommStats;
+
+    /// Increments the nearest-neighbour-exchange round counter (called once
+    /// per `⊕Σ_{∂Ω}` operation by the distributed vector code).
+    fn count_neighbor_exchange(&self);
+
+    /// Exchanges `data[k]` with `neighbors[k]` for all `k` and returns the
+    /// received buffers in the same order. This is the communication kernel
+    /// of the paper's interface sum: all sends are posted first, then all
+    /// receives, so the exchange cannot deadlock.
+    ///
+    /// # Panics
+    /// Panics if `neighbors` and `data` lengths differ.
+    fn exchange(&self, neighbors: &[usize], data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            neighbors.len(),
+            data.len(),
+            "exchange: neighbour/data length mismatch"
+        );
+        self.count_neighbor_exchange();
+        for (&nb, buf) in neighbors.iter().zip(data) {
+            self.send(nb, buf);
+        }
+        neighbors.iter().map(|&nb| self.recv(nb)).collect()
+    }
+
+    /// Broadcasts `data` from `root` to every rank; all ranks (including
+    /// the root) return the root's buffer. Flat fan-out over point-to-point
+    /// messages — fine for the setup-phase uses it serves here.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    fn broadcast(&self, root: usize, data: &[f64]) -> Vec<f64> {
+        assert!(root < self.size(), "broadcast: bad root {root}");
+        if self.size() == 1 {
+            return data.to_vec();
+        }
+        if self.rank() == root {
+            for r in 0..self.size() {
+                if r != root {
+                    self.send(r, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv(root)
+        }
+    }
+
+    /// Gathers every rank's buffer at `root`. The root receives the buffers
+    /// in rank order (`Some(vec)` with `vec[r]` from rank `r`); other ranks
+    /// return `None`.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    fn gather(&self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        assert!(root < self.size(), "gather: bad root {root}");
+        if self.rank() == root {
+            let mut out = Vec::with_capacity(self.size());
+            for r in 0..self.size() {
+                if r == root {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(self.recv(r));
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, data);
+            None
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Virtual-time machine models (LogP-style).
+//!
+//! A [`MachineModel`] turns counted work into modeled time:
+//!
+//! - computation: `flops / flops_per_s`,
+//! - a point-to-point message of `b` bytes: `latency + b / bandwidth`,
+//! - an all-reduce over `P` ranks: `⌈log₂ P⌉ · (reduce latency + b/bandwidth)`,
+//!
+//! The SP2/Origin presets use published characteristics of the mid-1990s
+//! machines (MPI latency, sustained link bandwidth, sustained per-node
+//! sparse-kernel flop rates); the paper's observation that the Origin
+//! out-scales the SP2 at small processor counts comes directly from the
+//! latency gap.
+
+/// A parametric machine for virtual-time accounting.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Human-readable machine name.
+    pub name: &'static str,
+    /// Point-to-point message latency `α` in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth `1/β` in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Sustained floating-point rate in flop/s (sparse-kernel sustained,
+    /// not peak).
+    pub flops_per_s: f64,
+    /// Per-tree-stage latency of a reduction in seconds.
+    pub reduce_latency_s: f64,
+}
+
+impl MachineModel {
+    /// IBM SP2 (thin nodes, TB3 switch): ~40 µs MPI latency, ~35 MB/s
+    /// sustained bandwidth, ~60 Mflop/s sustained per node on sparse
+    /// kernels.
+    pub fn ibm_sp2() -> Self {
+        MachineModel {
+            name: "IBM-SP2",
+            latency_s: 40e-6,
+            bandwidth_bytes_per_s: 35e6,
+            flops_per_s: 60e6,
+            reduce_latency_s: 40e-6,
+        }
+    }
+
+    /// SGI Origin 2000 (ccNUMA): ~10 µs effective MPI latency, ~160 MB/s,
+    /// ~100 Mflop/s sustained per node on sparse kernels.
+    pub fn sgi_origin() -> Self {
+        MachineModel {
+            name: "SGI-ORIGIN",
+            latency_s: 10e-6,
+            bandwidth_bytes_per_s: 160e6,
+            flops_per_s: 100e6,
+            reduce_latency_s: 10e-6,
+        }
+    }
+
+    /// An idealized machine with free communication — modeled speedup under
+    /// it is bounded only by load imbalance (useful in tests).
+    pub fn ideal() -> Self {
+        MachineModel {
+            name: "ideal",
+            latency_s: 0.0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+            flops_per_s: 100e6,
+            reduce_latency_s: 0.0,
+        }
+    }
+
+    /// Modeled time of one point-to-point message of `bytes`.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Modeled time of `flops` floating-point operations.
+    pub fn compute_time(&self, flops: u64) -> f64 {
+        flops as f64 / self.flops_per_s
+    }
+
+    /// Modeled time of an all-reduce of `bytes` across `p` ranks
+    /// (binary-tree combine + broadcast folded into `⌈log₂ p⌉` stages, the
+    /// `O(log P)` cost the paper cites for hypercube/switched networks).
+    pub fn allreduce_time(&self, p: usize, bytes: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let stages = (p as f64).log2().ceil();
+        stages * (self.reduce_latency_s + bytes as f64 / self.bandwidth_bytes_per_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp2_has_higher_latency_than_origin() {
+        let sp2 = MachineModel::ibm_sp2();
+        let origin = MachineModel::sgi_origin();
+        assert!(sp2.latency_s > origin.latency_s);
+        assert!(sp2.bandwidth_bytes_per_s < origin.bandwidth_bytes_per_s);
+        // Small-message cost gap: this is what degrades SP2 speedup at
+        // small P in Fig. 17(e).
+        assert!(sp2.message_time(64) > 2.0 * origin.message_time(64));
+    }
+
+    #[test]
+    fn message_time_scales_with_size() {
+        let m = MachineModel::ibm_sp2();
+        assert!(m.message_time(1_000_000) > m.message_time(1_000));
+        assert!(m.message_time(0) == m.latency_s);
+    }
+
+    #[test]
+    fn compute_time_is_linear() {
+        let m = MachineModel::sgi_origin();
+        assert_eq!(m.compute_time(0), 0.0);
+        assert!((m.compute_time(200e6 as u64) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_is_logarithmic() {
+        let m = MachineModel::ibm_sp2();
+        assert_eq!(m.allreduce_time(1, 8), 0.0);
+        let t2 = m.allreduce_time(2, 8);
+        let t4 = m.allreduce_time(4, 8);
+        let t8 = m.allreduce_time(8, 8);
+        assert!((t4 - 2.0 * t2).abs() < 1e-12);
+        assert!((t8 - 3.0 * t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_machine_communicates_for_free() {
+        let m = MachineModel::ideal();
+        assert_eq!(m.message_time(1 << 20), 0.0);
+        assert_eq!(m.allreduce_time(8, 1 << 20), 0.0);
+        assert!(m.compute_time(1) > 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-rank communication statistics.
+//!
+//! These counters regenerate the paper's Table 1 (neighbour vs. global
+//! communication per Arnoldi cycle) from *measurements* instead of manual
+//! counting.
+
+/// Counters of everything one rank did on the network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub sends: u64,
+    /// Bytes sent point-to-point.
+    pub bytes_sent: u64,
+    /// Point-to-point messages received.
+    pub recvs: u64,
+    /// Bytes received point-to-point.
+    pub bytes_received: u64,
+    /// All-reduce operations participated in.
+    pub allreduces: u64,
+    /// Bytes contributed to all-reduces.
+    pub allreduce_bytes: u64,
+    /// Barriers participated in.
+    pub barriers: u64,
+    /// Nearest-neighbour exchange rounds (one round = send+recv with every
+    /// neighbour; the paper's `⊕Σ_{∂Ω}` operation).
+    pub neighbor_exchanges: u64,
+    /// Floating-point operations reported by the solver kernels.
+    pub flops: u64,
+}
+
+impl CommStats {
+    /// Element-wise sum of two stats records.
+    pub fn merged(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            sends: self.sends + other.sends,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            recvs: self.recvs + other.recvs,
+            bytes_received: self.bytes_received + other.bytes_received,
+            allreduces: self.allreduces + other.allreduces,
+            allreduce_bytes: self.allreduce_bytes + other.allreduce_bytes,
+            barriers: self.barriers + other.barriers,
+            neighbor_exchanges: self.neighbor_exchanges + other.neighbor_exchanges,
+            flops: self.flops + other.flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = CommStats {
+            sends: 1,
+            bytes_sent: 10,
+            recvs: 2,
+            bytes_received: 20,
+            allreduces: 3,
+            allreduce_bytes: 30,
+            barriers: 4,
+            neighbor_exchanges: 5,
+            flops: 100,
+        };
+        let b = a;
+        let c = a.merged(&b);
+        assert_eq!(c.sends, 2);
+        assert_eq!(c.bytes_received, 40);
+        assert_eq!(c.flops, 200);
+        assert_eq!(c.neighbor_exchanges, 10);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        assert_eq!(CommStats::default().sends, 0);
+        assert_eq!(CommStats::default(), CommStats::default());
+    }
+}

@@ -1,0 +1,555 @@
+//! `ThreadComm`: the communicator over OS threads and channels.
+//!
+//! Every rank is an OS thread; point-to-point messages travel over dedicated
+//! unbounded crossbeam channels (one per ordered rank pair, so messages
+//! between a pair stay in order), and collectives rendezvous at a shared
+//! mutex/condvar point that sums contributions **in rank order** — parallel
+//! results are therefore bit-for-bit deterministic and independent of
+//! scheduling.
+//!
+//! Virtual-time rules (see [`crate::model`]):
+//! - `work(f)` advances the local clock by `f / rate`;
+//! - a message is stamped `sender_clock + α + bytes/β`; the receiver's clock
+//!   becomes `max(receiver_clock, stamp)` (eager/asynchronous send);
+//! - an all-reduce synchronizes every participant to
+//!   `max(all clocks) + ⌈log₂P⌉ · stage_cost`.
+
+use crate::comm::Communicator;
+use crate::model::MachineModel;
+use crate::stats::CommStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+/// A message with its modeled arrival time.
+struct Msg {
+    data: Vec<f64>,
+    arrival: f64,
+}
+
+/// Shared rendezvous state for collectives.
+struct CollectiveState {
+    generation: u64,
+    contributions: Vec<Option<Vec<f64>>>,
+    clocks: Vec<f64>,
+    count: usize,
+    result: Vec<f64>,
+    result_clock: f64,
+}
+
+struct CollectivePoint {
+    size: usize,
+    state: Mutex<CollectiveState>,
+    cv: Condvar,
+}
+
+impl CollectivePoint {
+    fn new(size: usize) -> Self {
+        CollectivePoint {
+            size,
+            state: Mutex::new(CollectiveState {
+                generation: 0,
+                contributions: vec![None; size],
+                clocks: vec![0.0; size],
+                count: 0,
+                result: Vec::new(),
+                result_clock: 0.0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Contributes `v` at virtual time `clock`; returns the rank-ordered sum
+    /// and the max contribution clock.
+    fn allreduce(&self, rank: usize, v: &[f64], clock: f64) -> (Vec<f64>, f64) {
+        if self.size == 1 {
+            return (v.to_vec(), clock);
+        }
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        st.contributions[rank] = Some(v.to_vec());
+        st.clocks[rank] = clock;
+        st.count += 1;
+        if st.count == self.size {
+            // Deterministic rank-ordered summation.
+            let mut sum = vec![0.0; v.len()];
+            for c in st.contributions.iter_mut() {
+                let contrib = c.take().expect("all ranks contributed");
+                assert_eq!(
+                    contrib.len(),
+                    sum.len(),
+                    "allreduce called with mismatched lengths across ranks"
+                );
+                for (s, x) in sum.iter_mut().zip(&contrib) {
+                    *s += x;
+                }
+            }
+            let max_clock = st.clocks.iter().fold(0.0_f64, |m, &c| m.max(c));
+            st.result = sum.clone();
+            st.result_clock = max_clock;
+            st.count = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            (sum, max_clock)
+        } else {
+            while st.generation == my_gen {
+                self.cv.wait(&mut st);
+            }
+            (st.result.clone(), st.result_clock)
+        }
+    }
+}
+
+/// One rank's endpoint of a threaded communicator.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    model: Arc<MachineModel>,
+    /// `senders[d]` sends to rank `d` (None at `d == rank`).
+    senders: Vec<Option<Sender<Msg>>>,
+    /// `receivers[s]` receives from rank `s` (None at `s == rank`).
+    receivers: Vec<Option<Receiver<Msg>>>,
+    collective: Arc<CollectivePoint>,
+    clock: Cell<f64>,
+    stats: RefCell<CommStats>,
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, data: &[f64]) {
+        assert!(to < self.size && to != self.rank, "send: bad peer {to}");
+        let bytes = std::mem::size_of_val(data);
+        let arrival = self.clock.get() + self.model.message_time(bytes);
+        let mut st = self.stats.borrow_mut();
+        st.sends += 1;
+        st.bytes_sent += bytes as u64;
+        drop(st);
+        self.senders[to]
+            .as_ref()
+            .expect("sender exists for peers")
+            .send(Msg {
+                data: data.to_vec(),
+                arrival,
+            })
+            .expect("peer hung up");
+    }
+
+    fn recv(&self, from: usize) -> Vec<f64> {
+        assert!(from < self.size && from != self.rank, "recv: bad peer {from}");
+        let msg = self.receivers[from]
+            .as_ref()
+            .expect("receiver exists for peers")
+            .recv()
+            .expect("peer hung up");
+        self.clock.set(self.clock.get().max(msg.arrival));
+        let mut st = self.stats.borrow_mut();
+        st.recvs += 1;
+        st.bytes_received += std::mem::size_of_val(&msg.data[..]) as u64;
+        msg.data
+    }
+
+    fn allreduce_sum(&self, v: &[f64]) -> Vec<f64> {
+        let bytes = std::mem::size_of_val(v);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.allreduces += 1;
+            st.allreduce_bytes += bytes as u64;
+        }
+        let (sum, max_clock) = self.collective.allreduce(self.rank, v, self.clock.get());
+        self.clock
+            .set(max_clock + self.model.allreduce_time(self.size, bytes));
+        sum
+    }
+
+    fn barrier(&self) {
+        self.stats.borrow_mut().barriers += 1;
+        let (_, max_clock) = self.collective.allreduce(self.rank, &[], self.clock.get());
+        self.clock
+            .set(max_clock + self.model.allreduce_time(self.size, 0));
+    }
+
+    fn work(&self, flops: u64) {
+        self.clock
+            .set(self.clock.get() + self.model.compute_time(flops));
+        self.stats.borrow_mut().flops += flops;
+    }
+
+    fn virtual_time(&self) -> f64 {
+        self.clock.get()
+    }
+
+    fn stats(&self) -> CommStats {
+        *self.stats.borrow()
+    }
+
+    fn count_neighbor_exchange(&self) {
+        self.stats.borrow_mut().neighbor_exchanges += 1;
+    }
+}
+
+/// Per-rank summary returned by [`run_ranks`].
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    /// Rank id.
+    pub rank: usize,
+    /// Final virtual time of the rank (modeled seconds).
+    pub virtual_time: f64,
+    /// Communication counters.
+    pub stats: CommStats,
+}
+
+/// Output of a parallel run.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank reports, indexed by rank.
+    pub reports: Vec<RankReport>,
+    /// Modeled parallel time: the maximum final virtual clock.
+    pub modeled_time: f64,
+}
+
+/// Runs `f` on `p` ranks over OS threads and collects results and reports.
+///
+/// `f` receives each rank's [`ThreadComm`]; ranks communicate only through
+/// it. The function blocks until every rank returns.
+///
+/// ```
+/// use parfem_msg::{run_ranks, Communicator, MachineModel};
+///
+/// let out = run_ranks(4, MachineModel::sgi_origin(), |comm| {
+///     comm.work(1_000_000); // report local compute to the virtual clock
+///     comm.allreduce_sum_scalar(comm.rank() as f64)
+/// });
+/// assert_eq!(out.results, vec![6.0; 4]); // 0+1+2+3 on every rank
+/// assert!(out.modeled_time > 0.0);
+/// ```
+///
+/// # Panics
+/// Panics if `p == 0` or if any rank panics.
+pub fn run_ranks<F, R>(p: usize, model: MachineModel, f: F) -> RunOutput<R>
+where
+    F: Fn(&ThreadComm) -> R + Send + Sync,
+    R: Send,
+{
+    assert!(p > 0, "need at least one rank");
+    let model = Arc::new(model);
+    let collective = Arc::new(CollectivePoint::new(p));
+
+    // Channel matrix: channel (s, d) carries messages s -> d.
+    let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..p).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> = (0..p).map(|_| Vec::new()).collect();
+    for s in 0..p {
+        for d in 0..p {
+            if s == d {
+                senders[s].push(None);
+            } else {
+                let (tx, rx) = unbounded();
+                senders[s].push(Some(tx));
+                // Receiver slots arrive in increasing s order: pad the row
+                // with None up to index s, then append.
+                receivers[d].resize_with(s, || None);
+                receivers[d].push(Some(rx));
+            }
+        }
+    }
+    for r in receivers.iter_mut() {
+        r.resize_with(p, || None);
+    }
+
+    let mut comms: Vec<ThreadComm> = Vec::with_capacity(p);
+    let receivers_iter = receivers.into_iter();
+    for (rank, (tx_row, rx_row)) in senders.into_iter().zip(receivers_iter).enumerate() {
+        comms.push(ThreadComm {
+            rank,
+            size: p,
+            model: Arc::clone(&model),
+            senders: tx_row,
+            receivers: rx_row,
+            collective: Arc::clone(&collective),
+            clock: Cell::new(0.0),
+            stats: RefCell::new(CommStats::default()),
+        });
+    }
+
+    let f = &f;
+    let outputs: Vec<(R, RankReport)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                scope.spawn(move || {
+                    let result = f(&comm);
+                    let report = RankReport {
+                        rank: comm.rank(),
+                        virtual_time: comm.virtual_time(),
+                        stats: comm.stats(),
+                    };
+                    (result, report)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    });
+
+    let mut results = Vec::with_capacity(p);
+    let mut reports = Vec::with_capacity(p);
+    for (r, rep) in outputs {
+        results.push(r);
+        reports.push(rep);
+    }
+    let modeled_time = reports
+        .iter()
+        .map(|r| r.virtual_time)
+        .fold(0.0_f64, f64::max);
+    RunOutput {
+        results,
+        reports,
+        modeled_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run_ranks(1, MachineModel::ideal(), |c| {
+            assert_eq!(c.rank(), 0);
+            assert_eq!(c.size(), 1);
+            c.work(100e6 as u64);
+            c.allreduce_sum_scalar(5.0)
+        });
+        assert_eq!(out.results, vec![5.0]);
+        assert!((out.modeled_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let out = run_ranks(4, MachineModel::ideal(), |c| {
+            c.allreduce_sum_scalar(c.rank() as f64 + 1.0)
+        });
+        for r in out.results {
+            assert_eq!(r, 10.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_vector_is_deterministic_and_uniform() {
+        // Sum of distinctly scaled vectors: every rank gets the exact same
+        // floating-point result because summation is rank-ordered.
+        let out = run_ranks(3, MachineModel::ideal(), |c| {
+            let v = vec![0.1 * (c.rank() as f64 + 1.0); 5];
+            c.allreduce_sum(&v)
+        });
+        let first = &out.results[0];
+        for r in &out.results {
+            assert_eq!(r, first);
+        }
+        for x in first {
+            assert!((x - 0.6).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn point_to_point_ring_exchange() {
+        let out = run_ranks(4, MachineModel::ideal(), |c| {
+            let p = c.size();
+            let next = (c.rank() + 1) % p;
+            let prev = (c.rank() + p - 1) % p;
+            c.send(next, &[c.rank() as f64]);
+            let got = c.recv(prev);
+            got[0]
+        });
+        assert_eq!(out.results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn messages_between_a_pair_stay_ordered() {
+        let out = run_ranks(2, MachineModel::ideal(), |c| {
+            if c.rank() == 0 {
+                for k in 0..10 {
+                    c.send(1, &[k as f64]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| c.recv(0)[0]).collect::<Vec<f64>>()
+            }
+        });
+        assert_eq!(out.results[1], (0..10).map(|k| k as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exchange_helper_swaps_buffers() {
+        let out = run_ranks(2, MachineModel::ideal(), |c| {
+            let other = 1 - c.rank();
+            let data = vec![vec![c.rank() as f64 * 10.0 + 1.0; 3]];
+            let got = c.exchange(&[other], &data);
+            got[0][0]
+        });
+        assert_eq!(out.results, vec![11.0, 1.0]);
+        assert_eq!(out.reports[0].stats.neighbor_exchanges, 1);
+    }
+
+    #[test]
+    fn virtual_time_tracks_work_imbalance() {
+        let out = run_ranks(2, MachineModel::ideal(), |c| {
+            if c.rank() == 0 {
+                c.work(300e6 as u64); // 3 s
+            } else {
+                c.work(100e6 as u64); // 1 s
+            }
+        });
+        assert!((out.reports[0].virtual_time - 3.0).abs() < 1e-9);
+        assert!((out.reports[1].virtual_time - 1.0).abs() < 1e-9);
+        assert!((out.modeled_time - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_synchronizes_clocks() {
+        let out = run_ranks(2, MachineModel::ideal(), |c| {
+            if c.rank() == 0 {
+                c.work(200e6 as u64); // 2 s
+            }
+            c.allreduce_sum_scalar(1.0);
+            c.virtual_time()
+        });
+        // The idle rank's clock jumps to the busy rank's 2 s.
+        assert!((out.results[1] - 2.0).abs() < 1e-9, "{}", out.results[1]);
+    }
+
+    #[test]
+    fn message_latency_advances_receiver_clock() {
+        let model = MachineModel {
+            name: "test",
+            latency_s: 0.5,
+            bandwidth_bytes_per_s: f64::INFINITY,
+            flops_per_s: 1e9,
+            reduce_latency_s: 0.0,
+        };
+        let out = run_ranks(2, model, |c| {
+            if c.rank() == 0 {
+                c.send(1, &[1.0]);
+                0.0
+            } else {
+                c.recv(0);
+                c.virtual_time()
+            }
+        });
+        assert!((out.results[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_joins_all_ranks() {
+        let out = run_ranks(3, MachineModel::ideal(), |c| {
+            if c.rank() == 2 {
+                c.work(100e6 as u64);
+            }
+            c.barrier();
+            c.virtual_time() >= 1.0 - 1e-9
+        });
+        assert!(out.results.iter().all(|&b| b));
+        assert!(out.reports.iter().all(|r| r.stats.barriers == 1));
+    }
+
+    #[test]
+    fn stats_count_sends_and_reductions() {
+        let out = run_ranks(2, MachineModel::ideal(), |c| {
+            let other = 1 - c.rank();
+            c.send(other, &[1.0, 2.0]);
+            c.recv(other);
+            c.allreduce_sum_scalar(1.0);
+        });
+        for rep in &out.reports {
+            assert_eq!(rep.stats.sends, 1);
+            assert_eq!(rep.stats.recvs, 1);
+            assert_eq!(rep.stats.bytes_sent, 16);
+            assert_eq!(rep.stats.allreduces, 1);
+        }
+    }
+
+    #[test]
+    fn modeled_speedup_of_balanced_work_is_linear_on_ideal_machine() {
+        let total: u64 = 400e6 as u64;
+        let t1 = run_ranks(1, MachineModel::ideal(), |c| c.work(total)).modeled_time;
+        let t4 = run_ranks(4, MachineModel::ideal(), |c| c.work(total / 4)).modeled_time;
+        assert!((t1 / t4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_distributes_roots_buffer() {
+        let out = run_ranks(4, MachineModel::ideal(), |c| {
+            let data = if c.rank() == 2 { vec![7.0, 8.0] } else { vec![0.0, 0.0] };
+            c.broadcast(2, &data)
+        });
+        for r in out.results {
+            assert_eq!(r, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_ranks(3, MachineModel::ideal(), |c| {
+            c.gather(0, &[c.rank() as f64 * 10.0])
+        });
+        let gathered = out.results[0].as_ref().expect("root gets the data");
+        assert_eq!(gathered, &vec![vec![0.0], vec![10.0], vec![20.0]]);
+        assert!(out.results[1].is_none());
+        assert!(out.results[2].is_none());
+    }
+
+    #[test]
+    fn gather_then_broadcast_round_trips() {
+        // allgather emulation: gather at 0, flatten, broadcast back.
+        let out = run_ranks(3, MachineModel::ideal(), |c| {
+            let gathered = c.gather(0, &[c.rank() as f64 + 1.0]);
+            let flat: Vec<f64> = gathered
+                .map(|g| g.into_iter().flatten().collect())
+                .unwrap_or_default();
+            c.broadcast(0, &flat)
+        });
+        for r in out.results {
+            assert_eq!(r, vec![1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_costs_latency_on_receivers() {
+        let model = MachineModel {
+            name: "test",
+            latency_s: 1.0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+            flops_per_s: 1e9,
+            reduce_latency_s: 0.0,
+        };
+        let out = run_ranks(2, model, |c| {
+            let _ = c.broadcast(0, &[1.0]);
+            c.virtual_time()
+        });
+        assert_eq!(out.results[0], 0.0, "sender pays nothing (eager send)");
+        assert!((out.results[1] - 1.0).abs() < 1e-12, "receiver pays alpha");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn self_send_panics_the_run() {
+        // The offending rank panics with "bad peer"; run_ranks surfaces the
+        // failure when joining.
+        run_ranks(2, MachineModel::ideal(), |c| {
+            if c.rank() == 0 {
+                c.send(0, &[1.0]);
+            }
+        });
+    }
+}

@@ -1,0 +1,261 @@
+//! The Chebyshev polynomial preconditioner.
+//!
+//! The third classic polynomial preconditioner the paper's Section 2.1.3
+//! name-drops ("Neumann series, least-squares, Chebyshev etc."). On a
+//! single positive interval `(ℓ, h̄)` it is *min-max optimal*: its residual
+//!
+//! ```text
+//! 1 − λP_m(λ) = T_m((θ−λ)/δ) / T_m(θ/δ),   θ = (h̄+ℓ)/2, δ = (h̄−ℓ)/2
+//! ```
+//!
+//! has the smallest possible sup-norm over the interval among all residual
+//! polynomials with `r(0) = 1`. The application runs the standard Chebyshev
+//! semi-iteration recurrence (Saad, *Iterative Methods*, Alg. 12.1) — `m`
+//! matrix–vector products, no inner products — and is therefore exactly as
+//! parallel-friendly as Neumann/GLS. Unlike GLS it cannot handle interval
+//! unions (indefinite spectra), which is why the paper prefers GLS.
+
+use crate::Preconditioner;
+use parfem_sparse::LinearOperator;
+
+/// Chebyshev preconditioner of degree `m` on `(lo, hi)`, `0 < lo < hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct ChebyshevPrecond {
+    degree: usize,
+    lo: f64,
+    hi: f64,
+}
+
+impl ChebyshevPrecond {
+    /// Creates the preconditioner.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi`.
+    pub fn new(degree: usize, lo: f64, hi: f64) -> Self {
+        assert!(
+            0.0 < lo && lo < hi,
+            "chebyshev requires 0 < lo < hi, got ({lo}, {hi})"
+        );
+        ChebyshevPrecond { degree, lo, hi }
+    }
+
+    /// A pragmatic default for a norm-1-scaled system: `(0.01, 1)`.
+    ///
+    /// Unlike GLS — whose *weighted L2* objective tolerates a lower bound
+    /// of essentially 0 (the paper's `Θ = (ε, 1)`) — the min-max objective
+    /// is meaningless on an interval reaching 0: no polynomial with
+    /// `r(0) = 1` can have sup-norm `< 1` there, and the resulting
+    /// preconditioned operator is near-singular. Chebyshev therefore needs
+    /// a genuine positive spectrum floor; supply a measured `λ_min` via
+    /// [`ChebyshevPrecond::new`] when available.
+    pub fn for_scaled_system(degree: usize) -> Self {
+        Self::new(degree, 0.01, 1.0)
+    }
+
+    /// Polynomial degree `m`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Interval midpoint `θ`.
+    fn theta(&self) -> f64 {
+        0.5 * (self.hi + self.lo)
+    }
+
+    /// Interval half-width `δ`.
+    fn delta(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+
+    /// `T_m(x)` for `|x| ≥ 1` via `cosh(m·arccosh x)` (sign-safe).
+    fn cheb_outside(m: usize, x: f64) -> f64 {
+        let s = if x < 0.0 && m % 2 == 1 { -1.0 } else { 1.0 };
+        let ax = x.abs();
+        s * (m as f64 * ax.acosh()).cosh()
+    }
+
+    /// The residual polynomial `1 − λP_m(λ)` in closed form (min-max
+    /// equioscillating on the interval). A degree-`m` preconditioner has a
+    /// degree-`m+1` residual: `T_{m+1}((θ−λ)/δ) / T_{m+1}(θ/δ)` — the same
+    /// convention as the Neumann residual `(1−ωλ)^{m+1}`.
+    pub fn residual(&self, lambda: f64) -> f64 {
+        let theta = self.theta();
+        let delta = self.delta();
+        let x = (theta - lambda) / delta;
+        let k = self.degree + 1;
+        let denom = Self::cheb_outside(k, theta / delta);
+        if x.abs() <= 1.0 {
+            (k as f64 * x.acos()).cos() / denom
+        } else {
+            Self::cheb_outside(k, x) / denom
+        }
+    }
+
+    /// Scalar evaluation `P_m(λ)` through the same semi-iteration
+    /// recurrence used on matrices (so it matches the matrix application
+    /// bit for bit on diagonal operators).
+    pub fn eval(&self, lambda: f64) -> f64 {
+        if self.degree == 0 {
+            return 1.0 / self.theta();
+        }
+        let theta = self.theta();
+        let delta = self.delta();
+        let sigma1 = theta / delta;
+        let mut rho = 1.0 / sigma1;
+        let mut d = 1.0 / theta; // d_0 applied to v = 1
+        let mut z = d;
+        for _ in 1..=self.degree {
+            let rho_new = 1.0 / (2.0 * sigma1 - rho);
+            d = rho_new * rho * d + 2.0 * rho_new / delta * (1.0 - lambda * z);
+            z += d;
+            rho = rho_new;
+        }
+        z
+    }
+}
+
+impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for ChebyshevPrecond {
+    fn apply_into(&self, op: &Op, v: &[f64], z: &mut [f64]) {
+        let n = op.dim();
+        assert_eq!(v.len(), n, "chebyshev: v length mismatch");
+        assert_eq!(z.len(), n, "chebyshev: z length mismatch");
+        let theta = self.theta();
+        let delta = self.delta();
+        let sigma1 = theta / delta;
+        // z_0 = v / theta.
+        for (zi, vi) in z.iter_mut().zip(v) {
+            *zi = vi / theta;
+        }
+        if self.degree == 0 {
+            return;
+        }
+        let mut d: Vec<f64> = z.to_vec();
+        let mut az = vec![0.0; n];
+        let mut rho = 1.0 / sigma1;
+        for _ in 1..=self.degree {
+            let rho_new = 1.0 / (2.0 * sigma1 - rho);
+            op.apply_into(z, &mut az);
+            for i in 0..n {
+                d[i] = rho_new * rho * d[i] + 2.0 * rho_new / delta * (v[i] - az[i]);
+                z[i] += d[i];
+            }
+            rho = rho_new;
+        }
+    }
+
+    fn operator_applications(&self) -> usize {
+        self.degree
+    }
+
+    fn name(&self) -> String {
+        format!("chebyshev({})", self.degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gls::{GlsPrecond, IntervalUnion};
+    use parfem_sparse::CsrMatrix;
+
+    #[test]
+    fn residual_is_one_at_zero() {
+        for m in [1usize, 3, 7, 12] {
+            let p = ChebyshevPrecond::new(m, 0.1, 2.0);
+            assert!((p.residual(0.0) - 1.0).abs() < 1e-12, "degree {m}");
+        }
+    }
+
+    #[test]
+    fn residual_equioscillates_at_interval_ends() {
+        let p = ChebyshevPrecond::new(6, 0.2, 1.8);
+        let r_lo = p.residual(0.2).abs();
+        let r_hi = p.residual(1.8).abs();
+        assert!((r_lo - r_hi).abs() < 1e-12, "{r_lo} vs {r_hi}");
+        // Interior extrema have the same magnitude (Chebyshev property).
+        let mut max_interior = 0.0_f64;
+        for k in 1..200 {
+            let l = 0.2 + 1.6 * k as f64 / 200.0;
+            max_interior = max_interior.max(p.residual(l).abs());
+        }
+        assert!(max_interior <= r_lo + 1e-10);
+    }
+
+    #[test]
+    fn scalar_eval_consistent_with_residual() {
+        let p = ChebyshevPrecond::new(5, 0.3, 1.5);
+        for &l in &[0.3, 0.7, 1.2, 1.5] {
+            let direct = 1.0 - l * p.eval(l);
+            assert!(
+                (direct - p.residual(l)).abs() < 1e-10,
+                "at {l}: {direct} vs {}",
+                p.residual(l)
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_application_matches_scalar_eval() {
+        let d = [0.35, 0.8, 1.4];
+        let a = CsrMatrix::from_diagonal(&d);
+        let p = ChebyshevPrecond::new(6, 0.3, 1.5);
+        let z = p.apply(&a, &[1.0, 1.0, 1.0]);
+        for (zi, &di) in z.iter().zip(&d) {
+            assert!((zi - p.eval(di)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chebyshev_beats_gls_in_sup_norm_on_one_interval() {
+        // Min-max optimality: sup |residual| over the interval is smaller
+        // than GLS's (which optimizes the weighted L2 norm instead).
+        let (lo, hi) = (0.1, 1.0);
+        let m = 7;
+        let cheb = ChebyshevPrecond::new(m, lo, hi);
+        let gls = GlsPrecond::new(m, IntervalUnion::single(lo, hi));
+        let mut sup_cheb = 0.0_f64;
+        let mut sup_gls = 0.0_f64;
+        for k in 0..=400 {
+            let l = lo + (hi - lo) * k as f64 / 400.0;
+            sup_cheb = sup_cheb.max(cheb.residual(l).abs());
+            sup_gls = sup_gls.max(gls.residual(l).abs());
+        }
+        assert!(
+            sup_cheb <= sup_gls + 1e-12,
+            "chebyshev sup {sup_cheb} vs gls sup {sup_gls}"
+        );
+    }
+
+    #[test]
+    fn degree_zero_is_constant_scaling() {
+        let p = ChebyshevPrecond::new(0, 0.5, 1.5);
+        let a = CsrMatrix::from_diagonal(&[0.7, 1.2]);
+        let z = p.apply(&a, &[1.0, 2.0]);
+        assert!((z[0] - 1.0).abs() < 1e-12);
+        assert!((z[1] - 2.0).abs() < 1e-12);
+        assert_eq!(
+            Preconditioner::<CsrMatrix>::name(&p),
+            "chebyshev(0)".to_string()
+        );
+    }
+
+    #[test]
+    fn residual_shrinks_with_degree() {
+        let mut prev = f64::INFINITY;
+        for m in [2usize, 4, 8, 16] {
+            let p = ChebyshevPrecond::new(m, 0.1, 1.0);
+            let sup = (0..=100)
+                .map(|k| p.residual(0.1 + 0.9 * k as f64 / 100.0).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(sup < prev, "degree {m}: {sup} !< {prev}");
+            prev = sup;
+        }
+        assert!(prev < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn invalid_interval_rejected() {
+        ChebyshevPrecond::new(3, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! The Jacobi (diagonal) preconditioner.
+//!
+//! The paper notes diagonal preconditioners are cheap and communication-free
+//! but "not effective enough to reduce the number of iterations for
+//! large-scale complex problems" — they serve as the weak baseline.
+
+use crate::Preconditioner;
+use parfem_sparse::{CsrMatrix, LinearOperator};
+
+/// `C = diag(A)^{-1}`.
+#[derive(Debug, Clone)]
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// Builds the preconditioner from a matrix diagonal.
+    ///
+    /// Zero diagonal entries get a unit inverse (leaving those components
+    /// untouched) — the system is singular there anyway.
+    pub fn from_matrix(a: &CsrMatrix) -> Self {
+        Self::from_diagonal(&a.diagonal())
+    }
+
+    /// Builds the preconditioner from an explicit diagonal (the distributed
+    /// solvers accumulate the assembled diagonal across subdomains first).
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        JacobiPrecond {
+            inv_diag: diag
+                .iter()
+                .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+                .collect(),
+        }
+    }
+}
+
+impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for JacobiPrecond {
+    fn apply_into(&self, _op: &Op, v: &[f64], z: &mut [f64]) {
+        assert_eq!(v.len(), self.inv_diag.len(), "jacobi: length mismatch");
+        assert_eq!(v.len(), z.len(), "jacobi: output length mismatch");
+        for ((zi, vi), di) in z.iter_mut().zip(v).zip(&self.inv_diag) {
+            *zi = vi * di;
+        }
+    }
+
+    fn name(&self) -> String {
+        "jacobi".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_inverts_diagonal_matrices_exactly() {
+        let a = CsrMatrix::from_diagonal(&[2.0, 4.0, 0.5]);
+        let p = JacobiPrecond::from_matrix(&a);
+        let z = p.apply(&a, &[2.0, 4.0, 0.5]);
+        assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_diagonal_is_left_untouched() {
+        let p = JacobiPrecond::from_diagonal(&[1.0, 0.0]);
+        let a = CsrMatrix::identity(2);
+        let z = p.apply(&a, &[3.0, 5.0]);
+        assert_eq!(z, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn from_matrix_matches_from_diagonal() {
+        let a = CsrMatrix::from_dense(2, 2, &[4.0, 1.0, 1.0, 2.0]);
+        let p1 = JacobiPrecond::from_matrix(&a);
+        let p2 = JacobiPrecond::from_diagonal(&[4.0, 2.0]);
+        let v = [1.0, 1.0];
+        assert_eq!(p1.apply(&a, &v), p2.apply(&a, &v));
+    }
+}

@@ -1,0 +1,228 @@
+//! The Neumann-series polynomial preconditioner (paper Section 2.1.2).
+//!
+//! From `A^{-1} = ω (I − G)^{-1} = ω Σ Gᵏ` with `G = I − ωA` (Theorem 2),
+//! truncating at degree `m` gives
+//!
+//! ```text
+//! P_m(A) = ω (I + G + G² + … + G^m)
+//! ```
+//!
+//! which converges when `ρ(G) < 1`, i.e. `σ(A) ⊂ (0, 2/ω)`. After the
+//! norm-1 diagonal scaling (`σ(A) ⊂ (0, 1)`) the natural choice is `ω = 1`;
+//! for an unscaled SPD matrix with Gershgorin bound `h̄` use `ω = 1/h̄`.
+//!
+//! The residual polynomial has the closed form
+//! `1 − λ P_m(λ) = (1 − ωλ)^{m+1}`, which generates Fig. 1.
+
+use crate::poly::Poly;
+use crate::Preconditioner;
+use parfem_sparse::LinearOperator;
+
+/// Neumann-series preconditioner of degree `m` with scaling factor `ω`.
+#[derive(Debug, Clone, Copy)]
+pub struct NeumannPrecond {
+    degree: usize,
+    omega: f64,
+}
+
+impl NeumannPrecond {
+    /// Creates the preconditioner.
+    ///
+    /// # Panics
+    /// Panics if `omega` is not positive.
+    pub fn new(degree: usize, omega: f64) -> Self {
+        assert!(omega > 0.0, "omega must be positive");
+        NeumannPrecond { degree, omega }
+    }
+
+    /// The preconditioner for a system scaled to `σ(A) ⊂ (0, 1)` (`ω = 1`).
+    pub fn for_scaled_system(degree: usize) -> Self {
+        Self::new(degree, 1.0)
+    }
+
+    /// The preconditioner for `σ(A) ⊂ (0, upper)` (`ω = 1/upper`).
+    ///
+    /// # Panics
+    /// Panics if `upper` is not positive.
+    pub fn for_spectrum_upper_bound(degree: usize, upper: f64) -> Self {
+        assert!(upper > 0.0, "spectrum upper bound must be positive");
+        Self::new(degree, 1.0 / upper)
+    }
+
+    /// Polynomial degree `m`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Scaling factor `ω`.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// The residual polynomial `1 − λ P_m(λ) = (1 − ωλ)^{m+1}` (Fig. 1).
+    pub fn residual(&self, lambda: f64) -> f64 {
+        (1.0 - self.omega * lambda).powi(self.degree as i32 + 1)
+    }
+
+    /// Scalar evaluation `P_m(λ)` (for plots and tests).
+    pub fn eval(&self, lambda: f64) -> f64 {
+        // omega * sum_{i=0}^{m} (1 - omega*lambda)^i, Horner-style.
+        let g = 1.0 - self.omega * lambda;
+        let mut acc = 1.0;
+        for _ in 0..self.degree {
+            acc = 1.0 + g * acc;
+        }
+        self.omega * acc
+    }
+
+    /// Monomial coefficients of `P_m` (for the Fig. 3 stability study).
+    pub fn monomial(&self) -> Poly {
+        // P = omega * sum G^i, G = 1 - omega*x.
+        let mut g_pow = Poly::constant(1.0);
+        let mut sum = Poly::constant(1.0);
+        for _ in 0..self.degree {
+            g_pow = g_pow.mul_linear(-self.omega, 1.0);
+            sum = sum.add_scaled(1.0, &g_pow);
+        }
+        sum.scale(self.omega)
+    }
+}
+
+impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for NeumannPrecond {
+    fn apply_into(&self, op: &Op, v: &[f64], z: &mut [f64]) {
+        let n = op.dim();
+        assert_eq!(v.len(), n, "neumann: v length mismatch");
+        assert_eq!(z.len(), n, "neumann: z length mismatch");
+        // z_{k+1} = v + G z_k = v + z_k - omega * A z_k; start z_0 = v.
+        // After m updates z = (I + G + ... + G^m) v; result omega * z.
+        z.copy_from_slice(v);
+        let mut az = vec![0.0; n];
+        for _ in 0..self.degree {
+            op.apply_into(z, &mut az);
+            for i in 0..n {
+                z[i] = v[i] + z[i] - self.omega * az[i];
+            }
+        }
+        for zi in z.iter_mut() {
+            *zi *= self.omega;
+        }
+    }
+
+    fn operator_applications(&self) -> usize {
+        self.degree
+    }
+
+    fn name(&self) -> String {
+        format!("neumann({})", self.degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_sparse::{CooMatrix, CsrMatrix};
+
+    fn scaled_laplacian(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 0.5).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -0.25).unwrap();
+                coo.push(i + 1, i, -0.25).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn degree_zero_is_scaled_identity() {
+        let a = scaled_laplacian(4);
+        let p = NeumannPrecond::new(0, 2.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let z = p.apply(&a, &v);
+        assert_eq!(z, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn matrix_application_matches_scalar_eval_on_diagonal() {
+        // For diagonal A, P_m(A) is diagonal with entries P_m(a_ii).
+        let a = CsrMatrix::from_diagonal(&[0.2, 0.5, 0.9]);
+        let p = NeumannPrecond::for_scaled_system(6);
+        let z = p.apply(&a, &[1.0, 1.0, 1.0]);
+        for (zi, d) in z.iter().zip([0.2, 0.5, 0.9]) {
+            assert!((zi - p.eval(d)).abs() < 1e-12, "{zi} vs {}", p.eval(d));
+        }
+    }
+
+    #[test]
+    fn residual_closed_form_matches_definition() {
+        let p = NeumannPrecond::new(5, 0.8);
+        for &l in &[0.1, 0.5, 1.0, 1.2] {
+            let direct = 1.0 - l * p.eval(l);
+            assert!((p.residual(l) - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn residual_shrinks_with_degree_inside_spectrum() {
+        for &l in &[0.2, 0.5, 0.8] {
+            let r5 = NeumannPrecond::for_scaled_system(5).residual(l).abs();
+            let r10 = NeumannPrecond::for_scaled_system(10).residual(l).abs();
+            let r20 = NeumannPrecond::for_scaled_system(20).residual(l).abs();
+            assert!(r10 < r5 && r20 < r10, "at lambda={l}: {r5} {r10} {r20}");
+        }
+    }
+
+    #[test]
+    fn preconditioned_matrix_approximates_inverse() {
+        // ||P_m(A) A v - v|| must shrink as m grows, for sigma(A) in (0,1).
+        let a = scaled_laplacian(12);
+        let v: Vec<f64> = (0..12).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let mut prev = f64::INFINITY;
+        for m in [2usize, 6, 12, 24] {
+            let p = NeumannPrecond::for_scaled_system(m);
+            let av = a.spmv(&v);
+            let pav = p.apply(&a, &av);
+            let err: f64 = pav
+                .iter()
+                .zip(&v)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(err < prev, "degree {m}: {err} !< {prev}");
+            prev = err;
+        }
+        // Neumann damps an eigencomponent at lambda by (1-lambda)^{m+1}, so
+        // the smallest eigenvalue (~0.0146 here) limits the final error —
+        // exactly why the paper prefers GLS for ill-conditioned systems.
+        assert!(prev < 0.5, "final error {prev}");
+    }
+
+    #[test]
+    fn monomial_form_matches_eval() {
+        let p = NeumannPrecond::new(7, 0.9);
+        let poly = p.monomial();
+        assert_eq!(poly.degree(), 7);
+        for &l in &[0.0, 0.3, 0.7, 1.1] {
+            assert!((poly.eval(l) - p.eval(l)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn spectrum_bound_constructor_sets_omega() {
+        let p = NeumannPrecond::for_spectrum_upper_bound(3, 4.0);
+        assert_eq!(p.omega(), 0.25);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(
+            Preconditioner::<CsrMatrix>::name(&p),
+            "neumann(3)".to_string()
+        );
+        assert_eq!(Preconditioner::<CsrMatrix>::operator_applications(&p), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "omega must be positive")]
+    fn non_positive_omega_rejected() {
+        NeumannPrecond::new(3, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the polynomial preconditioners.
+
+use parfem_precond::gls::{GlsPrecond, IntervalUnion};
+use parfem_precond::neumann::NeumannPrecond;
+use parfem_precond::Preconditioner;
+use parfem_sparse::CsrMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a random single positive interval bounded away from 0.
+fn interval() -> impl Strategy<Value = (f64, f64)> {
+    (0.01..1.0f64, 0.05..3.0f64).prop_map(|(lo, width)| (lo, lo + width))
+}
+
+/// Strategy: a random two-sided (indefinite) interval union.
+fn two_sided() -> impl Strategy<Value = IntervalUnion> {
+    (0.1..2.0f64, 0.1..2.0f64, 0.05..1.0f64).prop_map(|(l, r, gap)| {
+        IntervalUnion::new(vec![(-l - gap, -gap), (gap, r + gap)])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gls_residual_is_one_at_zero_for_any_theta((lo, hi) in interval(), m in 0usize..12) {
+        let p = GlsPrecond::new(m, IntervalUnion::single(lo, hi));
+        prop_assert!((p.residual(0.0) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gls_weighted_norm_never_increases_with_degree((lo, hi) in interval(), m in 1usize..10) {
+        let theta = IntervalUnion::single(lo, hi);
+        let n_lo = GlsPrecond::new(m, theta.clone()).weighted_residual_norm();
+        let n_hi = GlsPrecond::new(m + 1, theta).weighted_residual_norm();
+        prop_assert!(n_hi <= n_lo + 1e-9, "degree {}: {} -> {}", m, n_lo, n_hi);
+    }
+
+    #[test]
+    fn gls_matrix_apply_matches_scalar_eval((lo, hi) in interval(),
+                                            m in 1usize..9,
+                                            lambdas in prop::collection::vec(0.01..3.0f64, 3)) {
+        let p = GlsPrecond::new(m, IntervalUnion::single(lo, hi));
+        let a = CsrMatrix::from_diagonal(&lambdas);
+        let z = p.apply(&a, &vec![1.0; lambdas.len()]);
+        for (zi, &l) in z.iter().zip(&lambdas) {
+            let want = p.eval(l);
+            prop_assert!((zi - want).abs() < 1e-8 * (1.0 + want.abs()),
+                "lambda {}: {} vs {}", l, zi, want);
+        }
+    }
+
+    #[test]
+    fn gls_handles_random_indefinite_unions(theta in two_sided(), m in 2usize..10) {
+        // Construction must succeed and damp both sides of the spectrum at
+        // the interval midpoints better than the trivial residual 1.
+        let p = GlsPrecond::new(m, theta.clone());
+        for &(a, b) in theta.intervals() {
+            let mid = 0.5 * (a + b);
+            prop_assert!(p.residual(mid).abs() < 1.0,
+                "no damping at midpoint {} of {:?}", mid, (a, b));
+        }
+    }
+
+    #[test]
+    fn gls_monomial_matches_recurrence_eval((lo, hi) in interval(), m in 1usize..7) {
+        let p = GlsPrecond::new(m, IntervalUnion::single(lo, hi));
+        let poly = p.monomial();
+        for k in 0..=10 {
+            let l = lo + (hi - lo) * k as f64 / 10.0;
+            let a = poly.eval(l);
+            let b = p.eval(l);
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn neumann_residual_matches_direct_evaluation(omega in 0.1..2.0f64,
+                                                  m in 0usize..15,
+                                                  lambda in 0.0..2.0f64) {
+        let p = NeumannPrecond::new(m, omega);
+        let direct = 1.0 - lambda * p.eval(lambda);
+        prop_assert!((p.residual(lambda) - direct).abs() < 1e-9 * (1.0 + direct.abs()));
+    }
+
+    #[test]
+    fn neumann_converges_geometrically_inside_the_disc(omega in 0.5..1.5f64,
+                                                       lambda in 0.05..1.0f64) {
+        // |1 - omega*lambda| < 1 ==> residual shrinks monotonically in m.
+        prop_assume!((1.0 - omega * lambda).abs() < 0.95);
+        let r5 = NeumannPrecond::new(5, omega).residual(lambda).abs();
+        let r10 = NeumannPrecond::new(10, omega).residual(lambda).abs();
+        prop_assert!(r10 <= r5 + 1e-12);
+    }
+
+    #[test]
+    fn preconditioner_apply_is_linear((lo, hi) in interval(),
+                                      m in 1usize..7,
+                                      alpha in -3.0..3.0f64,
+                                      d in prop::collection::vec(0.1..2.0f64, 4),
+                                      v in prop::collection::vec(-2.0..2.0f64, 4),
+                                      w in prop::collection::vec(-2.0..2.0f64, 4)) {
+        // P(A)(alpha v + w) == alpha P(A)v + P(A)w.
+        let p = GlsPrecond::new(m, IntervalUnion::single(lo, hi));
+        let a = CsrMatrix::from_diagonal(&d);
+        let combo: Vec<f64> = v.iter().zip(&w).map(|(x, y)| alpha * x + y).collect();
+        let lhs = p.apply(&a, &combo);
+        let pv = p.apply(&a, &v);
+        let pw = p.apply(&a, &w);
+        for ((l, x), y) in lhs.iter().zip(&pv).zip(&pw) {
+            let rhs = alpha * x + y;
+            prop_assert!((l - rhs).abs() < 1e-9 * (1.0 + rhs.abs()));
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Dense `f64` vector kernels.
+//!
+//! These are the DAXPY / dot-product / norm primitives that dominate the
+//! vector-update cost of the Krylov solvers (paper Section 3.1.2). They are
+//! deliberately written over plain slices so the same kernels serve global
+//! vectors, subdomain-local vectors, and Hessenberg columns, and so the
+//! compiler can vectorize them.
+
+/// `y <- alpha * x + y` (DAXPY).
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y <- alpha * x + beta * y`.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+#[inline]
+pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Euclidean inner product `<x, y>`.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `||x||_2`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Discrete L1 norm `||x||_1 = sum |x_i|` (the norm of Theorem 1).
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Max norm `||x||_inf`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// `x <- alpha * x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// `z <- x - y`, writing into a caller-provided buffer.
+///
+/// # Panics
+/// Panics if the three slices have different lengths.
+#[inline]
+pub fn sub_into(x: &[f64], y: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "sub_into: length mismatch");
+    assert_eq!(x.len(), z.len(), "sub_into: output length mismatch");
+    for ((zi, xi), yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi - yi;
+    }
+}
+
+/// Copies `x` into `y`.
+///
+/// # Panics
+/// Panics if `x` and `y` have different lengths.
+#[inline]
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// Component-wise multiplication `y_i <- d_i * x_i` (application of a diagonal
+/// matrix).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn diag_mul_into(d: &[f64], x: &[f64], y: &mut [f64]) {
+    assert_eq!(d.len(), x.len(), "diag_mul_into: length mismatch");
+    assert_eq!(d.len(), y.len(), "diag_mul_into: output length mismatch");
+    for ((yi, di), xi) in y.iter_mut().zip(d).zip(x) {
+        *yi = di * xi;
+    }
+}
+
+/// In-place component-wise multiplication `x_i <- d_i * x_i`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn diag_mul(d: &[f64], x: &mut [f64]) {
+    assert_eq!(d.len(), x.len(), "diag_mul: length mismatch");
+    for (xi, di) in x.iter_mut().zip(d) {
+        *xi *= di;
+    }
+}
+
+/// Fills `x` with zeros.
+#[inline]
+pub fn zero(x: &mut [f64]) {
+    x.fill(0.0);
+}
+
+/// Solves the dense `n x n` system `A x = b` by LU with partial pivoting.
+///
+/// `a` is row-major and is consumed as scratch. Intended for small reference
+/// systems (test oracles, Hessenberg least squares, polynomial construction)
+/// — not a sparse-solver replacement.
+///
+/// # Panics
+/// Panics on dimension mismatch or a numerically singular matrix.
+pub fn solve_dense(n: usize, a: &mut [f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), n * n, "solve_dense: matrix length mismatch");
+    assert_eq!(b.len(), n, "solve_dense: rhs length mismatch");
+    let mut x = b.to_vec();
+    for p in 0..n {
+        // Partial pivot.
+        let (piv, pmax) = (p..n)
+            .map(|r| (r, a[r * n + p].abs()))
+            .max_by(|u, v| u.1.partial_cmp(&v.1).expect("non-NaN pivot"))
+            .expect("non-empty pivot column");
+        assert!(pmax > 1e-300, "solve_dense: singular matrix at column {p}");
+        if piv != p {
+            for c in 0..n {
+                a.swap(p * n + c, piv * n + c);
+            }
+            x.swap(p, piv);
+        }
+        let d = a[p * n + p];
+        for r in (p + 1)..n {
+            let f = a[r * n + p] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in p..n {
+                a[r * n + c] -= f * a[p * n + c];
+            }
+            x[r] -= f * x[p];
+        }
+    }
+    for p in (0..n).rev() {
+        for c in (p + 1)..n {
+            x[p] -= a[p * n + c] * x[c];
+        }
+        x[p] /= a[p * n + p];
+    }
+    x
+}
+
+/// Floating-point operation count of one `axpy`/`dot` of length `n`.
+///
+/// Used by the virtual-time machine model; kept next to the kernels so the
+/// count stays in sync with the implementation (one multiply + one add per
+/// element).
+#[inline]
+pub fn vector_op_flops(n: usize) -> u64 {
+    2 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs() + b.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpby_matches_reference() {
+        let x = [1.0, 2.0];
+        let mut y = [3.0, 4.0];
+        axpby(2.0, &x, -1.0, &mut y);
+        assert_eq!(y, [-1.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, -4.0];
+        assert_close(dot(&x, &x), 25.0);
+        assert_close(norm2(&x), 5.0);
+        assert_close(norm1(&x), 7.0);
+        assert_close(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn empty_vectors_are_fine() {
+        let x: [f64; 0] = [];
+        assert_eq!(dot(&x, &x), 0.0);
+        assert_eq!(norm2(&x), 0.0);
+        assert_eq!(norm1(&x), 0.0);
+        assert_eq!(norm_inf(&x), 0.0);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+        zero(&mut x);
+        assert_eq!(x, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn sub_into_matches_reference() {
+        let x = [5.0, 7.0];
+        let y = [1.0, 2.0];
+        let mut z = [0.0; 2];
+        sub_into(&x, &y, &mut z);
+        assert_eq!(z, [4.0, 5.0]);
+    }
+
+    #[test]
+    fn diag_mul_variants_agree() {
+        let d = [2.0, 3.0, 4.0];
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [0.0; 3];
+        diag_mul_into(&d, &x, &mut y);
+        assert_eq!(y, [2.0, 3.0, 4.0]);
+
+        let mut x2 = x;
+        diag_mul(&d, &mut x2);
+        assert_eq!(x2, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_rejects_mismatched_lengths() {
+        let x = [1.0];
+        let mut y = [1.0, 2.0];
+        axpy(1.0, &x, &mut y);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_dense_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = solve_dense(2, &mut a, &[3.0, 4.0]);
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_dense_requires_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let x = solve_dense(2, &mut a, &[5.0, 7.0]);
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn solve_dense_random_3x3() {
+        let a0 = [2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let xe = [1.0, -2.0, 3.0];
+        // b = A * xe
+        let mut b = [0.0; 3];
+        for r in 0..3 {
+            for c in 0..3 {
+                b[r] += a0[r * 3 + c] * xe[c];
+            }
+        }
+        let mut a = a0.to_vec();
+        let x = solve_dense(3, &mut a, &b);
+        for (xi, ei) in x.iter().zip(&xe) {
+            assert_close(*xi, *ei);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular matrix")]
+    fn solve_dense_rejects_singular() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        solve_dense(2, &mut a, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn flop_count_is_two_per_element() {
+        assert_eq!(vector_op_flops(10), 20);
+        assert_eq!(vector_op_flops(0), 0);
+    }
+}

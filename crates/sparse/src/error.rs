@@ -1,0 +1,111 @@
+//! Error type shared by the sparse kernels.
+
+use std::fmt;
+
+/// Errors produced by sparse-matrix construction and factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// A triplet or index referenced a row/column outside the matrix shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows in the matrix.
+        n_rows: usize,
+        /// Number of columns in the matrix.
+        n_cols: usize,
+    },
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// A factorization hit a zero (or numerically negligible) pivot.
+    ///
+    /// For ILU(0) on an element-based subdomain matrix this is the paper's
+    /// "floating subdomain" failure mode (Section 3.2.3, Eq. 45): a subdomain
+    /// without enough Dirichlet support has a singular local stiffness matrix.
+    ZeroPivot {
+        /// Row at which the pivot vanished.
+        row: usize,
+        /// The pivot value actually encountered.
+        value: f64,
+    },
+    /// An operation required a square matrix but received a rectangular one.
+    NotSquare {
+        /// Number of rows.
+        n_rows: usize,
+        /// Number of columns.
+        n_cols: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                n_rows,
+                n_cols,
+            } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {n_rows}x{n_cols} matrix"
+            ),
+            SparseError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            SparseError::ZeroPivot { row, value } => write!(
+                f,
+                "zero pivot at row {row} (value {value:.3e}); matrix is singular or needs pivoting"
+            ),
+            SparseError::NotSquare { n_rows, n_cols } => {
+                write!(f, "operation requires a square matrix, got {n_rows}x{n_cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            n_rows: 3,
+            n_cols: 3,
+        };
+        assert!(e.to_string().contains("(5, 7)"));
+        assert!(e.to_string().contains("3x3"));
+
+        let e = SparseError::ZeroPivot { row: 2, value: 0.0 };
+        assert!(e.to_string().contains("row 2"));
+
+        let e = SparseError::NotSquare {
+            n_rows: 4,
+            n_cols: 2,
+        };
+        assert!(e.to_string().contains("4x2"));
+
+        let e = SparseError::ShapeMismatch {
+            context: "spmv".into(),
+        };
+        assert!(e.to_string().contains("spmv"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SparseError::ZeroPivot { row: 1, value: 0.0 },
+            SparseError::ZeroPivot { row: 1, value: 0.0 }
+        );
+        assert_ne!(
+            SparseError::ZeroPivot { row: 1, value: 0.0 },
+            SparseError::ZeroPivot { row: 2, value: 0.0 }
+        );
+    }
+}

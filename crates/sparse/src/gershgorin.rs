@@ -1,0 +1,206 @@
+//! Spectrum estimation: Gershgorin discs and power iteration.
+//!
+//! The polynomial preconditioners of the paper are built from an estimate
+//! `Θ ⊇ σ(A)` of the matrix spectrum. After norm-1 diagonal scaling the
+//! paper simply uses `Θ = (0, 1)` (justified by Theorem 1 / Gershgorin);
+//! this module provides the general estimators used for the Figure-10
+//! sensitivity study and for unscaled systems.
+
+use crate::csr::CsrMatrix;
+use crate::dense;
+
+/// Gershgorin upper bound: `λ_max(A) ≤ max_i ‖a_i‖₁` for symmetric `A`
+/// (paper Theorem 1, Eq. 8).
+pub fn gershgorin_upper_bound(a: &CsrMatrix) -> f64 {
+    a.row_abs_sums().iter().fold(0.0_f64, |m, &s| m.max(s))
+}
+
+/// Gershgorin lower bound for a symmetric matrix:
+/// `λ_min(A) ≥ min_i (a_ii − Σ_{j≠i} |a_ij|)`.
+pub fn gershgorin_lower_bound(a: &CsrMatrix) -> f64 {
+    let mut lb = f64::INFINITY;
+    for r in 0..a.n_rows() {
+        let (cols, vals) = a.row(r);
+        let mut diag = 0.0;
+        let mut off = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c == r {
+                diag = v;
+            } else {
+                off += v.abs();
+            }
+        }
+        lb = lb.min(diag - off);
+    }
+    if lb.is_finite() {
+        lb
+    } else {
+        0.0
+    }
+}
+
+/// The union-of-discs interval `[lower, upper]` containing `σ(A)` for a
+/// symmetric matrix.
+pub fn gershgorin_interval(a: &CsrMatrix) -> (f64, f64) {
+    (gershgorin_lower_bound(a), gershgorin_upper_bound(a))
+}
+
+/// Estimates `λ_max(A)` for symmetric `A` by power iteration.
+///
+/// Returns the Rayleigh-quotient estimate after at most `max_iters`
+/// iterations or when successive estimates differ by less than `tol`
+/// relatively. Deterministic: starts from a fixed pseudo-random vector (a
+/// symmetric start such as all-ones can be exactly orthogonal to the top
+/// eigenmode of structured matrices, which would silently converge to the
+/// wrong eigenvalue).
+pub fn power_iteration_lambda_max(a: &CsrMatrix, max_iters: usize, tol: f64) -> f64 {
+    let n = a.n_rows();
+    assert_eq!(n, a.n_cols(), "power iteration: square matrices only");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut x = deterministic_start(n);
+    let mut y = vec![0.0; n];
+    let mut lambda = 0.0;
+    for it in 0..max_iters {
+        a.spmv_into(&x, &mut y);
+        let ny = dense::norm2(&y);
+        if ny == 0.0 {
+            // x is in the null space; perturb deterministically and retry.
+            for (i, xi) in x.iter_mut().enumerate() {
+                *xi += ((i % 7) as f64 + 1.0) * 1e-3;
+            }
+            let nx = dense::norm2(&x);
+            dense::scale(1.0 / nx, &mut x);
+            continue;
+        }
+        let new_lambda = dense::dot(&x, &y); // Rayleigh quotient (x normalized)
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / ny;
+        }
+        if it > 0 && (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1e-300) {
+            return new_lambda;
+        }
+        lambda = new_lambda;
+    }
+    lambda
+}
+
+/// A fixed, unit-norm pseudo-random start vector (xorshift64).
+fn deterministic_start(n: usize) -> Vec<f64> {
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+    let mut x: Vec<f64> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Map to (-1, 1), bounded away from all-equal patterns.
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect();
+    let nx = dense::norm2(&x).max(1e-300);
+    dense::scale(1.0 / nx, &mut x);
+    x
+}
+
+/// Estimates `λ_min(A)` for symmetric positive definite `A` by shifted power
+/// iteration on `sI − A` where `s` is the Gershgorin upper bound.
+pub fn power_iteration_lambda_min(a: &CsrMatrix, max_iters: usize, tol: f64) -> f64 {
+    let s = gershgorin_upper_bound(a);
+    // Build sI - A once; its largest eigenvalue is s - lambda_min(A).
+    let ident = CsrMatrix::identity(a.n_rows());
+    let shifted = ident
+        .add_scaled(-1.0 / s.max(1e-300), a)
+        .expect("same shape by construction");
+    // shifted = I - A/s  =>  lambda_max(shifted) = 1 - lambda_min(A)/s
+    let mu = power_iteration_lambda_max(&shifted, max_iters, tol);
+    s * (1.0 - mu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut coo = crate::coo::CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Exact extreme eigenvalues of the n-point 1-D Dirichlet Laplacian:
+    /// λ_k = 2 − 2 cos(kπ/(n+1)).
+    fn laplacian_eigs(n: usize) -> (f64, f64) {
+        let h = std::f64::consts::PI / (n as f64 + 1.0);
+        (2.0 - 2.0 * h.cos(), 2.0 - 2.0 * ((n as f64) * h).cos())
+    }
+
+    #[test]
+    fn gershgorin_bounds_bracket_spectrum() {
+        let a = laplacian(12);
+        let (lmin, lmax) = laplacian_eigs(12);
+        assert!(gershgorin_upper_bound(&a) >= lmax);
+        assert!(gershgorin_lower_bound(&a) <= lmin);
+    }
+
+    #[test]
+    fn gershgorin_upper_bound_is_four_for_laplacian() {
+        let a = laplacian(10);
+        assert_eq!(gershgorin_upper_bound(&a), 4.0);
+        assert_eq!(gershgorin_lower_bound(&a), 0.0);
+        assert_eq!(gershgorin_interval(&a), (0.0, 4.0));
+    }
+
+    #[test]
+    fn power_iteration_converges_to_lambda_max() {
+        let a = laplacian(20);
+        let (_, lmax) = laplacian_eigs(20);
+        let est = power_iteration_lambda_max(&a, 5000, 1e-12);
+        assert!(
+            (est - lmax).abs() < 1e-6 * lmax,
+            "estimate {est} vs exact {lmax}"
+        );
+    }
+
+    #[test]
+    fn power_iteration_lambda_min_on_spd() {
+        let a = laplacian(20);
+        let (lmin, _) = laplacian_eigs(20);
+        let est = power_iteration_lambda_min(&a, 20000, 1e-13);
+        assert!(
+            (est - lmin).abs() < 1e-4 * lmin.max(1e-3),
+            "estimate {est} vs exact {lmin}"
+        );
+    }
+
+    #[test]
+    fn diagonal_matrix_exact() {
+        let a = CsrMatrix::from_diagonal(&[1.0, 5.0, 3.0]);
+        assert_eq!(gershgorin_upper_bound(&a), 5.0);
+        assert_eq!(gershgorin_lower_bound(&a), 1.0);
+        let est = power_iteration_lambda_max(&a, 2000, 1e-14);
+        assert!((est - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let a = CsrMatrix::identity(0);
+        assert_eq!(power_iteration_lambda_max(&a, 10, 1e-10), 0.0);
+        assert_eq!(gershgorin_upper_bound(&a), 0.0);
+        assert_eq!(gershgorin_lower_bound(&a), 0.0);
+    }
+
+    #[test]
+    fn power_iteration_escapes_null_space_start() {
+        // Matrix whose null space contains the all-ones start vector:
+        // A = [1 -1; -1 1]; eigenvalues {0, 2}.
+        let a = CsrMatrix::from_dense(2, 2, &[1.0, -1.0, -1.0, 1.0]);
+        let est = power_iteration_lambda_max(&a, 2000, 1e-13);
+        assert!((est - 2.0).abs() < 1e-8, "estimate {est}");
+    }
+}

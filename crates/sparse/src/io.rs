@@ -1,0 +1,201 @@
+//! Matrix Market (`.mtx`) import/export.
+//!
+//! The experiment harness writes its assembled operators in the standard
+//! MatrixMarket coordinate format so runs can be reproduced or
+//! cross-checked against external solvers; only the subset needed for real
+//! general/symmetric sparse matrices and dense vectors is implemented.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes `m` in MatrixMarket coordinate format (`general` symmetry, 1-based
+/// indices).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_matrix<W: Write>(w: &mut W, m: &CsrMatrix) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.n_rows(), m.n_cols(), m.nnz())?;
+    for r in 0..m.n_rows() {
+        let (cols, vals) = m.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a dense vector in MatrixMarket array format.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_vector<W: Write>(w: &mut W, v: &[f64]) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix array real general")?;
+    writeln!(w, "{} 1", v.len())?;
+    for x in v {
+        writeln!(w, "{x:.17e}")?;
+    }
+    Ok(())
+}
+
+/// Reads a MatrixMarket coordinate-format matrix (real, `general` or
+/// `symmetric`; symmetric input is expanded to both triangles).
+///
+/// # Errors
+/// Returns [`SparseError::ShapeMismatch`] for malformed input and
+/// out-of-bounds errors for bad indices.
+pub fn read_matrix<R: Read>(r: R) -> Result<CsrMatrix, SparseError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| malformed("empty file"))?
+        .map_err(|e| malformed(&format!("io error: {e}")))?;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket matrix coordinate real") {
+        return Err(malformed("unsupported MatrixMarket header"));
+    }
+    let symmetric = h.contains("symmetric");
+
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| malformed(&format!("io error: {e}")))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| malformed("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| malformed("bad size line")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(malformed("size line must have 3 fields"));
+    }
+    let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(n_rows, n_cols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| malformed(&format!("io error: {e}")))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| malformed("missing row index"))?
+            .parse()
+            .map_err(|_| malformed("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| malformed("missing col index"))?
+            .parse()
+            .map_err(|_| malformed("bad col index"))?;
+        let v: f64 = it
+            .next()
+            .ok_or_else(|| malformed("missing value"))?
+            .parse()
+            .map_err(|_| malformed("bad value"))?;
+        if i == 0 || j == 0 {
+            return Err(malformed("MatrixMarket indices are 1-based"));
+        }
+        coo.push(i - 1, j - 1, v)?;
+        if symmetric && i != j {
+            coo.push(j - 1, i - 1, v)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(malformed(&format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+fn malformed(msg: &str) -> SparseError {
+    SparseError::ShapeMismatch {
+        context: format!("matrix market: {msg}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_round_trips() {
+        let a = CsrMatrix::from_dense(3, 3, &[2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &a).unwrap();
+        let b = read_matrix(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vector_format_is_standard() {
+        let mut buf = Vec::new();
+        write_vector(&mut buf, &[1.0, -2.5]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("%%MatrixMarket matrix array real general"));
+        assert!(text.contains("2 1"));
+    }
+
+    #[test]
+    fn symmetric_input_is_expanded() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % lower triangle only\n\
+                    2 2 3\n\
+                    1 1 4.0\n\
+                    2 1 -1.0\n\
+                    2 2 4.0\n";
+        let a = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.nnz(), 4);
+        assert!(a.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    \n\
+                    2 2 1\n\
+                    % another\n\
+                    1 2 3.0\n";
+        let a = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(read_matrix("not a header\n1 1 1\n".as_bytes()).is_err());
+        assert!(read_matrix("%%MatrixMarket matrix coordinate real general\n2 2\n".as_bytes())
+            .is_err());
+        // 0-based index.
+        assert!(read_matrix(
+            "%%MatrixMarket matrix coordinate real general\n1 1 1\n0 1 2.0\n".as_bytes()
+        )
+        .is_err());
+        // wrong count
+        assert!(read_matrix(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn large_values_keep_full_precision() {
+        let a = CsrMatrix::from_dense(1, 1, &[std::f64::consts::PI * 1e15]);
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &a).unwrap();
+        let b = read_matrix(&buf[..]).unwrap();
+        assert_eq!(a.get(0, 0), b.get(0, 0));
+    }
+}

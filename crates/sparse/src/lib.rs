@@ -1,0 +1,49 @@
+//! Sparse linear-algebra substrate for the `parfem` solver stack.
+//!
+//! This crate provides the serial building blocks every other crate in the
+//! workspace is layered on:
+//!
+//! - [`dense`] — flat `f64` vector kernels (AXPY, dot products, norms) used in
+//!   the hot loops of the Krylov solvers,
+//! - [`coo`] — a coordinate-format accumulator used by finite-element
+//!   assembly, with duplicate summation on conversion,
+//! - [`csr`] — compressed sparse row matrices and matrix–vector products,
+//! - [`scaling`] — the paper's norm-1 diagonal scaling (Theorem 1 /
+//!   Algorithms 3–4) that maps the matrix spectrum into `(0, 1)`,
+//! - [`gershgorin`] — spectrum estimation (Gershgorin discs, power iteration)
+//!   used to pick polynomial-preconditioner intervals,
+//! - [`ilu`] — ILU(0), the sequential comparator preconditioner in the
+//!   paper's Figures 11–12,
+//! - [`op`] — the [`LinearOperator`] abstraction shared by the sequential
+//!   and distributed solvers,
+//! - [`io`] — MatrixMarket import/export for reproducibility.
+//!
+//! All matrices are real, square-or-rectangular, `f64`-valued. Row and column
+//! indices are `usize`. Nothing in this crate allocates in per-iteration hot
+//! paths: every kernel has an `_into` variant writing into a caller-provided
+//! buffer.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Indexed `for r in 0..n` loops are the idiomatic form for the sparse/FEM
+// kernels in this workspace (the index feeds several arrays and the CSR
+// row spans at once); the iterator forms clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod gershgorin;
+pub mod ilu;
+pub mod io;
+pub mod op;
+pub mod scaling;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use ilu::Ilu0;
+pub use op::LinearOperator;
+pub use scaling::DiagonalScaling;

@@ -1,0 +1,174 @@
+//! Property-based tests for the sparse kernels.
+
+use parfem_sparse::{coo::CooMatrix, csr::CsrMatrix, dense, scaling::DiagonalScaling};
+use proptest::prelude::*;
+
+/// Strategy: a random list of triplets inside an `n x n` shape.
+fn triplets(n: usize, max_len: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, -100.0..100.0f64).prop_map(|(r, c, v)| (r, c, v)),
+        0..max_len,
+    )
+}
+
+/// Strategy: a random symmetric positive definite matrix built as
+/// `B + B^T + shift*I` from random triplets.
+fn spd_matrix(n: usize) -> impl Strategy<Value = CsrMatrix> {
+    triplets(n, 4 * n).prop_map(move |ts| {
+        let mut coo = CooMatrix::new(n, n);
+        for (r, c, v) in ts {
+            coo.push(r, c, v).unwrap();
+            coo.push(c, r, v).unwrap();
+        }
+        let b = coo.to_csr();
+        // Diagonal shift beyond the Gershgorin radius makes it SPD.
+        let radius = b
+            .row_abs_sums()
+            .into_iter()
+            .fold(0.0_f64, f64::max)
+            .max(1.0);
+        let shift = CsrMatrix::from_diagonal(&vec![2.0 * radius; n]);
+        shift.add_scaled(1.0, &b).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_to_csr_preserves_sums(ts in triplets(12, 120)) {
+        // The CSR entry (r, c) must equal the sum of all triplets at (r, c).
+        let mut coo = CooMatrix::new(12, 12);
+        let mut dense_ref = vec![0.0f64; 12 * 12];
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+            dense_ref[r * 12 + c] += v;
+        }
+        let csr = coo.to_csr();
+        for r in 0..12 {
+            for c in 0..12 {
+                let got = csr.get(r, c);
+                let want = dense_ref[r * 12 + c];
+                prop_assert!((got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                    "mismatch at ({}, {}): {} vs {}", r, c, got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_invariants_hold_after_conversion(ts in triplets(10, 80)) {
+        let mut coo = CooMatrix::new(10, 10);
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+        }
+        let csr = coo.to_csr();
+        let (row_ptr, col_idx, values) = csr.raw_parts();
+        prop_assert_eq!(row_ptr.len(), 11);
+        prop_assert_eq!(row_ptr[0], 0);
+        prop_assert_eq!(*row_ptr.last().unwrap(), values.len());
+        for r in 0..10 {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in row.windows(2) {
+                prop_assert!(w[0] < w[1], "columns not sorted in row {}", r);
+            }
+        }
+        // Round-trip through from_raw_parts must succeed.
+        prop_assert!(CsrMatrix::from_raw_parts(
+            10, 10, row_ptr.to_vec(), col_idx.to_vec(), values.to_vec()).is_ok());
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference(ts in triplets(9, 60), x in prop::collection::vec(-10.0..10.0f64, 9)) {
+        let mut coo = CooMatrix::new(9, 9);
+        let mut dense_ref = vec![0.0f64; 81];
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+            dense_ref[r * 9 + c] += v;
+        }
+        let csr = coo.to_csr();
+        let y = csr.spmv(&x);
+        for r in 0..9 {
+            let want: f64 = (0..9).map(|c| dense_ref[r * 9 + c] * x[c]).sum();
+            prop_assert!((y[r] - want).abs() <= 1e-8 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(ts in triplets(8, 50)) {
+        let mut coo = CooMatrix::new(8, 8);
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+        }
+        let csr = coo.to_csr();
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn transpose_swaps_spmv_roles(ts in triplets(7, 40),
+                                  x in prop::collection::vec(-5.0..5.0f64, 7),
+                                  y in prop::collection::vec(-5.0..5.0f64, 7)) {
+        // <A x, y> == <x, A^T y>
+        let mut coo = CooMatrix::new(7, 7);
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let lhs = dense::dot(&a.spmv(&x), &y);
+        let rhs = dense::dot(&x, &a.transpose().spmv(&y));
+        prop_assert!((lhs - rhs).abs() <= 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn norm1_scaling_bounds_spectrum(a in spd_matrix(10)) {
+        // After DKD scaling, lambda_max <= 1 (paper Eq. 12). The bound is on
+        // the quadratic form, not the Gershgorin discs of the scaled matrix.
+        let s = DiagonalScaling::from_matrix(&a).unwrap();
+        let scaled = s.scale_matrix(&a);
+        let lmax = parfem_sparse::gershgorin::power_iteration_lambda_max(&scaled, 20_000, 1e-13);
+        prop_assert!(lmax <= 1.0 + 1e-8, "lambda_max {} > 1", lmax);
+    }
+
+    #[test]
+    fn scaling_round_trip_preserves_rhs(a in spd_matrix(8),
+                                        u in prop::collection::vec(-3.0..3.0f64, 8)) {
+        // If f = K u, then with (A, b) = scale(K, f) and x = D^{-1} u we must
+        // have A x = b. Verify via residual identity: A (D^{-1} u) - D f = 0.
+        let f = a.spmv(&u);
+        let (scaled, b, s) = parfem_sparse::scaling::scale_system(&a, &f).unwrap();
+        // x = D^{-1} u: since scaled x should satisfy u = D x.
+        let x: Vec<f64> = u.iter().zip(s.diagonal()).map(|(ui, di)| ui / di).collect();
+        let ax = scaled.spmv(&x);
+        for (axi, bi) in ax.iter().zip(&b) {
+            prop_assert!((axi - bi).abs() <= 1e-7 * (1.0 + bi.abs()),
+                "residual component {} vs {}", axi, bi);
+        }
+    }
+
+    #[test]
+    fn ilu0_solves_spd_diagonally_dominant_well(a in spd_matrix(10),
+                                                xe in prop::collection::vec(-2.0..2.0f64, 10)) {
+        // Strong diagonal dominance makes ILU(0) an accurate solver: the
+        // preconditioned residual must shrink substantially.
+        let ilu = parfem_sparse::Ilu0::factorize(&a).unwrap();
+        let b = a.spmv(&xe);
+        let z = ilu.solve(&b);
+        let az = a.spmv(&z);
+        let num: f64 = az.iter().zip(&b).map(|(p, q)| (p - q).powi(2)).sum::<f64>().sqrt();
+        let den: f64 = dense::norm2(&b).max(1e-12);
+        prop_assert!(num / den < 0.5, "relative residual {}", num / den);
+    }
+
+    #[test]
+    fn dense_kernels_are_consistent(x in prop::collection::vec(-10.0..10.0f64, 1..64),
+                                    alpha in -4.0..4.0f64) {
+        // norm2^2 == dot(x, x); axpy of alpha then -alpha is identity.
+        let n2 = dense::norm2(&x);
+        let d = dense::dot(&x, &x);
+        prop_assert!((n2 * n2 - d).abs() <= 1e-9 * (1.0 + d.abs()));
+
+        let mut y = x.clone();
+        dense::axpy(alpha, &x, &mut y);
+        dense::axpy(-alpha, &x, &mut y);
+        for (a, b) in y.iter().zip(&x) {
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+        }
+    }
+}

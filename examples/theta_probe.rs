@@ -1,0 +1,16 @@
+use parfem::prelude::*;
+use parfem::sequential::SeqPrecond;
+fn main() {
+    let p = CantileverProblem::new(40, 8, Material::unit(), LoadCase::PullX(1.0));
+    let cfg = GmresConfig { tol: 1e-6, max_iters: 30000, ..Default::default() };
+    for (label, pc) in [
+        ("eps,1", SeqPrecond::Gls(10)),
+        ("0.4,0.6", SeqPrecond::GlsOnTheta(10, IntervalUnion::single(0.4, 0.6))),
+        ("0.5,1.0", SeqPrecond::GlsOnTheta(10, IntervalUnion::single(0.5, 1.0))),
+        ("1e-4,0.1", SeqPrecond::GlsOnTheta(10, IntervalUnion::single(1e-4, 0.1))),
+        ("0.9,1.0", SeqPrecond::GlsOnTheta(10, IntervalUnion::single(0.9, 1.0))),
+    ] {
+        let (_, h) = parfem::sequential::solve_static(&p, &pc, &cfg).unwrap();
+        println!("{label}: {} iters (converged={})", h.iterations(), h.converged());
+    }
+}

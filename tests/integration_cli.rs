@@ -1,0 +1,102 @@
+//! End-to-end tests of the `parfem` command-line binary.
+
+use std::process::Command;
+
+fn parfem() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parfem"))
+}
+
+#[test]
+fn meshes_lists_table2() {
+    let out = parfem().arg("meshes").output().expect("run parfem");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Mesh1"));
+    assert!(text.contains("Mesh10"));
+    assert!(text.contains("20301"));
+}
+
+#[test]
+fn solve_paper_mesh_converges_and_reports() {
+    let out = parfem()
+        .args([
+            "solve",
+            "--paper-mesh",
+            "2",
+            "--parts",
+            "2",
+            "--precond",
+            "gls:5",
+            "--machine",
+            "ideal",
+        ])
+        .output()
+        .expect("run parfem");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("converged = true"), "{text}");
+    assert!(text.contains("true relative residual"));
+}
+
+#[test]
+fn solve_rdd_strategy_works() {
+    let out = parfem()
+        .args([
+            "solve", "--mesh", "12x4", "--parts", "3", "--strategy", "rdd",
+        ])
+        .output()
+        .expect("run parfem");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("converged = true"));
+}
+
+#[test]
+fn spectrum_reports_bounds() {
+    let out = parfem()
+        .args(["spectrum", "--mesh", "10x4"])
+        .output()
+        .expect("run parfem");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("power iteration"));
+    assert!(text.contains("condition estimate"));
+}
+
+#[test]
+fn mtx_export_writes_files() {
+    let dir = std::env::temp_dir().join("parfem_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prefix = dir.join("sys");
+    let out = parfem()
+        .args([
+            "solve",
+            "--mesh",
+            "6x2",
+            "--parts",
+            "2",
+            "--mtx-out",
+            prefix.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run parfem");
+    assert!(out.status.success());
+    for suffix in ["k", "f", "u"] {
+        let path = dir.join(format!("sys_{suffix}.mtx"));
+        let content = std::fs::read_to_string(&path).expect("mtx file written");
+        assert!(content.starts_with("%%MatrixMarket"));
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = parfem().arg("frobnicate").output().expect("run parfem");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = parfem()
+        .args(["solve", "--mesh", "nonsense"])
+        .output()
+        .expect("run parfem");
+    assert!(!out.status.success());
+}

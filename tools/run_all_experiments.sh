@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus all ablation studies.
+# CSV artifacts land in results/; each binary asserts its qualitative shape
+# and exits non-zero on violation. Set PARFEM_QUICK=1 for a fast smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINARIES=(
+  fig01_neumann_residual fig02_gls_residual fig03_stability
+  fig10_theta_sensitivity fig11_static_precond fig12_dynamic_precond
+  fig13_static_degree fig14_dynamic_degree fig16_dynamic_speedup
+  fig17_speedup table1_comm_counts table2_meshes table3_performance
+  ablation_orthogonalization ablation_elements ablation_elements_parallel
+  ablation_partition ablation_machine ablation_polynomials
+  ablation_distortion ablation_restart
+)
+
+cargo build --release -p parfem-bench
+for b in "${BINARIES[@]}"; do
+  echo "==================== $b ===================="
+  "./target/release/$b"
+done
+echo "all experiments regenerated; CSVs in results/"
