@@ -43,7 +43,12 @@ fn bench_assembly(c: &mut Criterion) {
                         .iter()
                         .map(|s| {
                             SubdomainSystem::build(
-                                &p.mesh, &p.dof_map, &p.material, s, &p.loads, None,
+                                &p.mesh,
+                                &p.dof_map,
+                                &p.material,
+                                s,
+                                &p.loads,
+                                None,
                             )
                         })
                         .collect();

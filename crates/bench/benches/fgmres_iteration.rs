@@ -26,8 +26,7 @@ fn bench_fgmres(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::new("precond", pc.name()), &pc, |b, pc| {
             b.iter(|| {
-                let (u, h) =
-                    solve_system(black_box(&sys.stiffness), &sys.rhs, pc, &cfg).unwrap();
+                let (u, h) = solve_system(black_box(&sys.stiffness), &sys.rhs, pc, &cfg).unwrap();
                 assert!(h.converged());
                 black_box(u)
             })

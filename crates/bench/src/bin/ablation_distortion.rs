@@ -64,5 +64,7 @@ fn main() {
         worst <= 4 * base,
         "distortion should not blow up gls(7): {gls_iters:?}"
     );
-    println!("\ngls(7) robust across distortion levels (paper's scaling guarantee is geometry-free)");
+    println!(
+        "\ngls(7) robust across distortion levels (paper's scaling guarantee is geometry-free)"
+    );
 }

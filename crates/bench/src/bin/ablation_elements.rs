@@ -70,7 +70,14 @@ fn main() {
     }
     write_csv(
         "ablation_elements",
-        &["element", "nodes", "avg_degree", "nnz_per_row", "planar", "nnz"],
+        &[
+            "element",
+            "nodes",
+            "avg_degree",
+            "nnz_per_row",
+            "planar",
+            "nnz",
+        ],
         &rows,
     );
 
@@ -125,9 +132,13 @@ fn main() {
                 (kbc, loads)
             }
         };
-        let (_, h) =
-            parfem::sequential::solve_system(&k, &rhs, &parfem::sequential::SeqPrecond::Gls(7), &cfg)
-                .unwrap();
+        let (_, h) = parfem::sequential::solve_system(
+            &k,
+            &rhs,
+            &parfem::sequential::SeqPrecond::Gls(7),
+            &cfg,
+        )
+        .unwrap();
         println!(
             "{:>8}: {:>5} equations, {:>5} iterations (converged = {})",
             name,

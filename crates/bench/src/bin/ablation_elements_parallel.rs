@@ -183,7 +183,13 @@ fn main() {
         let ratio = r.rdd_bytes_per_iter / r.edd_bytes_per_iter;
         println!(
             "{:>6} {:>8} {:>16.0} {:>16.0} {:>10} {:>10} {:>12.2}",
-            r.name, r.n_eqn, r.edd_bytes_per_iter, r.rdd_bytes_per_iter, r.edd_iters, r.rdd_iters, ratio
+            r.name,
+            r.n_eqn,
+            r.edd_bytes_per_iter,
+            r.rdd_bytes_per_iter,
+            r.edd_iters,
+            r.rdd_iters,
+            ratio
         );
         csv.push(vec![
             r.name.to_string(),

@@ -61,9 +61,16 @@ fn main() {
     // Speedup must decay monotonically with latency, from near-linear to
     // communication-bound.
     for w in speedups.windows(2) {
-        assert!(w[1] <= w[0] + 1e-9, "speedup must fall with latency: {speedups:?}");
+        assert!(
+            w[1] <= w[0] + 1e-9,
+            "speedup must fall with latency: {speedups:?}"
+        );
     }
-    assert!(speedups[0] > 6.0, "low-latency speedup too low: {}", speedups[0]);
+    assert!(
+        speedups[0] > 6.0,
+        "low-latency speedup too low: {}",
+        speedups[0]
+    );
     assert!(
         *speedups.last().unwrap() < 4.0,
         "high-latency speedup should collapse: {}",

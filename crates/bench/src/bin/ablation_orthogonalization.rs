@@ -20,7 +20,11 @@ fn main() {
     let mut max_delta = 0i64;
     for k in [1usize, 2, 3] {
         let p = CantileverProblem::paper_mesh(k);
-        for pc in [SeqPrecond::None, SeqPrecond::Gls(7), SeqPrecond::Neumann(20)] {
+        for pc in [
+            SeqPrecond::None,
+            SeqPrecond::Gls(7),
+            SeqPrecond::Neumann(20),
+        ] {
             let mut iters = Vec::new();
             for ortho in [Orthogonalization::Classical, Orthogonalization::Modified] {
                 let cfg = GmresConfig {

@@ -27,8 +27,7 @@ fn main() {
     // GLS, which minimizes a *weighted L2* norm, wins on theta = (eps, 1)).
     let sys = p.static_system();
     let (a, _, _) = parfem::sparse::scaling::scale_system(&sys.stiffness, &sys.rhs).unwrap();
-    let lmin = parfem::sparse::gershgorin::power_iteration_lambda_min(&a, 50_000, 1e-12)
-        .max(1e-6);
+    let lmin = parfem::sparse::gershgorin::power_iteration_lambda_min(&a, 50_000, 1e-12).max(1e-6);
     println!("measured lambda_min of the scaled operator: {lmin:.4e}");
 
     // Theory: sup-norm of the residual on (lmin, 1).
@@ -41,9 +40,18 @@ fn main() {
     let cheb = ChebyshevPrecond::new(degree, lmin, 1.0);
     let gls = GlsPrecond::for_scaled_system(degree);
     println!("sup |1 - lambda P(lambda)| on (lambda_min, 1):");
-    println!("  neumann({degree})   = {:.4}", sup_of(&|l| neu.residual(l)));
-    println!("  chebyshev({degree}) = {:.4}", sup_of(&|l| cheb.residual(l)));
-    println!("  gls({degree})       = {:.4}", sup_of(&|l| gls.residual(l)));
+    println!(
+        "  neumann({degree})   = {:.4}",
+        sup_of(&|l| neu.residual(l))
+    );
+    println!(
+        "  chebyshev({degree}) = {:.4}",
+        sup_of(&|l| cheb.residual(l))
+    );
+    println!(
+        "  gls({degree})       = {:.4}",
+        sup_of(&|l| gls.residual(l))
+    );
 
     // Practice: solver iterations and total matvec cost.
     println!(

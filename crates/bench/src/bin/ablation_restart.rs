@@ -29,8 +29,16 @@ fn main() {
         println!(
             "{:>8} {:>14} {:>14} {:>10}",
             restart,
-            format!("{}{}", hg.iterations(), if hg.converged() { "" } else { "*" }),
-            format!("{}{}", hn.iterations(), if hn.converged() { "" } else { "*" }),
+            format!(
+                "{}{}",
+                hg.iterations(),
+                if hg.converged() { "" } else { "*" }
+            ),
+            format!(
+                "{}{}",
+                hn.iterations(),
+                if hn.converged() { "" } else { "*" }
+            ),
             hg.restarts
         );
         rows.push(vec![

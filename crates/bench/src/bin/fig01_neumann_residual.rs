@@ -19,10 +19,7 @@ fn main() {
 
     let n_samples = 61;
     let mut rows = Vec::new();
-    println!(
-        "{:>8} {:>14} {:>14} {:>14}",
-        "lambda", "m=5", "m=6", "m=7"
-    );
+    println!("{:>8} {:>14} {:>14} {:>14}", "lambda", "m=5", "m=6", "m=7");
     for k in 0..n_samples {
         let lambda = upper * k as f64 / (n_samples - 1) as f64;
         let vals: Vec<f64> = precs.iter().map(|p| p.residual(lambda)).collect();
@@ -39,16 +36,17 @@ fn main() {
                 .collect(),
         );
     }
-    write_csv("fig01_neumann_residual", &["lambda", "m5", "m6", "m7"], &rows);
+    write_csv(
+        "fig01_neumann_residual",
+        &["lambda", "m5", "m6", "m7"],
+        &rows,
+    );
 
     // Shape check mirroring the paper's visual claim: the max |residual|
     // over the interior shrinks as the degree grows.
     let max_res = |p: &NeumannPrecond| -> f64 {
         (1..n_samples - 1)
-            .map(|k| {
-                p.residual(upper * k as f64 / (n_samples - 1) as f64)
-                    .abs()
-            })
+            .map(|k| p.residual(upper * k as f64 / (n_samples - 1) as f64).abs())
             .fold(0.0_f64, f64::max)
     };
     let maxima: Vec<f64> = precs.iter().map(max_res).collect();

@@ -8,7 +8,10 @@ use parfem_bench::{banner, write_csv};
 use parfem_precond::{GlsPrecond, IntervalUnion};
 
 fn sweep(name: &str, theta: IntervalUnion, degrees: &[usize]) {
-    banner(&format!("Figure 2{name}: GLS residual on {:?}", theta.intervals()));
+    banner(&format!(
+        "Figure 2{name}: GLS residual on {:?}",
+        theta.intervals()
+    ));
     let precs: Vec<GlsPrecond> = degrees
         .iter()
         .map(|&m| GlsPrecond::new(m, theta.clone()))
@@ -45,9 +48,7 @@ fn sweep(name: &str, theta: IntervalUnion, degrees: &[usize]) {
                 max_res = max_res.max(p.residual(l).abs());
             }
         }
-        println!(
-            "degree {m:>2}: ||1 - lambda P||_w = {norm:.4}, sup over theta = {max_res:.4}"
-        );
+        println!("degree {m:>2}: ||1 - lambda P||_w = {norm:.4}, sup over theta = {max_res:.4}");
         assert!(
             norm <= prev + 1e-9,
             "weighted residual norm must not grow with degree"
@@ -65,12 +66,7 @@ fn main() {
     );
     sweep(
         "c",
-        IntervalUnion::new(vec![
-            (-6.0, -4.1),
-            (-3.9, -0.1),
-            (0.1, 5.9),
-            (6.1, 8.0),
-        ]),
+        IntervalUnion::new(vec![(-6.0, -4.1), (-3.9, -0.1), (0.1, 5.9), (6.1, 8.0)]),
         &[6, 10, 14],
     );
     println!("\nall shape checks passed");

@@ -32,7 +32,10 @@ fn main() {
             "measured [lmin,lmax]".into(),
             IntervalUnion::single(lmin, lmax),
         ),
-        ("(eps,0.5) too low".into(), IntervalUnion::single(f64::EPSILON, 0.5)),
+        (
+            "(eps,0.5) too low".into(),
+            IntervalUnion::single(f64::EPSILON, 0.5),
+        ),
         ("(0.1,1) floor cut".into(), IntervalUnion::single(0.1, 1.0)),
         ("(0.4,0.6) narrow".into(), IntervalUnion::single(0.4, 0.6)),
         ("(0.9,1.0) top only".into(), IntervalUnion::single(0.9, 1.0)),
@@ -59,12 +62,7 @@ fn main() {
     for (label, theta) in &thetas {
         let pc = SeqPrecond::GlsOnTheta(10, theta.clone());
         let (_, h) = parfem::sequential::solve_static(&p, &pc, &cfg).unwrap();
-        println!(
-            "{:>22} {:>8} {:>10}",
-            label,
-            h.iterations(),
-            h.converged()
-        );
+        println!("{:>22} {:>8} {:>10}", label, h.iterations(), h.converged());
         rows.push(vec![
             label.clone(),
             h.iterations().to_string(),

@@ -60,10 +60,7 @@ fn run_mesh(k: usize) {
     // exactly-scaled systems neumann(20)'s 21 matvecs per application can
     // win on iteration count for tiny meshes — EXPERIMENTS.md discusses.)
     let iters: Vec<usize> = curves.iter().map(|c| c.len() - 1).collect();
-    assert!(
-        iters[3] < iters[1],
-        "gls(7) must beat ilu(0): {iters:?}"
-    );
+    assert!(iters[3] < iters[1], "gls(7) must beat ilu(0): {iters:?}");
     assert!(
         iters[3] < iters[0],
         "gls(7) must beat the unpreconditioned run: {iters:?}"

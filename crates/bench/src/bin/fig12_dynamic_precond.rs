@@ -48,10 +48,7 @@ fn run_mesh(k: usize, dt: f64) {
     // Shape: gls(7) beats ilu(0) and the unpreconditioned run, as in the
     // static case (the paper's ordering carries over to the effective
     // dynamic systems).
-    assert!(
-        iters[3] < iters[1],
-        "gls(7) must beat ilu(0): {iters:?}"
-    );
+    assert!(iters[3] < iters[1], "gls(7) must beat ilu(0): {iters:?}");
     assert!(
         iters[3] < iters[0],
         "gls(7) must beat the unpreconditioned run: {iters:?}"

@@ -15,9 +15,7 @@ fn main() {
     banner("Figs. 15/16: dynamic (Newmark) speedup, EDD-FGMRES-gls(7)");
     let mesh_id = if quick { 3 } else { 5 };
     let p = CantileverProblem::paper_mesh(mesh_id);
-    let tip = p
-        .dof_map
-        .dof(p.mesh.node_at(p.mesh.nx(), p.mesh.ny()), 0);
+    let tip = p.dof_map.dof(p.mesh.node_at(p.mesh.nx(), p.mesh.ny()), 0);
     let steps = if quick { 3 } else { 5 };
     let cfg = DynamicRunConfig {
         solver: SolverConfig::default(),

@@ -14,7 +14,12 @@
 use parfem::prelude::*;
 use parfem_bench::{banner, write_csv};
 
-fn speedups_edd(p: &CantileverProblem, degree: usize, model: &MachineModel, ps: &[usize]) -> Vec<f64> {
+fn speedups_edd(
+    p: &CantileverProblem,
+    degree: usize,
+    model: &MachineModel,
+    ps: &[usize],
+) -> Vec<f64> {
     let cfg = SolverConfig {
         gmres: GmresConfig::default(),
         precond: PrecondSpec::Gls {
@@ -44,7 +49,12 @@ fn speedups_edd(p: &CantileverProblem, degree: usize, model: &MachineModel, ps: 
         .collect()
 }
 
-fn speedups_rdd(p: &CantileverProblem, degree: usize, model: &MachineModel, ps: &[usize]) -> Vec<f64> {
+fn speedups_rdd(
+    p: &CantileverProblem,
+    degree: usize,
+    model: &MachineModel,
+    ps: &[usize],
+) -> Vec<f64> {
     let cfg = SolverConfig {
         gmres: GmresConfig::default(),
         precond: PrecondSpec::Gls {
@@ -125,7 +135,11 @@ fn main() {
     let mut header = vec!["P".to_string()];
     header.extend(labels.clone());
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    write_csv("fig17a_edd_degree", &header_refs, &to_rows(&ps, &edd_series));
+    write_csv(
+        "fig17a_edd_degree",
+        &header_refs,
+        &to_rows(&ps, &edd_series),
+    );
 
     let rdd_series: Vec<Vec<f64>> = degrees
         .iter()
@@ -137,7 +151,11 @@ fn main() {
         &ps,
         &rdd_series,
     );
-    write_csv("fig17b_rdd_degree", &header_refs, &to_rows(&ps, &rdd_series));
+    write_csv(
+        "fig17b_rdd_degree",
+        &header_refs,
+        &to_rows(&ps, &rdd_series),
+    );
 
     // Shape check (a): EDD speedup at P=8 grows with degree.
     let s8: Vec<f64> = edd_series.iter().map(|s| s[3]).collect();

@@ -28,16 +28,35 @@ fn main() {
     let npart = NodePartition::strips_x(&p.mesh, 4);
 
     let basic = solve_edd(
-        &p.mesh, &p.dof_map, &p.material, &p.loads, &epart,
-        MachineModel::ideal(), &mk(EddVariant::Basic),
+        &p.mesh,
+        &p.dof_map,
+        &p.material,
+        &p.loads,
+        &epart,
+        MachineModel::ideal(),
+        &mk(EddVariant::Basic),
     );
-    let enhanced = solve_edd(
-        &p.mesh, &p.dof_map, &p.material, &p.loads, &epart,
-        MachineModel::ideal(), &mk(EddVariant::Enhanced),
+    // Trace the enhanced run: the event stream must reproduce the live
+    // counters exactly, which cross-validates the Table 1 numbers below.
+    let sink = TraceSink::recording();
+    let enhanced = solve_edd_traced(
+        &p.mesh,
+        &p.dof_map,
+        &p.material,
+        &p.loads,
+        &epart,
+        MachineModel::ideal(),
+        &mk(EddVariant::Enhanced),
+        &sink,
     );
     let rdd = solve_rdd(
-        &p.mesh, &p.dof_map, &p.material, &p.loads, &npart,
-        MachineModel::ideal(), &mk(EddVariant::Enhanced),
+        &p.mesh,
+        &p.dof_map,
+        &p.material,
+        &p.loads,
+        &npart,
+        MachineModel::ideal(),
+        &mk(EddVariant::Enhanced),
     );
 
     println!(
@@ -83,6 +102,23 @@ fn main() {
             "precond_exchanges_total",
         ],
         &rows,
+    );
+
+    // The trace must re-derive the enhanced run's comm counts by counting
+    // events — any drift between instrumentation and live stats is a bug.
+    let report = TraceReport::from_events(&sink.take_events());
+    for rank in &report.ranks {
+        let live = &enhanced.reports[rank.rank].stats;
+        assert_eq!(rank.comm.neighbor_exchanges, live.neighbor_exchanges);
+        assert_eq!(rank.comm.allreduces, live.allreduces);
+        assert_eq!(rank.comm.bytes_sent, live.bytes_sent);
+    }
+    let (ex_per_iter, red_per_iter) = report.per_iteration_comm().expect("iter events");
+    println!(
+        "\ntrace cross-check (enhanced): {:.2} exchanges/iter, {:.2} reductions/iter from {} events",
+        ex_per_iter,
+        red_per_iter,
+        report.iters.len(),
     );
 
     // Paper shape: basic ~= enhanced + 2; enhanced ~= rdd ~= 1 (+ setup).

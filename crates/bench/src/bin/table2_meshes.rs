@@ -12,7 +12,9 @@ use parfem_bench::{banner, write_csv};
 
 fn main() {
     banner("Table 2: finite element meshes");
-    let paper_neqn = [28usize, 656, 1640, 5100, 7320, 9940, 12960, 16380, 20200, 40400];
+    let paper_neqn = [
+        28usize, 656, 1640, 5100, 7320, 9940, 12960, 16380, 20200, 40400,
+    ];
     println!(
         "{:>7} {:>12} {:>8} {:>10} {:>12}",
         "Mesh", "nXele x nYele", "nNode", "nEqn(ours)", "nEqn(paper)"

@@ -20,7 +20,11 @@ fn main() {
     } else {
         vec![1, 2, 3, 4, 5, 6, 7]
     };
-    let degrees: Vec<usize> = if quick { vec![7, 10] } else { vec![7, 8, 9, 10] };
+    let degrees: Vec<usize> = if quick {
+        vec![7, 10]
+    } else {
+        vec![7, 8, 9, 10]
+    };
     let ps = [1usize, 2, 4, 8];
     let model = MachineModel::sgi_origin();
 
@@ -87,13 +91,21 @@ fn main() {
                     if np == 1 {
                         iter_table.push(Vec::new());
                     }
-                    iter_table.last_mut().unwrap().push(out.history.iterations());
+                    iter_table
+                        .last_mut()
+                        .unwrap()
+                        .push(out.history.iterations());
                     if np == 8 {
                         speedup8_by_mesh.push(s);
                     }
                 }
             }
-            println!("{:>6} {:>3} | {}", format!("Mesh{k}"), np, cells.join(" | "));
+            println!(
+                "{:>6} {:>3} | {}",
+                format!("Mesh{k}"),
+                np,
+                cells.join(" | ")
+            );
             rows.push(row);
         }
         println!();

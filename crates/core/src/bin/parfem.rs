@@ -4,13 +4,18 @@
 //! parfem meshes                          # list the paper's Table 2 meshes
 //! parfem spectrum --mesh 40x8            # spectrum bounds of the scaled operator
 //! parfem solve --mesh 100x100 --parts 8 --strategy edd --precond gls:7 \
-//!              --machine origin --tol 1e-6 --load pull:1.0 [--mtx-out prefix]
+//!              --machine origin --tol 1e-6 --load pull:1.0 [--mtx-out prefix] \
+//!              [--trace run.jsonl] [--profile]
+//! parfem report --trace run.jsonl        # phase/comm/convergence report from a trace
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
 
 use parfem::prelude::*;
 use parfem::sparse::{gershgorin, io as mmio, scaling::scale_system};
+use parfem::trace::{
+    jsonl, render_comm_table, render_convergence, render_phase_table, render_timeline,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -19,6 +24,7 @@ fn usage() -> ExitCode {
   parfem meshes
   parfem spectrum --mesh NXxNY | --paper-mesh K
   parfem solve [options]
+  parfem report --trace FILE.jsonl
 
 solve options:
   --mesh NXxNY          element grid (e.g. 100x100)
@@ -28,11 +34,18 @@ solve options:
   --parts P             number of subdomains/ranks (default 4)
   --strategy edd|rdd    decomposition strategy (default edd)
   --variant basic|enhanced   EDD algorithm variant (default enhanced)
-  --precond SPEC        none|jacobi|gls:M|neumann:M|chebyshev:M (default gls:7)
+  --precond SPEC        none|jacobi|gls:M|neumann:M|chebyshev:M|
+                        gls-escalating:PERIOD (default gls:7)
   --machine origin|sp2|ideal  virtual machine model (default origin)
   --tol T               relative residual tolerance (default 1e-6)
   --restart M           GMRES restart dimension (default 25)
-  --mtx-out PREFIX      write PREFIX_k.mtx / PREFIX_f.mtx / PREFIX_u.mtx"
+  --trace FILE.jsonl    record a structured event trace to FILE
+  --profile             print per-rank phase/comm tables after the solve
+  --mtx-out PREFIX      write PREFIX_k.mtx / PREFIX_f.mtx / PREFIX_u.mtx
+
+report options:
+  --trace FILE.jsonl    trace file written by `parfem solve --trace`
+  --width N             timeline width in columns (default 72)"
     );
     ExitCode::from(2)
 }
@@ -46,6 +59,10 @@ impl Args {
             .position(|a| a == key)
             .and_then(|i| self.0.get(i + 1))
             .map(|s| s.as_str())
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
     }
 }
 
@@ -126,6 +143,16 @@ fn parse_precond(spec: &str) -> Result<PrecondSpec, String> {
         "chebyshev" => Ok(PrecondSpec::Chebyshev {
             degree: degree(deg)?,
         }),
+        "gls-escalating" => {
+            let period = deg
+                .ok_or_else(|| "gls-escalating needs a period, e.g. gls-escalating:5".to_string())?
+                .parse()
+                .map_err(|_| "bad period".to_string())?;
+            if period == 0 {
+                return Err("period must be positive".to_string());
+            }
+            Ok(PrecondSpec::GlsEscalating { period })
+        }
         _ => Err(format!("unknown preconditioner {kind}")),
     }
 }
@@ -162,7 +189,10 @@ fn cmd_spectrum(args: &Args) -> ExitCode {
     println!("scaled operator ({} equations):", problem.n_eqn());
     println!("  power iteration: lambda in [{lmin:.4e}, {lmax:.6}]");
     println!("  gershgorin:      lambda in [{glo:.4}, {ghi:.4}]");
-    println!("  condition estimate kappa ~ {:.3e}", lmax / lmin.max(1e-300));
+    println!(
+        "  condition estimate kappa ~ {:.3e}",
+        lmax / lmin.max(1e-300)
+    );
     println!("  suggested theta: (eps, 1)  [paper default after norm-1 scaling]");
     ExitCode::SUCCESS
 }
@@ -220,6 +250,14 @@ fn cmd_solve(args: &Args) -> ExitCode {
         variant,
     };
 
+    let trace_path = args.value_of("--trace");
+    let profile = args.has_flag("--profile");
+    let sink = if trace_path.is_some() || profile {
+        TraceSink::recording()
+    } else {
+        TraceSink::disabled()
+    };
+
     let strategy = args.value_of("--strategy").unwrap_or("edd");
     println!(
         "solving {} equations with {} on {} ranks ({}, {})",
@@ -230,7 +268,7 @@ fn cmd_solve(args: &Args) -> ExitCode {
         machine.name
     );
     let out = match strategy {
-        "edd" => solve_edd(
+        "edd" => solve_edd_traced(
             &problem.mesh,
             &problem.dof_map,
             &problem.material,
@@ -238,8 +276,9 @@ fn cmd_solve(args: &Args) -> ExitCode {
             &ElementPartition::strips_x(&problem.mesh, parts),
             machine,
             &cfg,
+            &sink,
         ),
-        "rdd" => solve_rdd(
+        "rdd" => solve_rdd_traced(
             &problem.mesh,
             &problem.dof_map,
             &problem.material,
@@ -247,6 +286,7 @@ fn cmd_solve(args: &Args) -> ExitCode {
             &NodePartition::strips_x(&problem.mesh, parts),
             machine,
             &cfg,
+            &sink,
         ),
         s => {
             eprintln!("unknown strategy {s}");
@@ -284,6 +324,25 @@ fn cmd_solve(args: &Args) -> ExitCode {
         s0.flops as f64 / 1e6
     );
 
+    if sink.is_enabled() {
+        let events = sink.take_events();
+        if let Some(path) = trace_path {
+            match std::fs::write(path, jsonl::encode_all(&events)) {
+                Ok(()) => println!("wrote {} trace events to {path}", events.len()),
+                Err(e) => {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if profile {
+            let report = TraceReport::from_events(&events);
+            print!("\n{}", render_phase_table(&report));
+            print!("\n{}", render_comm_table(&report));
+            print!("\n{}", render_timeline(&report, 72));
+        }
+    }
+
     if let Some(prefix) = args.value_of("--mtx-out") {
         let write = |suffix: &str, f: &dyn Fn(&mut std::fs::File) -> std::io::Result<()>| {
             let path = format!("{prefix}_{suffix}.mtx");
@@ -302,6 +361,37 @@ fn cmd_solve(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_report(args: &Args) -> ExitCode {
+    let Some(path) = args.value_of("--trace") else {
+        eprintln!("error: report needs --trace FILE.jsonl");
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match jsonl::decode_all(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let width = args
+        .value_of("--width")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(72);
+    let report = TraceReport::from_events(&events);
+    print!("{}", render_phase_table(&report));
+    print!("\n{}", render_comm_table(&report));
+    print!("\n{}", render_convergence(&report));
+    print!("\n{}", render_timeline(&report, width));
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -312,6 +402,7 @@ fn main() -> ExitCode {
         "meshes" => cmd_meshes(),
         "spectrum" => cmd_spectrum(&args),
         "solve" => cmd_solve(&args),
+        "report" => cmd_report(&args),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command {other}");

@@ -112,9 +112,10 @@ pub fn simulate(
         diag_solve,
     );
 
-    let tip_dof = problem
-        .dof_map
-        .dof(problem.mesh.node_at(problem.mesh.nx(), problem.mesh.ny()), 1);
+    let tip_dof = problem.dof_map.dof(
+        problem.mesh.node_at(problem.mesh.nx(), problem.mesh.ny()),
+        1,
+    );
     let mut tip_history = Vec::with_capacity(steps);
     let mut total_iterations = 0usize;
     let mut all_converged = true;
@@ -170,8 +171,7 @@ mod tests {
             max_iters: 20_000,
             ..Default::default()
         };
-        let (_, h_static) =
-            crate::sequential::solve_static(&p, &SeqPrecond::Gls(3), &cfg).unwrap();
+        let (_, h_static) = crate::sequential::solve_static(&p, &SeqPrecond::Gls(3), &cfg).unwrap();
         let (_, h_dyn) = first_step_solve(&p, 1e-3, &SeqPrecond::Gls(3), &cfg).unwrap();
         assert!(h_dyn.converged());
         assert!(
@@ -192,16 +192,17 @@ mod tests {
             max_iters: 50_000,
             ..Default::default()
         };
-        let (u_static, _) =
-            crate::sequential::solve_static(&p, &SeqPrecond::Gls(7), &cfg).unwrap();
-        let tip = p
-            .dof_map
-            .dof(p.mesh.node_at(p.mesh.nx(), p.mesh.ny()), 1);
+        let (u_static, _) = crate::sequential::solve_static(&p, &SeqPrecond::Gls(7), &cfg).unwrap();
+        let tip = p.dof_map.dof(p.mesh.node_at(p.mesh.nx(), p.mesh.ny()), 1);
         let u_s = u_static[tip];
 
         let out = simulate(&p, 0.5, 400, &SeqPrecond::Gls(7), &cfg).unwrap();
         assert!(out.all_converged);
-        let min = out.tip_history.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = out
+            .tip_history
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         // Dynamic overshoot: peak deflection between 1x and ~2.2x static.
         assert!(min < u_s, "no overshoot: min {min} vs static {u_s}");
         assert!(min > 2.5 * u_s, "overshoot too large: {min} vs {u_s}");

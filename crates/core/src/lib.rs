@@ -52,6 +52,7 @@ pub use parfem_mesh as mesh;
 pub use parfem_msg as msg;
 pub use parfem_precond as precond;
 pub use parfem_sparse as sparse;
+pub use parfem_trace as trace;
 
 /// One-stop imports for examples and experiments.
 pub mod prelude {
@@ -59,8 +60,8 @@ pub mod prelude {
     pub use crate::problems::{CantileverProblem, LoadCase, PAPER_MESHES};
     pub use crate::sequential::{solve_static, solve_system, SeqPrecond};
     pub use parfem_dd::{
-        solve_dynamic_edd, solve_edd, solve_rdd, DdSolveOutput, DynamicRunConfig,
-        DynamicRunOutput, EddVariant, PrecondSpec, SolverConfig,
+        solve_dynamic_edd, solve_edd, solve_edd_traced, solve_rdd, solve_rdd_traced, DdSolveOutput,
+        DynamicRunConfig, DynamicRunOutput, EddVariant, PrecondSpec, SolverConfig,
     };
     pub use parfem_fem::{Material, NewmarkParams};
     pub use parfem_krylov::{ConvergenceHistory, GmresConfig};
@@ -68,4 +69,5 @@ pub mod prelude {
     pub use parfem_msg::{MachineModel, RankReport};
     pub use parfem_precond::IntervalUnion;
     pub use parfem_sparse::CsrMatrix;
+    pub use parfem_trace::{TraceReport, TraceSink};
 }

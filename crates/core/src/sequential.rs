@@ -8,8 +8,8 @@ use crate::problems::CantileverProblem;
 use parfem_krylov::gmres::{fgmres, GmresConfig};
 use parfem_krylov::ConvergenceHistory;
 use parfem_precond::{
-    BlockJacobiPrecond, ChebyshevPrecond, GlsPrecond, IdentityPrecond, Ilu0Precond,
-    IntervalUnion, JacobiPrecond, NeumannPrecond,
+    BlockJacobiPrecond, ChebyshevPrecond, GlsPrecond, IdentityPrecond, Ilu0Precond, IntervalUnion,
+    JacobiPrecond, NeumannPrecond,
 };
 use parfem_sparse::{scaling::scale_system, CsrMatrix, SparseError};
 
@@ -238,7 +238,12 @@ mod tests {
         // And it still solves the right system.
         let sys = p.static_system();
         let r = sys.stiffness.spmv(&u);
-        let err: f64 = r.iter().zip(&sys.rhs).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+        let err: f64 = r
+            .iter()
+            .zip(&sys.rhs)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let scale: f64 = sys.rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err < 1e-5 * scale);
     }

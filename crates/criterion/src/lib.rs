@@ -1,0 +1,254 @@
+//! A dependency-free stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no crates.io access, so the
+//! real `criterion` cannot be vendored. This crate implements the API subset
+//! the `parfem-bench` benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! measure-and-print runner: each benchmark is warmed up briefly, then timed
+//! over enough iterations to fill a short measurement window, and the mean
+//! time per iteration (plus throughput, when declared) is printed.
+//!
+//! No statistics, plots, or baselines — the point is that `cargo bench`
+//! compiles and produces honest timings offline.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// Units-of-work declaration used to report a rate next to the raw time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Declares the work per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Sets the number of measurement samples (kept for API compatibility;
+    /// the runner scales its measurement window with this value).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with access to `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Benchmarks a closure without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let per_iter = b.mean_time();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>12.3e} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:>12.3e} B/s", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<48} {:>12} /iter{}",
+            id.name,
+            format_time(per_iter),
+            rate
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] performs the measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`: a short warm-up, then timed batches until a
+    /// ~200 ms measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (and a floor of one iteration for very slow routines).
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let one = warm_start.elapsed();
+
+        let window = Duration::from_millis(200);
+        let mut total = one;
+        let mut iters = 1u64;
+        // Batch size chosen so each batch is ~10% of the window.
+        let batch = ((window.as_secs_f64() / 10.0) / one.as_secs_f64().max(1e-9))
+            .ceil()
+            .clamp(1.0, 1e7) as u64;
+        while total < window {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+
+    fn mean_time(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.total.as_secs_f64() / self.iters as f64
+        }
+    }
+}
+
+/// Bundles benchmark functions under a name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (some benches import it from
+/// criterion rather than `std::hint`).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..1000u64).sum::<u64>());
+        assert!(b.iters >= 1);
+        assert!(b.mean_time() > 0.0);
+    }
+
+    #[test]
+    fn ids_render_function_and_parameter() {
+        let id = BenchmarkId::new("spmv", "mesh4");
+        assert_eq!(id.name, "spmv/mesh4");
+    }
+
+    #[test]
+    fn format_time_picks_sane_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" us"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

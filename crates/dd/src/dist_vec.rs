@@ -197,7 +197,9 @@ mod tests {
             .iter()
             .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
             .collect();
-        let x: Vec<f64> = (0..dm.n_dofs()).map(|i| ((i * 3 % 11) as f64) - 5.0).collect();
+        let x: Vec<f64> = (0..dm.n_dofs())
+            .map(|i| ((i * 3 % 11) as f64) - 5.0)
+            .collect();
         let y_want = sys_global.stiffness.spmv(&x);
         let out = run_ranks(3, MachineModel::ideal(), |comm| {
             let sys = &systems[comm.rank()];

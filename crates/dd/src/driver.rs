@@ -14,12 +14,13 @@ use parfem_fem::{Material, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::history::ConvergenceHistory;
 use parfem_mesh::{DofMap, ElementPartition, NodePartition, QuadMesh};
-use parfem_msg::{run_ranks, Communicator, MachineModel, RankReport};
+use parfem_msg::{run_ranks_traced, Communicator, MachineModel, RankReport};
 use parfem_precond::{
     ChebyshevPrecond, EscalatingGls, GlsPrecond, IdentityPrecond, IntervalUnion, JacobiPrecond,
     NeumannPrecond, Preconditioner,
 };
 use parfem_sparse::{scaling::scale_system, LinearOperator};
+use parfem_trace::{TraceSink, Value};
 
 /// Which preconditioner the distributed solver should build.
 #[derive(Debug, Clone)]
@@ -107,6 +108,58 @@ pub struct DdSolveOutput {
     pub modeled_time: f64,
 }
 
+/// Stamps the end-of-solve summary (consumed by `parfem report` and the
+/// convergence renderer) onto the trace as a host-side `solve_summary`
+/// instant event.
+fn emit_solve_summary(sink: &TraceSink, variant: &str, spec: &PrecondSpec, out: &DdSolveOutput) {
+    if let Some(tracer) = sink.host_tracer() {
+        tracer.instant(
+            "solve_summary",
+            0.0,
+            vec![
+                (
+                    "converged".to_string(),
+                    Value::U64(out.history.converged() as u64),
+                ),
+                (
+                    "iterations".to_string(),
+                    Value::U64(out.history.iterations() as u64),
+                ),
+                (
+                    "restarts".to_string(),
+                    Value::U64(out.history.restarts as u64),
+                ),
+                (
+                    "final_rel_res".to_string(),
+                    Value::F64(
+                        out.history
+                            .relative_residuals
+                            .last()
+                            .copied()
+                            .unwrap_or(f64::NAN),
+                    ),
+                ),
+                ("modeled_time".to_string(), Value::F64(out.modeled_time)),
+                ("precond".to_string(), Value::Str(spec.name())),
+                ("variant".to_string(), Value::Str(variant.to_string())),
+            ],
+        );
+    }
+}
+
+/// Runs `f` under a named host-side (wall-clock) span.
+fn host_span<R>(sink: &TraceSink, name: &str, f: impl FnOnce() -> R) -> R {
+    let tracer = sink.host_tracer();
+    if let Some(t) = &tracer {
+        t.span_begin(name, 0.0);
+    }
+    let r = f();
+    if let Some(t) = &tracer {
+        t.span_end(name, 0.0);
+    }
+    r
+}
+
 /// Dispatches a closure with the concrete preconditioner for `spec`.
 fn with_precond<Op, R>(
     spec: &PrecondSpec,
@@ -124,9 +177,7 @@ where
             run(&GlsPrecond::new(*degree, t))
         }
         PrecondSpec::Neumann { degree } => run(&NeumannPrecond::for_scaled_system(*degree)),
-        PrecondSpec::Chebyshev { degree } => {
-            run(&ChebyshevPrecond::for_scaled_system(*degree))
-        }
+        PrecondSpec::Chebyshev { degree } => run(&ChebyshevPrecond::for_scaled_system(*degree)),
         PrecondSpec::GlsEscalating { period } => {
             run(&EscalatingGls::default_for_scaled_system(*period))
         }
@@ -168,12 +219,40 @@ pub fn solve_edd(
     model: MachineModel,
     cfg: &SolverConfig,
 ) -> DdSolveOutput {
-    let systems: Vec<SubdomainSystem> = part
-        .subdomains(mesh)
-        .iter()
-        .map(|s| SubdomainSystem::build(mesh, dm, material, s, loads, None))
-        .collect();
-    solve_edd_systems(&systems, dm.n_dofs(), model, cfg)
+    solve_edd_traced(
+        mesh,
+        dm,
+        material,
+        loads,
+        part,
+        model,
+        cfg,
+        &TraceSink::disabled(),
+    )
+}
+
+/// [`solve_edd`], recording structured events into `sink`: host-side
+/// `partition`/`assembly` spans plus everything
+/// [`solve_edd_systems_traced`] records.
+#[allow(clippy::too_many_arguments)] // the traced twin of solve_edd
+pub fn solve_edd_traced(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+    part: &ElementPartition,
+    model: MachineModel,
+    cfg: &SolverConfig,
+    sink: &TraceSink,
+) -> DdSolveOutput {
+    let subdomains = host_span(sink, "partition", || part.subdomains(mesh));
+    let systems: Vec<SubdomainSystem> = host_span(sink, "assembly", || {
+        subdomains
+            .iter()
+            .map(|s| SubdomainSystem::build(mesh, dm, material, s, loads, None))
+            .collect()
+    });
+    solve_edd_systems_traced(&systems, dm.n_dofs(), model, cfg, sink)
 }
 
 /// Runs the EDD pipeline (distributed scaling → preconditioner → FGMRES →
@@ -188,14 +267,35 @@ pub fn solve_edd_systems(
     model: MachineModel,
     cfg: &SolverConfig,
 ) -> DdSolveOutput {
+    solve_edd_systems_traced(systems, n_dofs, model, cfg, &TraceSink::disabled())
+}
+
+/// [`solve_edd_systems`] with tracing: per-rank `scaling`/`precond-build`
+/// spans, the `fgmres` span with per-iteration events, every message and
+/// collective from the communicator, and a final host-side `gather` span
+/// plus `solve_summary` instant.
+pub fn solve_edd_systems_traced(
+    systems: &[SubdomainSystem],
+    n_dofs: usize,
+    model: MachineModel,
+    cfg: &SolverConfig,
+    sink: &TraceSink,
+) -> DdSolveOutput {
     let p = systems.len();
     assert!(p > 0, "need at least one subdomain system");
-    let out = run_ranks(p, model, |comm| {
+    let out = run_ranks_traced(p, model, sink, |comm| {
         let sys = &systems[comm.rank()];
+        if let Some(t) = comm.tracer() {
+            t.span_begin("scaling", comm.virtual_time());
+        }
         let layout = EddLayout::from_system(sys);
         let sc = DistributedScaling::build(comm, &layout, &sys.k_local);
         let mut b = sys.f_local.clone();
         let a = sc.apply(&sys.k_local, &mut b);
+        if let Some(t) = comm.tracer() {
+            t.span_end("scaling", comm.virtual_time());
+            t.span_begin("precond-build", comm.virtual_time());
+        }
         let x0 = vec![0.0; b.len()];
         let res = with_precond(
             &cfg.precond,
@@ -205,7 +305,12 @@ pub fn solve_edd_systems(
                 layout.interface_sum(comm, &mut d);
                 d
             },
-            |pc| edd_fgmres(comm, &layout, &a, pc, &b, &x0, &cfg.gmres, cfg.variant),
+            |pc| {
+                if let Some(t) = comm.tracer() {
+                    t.span_end("precond-build", comm.virtual_time());
+                }
+                edd_fgmres(comm, &layout, &a, pc, &b, &x0, &cfg.gmres, cfg.variant)
+            },
         );
         let mut u = res.x;
         sc.unscale(&mut u);
@@ -213,17 +318,25 @@ pub fn solve_edd_systems(
     });
 
     let mut u = vec![0.0; n_dofs];
-    for (rank, (ul, _)) in out.results.iter().enumerate() {
-        for (l, &g) in systems[rank].global_dofs.iter().enumerate() {
-            u[g] = ul[l];
+    host_span(sink, "gather", || {
+        for (rank, (ul, _)) in out.results.iter().enumerate() {
+            for (l, &g) in systems[rank].global_dofs.iter().enumerate() {
+                u[g] = ul[l];
+            }
         }
-    }
-    DdSolveOutput {
+    });
+    let solved = DdSolveOutput {
         u,
         history: out.results[0].1.clone(),
         reports: out.reports,
         modeled_time: out.modeled_time,
-    }
+    };
+    let variant = match cfg.variant {
+        EddVariant::Basic => "edd-basic",
+        EddVariant::Enhanced => "edd-enhanced",
+    };
+    emit_solve_summary(sink, variant, &cfg.precond, &solved);
+    solved
 }
 
 /// Solves the static system with the row-based (block-row) decomposition
@@ -240,33 +353,75 @@ pub fn solve_rdd(
     model: MachineModel,
     cfg: &SolverConfig,
 ) -> DdSolveOutput {
-    let assembled = parfem_fem::assembly::build_static(mesh, dm, material, loads);
-    let (a, b, sc) =
-        scale_system(&assembled.stiffness, &assembled.rhs).expect("square assembled system");
+    solve_rdd_traced(
+        mesh,
+        dm,
+        material,
+        loads,
+        node_part,
+        model,
+        cfg,
+        &TraceSink::disabled(),
+    )
+}
+
+/// [`solve_rdd`], recording structured events into `sink`: host-side
+/// `assembly`/`scaling`/`gather` spans (RDD assembles and scales the global
+/// matrix up front), per-rank `precond-build` spans, the `fgmres` span with
+/// per-iteration events, and the final `solve_summary` instant.
+#[allow(clippy::too_many_arguments)] // the traced twin of solve_rdd
+pub fn solve_rdd_traced(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+    node_part: &NodePartition,
+    model: MachineModel,
+    cfg: &SolverConfig,
+    sink: &TraceSink,
+) -> DdSolveOutput {
+    let assembled = host_span(sink, "assembly", || {
+        parfem_fem::assembly::build_static(mesh, dm, material, loads)
+    });
+    let (a, b, sc) = host_span(sink, "scaling", || {
+        scale_system(&assembled.stiffness, &assembled.rhs).expect("square assembled system")
+    });
     let systems = RddSystem::build_all(&a, &b, node_part);
     let p = node_part.n_parts();
 
-    let out = run_ranks(p, model, |comm| {
+    let out = run_ranks_traced(p, model, sink, |comm| {
         let sys = &systems[comm.rank()];
+        if let Some(t) = comm.tracer() {
+            t.span_begin("precond-build", comm.virtual_time());
+        }
         let x0 = vec![0.0; sys.n_local()];
         let res = with_precond(
             &cfg.precond,
             || sys.rows.iter().map(|&d| a.get(d, d)).collect(),
-            |pc| rdd_fgmres(comm, sys, pc, &x0, &cfg.gmres),
+            |pc| {
+                if let Some(t) = comm.tracer() {
+                    t.span_end("precond-build", comm.virtual_time());
+                }
+                rdd_fgmres(comm, sys, pc, &x0, &cfg.gmres)
+            },
         );
         (res.x, res.history)
     });
 
     let mut x = vec![0.0; dm.n_dofs()];
-    for (rank, (xl, _)) in out.results.iter().enumerate() {
-        systems[rank].scatter(xl, &mut x);
-    }
-    DdSolveOutput {
-        u: sc.unscale_solution(&x),
-        history: out.results[0].1.clone(),
-        reports: out.reports,
-        modeled_time: out.modeled_time,
-    }
+    let solved = host_span(sink, "gather", || {
+        for (rank, (xl, _)) in out.results.iter().enumerate() {
+            systems[rank].scatter(xl, &mut x);
+        }
+        DdSolveOutput {
+            u: sc.unscale_solution(&x),
+            history: out.results[0].1.clone(),
+            reports: out.reports,
+            modeled_time: out.modeled_time,
+        }
+    });
+    emit_solve_summary(sink, "rdd", &cfg.precond, &solved);
+    solved
 }
 
 #[cfg(test)]
@@ -343,13 +498,25 @@ mod tests {
             },
             ..Default::default()
         };
-        let ue = solve_edd(&mesh, &dm, &mat, &loads, &epart, MachineModel::ideal(), &cfg);
-        let ur = solve_rdd(&mesh, &dm, &mat, &loads, &npart, MachineModel::ideal(), &cfg);
-        let scale = ue
-            .u
-            .iter()
-            .fold(0.0_f64, |m, v| m.max(v.abs()))
-            .max(1e-12);
+        let ue = solve_edd(
+            &mesh,
+            &dm,
+            &mat,
+            &loads,
+            &epart,
+            MachineModel::ideal(),
+            &cfg,
+        );
+        let ur = solve_rdd(
+            &mesh,
+            &dm,
+            &mat,
+            &loads,
+            &npart,
+            MachineModel::ideal(),
+            &cfg,
+        );
+        let scale = ue.u.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-12);
         for (a, b) in ue.u.iter().zip(&ur.u) {
             assert!((a - b).abs() < 1e-5 * scale, "{a} vs {b}");
         }
@@ -434,9 +601,7 @@ mod tests {
         let systems: Vec<parfem_fem::SubdomainSystem> = part
             .subdomains_of(&tmesh)
             .iter()
-            .map(|s| {
-                parfem_fem::SubdomainSystem::build_tri(&tmesh, &dm, &mat, s, &loads, None)
-            })
+            .map(|s| parfem_fem::SubdomainSystem::build_tri(&tmesh, &dm, &mat, s, &loads, None))
             .collect();
         let out = crate::driver::solve_edd_systems(
             &systems,
@@ -475,9 +640,7 @@ mod tests {
         let systems: Vec<parfem_fem::SubdomainSystem> = part
             .subdomains_of(&emesh)
             .iter()
-            .map(|s| {
-                parfem_fem::SubdomainSystem::build_quad8(&emesh, &dm, &mat, s, &loads, None)
-            })
+            .map(|s| parfem_fem::SubdomainSystem::build_quad8(&emesh, &dm, &mat, s, &loads, None))
             .collect();
         let out = crate::driver::solve_edd_systems(
             &systems,
@@ -498,6 +661,104 @@ mod tests {
             .sqrt();
         let scale: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err < 1e-5 * scale.max(1.0), "Q8 residual {err}");
+    }
+
+    #[test]
+    fn trace_comm_counts_match_live_stats_for_edd_solve() {
+        // The trace reconstructs communication by *counting events*, so
+        // agreement with the live CommStats is a real integrity check of
+        // the whole instrumentation path (ISSUE acceptance criterion).
+        let (mesh, dm, mat, loads) = problem(10, 4);
+        let part = ElementPartition::strips_x(&mesh, 4);
+        let sink = parfem_trace::TraceSink::recording();
+        let out = solve_edd_traced(
+            &mesh,
+            &dm,
+            &mat,
+            &loads,
+            &part,
+            MachineModel::sgi_origin(),
+            &SolverConfig::default(),
+            &sink,
+        );
+        assert!(out.history.converged());
+        let events = sink.take_events();
+        let report = parfem_trace::TraceReport::from_events(&events);
+        assert_eq!(report.nranks(), 4);
+        for rank in &report.ranks {
+            let live = &out.reports[rank.rank].stats;
+            assert_eq!(rank.comm.sends, live.sends, "rank {} sends", rank.rank);
+            assert_eq!(rank.comm.recvs, live.recvs, "rank {} recvs", rank.rank);
+            assert_eq!(rank.comm.bytes_sent, live.bytes_sent);
+            assert_eq!(rank.comm.bytes_received, live.bytes_received);
+            assert_eq!(rank.comm.allreduces, live.allreduces);
+            assert_eq!(rank.comm.allreduce_bytes, live.allreduce_bytes);
+            assert_eq!(rank.comm.barriers, live.barriers);
+            assert_eq!(rank.comm.neighbor_exchanges, live.neighbor_exchanges);
+            assert!((rank.final_virt - out.reports[rank.rank].virtual_time).abs() < 1e-12);
+        }
+        // The solve summary instant reached the trace intact.
+        let s = report.solve.as_ref().expect("solve summary");
+        assert!(s.converged);
+        assert_eq!(s.iterations, out.history.iterations() as u64);
+        assert_eq!(s.variant, "edd-enhanced");
+    }
+
+    #[test]
+    fn trace_round_trips_through_jsonl() {
+        // emit → encode → parse → aggregate must equal in-memory aggregate.
+        let (mesh, dm, mat, loads) = problem(6, 3);
+        let part = ElementPartition::strips_x(&mesh, 3);
+        let sink = parfem_trace::TraceSink::recording();
+        let _ = solve_edd_traced(
+            &mesh,
+            &dm,
+            &mat,
+            &loads,
+            &part,
+            MachineModel::ideal(),
+            &SolverConfig::default(),
+            &sink,
+        );
+        let events = sink.take_events();
+        let text = parfem_trace::jsonl::encode_all(&events);
+        let parsed = parfem_trace::jsonl::decode_all(&text).expect("parseable JSONL");
+        assert_eq!(events.len(), parsed.len());
+        let direct = parfem_trace::TraceReport::from_events(&events);
+        let round = parfem_trace::TraceReport::from_events(&parsed);
+        assert_eq!(direct.comm_totals(), round.comm_totals());
+        assert_eq!(direct.iters.len(), round.iters.len());
+        for (a, b) in direct.ranks.iter().zip(&round.ranks) {
+            assert_eq!(a.comm.sends, b.comm.sends);
+            assert_eq!(a.comm.flops, b.comm.flops);
+        }
+    }
+
+    #[test]
+    fn untraced_solve_is_unaffected_by_instrumentation() {
+        // The disabled sink must leave results bit-identical to the traced
+        // run (tracing reads state; it never perturbs the solve).
+        let (mesh, dm, mat, loads) = problem(8, 3);
+        let part = ElementPartition::strips_x(&mesh, 4);
+        let cfg = SolverConfig::default();
+        let plain = solve_edd(&mesh, &dm, &mat, &loads, &part, MachineModel::ideal(), &cfg);
+        let sink = parfem_trace::TraceSink::recording();
+        let traced = solve_edd_traced(
+            &mesh,
+            &dm,
+            &mat,
+            &loads,
+            &part,
+            MachineModel::ideal(),
+            &cfg,
+            &sink,
+        );
+        assert_eq!(plain.u, traced.u);
+        assert_eq!(
+            plain.history.relative_residuals,
+            traced.history.relative_residuals
+        );
+        assert_eq!(plain.modeled_time, traced.modeled_time);
     }
 
     #[test]

@@ -157,12 +157,66 @@ pub fn solve_dynamic_edd(
             }
         };
         let apply_solver = |b_local: &[f64], x0: &[f64]| match &pc {
-            Pc::None(q) => edd_fgmres(comm, &layout, &a_eff, q, b_local, x0, &cfg.solver.gmres, cfg.solver.variant),
-            Pc::Jacobi(q) => edd_fgmres(comm, &layout, &a_eff, q, b_local, x0, &cfg.solver.gmres, cfg.solver.variant),
-            Pc::Gls(q) => edd_fgmres(comm, &layout, &a_eff, q, b_local, x0, &cfg.solver.gmres, cfg.solver.variant),
-            Pc::Neumann(q) => edd_fgmres(comm, &layout, &a_eff, q, b_local, x0, &cfg.solver.gmres, cfg.solver.variant),
-            Pc::Chebyshev(q) => edd_fgmres(comm, &layout, &a_eff, q, b_local, x0, &cfg.solver.gmres, cfg.solver.variant),
-            Pc::Escalating(q) => edd_fgmres(comm, &layout, &a_eff, q, b_local, x0, &cfg.solver.gmres, cfg.solver.variant),
+            Pc::None(q) => edd_fgmres(
+                comm,
+                &layout,
+                &a_eff,
+                q,
+                b_local,
+                x0,
+                &cfg.solver.gmres,
+                cfg.solver.variant,
+            ),
+            Pc::Jacobi(q) => edd_fgmres(
+                comm,
+                &layout,
+                &a_eff,
+                q,
+                b_local,
+                x0,
+                &cfg.solver.gmres,
+                cfg.solver.variant,
+            ),
+            Pc::Gls(q) => edd_fgmres(
+                comm,
+                &layout,
+                &a_eff,
+                q,
+                b_local,
+                x0,
+                &cfg.solver.gmres,
+                cfg.solver.variant,
+            ),
+            Pc::Neumann(q) => edd_fgmres(
+                comm,
+                &layout,
+                &a_eff,
+                q,
+                b_local,
+                x0,
+                &cfg.solver.gmres,
+                cfg.solver.variant,
+            ),
+            Pc::Chebyshev(q) => edd_fgmres(
+                comm,
+                &layout,
+                &a_eff,
+                q,
+                b_local,
+                x0,
+                &cfg.solver.gmres,
+                cfg.solver.variant,
+            ),
+            Pc::Escalating(q) => edd_fgmres(
+                comm,
+                &layout,
+                &a_eff,
+                q,
+                b_local,
+                x0,
+                &cfg.solver.gmres,
+                cfg.solver.variant,
+            ),
         };
 
         // Local indices of watched dofs (if present on this rank).
@@ -234,7 +288,13 @@ pub fn solve_dynamic_edd(
                 }
             }
         }
-        (u, watch_histories, total_iterations, all_converged, last_history)
+        (
+            u,
+            watch_histories,
+            total_iterations,
+            all_converged,
+            last_history,
+        )
     });
 
     // Gather.

@@ -37,6 +37,7 @@ use parfem_krylov::history::{ConvergenceHistory, StopReason};
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
 use parfem_sparse::{CsrMatrix, LinearOperator};
+use parfem_trace::{EventKind, Value};
 
 /// Which of the paper's EDD algorithms to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,11 @@ impl<C: Communicator> LinearOperator for EddOperator<'_, C> {
     fn apply_into(&self, x: &[f64], y: &mut [f64]) {
         self.a_local.spmv_into(x, y);
         self.comm.work(self.a_local.spmv_flops());
+        if let Some(tracer) = self.comm.tracer() {
+            tracer.add_count("spmv_calls", 1);
+            tracer.add_count("spmv_rows", self.a_local.n_rows() as u64);
+            tracer.add_count("spmv_flops", self.a_local.spmv_flops());
+        }
         self.layout.interface_sum(self.comm, y);
     }
 
@@ -171,6 +177,31 @@ where
     C: Communicator,
     P: Preconditioner<EddOperator<'a, C>> + ?Sized,
 {
+    if let Some(tracer) = comm.tracer() {
+        tracer.span_begin("fgmres", comm.virtual_time());
+    }
+    let res = edd_fgmres_inner(comm, layout, a_local, precond, b_local, x0, cfg, variant);
+    if let Some(tracer) = comm.tracer() {
+        tracer.span_end("fgmres", comm.virtual_time());
+    }
+    res
+}
+
+#[allow(clippy::too_many_arguments)]
+fn edd_fgmres_inner<'a, C, P>(
+    comm: &'a C,
+    layout: &'a EddLayout,
+    a_local: &'a CsrMatrix,
+    precond: &P,
+    b_local: &[f64],
+    x0: &[f64],
+    cfg: &GmresConfig,
+    variant: EddVariant,
+) -> EddResult
+where
+    C: Communicator,
+    P: Preconditioner<EddOperator<'a, C>> + ?Sized,
+{
     let n = a_local.n_rows();
     assert_eq!(b_local.len(), n, "edd_fgmres: b length mismatch");
     assert_eq!(x0.len(), n, "edd_fgmres: x0 length mismatch");
@@ -253,6 +284,8 @@ where
                 break;
             }
             total_iters += 1;
+            let iter_start_stats = comm.stats();
+            let degree = precond.current_operator_applications();
 
             // Algorithm 5 keeps the basis local-distributed: converting it
             // back to global costs an extra exchange (numerically a no-op).
@@ -268,6 +301,9 @@ where
 
             // Flexible polynomial preconditioning (Algorithm 7 runs inside
             // the operator: one exchange per internal matvec).
+            if let Some(tracer) = comm.tracer() {
+                tracer.add_count("precond_applies", 1);
+            }
             let mut zj = precond.apply(&op, &vj);
             if variant == EddVariant::Basic {
                 // Algorithm 5 stores z local-distributed and re-sums it.
@@ -335,6 +371,30 @@ where
 
             let rel = g[j + 1].abs() / r0_norm;
             residuals.push(rel);
+
+            if let Some(tracer) = comm.tracer() {
+                let st = comm.stats();
+                tracer.emit(
+                    EventKind::Iter,
+                    "",
+                    comm.virtual_time(),
+                    vec![
+                        ("iter".to_string(), Value::U64(total_iters as u64)),
+                        ("rel_res".to_string(), Value::F64(rel)),
+                        ("restart_index".to_string(), Value::U64((j + 1) as u64)),
+                        ("cycle".to_string(), Value::U64(restarts as u64)),
+                        ("degree".to_string(), Value::U64(degree as u64)),
+                        (
+                            "exchanges".to_string(),
+                            Value::U64(st.neighbor_exchanges - iter_start_stats.neighbor_exchanges),
+                        ),
+                        (
+                            "allreduces".to_string(),
+                            Value::U64(st.allreduces - iter_start_stats.allreduces),
+                        ),
+                    ],
+                );
+            }
 
             if rel <= cfg.tol {
                 stop = Some(StopReason::Converged);
@@ -455,9 +515,7 @@ mod tests {
             let x0 = vec![0.0; b.len()];
             let res = match &gls {
                 Some(g) => edd_fgmres(comm, &layout, &a, g, &b, &x0, cfg, variant),
-                None => {
-                    edd_fgmres(comm, &layout, &a, &IdentityPrecond, &b, &x0, cfg, variant)
-                }
+                None => edd_fgmres(comm, &layout, &a, &IdentityPrecond, &b, &x0, cfg, variant),
             };
             let mut u = res.x;
             sc.unscale(&mut u);
@@ -616,8 +674,7 @@ mod tests {
         // Sequential reference on the assembled scaled operator.
         let sc = edd_scaling_reference(&fx.systems, fx.n);
         let a_seq = sc.scale_matrix(&fx.k);
-        let want =
-            parfem_sparse::gershgorin::power_iteration_lambda_max(&a_seq, 50_000, 1e-12);
+        let want = parfem_sparse::gershgorin::power_iteration_lambda_max(&a_seq, 50_000, 1e-12);
         let out = run_ranks(4, MachineModel::ideal(), |comm| {
             let sys = &fx.systems[comm.rank()];
             let layout = EddLayout::from_system(sys);
@@ -650,16 +707,7 @@ mod tests {
             let mut b = sys.f_local.clone();
             let a = sc.apply(&sys.k_local, &mut b);
             let x0 = vec![0.0; b.len()];
-            let res = edd_fgmres(
-                comm,
-                &layout,
-                &a,
-                &p,
-                &b,
-                &x0,
-                &cfg,
-                EddVariant::Enhanced,
-            );
+            let res = edd_fgmres(comm, &layout, &a, &p, &b, &x0, &cfg, EddVariant::Enhanced);
             let mut u = res.x;
             sc.unscale(&mut u);
             (u, res.history.converged())

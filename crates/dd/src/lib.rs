@@ -19,7 +19,6 @@
 // row spans at once); the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod dist_vec;
 pub mod driver;
 pub mod dynamic;
@@ -29,7 +28,8 @@ pub mod scaling;
 
 pub use dist_vec::EddLayout;
 pub use driver::{
-    solve_edd, solve_edd_systems, solve_rdd, DdSolveOutput, PrecondSpec, SolverConfig,
+    solve_edd, solve_edd_systems, solve_edd_systems_traced, solve_edd_traced, solve_rdd,
+    solve_rdd_traced, DdSolveOutput, PrecondSpec, SolverConfig,
 };
 pub use dynamic::{solve_dynamic_edd, DynamicRunConfig, DynamicRunOutput};
 pub use edd::{edd_fgmres, edd_lambda_max, EddOperator, EddVariant};

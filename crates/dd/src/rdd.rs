@@ -26,6 +26,7 @@ use parfem_mesh::NodePartition;
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
 use parfem_sparse::{CooMatrix, CsrMatrix, LinearOperator};
+use parfem_trace::{EventKind, Value};
 
 /// One rank's block-row system.
 #[derive(Debug, Clone)]
@@ -197,7 +198,10 @@ impl<C: Communicator> RddOperator<'_, C> {
         let incoming = self.comm.exchange(&ranks, &outgoing);
         let mut x_ext = vec![0.0; sys.ext_dofs.len().max(1)];
         for ((rank, positions), buf) in sys.recv_from.iter().zip(&incoming) {
-            debug_assert_eq!(*rank, sys.send_to[sys.recv_from.iter().position(|(r, _)| r == rank).unwrap()].0);
+            debug_assert_eq!(
+                *rank,
+                sys.send_to[sys.recv_from.iter().position(|(r, _)| r == rank).unwrap()].0
+            );
             for (&pos, &v) in positions.iter().zip(buf) {
                 x_ext[pos] = v;
             }
@@ -221,6 +225,14 @@ impl<C: Communicator> LinearOperator for RddOperator<'_, C> {
         }
         self.comm
             .work(sys.a_loc.spmv_flops() + sys.a_ext.spmv_flops());
+        if let Some(tracer) = self.comm.tracer() {
+            tracer.add_count("spmv_calls", 1);
+            tracer.add_count("spmv_rows", sys.n_local() as u64);
+            tracer.add_count(
+                "spmv_flops",
+                sys.a_loc.spmv_flops() + sys.a_ext.spmv_flops(),
+            );
+        }
     }
 
     fn apply_flops(&self) -> u64 {
@@ -279,6 +291,27 @@ pub struct RddResult {
 /// # Panics
 /// Panics on dimension mismatches.
 pub fn rdd_fgmres<'a, C, P>(
+    comm: &'a C,
+    sys: &'a RddSystem,
+    precond: &P,
+    x0: &[f64],
+    cfg: &GmresConfig,
+) -> RddResult
+where
+    C: Communicator,
+    P: Preconditioner<RddOperator<'a, C>> + ?Sized,
+{
+    if let Some(tracer) = comm.tracer() {
+        tracer.span_begin("fgmres", comm.virtual_time());
+    }
+    let res = rdd_fgmres_inner(comm, sys, precond, x0, cfg);
+    if let Some(tracer) = comm.tracer() {
+        tracer.span_end("fgmres", comm.virtual_time());
+    }
+    res
+}
+
+fn rdd_fgmres_inner<'a, C, P>(
     comm: &'a C,
     sys: &'a RddSystem,
     precond: &P,
@@ -363,6 +396,11 @@ where
                 break;
             }
             total_iters += 1;
+            let iter_start_stats = comm.stats();
+            let degree = precond.current_operator_applications();
+            if let Some(tracer) = comm.tracer() {
+                tracer.add_count("precond_applies", 1);
+            }
             let zj = precond.apply(&op, &v[j]);
             let mut w = vec![0.0; n];
             op.apply_into(&zj, &mut w);
@@ -413,6 +451,29 @@ where
 
             let rel = g[j + 1].abs() / r0_norm;
             residuals.push(rel);
+            if let Some(tracer) = comm.tracer() {
+                let st = comm.stats();
+                tracer.emit(
+                    EventKind::Iter,
+                    "",
+                    comm.virtual_time(),
+                    vec![
+                        ("iter".to_string(), Value::U64(total_iters as u64)),
+                        ("rel_res".to_string(), Value::F64(rel)),
+                        ("restart_index".to_string(), Value::U64((j + 1) as u64)),
+                        ("cycle".to_string(), Value::U64(restarts as u64)),
+                        ("degree".to_string(), Value::U64(degree as u64)),
+                        (
+                            "exchanges".to_string(),
+                            Value::U64(st.neighbor_exchanges - iter_start_stats.neighbor_exchanges),
+                        ),
+                        (
+                            "allreduces".to_string(),
+                            Value::U64(st.allreduces - iter_start_stats.allreduces),
+                        ),
+                    ],
+                );
+            }
             if rel <= cfg.tol {
                 stop = Some(StopReason::Converged);
                 break;
@@ -643,8 +704,7 @@ mod tests {
             let sys = &systems[comm.rank()];
             let ilu = RddLocalIlu::factorize(sys).expect("clamped blocks factorize");
             let pre = rdd_fgmres(comm, sys, &ilu, &vec![0.0; sys.n_local()], &cfg);
-            let plain =
-                rdd_fgmres(comm, sys, &IdentityPrecond, &vec![0.0; sys.n_local()], &cfg);
+            let plain = rdd_fgmres(comm, sys, &IdentityPrecond, &vec![0.0; sys.n_local()], &cfg);
             (
                 pre.history.iterations(),
                 plain.history.iterations(),
@@ -675,7 +735,11 @@ mod tests {
             let _ = ilu.apply(&op, &v);
             comm.stats().sends - before
         });
-        assert_eq!(out.results, vec![0, 0], "preconditioner must not communicate");
+        assert_eq!(
+            out.results,
+            vec![0, 0],
+            "preconditioner must not communicate"
+        );
     }
 
     #[test]

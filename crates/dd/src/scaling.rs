@@ -31,11 +31,7 @@ pub struct DistributedScaling {
 
 impl DistributedScaling {
     /// Algorithm 3: local row sums, interface accumulation, `1/√·`.
-    pub fn build<C: Communicator>(
-        comm: &C,
-        layout: &EddLayout,
-        k_local: &CsrMatrix,
-    ) -> Self {
+    pub fn build<C: Communicator>(comm: &C, layout: &EddLayout, k_local: &CsrMatrix) -> Self {
         let mut sums = k_local.row_abs_sums();
         comm.work(2 * k_local.nnz() as u64);
         layout.interface_sum(comm, &mut sums);
@@ -127,8 +123,7 @@ mod tests {
                 .iter()
                 .map(|&g| reference.diagonal()[g])
                 .collect();
-            sc.d
-                .iter()
+            sc.d.iter()
                 .zip(&want)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0_f64, f64::max)

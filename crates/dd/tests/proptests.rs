@@ -11,12 +11,7 @@ use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, QuadMesh};
 use parfem_msg::{run_ranks, Communicator, MachineModel};
 use proptest::prelude::*;
 
-fn problem(
-    nx: usize,
-    ny: usize,
-    fx: f64,
-    fy: f64,
-) -> (QuadMesh, DofMap, Material, Vec<f64>) {
+fn problem(nx: usize, ny: usize, fx: f64, fy: f64) -> (QuadMesh, DofMap, Material, Vec<f64>) {
     let mesh = QuadMesh::cantilever(nx, ny);
     let mut dm = DofMap::new(mesh.n_nodes());
     dm.clamp_edge(&mesh, Edge::Left);

@@ -62,7 +62,8 @@ pub fn assemble_mass(mesh: &QuadMesh, dm: &DofMap, material: &Material, lumped: 
             // Scatter only the diagonal so the global matrix stays diagonal.
             let me = quad4::lumped_mass(&mesh.elem_coords(e), material);
             for (i, &d) in dofs.iter().enumerate() {
-                coo.push(d, d, me[i * 8 + i]).expect("element dofs in bounds");
+                coo.push(d, d, me[i * 8 + i])
+                    .expect("element dofs in bounds");
             }
         } else {
             let me = quad4::consistent_mass(&mesh.elem_coords(e), material);
@@ -132,14 +133,7 @@ pub fn point_load(dm: &DofMap, node: usize, fx: f64, fy: f64, rhs: &mut [f64]) {
 /// consistently partitioned over the edge nodes (half weights at the two end
 /// nodes — the trapezoidal rule for linear shape functions on a uniform
 /// edge).
-pub fn edge_load(
-    mesh: &QuadMesh,
-    dm: &DofMap,
-    edge: Edge,
-    fx: f64,
-    fy: f64,
-    rhs: &mut [f64],
-) {
+pub fn edge_load(mesh: &QuadMesh, dm: &DofMap, edge: Edge, fx: f64, fy: f64, rhs: &mut [f64]) {
     let nodes = mesh.edge_nodes(edge);
     let n_seg = (nodes.len() - 1) as f64;
     for (k, &node) in nodes.iter().enumerate() {
@@ -305,7 +299,10 @@ mod tests {
             let mx = m.spmv(&tx);
             let total = dense::dot(&tx, &mx);
             // rho * area * thickness = 1 * 15 * 1.
-            assert!((total - 15.0).abs() < 1e-9, "total mass {total} lumped={lumped}");
+            assert!(
+                (total - 15.0).abs() < 1e-9,
+                "total mass {total} lumped={lumped}"
+            );
         }
     }
 

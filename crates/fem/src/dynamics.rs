@@ -389,10 +389,7 @@ mod tests {
             integ.step(&[0.0, 0.0], dense_solver);
         }
         let e1 = integ.energy();
-        assert!(
-            (e1 - e0).abs() < 1e-9 * e0,
-            "energy drift: {e0} -> {e1}"
-        );
+        assert!((e1 - e0).abs() < 1e-9 * e0, "energy drift: {e0} -> {e1}");
     }
 
     #[test]
@@ -433,16 +430,8 @@ mod tests {
         let m = CsrMatrix::from_diagonal(&[3.0]);
         let dt = 0.1;
         let p = NewmarkParams::average_acceleration(dt);
-        let integ = NewmarkIntegrator::new(
-            k,
-            m,
-            p,
-            vec![],
-            vec![1.0],
-            vec![2.0],
-            &[0.0],
-            dense_solver,
-        );
+        let integ =
+            NewmarkIntegrator::new(k, m, p, vec![], vec![1.0], vec![2.0], &[0.0], dense_solver);
         let alpha = 1.0 / (p.beta * dt * dt);
         let a0 = integ.acceleration()[0];
         let u_star = 1.0 + dt * 2.0 + dt * dt * (0.5 - p.beta) * a0;
@@ -540,7 +529,10 @@ mod tests {
         for _ in 0..200 {
             integ.step(&[0.0, 0.0], dense_solver);
             let e = integ.energy();
-            assert!(e <= prev + 1e-10 * e0, "energy must not grow: {prev} -> {e}");
+            assert!(
+                e <= prev + 1e-10 * e0,
+                "energy must not grow: {prev} -> {e}"
+            );
             prev = e;
         }
         assert!(prev < 0.7 * e0, "expected visible decay: {e0} -> {prev}");

@@ -23,7 +23,6 @@
 // row spans at once); the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod assembly;
 pub mod dynamics;
 pub mod material;

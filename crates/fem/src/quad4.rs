@@ -42,11 +42,7 @@ pub fn shape_derivatives(xi: f64, eta: f64) -> ([f64; 4], [f64; 4]) {
 /// # Panics
 /// Panics if the element is degenerate (non-positive Jacobian), which for
 /// the structured meshes in this workspace indicates corrupted input.
-pub fn physical_gradients(
-    coords: &[[f64; 2]; 4],
-    xi: f64,
-    eta: f64,
-) -> (f64, [f64; 4], [f64; 4]) {
+pub fn physical_gradients(coords: &[[f64; 2]; 4], xi: f64, eta: f64) -> (f64, [f64; 4], [f64; 4]) {
     let (dxi, deta) = shape_derivatives(xi, eta);
     // Jacobian J = [dx/dxi dy/dxi; dx/deta dy/deta].
     let mut j = [0.0f64; 4];
@@ -265,7 +261,11 @@ mod tests {
         let ku = matvec8(&ke, &u);
         let e: f64 = u.iter().zip(&ku).map(|(a, b)| a * b).sum::<f64>() / 2.0;
         let d = m.d_matrix();
-        assert!((e - d[0] / 2.0).abs() < 1e-12, "energy {e} vs {}", d[0] / 2.0);
+        assert!(
+            (e - d[0] / 2.0).abs() < 1e-12,
+            "energy {e} vs {}",
+            d[0] / 2.0
+        );
     }
 
     #[test]

@@ -119,7 +119,11 @@ mod tests {
                 "element {e}: sigma_xx {}",
                 s.sigma[0]
             );
-            assert!(s.sigma[1].abs() < 1e-8, "element {e}: sigma_yy {}", s.sigma[1]);
+            assert!(
+                s.sigma[1].abs() < 1e-8,
+                "element {e}: sigma_yy {}",
+                s.sigma[1]
+            );
             assert!(s.sigma[2].abs() < 1e-8, "element {e}: tau {}", s.sigma[2]);
             assert!((s.von_mises - expected).abs() < 1e-8);
         }

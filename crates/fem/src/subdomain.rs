@@ -228,9 +228,7 @@ impl SubdomainSystem {
         // the RHS carries ū/mult so the assembled RHS is ū.
         for (l, &g) in global_dofs.iter().enumerate() {
             if dm.is_fixed(g) {
-                k_coo
-                    .push(l, l, 1.0 / multiplicity[l])
-                    .expect("in bounds");
+                k_coo.push(l, l, 1.0 / multiplicity[l]).expect("in bounds");
                 f_local[l] = dm.fixed_value(g) / multiplicity[l];
             }
         }

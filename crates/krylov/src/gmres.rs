@@ -17,6 +17,7 @@ use crate::givens::Givens;
 use crate::history::{ConvergenceHistory, StopReason};
 use parfem_precond::Preconditioner;
 use parfem_sparse::{dense, LinearOperator};
+use parfem_trace::{EventKind, RankTracer, Value};
 
 /// Arnoldi orthogonalization scheme.
 ///
@@ -83,12 +84,48 @@ pub struct GmresResult {
 ///
 /// # Panics
 /// Panics on dimension mismatches or a zero restart dimension.
-pub fn fgmres<Op, P>(
+pub fn fgmres<Op, P>(op: &Op, precond: &P, b: &[f64], x0: &[f64], cfg: &GmresConfig) -> GmresResult
+where
+    Op: LinearOperator + ?Sized,
+    P: Preconditioner<Op> + ?Sized,
+{
+    fgmres_traced(op, precond, b, x0, cfg, None)
+}
+
+/// [`fgmres`] with optional tracing: brackets the solve in an `fgmres` span
+/// and emits one [`EventKind::Iter`] event per inner iteration (relative
+/// residual, restart index, cycle, active preconditioner degree). The
+/// sequential solver has no virtual clock, so event times carry wall time
+/// only (`tv = 0`).
+pub fn fgmres_traced<Op, P>(
     op: &Op,
     precond: &P,
     b: &[f64],
     x0: &[f64],
     cfg: &GmresConfig,
+    tracer: Option<&RankTracer>,
+) -> GmresResult
+where
+    Op: LinearOperator + ?Sized,
+    P: Preconditioner<Op> + ?Sized,
+{
+    if let Some(t) = tracer {
+        t.span_begin("fgmres", 0.0);
+    }
+    let res = fgmres_inner(op, precond, b, x0, cfg, tracer);
+    if let Some(t) = tracer {
+        t.span_end("fgmres", 0.0);
+    }
+    res
+}
+
+fn fgmres_inner<Op, P>(
+    op: &Op,
+    precond: &P,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &GmresConfig,
+    tracer: Option<&RankTracer>,
 ) -> GmresResult
 where
     Op: LinearOperator + ?Sized,
@@ -97,7 +134,10 @@ where
     let n = op.dim();
     assert_eq!(b.len(), n, "fgmres: b length mismatch");
     assert_eq!(x0.len(), n, "fgmres: x0 length mismatch");
-    assert!(cfg.restart > 0, "fgmres: restart dimension must be positive");
+    assert!(
+        cfg.restart > 0,
+        "fgmres: restart dimension must be positive"
+    );
     let m = cfg.restart;
 
     let mut x = x0.to_vec();
@@ -158,6 +198,10 @@ where
                 break;
             }
             total_iters += 1;
+            let degree = precond.current_operator_applications();
+            if let Some(t) = tracer {
+                t.add_count("precond_applies", 1);
+            }
             // Flexible preconditioning z_j = C v_j.
             let zj = precond.apply(op, &v[j]);
             let mut w = vec![0.0; n];
@@ -205,6 +249,20 @@ where
 
             let rel = g[j + 1].abs() / r0_norm;
             residuals.push(rel);
+            if let Some(t) = tracer {
+                t.emit(
+                    EventKind::Iter,
+                    "iter",
+                    0.0,
+                    vec![
+                        ("iter".to_string(), Value::U64(total_iters as u64)),
+                        ("rel_res".to_string(), Value::F64(rel)),
+                        ("restart_index".to_string(), Value::U64((j + 1) as u64)),
+                        ("cycle".to_string(), Value::U64(restarts as u64)),
+                        ("degree".to_string(), Value::U64(degree as u64)),
+                    ],
+                );
+            }
 
             if rel <= cfg.tol {
                 stop = Some(StopReason::Converged);

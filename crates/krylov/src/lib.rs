@@ -15,13 +15,12 @@
 // row spans at once); the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod cg;
 pub mod givens;
 pub mod gmres;
 pub mod history;
 pub mod lanczos;
 
-pub use gmres::{fgmres, GmresConfig, Orthogonalization};
-pub use lanczos::estimate_spectrum;
+pub use gmres::{fgmres, fgmres_traced, GmresConfig, Orthogonalization};
 pub use history::{ConvergenceHistory, StopReason};
+pub use lanczos::estimate_spectrum;

@@ -22,7 +22,10 @@ impl Adjacency {
     /// element. This is the graph `G(K)` of the assembled stiffness matrix
     /// (paper Section 5): `K_ij != 0` iff nodes `i, j` share an element.
     pub fn node_graph(mesh: &QuadMesh) -> Self {
-        Self::node_graph_from_cells(mesh.n_nodes(), (0..mesh.n_elems()).map(|e| mesh.elem_nodes(e).to_vec()))
+        Self::node_graph_from_cells(
+            mesh.n_nodes(),
+            (0..mesh.n_elems()).map(|e| mesh.elem_nodes(e).to_vec()),
+        )
     }
 
     /// Generic node graph from arbitrary cell connectivity — used for the

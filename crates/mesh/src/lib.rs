@@ -17,7 +17,6 @@
 // row spans at once); the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod cells;
 pub mod generic;
 pub mod graph;

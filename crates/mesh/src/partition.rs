@@ -65,10 +65,7 @@ impl ElementPartition {
                 (i * p) / nx
             })
             .collect();
-        ElementPartition {
-            n_parts: p,
-            owner,
-        }
+        ElementPartition { n_parts: p, owner }
     }
 
     /// Vertical element-column strips of a triangulated structured mesh
@@ -411,10 +408,7 @@ mod tests {
                     .iter()
                     .find(|l| l.rank == s.rank)
                     .expect("neighbour link must be symmetric");
-                assert_eq!(
-                    link.shared_local_nodes.len(),
-                    back.shared_local_nodes.len()
-                );
+                assert_eq!(link.shared_local_nodes.len(), back.shared_local_nodes.len());
                 // Entry k on both sides must be the same global node.
                 for (la, lb) in link.shared_local_nodes.iter().zip(&back.shared_local_nodes) {
                     assert_eq!(s.nodes[*la], t.nodes[*lb]);

@@ -78,11 +78,7 @@ impl QuadMesh {
     /// # Panics
     /// Panics if the map inverts any element (non-positive corner-ordering
     /// area), or for empty grids.
-    pub fn mapped(
-        nx: usize,
-        ny: usize,
-        map: impl Fn(f64, f64) -> [f64; 2],
-    ) -> Self {
+    pub fn mapped(nx: usize, ny: usize, map: impl Fn(f64, f64) -> [f64; 2]) -> Self {
         assert!(nx > 0 && ny > 0, "mesh must have at least one element");
         let mut mesh = Self::rectangle(nx, ny, 1.0, 1.0);
         for j in 0..=ny {
@@ -342,7 +338,10 @@ mod tests {
             })
             .sum();
         let exact = std::f64::consts::FRAC_PI_4 * 3.0;
-        assert!((total - exact).abs() < 0.02 * exact, "area {total} vs {exact}");
+        assert!(
+            (total - exact).abs() < 0.02 * exact,
+            "area {total} vs {exact}"
+        );
         // Reference-space edges still work: Edge::Left (s = 0) is the
         // angle-pi/2 edge, i.e. x = 0.
         for n in m.edge_nodes(Edge::Left) {

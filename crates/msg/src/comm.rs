@@ -7,6 +7,7 @@
 //! performance can be extracted from any run.
 
 use crate::stats::CommStats;
+use parfem_trace::RankTracer;
 
 /// A rank's endpoint into a `P`-way communicator.
 pub trait Communicator {
@@ -58,6 +59,15 @@ pub trait Communicator {
     /// Increments the nearest-neighbour-exchange round counter (called once
     /// per `⊕Σ_{∂Ω}` operation by the distributed vector code).
     fn count_neighbor_exchange(&self);
+
+    /// The structured-event tracer attached to this rank, when the run was
+    /// started under a recording [`parfem_trace::TraceSink`]. Solver code
+    /// uses this to emit per-iteration events and hot-path counters; the
+    /// default (and any untraced run) is `None`, so instrumentation costs a
+    /// single branch when tracing is off.
+    fn tracer(&self) -> Option<&RankTracer> {
+        None
+    }
 
     /// Exchanges `data[k]` with `neighbors[k]` for all `k` and returns the
     /// received buffers in the same order. This is the communication kernel

@@ -7,9 +7,11 @@
 //!   covering exactly the subset the paper's Algorithms 5/6/8 use:
 //!   point-to-point send/receive, summing all-reduce, and barrier;
 //! - [`thread`] — [`thread::ThreadComm`], a real implementation
-//!   over OS threads and crossbeam channels: `P` ranks run concurrently and
-//!   exchange actual messages, so the communication structure (and every
-//!   numerical result) is the same as an MPI run;
+//!   over OS threads and `std::sync::mpsc` channels: `P` ranks run
+//!   concurrently and exchange actual messages, so the communication
+//!   structure (and every numerical result) is the same as an MPI run.
+//!   [`thread::run_ranks_traced`] additionally records every communicator
+//!   operation as a structured `parfem-trace` event;
 //! - [`model`] — a **virtual-time LogP-style machine model**. The host this
 //!   reproduction runs on may have a single core, where wall-clock speedup
 //!   is physically meaningless; instead every rank advances a virtual clock
@@ -30,7 +32,6 @@
 // row spans at once); the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod comm;
 pub mod model;
 pub mod stats;
@@ -39,4 +40,4 @@ pub mod thread;
 pub use comm::Communicator;
 pub use model::MachineModel;
 pub use stats::CommStats;
-pub use thread::{run_ranks, RankReport, RunOutput, ThreadComm};
+pub use thread::{run_ranks, run_ranks_traced, RankReport, RunOutput, ThreadComm};

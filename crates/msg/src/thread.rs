@@ -1,11 +1,11 @@
 //! `ThreadComm`: the communicator over OS threads and channels.
 //!
 //! Every rank is an OS thread; point-to-point messages travel over dedicated
-//! unbounded crossbeam channels (one per ordered rank pair, so messages
-//! between a pair stay in order), and collectives rendezvous at a shared
-//! mutex/condvar point that sums contributions **in rank order** — parallel
-//! results are therefore bit-for-bit deterministic and independent of
-//! scheduling.
+//! unbounded `std::sync::mpsc` channels (one per ordered rank pair, so
+//! messages between a pair stay in order), and collectives rendezvous at a
+//! shared mutex/condvar point that sums contributions **in rank order** —
+//! parallel results are therefore bit-for-bit deterministic and independent
+//! of scheduling.
 //!
 //! Virtual-time rules (see [`crate::model`]):
 //! - `work(f)` advances the local clock by `f / rate`;
@@ -13,14 +13,21 @@
 //!   becomes `max(receiver_clock, stamp)` (eager/asynchronous send);
 //! - an all-reduce synchronizes every participant to
 //!   `max(all clocks) + ⌈log₂P⌉ · stage_cost`.
+//!
+//! Tracing: [`run_ranks_traced`] hands each rank a
+//! [`parfem_trace::RankTracer`], and every communicator operation then emits
+//! a structured event stamped with both wall and virtual time — a recorded
+//! run replays into the per-rank Gantt timeline and the Table-1
+//! communication counts. [`run_ranks`] passes a disabled sink, so the
+//! untraced path pays one `Option` branch per operation.
 
 use crate::comm::Communicator;
 use crate::model::MachineModel;
 use crate::stats::CommStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parfem_trace::{EventKind, Histogram, RankTracer, TraceSink, Value};
 use std::cell::{Cell, RefCell};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A message with its modeled arrival time.
 struct Msg {
@@ -66,7 +73,7 @@ impl CollectivePoint {
         if self.size == 1 {
             return (v.to_vec(), clock);
         }
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().expect("collective mutex poisoned");
         let my_gen = st.generation;
         st.contributions[rank] = Some(v.to_vec());
         st.clocks[rank] = clock;
@@ -94,7 +101,7 @@ impl CollectivePoint {
             (sum, max_clock)
         } else {
             while st.generation == my_gen {
-                self.cv.wait(&mut st);
+                st = self.cv.wait(st).expect("collective mutex poisoned");
             }
             (st.result.clone(), st.result_clock)
         }
@@ -113,6 +120,10 @@ pub struct ThreadComm {
     collective: Arc<CollectivePoint>,
     clock: Cell<f64>,
     stats: RefCell<CommStats>,
+    /// Present only under a recording sink; every comm op then emits an
+    /// event and sends feed the message-size histogram.
+    tracer: Option<RankTracer>,
+    msg_bytes: RefCell<Histogram>,
 }
 
 impl Communicator for ThreadComm {
@@ -132,6 +143,18 @@ impl Communicator for ThreadComm {
         st.sends += 1;
         st.bytes_sent += bytes as u64;
         drop(st);
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(
+                EventKind::Send,
+                "",
+                self.clock.get(),
+                vec![
+                    ("peer".to_string(), Value::U64(to as u64)),
+                    ("bytes".to_string(), Value::U64(bytes as u64)),
+                ],
+            );
+            self.msg_bytes.borrow_mut().record(bytes as u64);
+        }
         self.senders[to]
             .as_ref()
             .expect("sender exists for peers")
@@ -143,16 +166,32 @@ impl Communicator for ThreadComm {
     }
 
     fn recv(&self, from: usize) -> Vec<f64> {
-        assert!(from < self.size && from != self.rank, "recv: bad peer {from}");
+        assert!(
+            from < self.size && from != self.rank,
+            "recv: bad peer {from}"
+        );
         let msg = self.receivers[from]
             .as_ref()
             .expect("receiver exists for peers")
             .recv()
             .expect("peer hung up");
         self.clock.set(self.clock.get().max(msg.arrival));
+        let bytes = std::mem::size_of_val(&msg.data[..]);
         let mut st = self.stats.borrow_mut();
         st.recvs += 1;
-        st.bytes_received += std::mem::size_of_val(&msg.data[..]) as u64;
+        st.bytes_received += bytes as u64;
+        drop(st);
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(
+                EventKind::Recv,
+                "",
+                self.clock.get(),
+                vec![
+                    ("peer".to_string(), Value::U64(from as u64)),
+                    ("bytes".to_string(), Value::U64(bytes as u64)),
+                ],
+            );
+        }
         msg.data
     }
 
@@ -166,6 +205,14 @@ impl Communicator for ThreadComm {
         let (sum, max_clock) = self.collective.allreduce(self.rank, v, self.clock.get());
         self.clock
             .set(max_clock + self.model.allreduce_time(self.size, bytes));
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(
+                EventKind::Allreduce,
+                "",
+                self.clock.get(),
+                vec![("bytes".to_string(), Value::U64(bytes as u64))],
+            );
+        }
         sum
     }
 
@@ -174,6 +221,9 @@ impl Communicator for ThreadComm {
         let (_, max_clock) = self.collective.allreduce(self.rank, &[], self.clock.get());
         self.clock
             .set(max_clock + self.model.allreduce_time(self.size, 0));
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(EventKind::Barrier, "", self.clock.get(), Vec::new());
+        }
     }
 
     fn work(&self, flops: u64) {
@@ -192,6 +242,13 @@ impl Communicator for ThreadComm {
 
     fn count_neighbor_exchange(&self) {
         self.stats.borrow_mut().neighbor_exchanges += 1;
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(EventKind::Exchange, "", self.clock.get(), Vec::new());
+        }
+    }
+
+    fn tracer(&self) -> Option<&RankTracer> {
+        self.tracer.as_ref()
     }
 }
 
@@ -240,6 +297,25 @@ where
     F: Fn(&ThreadComm) -> R + Send + Sync,
     R: Send,
 {
+    run_ranks_traced(p, model, &TraceSink::disabled(), f)
+}
+
+/// [`run_ranks`], recording structured events into `sink`.
+///
+/// Under a recording sink every rank gets a [`parfem_trace::RankTracer`]
+/// (reachable from solver code via [`Communicator::tracer`]); all
+/// point-to-point and collective operations emit events, per-message sizes
+/// feed a histogram, and when a rank's closure returns a `rank_end` event is
+/// stamped with the final virtual clock, the rank's modeled flops, and the
+/// histogram. With [`TraceSink::disabled`] this is exactly [`run_ranks`].
+///
+/// # Panics
+/// Panics if `p == 0` or if any rank panics.
+pub fn run_ranks_traced<F, R>(p: usize, model: MachineModel, sink: &TraceSink, f: F) -> RunOutput<R>
+where
+    F: Fn(&ThreadComm) -> R + Send + Sync,
+    R: Send,
+{
     assert!(p > 0, "need at least one rank");
     let model = Arc::new(model);
     let collective = Arc::new(CollectivePoint::new(p));
@@ -252,7 +328,7 @@ where
             if s == d {
                 senders[s].push(None);
             } else {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 senders[s].push(Some(tx));
                 // Receiver slots arrive in increasing s order: pad the row
                 // with None up to index s, then append.
@@ -277,6 +353,8 @@ where
             collective: Arc::clone(&collective),
             clock: Cell::new(0.0),
             stats: RefCell::new(CommStats::default()),
+            tracer: sink.tracer(Some(rank)),
+            msg_bytes: RefCell::new(Histogram::new()),
         });
     }
 
@@ -292,6 +370,16 @@ where
                         virtual_time: comm.virtual_time(),
                         stats: comm.stats(),
                     };
+                    if let Some(tracer) = &comm.tracer {
+                        let mut fields = vec![
+                            ("flops".to_string(), Value::U64(report.stats.flops)),
+                            ("t_virt_final".to_string(), Value::F64(report.virtual_time)),
+                        ];
+                        fields.extend(comm.msg_bytes.borrow().to_fields());
+                        tracer.emit(EventKind::RankEnd, "", report.virtual_time, fields);
+                    }
+                    // Dropping `comm` drops its tracer, flushing this rank's
+                    // buffered events into the sink in one lock acquisition.
                     (result, report)
                 })
             })
@@ -387,7 +475,10 @@ mod tests {
                 (0..10).map(|_| c.recv(0)[0]).collect::<Vec<f64>>()
             }
         });
-        assert_eq!(out.results[1], (0..10).map(|k| k as f64).collect::<Vec<_>>());
+        assert_eq!(
+            out.results[1],
+            (0..10).map(|k| k as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -490,7 +581,11 @@ mod tests {
     #[test]
     fn broadcast_distributes_roots_buffer() {
         let out = run_ranks(4, MachineModel::ideal(), |c| {
-            let data = if c.rank() == 2 { vec![7.0, 8.0] } else { vec![0.0, 0.0] };
+            let data = if c.rank() == 2 {
+                vec![7.0, 8.0]
+            } else {
+                vec![0.0, 0.0]
+            };
             c.broadcast(2, &data)
         });
         for r in out.results {
@@ -551,5 +646,52 @@ mod tests {
                 c.send(0, &[1.0]);
             }
         });
+    }
+
+    #[test]
+    fn untraced_run_exposes_no_tracer() {
+        run_ranks(2, MachineModel::ideal(), |c| {
+            assert!(c.tracer().is_none());
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn traced_run_events_match_live_stats() {
+        use parfem_trace::TraceReport;
+
+        let sink = TraceSink::recording();
+        let out = run_ranks_traced(3, MachineModel::sgi_origin(), &sink, |c| {
+            assert!(c.tracer().is_some());
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.work(1_000_000);
+            let _ = c.exchange(
+                &[next, prev],
+                &[vec![c.rank() as f64; 4], vec![c.rank() as f64; 2]],
+            );
+            c.send(prev, &[1.0, 2.0]);
+            let _ = c.recv(next);
+            c.allreduce_sum_scalar(1.0);
+            c.barrier();
+        });
+        let report = TraceReport::from_events(&sink.take_events());
+        assert_eq!(report.nranks(), 3);
+        for rep in &out.reports {
+            let traced = &report.ranks[rep.rank];
+            assert_eq!(traced.comm.sends, rep.stats.sends);
+            assert_eq!(traced.comm.bytes_sent, rep.stats.bytes_sent);
+            assert_eq!(traced.comm.recvs, rep.stats.recvs);
+            assert_eq!(traced.comm.bytes_received, rep.stats.bytes_received);
+            assert_eq!(traced.comm.allreduces, rep.stats.allreduces);
+            assert_eq!(traced.comm.allreduce_bytes, rep.stats.allreduce_bytes);
+            assert_eq!(traced.comm.barriers, rep.stats.barriers);
+            assert_eq!(traced.comm.neighbor_exchanges, rep.stats.neighbor_exchanges);
+            assert_eq!(traced.comm.flops, rep.stats.flops);
+            assert!((traced.final_virt - rep.virtual_time).abs() < 1e-15);
+            let hist = traced.msg_bytes.as_ref().expect("histogram recorded");
+            assert_eq!(hist.count(), rep.stats.sends);
+            assert_eq!(hist.sum(), rep.stats.bytes_sent);
+        }
     }
 }

@@ -84,6 +84,10 @@ impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for EscalatingGls {
         *self.schedule.last().expect("non-empty schedule")
     }
 
+    fn current_operator_applications(&self) -> usize {
+        self.current_degree()
+    }
+
     fn name(&self) -> String {
         format!(
             "gls-escalating({}..{})",
@@ -115,9 +119,13 @@ mod tests {
         let p = EscalatingGls::new(vec![1, 3, 7], IntervalUnion::unit());
         let a = scaled_laplacian(6);
         let v = vec![1.0; 6];
+        let active =
+            |p: &EscalatingGls| Preconditioner::<CsrMatrix>::current_operator_applications(p);
         assert_eq!(p.current_degree(), 1);
+        assert_eq!(active(&p), 1);
         let _ = p.apply(&a, &v);
         assert_eq!(p.current_degree(), 3);
+        assert_eq!(active(&p), 3);
         let _ = p.apply(&a, &v);
         assert_eq!(p.current_degree(), 7);
         let _ = p.apply(&a, &v);

@@ -28,7 +28,6 @@
 // row spans at once); the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod adaptive;
 pub mod chebyshev;
 pub mod gls;
@@ -76,6 +75,14 @@ pub trait Preconditioner<Op: LinearOperator + ?Sized> {
     /// preconditioners like Jacobi/ILU.
     fn operator_applications(&self) -> usize {
         0
+    }
+
+    /// The cost of the *next* application. Identical to
+    /// [`Preconditioner::operator_applications`] for fixed preconditioners;
+    /// degree-schedule preconditioners (see [`EscalatingGls`]) override it so
+    /// tracing can record the active degree at each FGMRES iteration.
+    fn current_operator_applications(&self) -> usize {
+        self.operator_applications()
     }
 
     /// Short human-readable name, e.g. `gls(7)` — used by the experiment

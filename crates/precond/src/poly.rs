@@ -26,10 +26,7 @@ impl Poly {
 
     /// Degree (0 for the zero polynomial; trailing zeros ignored).
     pub fn degree(&self) -> usize {
-        self.coeffs
-            .iter()
-            .rposition(|&c| c != 0.0)
-            .unwrap_or(0)
+        self.coeffs.iter().rposition(|&c| c != 0.0).unwrap_or(0)
     }
 
     /// Evaluates `p(x)` by Horner's rule.

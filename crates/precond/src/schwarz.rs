@@ -99,11 +99,7 @@ impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for BlockJacobiPrecond {
         assert_eq!(v.len(), self.n, "block jacobi: v length mismatch");
         assert_eq!(z.len(), self.n, "block jacobi: z length mismatch");
         for (bi, (start, ilu)) in self.blocks.iter().enumerate() {
-            let end = self
-                .blocks
-                .get(bi + 1)
-                .map(|(s, _)| *s)
-                .unwrap_or(self.n);
+            let end = self.blocks.get(bi + 1).map(|(s, _)| *s).unwrap_or(self.n);
             ilu.solve_into(&v[*start..end], &mut z[*start..end]);
         }
     }

@@ -13,9 +13,8 @@ fn interval() -> impl Strategy<Value = (f64, f64)> {
 
 /// Strategy: a random two-sided (indefinite) interval union.
 fn two_sided() -> impl Strategy<Value = IntervalUnion> {
-    (0.1..2.0f64, 0.1..2.0f64, 0.05..1.0f64).prop_map(|(l, r, gap)| {
-        IntervalUnion::new(vec![(-l - gap, -gap), (gap, r + gap)])
-    })
+    (0.1..2.0f64, 0.1..2.0f64, 0.05..1.0f64)
+        .prop_map(|(l, r, gap)| IntervalUnion::new(vec![(-l - gap, -gap), (gap, r + gap)]))
 }
 
 proptest! {

@@ -1,0 +1,181 @@
+//! A dependency-free stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real `proptest` cannot be vendored. This crate re-implements exactly
+//! the API surface the workspace's property tests use, on `std` alone:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   `Range`s, tuples of strategies, and [`collection::vec`];
+//! - the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header) driving a
+//!   deterministic xorshift-seeded case loop;
+//! - [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`].
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case panics
+//! immediately with its case number and seed, which keeps failures
+//! reproducible (the seed is derived from the test name, so reruns generate
+//! the identical sequence).
+
+#![deny(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop` facade module, mirroring `proptest::prop`-style paths used as
+/// `prop::collection::vec(...)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (with formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (generating a replacement) when its inputs do
+/// not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `body` over generated inputs. `arg` may
+/// be any irrefutable pattern, e.g. `(lo, hi) in interval()`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $($crate::proptest!(@one $cfg; $(#[$meta])* fn $name($($arg in $strat),+) $body);)*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $($crate::proptest!(
+            @one $crate::test_runner::ProptestConfig::default();
+            $(#[$meta])* fn $name($($arg in $strat),+) $body
+        );)*
+    };
+    (@one $cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(|rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                let check = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                check()
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<(usize, f64)>> {
+        prop::collection::vec((0..5usize, -1.0..1.0f64), 0..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.5..4.0f64, z in 1u64..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..4.0).contains(&y));
+            prop_assert!((1..9).contains(&z));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in prop::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+        }
+
+        #[test]
+        fn exact_vec_length(v in prop::collection::vec(-1.0..1.0f64, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0..10usize).prop_map(|n| n * 2)) {
+            prop_assert!(s % 2 == 0 && s < 20);
+        }
+
+        #[test]
+        fn composite_strategies_generate(ps in pairs()) {
+            for (a, b) in ps {
+                prop_assert!(a < 5);
+                prop_assert!((-1.0..1.0).contains(&b));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_context() {
+        let mut runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::ProptestConfig::with_cases(8),
+            "failing_property",
+        );
+        runner.run(|rng| {
+            let x = crate::strategy::Strategy::generate(&(0usize..10), rng);
+            prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let gen_once = || {
+            let mut rng = crate::test_runner::TestRng::from_name("determinism");
+            crate::strategy::Strategy::generate(&crate::collection::vec(0.0..1.0f64, 16), &mut rng)
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+}

@@ -1,0 +1,7 @@
+//! One-stop imports mirroring `proptest::prelude`.
+
+pub use crate::collection;
+pub use crate::prop;
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};

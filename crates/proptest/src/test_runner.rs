@@ -1,0 +1,135 @@
+//! The deterministic case loop behind the [`crate::proptest!`] macro.
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed; carries the formatted assertion message.
+    Fail(String),
+    /// A `prop_assume!` precondition rejected the inputs; the runner draws a
+    /// replacement case without counting it against the budget.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds the failure variant (used by `prop_assert!`).
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Runner configuration; mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated overall.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A small, fast, deterministic PRNG (xorshift64* seeded by FNV-1a of the
+/// test name), good enough for test-input generation and fully reproducible
+/// across runs and platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h | 1, // xorshift state must be nonzero
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drives the case loop for one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner {
+            config,
+            name,
+            rng: TestRng::from_name(name),
+        }
+    }
+
+    /// Runs `case` until `config.cases` successes; panics on the first
+    /// failure with the case index and test name (generation is
+    /// deterministic, so the failure reproduces on rerun).
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+        let mut done = 0u32;
+        while done < self.config.cases {
+            match case(&mut self.rng) {
+                Ok(()) => done += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "proptest '{}': too many prop_assume! rejections ({})",
+                        self.name,
+                        rejects
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case {} of '{}' failed: {}",
+                        done + 1,
+                        self.name,
+                        msg
+                    );
+                }
+            }
+        }
+    }
+}

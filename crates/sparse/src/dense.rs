@@ -181,7 +181,10 @@ mod tests {
     use super::*;
 
     fn assert_close(a: f64, b: f64) {
-        assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs() + b.abs()), "{a} vs {b}");
+        assert!(
+            (a - b).abs() <= 1e-12 * (1.0 + a.abs() + b.abs()),
+            "{a} vs {b}"
+        );
     }
 
     #[test]

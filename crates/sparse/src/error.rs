@@ -59,7 +59,10 @@ impl fmt::Display for SparseError {
                 "zero pivot at row {row} (value {value:.3e}); matrix is singular or needs pivoting"
             ),
             SparseError::NotSquare { n_rows, n_cols } => {
-                write!(f, "operation requires a square matrix, got {n_rows}x{n_cols}")
+                write!(
+                    f,
+                    "operation requires a square matrix, got {n_rows}x{n_cols}"
+                )
             }
         }
     }

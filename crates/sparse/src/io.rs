@@ -176,8 +176,9 @@ mod tests {
     #[test]
     fn malformed_inputs_are_rejected() {
         assert!(read_matrix("not a header\n1 1 1\n".as_bytes()).is_err());
-        assert!(read_matrix("%%MatrixMarket matrix coordinate real general\n2 2\n".as_bytes())
-            .is_err());
+        assert!(
+            read_matrix("%%MatrixMarket matrix coordinate real general\n2 2\n".as_bytes()).is_err()
+        );
         // 0-based index.
         assert!(read_matrix(
             "%%MatrixMarket matrix coordinate real general\n1 1 1\n0 1 2.0\n".as_bytes()

@@ -30,7 +30,6 @@
 // row spans at once); the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod coo;
 pub mod csr;
 pub mod dense;

@@ -193,7 +193,10 @@ mod tests {
         // Dense solve of the 2x2 scaled system.
         let d = a.to_dense();
         let det = d[0] * d[3] - d[1] * d[2];
-        let x = [(b[0] * d[3] - b[1] * d[1]) / det, (d[0] * b[1] - d[2] * b[0]) / det];
+        let x = [
+            (b[0] * d[3] - b[1] * d[1]) / det,
+            (d[0] * b[1] - d[2] * b[0]) / det,
+        ];
         let u = s.unscale_solution(&x);
         // Check K u = f.
         let r = k.spmv(&u);

@@ -1,0 +1,236 @@
+//! The event model: one flat, timestamped record per observable fact.
+
+/// A field value. Events carry a small flat bag of `(key, Value)` pairs;
+/// keeping the variants to unsigned integers, floats, and strings keeps the
+/// JSON codec trivial and round-trip exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (counts, byte totals, iteration indices).
+    U64(u64),
+    /// A floating-point number (residuals, times). Non-finite values are
+    /// serialized as JSON `null` and parse back as NaN.
+    F64(f64),
+    /// A short string (preconditioner names, stop reasons).
+    Str(String),
+}
+
+impl Value {
+    /// The value as `u64` if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`; integers widen losslessly enough for reporting.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// What an event records. The discriminant maps 1:1 onto the `kind` JSON key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A named phase opens on this rank (`span_begin`).
+    SpanBegin,
+    /// The most recent open phase with this name closes (`span_end`).
+    SpanEnd,
+    /// A point-in-time annotation with arbitrary fields (`instant`).
+    Instant,
+    /// One point-to-point send; fields `peer`, `bytes` (`send`).
+    Send,
+    /// One point-to-point receive; fields `peer`, `bytes` (`recv`).
+    Recv,
+    /// One all-reduce this rank took part in; field `bytes` (`allreduce`).
+    Allreduce,
+    /// One barrier this rank took part in (`barrier`).
+    Barrier,
+    /// One logical neighbour exchange (the paper's `⊕Σ` interface sum)
+    /// (`exchange`).
+    Exchange,
+    /// One solver iteration; fields `iter`, `rel_res`, `restart`, `degree`,
+    /// and per-iteration communication deltas (`iter`).
+    Iter,
+    /// An accumulated hot-path counter flushed at rank end; field `value`
+    /// (`counter`).
+    Counter,
+    /// Emitted once when a rank's closure returns: final virtual clock plus
+    /// the rank's full communication statistics (`rank_end`).
+    RankEnd,
+}
+
+impl EventKind {
+    /// Stable wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Instant => "instant",
+            EventKind::Send => "send",
+            EventKind::Recv => "recv",
+            EventKind::Allreduce => "allreduce",
+            EventKind::Barrier => "barrier",
+            EventKind::Exchange => "exchange",
+            EventKind::Iter => "iter",
+            EventKind::Counter => "counter",
+            EventKind::RankEnd => "rank_end",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "span_begin" => EventKind::SpanBegin,
+            "span_end" => EventKind::SpanEnd,
+            "instant" => EventKind::Instant,
+            "send" => EventKind::Send,
+            "recv" => EventKind::Recv,
+            "allreduce" => EventKind::Allreduce,
+            "barrier" => EventKind::Barrier,
+            "exchange" => EventKind::Exchange,
+            "iter" => EventKind::Iter,
+            "counter" => EventKind::Counter,
+            "rank_end" => EventKind::RankEnd,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured trace record.
+///
+/// Schema (JSON-Lines object keys, see [`crate::jsonl`]):
+///
+/// | key    | meaning                                                     |
+/// |--------|-------------------------------------------------------------|
+/// | `rank` | emitting rank, or `null` for host-side (driver) events      |
+/// | `tw`   | wall-clock seconds since the sink was created               |
+/// | `tv`   | virtual seconds on the emitting rank's machine-model clock  |
+/// | `kind` | one of the [`EventKind`] wire names                         |
+/// | `name` | span/counter/annotation name (omitted when empty)           |
+/// | *      | every entry of `fields`, flattened into the object          |
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Emitting rank; `None` for host-side events (assembly, gather, CLI).
+    pub rank: Option<usize>,
+    /// Wall-clock seconds since the sink's epoch.
+    pub t_wall: f64,
+    /// Virtual machine-model seconds on the emitting rank (0 for host).
+    pub t_virt: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Span/counter/annotation name; empty for pure comm events.
+    pub name: String,
+    /// Flat extra fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// Looks up a field as `u64`.
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.field(key).and_then(Value::as_u64)
+    }
+
+    /// Looks up a field as `f64` (integers widen).
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(Value::as_f64)
+    }
+
+    /// Looks up a field as `&str`.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.field(key).and_then(Value::as_str)
+    }
+
+    /// Looks up a raw field value.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            EventKind::SpanBegin,
+            EventKind::SpanEnd,
+            EventKind::Instant,
+            EventKind::Send,
+            EventKind::Recv,
+            EventKind::Allreduce,
+            EventKind::Barrier,
+            EventKind::Exchange,
+            EventKind::Iter,
+            EventKind::Counter,
+            EventKind::RankEnd,
+        ] {
+            assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn field_lookup_by_type() {
+        let ev = TraceEvent {
+            rank: Some(1),
+            t_wall: 0.5,
+            t_virt: 0.25,
+            kind: EventKind::Iter,
+            name: String::new(),
+            fields: vec![
+                ("iter".into(), Value::U64(3)),
+                ("rel_res".into(), Value::F64(1e-6)),
+                ("precond".into(), Value::Str("gls".into())),
+            ],
+        };
+        assert_eq!(ev.u64("iter"), Some(3));
+        assert_eq!(ev.f64("iter"), Some(3.0));
+        assert_eq!(ev.f64("rel_res"), Some(1e-6));
+        assert_eq!(ev.str("precond"), Some("gls"));
+        assert_eq!(ev.u64("missing"), None);
+    }
+}

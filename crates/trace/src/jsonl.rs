@@ -1,0 +1,445 @@
+//! Hand-rolled JSON-Lines codec for [`TraceEvent`] streams.
+//!
+//! One JSON object per line. Reserved keys: `rank` (integer or `null`),
+//! `tw`, `tv` (numbers), `kind` (string), `name` (string, omitted when
+//! empty). Every other key/value pair is an event field. Values are limited
+//! to non-negative integers, floats, strings, and `null` (non-finite float);
+//! Rust's shortest-round-trip float formatting makes encode → parse exact
+//! for finite values.
+
+use crate::event::{EventKind, TraceEvent, Value};
+use std::fmt::Write as _;
+
+/// Encodes one event as a single JSON line (no trailing newline).
+pub fn encode(ev: &TraceEvent) -> String {
+    let mut out = String::with_capacity(96);
+    out.push('{');
+    match ev.rank {
+        Some(r) => {
+            let _ = write!(out, "\"rank\":{r}");
+        }
+        None => out.push_str("\"rank\":null"),
+    }
+    let _ = write!(out, ",\"tw\":");
+    push_f64(&mut out, ev.t_wall);
+    let _ = write!(out, ",\"tv\":");
+    push_f64(&mut out, ev.t_virt);
+    let _ = write!(out, ",\"kind\":\"{}\"", ev.kind.as_str());
+    if !ev.name.is_empty() {
+        out.push_str(",\"name\":");
+        push_str(&mut out, &ev.name);
+    }
+    for (k, v) in &ev.fields {
+        out.push(',');
+        push_str(&mut out, k);
+        out.push(':');
+        match v {
+            Value::U64(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::F64(f) => push_f64(&mut out, *f),
+            Value::Str(s) => push_str(&mut out, s),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Encodes a whole event stream as JSON-Lines text (one `\n` per event).
+pub fn encode_all(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        out.push_str(&encode(ev));
+        out.push('\n');
+    }
+    out
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on f64 is shortest-round-trip, so parse() recovers the bits.
+        let _ = write!(out, "{v}");
+        // Bare integers like `3` must still parse as f64 — fine for str::parse.
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: the offending line (1-based) and a short reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the parsed text.
+    pub line: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON line back into an event.
+pub fn decode(line: &str) -> Result<TraceEvent, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut rank: Option<usize> = None;
+    let mut t_wall = 0.0;
+    let mut t_virt = 0.0;
+    let mut kind: Option<EventKind> = None;
+    let mut name = String::new();
+    let mut fields = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat(b'}') {
+            break;
+        }
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let value = p.parse_value()?;
+        match key.as_str() {
+            "rank" => {
+                rank = match value {
+                    Json::Null => None,
+                    Json::U64(u) => Some(u as usize),
+                    other => return Err(format!("rank must be integer or null, got {other:?}")),
+                }
+            }
+            "tw" => t_wall = value.to_f64().ok_or("tw must be a number")?,
+            "tv" => t_virt = value.to_f64().ok_or("tv must be a number")?,
+            "kind" => {
+                let s = value.into_string().ok_or("kind must be a string")?;
+                kind = Some(EventKind::parse(&s).ok_or_else(|| format!("unknown kind {s:?}"))?);
+            }
+            "name" => name = value.into_string().ok_or("name must be a string")?,
+            _ => fields.push((
+                key,
+                match value {
+                    Json::U64(u) => Value::U64(u),
+                    Json::F64(f) => Value::F64(f),
+                    Json::Str(s) => Value::Str(s),
+                    Json::Null => Value::F64(f64::NAN),
+                },
+            )),
+        }
+        p.skip_ws();
+        if !p.eat(b',') {
+            p.skip_ws();
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after object".to_string());
+    }
+    Ok(TraceEvent {
+        rank,
+        t_wall,
+        t_virt,
+        kind: kind.ok_or("missing kind")?,
+        name,
+        fields,
+    })
+}
+
+/// Parses a JSON-Lines document (blank lines ignored) into events.
+pub fn decode_all(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(decode(line).map_err(|reason| ParseError {
+            line: i + 1,
+            reason,
+        })?);
+    }
+    Ok(events)
+}
+
+#[derive(Debug)]
+enum Json {
+    Null,
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl Json {
+    fn to_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(u) => Some(*u as f64),
+            Json::F64(f) => Some(*f),
+            Json::Null => Some(f64::NAN),
+            Json::Str(_) => None,
+        }
+    }
+
+    fn into_string(self) -> Option<String> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek().ok_or("unterminated escape")? {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (we operate on byte offsets).
+                    let rest = &self.bytes[self.pos..];
+                    let text =
+                        std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
+                    let c = text.chars().next().ok_or("unterminated string")?;
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of line")? {
+            b'"' => Ok(Json::Str(self.parse_string()?)),
+            b'n' => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err("bad literal".to_string())
+                }
+            }
+            _ => {
+                let start = self.pos;
+                while self.peek().is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid number".to_string())?;
+                if text.is_empty() {
+                    return Err(format!("expected value at byte {start}"));
+                }
+                if text.bytes().all(|b| b.is_ascii_digit()) {
+                    // Huge all-digit literals (e.g. the Display form of
+                    // f64::MAX) overflow u64; fall back to f64.
+                    text.parse::<u64>().map(Json::U64).or_else(|_| {
+                        text.parse::<f64>()
+                            .map(Json::F64)
+                            .map_err(|e| format!("bad number {text:?}: {e}"))
+                    })
+                } else {
+                    text.parse::<f64>()
+                        .map(Json::F64)
+                        .map_err(|e| format!("bad number {text:?}: {e}"))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceEvent {
+        TraceEvent {
+            rank: Some(2),
+            t_wall: 0.001953125,
+            t_virt: 1.25e-4,
+            kind: EventKind::Send,
+            name: String::new(),
+            fields: vec![
+                ("peer".into(), Value::U64(3)),
+                ("bytes".into(), Value::U64(640)),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let ev = sample();
+        let line = encode(&ev);
+        assert_eq!(decode(&line).unwrap(), ev);
+    }
+
+    #[test]
+    fn host_events_have_null_rank() {
+        let mut ev = sample();
+        ev.rank = None;
+        ev.kind = EventKind::SpanBegin;
+        ev.name = "assembly".into();
+        ev.fields.clear();
+        let line = encode(&ev);
+        assert!(line.contains("\"rank\":null"));
+        assert_eq!(decode(&line).unwrap(), ev);
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // a value that rounds on parse is the point
+    fn awkward_floats_round_trip() {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            6.62607015e-34,
+            1.7976931348623157e308,
+            5e-324,
+            -0.0,
+            123456789.123456789,
+        ] {
+            let ev = TraceEvent {
+                rank: Some(0),
+                t_wall: v,
+                t_virt: -v,
+                kind: EventKind::Instant,
+                name: "f".into(),
+                fields: vec![("x".into(), Value::F64(v))],
+            };
+            let back = decode(&encode(&ev)).unwrap();
+            assert_eq!(back.t_wall.to_bits(), v.to_bits(), "tw for {v}");
+            assert_eq!(back.f64("x").unwrap().to_bits(), v.to_bits(), "x for {v}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let ev = TraceEvent {
+            rank: None,
+            t_wall: 0.0,
+            t_virt: 0.0,
+            kind: EventKind::Instant,
+            name: "we\"ird\\na–me\n\t\u{1}".into(),
+            fields: vec![("s".into(), Value::Str("α β".into()))],
+        };
+        assert_eq!(decode(&encode(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        let ev = TraceEvent {
+            rank: Some(0),
+            t_wall: 0.0,
+            t_virt: 0.0,
+            kind: EventKind::Iter,
+            name: String::new(),
+            fields: vec![("rel_res".into(), Value::F64(f64::INFINITY))],
+        };
+        let line = encode(&ev);
+        assert!(line.contains("\"rel_res\":null"));
+        assert!(decode(&line).unwrap().f64("rel_res").unwrap().is_nan());
+    }
+
+    #[test]
+    fn decode_all_skips_blank_lines_and_numbers_errors() {
+        let ev = sample();
+        let text = format!("{}\n\n{}\n", encode(&ev), encode(&ev));
+        assert_eq!(decode_all(&text).unwrap().len(), 2);
+
+        let bad = format!("{}\nnot json\n", encode(&ev));
+        let err = decode_all(&bad).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        assert!(decode("{\"rank\":0,\"tw\":0,\"tv\":0,\"kind\":\"warp\"}").is_err());
+    }
+}

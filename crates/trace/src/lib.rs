@@ -1,0 +1,42 @@
+//! Zero-dependency structured tracing for the parfem stack.
+//!
+//! The crate provides the observability layer described in DESIGN.md:
+//!
+//! * [`TraceEvent`] — one timestamped record carrying both a **wall-clock**
+//!   time (seconds since the sink's epoch) and a **virtual** time (the LogP
+//!   machine-model clock of the emitting rank), a kind, a name, and a flat
+//!   bag of numeric/string fields.
+//! * [`TraceSink`] / [`RankTracer`] — the sink is the cheap, cloneable,
+//!   thread-safe handle threaded through the solver stack; each rank thread
+//!   checks out its own single-threaded [`RankTracer`] which buffers events
+//!   locally and flushes them into the sink when dropped. A disabled sink is
+//!   a `None` and every emission short-circuits on one branch, so tracing
+//!   costs nothing when off.
+//! * [`jsonl`] — a hand-rolled JSON-Lines encoder/decoder (no serde): one
+//!   event per line, round-trip exact for finite floats.
+//! * [`Counter`] / [`Histogram`] — low-overhead monotonic counters and
+//!   power-of-two-bucket histograms for hot paths (SpMV, message sizes).
+//! * [`TraceReport`] — the in-memory aggregator: rolls a recorded event
+//!   stream into per-rank phase breakdowns (partition → assembly → scaling →
+//!   precond-build → FGMRES cycles → gather), Table-1-style communication
+//!   counts, a per-iteration convergence record, and an ASCII per-rank
+//!   timeline over virtual time.
+//!
+//! The event schema is documented on [`TraceEvent`]; the stable JSON keys are
+//! documented in [`jsonl`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod aggregate;
+mod event;
+pub mod jsonl;
+mod metrics;
+mod report;
+mod sink;
+
+pub use aggregate::{CommCounts, IterRecord, PhaseTotals, RankSummary, SolveSummary, TraceReport};
+pub use event::{EventKind, TraceEvent, Value};
+pub use metrics::{Counter, Histogram};
+pub use report::{render_comm_table, render_convergence, render_phase_table, render_timeline};
+pub use sink::{RankTracer, TraceSink};

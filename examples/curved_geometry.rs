@@ -69,7 +69,9 @@ fn main() {
     let delta_theory = coeff * p_total.abs() * r_mid.powi(3) / inertia;
     // The load points in -y at the tip, so u_y is negative there.
     let delta_fem = -out.u[tip];
-    println!("tip tangential deflection: FEM {delta_fem:.5e}, curved-beam theory {delta_theory:.5e}");
+    println!(
+        "tip tangential deflection: FEM {delta_fem:.5e}, curved-beam theory {delta_theory:.5e}"
+    );
     println!("ratio {:.3}", delta_fem / delta_theory);
     assert!(
         (delta_fem / delta_theory - 1.0).abs() < 0.25,

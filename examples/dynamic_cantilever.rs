@@ -36,11 +36,16 @@ fn main() {
     println!("\n== transient, 400 steps of dt = 3.0 ==");
     let (u_static, _) =
         parfem::sequential::solve_static(&problem, &SeqPrecond::Gls(7), &cfg).unwrap();
-    let tip = problem
-        .dof_map
-        .dof(problem.mesh.node_at(problem.mesh.nx(), problem.mesh.ny()), 1);
+    let tip = problem.dof_map.dof(
+        problem.mesh.node_at(problem.mesh.nx(), problem.mesh.ny()),
+        1,
+    );
     let out = simulate(&problem, 3.0, 400, &SeqPrecond::Gls(7), &cfg).expect("transient");
-    let peak = out.tip_history.iter().cloned().fold(f64::INFINITY, f64::min);
+    let peak = out
+        .tip_history
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     let mean: f64 = out.tip_history.iter().sum::<f64>() / out.tip_history.len() as f64;
     println!("static tip deflection  {:.6e}", u_static[tip]);
     println!("dynamic mean           {mean:.6e}");

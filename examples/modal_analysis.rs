@@ -38,10 +38,7 @@ fn main() {
     let mut b = k.clone();
     b.scale_symmetric(&d_inv_sqrt);
 
-    println!(
-        "cantilever L={lx}, depth={ly}: {} equations",
-        dm.n_free()
-    );
+    println!("cantilever L={lx}, depth={ly}: {} equations", dm.n_free());
 
     // --- lowest eigenvalue: inverse iteration, inner solves by FGMRES ---
     let n = b.n_rows();

@@ -50,9 +50,10 @@ fn main() {
     );
 
     // Compare tip displacements.
-    let tip = problem
-        .dof_map
-        .dof(problem.mesh.node_at(problem.mesh.nx(), problem.mesh.ny()), 0);
+    let tip = problem.dof_map.dof(
+        problem.mesh.node_at(problem.mesh.nx(), problem.mesh.ny()),
+        0,
+    );
     println!(
         "tip u_x: parallel {:.6e} vs sequential {:.6e}",
         out.u[tip], u_seq[tip]

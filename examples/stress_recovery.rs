@@ -33,12 +33,8 @@ fn main() {
         out.history.iterations()
     );
 
-    let stresses = stress::centroid_stresses(
-        &problem.mesh,
-        &problem.dof_map,
-        &problem.material,
-        &out.u,
-    );
+    let stresses =
+        stress::centroid_stresses(&problem.mesh, &problem.dof_map, &problem.material, &out.u);
 
     // Hot spot.
     let (e_max, s_max) = stresses

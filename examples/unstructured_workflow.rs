@@ -36,11 +36,7 @@ fn main() {
         dm.clamp_node(n);
     }
     let boundary = mesh.boundary_nodes();
-    let xmax = mesh
-        .coords()
-        .iter()
-        .map(|c| c[0])
-        .fold(f64::MIN, f64::max);
+    let xmax = mesh.coords().iter().map(|c| c[0]).fold(f64::MIN, f64::max);
     let tip_nodes: Vec<usize> = boundary
         .iter()
         .copied()
@@ -102,7 +98,10 @@ fn main() {
         .sum::<f64>()
         .sqrt();
     let scale: f64 = rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
-    println!("relative residual on the assembled system: {:.2e}", err / scale);
+    println!(
+        "relative residual on the assembled system: {:.2e}",
+        err / scale
+    );
     assert!(err < 1e-5 * scale);
     println!("\nfull unstructured workflow (export → import → partition → solve) verified");
 }

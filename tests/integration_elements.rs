@@ -40,8 +40,8 @@ fn all_three_element_families_solve_the_same_physics() {
         let qmesh = QuadMesh::cantilever(nx, ny);
         assembly::edge_load(&qmesh, &dm, Edge::Right, 1.0, 0.0, &mut loads);
         let kbc = assembly::apply_dirichlet(&k, &dm, &mut loads);
-        let (u, h) = parfem::sequential::solve_system(&kbc, &loads, &SeqPrecond::Gls(7), &cfg)
-            .unwrap();
+        let (u, h) =
+            parfem::sequential::solve_system(&kbc, &loads, &SeqPrecond::Gls(7), &cfg).unwrap();
         assert!(h.converged());
         u[dm.dof(mesh.node_at(nx, ny / 2), 0)]
     };
@@ -61,8 +61,8 @@ fn all_three_element_families_solve_the_same_physics() {
             loads[dm.dof(n, 0)] = 1.0 / right.len() as f64;
         }
         let kbc = assembly::apply_dirichlet(&k, &dm, &mut loads);
-        let (u, h) = parfem::sequential::solve_system(&kbc, &loads, &SeqPrecond::Gls(7), &cfg)
-            .unwrap();
+        let (u, h) =
+            parfem::sequential::solve_system(&kbc, &loads, &SeqPrecond::Gls(7), &cfg).unwrap();
         assert!(h.converged());
         // Middle of the right edge.
         let mid = *right
@@ -146,8 +146,7 @@ fn distortion_preserves_scaling_guarantee() {
     let mut dm = DofMap::new(mesh.n_nodes());
     dm.clamp_edge(&mesh, Edge::Left);
     let sys = assembly::build_static(&mesh, &dm, &Material::unit(), &vec![0.0; dm.n_dofs()]);
-    let (a, _, _) =
-        parfem::sparse::scaling::scale_system(&sys.stiffness, &sys.rhs).unwrap();
+    let (a, _, _) = parfem::sparse::scaling::scale_system(&sys.stiffness, &sys.rhs).unwrap();
     let lmax = parfem::sparse::gershgorin::power_iteration_lambda_max(&a, 50_000, 1e-12);
     assert!(lmax <= 1.0 + 1e-9, "lambda_max {lmax}");
 }

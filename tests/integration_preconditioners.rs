@@ -26,7 +26,10 @@ fn gls_residual_norm_predicts_iteration_ordering() {
     for w in rows.windows(2) {
         let (m0, n0, i0) = w[0];
         let (m1, n1, i1) = w[1];
-        assert!(n1 < n0, "norm must fall with degree: gls({m0})={n0}, gls({m1})={n1}");
+        assert!(
+            n1 < n0,
+            "norm must fall with degree: gls({m0})={n0}, gls({m1})={n1}"
+        );
         assert!(
             i1 <= i0,
             "iterations must not grow with degree here: gls({m0})={i0}, gls({m1})={i1}"
@@ -74,8 +77,7 @@ fn paper_fig11_ordering_gls_beats_others_on_mesh2() {
     };
     let (_, h_gls) = parfem::sequential::solve_static(&p, &SeqPrecond::Gls(7), &cfg).unwrap();
     let (_, h_ilu) = parfem::sequential::solve_static(&p, &SeqPrecond::Ilu0, &cfg).unwrap();
-    let (_, h_neu) =
-        parfem::sequential::solve_static(&p, &SeqPrecond::Neumann(20), &cfg).unwrap();
+    let (_, h_neu) = parfem::sequential::solve_static(&p, &SeqPrecond::Neumann(20), &cfg).unwrap();
     assert!(h_gls.converged() && h_ilu.converged() && h_neu.converged());
     assert!(
         h_gls.iterations() < h_ilu.iterations(),

@@ -52,8 +52,14 @@ fn sequential_edd_and_rdd_agree_on_mesh2() {
     assert!(edd.history.converged() && rdd.history.converged());
     let scale = u_seq.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
     for ((a, b), c) in edd.u.iter().zip(&rdd.u).zip(&u_seq) {
-        assert!((a - c).abs() < 1e-5 * scale, "EDD vs sequential: {a} vs {c}");
-        assert!((b - c).abs() < 1e-5 * scale, "RDD vs sequential: {b} vs {c}");
+        assert!(
+            (a - c).abs() < 1e-5 * scale,
+            "EDD vs sequential: {a} vs {c}"
+        );
+        assert!(
+            (b - c).abs() < 1e-5 * scale,
+            "RDD vs sequential: {b} vs {c}"
+        );
     }
     assert!(residual_norm(&p, &edd.u) < 1e-6);
     assert!(residual_norm(&p, &rdd.u) < 1e-6);
