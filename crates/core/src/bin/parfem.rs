@@ -18,6 +18,12 @@ use parfem::trace::{
 };
 use std::process::ExitCode;
 
+// With `--features count-allocs`, count every allocation so solve summaries
+// (and `parfem report`) include `alloc_count` / `alloc_bytes`.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: parfem::trace::alloc::CountingAlloc = parfem::trace::alloc::CountingAlloc;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:

@@ -28,6 +28,49 @@ pub struct EddLayout {
     pub inv_multiplicity: Vec<f64>,
 }
 
+/// Persistent send/receive buffers for
+/// [`EddLayout::interface_sum_buffered`].
+///
+/// The interface sum runs once per matrix–vector product — `degree + 1`
+/// times per FGMRES iteration under a polynomial preconditioner — so its
+/// per-call send/receive allocations dominate the solver's allocation
+/// traffic. Keeping one `ExchangeBuffers` next to the operator reduces
+/// that to zero after the first exchange: buffer capacities are retained
+/// across rounds.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeBuffers {
+    /// Neighbour ranks in pairing order (mirrors the layout).
+    ranks: Vec<usize>,
+    /// Outgoing interface values, one buffer per neighbour.
+    send: Vec<Vec<f64>>,
+    /// Incoming interface values, one buffer per neighbour.
+    recv: Vec<Vec<f64>>,
+}
+
+impl ExchangeBuffers {
+    /// Empty buffers; sized lazily by the first buffered exchange.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the per-neighbour buffers for `layout` (idempotent; only the
+    /// first call after a layout change allocates).
+    fn ensure(&mut self, layout: &EddLayout) {
+        if self.ranks.len() != layout.neighbors.len()
+            || self
+                .ranks
+                .iter()
+                .zip(&layout.neighbors)
+                .any(|(&r, (nr, _))| r != *nr)
+        {
+            self.ranks.clear();
+            self.ranks.extend(layout.neighbors.iter().map(|(r, _)| *r));
+            self.send.resize(layout.neighbors.len(), Vec::new());
+            self.recv.resize(layout.neighbors.len(), Vec::new());
+        }
+    }
+}
+
 impl EddLayout {
     /// Extracts the layout from an assembled subdomain system.
     pub fn from_system(sys: &SubdomainSystem) -> Self {
@@ -53,25 +96,41 @@ impl EddLayout {
     /// # Panics
     /// Panics if `v` has the wrong length.
     pub fn interface_sum<C: Communicator>(&self, comm: &C, v: &mut [f64]) {
+        let mut bufs = ExchangeBuffers::new();
+        self.interface_sum_buffered(comm, v, &mut bufs);
+    }
+
+    /// [`EddLayout::interface_sum`] through persistent [`ExchangeBuffers`]:
+    /// identical exchange pattern, accounting and arithmetic, but the
+    /// send/receive staging reuses the caller's buffers, so repeated calls
+    /// allocate nothing.
+    ///
+    /// # Panics
+    /// Panics if `v` has the wrong length.
+    pub fn interface_sum_buffered<C: Communicator>(
+        &self,
+        comm: &C,
+        v: &mut [f64],
+        bufs: &mut ExchangeBuffers,
+    ) {
         assert_eq!(v.len(), self.n_local(), "interface_sum: length mismatch");
         if self.neighbors.is_empty() {
             comm.count_neighbor_exchange();
             return;
         }
-        let ranks: Vec<usize> = self.neighbors.iter().map(|(r, _)| *r).collect();
-        let outgoing: Vec<Vec<f64>> = self
-            .neighbors
-            .iter()
-            .map(|(_, dofs)| dofs.iter().map(|&l| v[l]).collect())
-            .collect();
-        let incoming = comm.exchange(&ranks, &outgoing);
-        for ((_, dofs), buf) in self.neighbors.iter().zip(&incoming) {
+        bufs.ensure(self);
+        for ((_, dofs), out) in self.neighbors.iter().zip(bufs.send.iter_mut()) {
+            out.clear();
+            out.extend(dofs.iter().map(|&l| v[l]));
+        }
+        comm.exchange_into(&bufs.ranks, &bufs.send, &mut bufs.recv);
+        for ((_, dofs), buf) in self.neighbors.iter().zip(&bufs.recv) {
             for (&l, &x) in dofs.iter().zip(buf) {
                 v[l] += x;
             }
         }
         // 1 add per received interface value.
-        let recv_total: usize = incoming.iter().map(|b| b.len()).sum();
+        let recv_total: usize = bufs.recv.iter().map(|b| b.len()).sum();
         comm.work(recv_total as u64);
     }
 

@@ -20,7 +20,7 @@ use parfem_precond::{
     NeumannPrecond, Preconditioner,
 };
 use parfem_sparse::{scaling::scale_system, LinearOperator};
-use parfem_trace::{TraceSink, Value};
+use parfem_trace::{alloc, TraceSink, Value};
 
 /// Which preconditioner the distributed solver should build.
 #[derive(Debug, Clone)]
@@ -111,39 +111,54 @@ pub struct DdSolveOutput {
 /// Stamps the end-of-solve summary (consumed by `parfem report` and the
 /// convergence renderer) onto the trace as a host-side `solve_summary`
 /// instant event.
-fn emit_solve_summary(sink: &TraceSink, variant: &str, spec: &PrecondSpec, out: &DdSolveOutput) {
+///
+/// `alloc_start` is the allocation-counter snapshot taken when the solve
+/// began; when the process runs under a
+/// [`parfem_trace::alloc::CountingAlloc`] (the `parfem` binary's
+/// `count-allocs` feature, or an instrumented test harness), the summary
+/// additionally carries `alloc_count` / `alloc_bytes` for the whole solve,
+/// so workspace regressions surface directly in `parfem report`.
+fn emit_solve_summary(
+    sink: &TraceSink,
+    variant: &str,
+    spec: &PrecondSpec,
+    out: &DdSolveOutput,
+    alloc_start: alloc::AllocStats,
+) {
     if let Some(tracer) = sink.host_tracer() {
-        tracer.instant(
-            "solve_summary",
-            0.0,
-            vec![
-                (
-                    "converged".to_string(),
-                    Value::U64(out.history.converged() as u64),
+        let mut fields = vec![
+            (
+                "converged".to_string(),
+                Value::U64(out.history.converged() as u64),
+            ),
+            (
+                "iterations".to_string(),
+                Value::U64(out.history.iterations() as u64),
+            ),
+            (
+                "restarts".to_string(),
+                Value::U64(out.history.restarts as u64),
+            ),
+            (
+                "final_rel_res".to_string(),
+                Value::F64(
+                    out.history
+                        .relative_residuals
+                        .last()
+                        .copied()
+                        .unwrap_or(f64::NAN),
                 ),
-                (
-                    "iterations".to_string(),
-                    Value::U64(out.history.iterations() as u64),
-                ),
-                (
-                    "restarts".to_string(),
-                    Value::U64(out.history.restarts as u64),
-                ),
-                (
-                    "final_rel_res".to_string(),
-                    Value::F64(
-                        out.history
-                            .relative_residuals
-                            .last()
-                            .copied()
-                            .unwrap_or(f64::NAN),
-                    ),
-                ),
-                ("modeled_time".to_string(), Value::F64(out.modeled_time)),
-                ("precond".to_string(), Value::Str(spec.name())),
-                ("variant".to_string(), Value::Str(variant.to_string())),
-            ],
-        );
+            ),
+            ("modeled_time".to_string(), Value::F64(out.modeled_time)),
+            ("precond".to_string(), Value::Str(spec.name())),
+            ("variant".to_string(), Value::Str(variant.to_string())),
+        ];
+        if alloc::is_counting() {
+            let d = alloc::stats().since(alloc_start);
+            fields.push(("alloc_count".to_string(), Value::U64(d.count)));
+            fields.push(("alloc_bytes".to_string(), Value::U64(d.bytes)));
+        }
+        tracer.instant("solve_summary", 0.0, fields);
     }
 }
 
@@ -283,6 +298,7 @@ pub fn solve_edd_systems_traced(
 ) -> DdSolveOutput {
     let p = systems.len();
     assert!(p > 0, "need at least one subdomain system");
+    let alloc_start = alloc::stats();
     let out = run_ranks_traced(p, model, sink, |comm| {
         let sys = &systems[comm.rank()];
         if let Some(t) = comm.tracer() {
@@ -335,7 +351,7 @@ pub fn solve_edd_systems_traced(
         EddVariant::Basic => "edd-basic",
         EddVariant::Enhanced => "edd-enhanced",
     };
-    emit_solve_summary(sink, variant, &cfg.precond, &solved);
+    emit_solve_summary(sink, variant, &cfg.precond, &solved, alloc_start);
     solved
 }
 
@@ -380,6 +396,7 @@ pub fn solve_rdd_traced(
     cfg: &SolverConfig,
     sink: &TraceSink,
 ) -> DdSolveOutput {
+    let alloc_start = alloc::stats();
     let assembled = host_span(sink, "assembly", || {
         parfem_fem::assembly::build_static(mesh, dm, material, loads)
     });
@@ -420,7 +437,7 @@ pub fn solve_rdd_traced(
             modeled_time: out.modeled_time,
         }
     });
-    emit_solve_summary(sink, "rdd", &cfg.precond, &solved);
+    emit_solve_summary(sink, "rdd", &cfg.precond, &solved, alloc_start);
     solved
 }
 

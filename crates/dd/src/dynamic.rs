@@ -13,10 +13,11 @@
 
 use crate::dist_vec::EddLayout;
 use crate::driver::{DdSolveOutput, PrecondSpec, SolverConfig};
-use crate::edd::edd_fgmres;
+use crate::edd::edd_fgmres_with;
 use crate::scaling::DistributedScaling;
 use parfem_fem::{Material, NewmarkParams, SubdomainSystem};
 use parfem_krylov::history::{ConvergenceHistory, StopReason};
+use parfem_krylov::KrylovWorkspace;
 use parfem_mesh::{DofMap, ElementPartition, QuadMesh};
 use parfem_msg::{run_ranks, Communicator, MachineModel};
 use parfem_precond::{
@@ -156,8 +157,8 @@ pub fn solve_dynamic_edd(
                 Pc::Escalating(EscalatingGls::default_for_scaled_system(*period))
             }
         };
-        let apply_solver = |b_local: &[f64], x0: &[f64]| match &pc {
-            Pc::None(q) => edd_fgmres(
+        let apply_solver = |b_local: &[f64], x0: &[f64], ws: &mut KrylovWorkspace| match &pc {
+            Pc::None(q) => edd_fgmres_with(
                 comm,
                 &layout,
                 &a_eff,
@@ -166,8 +167,9 @@ pub fn solve_dynamic_edd(
                 x0,
                 &cfg.solver.gmres,
                 cfg.solver.variant,
+                ws,
             ),
-            Pc::Jacobi(q) => edd_fgmres(
+            Pc::Jacobi(q) => edd_fgmres_with(
                 comm,
                 &layout,
                 &a_eff,
@@ -176,8 +178,9 @@ pub fn solve_dynamic_edd(
                 x0,
                 &cfg.solver.gmres,
                 cfg.solver.variant,
+                ws,
             ),
-            Pc::Gls(q) => edd_fgmres(
+            Pc::Gls(q) => edd_fgmres_with(
                 comm,
                 &layout,
                 &a_eff,
@@ -186,8 +189,9 @@ pub fn solve_dynamic_edd(
                 x0,
                 &cfg.solver.gmres,
                 cfg.solver.variant,
+                ws,
             ),
-            Pc::Neumann(q) => edd_fgmres(
+            Pc::Neumann(q) => edd_fgmres_with(
                 comm,
                 &layout,
                 &a_eff,
@@ -196,8 +200,9 @@ pub fn solve_dynamic_edd(
                 x0,
                 &cfg.solver.gmres,
                 cfg.solver.variant,
+                ws,
             ),
-            Pc::Chebyshev(q) => edd_fgmres(
+            Pc::Chebyshev(q) => edd_fgmres_with(
                 comm,
                 &layout,
                 &a_eff,
@@ -206,8 +211,9 @@ pub fn solve_dynamic_edd(
                 x0,
                 &cfg.solver.gmres,
                 cfg.solver.variant,
+                ws,
             ),
-            Pc::Escalating(q) => edd_fgmres(
+            Pc::Escalating(q) => edd_fgmres_with(
                 comm,
                 &layout,
                 &a_eff,
@@ -216,6 +222,7 @@ pub fn solve_dynamic_edd(
                 x0,
                 &cfg.solver.gmres,
                 cfg.solver.variant,
+                ws,
             ),
         };
 
@@ -235,6 +242,9 @@ pub fn solve_dynamic_edd(
             restarts: 0,
         };
         let mut u_star = vec![0.0; n];
+        // One Krylov workspace reused by every time step: after the first
+        // solve sizes it, the per-step FGMRES loop runs allocation-free.
+        let mut ws = KrylovWorkspace::new();
 
         for _ in 0..cfg.steps {
             // Predictor (local, consistent).
@@ -261,7 +271,7 @@ pub fn solve_dynamic_edd(
             // Warm start from the scaled current displacement.
             let x0: Vec<f64> = u.iter().zip(&sc.d).map(|(ui, di)| ui / di).collect();
             comm.work(n as u64);
-            let res = apply_solver(&rhs, &x0);
+            let res = apply_solver(&rhs, &x0, &mut ws);
             total_iterations += res.history.iterations();
             all_converged &= res.history.converged();
             let mut u_new = res.x;

@@ -30,14 +30,16 @@
 //! bites), keeping the global communication at one reduction per iteration
 //! as Table 1 claims.
 
-use crate::dist_vec::EddLayout;
+use crate::dist_vec::{EddLayout, ExchangeBuffers};
 use parfem_krylov::givens::Givens;
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::history::{ConvergenceHistory, StopReason};
+use parfem_krylov::KrylovWorkspace;
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
-use parfem_sparse::{CsrMatrix, LinearOperator};
+use parfem_sparse::{kernels, CsrMatrix, LinearOperator};
 use parfem_trace::{EventKind, Value};
+use std::cell::RefCell;
 
 /// Which of the paper's EDD algorithms to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +58,23 @@ pub struct EddOperator<'a, C: Communicator> {
     pub layout: &'a EddLayout,
     /// This rank's communicator endpoint.
     pub comm: &'a C,
+    /// Persistent interface-exchange staging, behind interior mutability
+    /// because [`LinearOperator::apply_into`] takes `&self`. Every operator
+    /// application reuses these buffers, so repeated matvecs (each
+    /// polynomial-preconditioner term, every Arnoldi step) allocate nothing.
+    bufs: RefCell<ExchangeBuffers>,
+}
+
+impl<'a, C: Communicator> EddOperator<'a, C> {
+    /// Wraps a subdomain's local distributed matrix as the global operator.
+    pub fn new(a_local: &'a CsrMatrix, layout: &'a EddLayout, comm: &'a C) -> Self {
+        EddOperator {
+            a_local,
+            layout,
+            comm,
+            bufs: RefCell::new(ExchangeBuffers::new()),
+        }
+    }
 }
 
 impl<C: Communicator> LinearOperator for EddOperator<'_, C> {
@@ -71,7 +90,8 @@ impl<C: Communicator> LinearOperator for EddOperator<'_, C> {
             tracer.add_count("spmv_rows", self.a_local.n_rows() as u64);
             tracer.add_count("spmv_flops", self.a_local.spmv_flops());
         }
-        self.layout.interface_sum(self.comm, y);
+        self.layout
+            .interface_sum_buffered(self.comm, y, &mut self.bufs.borrow_mut());
     }
 
     fn apply_flops(&self) -> u64 {
@@ -98,11 +118,7 @@ pub fn edd_lambda_max<C: Communicator>(
     max_iters: usize,
     tol: f64,
 ) -> f64 {
-    let op = EddOperator {
-        a_local,
-        layout,
-        comm,
-    };
+    let op = EddOperator::new(a_local, layout, comm);
     let n = a_local.n_rows();
     assert_eq!(global_dofs.len(), n, "global dof map length mismatch");
     // Deterministic start: hash of the global dof id (consistent at
@@ -160,6 +176,9 @@ pub struct EddResult {
 /// `b_local` is the right-hand side in *local distributed* format (as
 /// assembled); `x0` is an initial guess in *global distributed* format.
 ///
+/// Allocates a throwaway [`KrylovWorkspace`]; callers solving repeatedly
+/// should hold one and use [`edd_fgmres_with`].
+///
 /// # Panics
 /// Panics on dimension mismatches.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's Algorithm 6 signature
@@ -177,14 +196,65 @@ where
     C: Communicator,
     P: Preconditioner<EddOperator<'a, C>> + ?Sized,
 {
+    let mut ws = KrylovWorkspace::new();
+    edd_fgmres_with(
+        comm, layout, a_local, precond, b_local, x0, cfg, variant, &mut ws,
+    )
+}
+
+/// [`edd_fgmres`] through a caller-owned [`KrylovWorkspace`]: once the
+/// workspace (and the operator's exchange buffers) are warm, restarts and
+/// iterations perform no heap allocation on this rank, and the iterates are
+/// bit-identical to the allocating entry point.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn edd_fgmres_with<'a, C, P>(
+    comm: &'a C,
+    layout: &'a EddLayout,
+    a_local: &'a CsrMatrix,
+    precond: &P,
+    b_local: &[f64],
+    x0: &[f64],
+    cfg: &GmresConfig,
+    variant: EddVariant,
+    ws: &mut KrylovWorkspace,
+) -> EddResult
+where
+    C: Communicator,
+    P: Preconditioner<EddOperator<'a, C>> + ?Sized,
+{
     if let Some(tracer) = comm.tracer() {
         tracer.span_begin("fgmres", comm.virtual_time());
     }
-    let res = edd_fgmres_inner(comm, layout, a_local, precond, b_local, x0, cfg, variant);
+    let res = edd_fgmres_inner(
+        comm, layout, a_local, precond, b_local, x0, cfg, variant, ws,
+    );
     if let Some(tracer) = comm.tracer() {
         tracer.span_end("fgmres", comm.virtual_time());
     }
     res
+}
+
+/// `r ← ⊕Σ (b_local − A_local x)`: the global distributed residual, staged
+/// through persistent exchange buffers.
+fn edd_residual_into<C: Communicator>(
+    comm: &C,
+    layout: &EddLayout,
+    a_local: &CsrMatrix,
+    b_local: &[f64],
+    x: &[f64],
+    r: &mut [f64],
+    bufs: &mut ExchangeBuffers,
+) {
+    a_local.spmv_into(x, r);
+    comm.work(a_local.spmv_flops());
+    for (ri, bi) in r.iter_mut().zip(b_local) {
+        *ri = bi - *ri;
+    }
+    comm.work(r.len() as u64);
+    layout.interface_sum_buffered(comm, r, bufs);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -197,6 +267,7 @@ fn edd_fgmres_inner<'a, C, P>(
     x0: &[f64],
     cfg: &GmresConfig,
     variant: EddVariant,
+    ws: &mut KrylovWorkspace,
 ) -> EddResult
 where
     C: Communicator,
@@ -207,35 +278,24 @@ where
     assert_eq!(x0.len(), n, "edd_fgmres: x0 length mismatch");
     assert!(cfg.restart > 0, "edd_fgmres: restart must be positive");
     let m = cfg.restart;
-    let op = EddOperator {
-        a_local,
-        layout,
-        comm,
-    };
+    let op = EddOperator::new(a_local, layout, comm);
+    ws.ensure(n, m, precond.scratch_vectors());
+    // Exchange staging for the residual recomputes and the basic variant's
+    // re-sums (the operator's own matvecs go through `op.bufs`).
+    let mut xbufs = ExchangeBuffers::new();
 
     let mut x = x0.to_vec();
-    let mut residuals = Vec::new();
+    let mut residuals = Vec::with_capacity(cfg.max_iters.saturating_add(2).min(1 << 20));
     let mut restarts = 0usize;
     let mut total_iters = 0usize;
 
-    // r = ⊕Σ (b_local - A_local x)  (global distributed residual).
-    let residual_of = |x: &[f64]| -> Vec<f64> {
-        let mut t = a_local.spmv(x);
-        comm.work(a_local.spmv_flops());
-        for (ti, bi) in t.iter_mut().zip(b_local) {
-            *ti = bi - *ti;
-        }
-        comm.work(n as u64);
-        layout.interface_sum(comm, &mut t);
-        t
-    };
     let global_norm = |v: &[f64]| -> f64 {
         comm.work(3 * n as u64);
         comm.allreduce_sum_scalar(layout.dot_partial(v, v)).sqrt()
     };
 
-    let mut r = residual_of(&x);
-    let r0_norm = global_norm(&r);
+    edd_residual_into(comm, layout, a_local, b_local, &x, &mut ws.r, &mut xbufs);
+    let r0_norm = global_norm(&ws.r);
     residuals.push(1.0);
     if r0_norm == 0.0 {
         return EddResult {
@@ -250,7 +310,7 @@ where
     let breakdown_tol = 1e-14 * r0_norm;
 
     loop {
-        let beta = global_norm(&r);
+        let beta = global_norm(&ws.r);
         if beta / r0_norm <= cfg.tol {
             return EddResult {
                 x,
@@ -262,18 +322,14 @@ where
             };
         }
 
-        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-        let mut z: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut rotations: Vec<Givens> = Vec::with_capacity(m);
-        let mut g = vec![0.0; m + 1];
-        g[0] = beta;
-        let mut v0 = r.clone();
-        for vi in &mut v0 {
+        ws.rotations.clear();
+        ws.g.fill(0.0);
+        ws.g[0] = beta;
+        ws.v[0].copy_from_slice(&ws.r);
+        for vi in &mut ws.v[0] {
             *vi /= beta;
         }
         comm.work(n as u64);
-        v.push(v0);
 
         let mut j_done = 0usize;
         let mut stop: Option<StopReason> = None;
@@ -287,55 +343,44 @@ where
             let iter_start_stats = comm.stats();
             let degree = precond.current_operator_applications();
 
-            // Algorithm 5 keeps the basis local-distributed: converting it
-            // back to global costs an extra exchange (numerically a no-op).
-            let vj = if variant == EddVariant::Basic {
-                let mut t = v[j].clone();
-                layout.to_local_distributed(&mut t);
-                comm.work(n as u64);
-                layout.interface_sum(comm, &mut t);
-                t
-            } else {
-                v[j].clone()
-            };
-
             // Flexible polynomial preconditioning (Algorithm 7 runs inside
             // the operator: one exchange per internal matvec).
             if let Some(tracer) = comm.tracer() {
                 tracer.add_count("precond_applies", 1);
             }
-            let mut zj = precond.apply(&op, &vj);
             if variant == EddVariant::Basic {
-                // Algorithm 5 stores z local-distributed and re-sums it.
-                layout.to_local_distributed(&mut zj);
+                // Algorithm 5 keeps the basis local-distributed: converting
+                // it back to global costs an extra exchange (numerically a
+                // no-op). `ws.w` is free until the post-precondition matvec.
+                ws.w.copy_from_slice(&ws.v[j]);
+                layout.to_local_distributed(&mut ws.w);
                 comm.work(n as u64);
-                layout.interface_sum(comm, &mut zj);
+                layout.interface_sum_buffered(comm, &mut ws.w, &mut xbufs);
+                precond.apply_scratch(&op, &ws.w, &mut ws.z[j], &mut ws.precond_scratch);
+                // Algorithm 5 stores z local-distributed and re-sums it.
+                layout.to_local_distributed(&mut ws.z[j]);
+                comm.work(n as u64);
+                layout.interface_sum_buffered(comm, &mut ws.z[j], &mut xbufs);
+            } else {
+                precond.apply_scratch(&op, &ws.v[j], &mut ws.z[j], &mut ws.precond_scratch);
             }
 
             // Matrix-vector product (the one exchange Algorithm 6 keeps).
-            let mut w = vec![0.0; n];
-            op.apply_into(&zj, &mut w);
-            z.push(zj);
+            op.apply_into(&ws.z[j], &mut ws.w);
 
             // Batched classical Gram-Schmidt reductions: all projections
-            // plus ||w||^2 in ONE all-reduce.
-            let mut partials = Vec::with_capacity(j + 2);
-            for vi in v.iter() {
-                partials.push(layout.dot_partial(&w, vi));
+            // plus ||w||^2 in ONE all-reduce, batched into `ws.reduce`.
+            for (i, vi) in ws.v[..(j + 1)].iter().enumerate() {
+                ws.reduce[i] = layout.dot_partial(&ws.w, vi);
             }
-            partials.push(layout.dot_partial(&w, &w));
+            ws.reduce[j + 1] = layout.dot_partial(&ws.w, &ws.w);
             comm.work((3 * n * (j + 2)) as u64);
-            let sums = comm.allreduce_sum(&partials);
+            comm.allreduce_sum_into(&mut ws.reduce[..(j + 2)]);
 
-            let mut hcol = vec![0.0; j + 2];
-            hcol[..(j + 1)].copy_from_slice(&sums[..(j + 1)]);
-            let ww = sums[j + 1];
-            for (i, vi) in v.iter().enumerate() {
-                let hi = hcol[i];
-                for (wk, vk) in w.iter_mut().zip(vi) {
-                    *wk -= hi * vk;
-                }
-            }
+            let hcol = &mut ws.h[j];
+            hcol[..(j + 1)].copy_from_slice(&ws.reduce[..(j + 1)]);
+            let ww = ws.reduce[j + 1];
+            kernels::axpy_sweep_neg(&hcol[..(j + 1)], &ws.v[..(j + 1)], &mut ws.w);
             comm.work((2 * n * (j + 1)) as u64);
 
             // Post-orthogonalization norm by the Pythagorean identity, with
@@ -347,14 +392,14 @@ where
             let mut hh = ww - h_sq;
             if hh < 1e-2 * ww.max(1e-300) {
                 hh = comm
-                    .allreduce_sum_scalar(layout.dot_partial(&w, &w))
+                    .allreduce_sum_scalar(layout.dot_partial(&ws.w, &ws.w))
                     .max(0.0);
                 comm.work(3 * n as u64);
             }
             let h_next = hh.max(0.0).sqrt();
             hcol[j + 1] = h_next;
 
-            for (i, rot) in rotations.iter().enumerate() {
+            for (i, rot) in ws.rotations.iter().enumerate() {
                 let (a, b2) = rot.apply(hcol[i], hcol[i + 1]);
                 hcol[i] = a;
                 hcol[i + 1] = b2;
@@ -362,14 +407,13 @@ where
             let (rot, rr) = Givens::compute(hcol[j], hcol[j + 1]);
             hcol[j] = rr;
             hcol[j + 1] = 0.0;
-            let (g0, g1) = rot.apply(g[j], g[j + 1]);
-            g[j] = g0;
-            g[j + 1] = g1;
-            rotations.push(rot);
-            h_cols.push(hcol);
+            let (g0, g1) = rot.apply(ws.g[j], ws.g[j + 1]);
+            ws.g[j] = g0;
+            ws.g[j + 1] = g1;
+            ws.rotations.push(rot);
             j_done = j + 1;
 
-            let rel = g[j + 1].abs() / r0_norm;
+            let rel = ws.g[j + 1].abs() / r0_norm;
             residuals.push(rel);
 
             if let Some(tracer) = comm.tracer() {
@@ -404,25 +448,24 @@ where
                 stop = Some(StopReason::Breakdown);
                 break;
             }
-            let mut vj1 = w;
-            for t in &mut vj1 {
+            ws.v[j + 1].copy_from_slice(&ws.w);
+            for t in &mut ws.v[j + 1] {
                 *t /= h_next;
             }
             comm.work(n as u64);
-            v.push(vj1);
         }
 
         if j_done > 0 {
-            let mut y = vec![0.0; j_done];
             for i in (0..j_done).rev() {
-                let mut acc = g[i];
+                let mut acc = ws.g[i];
                 for k in (i + 1)..j_done {
-                    acc -= h_cols[k][i] * y[k];
+                    acc -= ws.h[k][i] * ws.y[k];
                 }
-                y[i] = acc / h_cols[i][i];
+                ws.y[i] = acc / ws.h[i][i];
             }
-            for (k, yk) in y.iter().enumerate() {
-                for (xi, zi) in x.iter_mut().zip(&z[k]) {
+            for k in 0..j_done {
+                let yk = ws.y[k];
+                for (xi, zi) in x.iter_mut().zip(&ws.z[k]) {
                     *xi += yk * zi;
                 }
             }
@@ -452,7 +495,7 @@ where
             }
             None => {
                 restarts += 1;
-                r = residual_of(&x);
+                edd_residual_into(comm, layout, a_local, b_local, &x, &mut ws.r, &mut xbufs);
             }
         }
     }

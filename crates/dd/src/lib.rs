@@ -26,14 +26,14 @@ pub mod edd;
 pub mod rdd;
 pub mod scaling;
 
-pub use dist_vec::EddLayout;
+pub use dist_vec::{EddLayout, ExchangeBuffers};
 pub use driver::{
     solve_edd, solve_edd_systems, solve_edd_systems_traced, solve_edd_traced, solve_rdd,
     solve_rdd_traced, DdSolveOutput, PrecondSpec, SolverConfig,
 };
 pub use dynamic::{solve_dynamic_edd, DynamicRunConfig, DynamicRunOutput};
-pub use edd::{edd_fgmres, edd_lambda_max, EddOperator, EddVariant};
-pub use rdd::{rdd_fgmres, RddLocalIlu, RddOperator, RddSystem};
+pub use edd::{edd_fgmres, edd_fgmres_with, edd_lambda_max, EddOperator, EddVariant};
+pub use rdd::{rdd_fgmres, rdd_fgmres_with, RddLocalIlu, RddOperator, RddSystem};
 
 #[cfg(test)]
 pub(crate) mod tests_support {

@@ -21,12 +21,14 @@
 use parfem_krylov::givens::Givens;
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::history::{ConvergenceHistory, StopReason};
+use parfem_krylov::KrylovWorkspace;
 use parfem_mesh::numbering::DOFS_PER_NODE;
 use parfem_mesh::NodePartition;
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
-use parfem_sparse::{CooMatrix, CsrMatrix, LinearOperator};
+use parfem_sparse::{kernels, CooMatrix, CsrMatrix, LinearOperator};
 use parfem_trace::{EventKind, Value};
+use std::cell::RefCell;
 
 /// One rank's block-row system.
 #[derive(Debug, Clone)]
@@ -174,39 +176,80 @@ impl RddSystem {
     }
 }
 
+/// Persistent halo-exchange staging for [`RddOperator`]: neighbour ranks,
+/// per-neighbour send/receive buffers, and the gathered external vector.
+/// Reused across matvecs so the Eq. 48 product allocates nothing once warm.
+#[derive(Debug, Clone, Default)]
+struct RddHaloBuffers {
+    ranks: Vec<usize>,
+    send: Vec<Vec<f64>>,
+    recv: Vec<Vec<f64>>,
+    x_ext: Vec<f64>,
+}
+
+impl RddHaloBuffers {
+    /// Sizes the per-neighbour buffers for `sys` (idempotent).
+    fn ensure(&mut self, sys: &RddSystem) {
+        if self.ranks.len() != sys.send_to.len()
+            || self
+                .ranks
+                .iter()
+                .zip(&sys.send_to)
+                .any(|(&r, (nr, _))| r != *nr)
+        {
+            self.ranks.clear();
+            self.ranks.extend(sys.send_to.iter().map(|(r, _)| *r));
+            self.send.resize(sys.send_to.len(), Vec::new());
+            self.recv.resize(sys.send_to.len(), Vec::new());
+        }
+    }
+}
+
 /// The row-based distributed operator.
 pub struct RddOperator<'a, C: Communicator> {
     /// The local block-row system.
     pub sys: &'a RddSystem,
     /// Communicator endpoint.
     pub comm: &'a C,
+    /// Halo staging, behind interior mutability because
+    /// [`LinearOperator::apply_into`] takes `&self`.
+    halo: RefCell<RddHaloBuffers>,
 }
 
-impl<C: Communicator> RddOperator<'_, C> {
-    /// Performs the halo exchange for `x_loc` and returns the external
-    /// values in `ext_dofs` order.
-    fn gather_ext(&self, x: &[f64]) -> Vec<f64> {
+impl<'a, C: Communicator> RddOperator<'a, C> {
+    /// Wraps a block-row system as the distributed operator.
+    pub fn new(sys: &'a RddSystem, comm: &'a C) -> Self {
+        RddOperator {
+            sys,
+            comm,
+            halo: RefCell::new(RddHaloBuffers::default()),
+        }
+    }
+
+    /// Performs the halo exchange for `x_loc`, leaving the external values
+    /// in `halo.x_ext` (in `ext_dofs` order).
+    fn gather_ext(&self, x: &[f64], halo: &mut RddHaloBuffers) {
         let sys = self.sys;
         // One merged neighbour set: FEM matrices are structurally symmetric,
         // so senders and receivers pair up.
-        let ranks: Vec<usize> = sys.send_to.iter().map(|(r, _)| *r).collect();
-        let outgoing: Vec<Vec<f64>> = sys
-            .send_to
-            .iter()
-            .map(|(_, idx)| idx.iter().map(|&l| x[l]).collect())
-            .collect();
-        let incoming = self.comm.exchange(&ranks, &outgoing);
-        let mut x_ext = vec![0.0; sys.ext_dofs.len().max(1)];
-        for ((rank, positions), buf) in sys.recv_from.iter().zip(&incoming) {
+        halo.ensure(sys);
+        for ((_, idx), out) in sys.send_to.iter().zip(halo.send.iter_mut()) {
+            out.clear();
+            out.extend(idx.iter().map(|&l| x[l]));
+        }
+        self.comm
+            .exchange_into(&halo.ranks, &halo.send, &mut halo.recv);
+        halo.x_ext.clear();
+        halo.x_ext.resize(sys.ext_dofs.len().max(1), 0.0);
+        for ((rank, positions), buf) in sys.recv_from.iter().zip(&halo.recv) {
             debug_assert_eq!(
                 *rank,
                 sys.send_to[sys.recv_from.iter().position(|(r, _)| r == rank).unwrap()].0
             );
             for (&pos, &v) in positions.iter().zip(buf) {
-                x_ext[pos] = v;
+                halo.x_ext[pos] = v;
             }
         }
-        x_ext
     }
 }
 
@@ -218,10 +261,11 @@ impl<C: Communicator> LinearOperator for RddOperator<'_, C> {
     fn apply_into(&self, x: &[f64], y: &mut [f64]) {
         let sys = self.sys;
         assert_eq!(x.len(), sys.n_local(), "rdd apply: x length mismatch");
-        let x_ext = self.gather_ext(x);
+        let mut halo = self.halo.borrow_mut();
+        self.gather_ext(x, &mut halo);
         sys.a_loc.spmv_into(x, y);
         if !sys.ext_dofs.is_empty() {
-            sys.a_ext.spmv_add_into(&x_ext, y);
+            sys.a_ext.spmv_add_into(&halo.x_ext, y);
         }
         self.comm
             .work(sys.a_loc.spmv_flops() + sys.a_ext.spmv_flops());
@@ -288,6 +332,9 @@ pub struct RddResult {
 
 /// Restarted flexible GMRES on the block-row operator (Algorithm 8).
 ///
+/// Allocates a throwaway [`KrylovWorkspace`]; callers solving repeatedly
+/// should hold one and use [`rdd_fgmres_with`].
+///
 /// # Panics
 /// Panics on dimension mismatches.
 pub fn rdd_fgmres<'a, C, P>(
@@ -301,14 +348,46 @@ where
     C: Communicator,
     P: Preconditioner<RddOperator<'a, C>> + ?Sized,
 {
+    let mut ws = KrylovWorkspace::new();
+    rdd_fgmres_with(comm, sys, precond, x0, cfg, &mut ws)
+}
+
+/// [`rdd_fgmres`] through a caller-owned [`KrylovWorkspace`]: once the
+/// workspace (and the operator's halo buffers) are warm, restarts and
+/// iterations perform no heap allocation on this rank, and the iterates are
+/// bit-identical to the allocating entry point.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn rdd_fgmres_with<'a, C, P>(
+    comm: &'a C,
+    sys: &'a RddSystem,
+    precond: &P,
+    x0: &[f64],
+    cfg: &GmresConfig,
+    ws: &mut KrylovWorkspace,
+) -> RddResult
+where
+    C: Communicator,
+    P: Preconditioner<RddOperator<'a, C>> + ?Sized,
+{
     if let Some(tracer) = comm.tracer() {
         tracer.span_begin("fgmres", comm.virtual_time());
     }
-    let res = rdd_fgmres_inner(comm, sys, precond, x0, cfg);
+    let res = rdd_fgmres_inner(comm, sys, precond, x0, cfg, ws);
     if let Some(tracer) = comm.tracer() {
         tracer.span_end("fgmres", comm.virtual_time());
     }
     res
+}
+
+/// `r ← b_loc − A x` over the owned rows (one halo exchange).
+fn rdd_residual_into<C: Communicator>(op: &RddOperator<'_, C>, x: &[f64], r: &mut [f64]) {
+    op.apply_into(x, r);
+    for (ri, bi) in r.iter_mut().zip(&op.sys.b_loc) {
+        *ri = bi - *ri;
+    }
+    op.comm.work(r.len() as u64);
 }
 
 fn rdd_fgmres_inner<'a, C, P>(
@@ -317,6 +396,7 @@ fn rdd_fgmres_inner<'a, C, P>(
     precond: &P,
     x0: &[f64],
     cfg: &GmresConfig,
+    ws: &mut KrylovWorkspace,
 ) -> RddResult
 where
     C: Communicator,
@@ -326,30 +406,22 @@ where
     assert_eq!(x0.len(), n, "rdd_fgmres: x0 length mismatch");
     assert!(cfg.restart > 0, "rdd_fgmres: restart must be positive");
     let m = cfg.restart;
-    let op = RddOperator { sys, comm };
+    let op = RddOperator::new(sys, comm);
+    ws.ensure(n, m, precond.scratch_vectors());
 
     let mut x = x0.to_vec();
-    let mut residuals = Vec::new();
+    let mut residuals = Vec::with_capacity(cfg.max_iters.saturating_add(2).min(1 << 20));
     let mut restarts = 0usize;
     let mut total_iters = 0usize;
 
     let local_dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(p, q)| p * q).sum() };
-    let residual_of = |x: &[f64]| -> Vec<f64> {
-        let mut t = vec![0.0; n];
-        op.apply_into(x, &mut t);
-        for (ti, bi) in t.iter_mut().zip(&sys.b_loc) {
-            *ti = bi - *ti;
-        }
-        comm.work(n as u64);
-        t
-    };
     let global_norm = |v: &[f64]| -> f64 {
         comm.work(2 * n as u64);
         comm.allreduce_sum_scalar(local_dot(v, v)).sqrt()
     };
 
-    let mut r = residual_of(&x);
-    let r0_norm = global_norm(&r);
+    rdd_residual_into(&op, &x, &mut ws.r);
+    let r0_norm = global_norm(&ws.r);
     residuals.push(1.0);
     if r0_norm == 0.0 {
         return RddResult {
@@ -364,7 +436,7 @@ where
     let breakdown_tol = 1e-14 * r0_norm;
 
     loop {
-        let beta = global_norm(&r);
+        let beta = global_norm(&ws.r);
         if beta / r0_norm <= cfg.tol {
             return RddResult {
                 x,
@@ -375,17 +447,13 @@ where
                 },
             };
         }
-        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-        let mut z: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut rotations: Vec<Givens> = Vec::with_capacity(m);
-        let mut g = vec![0.0; m + 1];
-        g[0] = beta;
-        let mut v0 = r.clone();
-        for t in &mut v0 {
+        ws.rotations.clear();
+        ws.g.fill(0.0);
+        ws.g[0] = beta;
+        ws.v[0].copy_from_slice(&ws.r);
+        for t in &mut ws.v[0] {
             *t /= beta;
         }
-        v.push(v0);
 
         let mut j_done = 0usize;
         let mut stop: Option<StopReason> = None;
@@ -401,40 +469,32 @@ where
             if let Some(tracer) = comm.tracer() {
                 tracer.add_count("precond_applies", 1);
             }
-            let zj = precond.apply(&op, &v[j]);
-            let mut w = vec![0.0; n];
-            op.apply_into(&zj, &mut w);
-            z.push(zj);
+            precond.apply_scratch(&op, &ws.v[j], &mut ws.z[j], &mut ws.precond_scratch);
+            op.apply_into(&ws.z[j], &mut ws.w);
 
-            let mut partials = Vec::with_capacity(j + 2);
-            for vi in v.iter() {
-                partials.push(local_dot(&w, vi));
-            }
-            partials.push(local_dot(&w, &w));
+            // Batched classical Gram-Schmidt reductions into `ws.reduce`
+            // (rows are disjoint, so the local dots are plain dots).
+            kernels::dot_sweep(&ws.w, &ws.v[..(j + 1)], &mut ws.reduce);
+            ws.reduce[j + 1] = local_dot(&ws.w, &ws.w);
             comm.work((2 * n * (j + 2)) as u64);
-            let sums = comm.allreduce_sum(&partials);
+            comm.allreduce_sum_into(&mut ws.reduce[..(j + 2)]);
 
-            let mut hcol = vec![0.0; j + 2];
-            hcol[..(j + 1)].copy_from_slice(&sums[..(j + 1)]);
-            let ww = sums[j + 1];
-            for (i, vi) in v.iter().enumerate() {
-                let hi = hcol[i];
-                for (wk, vk) in w.iter_mut().zip(vi) {
-                    *wk -= hi * vk;
-                }
-            }
+            let hcol = &mut ws.h[j];
+            hcol[..(j + 1)].copy_from_slice(&ws.reduce[..(j + 1)]);
+            let ww = ws.reduce[j + 1];
+            kernels::axpy_sweep_neg(&hcol[..(j + 1)], &ws.v[..(j + 1)], &mut ws.w);
             comm.work((2 * n * (j + 1)) as u64);
             // Guarded Pythagorean norm — see the matching comment in edd.rs.
             let h_sq: f64 = hcol[..(j + 1)].iter().map(|h| h * h).sum();
             let mut hh = ww - h_sq;
             if hh < 1e-2 * ww.max(1e-300) {
-                hh = comm.allreduce_sum_scalar(local_dot(&w, &w)).max(0.0);
+                hh = comm.allreduce_sum_scalar(local_dot(&ws.w, &ws.w)).max(0.0);
                 comm.work(2 * n as u64);
             }
             let h_next = hh.max(0.0).sqrt();
             hcol[j + 1] = h_next;
 
-            for (i, rot) in rotations.iter().enumerate() {
+            for (i, rot) in ws.rotations.iter().enumerate() {
                 let (a, b2) = rot.apply(hcol[i], hcol[i + 1]);
                 hcol[i] = a;
                 hcol[i + 1] = b2;
@@ -442,14 +502,13 @@ where
             let (rot, rr) = Givens::compute(hcol[j], hcol[j + 1]);
             hcol[j] = rr;
             hcol[j + 1] = 0.0;
-            let (g0, g1) = rot.apply(g[j], g[j + 1]);
-            g[j] = g0;
-            g[j + 1] = g1;
-            rotations.push(rot);
-            h_cols.push(hcol);
+            let (g0, g1) = rot.apply(ws.g[j], ws.g[j + 1]);
+            ws.g[j] = g0;
+            ws.g[j + 1] = g1;
+            ws.rotations.push(rot);
             j_done = j + 1;
 
-            let rel = g[j + 1].abs() / r0_norm;
+            let rel = ws.g[j + 1].abs() / r0_norm;
             residuals.push(rel);
             if let Some(tracer) = comm.tracer() {
                 let st = comm.stats();
@@ -482,24 +541,23 @@ where
                 stop = Some(StopReason::Breakdown);
                 break;
             }
-            let mut vj1 = w;
-            for t in &mut vj1 {
+            ws.v[j + 1].copy_from_slice(&ws.w);
+            for t in &mut ws.v[j + 1] {
                 *t /= h_next;
             }
-            v.push(vj1);
         }
 
         if j_done > 0 {
-            let mut y = vec![0.0; j_done];
             for i in (0..j_done).rev() {
-                let mut acc = g[i];
+                let mut acc = ws.g[i];
                 for k in (i + 1)..j_done {
-                    acc -= h_cols[k][i] * y[k];
+                    acc -= ws.h[k][i] * ws.y[k];
                 }
-                y[i] = acc / h_cols[i][i];
+                ws.y[i] = acc / ws.h[i][i];
             }
-            for (k, yk) in y.iter().enumerate() {
-                for (xi, zi) in x.iter_mut().zip(&z[k]) {
+            for k in 0..j_done {
+                let yk = ws.y[k];
+                for (xi, zi) in x.iter_mut().zip(&ws.z[k]) {
                     *xi += yk * zi;
                 }
             }
@@ -529,7 +587,7 @@ where
             }
             None => {
                 restarts += 1;
-                r = residual_of(&x);
+                rdd_residual_into(&op, &x, &mut ws.r);
             }
         }
     }
@@ -590,7 +648,7 @@ mod tests {
         let want = a.spmv(&x);
         let out = run_ranks(4, MachineModel::ideal(), |comm| {
             let sys = &systems[comm.rank()];
-            let op = RddOperator { sys, comm };
+            let op = RddOperator::new(sys, comm);
             let xl = sys.restrict(&x);
             let y = op.apply(&xl);
             let wl = sys.restrict(&want);
@@ -730,7 +788,7 @@ mod tests {
             let sys = &systems[comm.rank()];
             let ilu = RddLocalIlu::factorize(sys).unwrap();
             let before = comm.stats().sends;
-            let op = RddOperator { sys, comm };
+            let op = RddOperator::new(sys, comm);
             let v = vec![1.0; sys.n_local()];
             let _ = ilu.apply(&op, &v);
             comm.stats().sends - before

@@ -15,8 +15,9 @@
 
 use crate::givens::Givens;
 use crate::history::{ConvergenceHistory, StopReason};
+use crate::workspace::KrylovWorkspace;
 use parfem_precond::Preconditioner;
-use parfem_sparse::{dense, LinearOperator};
+use parfem_sparse::{dense, kernels, LinearOperator};
 use parfem_trace::{EventKind, RankTracer, Value};
 
 /// Arnoldi orthogonalization scheme.
@@ -92,6 +93,29 @@ where
     fgmres_traced(op, precond, b, x0, cfg, None)
 }
 
+/// [`fgmres`] with a caller-owned [`KrylovWorkspace`].
+///
+/// The workspace self-sizes on first use; once warm, restarts and
+/// iterations perform **no heap allocation**, and the result is
+/// bit-identical to [`fgmres`] (which is just this function with a
+/// throwaway workspace). Reuse one workspace across the repeated solves of
+/// a time-stepping or parameter-sweep loop to take per-solve allocation off
+/// the hot path.
+pub fn fgmres_with<Op, P>(
+    op: &Op,
+    precond: &P,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &GmresConfig,
+    ws: &mut KrylovWorkspace,
+) -> GmresResult
+where
+    Op: LinearOperator + ?Sized,
+    P: Preconditioner<Op> + ?Sized,
+{
+    fgmres_traced_with(op, precond, b, x0, cfg, None, ws)
+}
+
 /// [`fgmres`] with optional tracing: brackets the solve in an `fgmres` span
 /// and emits one [`EventKind::Iter`] event per inner iteration (relative
 /// residual, restart index, cycle, active preconditioner degree). The
@@ -109,14 +133,114 @@ where
     Op: LinearOperator + ?Sized,
     P: Preconditioner<Op> + ?Sized,
 {
+    let mut ws = KrylovWorkspace::new();
+    fgmres_traced_with(op, precond, b, x0, cfg, tracer, &mut ws)
+}
+
+/// [`fgmres_traced`] with a caller-owned [`KrylovWorkspace`] — the most
+/// general entry point; every other `fgmres*` function is a thin wrapper
+/// around this one.
+pub fn fgmres_traced_with<Op, P>(
+    op: &Op,
+    precond: &P,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &GmresConfig,
+    tracer: Option<&RankTracer>,
+    ws: &mut KrylovWorkspace,
+) -> GmresResult
+where
+    Op: LinearOperator + ?Sized,
+    P: Preconditioner<Op> + ?Sized,
+{
     if let Some(t) = tracer {
         t.span_begin("fgmres", 0.0);
     }
-    let res = fgmres_inner(op, precond, b, x0, cfg, tracer);
+    let res = fgmres_inner(op, precond, b, x0, cfg, tracer, ws);
     if let Some(t) = tracer {
         t.span_end("fgmres", 0.0);
     }
     res
+}
+
+/// Fused classical Gram–Schmidt step: projects `w` against the basis `vs`
+/// (coefficients into `hcol[..vs.len()]`), subtracts the projections, and
+/// returns `‖w‖₂` of the orthogonalized vector.
+///
+/// Dot products and AXPY updates run in blocks of four through
+/// [`kernels::dot_block`] / [`kernels::axpy_block`], whose contracts make
+/// this **bit-identical** to the unfused
+/// `dot* / axpy* / norm2` sequence while passing over `w` four times fewer;
+/// the trailing norm comes free from the last AXPY block.
+fn cgs_orthogonalize(vs: &[Vec<f64>], w: &mut [f64], hcol: &mut [f64]) -> f64 {
+    let cnt = vs.len();
+    if cnt == 0 {
+        return dense::norm2(w);
+    }
+    let mut i = 0;
+    while i + 4 <= cnt {
+        let d = kernels::dot_block(
+            w,
+            [
+                vs[i].as_slice(),
+                vs[i + 1].as_slice(),
+                vs[i + 2].as_slice(),
+                vs[i + 3].as_slice(),
+            ],
+        );
+        hcol[i..i + 4].copy_from_slice(&d);
+        i += 4;
+    }
+    match cnt - i {
+        1 => hcol[i] = kernels::dot_block(w, [vs[i].as_slice()])[0],
+        2 => {
+            let d = kernels::dot_block(w, [vs[i].as_slice(), vs[i + 1].as_slice()]);
+            hcol[i..i + 2].copy_from_slice(&d);
+        }
+        3 => {
+            let d = kernels::dot_block(
+                w,
+                [vs[i].as_slice(), vs[i + 1].as_slice(), vs[i + 2].as_slice()],
+            );
+            hcol[i..i + 3].copy_from_slice(&d);
+        }
+        _ => {}
+    }
+
+    let mut sq = 0.0;
+    let mut i = 0;
+    while i + 4 <= cnt {
+        sq = kernels::axpy_block(
+            [-hcol[i], -hcol[i + 1], -hcol[i + 2], -hcol[i + 3]],
+            [
+                vs[i].as_slice(),
+                vs[i + 1].as_slice(),
+                vs[i + 2].as_slice(),
+                vs[i + 3].as_slice(),
+            ],
+            w,
+        );
+        i += 4;
+    }
+    match cnt - i {
+        1 => sq = kernels::axpy_block([-hcol[i]], [vs[i].as_slice()], w),
+        2 => {
+            sq = kernels::axpy_block(
+                [-hcol[i], -hcol[i + 1]],
+                [vs[i].as_slice(), vs[i + 1].as_slice()],
+                w,
+            );
+        }
+        3 => {
+            sq = kernels::axpy_block(
+                [-hcol[i], -hcol[i + 1], -hcol[i + 2]],
+                [vs[i].as_slice(), vs[i + 1].as_slice(), vs[i + 2].as_slice()],
+                w,
+            );
+        }
+        _ => {}
+    }
+    sq.sqrt()
 }
 
 fn fgmres_inner<Op, P>(
@@ -126,6 +250,7 @@ fn fgmres_inner<Op, P>(
     x0: &[f64],
     cfg: &GmresConfig,
     tracer: Option<&RankTracer>,
+    ws: &mut KrylovWorkspace,
 ) -> GmresResult
 where
     Op: LinearOperator + ?Sized,
@@ -139,17 +264,20 @@ where
         "fgmres: restart dimension must be positive"
     );
     let m = cfg.restart;
+    ws.ensure(n, m, precond.scratch_vectors());
 
     let mut x = x0.to_vec();
-    let mut residuals = Vec::new();
+    // Reserving the full history up front keeps the iteration loop
+    // allocation-free (capped so absurd `max_iters` cannot pre-reserve
+    // gigabytes; past the cap the Vec grows amortized as usual).
+    let mut residuals = Vec::with_capacity(cfg.max_iters.saturating_add(2).min(1 << 20));
     let mut restarts = 0usize;
     let mut total_iters = 0usize;
 
-    // Initial residual.
-    let mut r = vec![0.0; n];
-    op.apply_into(&x, &mut r);
-    dense::sub_into(b, &r.clone(), &mut r);
-    let r0_norm = dense::norm2(&r);
+    // Initial residual r = b - A x, with w as the matvec temporary.
+    op.apply_into(&x, &mut ws.w);
+    dense::sub_into(b, &ws.w, &mut ws.r);
+    let r0_norm = dense::norm2(&ws.r);
     residuals.push(1.0);
     if r0_norm == 0.0 {
         return GmresResult {
@@ -166,7 +294,7 @@ where
     let breakdown_tol = 1e-14 * r0_norm;
 
     loop {
-        let beta = dense::norm2(&r);
+        let beta = dense::norm2(&ws.r);
         if beta / r0_norm <= cfg.tol {
             return GmresResult {
                 x,
@@ -178,16 +306,14 @@ where
             };
         }
         // Arnoldi basis V, flexible vectors Z, Hessenberg columns (upper
-        // triangular after rotations), rotations, and the rhs g.
-        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-        let mut z: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut h_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut rotations: Vec<Givens> = Vec::with_capacity(m);
-        let mut g = vec![0.0; m + 1];
-        g[0] = beta;
-        let mut v0 = r.clone();
-        dense::scale(1.0 / beta, &mut v0);
-        v.push(v0);
+        // triangular after rotations), rotations, and the rhs g — all
+        // preallocated columns of the workspace. `g` must be re-zeroed:
+        // iteration j reads the still-virgin g[j + 1].
+        ws.rotations.clear();
+        ws.g.fill(0.0);
+        ws.g[0] = beta;
+        ws.v[0].copy_from_slice(&ws.r);
+        dense::scale(1.0 / beta, &mut ws.v[0]);
 
         let mut j_done = 0usize;
         let mut stop: Option<StopReason> = None;
@@ -202,37 +328,33 @@ where
             if let Some(t) = tracer {
                 t.add_count("precond_applies", 1);
             }
-            // Flexible preconditioning z_j = C v_j.
-            let zj = precond.apply(op, &v[j]);
-            let mut w = vec![0.0; n];
-            op.apply_into(&zj, &mut w);
-            z.push(zj);
+            // Flexible preconditioning z_j = C v_j, into the preallocated
+            // column (apply_scratch overwrites it completely).
+            precond.apply_scratch(op, &ws.v[j], &mut ws.z[j], &mut ws.precond_scratch);
+            op.apply_into(&ws.z[j], &mut ws.w);
 
-            let mut hcol = vec![0.0; j + 2];
-            match cfg.ortho {
+            let hcol = &mut ws.h[j];
+            let h_next = match cfg.ortho {
                 Orthogonalization::Classical => {
-                    // All projections off the same w (batchable dots).
-                    for (i, vi) in v.iter().enumerate() {
-                        hcol[i] = dense::dot(&w, vi);
-                    }
-                    for (i, vi) in v.iter().enumerate() {
-                        dense::axpy(-hcol[i], vi, &mut w);
-                    }
+                    // All projections off the same w: fused blocked dots,
+                    // AXPYs and trailing norm (bit-identical to the unfused
+                    // form — see `cgs_orthogonalize`).
+                    cgs_orthogonalize(&ws.v[..j + 1], &mut ws.w, hcol)
                 }
                 Orthogonalization::Modified => {
                     // Sequential projections off the running w.
-                    for (i, vi) in v.iter().enumerate() {
-                        let h = dense::dot(&w, vi);
-                        dense::axpy(-h, vi, &mut w);
+                    for (i, vi) in ws.v[..j + 1].iter().enumerate() {
+                        let h = dense::dot(&ws.w, vi);
+                        dense::axpy(-h, vi, &mut ws.w);
                         hcol[i] = h;
                     }
+                    dense::norm2(&ws.w)
                 }
-            }
-            let h_next = dense::norm2(&w);
+            };
             hcol[j + 1] = h_next;
 
             // Apply accumulated rotations to the new column.
-            for (i, rot) in rotations.iter().enumerate() {
+            for (i, rot) in ws.rotations.iter().enumerate() {
                 let (a, b2) = rot.apply(hcol[i], hcol[i + 1]);
                 hcol[i] = a;
                 hcol[i + 1] = b2;
@@ -240,14 +362,13 @@ where
             let (rot, rr) = Givens::compute(hcol[j], hcol[j + 1]);
             hcol[j] = rr;
             hcol[j + 1] = 0.0;
-            let (g0, g1) = rot.apply(g[j], g[j + 1]);
-            g[j] = g0;
-            g[j + 1] = g1;
-            rotations.push(rot);
-            h_cols.push(hcol);
+            let (g0, g1) = rot.apply(ws.g[j], ws.g[j + 1]);
+            ws.g[j] = g0;
+            ws.g[j + 1] = g1;
+            ws.rotations.push(rot);
             j_done = j + 1;
 
-            let rel = g[j + 1].abs() / r0_norm;
+            let rel = ws.g[j + 1].abs() / r0_norm;
             residuals.push(rel);
             if let Some(t) = tracer {
                 t.emit(
@@ -273,23 +394,21 @@ where
                 stop = Some(StopReason::Breakdown);
                 break;
             }
-            let mut vj1 = w;
-            dense::scale(1.0 / h_next, &mut vj1);
-            v.push(vj1);
+            ws.v[j + 1].copy_from_slice(&ws.w);
+            dense::scale(1.0 / h_next, &mut ws.v[j + 1]);
         }
 
         // Solve the triangular system R y = g for the iterations done.
         if j_done > 0 {
-            let mut y = vec![0.0; j_done];
             for i in (0..j_done).rev() {
-                let mut acc = g[i];
+                let mut acc = ws.g[i];
                 for k in (i + 1)..j_done {
-                    acc -= h_cols[k][i] * y[k];
+                    acc -= ws.h[k][i] * ws.y[k];
                 }
-                y[i] = acc / h_cols[i][i];
+                ws.y[i] = acc / ws.h[i][i];
             }
-            for (k, yk) in y.iter().enumerate() {
-                dense::axpy(*yk, &z[k], &mut x);
+            for k in 0..j_done {
+                dense::axpy(ws.y[k], &ws.z[k], &mut x);
             }
         }
 
@@ -315,11 +434,10 @@ where
                 };
             }
             None => {
-                // Restart: recompute the true residual.
+                // Restart: recompute the true residual r = b - A x.
                 restarts += 1;
-                op.apply_into(&x, &mut r);
-                let ax = r.clone();
-                dense::sub_into(b, &ax, &mut r);
+                op.apply_into(&x, &mut ws.w);
+                dense::sub_into(b, &ws.w, &mut ws.r);
             }
         }
     }

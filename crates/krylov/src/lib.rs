@@ -20,7 +20,11 @@ pub mod givens;
 pub mod gmres;
 pub mod history;
 pub mod lanczos;
+pub mod workspace;
 
-pub use gmres::{fgmres, fgmres_traced, GmresConfig, Orthogonalization};
+pub use gmres::{
+    fgmres, fgmres_traced, fgmres_traced_with, fgmres_with, GmresConfig, Orthogonalization,
+};
 pub use history::{ConvergenceHistory, StopReason};
 pub use lanczos::estimate_spectrum;
+pub use workspace::KrylovWorkspace;

@@ -1,7 +1,8 @@
 //! Property-based tests for the Krylov solvers.
 
 use parfem_krylov::cg::{pcg, CgConfig};
-use parfem_krylov::gmres::{fgmres, GmresConfig, Orthogonalization};
+use parfem_krylov::gmres::{fgmres, fgmres_with, GmresConfig, Orthogonalization};
+use parfem_krylov::KrylovWorkspace;
 use parfem_precond::{GlsPrecond, IdentityPrecond, JacobiPrecond};
 use parfem_sparse::{CooMatrix, CsrMatrix};
 use proptest::prelude::*;
@@ -105,5 +106,31 @@ proptest! {
             prop_assert!(h.final_residual() <= 1e-8 + 1e-15);
         }
         prop_assert_eq!(h.iterations() + 1, h.relative_residuals.len());
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical(a1 in spd_matrix(12),
+                                        a2 in spd_matrix(12),
+                                        b1 in prop::collection::vec(-2.0..2.0f64, 12),
+                                        b2 in prop::collection::vec(-2.0..2.0f64, 12)) {
+        // A solve through a reused (dirty) workspace must match the
+        // allocating entry point bit-for-bit — `fgmres` is just
+        // `fgmres_with` on a throwaway workspace.
+        let cfg = GmresConfig { tol: 1e-10, ..Default::default() };
+        let mut ws = KrylovWorkspace::new();
+
+        let w1 = fgmres_with(&a1, &IdentityPrecond, &b1, &[0.0; 12], &cfg, &mut ws);
+        let f1 = fgmres(&a1, &IdentityPrecond, &b1, &[0.0; 12], &cfg);
+        prop_assert_eq!(&w1.x, &f1.x);
+        prop_assert_eq!(&w1.history.relative_residuals, &f1.history.relative_residuals);
+
+        // Second solve reuses the now-warm workspace on a different system,
+        // with a polynomial preconditioner so the scratch pool is exercised.
+        let (scaled, bs, _) = parfem_sparse::scaling::scale_system(&a2, &b2).unwrap();
+        let gls = GlsPrecond::for_scaled_system(5);
+        let w2 = fgmres_with(&scaled, &gls, &bs, &[0.0; 12], &cfg, &mut ws);
+        let f2 = fgmres(&scaled, &gls, &bs, &[0.0; 12], &cfg);
+        prop_assert_eq!(&w2.x, &f2.x);
+        prop_assert_eq!(&w2.history.relative_residuals, &f2.history.relative_residuals);
     }
 }

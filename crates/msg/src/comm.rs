@@ -34,10 +34,30 @@ pub trait Communicator {
     /// disconnected.
     fn recv(&self, from: usize) -> Vec<f64>;
 
+    /// [`Communicator::recv`] into a caller-owned buffer, so a persistent
+    /// buffer absorbs repeated receives without per-message allocation on
+    /// the receiving side (once its capacity has grown to the message
+    /// size). `buf` is cleared and refilled; its capacity is reused.
+    fn recv_into(&self, from: usize, buf: &mut Vec<f64>) {
+        let msg = self.recv(from);
+        buf.clear();
+        buf.extend_from_slice(&msg);
+    }
+
     /// Element-wise sum of `v` across all ranks. All ranks must call with
     /// equal lengths; every rank receives the same result (summed in rank
     /// order, so the outcome is deterministic).
     fn allreduce_sum(&self, v: &[f64]) -> Vec<f64>;
+
+    /// In-place variant of [`Communicator::allreduce_sum`]: `buf` is
+    /// replaced by the element-wise sum over all ranks. Lets hot loops
+    /// (the batched Gram–Schmidt reduction) reuse one persistent buffer
+    /// instead of allocating a result vector per iteration. Counts as
+    /// exactly one all-reduce, like the allocating form.
+    fn allreduce_sum_into(&self, buf: &mut [f64]) {
+        let sums = self.allreduce_sum(buf);
+        buf.copy_from_slice(&sums);
+    }
 
     /// Scalar convenience wrapper over [`Communicator::allreduce_sum`].
     fn allreduce_sum_scalar(&self, v: f64) -> f64 {
@@ -87,6 +107,32 @@ pub trait Communicator {
             self.send(nb, buf);
         }
         neighbors.iter().map(|&nb| self.recv(nb)).collect()
+    }
+
+    /// [`Communicator::exchange`] into caller-owned receive buffers (one
+    /// per neighbour, capacities reused across rounds). Counts as one
+    /// neighbour-exchange round, like the allocating form.
+    ///
+    /// # Panics
+    /// Panics if `neighbors`, `data` and `out` lengths differ.
+    fn exchange_into(&self, neighbors: &[usize], data: &[Vec<f64>], out: &mut [Vec<f64>]) {
+        assert_eq!(
+            neighbors.len(),
+            data.len(),
+            "exchange_into: neighbour/data length mismatch"
+        );
+        assert_eq!(
+            neighbors.len(),
+            out.len(),
+            "exchange_into: neighbour/output length mismatch"
+        );
+        self.count_neighbor_exchange();
+        for (&nb, buf) in neighbors.iter().zip(data) {
+            self.send(nb, buf);
+        }
+        for (&nb, buf) in neighbors.iter().zip(out.iter_mut()) {
+            self.recv_into(nb, buf);
+        }
     }
 
     /// Broadcasts `data` from `root` to every rank; all ranks (including

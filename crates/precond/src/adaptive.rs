@@ -79,6 +79,21 @@ impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for EscalatingGls {
         self.stages[idx].apply_into(op, v, z);
     }
 
+    fn scratch_vectors(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| Preconditioner::<Op>::scratch_vectors(s))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn apply_scratch(&self, op: &Op, v: &[f64], z: &mut [f64], scratch: &mut [Vec<f64>]) {
+        let k = self.calls.get();
+        let idx = k.min(self.stages.len() - 1);
+        self.calls.set(k + 1);
+        self.stages[idx].apply_scratch(op, v, z, scratch);
+    }
+
     fn operator_applications(&self) -> usize {
         // Report the steady-state (final) degree.
         *self.schedule.last().expect("non-empty schedule")

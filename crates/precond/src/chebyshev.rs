@@ -117,8 +117,22 @@ impl ChebyshevPrecond {
 impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for ChebyshevPrecond {
     fn apply_into(&self, op: &Op, v: &[f64], z: &mut [f64]) {
         let n = op.dim();
+        let mut scratch = vec![vec![0.0; n], vec![0.0; n]];
+        self.apply_scratch(op, v, z, &mut scratch);
+    }
+
+    fn scratch_vectors(&self) -> usize {
+        2
+    }
+
+    fn apply_scratch(&self, op: &Op, v: &[f64], z: &mut [f64], scratch: &mut [Vec<f64>]) {
+        let n = op.dim();
         assert_eq!(v.len(), n, "chebyshev: v length mismatch");
         assert_eq!(z.len(), n, "chebyshev: z length mismatch");
+        let (d_s, az_s) = scratch.split_at_mut(1);
+        let (d, az) = (&mut d_s[0], &mut az_s[0]);
+        assert_eq!(d.len(), n, "chebyshev: scratch length mismatch");
+        assert_eq!(az.len(), n, "chebyshev: scratch length mismatch");
         let theta = self.theta();
         let delta = self.delta();
         let sigma1 = theta / delta;
@@ -129,12 +143,11 @@ impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for ChebyshevPrecond {
         if self.degree == 0 {
             return;
         }
-        let mut d: Vec<f64> = z.to_vec();
-        let mut az = vec![0.0; n];
+        d.copy_from_slice(z);
         let mut rho = 1.0 / sigma1;
         for _ in 1..=self.degree {
             let rho_new = 1.0 / (2.0 * sigma1 - rho);
-            op.apply_into(z, &mut az);
+            op.apply_into(z, az);
             for i in 0..n {
                 d[i] = rho_new * rho * d[i] + 2.0 * rho_new / delta * (v[i] - az[i]);
                 z[i] += d[i];

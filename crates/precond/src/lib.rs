@@ -70,6 +70,30 @@ pub trait Preconditioner<Op: LinearOperator + ?Sized> {
         z
     }
 
+    /// Number of length-`op.dim()` scratch vectors
+    /// [`Preconditioner::apply_scratch`] consumes. Zero for data-only
+    /// preconditioners (Jacobi, ILU, identity) whose application already
+    /// runs allocation-free.
+    fn scratch_vectors(&self) -> usize {
+        0
+    }
+
+    /// Applies the preconditioner using caller-owned scratch storage.
+    ///
+    /// `scratch` must hold at least [`Preconditioner::scratch_vectors`]
+    /// vectors, each of length `op.dim()`; their contents on entry are
+    /// irrelevant (implementations overwrite or zero what they use). With
+    /// adequate scratch the application performs **no heap allocation** and
+    /// produces a result bit-identical to [`Preconditioner::apply_into`] —
+    /// the Krylov workspace relies on both properties.
+    ///
+    /// The default ignores `scratch` and delegates to `apply_into`, which
+    /// is correct (if allocating) for every implementation.
+    fn apply_scratch(&self, op: &Op, v: &[f64], z: &mut [f64], scratch: &mut [Vec<f64>]) {
+        let _ = scratch;
+        self.apply_into(op, v, z);
+    }
+
     /// Number of operator applications (matrix–vector products) one
     /// preconditioner application costs. Zero for matrix-free data-only
     /// preconditioners like Jacobi/ILU.

@@ -90,15 +90,25 @@ impl NeumannPrecond {
 
 impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for NeumannPrecond {
     fn apply_into(&self, op: &Op, v: &[f64], z: &mut [f64]) {
+        let mut scratch = vec![vec![0.0; op.dim()]];
+        self.apply_scratch(op, v, z, &mut scratch);
+    }
+
+    fn scratch_vectors(&self) -> usize {
+        1
+    }
+
+    fn apply_scratch(&self, op: &Op, v: &[f64], z: &mut [f64], scratch: &mut [Vec<f64>]) {
         let n = op.dim();
         assert_eq!(v.len(), n, "neumann: v length mismatch");
         assert_eq!(z.len(), n, "neumann: z length mismatch");
+        let az = &mut scratch[0];
+        assert_eq!(az.len(), n, "neumann: scratch length mismatch");
         // z_{k+1} = v + G z_k = v + z_k - omega * A z_k; start z_0 = v.
         // After m updates z = (I + G + ... + G^m) v; result omega * z.
         z.copy_from_slice(v);
-        let mut az = vec![0.0; n];
         for _ in 0..self.degree {
-            op.apply_into(z, &mut az);
+            op.apply_into(z, az);
             for i in 0..n {
                 z[i] = v[i] + z[i] - self.omega * az[i];
             }

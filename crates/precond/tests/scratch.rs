@@ -1,0 +1,109 @@
+//! `apply_scratch` must be **bit-identical** to `apply_into` for every
+//! preconditioner: the Krylov workspace swaps one for the other in the hot
+//! loop, and the workspace-vs-allocating FGMRES equality tests (and the
+//! distributed solvers' exact iteration-equality tests) only hold if the
+//! preconditioned vectors match to the last bit.
+
+use parfem_precond::{
+    ChebyshevPrecond, EscalatingGls, GlsPrecond, IdentityPrecond, IntervalUnion, JacobiPrecond,
+    NeumannPrecond, Preconditioner,
+};
+use parfem_sparse::{CooMatrix, CsrMatrix};
+
+/// 1-D Laplacian scaled so the spectrum sits inside (0, 1).
+fn scaled_laplacian(n: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 0.5).unwrap();
+        if i + 1 < n {
+            coo.push(i, i + 1, -0.25).unwrap();
+            coo.push(i + 1, i, -0.25).unwrap();
+        }
+    }
+    coo.to_csr()
+}
+
+fn probe(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 13 % 17) as f64 - 8.0) / 8.0).collect()
+}
+
+/// Applies `p` both ways and checks exact equality; scratch buffers are
+/// deliberately poisoned with garbage to prove implementations do not rely
+/// on their incoming contents.
+fn check_bit_identical<P: Preconditioner<CsrMatrix>>(p: &P, a: &CsrMatrix) {
+    let n = a.n_rows();
+    let v = probe(n);
+    let mut z_alloc = vec![0.0; n];
+    p.apply_into(a, &v, &mut z_alloc);
+
+    let mut scratch: Vec<Vec<f64>> = (0..p.scratch_vectors())
+        .map(|j| vec![f64::NAN + j as f64; n])
+        .collect();
+    let mut z_scratch = vec![f64::NAN; n];
+    p.apply_scratch(a, &v, &mut z_scratch, &mut scratch);
+
+    assert_eq!(z_alloc, z_scratch, "{}", p.name());
+    // A second application through the same (now dirty) scratch must agree
+    // too — this is exactly the reuse pattern of the Krylov workspace.
+    p.apply_scratch(a, &v, &mut z_scratch, &mut scratch);
+    assert_eq!(z_alloc, z_scratch, "{} (reused scratch)", p.name());
+}
+
+#[test]
+fn neumann_scratch_matches_allocating_path() {
+    let a = scaled_laplacian(37);
+    for degree in [0usize, 1, 3, 8] {
+        check_bit_identical(&NeumannPrecond::for_scaled_system(degree), &a);
+    }
+}
+
+#[test]
+fn gls_scratch_matches_allocating_path() {
+    let a = scaled_laplacian(37);
+    for degree in [0usize, 1, 4, 9] {
+        check_bit_identical(&GlsPrecond::for_scaled_system(degree), &a);
+    }
+    let u = IntervalUnion::new(vec![(0.05, 0.4), (0.6, 0.95)]);
+    check_bit_identical(&GlsPrecond::new(6, u), &a);
+}
+
+#[test]
+fn chebyshev_scratch_matches_allocating_path() {
+    let a = scaled_laplacian(37);
+    for degree in [0usize, 1, 5, 10] {
+        check_bit_identical(&ChebyshevPrecond::new(degree, 0.02, 0.98), &a);
+    }
+}
+
+#[test]
+fn escalating_gls_scratch_matches_allocating_path() {
+    let a = scaled_laplacian(37);
+    // Same schedule position on both paths: two fresh instances, applied
+    // the same number of times each.
+    let p_alloc = EscalatingGls::new(vec![1, 3, 7], IntervalUnion::unit());
+    let p_scratch = EscalatingGls::new(vec![1, 3, 7], IntervalUnion::unit());
+    assert_eq!(Preconditioner::<CsrMatrix>::scratch_vectors(&p_scratch), 3);
+    let n = a.n_rows();
+    let v = probe(n);
+    let mut scratch: Vec<Vec<f64>> = (0..3).map(|_| vec![f64::NAN; n]).collect();
+    for app in 0..5 {
+        let mut z_alloc = vec![0.0; n];
+        p_alloc.apply_into(&a, &v, &mut z_alloc);
+        let mut z_scratch = vec![f64::NAN; n];
+        p_scratch.apply_scratch(&a, &v, &mut z_scratch, &mut scratch);
+        assert_eq!(z_alloc, z_scratch, "application {app}");
+    }
+}
+
+#[test]
+fn data_only_preconditioners_need_no_scratch() {
+    let a = scaled_laplacian(12);
+    let p = JacobiPrecond::from_matrix(&a);
+    assert_eq!(Preconditioner::<CsrMatrix>::scratch_vectors(&p), 0);
+    check_bit_identical(&p, &a);
+    assert_eq!(
+        Preconditioner::<CsrMatrix>::scratch_vectors(&IdentityPrecond),
+        0
+    );
+    check_bit_identical(&IdentityPrecond, &a);
+}

@@ -102,6 +102,24 @@ impl CsrMatrix {
         })
     }
 
+    /// Debug-build check that every row's column indices are strictly
+    /// increasing — the invariant [`CsrMatrix::get`]'s binary search and the
+    /// SpMV kernels rely on. [`CsrMatrix::from_raw_parts`] validates this
+    /// unconditionally; the internal literal constructors (`identity`,
+    /// `from_diagonal`, `transpose`) assert it here in debug builds.
+    #[inline]
+    fn debug_assert_rows_sorted(self) -> Self {
+        #[cfg(debug_assertions)]
+        for r in 0..self.n_rows {
+            let (cols, _) = self.row(r);
+            debug_assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "CSR row {r} columns not strictly increasing"
+            );
+        }
+        self
+    }
+
     /// The `n x n` identity matrix.
     pub fn identity(n: usize) -> Self {
         CsrMatrix {
@@ -111,6 +129,7 @@ impl CsrMatrix {
             col_idx: (0..n).collect(),
             values: vec![1.0; n],
         }
+        .debug_assert_rows_sorted()
     }
 
     /// A square matrix with `diag` on the diagonal and zeros elsewhere.
@@ -123,6 +142,7 @@ impl CsrMatrix {
             col_idx: (0..n).collect(),
             values: diag.to_vec(),
         }
+        .debug_assert_rows_sorted()
     }
 
     /// Builds from a dense row-major array, dropping exact zeros.
@@ -217,15 +237,36 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "spmv: x length mismatch");
         assert_eq!(y.len(), self.n_rows, "spmv: y length mismatch");
-        for r in 0..self.n_rows {
-            let mut acc = 0.0;
-            let lo = self.row_ptr[r];
-            let hi = self.row_ptr[r + 1];
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k]];
-            }
-            y[r] = acc;
-        }
+        crate::kernels::spmv_raw(&self.row_ptr, &self.col_idx, &self.values, x, y);
+    }
+
+    /// Row-partitioned multithreaded `y = A x` (bit-identical to
+    /// [`CsrMatrix::spmv_into`] for any thread count); see
+    /// [`crate::kernels::par_spmv_into`].
+    ///
+    /// # Panics
+    /// Panics if the vector lengths mismatch the matrix shape.
+    pub fn par_spmv_into(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        crate::kernels::par_spmv_into(self, x, y, threads);
+    }
+
+    /// Fused `y = alpha * A x + beta * y` in one pass over `y`; see
+    /// [`crate::kernels::spmv_axpby_raw`].
+    ///
+    /// # Panics
+    /// Panics if the vector lengths mismatch the matrix shape.
+    pub fn spmv_axpby(&self, alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "spmv_axpby: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "spmv_axpby: y length mismatch");
+        crate::kernels::spmv_axpby_raw(
+            alpha,
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+            x,
+            beta,
+            y,
+        );
     }
 
     /// Allocating variant of [`CsrMatrix::spmv_into`].
@@ -242,13 +283,7 @@ impl CsrMatrix {
     pub fn spmv_add_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "spmv_add: x length mismatch");
         assert_eq!(y.len(), self.n_rows, "spmv_add: y length mismatch");
-        for r in 0..self.n_rows {
-            let mut acc = 0.0;
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                acc += self.values[k] * x[self.col_idx[k]];
-            }
-            y[r] += acc;
-        }
+        crate::kernels::spmv_add_raw(&self.row_ptr, &self.col_idx, &self.values, x, y);
     }
 
     /// Floating-point operations of one SpMV with this matrix.
@@ -286,6 +321,7 @@ impl CsrMatrix {
             col_idx,
             values,
         }
+        .debug_assert_rows_sorted()
     }
 
     /// Whether the matrix is numerically symmetric to tolerance `tol`

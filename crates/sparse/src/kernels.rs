@@ -1,0 +1,544 @@
+//! Tuned hot-path kernels: unrolled CSR SpMV, fused SpMV/vector updates,
+//! blocked Gram–Schmidt primitives, and a row-partitioned multithreaded
+//! SpMV.
+//!
+//! Design rules (they are what the solver correctness tests rely on):
+//!
+//! 1. **Per-row arithmetic is fixed.** Every SpMV variant here accumulates a
+//!    row as four independent partial sums over `chunks_exact(4)` combined
+//!    as `(a0 + a1) + (a2 + a3)` plus a sequential remainder. Sequential,
+//!    fused, and threaded SpMV therefore produce **bit-identical** results
+//!    for any thread count.
+//! 2. **Blocked vector kernels preserve element order.** [`dot_block`]
+//!    keeps one accumulator per basis vector and walks elements in order,
+//!    so it equals the corresponding sequence of individual dot products
+//!    bit-for-bit; [`axpy_block`] applies its updates to each element in
+//!    block order, matching a sequence of individual AXPYs bit-for-bit.
+//!    The blocking only changes *memory traffic* (one pass over `w` instead
+//!    of `K`), never floating-point semantics.
+//! 3. No allocation anywhere; callers provide every buffer.
+//!
+//! The raw-slice entry points (`spmv_raw_*`) exist so kernels can run on
+//! sub-ranges during row partitioning; [`crate::CsrMatrix`] forwards its
+//! `spmv_into` / `spmv_add_into` / `spmv_axpby` methods here.
+
+use crate::csr::CsrMatrix;
+
+/// One CSR row dot product, 4-way unrolled.
+///
+/// The four partial accumulators are combined as `(a0 + a1) + (a2 + a3)`;
+/// this is the single row-reduction order used by every SpMV variant in the
+/// workspace (see the module docs).
+#[inline(always)]
+pub fn row_dot(cols: &[usize], vals: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(cols.len(), vals.len());
+    let mut c4 = cols.chunks_exact(4);
+    let mut v4 = vals.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+    for (c, v) in (&mut c4).zip(&mut v4) {
+        a0 += v[0] * x[c[0]];
+        a1 += v[1] * x[c[1]];
+        a2 += v[2] * x[c[2]];
+        a3 += v[3] * x[c[3]];
+    }
+    let mut acc = (a0 + a1) + (a2 + a3);
+    for (&c, &v) in c4.remainder().iter().zip(v4.remainder()) {
+        acc += v * x[c];
+    }
+    acc
+}
+
+/// `y[r] = A x` over the row range `rows`, on raw CSR arrays.
+///
+/// `y` holds only the rows of the range (`y.len() == rows.len()`), which is
+/// what lets [`par_spmv_into`] hand each thread a disjoint `&mut` chunk.
+///
+/// # Panics
+/// Panics if the range or `y` length is inconsistent with the arrays.
+pub fn spmv_raw_range(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    rows: core::ops::Range<usize>,
+) {
+    assert_eq!(y.len(), rows.len(), "spmv_raw_range: y length mismatch");
+    assert!(
+        rows.end < row_ptr.len(),
+        "spmv_raw_range: rows out of range"
+    );
+    let base = rows.start;
+    for (i, yr) in y.iter_mut().enumerate() {
+        let lo = row_ptr[base + i];
+        let hi = row_ptr[base + i + 1];
+        *yr = row_dot(&col_idx[lo..hi], &values[lo..hi], x);
+    }
+}
+
+/// `y = A x` on raw CSR arrays (all rows).
+pub fn spmv_raw(row_ptr: &[usize], col_idx: &[usize], values: &[f64], x: &[f64], y: &mut [f64]) {
+    let n_rows = row_ptr.len() - 1;
+    spmv_raw_range(row_ptr, col_idx, values, x, y, 0..n_rows);
+}
+
+/// `y += A x` on raw CSR arrays.
+pub fn spmv_add_raw(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(
+        y.len(),
+        row_ptr.len() - 1,
+        "spmv_add_raw: y length mismatch"
+    );
+    for (r, yr) in y.iter_mut().enumerate() {
+        let lo = row_ptr[r];
+        let hi = row_ptr[r + 1];
+        *yr += row_dot(&col_idx[lo..hi], &values[lo..hi], x);
+    }
+}
+
+/// Fused `y = alpha * A x + beta * y` in a single pass over `y`.
+///
+/// Row sums use exactly the [`row_dot`] reduction, so the result is
+/// bit-identical to `spmv_into` followed by a manual `axpby` (asserted by a
+/// property test in `crates/sparse/tests`).
+pub fn spmv_axpby_raw(
+    alpha: f64,
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    x: &[f64],
+    beta: f64,
+    y: &mut [f64],
+) {
+    assert_eq!(y.len(), row_ptr.len() - 1, "spmv_axpby: y length mismatch");
+    for (r, yr) in y.iter_mut().enumerate() {
+        let lo = row_ptr[r];
+        let hi = row_ptr[r + 1];
+        let acc = row_dot(&col_idx[lo..hi], &values[lo..hi], x);
+        *yr = alpha * acc + beta * *yr;
+    }
+}
+
+/// Row-partitioned multithreaded `y = A x` over `std::thread::scope`.
+///
+/// Rows are split into `threads` contiguous chunks balanced by stored-entry
+/// count; each thread computes its rows with the same per-row arithmetic as
+/// the sequential kernel, so the result is **bit-identical** for any thread
+/// count. Falls back to the sequential kernel when one thread suffices or
+/// the matrix is too small to amortize thread spawns.
+///
+/// # Panics
+/// Panics on vector/matrix dimension mismatches.
+pub fn par_spmv_into(a: &CsrMatrix, x: &[f64], y: &mut [f64], threads: usize) {
+    assert_eq!(x.len(), a.n_cols(), "par_spmv: x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "par_spmv: y length mismatch");
+    let threads = threads.max(1).min(a.n_rows().max(1));
+    // Below ~64k stored entries per extra thread the spawn/join overhead
+    // dominates; stay sequential.
+    if threads == 1 || a.nnz() < 64 * 1024 {
+        a.spmv_into(x, y);
+        return;
+    }
+    let (row_ptr, col_idx, values) = a.raw_parts();
+    let n_rows = a.n_rows();
+    let target = a.nnz().div_ceil(threads);
+
+    std::thread::scope(|scope| {
+        let mut rest = &mut y[..];
+        let mut row0 = 0usize;
+        while row0 < n_rows {
+            // Grow the chunk until it holds ~nnz/threads stored entries.
+            let mut row1 = row0 + 1;
+            while row1 < n_rows && row_ptr[row1] - row_ptr[row0] < target {
+                row1 += 1;
+            }
+            let (chunk, tail) = rest.split_at_mut(row1 - row0);
+            rest = tail;
+            if row1 == n_rows && row0 == 0 {
+                // Single chunk: run on the caller's thread.
+                spmv_raw_range(row_ptr, col_idx, values, x, chunk, row0..row1);
+            } else {
+                scope.spawn(move || {
+                    spmv_raw_range(row_ptr, col_idx, values, x, chunk, row0..row1);
+                });
+            }
+            row0 = row1;
+        }
+    });
+}
+
+/// `K` simultaneous dot products `out[j] = <w, vs[j]>` in one pass over `w`.
+///
+/// Each product keeps its own accumulator and walks elements in order, so
+/// the results are bit-identical to `K` separate [`crate::dense::dot`]
+/// calls; the fusion saves `K - 1` passes over `w` in classical
+/// Gram–Schmidt.
+///
+/// # Panics
+/// Panics if any vector length differs from `w`.
+#[inline]
+pub fn dot_block<const K: usize>(w: &[f64], vs: [&[f64]; K]) -> [f64; K] {
+    for v in vs {
+        assert_eq!(v.len(), w.len(), "dot_block: length mismatch");
+    }
+    let mut acc = [0.0_f64; K];
+    for (k, &wk) in w.iter().enumerate() {
+        for j in 0..K {
+            acc[j] += wk * vs[j][k];
+        }
+    }
+    acc
+}
+
+/// Fused block AXPY `w += Σ_j coeffs[j] * vs[j]`, returning `Σ w_k²` of the
+/// updated vector.
+///
+/// Updates are applied to each element in block order, so the result is
+/// bit-identical to `K` consecutive [`crate::dense::axpy`] calls; the
+/// returned sum of squares equals a subsequent `dot(w, w)` over the updated
+/// vector, letting the Arnoldi step fuse its trailing `nrm2` into the final
+/// projection block.
+///
+/// # Panics
+/// Panics if any vector length differs from `w`.
+#[inline]
+pub fn axpy_block<const K: usize>(coeffs: [f64; K], vs: [&[f64]; K], w: &mut [f64]) -> f64 {
+    for v in vs {
+        assert_eq!(v.len(), w.len(), "axpy_block: length mismatch");
+    }
+    let mut sq = 0.0;
+    for (k, wk) in w.iter_mut().enumerate() {
+        let mut t = *wk;
+        for j in 0..K {
+            t += coeffs[j] * vs[j][k];
+        }
+        *wk = t;
+        sq += t * t;
+    }
+    sq
+}
+
+/// Sweeps `out[i] = <w, vs[i]>` over a whole basis through [`dot_block`] in
+/// blocks of four (smaller blocks for the remainder).
+///
+/// Bit-identical to `vs.len()` separate [`crate::dense::dot`] calls — this
+/// is the fused Gram–Schmidt dot pass used by the distributed FGMRES
+/// solvers to fill their batched-reduction buffer.
+///
+/// # Panics
+/// Panics if `out` is shorter than `vs` or any vector length differs from
+/// `w`.
+pub fn dot_sweep(w: &[f64], vs: &[Vec<f64>], out: &mut [f64]) {
+    let cnt = vs.len();
+    assert!(out.len() >= cnt, "dot_sweep: output too short");
+    let mut i = 0;
+    while i + 4 <= cnt {
+        let d = dot_block(
+            w,
+            [
+                vs[i].as_slice(),
+                vs[i + 1].as_slice(),
+                vs[i + 2].as_slice(),
+                vs[i + 3].as_slice(),
+            ],
+        );
+        out[i..i + 4].copy_from_slice(&d);
+        i += 4;
+    }
+    match cnt - i {
+        1 => out[i] = dot_block(w, [vs[i].as_slice()])[0],
+        2 => {
+            let d = dot_block(w, [vs[i].as_slice(), vs[i + 1].as_slice()]);
+            out[i..i + 2].copy_from_slice(&d);
+        }
+        3 => {
+            let d = dot_block(
+                w,
+                [vs[i].as_slice(), vs[i + 1].as_slice(), vs[i + 2].as_slice()],
+            );
+            out[i..i + 3].copy_from_slice(&d);
+        }
+        _ => {}
+    }
+}
+
+/// Sweeps `w -= Σ_i coeffs[i] * vs[i]` over a whole basis through
+/// [`axpy_block`] in blocks of four, returning `Σ w_k²` of the updated
+/// vector (or `dot(w, w)` when `coeffs` is empty).
+///
+/// Each block receives the negated coefficients, and IEEE-754 negation is
+/// exact, so the result is bit-identical to `coeffs.len()` consecutive
+/// `w[k] -= c * v[k]` subtraction loops; this is the fused Gram–Schmidt
+/// projection-subtraction pass of the distributed FGMRES solvers.
+///
+/// # Panics
+/// Panics if `vs` is shorter than `coeffs` or any vector length differs
+/// from `w`.
+pub fn axpy_sweep_neg(coeffs: &[f64], vs: &[Vec<f64>], w: &mut [f64]) -> f64 {
+    let cnt = coeffs.len();
+    assert!(vs.len() >= cnt, "axpy_sweep_neg: basis too short");
+    if cnt == 0 {
+        let mut sq = 0.0;
+        for &x in w.iter() {
+            sq += x * x;
+        }
+        return sq;
+    }
+    let mut sq = 0.0;
+    let mut i = 0;
+    while i + 4 <= cnt {
+        sq = axpy_block(
+            [-coeffs[i], -coeffs[i + 1], -coeffs[i + 2], -coeffs[i + 3]],
+            [
+                vs[i].as_slice(),
+                vs[i + 1].as_slice(),
+                vs[i + 2].as_slice(),
+                vs[i + 3].as_slice(),
+            ],
+            w,
+        );
+        i += 4;
+    }
+    match cnt - i {
+        1 => sq = axpy_block([-coeffs[i]], [vs[i].as_slice()], w),
+        2 => {
+            sq = axpy_block(
+                [-coeffs[i], -coeffs[i + 1]],
+                [vs[i].as_slice(), vs[i + 1].as_slice()],
+                w,
+            );
+        }
+        3 => {
+            sq = axpy_block(
+                [-coeffs[i], -coeffs[i + 1], -coeffs[i + 2]],
+                [vs[i].as_slice(), vs[i + 1].as_slice(), vs[i + 2].as_slice()],
+                w,
+            );
+        }
+        _ => {}
+    }
+    sq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+
+    /// Deterministic pseudo-random CSR matrix (xorshift) for kernel tests.
+    fn random_csr(n: usize, seed: u64) -> CsrMatrix {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut coo = crate::CooMatrix::new(n, n);
+        for r in 0..n {
+            coo.push(r, r, 4.0 + (rnd() % 8) as f64).unwrap();
+            for _ in 0..(rnd() % 7) {
+                let c = (rnd() as usize) % n;
+                coo.push(r, c, ((rnd() % 1000) as f64 - 500.0) / 250.0)
+                    .unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s % 2000) as f64 - 1000.0) / 500.0
+            })
+            .collect()
+    }
+
+    /// The pre-optimization scalar SpMV: the reference the unrolled kernel
+    /// must match to full accuracy (not bit-exactness — the unroll changes
+    /// the row summation order by design).
+    fn spmv_scalar(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+        let (row_ptr, col_idx, values) = a.raw_parts();
+        let mut y = vec![0.0; a.n_rows()];
+        for r in 0..a.n_rows() {
+            let mut acc = 0.0;
+            for k in row_ptr[r]..row_ptr[r + 1] {
+                acc += values[k] * x[col_idx[k]];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    #[test]
+    fn unrolled_spmv_matches_scalar_reference() {
+        for n in [1, 2, 3, 5, 17, 64, 193] {
+            let a = random_csr(n, 0x9E3779B9 + n as u64);
+            let x = random_vec(n, 42 + n as u64);
+            let mut y = vec![0.0; n];
+            let (rp, ci, vals) = a.raw_parts();
+            spmv_raw(rp, ci, vals, &x, &mut y);
+            let reference = spmv_scalar(&a, &x);
+            for (u, v) in y.iter().zip(&reference) {
+                assert!((u - v).abs() <= 1e-12 * (1.0 + v.abs()), "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_axpby_is_bit_identical_to_spmv_plus_axpby() {
+        for n in [1, 4, 33, 100] {
+            let a = random_csr(n, 7 + n as u64);
+            let x = random_vec(n, 1 + n as u64);
+            let y0 = random_vec(n, 2 + n as u64);
+            let (alpha, beta) = (1.75, -0.5);
+
+            let mut fused = y0.clone();
+            let (rp, ci, vals) = a.raw_parts();
+            spmv_axpby_raw(alpha, rp, ci, vals, &x, beta, &mut fused);
+
+            let mut ax = vec![0.0; n];
+            spmv_raw(rp, ci, vals, &x, &mut ax);
+            let manual: Vec<f64> = ax
+                .iter()
+                .zip(&y0)
+                .map(|(a, y)| alpha * a + beta * y)
+                .collect();
+            assert_eq!(fused, manual, "n={n}");
+        }
+    }
+
+    #[test]
+    fn spmv_add_raw_accumulates() {
+        let a = random_csr(20, 3);
+        let x = random_vec(20, 4);
+        let y0 = random_vec(20, 5);
+        let (rp, ci, vals) = a.raw_parts();
+        let mut y = y0.clone();
+        spmv_add_raw(rp, ci, vals, &x, &mut y);
+        let mut ax = vec![0.0; 20];
+        spmv_raw(rp, ci, vals, &x, &mut ax);
+        let manual: Vec<f64> = ax.iter().zip(&y0).map(|(a, y)| y + a).collect();
+        assert_eq!(y, manual);
+    }
+
+    #[test]
+    fn threaded_spmv_is_bit_identical_for_any_thread_count() {
+        // Large enough to clear the sequential-fallback threshold.
+        let n = 6000;
+        let a = random_csr(n, 99);
+        assert!(a.nnz() >= 64 * 1024 / 3, "workload sanity");
+        let x = random_vec(n, 100);
+        let mut seq = vec![0.0; n];
+        a.spmv_into(&x, &mut seq);
+        for threads in [1, 2, 3, 7, 16] {
+            let mut par = vec![0.0; n];
+            par_spmv_into(&a, &x, &mut par, threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_spmv_small_matrix_falls_back() {
+        let a = random_csr(10, 1);
+        let x = random_vec(10, 2);
+        let mut y = vec![0.0; 10];
+        par_spmv_into(&a, &x, &mut y, 8);
+        let mut seq = vec![0.0; 10];
+        a.spmv_into(&x, &mut seq);
+        assert_eq!(y, seq);
+    }
+
+    #[test]
+    fn dot_block_is_bit_identical_to_separate_dots() {
+        let n = 257;
+        let w = random_vec(n, 11);
+        let v0 = random_vec(n, 12);
+        let v1 = random_vec(n, 13);
+        let v2 = random_vec(n, 14);
+        let v3 = random_vec(n, 15);
+        let block = dot_block(&w, [&v0[..], &v1, &v2, &v3]);
+        // dense::dot walks elements in order with one accumulator — the
+        // same arithmetic dot_block performs per vector.
+        assert_eq!(block[0], dense::dot(&w, &v0));
+        assert_eq!(block[1], dense::dot(&w, &v1));
+        assert_eq!(block[2], dense::dot(&w, &v2));
+        assert_eq!(block[3], dense::dot(&w, &v3));
+    }
+
+    #[test]
+    fn axpy_block_is_bit_identical_to_separate_axpys() {
+        let n = 123;
+        let v0 = random_vec(n, 21);
+        let v1 = random_vec(n, 22);
+        let v2 = random_vec(n, 23);
+        let coeffs = [0.5, -1.25, 2.0];
+
+        let mut fused = random_vec(n, 20);
+        let mut manual = fused.clone();
+        let sq = axpy_block(coeffs, [&v0[..], &v1, &v2], &mut fused);
+
+        dense::axpy(coeffs[0], &v0, &mut manual);
+        dense::axpy(coeffs[1], &v1, &mut manual);
+        dense::axpy(coeffs[2], &v2, &mut manual);
+        assert_eq!(fused, manual);
+        assert_eq!(sq, dense::dot(&fused, &fused));
+    }
+
+    #[test]
+    fn axpy_block_zero_vectors_is_identity_plus_norm() {
+        let mut w = vec![3.0, -4.0];
+        let sq = axpy_block::<0>([], [], &mut w);
+        assert_eq!(w, vec![3.0, -4.0]);
+        assert_eq!(sq, 25.0);
+    }
+
+    #[test]
+    fn row_dot_empty_row_is_zero() {
+        assert_eq!(row_dot(&[], &[], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_sweep_is_bit_identical_to_separate_dots() {
+        let n = 97;
+        let w = random_vec(n, 31);
+        // Cover every remainder size (0..=3) against the block width.
+        for cnt in 0..=9 {
+            let vs: Vec<Vec<f64>> = (0..cnt).map(|i| random_vec(n, 40 + i as u64)).collect();
+            let mut out = vec![f64::NAN; cnt + 2];
+            dot_sweep(&w, &vs, &mut out);
+            for (i, v) in vs.iter().enumerate() {
+                assert_eq!(out[i], dense::dot(&w, v), "cnt={cnt} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_sweep_neg_is_bit_identical_to_subtraction_loops() {
+        let n = 101;
+        for cnt in 0..=9 {
+            let vs: Vec<Vec<f64>> = (0..cnt).map(|i| random_vec(n, 60 + i as u64)).collect();
+            let coeffs: Vec<f64> = (0..cnt).map(|i| (i as f64) * 0.75 - 2.0).collect();
+            let mut fused = random_vec(n, 59);
+            let mut manual = fused.clone();
+            let sq = axpy_sweep_neg(&coeffs, &vs, &mut fused);
+            for (c, v) in coeffs.iter().zip(&vs) {
+                for (wk, vk) in manual.iter_mut().zip(v) {
+                    *wk -= c * vk;
+                }
+            }
+            assert_eq!(fused, manual, "cnt={cnt}");
+            assert_eq!(sq, dense::dot(&fused, &fused), "cnt={cnt}");
+        }
+    }
+}

@@ -8,6 +8,9 @@
 //! - [`coo`] — a coordinate-format accumulator used by finite-element
 //!   assembly, with duplicate summation on conversion,
 //! - [`csr`] — compressed sparse row matrices and matrix–vector products,
+//! - [`kernels`] — the tuned hot-path kernels behind them: 4-way-unrolled
+//!   and row-partitioned multithreaded SpMV, fused `spmv_axpby`, and the
+//!   blocked dot/AXPY/nrm2 primitives of the Gram–Schmidt step,
 //! - [`scaling`] — the paper's norm-1 diagonal scaling (Theorem 1 /
 //!   Algorithms 3–4) that maps the matrix spectrum into `(0, 1)`,
 //! - [`gershgorin`] — spectrum estimation (Gershgorin discs, power iteration)
@@ -37,6 +40,7 @@ pub mod error;
 pub mod gershgorin;
 pub mod ilu;
 pub mod io;
+pub mod kernels;
 pub mod op;
 pub mod scaling;
 

@@ -171,4 +171,50 @@ proptest! {
             prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
         }
     }
+
+    #[test]
+    fn spmv_axpby_matches_unfused_reference(ts in triplets(16, 96),
+                                            x in prop::collection::vec(-5.0..5.0f64, 16),
+                                            y0 in prop::collection::vec(-5.0..5.0f64, 16),
+                                            alpha in -3.0..3.0f64,
+                                            beta in -3.0..3.0f64) {
+        // The fused kernel computes `y = alpha*(A x) + beta*y` per row as
+        // `alpha*acc + beta*y[r]`, exactly the unfused reference expression,
+        // so the comparison is bit-for-bit.
+        let mut coo = CooMatrix::new(16, 16);
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+        }
+        let a = coo.to_csr();
+
+        let mut fused = y0.clone();
+        a.spmv_axpby(alpha, &x, beta, &mut fused);
+
+        let mut t = vec![0.0; 16];
+        a.spmv_into(&x, &mut t);
+        let reference: Vec<f64> = t
+            .iter()
+            .zip(&y0)
+            .map(|(ti, yi)| alpha * ti + beta * yi)
+            .collect();
+        prop_assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn par_spmv_matches_sequential_bitwise(ts in triplets(24, 160),
+                                           x in prop::collection::vec(-5.0..5.0f64, 24),
+                                           threads in 1usize..5) {
+        // Row partitioning never changes per-row arithmetic, so the
+        // threaded product is bit-identical to the sequential one.
+        let mut coo = CooMatrix::new(24, 24);
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let mut seq = vec![0.0; 24];
+        a.spmv_into(&x, &mut seq);
+        let mut par = vec![0.0; 24];
+        a.par_spmv_into(&x, &mut par, threads);
+        prop_assert_eq!(par, seq);
+    }
 }

@@ -123,6 +123,11 @@ pub struct SolveSummary {
     pub precond: String,
     /// Solver variant (`edd-basic`, `edd-enhanced`, `rdd`, …).
     pub variant: String,
+    /// Allocation calls during the solve, when the run was instrumented
+    /// with [`crate::alloc::CountingAlloc`] (absent otherwise).
+    pub alloc_count: Option<u64>,
+    /// Bytes requested during the solve, when instrumented.
+    pub alloc_bytes: Option<u64>,
 }
 
 /// A recorded trace rolled up for reporting.
@@ -263,6 +268,8 @@ impl TraceReport {
                         modeled_time: ev.f64("modeled_time").unwrap_or(f64::NAN),
                         precond: ev.str("precond").unwrap_or("?").to_string(),
                         variant: ev.str("variant").unwrap_or("?").to_string(),
+                        alloc_count: ev.u64("alloc_count"),
+                        alloc_bytes: ev.u64("alloc_bytes"),
                     });
                 }
                 _ => {}
@@ -477,6 +484,28 @@ mod tests {
         assert_eq!(s.iterations, 17);
         assert_eq!(s.precond, "gls(m=3)");
         assert_eq!(s.variant, "edd-enhanced");
+        // No counting allocator was advertised in the stream.
+        assert_eq!(s.alloc_count, None);
+        assert_eq!(s.alloc_bytes, None);
+    }
+
+    #[test]
+    fn solve_summary_carries_alloc_counters_when_present() {
+        let events = vec![ev(
+            None,
+            9.0,
+            EventKind::Instant,
+            "solve_summary",
+            vec![
+                ("converged".into(), 1u64.into()),
+                ("iterations".into(), 3u64.into()),
+                ("alloc_count".into(), 42u64.into()),
+                ("alloc_bytes".into(), 4096u64.into()),
+            ],
+        )];
+        let s = TraceReport::from_events(&events).solve.unwrap();
+        assert_eq!(s.alloc_count, Some(42));
+        assert_eq!(s.alloc_bytes, Some(4096));
     }
 
     #[test]

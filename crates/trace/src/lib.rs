@@ -16,6 +16,10 @@
 //!   event per line, round-trip exact for finite floats.
 //! * [`Counter`] / [`Histogram`] — low-overhead monotonic counters and
 //!   power-of-two-bucket histograms for hot paths (SpMV, message sizes).
+//! * [`alloc`] — an opt-in counting global allocator; when a binary or test
+//!   installs it, solve summaries gain `alloc_bytes` / `alloc_count` fields
+//!   so allocation regressions in the Krylov hot path show up in
+//!   `parfem report`.
 //! * [`TraceReport`] — the in-memory aggregator: rolls a recorded event
 //!   stream into per-rank phase breakdowns (partition → assembly → scaling →
 //!   precond-build → FGMRES cycles → gather), Table-1-style communication
@@ -26,9 +30,13 @@
 //! documented in [`jsonl`].
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`alloc`] module needs one audited
+// `unsafe impl GlobalAlloc` (forwarding to `System` around atomic counters)
+// and opts in locally; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 
 mod aggregate;
+pub mod alloc;
 mod event;
 pub mod jsonl;
 mod metrics;

@@ -160,6 +160,13 @@ pub fn render_convergence(report: &TraceReport) -> String {
             s.final_rel_res,
             s.modeled_time
         );
+        if let (Some(count), Some(bytes)) = (s.alloc_count, s.alloc_bytes) {
+            let per_iter = count as f64 / (s.iterations.max(1)) as f64;
+            let _ = writeln!(
+                out,
+                "allocations: {count} calls / {bytes} bytes over the solve ({per_iter:.1} calls/iteration)"
+            );
+        }
     }
     if report.iters.is_empty() {
         return out;
