@@ -27,6 +27,7 @@ fn speedups_edd(
             theta: None,
         },
         variant: EddVariant::Enhanced,
+        overlap: false,
     };
     let mut t1 = 0.0;
     ps.iter()
@@ -62,6 +63,7 @@ fn speedups_rdd(
             theta: None,
         },
         variant: EddVariant::Enhanced,
+        overlap: false,
     };
     let mut t1 = 0.0;
     ps.iter()

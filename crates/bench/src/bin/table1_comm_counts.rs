@@ -22,6 +22,7 @@ fn main() {
             theta: None,
         },
         variant,
+        overlap: false,
     };
 
     let epart = ElementPartition::strips_x(&p.mesh, 4);

@@ -62,6 +62,7 @@ fn main() {
                         theta: None,
                     },
                     variant: EddVariant::Enhanced,
+                    overlap: false,
                 };
                 let out = solve_edd(
                     &prob.mesh,

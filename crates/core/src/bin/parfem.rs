@@ -43,6 +43,8 @@ solve options:
   --precond SPEC        none|jacobi|gls:M|neumann:M|chebyshev:M|
                         gls-escalating:PERIOD (default gls:7)
   --machine origin|sp2|ideal  virtual machine model (default origin)
+  --overlap             nonblocking interface exchange overlapped with the
+                        interior matvec (bit-identical; changes modeled time)
   --tol T               relative residual tolerance (default 1e-6)
   --restart M           GMRES restart dimension (default 25)
   --trace FILE.jsonl    record a structured event trace to FILE
@@ -254,6 +256,7 @@ fn cmd_solve(args: &Args) -> ExitCode {
         },
         precond,
         variant,
+        overlap: args.has_flag("--overlap"),
     };
 
     let trace_path = args.value_of("--trace");

@@ -26,6 +26,16 @@ pub struct EddLayout {
     pub neighbors: Vec<(usize, Vec<usize>)>,
     /// `1 / multiplicity` per local DOF.
     pub inv_multiplicity: Vec<f64>,
+    /// Local DOFs shared with at least one neighbour (multiplicity > 1),
+    /// ascending. These are the rows a split matvec must compute *before*
+    /// posting its interface messages.
+    interface_rows: Vec<usize>,
+    /// Local DOFs owned exclusively by this subdomain, ascending — the rows
+    /// a split matvec computes while interface messages are in flight.
+    interior_rows: Vec<usize>,
+    /// Whether operators over this layout should overlap communication with
+    /// computation (split matvec through the nonblocking exchange).
+    overlap: bool,
 }
 
 /// Persistent send/receive buffers for
@@ -74,13 +84,19 @@ impl ExchangeBuffers {
 impl EddLayout {
     /// Extracts the layout from an assembled subdomain system.
     pub fn from_system(sys: &SubdomainSystem) -> Self {
+        let inv_multiplicity: Vec<f64> = sys.multiplicity.iter().map(|&m| 1.0 / m).collect();
+        let (interface_rows, interior_rows) =
+            (0..inv_multiplicity.len()).partition(|&l| inv_multiplicity[l] < 1.0);
         EddLayout {
             neighbors: sys
                 .neighbors
                 .iter()
                 .map(|l| (l.rank, l.shared_local_dofs.clone()))
                 .collect(),
-            inv_multiplicity: sys.multiplicity.iter().map(|&m| 1.0 / m).collect(),
+            inv_multiplicity,
+            interface_rows,
+            interior_rows,
+            overlap: false,
         }
     }
 
@@ -89,12 +105,45 @@ impl EddLayout {
         self.inv_multiplicity.len()
     }
 
+    /// Local DOFs shared with a neighbour (ascending).
+    pub fn interface_rows(&self) -> &[usize] {
+        &self.interface_rows
+    }
+
+    /// Local DOFs private to this subdomain (ascending).
+    pub fn interior_rows(&self) -> &[usize] {
+        &self.interior_rows
+    }
+
+    /// Enables (or disables) the overlapped, split matvec for operators
+    /// built over this layout. Off by default; results are bit-identical
+    /// either way — only the modeled communication/computation schedule
+    /// changes.
+    pub fn set_overlap(&mut self, on: bool) {
+        self.overlap = on;
+    }
+
+    /// Whether operators over this layout should overlap communication
+    /// with computation.
+    pub fn overlap(&self) -> bool {
+        self.overlap
+    }
+
     /// The nearest-neighbour interface sum `v ← ⊕Σ_{∂Ω} v` (Eq. 28):
     /// converts a local distributed vector into the global distributed
     /// format in place. One exchange round with every neighbour.
     ///
+    /// Allocates fresh staging buffers on every call; hot paths should hold
+    /// an [`ExchangeBuffers`] and use
+    /// [`EddLayout::interface_sum_buffered`] instead — this shim exists
+    /// only for one-shot setup code and old callers.
+    ///
     /// # Panics
     /// Panics if `v` has the wrong length.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates staging buffers per call; use interface_sum_buffered"
+    )]
     pub fn interface_sum<C: Communicator>(&self, comm: &C, v: &mut [f64]) {
         let mut bufs = ExchangeBuffers::new();
         self.interface_sum_buffered(comm, v, &mut bufs);
@@ -130,6 +179,51 @@ impl EddLayout {
             }
         }
         // 1 add per received interface value.
+        let recv_total: usize = bufs.recv.iter().map(|b| b.len()).sum();
+        comm.work(recv_total as u64);
+    }
+
+    /// The interface sum split around a nonblocking exchange: `v`'s
+    /// interface entries (which must already be computed) are posted to the
+    /// neighbours via [`Communicator::start_exchange`], `interior(v)` runs
+    /// while the messages fly, and the received contributions are added
+    /// after [`Communicator::finish_exchange`] — in the same neighbour
+    /// order as the blocking form, so the result is **bit-identical** to
+    /// running `interior(v)` first and then
+    /// [`EddLayout::interface_sum_buffered`]. Only the virtual-time
+    /// schedule changes: the communication is credited as
+    /// `max(interior compute, message flight)` instead of their sum.
+    ///
+    /// Counts as one neighbour-exchange round, like the blocking forms.
+    ///
+    /// # Panics
+    /// Panics if `v` has the wrong length.
+    pub fn interface_sum_split<C: Communicator>(
+        &self,
+        comm: &C,
+        v: &mut [f64],
+        bufs: &mut ExchangeBuffers,
+        interior: impl FnOnce(&mut [f64]),
+    ) {
+        assert_eq!(v.len(), self.n_local(), "interface_sum: length mismatch");
+        if self.neighbors.is_empty() {
+            comm.count_neighbor_exchange();
+            interior(v);
+            return;
+        }
+        bufs.ensure(self);
+        for ((_, dofs), out) in self.neighbors.iter().zip(bufs.send.iter_mut()) {
+            out.clear();
+            out.extend(dofs.iter().map(|&l| v[l]));
+        }
+        let handle = comm.start_exchange(&bufs.ranks, &bufs.send);
+        interior(v);
+        comm.finish_exchange(handle, &bufs.ranks, &mut bufs.recv);
+        for ((_, dofs), buf) in self.neighbors.iter().zip(&bufs.recv) {
+            for (&l, &x) in dofs.iter().zip(buf) {
+                v[l] += x;
+            }
+        }
         let recv_total: usize = bufs.recv.iter().map(|b| b.len()).sum();
         comm.work(recv_total as u64);
     }
@@ -192,7 +286,8 @@ mod tests {
             let layout = EddLayout::from_system(sys);
             let mut v = sys.restrict(&u);
             layout.to_local_distributed(&mut v);
-            layout.interface_sum(comm, &mut v);
+            let mut bufs = ExchangeBuffers::new();
+            layout.interface_sum_buffered(comm, &mut v, &mut bufs);
             // Compare against the plain restriction.
             let want = sys.restrict(&u);
             v.iter()
@@ -231,6 +326,9 @@ mod tests {
             let sys = &systems[0];
             let layout = EddLayout::from_system(sys);
             let mut v = sys.restrict(&u);
+            // The deprecated shim must stay behaviourally identical to the
+            // buffered form it forwards to.
+            #[allow(deprecated)]
             layout.interface_sum(comm, &mut v);
             v
         });
@@ -239,6 +337,64 @@ mod tests {
         // the algorithm), even though a lone rank sends nothing.
         assert_eq!(out.reports[0].stats.neighbor_exchanges, 1);
         assert_eq!(out.reports[0].stats.sends, 0);
+    }
+
+    #[test]
+    fn interface_and_interior_rows_partition_the_local_dofs() {
+        let (systems, _) = systems(6, 2, 3);
+        for sys in &systems {
+            let layout = EddLayout::from_system(sys);
+            let mut all: Vec<usize> = layout
+                .interface_rows()
+                .iter()
+                .chain(layout.interior_rows())
+                .copied()
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..layout.n_local()).collect::<Vec<_>>());
+            // Interface rows are exactly the shared (multiplicity > 1) DOFs,
+            // which is the union of the neighbour send lists.
+            for (_, dofs) in &layout.neighbors {
+                for d in dofs {
+                    assert!(layout.interface_rows().binary_search(d).is_ok());
+                }
+            }
+            for &l in layout.interface_rows() {
+                assert!(layout.inv_multiplicity[l] < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn split_interface_sum_is_bit_identical_to_blocking() {
+        let (systems, n) = systems(8, 3, 4);
+        let u: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let out = run_ranks(4, MachineModel::ideal(), |comm| {
+            let sys = &systems[comm.rank()];
+            let layout = EddLayout::from_system(sys);
+            let mut bufs = ExchangeBuffers::new();
+            // Blocking: interior written first, then the plain sum.
+            let mut blocking = sys.restrict(&u);
+            layout.to_local_distributed(&mut blocking);
+            for &l in layout.interior_rows() {
+                blocking[l] *= 2.0;
+            }
+            layout.interface_sum_buffered(comm, &mut blocking, &mut bufs);
+            // Split: interface entries ready up front, interior written
+            // while the messages are in flight.
+            let mut split = sys.restrict(&u);
+            layout.to_local_distributed(&mut split);
+            layout.interface_sum_split(comm, &mut split, &mut bufs, |v| {
+                for &l in layout.interior_rows() {
+                    v[l] *= 2.0;
+                }
+            });
+            (blocking, split, comm.stats().neighbor_exchanges)
+        });
+        for (blocking, split, exchanges) in out.results {
+            assert_eq!(blocking, split, "split sum must be bit-identical");
+            assert_eq!(exchanges, 2, "each form counts one exchange round");
+        }
     }
 
     #[test]
@@ -265,7 +421,8 @@ mod tests {
             let layout = EddLayout::from_system(sys);
             let xl = sys.restrict(&x);
             let mut yl = sys.k_local.spmv(&xl);
-            layout.interface_sum(comm, &mut yl);
+            let mut bufs = ExchangeBuffers::new();
+            layout.interface_sum_buffered(comm, &mut yl, &mut bufs);
             // Compare with the restriction of the global product.
             let want = sys.restrict(&y_want);
             yl.iter()

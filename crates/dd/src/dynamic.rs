@@ -87,8 +87,11 @@ pub fn solve_dynamic_edd(
     type RankResult = (Vec<f64>, Vec<Vec<f64>>, usize, bool, ConvergenceHistory);
     let out = run_ranks(p, model, |comm| -> RankResult {
         let sys = &systems[comm.rank()];
-        let layout = EddLayout::from_system(sys);
+        let mut layout = EddLayout::from_system(sys);
+        layout.set_overlap(cfg.solver.overlap);
         let n = sys.n_local_dofs();
+        // Setup-time interface sums share one staging buffer set.
+        let mut setup_bufs = crate::dist_vec::ExchangeBuffers::new();
 
         // Effective local matrix and its distributed scaling.
         let k_eff_local = sys.effective_local(alpha, beta);
@@ -99,7 +102,7 @@ pub fn solve_dynamic_edd(
         let m_local = sys.m_local.as_ref().expect("mass assembled");
         // Assembled lumped-mass diagonal for the initial acceleration.
         let mut m_diag = m_local.diagonal();
-        layout.interface_sum(comm, &mut m_diag);
+        layout.interface_sum_buffered(comm, &mut m_diag, &mut setup_bufs);
 
         // Which local dofs are constrained (multiplicity-weighted identity
         // rows in K̂ ⇒ global dof fixed).
@@ -116,7 +119,7 @@ pub fn solve_dynamic_edd(
         let mut u = vec![0.0; n];
         let mut v = vec![0.0; n];
         let mut f_assembled = sys.f_local.clone();
-        layout.interface_sum(comm, &mut f_assembled);
+        layout.interface_sum_buffered(comm, &mut f_assembled, &mut setup_bufs);
         comm.work(n as u64);
         let mut a: Vec<f64> = f_assembled
             .iter()
@@ -140,7 +143,7 @@ pub fn solve_dynamic_edd(
             PrecondSpec::None => Pc::None(IdentityPrecond),
             PrecondSpec::Jacobi => {
                 let mut d = a_eff.diagonal();
-                layout.interface_sum(comm, &mut d);
+                layout.interface_sum_buffered(comm, &mut d, &mut setup_bufs);
                 Pc::Jacobi(JacobiPrecond::from_diagonal(&d))
             }
             PrecondSpec::Gls { degree, theta } => Pc::Gls(GlsPrecond::new(

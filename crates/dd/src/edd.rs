@@ -31,14 +31,12 @@
 //! as Table 1 claims.
 
 use crate::dist_vec::{EddLayout, ExchangeBuffers};
-use parfem_krylov::givens::Givens;
+use crate::solver::{dd_fgmres, DdResult, DistributedOperator};
 use parfem_krylov::gmres::GmresConfig;
-use parfem_krylov::history::{ConvergenceHistory, StopReason};
 use parfem_krylov::KrylovWorkspace;
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
 use parfem_sparse::{kernels, CsrMatrix, LinearOperator};
-use parfem_trace::{EventKind, Value};
 use std::cell::RefCell;
 
 /// Which of the paper's EDD algorithms to run.
@@ -58,21 +56,69 @@ pub struct EddOperator<'a, C: Communicator> {
     pub layout: &'a EddLayout,
     /// This rank's communicator endpoint.
     pub comm: &'a C,
+    /// The right-hand side in local distributed format, when this operator
+    /// drives a solve (needed by [`DistributedOperator::residual_into`]).
+    b_local: Option<&'a [f64]>,
+    /// Which of the paper's EDD algorithms the flexible-preconditioning
+    /// step follows.
+    variant: EddVariant,
     /// Persistent interface-exchange staging, behind interior mutability
     /// because [`LinearOperator::apply_into`] takes `&self`. Every operator
     /// application reuses these buffers, so repeated matvecs (each
     /// polynomial-preconditioner term, every Arnoldi step) allocate nothing.
     bufs: RefCell<ExchangeBuffers>,
+    /// Separate staging for the residual recomputes and the basic variant's
+    /// re-sums, so they never contend with an in-flight matvec exchange.
+    xbufs: RefCell<ExchangeBuffers>,
+    /// Flops of the interface-row subset of one local SpMV (`2·nnz` over
+    /// rows shared with a neighbour) — the part that must finish before the
+    /// exchange can be posted.
+    interface_flops: u64,
+    /// Flops of the interior-row subset — the part overlapped with the
+    /// in-flight exchange. `interface_flops + interior_flops` equals
+    /// [`CsrMatrix::spmv_flops`] exactly.
+    interior_flops: u64,
 }
 
 impl<'a, C: Communicator> EddOperator<'a, C> {
     /// Wraps a subdomain's local distributed matrix as the global operator.
     pub fn new(a_local: &'a CsrMatrix, layout: &'a EddLayout, comm: &'a C) -> Self {
+        Self::for_solve(a_local, layout, comm, None, EddVariant::Enhanced)
+    }
+
+    /// Like [`EddOperator::new`], but carrying the right-hand side and
+    /// algorithm variant a solve needs.
+    pub(crate) fn for_solve(
+        a_local: &'a CsrMatrix,
+        layout: &'a EddLayout,
+        comm: &'a C,
+        b_local: Option<&'a [f64]>,
+        variant: EddVariant,
+    ) -> Self {
+        let row_nnz_flops = |rows: &[usize]| -> u64 {
+            let row_ptr = a_local.raw_parts().0;
+            rows.iter()
+                .map(|&r| 2 * (row_ptr[r + 1] - row_ptr[r]) as u64)
+                .sum()
+        };
         EddOperator {
             a_local,
             layout,
             comm,
+            b_local,
+            variant,
             bufs: RefCell::new(ExchangeBuffers::new()),
+            xbufs: RefCell::new(ExchangeBuffers::new()),
+            interface_flops: row_nnz_flops(layout.interface_rows()),
+            interior_flops: row_nnz_flops(layout.interior_rows()),
+        }
+    }
+
+    fn trace_spmv(&self) {
+        if let Some(tracer) = self.comm.tracer() {
+            tracer.add_count("spmv_calls", 1);
+            tracer.add_count("spmv_rows", self.a_local.n_rows() as u64);
+            tracer.add_count("spmv_flops", self.a_local.spmv_flops());
         }
     }
 }
@@ -83,19 +129,116 @@ impl<C: Communicator> LinearOperator for EddOperator<'_, C> {
     }
 
     fn apply_into(&self, x: &[f64], y: &mut [f64]) {
-        self.a_local.spmv_into(x, y);
-        self.comm.work(self.a_local.spmv_flops());
-        if let Some(tracer) = self.comm.tracer() {
-            tracer.add_count("spmv_calls", 1);
-            tracer.add_count("spmv_rows", self.a_local.n_rows() as u64);
-            tracer.add_count("spmv_flops", self.a_local.spmv_flops());
+        if self.layout.overlap() && !self.layout.neighbors.is_empty() {
+            // Overlapped schedule: finish only the interface rows, post the
+            // exchange, and compute the interior rows while the messages
+            // fly. Each row's dot product is the identical arithmetic in
+            // either schedule, and the received contributions are added in
+            // the same neighbour order, so the result is bit-identical to
+            // the blocking path — only the modeled time changes.
+            let (row_ptr, col_idx, values) = self.a_local.raw_parts();
+            kernels::spmv_rows_indexed(
+                row_ptr,
+                col_idx,
+                values,
+                x,
+                y,
+                self.layout.interface_rows(),
+            );
+            self.comm.work(self.interface_flops);
+            self.trace_spmv();
+            self.layout
+                .interface_sum_split(self.comm, y, &mut self.bufs.borrow_mut(), |y| {
+                    kernels::spmv_rows_indexed(
+                        row_ptr,
+                        col_idx,
+                        values,
+                        x,
+                        y,
+                        self.layout.interior_rows(),
+                    );
+                    self.comm.work(self.interior_flops);
+                });
+        } else {
+            self.a_local.spmv_into(x, y);
+            self.comm.work(self.a_local.spmv_flops());
+            self.trace_spmv();
+            self.layout
+                .interface_sum_buffered(self.comm, y, &mut self.bufs.borrow_mut());
         }
-        self.layout
-            .interface_sum_buffered(self.comm, y, &mut self.bufs.borrow_mut());
     }
 
     fn apply_flops(&self) -> u64 {
         self.a_local.spmv_flops()
+    }
+}
+
+impl<C: Communicator> DistributedOperator for EddOperator<'_, C> {
+    type Comm = C;
+
+    fn comm(&self) -> &C {
+        self.comm
+    }
+
+    /// `r ← ⊕Σ (b_local − A_local x)`: the global distributed residual,
+    /// staged through the persistent exchange buffers.
+    fn residual_into(&self, x: &[f64], r: &mut [f64]) {
+        let b_local = self
+            .b_local
+            .expect("EddOperator: residual requires a right-hand side");
+        self.a_local.spmv_into(x, r);
+        self.comm.work(self.a_local.spmv_flops());
+        for (ri, bi) in r.iter_mut().zip(b_local) {
+            *ri = bi - *ri;
+        }
+        self.comm.work(r.len() as u64);
+        self.layout
+            .interface_sum_buffered(self.comm, r, &mut self.xbufs.borrow_mut());
+    }
+
+    fn dot_partial(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.layout.dot_partial(x, y)
+    }
+
+    fn dot_flops_factor(&self) -> u64 {
+        3 // multiply, multiplicity weight, accumulate
+    }
+
+    fn gs_dots(&self, w: &[f64], basis: &[Vec<f64>], reduce: &mut [f64]) {
+        for (i, vi) in basis.iter().enumerate() {
+            reduce[i] = self.layout.dot_partial(w, vi);
+        }
+        reduce[basis.len()] = self.layout.dot_partial(w, w);
+    }
+
+    fn apply_precond<P>(
+        &self,
+        precond: &P,
+        v_j: &[f64],
+        z_j: &mut [f64],
+        scratch: &mut [Vec<f64>],
+        w_tmp: &mut [f64],
+    ) where
+        P: Preconditioner<Self> + ?Sized,
+    {
+        if self.variant == EddVariant::Basic {
+            // Algorithm 5 keeps the basis local-distributed: converting
+            // it back to global costs an extra exchange (numerically a
+            // no-op). `w_tmp` is free until the post-precondition matvec.
+            w_tmp.copy_from_slice(v_j);
+            self.layout.to_local_distributed(w_tmp);
+            self.comm.work(w_tmp.len() as u64);
+            self.layout
+                .interface_sum_buffered(self.comm, w_tmp, &mut self.xbufs.borrow_mut());
+            precond.apply_scratch(self, w_tmp, z_j, scratch);
+            // Algorithm 5 stores z local-distributed and re-sums it.
+            self.layout.to_local_distributed(z_j);
+            self.comm.work(z_j.len() as u64);
+            self.layout
+                .interface_sum_buffered(self.comm, z_j, &mut self.xbufs.borrow_mut());
+        } else {
+            precond.apply_scratch(self, v_j, z_j, scratch);
+        }
     }
 }
 
@@ -162,14 +305,9 @@ pub fn edd_lambda_max<C: Communicator>(
     lambda
 }
 
-/// Result of a distributed FGMRES solve on one rank.
-#[derive(Debug, Clone)]
-pub struct EddResult {
-    /// The solution in global distributed format over this rank's DOFs.
-    pub x: Vec<f64>,
-    /// Convergence history (identical on every rank).
-    pub history: ConvergenceHistory,
-}
+/// Result of an EDD FGMRES solve on one rank (`x` is in global distributed
+/// format over this rank's DOFs; the history is identical on every rank).
+pub type EddResult = DdResult;
 
 /// Restarted flexible GMRES on the EDD operator.
 ///
@@ -187,7 +325,7 @@ pub fn edd_fgmres<'a, C, P>(
     layout: &'a EddLayout,
     a_local: &'a CsrMatrix,
     precond: &P,
-    b_local: &[f64],
+    b_local: &'a [f64],
     x0: &[f64],
     cfg: &GmresConfig,
     variant: EddVariant,
@@ -215,7 +353,7 @@ pub fn edd_fgmres_with<'a, C, P>(
     layout: &'a EddLayout,
     a_local: &'a CsrMatrix,
     precond: &P,
-    b_local: &[f64],
+    b_local: &'a [f64],
     x0: &[f64],
     cfg: &GmresConfig,
     variant: EddVariant,
@@ -225,280 +363,20 @@ where
     C: Communicator,
     P: Preconditioner<EddOperator<'a, C>> + ?Sized,
 {
+    assert_eq!(
+        b_local.len(),
+        a_local.n_rows(),
+        "edd_fgmres: b length mismatch"
+    );
     if let Some(tracer) = comm.tracer() {
         tracer.span_begin("fgmres", comm.virtual_time());
     }
-    let res = edd_fgmres_inner(
-        comm, layout, a_local, precond, b_local, x0, cfg, variant, ws,
-    );
+    let op = EddOperator::for_solve(a_local, layout, comm, Some(b_local), variant);
+    let res = dd_fgmres(&op, precond, x0, cfg, ws);
     if let Some(tracer) = comm.tracer() {
         tracer.span_end("fgmres", comm.virtual_time());
     }
     res
-}
-
-/// `r ← ⊕Σ (b_local − A_local x)`: the global distributed residual, staged
-/// through persistent exchange buffers.
-fn edd_residual_into<C: Communicator>(
-    comm: &C,
-    layout: &EddLayout,
-    a_local: &CsrMatrix,
-    b_local: &[f64],
-    x: &[f64],
-    r: &mut [f64],
-    bufs: &mut ExchangeBuffers,
-) {
-    a_local.spmv_into(x, r);
-    comm.work(a_local.spmv_flops());
-    for (ri, bi) in r.iter_mut().zip(b_local) {
-        *ri = bi - *ri;
-    }
-    comm.work(r.len() as u64);
-    layout.interface_sum_buffered(comm, r, bufs);
-}
-
-#[allow(clippy::too_many_arguments)]
-fn edd_fgmres_inner<'a, C, P>(
-    comm: &'a C,
-    layout: &'a EddLayout,
-    a_local: &'a CsrMatrix,
-    precond: &P,
-    b_local: &[f64],
-    x0: &[f64],
-    cfg: &GmresConfig,
-    variant: EddVariant,
-    ws: &mut KrylovWorkspace,
-) -> EddResult
-where
-    C: Communicator,
-    P: Preconditioner<EddOperator<'a, C>> + ?Sized,
-{
-    let n = a_local.n_rows();
-    assert_eq!(b_local.len(), n, "edd_fgmres: b length mismatch");
-    assert_eq!(x0.len(), n, "edd_fgmres: x0 length mismatch");
-    assert!(cfg.restart > 0, "edd_fgmres: restart must be positive");
-    let m = cfg.restart;
-    let op = EddOperator::new(a_local, layout, comm);
-    ws.ensure(n, m, precond.scratch_vectors());
-    // Exchange staging for the residual recomputes and the basic variant's
-    // re-sums (the operator's own matvecs go through `op.bufs`).
-    let mut xbufs = ExchangeBuffers::new();
-
-    let mut x = x0.to_vec();
-    let mut residuals = Vec::with_capacity(cfg.max_iters.saturating_add(2).min(1 << 20));
-    let mut restarts = 0usize;
-    let mut total_iters = 0usize;
-
-    let global_norm = |v: &[f64]| -> f64 {
-        comm.work(3 * n as u64);
-        comm.allreduce_sum_scalar(layout.dot_partial(v, v)).sqrt()
-    };
-
-    edd_residual_into(comm, layout, a_local, b_local, &x, &mut ws.r, &mut xbufs);
-    let r0_norm = global_norm(&ws.r);
-    residuals.push(1.0);
-    if r0_norm == 0.0 {
-        return EddResult {
-            x,
-            history: ConvergenceHistory {
-                relative_residuals: residuals,
-                stop: StopReason::Converged,
-                restarts: 0,
-            },
-        };
-    }
-    let breakdown_tol = 1e-14 * r0_norm;
-
-    loop {
-        let beta = global_norm(&ws.r);
-        if beta / r0_norm <= cfg.tol {
-            return EddResult {
-                x,
-                history: ConvergenceHistory {
-                    relative_residuals: residuals,
-                    stop: StopReason::Converged,
-                    restarts,
-                },
-            };
-        }
-
-        ws.rotations.clear();
-        ws.g.fill(0.0);
-        ws.g[0] = beta;
-        ws.v[0].copy_from_slice(&ws.r);
-        for vi in &mut ws.v[0] {
-            *vi /= beta;
-        }
-        comm.work(n as u64);
-
-        let mut j_done = 0usize;
-        let mut stop: Option<StopReason> = None;
-
-        for j in 0..m {
-            if total_iters >= cfg.max_iters {
-                stop = Some(StopReason::MaxIterations);
-                break;
-            }
-            total_iters += 1;
-            let iter_start_stats = comm.stats();
-            let degree = precond.current_operator_applications();
-
-            // Flexible polynomial preconditioning (Algorithm 7 runs inside
-            // the operator: one exchange per internal matvec).
-            if let Some(tracer) = comm.tracer() {
-                tracer.add_count("precond_applies", 1);
-            }
-            if variant == EddVariant::Basic {
-                // Algorithm 5 keeps the basis local-distributed: converting
-                // it back to global costs an extra exchange (numerically a
-                // no-op). `ws.w` is free until the post-precondition matvec.
-                ws.w.copy_from_slice(&ws.v[j]);
-                layout.to_local_distributed(&mut ws.w);
-                comm.work(n as u64);
-                layout.interface_sum_buffered(comm, &mut ws.w, &mut xbufs);
-                precond.apply_scratch(&op, &ws.w, &mut ws.z[j], &mut ws.precond_scratch);
-                // Algorithm 5 stores z local-distributed and re-sums it.
-                layout.to_local_distributed(&mut ws.z[j]);
-                comm.work(n as u64);
-                layout.interface_sum_buffered(comm, &mut ws.z[j], &mut xbufs);
-            } else {
-                precond.apply_scratch(&op, &ws.v[j], &mut ws.z[j], &mut ws.precond_scratch);
-            }
-
-            // Matrix-vector product (the one exchange Algorithm 6 keeps).
-            op.apply_into(&ws.z[j], &mut ws.w);
-
-            // Batched classical Gram-Schmidt reductions: all projections
-            // plus ||w||^2 in ONE all-reduce, batched into `ws.reduce`.
-            for (i, vi) in ws.v[..(j + 1)].iter().enumerate() {
-                ws.reduce[i] = layout.dot_partial(&ws.w, vi);
-            }
-            ws.reduce[j + 1] = layout.dot_partial(&ws.w, &ws.w);
-            comm.work((3 * n * (j + 2)) as u64);
-            comm.allreduce_sum_into(&mut ws.reduce[..(j + 2)]);
-
-            let hcol = &mut ws.h[j];
-            hcol[..(j + 1)].copy_from_slice(&ws.reduce[..(j + 1)]);
-            let ww = ws.reduce[j + 1];
-            kernels::axpy_sweep_neg(&hcol[..(j + 1)], &ws.v[..(j + 1)], &mut ws.w);
-            comm.work((2 * n * (j + 1)) as u64);
-
-            // Post-orthogonalization norm by the Pythagorean identity, with
-            // a guarded recomputation (one extra reduction) whenever the
-            // subtraction cancels more than two digits — without the guard
-            // the Hessenberg entry loses accuracy near convergence and the
-            // iteration stalls past the sequential count.
-            let h_sq: f64 = hcol[..(j + 1)].iter().map(|h| h * h).sum();
-            let mut hh = ww - h_sq;
-            if hh < 1e-2 * ww.max(1e-300) {
-                hh = comm
-                    .allreduce_sum_scalar(layout.dot_partial(&ws.w, &ws.w))
-                    .max(0.0);
-                comm.work(3 * n as u64);
-            }
-            let h_next = hh.max(0.0).sqrt();
-            hcol[j + 1] = h_next;
-
-            for (i, rot) in ws.rotations.iter().enumerate() {
-                let (a, b2) = rot.apply(hcol[i], hcol[i + 1]);
-                hcol[i] = a;
-                hcol[i + 1] = b2;
-            }
-            let (rot, rr) = Givens::compute(hcol[j], hcol[j + 1]);
-            hcol[j] = rr;
-            hcol[j + 1] = 0.0;
-            let (g0, g1) = rot.apply(ws.g[j], ws.g[j + 1]);
-            ws.g[j] = g0;
-            ws.g[j + 1] = g1;
-            ws.rotations.push(rot);
-            j_done = j + 1;
-
-            let rel = ws.g[j + 1].abs() / r0_norm;
-            residuals.push(rel);
-
-            if let Some(tracer) = comm.tracer() {
-                let st = comm.stats();
-                tracer.emit(
-                    EventKind::Iter,
-                    "",
-                    comm.virtual_time(),
-                    vec![
-                        ("iter".to_string(), Value::U64(total_iters as u64)),
-                        ("rel_res".to_string(), Value::F64(rel)),
-                        ("restart_index".to_string(), Value::U64((j + 1) as u64)),
-                        ("cycle".to_string(), Value::U64(restarts as u64)),
-                        ("degree".to_string(), Value::U64(degree as u64)),
-                        (
-                            "exchanges".to_string(),
-                            Value::U64(st.neighbor_exchanges - iter_start_stats.neighbor_exchanges),
-                        ),
-                        (
-                            "allreduces".to_string(),
-                            Value::U64(st.allreduces - iter_start_stats.allreduces),
-                        ),
-                    ],
-                );
-            }
-
-            if rel <= cfg.tol {
-                stop = Some(StopReason::Converged);
-                break;
-            }
-            if h_next <= breakdown_tol {
-                stop = Some(StopReason::Breakdown);
-                break;
-            }
-            ws.v[j + 1].copy_from_slice(&ws.w);
-            for t in &mut ws.v[j + 1] {
-                *t /= h_next;
-            }
-            comm.work(n as u64);
-        }
-
-        if j_done > 0 {
-            for i in (0..j_done).rev() {
-                let mut acc = ws.g[i];
-                for k in (i + 1)..j_done {
-                    acc -= ws.h[k][i] * ws.y[k];
-                }
-                ws.y[i] = acc / ws.h[i][i];
-            }
-            for k in 0..j_done {
-                let yk = ws.y[k];
-                for (xi, zi) in x.iter_mut().zip(&ws.z[k]) {
-                    *xi += yk * zi;
-                }
-            }
-            comm.work((2 * n * j_done) as u64);
-        }
-
-        match stop {
-            Some(reason @ (StopReason::Converged | StopReason::Breakdown)) => {
-                return EddResult {
-                    x,
-                    history: ConvergenceHistory {
-                        relative_residuals: residuals,
-                        stop: reason,
-                        restarts,
-                    },
-                };
-            }
-            Some(StopReason::MaxIterations) => {
-                return EddResult {
-                    x,
-                    history: ConvergenceHistory {
-                        relative_residuals: residuals,
-                        stop: StopReason::MaxIterations,
-                        restarts,
-                    },
-                };
-            }
-            None => {
-                restarts += 1;
-                edd_residual_into(comm, layout, a_local, b_local, &x, &mut ws.r, &mut xbufs);
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -507,6 +385,7 @@ mod tests {
     use crate::scaling::{edd_scaling_reference, DistributedScaling};
     use parfem_fem::{assembly, Material, SubdomainSystem};
     use parfem_krylov::gmres::fgmres;
+    use parfem_krylov::history::ConvergenceHistory;
     use parfem_mesh::{DofMap, Edge, ElementPartition, QuadMesh};
     use parfem_msg::{run_ranks, MachineModel};
     use parfem_precond::{GlsPrecond, IdentityPrecond, NeumannPrecond};

@@ -9,6 +9,9 @@
 //!   Arnoldi step) and enhanced (Algorithm 6, one exchange) variants,
 //! - [`rdd`] — the row-based (block-row) distributed operator and FGMRES
 //!   (Algorithm 8), the PSPARSLIB/Aztec-style baseline,
+//! - [`solver`] — the unified distributed FGMRES core: one restarted
+//!   flexible GMRES loop over the [`solver::DistributedOperator`] trait
+//!   that both [`edd`] and [`rdd`] implement,
 //! - [`driver`] — high-level entry points that partition a mesh, spawn the
 //!   ranks, scale, precondition, solve, and gather the solution.
 
@@ -25,6 +28,7 @@ pub mod dynamic;
 pub mod edd;
 pub mod rdd;
 pub mod scaling;
+pub mod solver;
 
 pub use dist_vec::{EddLayout, ExchangeBuffers};
 pub use driver::{
@@ -34,6 +38,7 @@ pub use driver::{
 pub use dynamic::{solve_dynamic_edd, DynamicRunConfig, DynamicRunOutput};
 pub use edd::{edd_fgmres, edd_fgmres_with, edd_lambda_max, EddOperator, EddVariant};
 pub use rdd::{rdd_fgmres, rdd_fgmres_with, RddLocalIlu, RddOperator, RddSystem};
+pub use solver::{dd_fgmres, DdResult, DistributedOperator};
 
 #[cfg(test)]
 pub(crate) mod tests_support {

@@ -18,16 +18,14 @@
 //! products are trivially deduplicated (rows are disjoint): one local dot
 //! plus an all-reduce.
 
-use parfem_krylov::givens::Givens;
+use crate::solver::{dd_fgmres, DdResult, DistributedOperator};
 use parfem_krylov::gmres::GmresConfig;
-use parfem_krylov::history::{ConvergenceHistory, StopReason};
 use parfem_krylov::KrylovWorkspace;
 use parfem_mesh::numbering::DOFS_PER_NODE;
 use parfem_mesh::NodePartition;
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
 use parfem_sparse::{kernels, CooMatrix, CsrMatrix, LinearOperator};
-use parfem_trace::{EventKind, Value};
 use std::cell::RefCell;
 
 /// One rank's block-row system.
@@ -51,6 +49,10 @@ pub struct RddSystem {
     /// Per neighbour `(rank, external-column positions to fill)`, sorted by
     /// rank, in the same canonical order as the sender's list.
     pub recv_from: Vec<(usize, Vec<usize>)>,
+    /// When set, the operator posts the halo exchange nonblocking and
+    /// computes the `A_loc` product while the messages are in flight
+    /// (bit-identical results; only the modeled time changes).
+    pub overlap: bool,
 }
 
 impl RddSystem {
@@ -138,6 +140,7 @@ impl RddSystem {
                 b_loc: rows[s].iter().map(|&d| b[d]).collect(),
                 send_to: Vec::new(), // filled below
                 recv_from,
+                overlap: false,
             });
         }
         // Fill send lists from the receivers' needs.
@@ -262,13 +265,44 @@ impl<C: Communicator> LinearOperator for RddOperator<'_, C> {
         let sys = self.sys;
         assert_eq!(x.len(), sys.n_local(), "rdd apply: x length mismatch");
         let mut halo = self.halo.borrow_mut();
-        self.gather_ext(x, &mut halo);
-        sys.a_loc.spmv_into(x, y);
-        if !sys.ext_dofs.is_empty() {
-            sys.a_ext.spmv_add_into(&halo.x_ext, y);
+        if sys.overlap && !sys.send_to.is_empty() {
+            // Overlapped schedule: stage and post the halo sends, compute
+            // the (dominant) A_loc product while the messages fly, then
+            // complete the exchange and apply A_ext. The arithmetic and its
+            // order are identical to the blocking path — A_loc rows never
+            // read external values — so the result is bit-identical; only
+            // the modeled time changes (max instead of sum).
+            let halo = &mut *halo;
+            halo.ensure(sys);
+            for ((_, idx), out) in sys.send_to.iter().zip(halo.send.iter_mut()) {
+                out.clear();
+                out.extend(idx.iter().map(|&l| x[l]));
+            }
+            let handle = self.comm.start_exchange(&halo.ranks, &halo.send);
+            sys.a_loc.spmv_into(x, y);
+            self.comm.work(sys.a_loc.spmv_flops());
+            self.comm
+                .finish_exchange(handle, &halo.ranks, &mut halo.recv);
+            halo.x_ext.clear();
+            halo.x_ext.resize(sys.ext_dofs.len().max(1), 0.0);
+            for ((_, positions), buf) in sys.recv_from.iter().zip(&halo.recv) {
+                for (&pos, &v) in positions.iter().zip(buf) {
+                    halo.x_ext[pos] = v;
+                }
+            }
+            if !sys.ext_dofs.is_empty() {
+                sys.a_ext.spmv_add_into(&halo.x_ext, y);
+            }
+            self.comm.work(sys.a_ext.spmv_flops());
+        } else {
+            self.gather_ext(x, &mut halo);
+            sys.a_loc.spmv_into(x, y);
+            if !sys.ext_dofs.is_empty() {
+                sys.a_ext.spmv_add_into(&halo.x_ext, y);
+            }
+            self.comm
+                .work(sys.a_loc.spmv_flops() + sys.a_ext.spmv_flops());
         }
-        self.comm
-            .work(sys.a_loc.spmv_flops() + sys.a_ext.spmv_flops());
         if let Some(tracer) = self.comm.tracer() {
             tracer.add_count("spmv_calls", 1);
             tracer.add_count("spmv_rows", sys.n_local() as u64);
@@ -281,6 +315,37 @@ impl<C: Communicator> LinearOperator for RddOperator<'_, C> {
 
     fn apply_flops(&self) -> u64 {
         self.sys.a_loc.spmv_flops() + self.sys.a_ext.spmv_flops()
+    }
+}
+
+impl<C: Communicator> DistributedOperator for RddOperator<'_, C> {
+    type Comm = C;
+
+    fn comm(&self) -> &C {
+        self.comm
+    }
+
+    /// `r ← b_loc − A x` over the owned rows (one halo exchange).
+    fn residual_into(&self, x: &[f64], r: &mut [f64]) {
+        self.apply_into(x, r);
+        for (ri, bi) in r.iter_mut().zip(&self.sys.b_loc) {
+            *ri = bi - *ri;
+        }
+        self.comm.work(r.len() as u64);
+    }
+
+    /// Rows are disjoint across ranks, so the local partial is a plain dot.
+    fn dot_partial(&self, x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(p, q)| p * q).sum()
+    }
+
+    fn dot_flops_factor(&self) -> u64 {
+        2 // multiply, accumulate — no multiplicity weighting
+    }
+
+    fn gs_dots(&self, w: &[f64], basis: &[Vec<f64>], reduce: &mut [f64]) {
+        kernels::dot_sweep(w, basis, reduce);
+        reduce[basis.len()] = self.dot_partial(w, w);
     }
 }
 
@@ -321,14 +386,9 @@ impl<C: Communicator> Preconditioner<RddOperator<'_, C>> for RddLocalIlu {
     }
 }
 
-/// Result of the RDD solve on one rank.
-#[derive(Debug, Clone)]
-pub struct RddResult {
-    /// The solution over the owned rows.
-    pub x: Vec<f64>,
-    /// Convergence history (identical on all ranks).
-    pub history: ConvergenceHistory,
-}
+/// Result of the RDD solve on one rank (`x` is over the owned rows; the
+/// history is identical on all ranks).
+pub type RddResult = DdResult;
 
 /// Restarted flexible GMRES on the block-row operator (Algorithm 8).
 ///
@@ -374,223 +434,12 @@ where
     if let Some(tracer) = comm.tracer() {
         tracer.span_begin("fgmres", comm.virtual_time());
     }
-    let res = rdd_fgmres_inner(comm, sys, precond, x0, cfg, ws);
+    let op = RddOperator::new(sys, comm);
+    let res = dd_fgmres(&op, precond, x0, cfg, ws);
     if let Some(tracer) = comm.tracer() {
         tracer.span_end("fgmres", comm.virtual_time());
     }
     res
-}
-
-/// `r ← b_loc − A x` over the owned rows (one halo exchange).
-fn rdd_residual_into<C: Communicator>(op: &RddOperator<'_, C>, x: &[f64], r: &mut [f64]) {
-    op.apply_into(x, r);
-    for (ri, bi) in r.iter_mut().zip(&op.sys.b_loc) {
-        *ri = bi - *ri;
-    }
-    op.comm.work(r.len() as u64);
-}
-
-fn rdd_fgmres_inner<'a, C, P>(
-    comm: &'a C,
-    sys: &'a RddSystem,
-    precond: &P,
-    x0: &[f64],
-    cfg: &GmresConfig,
-    ws: &mut KrylovWorkspace,
-) -> RddResult
-where
-    C: Communicator,
-    P: Preconditioner<RddOperator<'a, C>> + ?Sized,
-{
-    let n = sys.n_local();
-    assert_eq!(x0.len(), n, "rdd_fgmres: x0 length mismatch");
-    assert!(cfg.restart > 0, "rdd_fgmres: restart must be positive");
-    let m = cfg.restart;
-    let op = RddOperator::new(sys, comm);
-    ws.ensure(n, m, precond.scratch_vectors());
-
-    let mut x = x0.to_vec();
-    let mut residuals = Vec::with_capacity(cfg.max_iters.saturating_add(2).min(1 << 20));
-    let mut restarts = 0usize;
-    let mut total_iters = 0usize;
-
-    let local_dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(p, q)| p * q).sum() };
-    let global_norm = |v: &[f64]| -> f64 {
-        comm.work(2 * n as u64);
-        comm.allreduce_sum_scalar(local_dot(v, v)).sqrt()
-    };
-
-    rdd_residual_into(&op, &x, &mut ws.r);
-    let r0_norm = global_norm(&ws.r);
-    residuals.push(1.0);
-    if r0_norm == 0.0 {
-        return RddResult {
-            x,
-            history: ConvergenceHistory {
-                relative_residuals: residuals,
-                stop: StopReason::Converged,
-                restarts: 0,
-            },
-        };
-    }
-    let breakdown_tol = 1e-14 * r0_norm;
-
-    loop {
-        let beta = global_norm(&ws.r);
-        if beta / r0_norm <= cfg.tol {
-            return RddResult {
-                x,
-                history: ConvergenceHistory {
-                    relative_residuals: residuals,
-                    stop: StopReason::Converged,
-                    restarts,
-                },
-            };
-        }
-        ws.rotations.clear();
-        ws.g.fill(0.0);
-        ws.g[0] = beta;
-        ws.v[0].copy_from_slice(&ws.r);
-        for t in &mut ws.v[0] {
-            *t /= beta;
-        }
-
-        let mut j_done = 0usize;
-        let mut stop: Option<StopReason> = None;
-
-        for j in 0..m {
-            if total_iters >= cfg.max_iters {
-                stop = Some(StopReason::MaxIterations);
-                break;
-            }
-            total_iters += 1;
-            let iter_start_stats = comm.stats();
-            let degree = precond.current_operator_applications();
-            if let Some(tracer) = comm.tracer() {
-                tracer.add_count("precond_applies", 1);
-            }
-            precond.apply_scratch(&op, &ws.v[j], &mut ws.z[j], &mut ws.precond_scratch);
-            op.apply_into(&ws.z[j], &mut ws.w);
-
-            // Batched classical Gram-Schmidt reductions into `ws.reduce`
-            // (rows are disjoint, so the local dots are plain dots).
-            kernels::dot_sweep(&ws.w, &ws.v[..(j + 1)], &mut ws.reduce);
-            ws.reduce[j + 1] = local_dot(&ws.w, &ws.w);
-            comm.work((2 * n * (j + 2)) as u64);
-            comm.allreduce_sum_into(&mut ws.reduce[..(j + 2)]);
-
-            let hcol = &mut ws.h[j];
-            hcol[..(j + 1)].copy_from_slice(&ws.reduce[..(j + 1)]);
-            let ww = ws.reduce[j + 1];
-            kernels::axpy_sweep_neg(&hcol[..(j + 1)], &ws.v[..(j + 1)], &mut ws.w);
-            comm.work((2 * n * (j + 1)) as u64);
-            // Guarded Pythagorean norm — see the matching comment in edd.rs.
-            let h_sq: f64 = hcol[..(j + 1)].iter().map(|h| h * h).sum();
-            let mut hh = ww - h_sq;
-            if hh < 1e-2 * ww.max(1e-300) {
-                hh = comm.allreduce_sum_scalar(local_dot(&ws.w, &ws.w)).max(0.0);
-                comm.work(2 * n as u64);
-            }
-            let h_next = hh.max(0.0).sqrt();
-            hcol[j + 1] = h_next;
-
-            for (i, rot) in ws.rotations.iter().enumerate() {
-                let (a, b2) = rot.apply(hcol[i], hcol[i + 1]);
-                hcol[i] = a;
-                hcol[i + 1] = b2;
-            }
-            let (rot, rr) = Givens::compute(hcol[j], hcol[j + 1]);
-            hcol[j] = rr;
-            hcol[j + 1] = 0.0;
-            let (g0, g1) = rot.apply(ws.g[j], ws.g[j + 1]);
-            ws.g[j] = g0;
-            ws.g[j + 1] = g1;
-            ws.rotations.push(rot);
-            j_done = j + 1;
-
-            let rel = ws.g[j + 1].abs() / r0_norm;
-            residuals.push(rel);
-            if let Some(tracer) = comm.tracer() {
-                let st = comm.stats();
-                tracer.emit(
-                    EventKind::Iter,
-                    "",
-                    comm.virtual_time(),
-                    vec![
-                        ("iter".to_string(), Value::U64(total_iters as u64)),
-                        ("rel_res".to_string(), Value::F64(rel)),
-                        ("restart_index".to_string(), Value::U64((j + 1) as u64)),
-                        ("cycle".to_string(), Value::U64(restarts as u64)),
-                        ("degree".to_string(), Value::U64(degree as u64)),
-                        (
-                            "exchanges".to_string(),
-                            Value::U64(st.neighbor_exchanges - iter_start_stats.neighbor_exchanges),
-                        ),
-                        (
-                            "allreduces".to_string(),
-                            Value::U64(st.allreduces - iter_start_stats.allreduces),
-                        ),
-                    ],
-                );
-            }
-            if rel <= cfg.tol {
-                stop = Some(StopReason::Converged);
-                break;
-            }
-            if h_next <= breakdown_tol {
-                stop = Some(StopReason::Breakdown);
-                break;
-            }
-            ws.v[j + 1].copy_from_slice(&ws.w);
-            for t in &mut ws.v[j + 1] {
-                *t /= h_next;
-            }
-        }
-
-        if j_done > 0 {
-            for i in (0..j_done).rev() {
-                let mut acc = ws.g[i];
-                for k in (i + 1)..j_done {
-                    acc -= ws.h[k][i] * ws.y[k];
-                }
-                ws.y[i] = acc / ws.h[i][i];
-            }
-            for k in 0..j_done {
-                let yk = ws.y[k];
-                for (xi, zi) in x.iter_mut().zip(&ws.z[k]) {
-                    *xi += yk * zi;
-                }
-            }
-            comm.work((2 * n * j_done) as u64);
-        }
-
-        match stop {
-            Some(reason @ (StopReason::Converged | StopReason::Breakdown)) => {
-                return RddResult {
-                    x,
-                    history: ConvergenceHistory {
-                        relative_residuals: residuals,
-                        stop: reason,
-                        restarts,
-                    },
-                };
-            }
-            Some(StopReason::MaxIterations) => {
-                return RddResult {
-                    x,
-                    history: ConvergenceHistory {
-                        relative_residuals: residuals,
-                        stop: StopReason::MaxIterations,
-                        restarts,
-                    },
-                };
-            }
-            None => {
-                restarts += 1;
-                rdd_residual_into(&op, &x, &mut ws.r);
-            }
-        }
-    }
 }
 
 #[cfg(test)]

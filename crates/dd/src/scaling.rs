@@ -15,7 +15,7 @@
 //! reproduces the distributed sums sequentially so sequential and parallel
 //! runs can be compared iterate for iterate.
 
-use crate::dist_vec::EddLayout;
+use crate::dist_vec::{EddLayout, ExchangeBuffers};
 use parfem_fem::subdomain::SubdomainSystem;
 use parfem_mesh::numbering::DOFS_PER_NODE;
 use parfem_msg::Communicator;
@@ -34,7 +34,8 @@ impl DistributedScaling {
     pub fn build<C: Communicator>(comm: &C, layout: &EddLayout, k_local: &CsrMatrix) -> Self {
         let mut sums = k_local.row_abs_sums();
         comm.work(2 * k_local.nnz() as u64);
-        layout.interface_sum(comm, &mut sums);
+        let mut bufs = ExchangeBuffers::new();
+        layout.interface_sum_buffered(comm, &mut sums, &mut bufs);
         let d = sums
             .iter()
             .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 1.0 })

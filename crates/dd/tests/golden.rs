@@ -1,0 +1,387 @@
+//! Golden bit-identity tests for the unified distributed FGMRES core.
+//!
+//! The constants below were captured from the pre-refactor
+//! `edd_fgmres`/`rdd_fgmres` implementations (the hand-maintained twin
+//! solver loops, before both were collapsed onto `dd_fgmres`). Each case
+//! pins the iteration count, restart count, and an FNV-1a hash over the
+//! exact bit patterns of the per-rank solutions and the residual history —
+//! so any change to the floating-point operation sequence of the shared
+//! solver shows up as a hard failure, not a tolerance drift.
+//!
+//! Re-capture (only when a *deliberate* numerical change is made) with:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test -p parfem-dd --test golden -- --nocapture
+//! ```
+
+use parfem_dd::scaling::DistributedScaling;
+use parfem_dd::{edd_fgmres, rdd_fgmres, EddLayout, EddVariant, RddLocalIlu, RddSystem};
+use parfem_fem::{assembly, Material, SubdomainSystem};
+use parfem_krylov::gmres::GmresConfig;
+use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, QuadMesh};
+use parfem_msg::{run_ranks, Communicator, MachineModel};
+use parfem_precond::{GlsPrecond, IdentityPrecond};
+use parfem_sparse::scaling::scale_system;
+
+/// FNV-1a over a stream of u64 words (stable, dependency-free).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn f64s(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.word(x.to_bits());
+        }
+    }
+}
+
+/// The digest one golden case pins.
+#[derive(Debug, PartialEq, Eq)]
+struct Digest {
+    iterations: usize,
+    restarts: usize,
+    /// FNV-1a over the bit patterns of every rank's solution, rank order.
+    x_hash: u64,
+    /// FNV-1a over the bit patterns of the relative-residual history.
+    res_hash: u64,
+}
+
+fn edd_digest(
+    nx: usize,
+    ny: usize,
+    p: usize,
+    degree: usize,
+    variant: EddVariant,
+    cfg: &GmresConfig,
+) -> Digest {
+    edd_digest_overlap(nx, ny, p, degree, variant, cfg, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn edd_digest_overlap(
+    nx: usize,
+    ny: usize,
+    p: usize,
+    degree: usize,
+    variant: EddVariant,
+    cfg: &GmresConfig,
+    overlap: bool,
+) -> Digest {
+    let mesh = QuadMesh::cantilever(nx, ny);
+    let mut dm = DofMap::new(mesh.n_nodes());
+    dm.clamp_edge(&mesh, Edge::Left);
+    let mat = Material::unit();
+    let mut loads = vec![0.0; dm.n_dofs()];
+    assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+    let part = ElementPartition::strips_x(&mesh, p);
+    let systems: Vec<SubdomainSystem> = part
+        .subdomains(&mesh)
+        .iter()
+        .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
+        .collect();
+    let gls = (degree > 0).then(|| GlsPrecond::for_scaled_system(degree));
+    let out = run_ranks(p, MachineModel::ideal(), |comm| {
+        let sys = &systems[comm.rank()];
+        let mut layout = EddLayout::from_system(sys);
+        layout.set_overlap(overlap);
+        let sc = DistributedScaling::build(comm, &layout, &sys.k_local);
+        let mut b = sys.f_local.clone();
+        let a = sc.apply(&sys.k_local, &mut b);
+        let x0 = vec![0.0; b.len()];
+        let res = match &gls {
+            Some(g) => edd_fgmres(comm, &layout, &a, g, &b, &x0, cfg, variant),
+            None => edd_fgmres(comm, &layout, &a, &IdentityPrecond, &b, &x0, cfg, variant),
+        };
+        let mut u = res.x;
+        sc.unscale(&mut u);
+        (u, res.history)
+    });
+    let mut xh = Fnv::new();
+    for (u, _) in &out.results {
+        xh.f64s(u);
+    }
+    let mut rh = Fnv::new();
+    rh.f64s(&out.results[0].1.relative_residuals);
+    Digest {
+        iterations: out.results[0].1.iterations(),
+        restarts: out.results[0].1.restarts,
+        x_hash: xh.0,
+        res_hash: rh.0,
+    }
+}
+
+enum RddPre {
+    Identity,
+    Gls(usize),
+    LocalIlu,
+}
+
+fn rdd_digest(nx: usize, ny: usize, p: usize, pre: RddPre, cfg: &GmresConfig) -> Digest {
+    rdd_digest_overlap(nx, ny, p, pre, cfg, false)
+}
+
+fn rdd_digest_overlap(
+    nx: usize,
+    ny: usize,
+    p: usize,
+    pre: RddPre,
+    cfg: &GmresConfig,
+    overlap: bool,
+) -> Digest {
+    let mesh = QuadMesh::cantilever(nx, ny);
+    let mut dm = DofMap::new(mesh.n_nodes());
+    dm.clamp_edge(&mesh, Edge::Left);
+    let mat = Material::unit();
+    let mut loads = vec![0.0; dm.n_dofs()];
+    assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+    let sys = assembly::build_static(&mesh, &dm, &mat, &loads);
+    let (a, b, _sc) = scale_system(&sys.stiffness, &sys.rhs).unwrap();
+    let part = NodePartition::contiguous(mesh.n_nodes(), p);
+    let mut systems = RddSystem::build_all(&a, &b, &part);
+    for s in &mut systems {
+        s.overlap = overlap;
+    }
+    let gls = match pre {
+        RddPre::Gls(d) => Some(GlsPrecond::for_scaled_system(d)),
+        _ => None,
+    };
+    let ilu = matches!(pre, RddPre::LocalIlu);
+    let out = run_ranks(p, MachineModel::ideal(), |comm| {
+        let sys = &systems[comm.rank()];
+        let x0 = vec![0.0; sys.n_local()];
+        let res = if let Some(g) = &gls {
+            rdd_fgmres(comm, sys, g, &x0, cfg)
+        } else if ilu {
+            let f = RddLocalIlu::factorize(sys).expect("factorize");
+            rdd_fgmres(comm, sys, &f, &x0, cfg)
+        } else {
+            rdd_fgmres(comm, sys, &IdentityPrecond, &x0, cfg)
+        };
+        (res.x, res.history)
+    });
+    let mut xh = Fnv::new();
+    for (u, _) in &out.results {
+        xh.f64s(u);
+    }
+    let mut rh = Fnv::new();
+    rh.f64s(&out.results[0].1.relative_residuals);
+    Digest {
+        iterations: out.results[0].1.iterations(),
+        restarts: out.results[0].1.restarts,
+        x_hash: xh.0,
+        res_hash: rh.0,
+    }
+}
+
+fn check(name: &str, got: Digest, want: Digest) {
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!(
+            "{name}: Digest {{ iterations: {}, restarts: {}, x_hash: 0x{:016x}, res_hash: 0x{:016x} }}",
+            got.iterations, got.restarts, got.x_hash, got.res_hash
+        );
+        return;
+    }
+    assert_eq!(got, want, "{name}: drifted from the pre-refactor solver");
+}
+
+fn cfg(tol: f64) -> GmresConfig {
+    GmresConfig {
+        tol,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn edd_enhanced_gls5_matches_pre_refactor() {
+    check(
+        "edd_enhanced_gls5",
+        edd_digest(8, 3, 4, 5, EddVariant::Enhanced, &cfg(1e-8)),
+        Digest {
+            iterations: 13,
+            restarts: 0,
+            x_hash: 0x7199b55dbcbc5141,
+            res_hash: 0x04b565949448c04f,
+        },
+    );
+}
+
+#[test]
+fn edd_basic_gls3_matches_pre_refactor() {
+    check(
+        "edd_basic_gls3",
+        edd_digest(6, 2, 3, 3, EddVariant::Basic, &cfg(1e-8)),
+        Digest {
+            iterations: 12,
+            restarts: 0,
+            x_hash: 0x2ac0866b4c359264,
+            res_hash: 0x4dba55a5e6273932,
+        },
+    );
+}
+
+#[test]
+fn edd_enhanced_unpreconditioned_matches_pre_refactor() {
+    // Unpreconditioned on a longer run: exercises restarts.
+    let c = GmresConfig {
+        tol: 1e-7,
+        max_iters: 2000,
+        ..Default::default()
+    };
+    check(
+        "edd_enhanced_plain",
+        edd_digest(6, 2, 2, 0, EddVariant::Enhanced, &c),
+        Digest {
+            iterations: 18,
+            restarts: 0,
+            x_hash: 0xa309843b860f36df,
+            res_hash: 0x4cd81a782917a35e,
+        },
+    );
+}
+
+#[test]
+fn rdd_gls5_matches_pre_refactor() {
+    check(
+        "rdd_gls5",
+        rdd_digest(8, 2, 4, RddPre::Gls(5), &cfg(1e-9)),
+        Digest {
+            iterations: 13,
+            restarts: 0,
+            x_hash: 0x09911e4844f6b481,
+            res_hash: 0xa284689e9f354307,
+        },
+    );
+}
+
+#[test]
+fn rdd_unpreconditioned_matches_pre_refactor() {
+    let c = GmresConfig {
+        tol: 1e-7,
+        max_iters: 2000,
+        ..Default::default()
+    };
+    check(
+        "rdd_plain",
+        rdd_digest(5, 2, 2, RddPre::Identity, &c),
+        Digest {
+            iterations: 15,
+            restarts: 0,
+            x_hash: 0x5948d314a21be0e4,
+            res_hash: 0xb4b4db4aff3d035a,
+        },
+    );
+}
+
+#[test]
+fn edd_short_restart_matches_pre_refactor() {
+    // Small restart length: exercises the restart/residual-recompute path.
+    let c = GmresConfig {
+        tol: 1e-7,
+        restart: 8,
+        max_iters: 2000,
+        ..Default::default()
+    };
+    check(
+        "edd_restart8",
+        edd_digest(6, 2, 2, 0, EddVariant::Enhanced, &c),
+        Digest {
+            iterations: 1254,
+            restarts: 156,
+            x_hash: 0xe02f9e6f1f63cb41,
+            res_hash: 0xfa73d79ce0668e0b,
+        },
+    );
+}
+
+#[test]
+fn rdd_short_restart_matches_pre_refactor() {
+    let c = GmresConfig {
+        tol: 1e-7,
+        restart: 8,
+        max_iters: 2000,
+        ..Default::default()
+    };
+    check(
+        "rdd_restart8",
+        rdd_digest(5, 2, 2, RddPre::Identity, &c),
+        Digest {
+            iterations: 397,
+            restarts: 49,
+            x_hash: 0x07f3214e42152f98,
+            res_hash: 0xd122d8fdb2e7b98d,
+        },
+    );
+}
+
+#[test]
+fn edd_overlapped_matches_pre_refactor_blocking_digest() {
+    // The overlapped exchange schedule must reproduce the pre-refactor
+    // *blocking* digest exactly: overlap reorders which rows compute while
+    // messages fly, never the arithmetic.
+    check(
+        "edd_enhanced_gls5_overlap",
+        edd_digest_overlap(8, 3, 4, 5, EddVariant::Enhanced, &cfg(1e-8), true),
+        Digest {
+            iterations: 13,
+            restarts: 0,
+            x_hash: 0x7199b55dbcbc5141,
+            res_hash: 0x04b565949448c04f,
+        },
+    );
+    check(
+        "edd_basic_gls3_overlap",
+        edd_digest_overlap(6, 2, 3, 3, EddVariant::Basic, &cfg(1e-8), true),
+        Digest {
+            iterations: 12,
+            restarts: 0,
+            x_hash: 0x2ac0866b4c359264,
+            res_hash: 0x4dba55a5e6273932,
+        },
+    );
+}
+
+#[test]
+fn rdd_overlapped_matches_pre_refactor_blocking_digest() {
+    check(
+        "rdd_gls5_overlap",
+        rdd_digest_overlap(8, 2, 4, RddPre::Gls(5), &cfg(1e-9), true),
+        Digest {
+            iterations: 13,
+            restarts: 0,
+            x_hash: 0x09911e4844f6b481,
+            res_hash: 0xa284689e9f354307,
+        },
+    );
+    check(
+        "rdd_local_ilu_overlap",
+        rdd_digest_overlap(6, 2, 3, RddPre::LocalIlu, &cfg(1e-8), true),
+        Digest {
+            iterations: 13,
+            restarts: 0,
+            x_hash: 0x47a6ca904898afdd,
+            res_hash: 0x6d5045eb980f57ac,
+        },
+    );
+}
+
+#[test]
+fn rdd_local_ilu_matches_pre_refactor() {
+    check(
+        "rdd_local_ilu",
+        rdd_digest(6, 2, 3, RddPre::LocalIlu, &cfg(1e-8)),
+        Digest {
+            iterations: 13,
+            restarts: 0,
+            x_hash: 0x47a6ca904898afdd,
+            res_hash: 0x6d5045eb980f57ac,
+        },
+    );
+}

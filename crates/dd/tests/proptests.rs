@@ -3,12 +3,16 @@
 //! sequential reference.
 
 use parfem_dd::dist_vec::EddLayout;
+use parfem_dd::rdd::RddOperator;
 use parfem_dd::scaling::edd_scaling_reference;
-use parfem_dd::{solve_edd, solve_rdd, EddVariant, PrecondSpec, SolverConfig};
+use parfem_dd::{
+    solve_edd, solve_rdd, EddOperator, EddVariant, PrecondSpec, RddSystem, SolverConfig,
+};
 use parfem_fem::{assembly, Material, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, QuadMesh};
 use parfem_msg::{run_ranks, Communicator, MachineModel};
+use parfem_sparse::{scaling::scale_system, LinearOperator};
 use proptest::prelude::*;
 
 fn problem(nx: usize, ny: usize, fx: f64, fy: f64) -> (QuadMesh, DofMap, Material, Vec<f64>) {
@@ -37,6 +41,7 @@ proptest! {
             gmres: GmresConfig { tol: 1e-9, max_iters: 50_000, ..Default::default() },
             precond: PrecondSpec::Gls { degree: 5, theta: None },
             variant: EddVariant::Enhanced,
+            overlap: false,
         };
         let out = solve_edd(&mesh, &dm, &mat, &loads,
             &ElementPartition::strips_x(&mesh, parts), MachineModel::ideal(), &cfg);
@@ -58,6 +63,7 @@ proptest! {
             gmres: GmresConfig { tol: 1e-10, max_iters: 50_000, ..Default::default() },
             precond: PrecondSpec::Gls { degree: 5, theta: None },
             variant: EddVariant::Enhanced,
+            overlap: false,
         };
         let e = solve_edd(&mesh, &dm, &mat, &loads,
             &ElementPartition::strips_x(&mesh, parts), MachineModel::ideal(), &cfg);
@@ -87,12 +93,73 @@ proptest! {
             let layout = EddLayout::from_system(sys);
             let mut v = sys.restrict(&u);
             layout.to_local_distributed(&mut v);
-            layout.interface_sum(comm, &mut v);
+            let mut bufs = parfem_dd::ExchangeBuffers::new();
+            layout.interface_sum_buffered(comm, &mut v, &mut bufs);
             let want = sys.restrict(&u);
             v.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max)
         });
         for err in out.results {
             prop_assert!(err < 1e-10, "interface sum deviation {}", err);
+        }
+    }
+
+    #[test]
+    fn edd_overlapped_matvec_is_bit_identical_to_blocking(nx in 4usize..10,
+                                                          ny in 2usize..5,
+                                                          parts in 1usize..5) {
+        prop_assume!(parts <= nx);
+        let (mesh, dm, mat, loads) = problem(nx, ny, 1.0, -1.0);
+        let systems: Vec<SubdomainSystem> = ElementPartition::strips_x(&mesh, parts)
+            .subdomains(&mesh).iter()
+            .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None)).collect();
+        let n = dm.n_dofs();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 19) as f64) - 9.0).collect();
+        let sys_ref = &systems;
+        let out = run_ranks(parts, MachineModel::ibm_sp2(), move |comm| {
+            let sys = &sys_ref[comm.rank()];
+            let mut layout = EddLayout::from_system(sys);
+            let xl = sys.restrict(&x);
+            let y_blocking = {
+                let op = EddOperator::new(&sys.k_local, &layout, comm);
+                op.apply(&xl)
+            };
+            layout.set_overlap(true);
+            let y_overlapped = {
+                let op = EddOperator::new(&sys.k_local, &layout, comm);
+                op.apply(&xl)
+            };
+            (y_blocking, y_overlapped)
+        });
+        for (blocking, overlapped) in out.results {
+            prop_assert_eq!(blocking, overlapped);
+        }
+    }
+
+    #[test]
+    fn rdd_overlapped_matvec_is_bit_identical_to_blocking(nx in 4usize..10,
+                                                          ny in 2usize..5,
+                                                          parts in 1usize..5) {
+        prop_assume!(parts <= nx);
+        let (mesh, dm, mat, loads) = problem(nx, ny, 0.5, -1.0);
+        let sys = assembly::build_static(&mesh, &dm, &mat, &loads);
+        let (a, b, _) = scale_system(&sys.stiffness, &sys.rhs).unwrap();
+        let part = NodePartition::contiguous(mesh.n_nodes(), parts);
+        let systems = RddSystem::build_all(&a, &b, &part);
+        let mut systems_ov = systems.clone();
+        for s in &mut systems_ov {
+            s.overlap = true;
+        }
+        let n = a.n_rows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 11 % 17) as f64) - 8.0).collect();
+        let (sys_ref, ov_ref) = (&systems, &systems_ov);
+        let out = run_ranks(parts, MachineModel::ibm_sp2(), move |comm| {
+            let xl = sys_ref[comm.rank()].restrict(&x);
+            let y_blocking = RddOperator::new(&sys_ref[comm.rank()], comm).apply(&xl);
+            let y_overlapped = RddOperator::new(&ov_ref[comm.rank()], comm).apply(&xl);
+            (y_blocking, y_overlapped)
+        });
+        for (blocking, overlapped) in out.results {
+            prop_assert_eq!(blocking, overlapped);
         }
     }
 

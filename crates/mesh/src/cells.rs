@@ -18,6 +18,20 @@ pub trait Cells {
     fn n_cells(&self) -> usize;
     /// Node ids of cell `e`.
     fn cell_nodes(&self, e: usize) -> Vec<usize>;
+    /// For structured meshes: the logical cell-grid dimensions `(nx, ny)`.
+    /// `None` for unstructured meshes — grid-based partitioners then refuse
+    /// the mesh instead of guessing a layout.
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+    /// The logical grid coordinates `(i, j)` of cell `e`, with
+    /// `i < nx, j < ny` from [`Cells::grid_dims`]. Cells mapping to the same
+    /// coordinate (e.g. the two triangles of a split quad) are kept together
+    /// by grid partitioners.
+    fn grid_cell(&self, e: usize) -> Option<(usize, usize)> {
+        let _ = e;
+        None
+    }
 }
 
 impl Cells for QuadMesh {
@@ -29,6 +43,12 @@ impl Cells for QuadMesh {
     }
     fn cell_nodes(&self, e: usize) -> Vec<usize> {
         self.elem_nodes(e).to_vec()
+    }
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        Some((self.nx(), self.ny()))
+    }
+    fn grid_cell(&self, e: usize) -> Option<(usize, usize)> {
+        Some((e % self.nx(), e / self.nx()))
     }
 }
 
@@ -42,6 +62,15 @@ impl Cells for TriMesh {
     fn cell_nodes(&self, e: usize) -> Vec<usize> {
         self.elem_nodes(e).to_vec()
     }
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        Some((self.nx(), self.ny()))
+    }
+    fn grid_cell(&self, e: usize) -> Option<(usize, usize)> {
+        // Two triangles per source quad cell share its grid coordinate, so
+        // they always land in the same part.
+        let quad = e / 2;
+        Some((quad % self.nx(), quad / self.nx()))
+    }
 }
 
 impl Cells for Quad8Mesh {
@@ -53,6 +82,12 @@ impl Cells for Quad8Mesh {
     }
     fn cell_nodes(&self, e: usize) -> Vec<usize> {
         self.elem_nodes(e).to_vec()
+    }
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        Some((self.nx(), self.ny()))
+    }
+    fn grid_cell(&self, e: usize) -> Option<(usize, usize)> {
+        Some((e % self.nx(), e / self.nx()))
     }
 }
 
@@ -74,5 +109,23 @@ mod tests {
         let e = Quad8Mesh::rectangle(3, 2, 3.0, 2.0);
         assert_eq!(Cells::n_cells(&e), 6);
         assert_eq!(Cells::cell_nodes(&e, 0).len(), 8);
+    }
+
+    #[test]
+    fn grid_cells_enumerate_the_logical_grid() {
+        let q = QuadMesh::rectangle(3, 2, 3.0, 2.0);
+        assert_eq!(q.grid_dims(), Some((3, 2)));
+        assert_eq!(q.grid_cell(0), Some((0, 0)));
+        assert_eq!(q.grid_cell(5), Some((2, 1)));
+
+        let t = TriMesh::from_quad_mesh(&q);
+        assert_eq!(t.grid_dims(), Some((3, 2)));
+        // Both triangles of quad cell 4 map to its coordinate (1, 1).
+        assert_eq!(t.grid_cell(8), Some((1, 1)));
+        assert_eq!(t.grid_cell(9), Some((1, 1)));
+
+        let e = Quad8Mesh::rectangle(3, 2, 3.0, 2.0);
+        assert_eq!(e.grid_dims(), Some((3, 2)));
+        assert_eq!(e.grid_cell(4), Some((1, 1)));
     }
 }

@@ -21,17 +21,47 @@ use crate::cells::Cells;
 use crate::quad8::Quad8Mesh;
 use crate::structured::QuadMesh;
 use crate::tri::TriMesh;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 /// A partition of mesh *elements* into `P` subdomains (EDD).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ElementPartition {
     n_parts: usize,
     owner: Vec<usize>,
+    /// Node-adjacent element pairs straddling a part boundary, when the
+    /// constructor had mesh connectivity (`None` after
+    /// [`ElementPartition::from_owner`]).
+    edge_cut: Option<usize>,
+}
+
+/// Node-adjacent cell pairs whose cells live in different parts — the
+/// communication-volume proxy reported in the partition's `Debug` output.
+fn edge_cut_of<M: Cells>(mesh: &M, owner: &[usize]) -> usize {
+    let mut node_cells: Vec<Vec<usize>> = vec![Vec::new(); mesh.n_cell_nodes()];
+    for e in 0..mesh.n_cells() {
+        for n in mesh.cell_nodes(e) {
+            node_cells[n].push(e);
+        }
+    }
+    let mut cut: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for cells in &node_cells {
+        for (i, &a) in cells.iter().enumerate() {
+            for &b in &cells[i + 1..] {
+                if owner[a] != owner[b] {
+                    cut.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+    }
+    cut.len()
 }
 
 impl ElementPartition {
     /// Builds a partition from an explicit per-element owner array.
+    ///
+    /// The edge cut is unknown without mesh connectivity; chain
+    /// [`ElementPartition::with_edge_cut`] to fill it in.
     ///
     /// # Panics
     /// Panics if any owner is `>= n_parts` or if some part is empty.
@@ -46,7 +76,26 @@ impl ElementPartition {
             seen.iter().all(|&s| s),
             "every part must own at least one element"
         );
-        ElementPartition { n_parts, owner }
+        ElementPartition {
+            n_parts,
+            owner,
+            edge_cut: None,
+        }
+    }
+
+    /// Computes and records the edge cut against `mesh`, for partitions
+    /// built through [`ElementPartition::from_owner`].
+    ///
+    /// # Panics
+    /// Panics if the partition does not match the mesh.
+    pub fn with_edge_cut<M: Cells>(mut self, mesh: &M) -> Self {
+        assert_eq!(
+            self.owner.len(),
+            mesh.n_cells(),
+            "partition does not match mesh"
+        );
+        self.edge_cut = Some(edge_cut_of(mesh, &self.owner));
+        self
     }
 
     /// Partition into `p` vertical strips of element columns (balanced to
@@ -58,14 +107,19 @@ impl ElementPartition {
     pub fn strips_x(mesh: &QuadMesh, p: usize) -> Self {
         assert!(p > 0 && p <= mesh.nx(), "strip count must be in 1..=nx");
         let nx = mesh.nx();
-        let owner = (0..mesh.n_elems())
+        let owner: Vec<usize> = (0..mesh.n_elems())
             .map(|e| {
                 let i = e % nx;
                 // Balanced block distribution of columns.
                 (i * p) / nx
             })
             .collect();
-        ElementPartition { n_parts: p, owner }
+        let edge_cut = Some(edge_cut_of(mesh, &owner));
+        ElementPartition {
+            n_parts: p,
+            owner,
+            edge_cut,
+        }
     }
 
     /// Vertical element-column strips of a triangulated structured mesh
@@ -77,14 +131,19 @@ impl ElementPartition {
     pub fn strips_x_tri(mesh: &TriMesh, p: usize) -> Self {
         assert!(p > 0 && p <= mesh.nx(), "strip count must be in 1..=nx");
         let nx = mesh.nx();
-        let owner = (0..mesh.n_elems())
+        let owner: Vec<usize> = (0..mesh.n_elems())
             .map(|e| {
                 let quad_cell = e / 2;
                 let i = quad_cell % nx;
                 (i * p) / nx
             })
             .collect();
-        ElementPartition { n_parts: p, owner }
+        let edge_cut = Some(edge_cut_of(mesh, &owner));
+        ElementPartition {
+            n_parts: p,
+            owner,
+            edge_cut,
+        }
     }
 
     /// Vertical element-column strips of an 8-node quadrilateral mesh.
@@ -94,13 +153,18 @@ impl ElementPartition {
     pub fn strips_x_quad8(mesh: &Quad8Mesh, p: usize) -> Self {
         assert!(p > 0 && p <= mesh.nx(), "strip count must be in 1..=nx");
         let nx = mesh.nx();
-        let owner = (0..mesh.n_elems())
+        let owner: Vec<usize> = (0..mesh.n_elems())
             .map(|e| {
                 let i = e % nx;
                 (i * p) / nx
             })
             .collect();
-        ElementPartition { n_parts: p, owner }
+        let edge_cut = Some(edge_cut_of(mesh, &owner));
+        ElementPartition {
+            n_parts: p,
+            owner,
+            edge_cut,
+        }
     }
 
     /// Partition into a `px x py` grid of element blocks.
@@ -108,25 +172,37 @@ impl ElementPartition {
     /// # Panics
     /// Panics if the grid is empty or exceeds the element grid.
     pub fn blocks(mesh: &QuadMesh, px: usize, py: usize) -> Self {
+        Self::blocks_of(mesh, px, py)
+    }
+
+    /// [`ElementPartition::blocks`] over any structured [`Cells`] mesh
+    /// (T3, Q4, Q8, …): a `px x py` grid of cell blocks, balanced to within
+    /// one grid row/column. Cells mapping to the same grid coordinate (the
+    /// two triangles of a split quad) stay in the same part, so the
+    /// interfaces match the quadrilateral blocks exactly.
+    ///
+    /// # Panics
+    /// Panics if the mesh has no logical grid ([`Cells::grid_dims`] is
+    /// `None`), if the grid is empty, or if it exceeds the cell grid.
+    pub fn blocks_of<M: Cells>(mesh: &M, px: usize, py: usize) -> Self {
+        let (nx, ny) = mesh
+            .grid_dims()
+            .expect("blocks_of needs a structured mesh with a logical grid");
         assert!(px > 0 && py > 0, "block grid must be non-empty");
-        assert!(
-            px <= mesh.nx() && py <= mesh.ny(),
-            "block grid exceeds element grid"
-        );
-        let nx = mesh.nx();
-        let ny = mesh.ny();
-        let owner = (0..mesh.n_elems())
+        assert!(px <= nx && py <= ny, "block grid exceeds element grid");
+        let owner: Vec<usize> = (0..mesh.n_cells())
             .map(|e| {
-                let i = e % nx;
-                let j = e / nx;
+                let (i, j) = mesh.grid_cell(e).expect("structured cell");
                 let bi = (i * px) / nx;
                 let bj = (j * py) / ny;
                 bj * px + bi
             })
             .collect();
+        let edge_cut = Some(edge_cut_of(mesh, &owner));
         ElementPartition {
             n_parts: px * py,
             owner,
+            edge_cut,
         }
     }
 
@@ -143,6 +219,23 @@ impl ElementPartition {
     /// Per-element owner array.
     pub fn owners(&self) -> &[usize] {
         &self.owner
+    }
+
+    /// Node-adjacent element pairs straddling part boundaries, when known
+    /// (see [`ElementPartition::with_edge_cut`]).
+    pub fn edge_cut(&self) -> Option<usize> {
+        self.edge_cut
+    }
+
+    /// Load imbalance `P * max_part_size / n_elems` — `1.0` is perfectly
+    /// balanced; `2.0` means the largest part carries twice its fair share.
+    pub fn imbalance(&self) -> f64 {
+        let mut sizes = vec![0usize; self.n_parts];
+        for &o in &self.owner {
+            sizes[o] += 1;
+        }
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        (self.n_parts * max) as f64 / (self.owner.len().max(1)) as f64
     }
 
     /// Builds the full subdomain descriptions for a quadrilateral mesh.
@@ -215,6 +308,27 @@ impl ElementPartition {
             s.neighbors.sort_by_key(|l| l.rank);
         }
         subs
+    }
+}
+
+impl fmt::Debug for ElementPartition {
+    /// Quality-annotated summary: per-part sizes, the imbalance ratio and —
+    /// when the constructor saw the mesh — the edge cut.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sizes = vec![0usize; self.n_parts];
+        for &o in &self.owner {
+            sizes[o] += 1;
+        }
+        let mut d = f.debug_struct("ElementPartition");
+        d.field("n_parts", &self.n_parts)
+            .field("n_elems", &self.owner.len())
+            .field("part_sizes", &sizes)
+            .field("imbalance", &self.imbalance());
+        match self.edge_cut {
+            Some(cut) => d.field("edge_cut", &cut),
+            None => d.field("edge_cut", &"unknown"),
+        };
+        d.finish()
     }
 }
 
@@ -506,6 +620,70 @@ mod tests {
     #[should_panic(expected = "at least one element")]
     fn from_owner_rejects_empty_part() {
         ElementPartition::from_owner(3, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn blocks_of_matches_blocks_on_quads() {
+        let mesh = QuadMesh::rectangle(6, 4, 6.0, 4.0);
+        let a = ElementPartition::blocks(&mesh, 3, 2);
+        let b = ElementPartition::blocks_of(&mesh, 3, 2);
+        assert_eq!(a.owners(), b.owners());
+        assert_eq!(a.n_parts(), 6);
+        assert_eq!(a.edge_cut(), b.edge_cut());
+        assert!(a.edge_cut().is_some());
+    }
+
+    #[test]
+    fn blocks_of_partitions_triangles_and_quad8() {
+        let quad = QuadMesh::rectangle(6, 4, 6.0, 4.0);
+        let tri = crate::tri::TriMesh::from_quad_mesh(&quad);
+        let tp = ElementPartition::blocks_of(&tri, 2, 2);
+        assert_eq!(tp.n_parts(), 4);
+        // Both triangles of every split quad share an owner, and it equals
+        // the owner the quad partition assigns to that cell.
+        let qp = ElementPartition::blocks_of(&quad, 2, 2);
+        for e in 0..quad.n_elems() {
+            assert_eq!(tp.owner(2 * e), tp.owner(2 * e + 1));
+            assert_eq!(tp.owner(2 * e), qp.owner(e));
+        }
+
+        let q8 = Quad8Mesh::rectangle(6, 4, 6.0, 4.0);
+        let ep = ElementPartition::blocks_of(&q8, 2, 2);
+        assert_eq!(ep.owners(), qp.owners());
+        // Q8 edge midside nodes only join cells that already share corner
+        // nodes, so the cut pairs match the 4-node partition's.
+        assert_eq!(ep.edge_cut(), qp.edge_cut());
+    }
+
+    #[test]
+    fn edge_cut_counts_straddling_adjacent_pairs() {
+        // Two elements in a row, split in half: exactly one adjacent pair
+        // crosses the boundary.
+        let mesh = QuadMesh::rectangle(2, 1, 2.0, 1.0);
+        let part = ElementPartition::strips_x(&mesh, 2);
+        assert_eq!(part.edge_cut(), Some(1));
+        // One part: nothing to cut.
+        let whole = ElementPartition::strips_x(&mesh, 1);
+        assert_eq!(whole.edge_cut(), Some(0));
+    }
+
+    #[test]
+    fn debug_output_reports_partition_quality() {
+        let mesh = QuadMesh::rectangle(8, 3, 8.0, 3.0);
+        let part = ElementPartition::strips_x(&mesh, 4);
+        let text = format!("{part:?}");
+        assert!(text.contains("part_sizes: [6, 6, 6, 6]"), "{text}");
+        assert!(text.contains("imbalance: 1.0"), "{text}");
+        assert!(text.contains("edge_cut:"), "{text}");
+        // from_owner has no mesh: the cut is reported as unknown until
+        // with_edge_cut supplies one.
+        let manual = ElementPartition::from_owner(2, vec![0, 0, 0, 1]);
+        let text = format!("{manual:?}");
+        assert!(text.contains("edge_cut: \"unknown\""), "{text}");
+        assert!(text.contains("imbalance: 1.5"), "{text}");
+        let mesh = QuadMesh::rectangle(4, 1, 4.0, 1.0);
+        let manual = ElementPartition::from_owner(2, vec![0, 0, 0, 1]).with_edge_cut(&mesh);
+        assert_eq!(manual.edge_cut(), Some(1));
     }
 
     #[test]

@@ -9,6 +9,27 @@
 use crate::stats::CommStats;
 use parfem_trace::RankTracer;
 
+/// In-flight nonblocking neighbour exchange started by
+/// [`Communicator::start_exchange`].
+///
+/// The handle records how many receives are still pending; it must be
+/// passed back to [`Communicator::finish_exchange`] with the *same*
+/// neighbour list to complete the round. Dropping it without finishing
+/// leaves messages queued and the exchange-round accounting short, hence
+/// `#[must_use]`.
+#[must_use = "an exchange must be completed with finish_exchange"]
+#[derive(Debug)]
+pub struct ExchangeHandle {
+    pending: usize,
+}
+
+impl ExchangeHandle {
+    /// Number of receives still outstanding.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
 /// A rank's endpoint into a `P`-way communicator.
 pub trait Communicator {
     /// This rank's id in `0..size()`.
@@ -132,6 +153,70 @@ pub trait Communicator {
         }
         for (&nb, buf) in neighbors.iter().zip(out.iter_mut()) {
             self.recv_into(nb, buf);
+        }
+    }
+
+    /// Nonblocking half of [`Communicator::exchange_into`]: posts the sends
+    /// to every neighbour and returns immediately with an
+    /// [`ExchangeHandle`], *without* waiting for the matching receives. The
+    /// caller computes while the messages fly and completes the round with
+    /// [`Communicator::finish_exchange`].
+    ///
+    /// Counts as the exchange round's single `count_neighbor_exchange`
+    /// (the finish half counts nothing), so a split exchange is
+    /// indistinguishable from a blocking one in the communication
+    /// statistics.
+    ///
+    /// Under the virtual-time model this is what buys overlap: the sends
+    /// are stamped with the clock *at posting time*, so a receiver that
+    /// computes before collecting them advances to
+    /// `max(own compute, message arrival)` instead of their sum — see
+    /// [`MachineModel::overlapped_time`](crate::model::MachineModel::overlapped_time).
+    ///
+    /// # Panics
+    /// Panics if `neighbors` and `data` lengths differ.
+    fn start_exchange(&self, neighbors: &[usize], data: &[Vec<f64>]) -> ExchangeHandle {
+        assert_eq!(
+            neighbors.len(),
+            data.len(),
+            "start_exchange: neighbour/data length mismatch"
+        );
+        self.count_neighbor_exchange();
+        for (&nb, buf) in neighbors.iter().zip(data) {
+            self.send(nb, buf);
+        }
+        ExchangeHandle {
+            pending: neighbors.len(),
+        }
+    }
+
+    /// Completes an exchange started by [`Communicator::start_exchange`]:
+    /// receives one message from each neighbour, in neighbour order, into
+    /// the caller-owned buffers. `neighbors` must be the list the exchange
+    /// was started with. The modeled time this rank spends blocked on
+    /// late messages is recorded as an `exchange-wait` span when tracing.
+    ///
+    /// # Panics
+    /// Panics if the handle's pending count or `out` length disagrees with
+    /// `neighbors`.
+    fn finish_exchange(&self, handle: ExchangeHandle, neighbors: &[usize], out: &mut [Vec<f64>]) {
+        assert_eq!(
+            handle.pending,
+            neighbors.len(),
+            "finish_exchange: handle does not match neighbour list"
+        );
+        assert_eq!(
+            neighbors.len(),
+            out.len(),
+            "finish_exchange: neighbour/output length mismatch"
+        );
+        let wait_start = self.virtual_time();
+        for (&nb, buf) in neighbors.iter().zip(out.iter_mut()) {
+            self.recv_into(nb, buf);
+        }
+        if let Some(tracer) = self.tracer() {
+            tracer.span_begin("exchange-wait", wait_start);
+            tracer.span_end("exchange-wait", self.virtual_time());
         }
     }
 

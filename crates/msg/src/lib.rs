@@ -37,7 +37,7 @@ pub mod model;
 pub mod stats;
 pub mod thread;
 
-pub use comm::Communicator;
+pub use comm::{Communicator, ExchangeHandle};
 pub use model::MachineModel;
 pub use stats::CommStats;
 pub use thread::{run_ranks, run_ranks_traced, RankReport, RunOutput, ThreadComm};

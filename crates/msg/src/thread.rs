@@ -494,6 +494,49 @@ mod tests {
     }
 
     #[test]
+    fn split_exchange_overlaps_compute_with_communication() {
+        // Two symmetric ranks swap one buffer and compute `flops` of local
+        // work. Blocking order (compute, then exchange) pays the sum of the
+        // two phases; the split exchange (post sends, compute, receive)
+        // pays max(compute, comm) — the overlap credit of
+        // MachineModel::overlapped_time.
+        let model = MachineModel::ibm_sp2();
+        let flops = 1000u64; // ~17 µs compute vs ~40 µs latency
+        let bytes = 3 * std::mem::size_of::<f64>();
+        let compute = model.compute_time(flops);
+        let comm = model.message_time(bytes);
+        let blocking = run_ranks(2, model.clone(), |c| {
+            let other = 1 - c.rank();
+            c.work(flops);
+            let mut out = vec![Vec::new()];
+            c.exchange_into(&[other], &[vec![c.rank() as f64; 3]], &mut out);
+            c.virtual_time()
+        });
+        let split = run_ranks(2, model.clone(), |c| {
+            let other = 1 - c.rank();
+            let handle = c.start_exchange(&[other], &[vec![c.rank() as f64; 3]]);
+            c.work(flops);
+            let mut out = vec![Vec::new()];
+            c.finish_exchange(handle, &[other], &mut out);
+            c.virtual_time()
+        });
+        for r in 0..2 {
+            assert!((blocking.results[r] - (compute + comm)).abs() < 1e-12);
+            assert!(
+                (split.results[r] - model.overlapped_time(compute, comm)).abs() < 1e-12,
+                "split exchange must cost max(compute, comm)"
+            );
+        }
+        // Both forms count as one neighbour-exchange round and the same
+        // message traffic.
+        for (b, s) in blocking.reports.iter().zip(&split.reports) {
+            assert_eq!(b.stats.neighbor_exchanges, s.stats.neighbor_exchanges);
+            assert_eq!(b.stats.sends, s.stats.sends);
+            assert_eq!(b.stats.bytes_sent, s.stats.bytes_sent);
+        }
+    }
+
+    #[test]
     fn virtual_time_tracks_work_imbalance() {
         let out = run_ranks(2, MachineModel::ideal(), |c| {
             if c.rank() == 0 {

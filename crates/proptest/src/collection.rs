@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// A length specification for [`vec`]: an exact length or a half-open range.
+/// A length specification for [`vec()`]: an exact length or a half-open range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     start: usize,
@@ -39,7 +39,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -76,6 +76,37 @@ pub fn spmv_raw_range(
     }
 }
 
+/// `y[r] = A x` for the listed rows only, on raw CSR arrays.
+///
+/// `y` is full-length (`n_rows`); only the entries named in `rows` are
+/// written, each with exactly the [`row_dot`] reduction — so computing a
+/// partition of the rows in any number of calls is bit-identical to one
+/// full [`spmv_raw`]. This is the kernel behind the overlapped distributed
+/// matvec: interface rows are computed before the halo messages are
+/// posted, interior rows while they fly.
+///
+/// # Panics
+/// Panics if `y` does not cover all rows or an index is out of range.
+pub fn spmv_rows_indexed(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    rows: &[usize],
+) {
+    assert_eq!(
+        y.len(),
+        row_ptr.len() - 1,
+        "spmv_rows_indexed: y length mismatch"
+    );
+    for &r in rows {
+        let lo = row_ptr[r];
+        let hi = row_ptr[r + 1];
+        y[r] = row_dot(&col_idx[lo..hi], &values[lo..hi], x);
+    }
+}
+
 /// `y = A x` on raw CSR arrays (all rows).
 pub fn spmv_raw(row_ptr: &[usize], col_idx: &[usize], values: &[f64], x: &[f64], y: &mut [f64]) {
     let n_rows = row_ptr.len() - 1;
@@ -415,6 +446,25 @@ mod tests {
                 .map(|(a, y)| alpha * a + beta * y)
                 .collect();
             assert_eq!(fused, manual, "n={n}");
+        }
+    }
+
+    #[test]
+    fn indexed_row_subsets_reassemble_full_spmv_bit_for_bit() {
+        for n in [1, 5, 64, 193] {
+            let a = random_csr(n, 0xABCD + n as u64);
+            let x = random_vec(n, 17 + n as u64);
+            let (rp, ci, vals) = a.raw_parts();
+            let mut full = vec![0.0; n];
+            spmv_raw(rp, ci, vals, &x, &mut full);
+            // Split rows into an arbitrary two-way partition (every third
+            // row in one set, the rest in the other) and compute each side
+            // separately.
+            let (odd, even): (Vec<usize>, Vec<usize>) = (0..n).partition(|r| r % 3 == 0);
+            let mut split = vec![f64::NAN; n];
+            spmv_rows_indexed(rp, ci, vals, &x, &mut split, &odd);
+            spmv_rows_indexed(rp, ci, vals, &x, &mut split, &even);
+            assert_eq!(split, full, "n={n}");
         }
     }
 

@@ -123,6 +123,8 @@ pub struct SolveSummary {
     pub precond: String,
     /// Solver variant (`edd-basic`, `edd-enhanced`, `rdd`, …).
     pub variant: String,
+    /// Whether the nonblocking overlapped interface exchange was enabled.
+    pub overlap: bool,
     /// Allocation calls during the solve, when the run was instrumented
     /// with [`crate::alloc::CountingAlloc`] (absent otherwise).
     pub alloc_count: Option<u64>,
@@ -268,6 +270,7 @@ impl TraceReport {
                         modeled_time: ev.f64("modeled_time").unwrap_or(f64::NAN),
                         precond: ev.str("precond").unwrap_or("?").to_string(),
                         variant: ev.str("variant").unwrap_or("?").to_string(),
+                        overlap: ev.u64("overlap").unwrap_or(0) != 0,
                         alloc_count: ev.u64("alloc_count"),
                         alloc_bytes: ev.u64("alloc_bytes"),
                     });
@@ -476,6 +479,7 @@ mod tests {
                 ("modeled_time".into(), 0.25.into()),
                 ("precond".into(), "gls(m=3)".into()),
                 ("variant".into(), "edd-enhanced".into()),
+                ("overlap".into(), 1u64.into()),
             ],
         )];
         let report = TraceReport::from_events(&events);
@@ -484,6 +488,7 @@ mod tests {
         assert_eq!(s.iterations, 17);
         assert_eq!(s.precond, "gls(m=3)");
         assert_eq!(s.variant, "edd-enhanced");
+        assert!(s.overlap);
         // No counting allocator was advertised in the stream.
         assert_eq!(s.alloc_count, None);
         assert_eq!(s.alloc_bytes, None);

@@ -151,8 +151,9 @@ pub fn render_convergence(report: &TraceReport) -> String {
     if let Some(s) = &report.solve {
         let _ = writeln!(
             out,
-            "solve: {} precond={} {} in {} iterations ({} restarts), final rel res {:.3e}, modeled time {:.6e}s",
+            "solve: {}{} precond={} {} in {} iterations ({} restarts), final rel res {:.3e}, modeled time {:.6e}s",
             s.variant,
+            if s.overlap { " (overlapped)" } else { "" },
             s.precond,
             if s.converged { "converged" } else { "did NOT converge" },
             s.iterations,

@@ -118,6 +118,7 @@ fn table1_exchange_counts_basic_vs_enhanced_vs_rdd() {
             theta: None,
         },
         variant,
+        overlap: false,
     };
     let part = ElementPartition::strips_x(&p.mesh, 4);
     let basic = solve_edd(

@@ -147,6 +147,7 @@ fn escalating_gls_runs_distributed_and_converges() {
         },
         precond: PrecondSpec::GlsEscalating { period: 3 },
         variant: EddVariant::Enhanced,
+        overlap: false,
     };
     let cfg_fixed = SolverConfig {
         gmres: GmresConfig {
@@ -158,6 +159,7 @@ fn escalating_gls_runs_distributed_and_converges() {
             theta: None,
         },
         variant: EddVariant::Enhanced,
+        overlap: false,
     };
     let esc = solve_edd(
         &p.mesh,
@@ -196,6 +198,7 @@ fn edd_gls_equals_rdd_gls_in_iterations() {
             theta: None,
         },
         variant: EddVariant::Enhanced,
+        overlap: false,
     };
     let edd = solve_edd(
         &p.mesh,
