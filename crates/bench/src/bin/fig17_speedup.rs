@@ -28,6 +28,7 @@ fn speedups_edd(
         },
         variant: EddVariant::Enhanced,
         overlap: false,
+        ..Default::default()
     };
     let mut t1 = 0.0;
     ps.iter()
@@ -64,6 +65,7 @@ fn speedups_rdd(
         },
         variant: EddVariant::Enhanced,
         overlap: false,
+        ..Default::default()
     };
     let mut t1 = 0.0;
     ps.iter()

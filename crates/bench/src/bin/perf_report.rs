@@ -220,6 +220,7 @@ fn bench_overlap() -> Vec<OverlapLine> {
         },
         variant: EddVariant::Enhanced,
         overlap,
+        ..Default::default()
     };
     [
         ("ibm_sp2", MachineModel::ibm_sp2()),

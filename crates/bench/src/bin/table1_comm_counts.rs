@@ -23,6 +23,7 @@ fn main() {
         },
         variant,
         overlap: false,
+        ..Default::default()
     };
 
     let epart = ElementPartition::strips_x(&p.mesh, 4);

@@ -63,6 +63,7 @@ fn main() {
                     },
                     variant: EddVariant::Enhanced,
                     overlap: false,
+                    ..Default::default()
                 };
                 let out = solve_edd(
                     &prob.mesh,

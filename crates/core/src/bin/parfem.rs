@@ -47,6 +47,14 @@ solve options:
                         interior matvec (bit-identical; changes modeled time)
   --tol T               relative residual tolerance (default 1e-6)
   --restart M           GMRES restart dimension (default 25)
+  --faults SEED:P       deterministic chaos: inject drops/duplicates/delays/
+                        reorders at intensity P in [0,1], seeded by SEED
+                        (bit-reproducible; recoverable faults change only
+                        the modeled time)
+  --comm-timeout S      wall-clock watchdog per blocking wait, seconds
+                        (default 30)
+  --comm-retries N      retransmission budget per message under --faults
+                        (default 30)
   --trace FILE.jsonl    record a structured event trace to FILE
   --profile             print per-rank phase/comm tables after the solve
   --mtx-out PREFIX      write PREFIX_k.mtx / PREFIX_f.mtx / PREFIX_u.mtx
@@ -241,6 +249,22 @@ fn cmd_solve(args: &Args) -> ExitCode {
             return usage();
         }
     };
+    let faults = match args.value_of("--faults") {
+        None => None,
+        Some(spec) => match FaultPlan::from_spec(spec) {
+            Ok(plan) => {
+                let retries = args
+                    .value_of("--comm-retries")
+                    .map(|s| s.parse().unwrap_or(30))
+                    .unwrap_or(30);
+                Some(plan.with_retry_policy(retries, 1e-3, 2.0))
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        },
+    };
     let cfg = SolverConfig {
         gmres: GmresConfig {
             tol: args
@@ -257,6 +281,12 @@ fn cmd_solve(args: &Args) -> ExitCode {
         precond,
         variant,
         overlap: args.has_flag("--overlap"),
+        faults,
+        comm_timeout: std::time::Duration::from_secs_f64(
+            args.value_of("--comm-timeout")
+                .map(|s| s.parse().unwrap_or(30.0))
+                .unwrap_or(30.0),
+        ),
     };
 
     let trace_path = args.value_of("--trace");
@@ -276,8 +306,8 @@ fn cmd_solve(args: &Args) -> ExitCode {
         strategy,
         machine.name
     );
-    let out = match strategy {
-        "edd" => solve_edd_traced(
+    let result = match strategy {
+        "edd" => try_solve_edd_traced(
             &problem.mesh,
             &problem.dof_map,
             &problem.material,
@@ -287,7 +317,7 @@ fn cmd_solve(args: &Args) -> ExitCode {
             &cfg,
             &sink,
         ),
-        "rdd" => solve_rdd_traced(
+        "rdd" => try_solve_rdd_traced(
             &problem.mesh,
             &problem.dof_map,
             &problem.material,
@@ -300,6 +330,16 @@ fn cmd_solve(args: &Args) -> ExitCode {
         s => {
             eprintln!("unknown strategy {s}");
             return usage();
+        }
+    };
+    let out = match result {
+        Ok(out) => out,
+        Err(failures) => {
+            eprintln!("error: {failures}");
+            for (rank, e) in &failures.errors {
+                eprintln!("  rank {rank}: {e}");
+            }
+            return ExitCode::FAILURE;
         }
     };
 

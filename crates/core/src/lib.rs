@@ -60,13 +60,15 @@ pub mod prelude {
     pub use crate::problems::{CantileverProblem, LoadCase, PAPER_MESHES};
     pub use crate::sequential::{solve_static, solve_system, SeqPrecond};
     pub use parfem_dd::{
-        solve_dynamic_edd, solve_edd, solve_edd_traced, solve_rdd, solve_rdd_traced, DdSolveOutput,
-        DynamicRunConfig, DynamicRunOutput, EddVariant, PrecondSpec, SolverConfig,
+        solve_dynamic_edd, solve_edd, solve_edd_traced, solve_rdd, solve_rdd_traced,
+        try_solve_edd_systems_traced, try_solve_edd_traced, try_solve_rdd_traced, DdSolveOutput,
+        DynamicRunConfig, DynamicRunOutput, EddVariant, PrecondSpec, SolveError, SolveFailures,
+        SolverConfig,
     };
     pub use parfem_fem::{Material, NewmarkParams};
     pub use parfem_krylov::{ConvergenceHistory, GmresConfig};
     pub use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, QuadMesh};
-    pub use parfem_msg::{MachineModel, RankReport};
+    pub use parfem_msg::{CommError, FaultPlan, FaultStats, MachineModel, RankReport};
     pub use parfem_precond::IntervalUnion;
     pub use parfem_sparse::CsrMatrix;
     pub use parfem_trace::{TraceReport, TraceSink};

@@ -8,19 +8,25 @@
 
 use crate::dist_vec::EddLayout;
 use crate::edd::{edd_fgmres, EddVariant};
+use crate::error::SolveError;
 use crate::rdd::{rdd_fgmres, RddSystem};
 use crate::scaling::DistributedScaling;
 use parfem_fem::{Material, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::history::ConvergenceHistory;
 use parfem_mesh::{DofMap, ElementPartition, NodePartition, QuadMesh};
-use parfem_msg::{run_ranks_traced, Communicator, MachineModel, RankReport};
+use parfem_msg::{
+    try_run_ranks, Communicator, FaultPlan, FaultyComm, MachineModel, RankReport, RunOptions,
+    ThreadComm,
+};
 use parfem_precond::{
     ChebyshevPrecond, EscalatingGls, GlsPrecond, IdentityPrecond, IntervalUnion, JacobiPrecond,
     NeumannPrecond, Preconditioner,
 };
-use parfem_sparse::{scaling::scale_system, LinearOperator};
+use parfem_sparse::{scaling::scale_system, CsrMatrix, LinearOperator};
 use parfem_trace::{alloc, TraceSink, Value};
+use std::fmt;
+use std::time::Duration;
 
 /// Which preconditioner the distributed solver should build.
 #[derive(Debug, Clone)]
@@ -86,6 +92,16 @@ pub struct SolverConfig {
     /// bit-identical to the blocking schedule; the modeled virtual time
     /// credits `max(compute, comm)` instead of their sum.
     pub overlap: bool,
+    /// Deterministic fault-injection plan for the message layer. `None`
+    /// (the default) runs fault-free on the raw [`ThreadComm`]; `Some`
+    /// wraps every rank's endpoint in a [`FaultyComm`] driven by the plan,
+    /// so chaos runs reproduce bit for bit from the seed alone.
+    pub faults: Option<FaultPlan>,
+    /// Wall-clock watchdog for every blocking communicator wait (receives
+    /// and collectives). A peer that never shows up within this budget
+    /// surfaces as a typed [`parfem_msg::CommError::Timeout`] instead of a
+    /// hang.
+    pub comm_timeout: Duration,
 }
 
 impl Default for SolverConfig {
@@ -98,6 +114,8 @@ impl Default for SolverConfig {
             },
             variant: EddVariant::Enhanced,
             overlap: false,
+            faults: None,
+            comm_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -113,6 +131,48 @@ pub struct DdSolveOutput {
     pub reports: Vec<RankReport>,
     /// Modeled parallel time (max over rank clocks), in seconds.
     pub modeled_time: f64,
+}
+
+/// Everything a failed distributed solve still knows.
+///
+/// Returned by [`try_solve_edd_systems_traced`] / [`try_solve_rdd_traced`]
+/// when at least one rank hit a typed [`SolveError`]. Ranks that completed
+/// normally are not listed in `errors`; the per-rank [`RankReport`]s cover
+/// every rank up to the point its thread returned, so a post-mortem can
+/// still see who spent what before the failure.
+#[derive(Debug, Clone)]
+pub struct SolveFailures {
+    /// `(rank, error)` for every rank that failed, in rank order.
+    pub errors: Vec<(usize, SolveError)>,
+    /// Per-rank virtual time and communication statistics at teardown.
+    pub reports: Vec<RankReport>,
+    /// Modeled parallel time when the run tore down, in seconds.
+    pub modeled_time: f64,
+}
+
+impl fmt::Display for SolveFailures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (rank, first) = match self.errors.first() {
+            Some((r, e)) => (*r, e),
+            None => return write!(f, "distributed solve failed (no rank error recorded)"),
+        };
+        write!(
+            f,
+            "{} of {} ranks failed; first: rank {}: {}",
+            self.errors.len(),
+            self.reports.len(),
+            rank,
+            first
+        )
+    }
+}
+
+impl std::error::Error for SolveFailures {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.errors
+            .first()
+            .map(|(_, e)| e as &(dyn std::error::Error + 'static))
+    }
 }
 
 /// Stamps the end-of-solve summary (consumed by `parfem report` and the
@@ -279,6 +339,34 @@ pub fn solve_edd_traced(
     solve_edd_systems_traced(&systems, dm.n_dofs(), model, cfg, sink)
 }
 
+/// Fallible twin of [`solve_edd_traced`]: partitions and assembles on the
+/// host, then delegates to [`try_solve_edd_systems_traced`].
+///
+/// # Errors
+///
+/// Returns [`SolveFailures`] listing every rank whose solve failed with a
+/// typed [`SolveError`].
+#[allow(clippy::too_many_arguments)] // the fallible twin of solve_edd_traced
+pub fn try_solve_edd_traced(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+    part: &ElementPartition,
+    model: MachineModel,
+    cfg: &SolverConfig,
+    sink: &TraceSink,
+) -> Result<DdSolveOutput, SolveFailures> {
+    let subdomains = host_span(sink, "partition", || part.subdomains(mesh));
+    let systems: Vec<SubdomainSystem> = host_span(sink, "assembly", || {
+        subdomains
+            .iter()
+            .map(|s| SubdomainSystem::build(mesh, dm, material, s, loads, None))
+            .collect()
+    });
+    try_solve_edd_systems_traced(&systems, dm.n_dofs(), model, cfg, sink)
+}
+
 /// Runs the EDD pipeline (distributed scaling → preconditioner → FGMRES →
 /// gather) over *prebuilt* subdomain systems — one rank per system.
 ///
@@ -298,6 +386,12 @@ pub fn solve_edd_systems(
 /// spans, the `fgmres` span with per-iteration events, every message and
 /// collective from the communicator, and a final host-side `gather` span
 /// plus `solve_summary` instant.
+///
+/// # Panics
+///
+/// Panics if any rank returns a [`SolveError`] — use
+/// [`try_solve_edd_systems_traced`] to handle degraded communication
+/// (fault injection, killed ranks) without unwinding.
 pub fn solve_edd_systems_traced(
     systems: &[SubdomainSystem],
     n_dofs: usize,
@@ -305,48 +399,124 @@ pub fn solve_edd_systems_traced(
     cfg: &SolverConfig,
     sink: &TraceSink,
 ) -> DdSolveOutput {
+    match try_solve_edd_systems_traced(systems, n_dofs, model, cfg, sink) {
+        Ok(out) => out,
+        Err(failures) => panic!("distributed solve failed: {failures}"),
+    }
+}
+
+/// The per-rank EDD pipeline: distributed scaling, preconditioner build,
+/// and the flexible GMRES, over any [`Communicator`] — the raw
+/// [`ThreadComm`] in fault-free runs, a [`FaultyComm`] under chaos.
+fn edd_rank_body<C: Communicator>(
+    comm: &C,
+    sys: &SubdomainSystem,
+    cfg: &SolverConfig,
+) -> Result<(Vec<f64>, ConvergenceHistory), SolveError> {
+    if let Some(t) = comm.tracer() {
+        t.span_begin("scaling", comm.virtual_time());
+    }
+    let mut layout = EddLayout::from_system(sys);
+    layout.set_overlap(cfg.overlap);
+    let sc = DistributedScaling::build(comm, &layout, &sys.k_local);
+    let mut b = sys.f_local.clone();
+    let a = sc.apply(&sys.k_local, &mut b);
+    if let Some(t) = comm.tracer() {
+        t.span_end("scaling", comm.virtual_time());
+        t.span_begin("precond-build", comm.virtual_time());
+    }
+    let x0 = vec![0.0; b.len()];
+    let res = with_precond(
+        &cfg.precond,
+        || {
+            // Assembled diagonal of the scaled operator for Jacobi.
+            let mut d = a.diagonal();
+            let mut bufs = crate::dist_vec::ExchangeBuffers::new();
+            layout.interface_sum_buffered(comm, &mut d, &mut bufs);
+            d
+        },
+        |pc| {
+            if let Some(t) = comm.tracer() {
+                t.span_end("precond-build", comm.virtual_time());
+            }
+            edd_fgmres(comm, &layout, &a, pc, &b, &x0, &cfg.gmres, cfg.variant)
+        },
+    )?;
+    let mut u = res.x;
+    sc.unscale(&mut u);
+    Ok((u, res.history))
+}
+
+/// Splits the per-rank outcomes of a fallible run. A rank *panic* is a bug
+/// (not an injected fault) and propagates as a panic; typed [`SolveError`]s
+/// collect into [`SolveFailures`]; a clean run yields the per-rank values.
+fn collect_rank_results<R>(
+    results: Vec<Result<Result<R, SolveError>, parfem_msg::RankPanic>>,
+    reports: Vec<RankReport>,
+    modeled_time: f64,
+) -> Result<(Vec<R>, Vec<RankReport>, f64), SolveFailures> {
+    let mut values = Vec::with_capacity(results.len());
+    let mut errors = Vec::new();
+    for (rank, res) in results.into_iter().enumerate() {
+        match res {
+            Ok(Ok(v)) => values.push(v),
+            Ok(Err(e)) => errors.push((rank, e)),
+            Err(p) => panic!("rank panicked: {}", p.message),
+        }
+    }
+    if errors.is_empty() {
+        Ok((values, reports, modeled_time))
+    } else {
+        Err(SolveFailures {
+            errors,
+            reports,
+            modeled_time,
+        })
+    }
+}
+
+/// Fallible twin of [`solve_edd_systems_traced`]: returns
+/// [`SolveFailures`] instead of panicking when ranks hit typed errors.
+///
+/// When `cfg.faults` is set, every rank's communicator is wrapped in a
+/// [`FaultyComm`] driven by the shared [`FaultPlan`], and `cfg.comm_timeout`
+/// bounds every blocking wait, so even a killed rank tears the run down
+/// with errors on every survivor instead of a hang.
+///
+/// # Errors
+///
+/// Returns [`SolveFailures`] listing every rank whose solve failed with a
+/// typed [`SolveError`], alongside the per-rank reports and modeled time at
+/// teardown.
+pub fn try_solve_edd_systems_traced(
+    systems: &[SubdomainSystem],
+    n_dofs: usize,
+    model: MachineModel,
+    cfg: &SolverConfig,
+    sink: &TraceSink,
+) -> Result<DdSolveOutput, SolveFailures> {
     let p = systems.len();
     assert!(p > 0, "need at least one subdomain system");
     let alloc_start = alloc::stats();
-    let out = run_ranks_traced(p, model, sink, |comm| {
+    let opts = RunOptions {
+        comm_timeout: cfg.comm_timeout,
+    };
+    let out = try_run_ranks(p, model, opts, sink, |comm: &ThreadComm| {
         let sys = &systems[comm.rank()];
-        if let Some(t) = comm.tracer() {
-            t.span_begin("scaling", comm.virtual_time());
+        match &cfg.faults {
+            Some(plan) => {
+                let faulty = FaultyComm::new(comm, plan.clone());
+                edd_rank_body(&faulty, sys, cfg)
+            }
+            None => edd_rank_body(comm, sys, cfg),
         }
-        let mut layout = EddLayout::from_system(sys);
-        layout.set_overlap(cfg.overlap);
-        let sc = DistributedScaling::build(comm, &layout, &sys.k_local);
-        let mut b = sys.f_local.clone();
-        let a = sc.apply(&sys.k_local, &mut b);
-        if let Some(t) = comm.tracer() {
-            t.span_end("scaling", comm.virtual_time());
-            t.span_begin("precond-build", comm.virtual_time());
-        }
-        let x0 = vec![0.0; b.len()];
-        let res = with_precond(
-            &cfg.precond,
-            || {
-                // Assembled diagonal of the scaled operator for Jacobi.
-                let mut d = a.diagonal();
-                let mut bufs = crate::dist_vec::ExchangeBuffers::new();
-                layout.interface_sum_buffered(comm, &mut d, &mut bufs);
-                d
-            },
-            |pc| {
-                if let Some(t) = comm.tracer() {
-                    t.span_end("precond-build", comm.virtual_time());
-                }
-                edd_fgmres(comm, &layout, &a, pc, &b, &x0, &cfg.gmres, cfg.variant)
-            },
-        );
-        let mut u = res.x;
-        sc.unscale(&mut u);
-        (u, res.history)
     });
+    let (results, reports, modeled_time) =
+        collect_rank_results(out.results, out.reports, out.modeled_time)?;
 
     let mut u = vec![0.0; n_dofs];
     host_span(sink, "gather", || {
-        for (rank, (ul, _)) in out.results.iter().enumerate() {
+        for (rank, (ul, _)) in results.iter().enumerate() {
             for (l, &g) in systems[rank].global_dofs.iter().enumerate() {
                 u[g] = ul[l];
             }
@@ -354,9 +524,9 @@ pub fn solve_edd_systems_traced(
     });
     let solved = DdSolveOutput {
         u,
-        history: out.results[0].1.clone(),
-        reports: out.reports,
-        modeled_time: out.modeled_time,
+        history: results[0].1.clone(),
+        reports,
+        modeled_time,
     };
     let variant = match cfg.variant {
         EddVariant::Basic => "edd-basic",
@@ -370,7 +540,7 @@ pub fn solve_edd_systems_traced(
         &solved,
         alloc_start,
     );
-    solved
+    Ok(solved)
 }
 
 /// Solves the static system with the row-based (block-row) decomposition
@@ -403,6 +573,12 @@ pub fn solve_rdd(
 /// `assembly`/`scaling`/`gather` spans (RDD assembles and scales the global
 /// matrix up front), per-rank `precond-build` spans, the `fgmres` span with
 /// per-iteration events, and the final `solve_summary` instant.
+///
+/// # Panics
+///
+/// Panics if any rank returns a [`SolveError`] — use
+/// [`try_solve_rdd_traced`] to handle degraded communication without
+/// unwinding.
 #[allow(clippy::too_many_arguments)] // the traced twin of solve_rdd
 pub fn solve_rdd_traced(
     mesh: &QuadMesh,
@@ -414,6 +590,58 @@ pub fn solve_rdd_traced(
     cfg: &SolverConfig,
     sink: &TraceSink,
 ) -> DdSolveOutput {
+    match try_solve_rdd_traced(mesh, dm, material, loads, node_part, model, cfg, sink) {
+        Ok(out) => out,
+        Err(failures) => panic!("distributed solve failed: {failures}"),
+    }
+}
+
+/// The per-rank RDD pipeline: preconditioner build plus the block-row
+/// FGMRES, over any [`Communicator`].
+fn rdd_rank_body<C: Communicator>(
+    comm: &C,
+    sys: &RddSystem,
+    a: &CsrMatrix,
+    cfg: &SolverConfig,
+) -> Result<(Vec<f64>, ConvergenceHistory), SolveError> {
+    if let Some(t) = comm.tracer() {
+        t.span_begin("precond-build", comm.virtual_time());
+    }
+    let x0 = vec![0.0; sys.n_local()];
+    let res = with_precond(
+        &cfg.precond,
+        || sys.rows.iter().map(|&d| a.get(d, d)).collect(),
+        |pc| {
+            if let Some(t) = comm.tracer() {
+                t.span_end("precond-build", comm.virtual_time());
+            }
+            rdd_fgmres(comm, sys, pc, &x0, &cfg.gmres)
+        },
+    )?;
+    Ok((res.x, res.history))
+}
+
+/// Fallible twin of [`solve_rdd_traced`]: returns [`SolveFailures`]
+/// instead of panicking when ranks hit typed errors. `cfg.faults` and
+/// `cfg.comm_timeout` behave exactly as in
+/// [`try_solve_edd_systems_traced`].
+///
+/// # Errors
+///
+/// Returns [`SolveFailures`] listing every rank whose solve failed with a
+/// typed [`SolveError`], alongside the per-rank reports and modeled time at
+/// teardown.
+#[allow(clippy::too_many_arguments)] // the fallible twin of solve_rdd_traced
+pub fn try_solve_rdd_traced(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+    node_part: &NodePartition,
+    model: MachineModel,
+    cfg: &SolverConfig,
+    sink: &TraceSink,
+) -> Result<DdSolveOutput, SolveFailures> {
     let alloc_start = alloc::stats();
     let assembled = host_span(sink, "assembly", || {
         parfem_fem::assembly::build_static(mesh, dm, material, loads)
@@ -426,40 +654,37 @@ pub fn solve_rdd_traced(
         sys.overlap = cfg.overlap;
     }
     let p = node_part.n_parts();
+    let opts = RunOptions {
+        comm_timeout: cfg.comm_timeout,
+    };
 
-    let out = run_ranks_traced(p, model, sink, |comm| {
+    let out = try_run_ranks(p, model, opts, sink, |comm: &ThreadComm| {
         let sys = &systems[comm.rank()];
-        if let Some(t) = comm.tracer() {
-            t.span_begin("precond-build", comm.virtual_time());
+        match &cfg.faults {
+            Some(plan) => {
+                let faulty = FaultyComm::new(comm, plan.clone());
+                rdd_rank_body(&faulty, sys, &a, cfg)
+            }
+            None => rdd_rank_body(comm, sys, &a, cfg),
         }
-        let x0 = vec![0.0; sys.n_local()];
-        let res = with_precond(
-            &cfg.precond,
-            || sys.rows.iter().map(|&d| a.get(d, d)).collect(),
-            |pc| {
-                if let Some(t) = comm.tracer() {
-                    t.span_end("precond-build", comm.virtual_time());
-                }
-                rdd_fgmres(comm, sys, pc, &x0, &cfg.gmres)
-            },
-        );
-        (res.x, res.history)
     });
+    let (results, reports, modeled_time) =
+        collect_rank_results(out.results, out.reports, out.modeled_time)?;
 
     let mut x = vec![0.0; dm.n_dofs()];
     let solved = host_span(sink, "gather", || {
-        for (rank, (xl, _)) in out.results.iter().enumerate() {
+        for (rank, (xl, _)) in results.iter().enumerate() {
             systems[rank].scatter(xl, &mut x);
         }
         DdSolveOutput {
             u: sc.unscale_solution(&x),
-            history: out.results[0].1.clone(),
-            reports: out.reports,
-            modeled_time: out.modeled_time,
+            history: results[0].1.clone(),
+            reports,
+            modeled_time,
         }
     });
     emit_solve_summary(sink, "rdd", &cfg.precond, cfg.overlap, &solved, alloc_start);
-    solved
+    Ok(solved)
 }
 
 #[cfg(test)]

@@ -274,7 +274,10 @@ pub fn solve_dynamic_edd(
             // Warm start from the scaled current displacement.
             let x0: Vec<f64> = u.iter().zip(&sc.d).map(|(ui, di)| ui / di).collect();
             comm.work(n as u64);
-            let res = apply_solver(&rhs, &x0, &mut ws);
+            // The dynamic driver always runs fault-free on the raw
+            // communicator, so a typed solve error here is a bug.
+            let res =
+                apply_solver(&rhs, &x0, &mut ws).expect("fault-free dynamic solve must not error");
             total_iterations += res.history.iterations();
             all_converged &= res.history.converged();
             let mut u_new = res.x;

@@ -31,6 +31,7 @@
 //! as Table 1 claims.
 
 use crate::dist_vec::{EddLayout, ExchangeBuffers};
+use crate::error::SolveError;
 use crate::solver::{dd_fgmres, DdResult, DistributedOperator};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::KrylovWorkspace;
@@ -317,6 +318,10 @@ pub type EddResult = DdResult;
 /// Allocates a throwaway [`KrylovWorkspace`]; callers solving repeatedly
 /// should hold one and use [`edd_fgmres_with`].
 ///
+/// # Errors
+/// [`SolveError::Comm`] when the communication substrate degrades mid-solve
+/// (see [`dd_fgmres`]).
+///
 /// # Panics
 /// Panics on dimension mismatches.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's Algorithm 6 signature
@@ -329,7 +334,7 @@ pub fn edd_fgmres<'a, C, P>(
     x0: &[f64],
     cfg: &GmresConfig,
     variant: EddVariant,
-) -> EddResult
+) -> Result<EddResult, SolveError>
 where
     C: Communicator,
     P: Preconditioner<EddOperator<'a, C>> + ?Sized,
@@ -345,6 +350,10 @@ where
 /// iterations perform no heap allocation on this rank, and the iterates are
 /// bit-identical to the allocating entry point.
 ///
+/// # Errors
+/// [`SolveError::Comm`] when the communication substrate degrades mid-solve
+/// (see [`dd_fgmres`]).
+///
 /// # Panics
 /// Panics on dimension mismatches.
 #[allow(clippy::too_many_arguments)]
@@ -358,7 +367,7 @@ pub fn edd_fgmres_with<'a, C, P>(
     cfg: &GmresConfig,
     variant: EddVariant,
     ws: &mut KrylovWorkspace,
-) -> EddResult
+) -> Result<EddResult, SolveError>
 where
     C: Communicator,
     P: Preconditioner<EddOperator<'a, C>> + ?Sized,
@@ -438,7 +447,8 @@ mod tests {
             let res = match &gls {
                 Some(g) => edd_fgmres(comm, &layout, &a, g, &b, &x0, cfg, variant),
                 None => edd_fgmres(comm, &layout, &a, &IdentityPrecond, &b, &x0, cfg, variant),
-            };
+            }
+            .expect("fault-free solve must not error");
             let mut u = res.x;
             sc.unscale(&mut u);
             (u, res.history)
@@ -629,7 +639,8 @@ mod tests {
             let mut b = sys.f_local.clone();
             let a = sc.apply(&sys.k_local, &mut b);
             let x0 = vec![0.0; b.len()];
-            let res = edd_fgmres(comm, &layout, &a, &p, &b, &x0, &cfg, EddVariant::Enhanced);
+            let res = edd_fgmres(comm, &layout, &a, &p, &b, &x0, &cfg, EddVariant::Enhanced)
+                .expect("fault-free solve must not error");
             let mut u = res.x;
             sc.unscale(&mut u);
             (u, res.history.converged())

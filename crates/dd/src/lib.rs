@@ -26,6 +26,7 @@ pub mod dist_vec;
 pub mod driver;
 pub mod dynamic;
 pub mod edd;
+pub mod error;
 pub mod rdd;
 pub mod scaling;
 pub mod solver;
@@ -33,10 +34,12 @@ pub mod solver;
 pub use dist_vec::{EddLayout, ExchangeBuffers};
 pub use driver::{
     solve_edd, solve_edd_systems, solve_edd_systems_traced, solve_edd_traced, solve_rdd,
-    solve_rdd_traced, DdSolveOutput, PrecondSpec, SolverConfig,
+    solve_rdd_traced, try_solve_edd_systems_traced, try_solve_edd_traced, try_solve_rdd_traced,
+    DdSolveOutput, PrecondSpec, SolveFailures, SolverConfig,
 };
 pub use dynamic::{solve_dynamic_edd, DynamicRunConfig, DynamicRunOutput};
 pub use edd::{edd_fgmres, edd_fgmres_with, edd_lambda_max, EddOperator, EddVariant};
+pub use error::SolveError;
 pub use rdd::{rdd_fgmres, rdd_fgmres_with, RddLocalIlu, RddOperator, RddSystem};
 pub use solver::{dd_fgmres, DdResult, DistributedOperator};
 

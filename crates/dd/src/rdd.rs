@@ -18,6 +18,7 @@
 //! products are trivially deduplicated (rows are disjoint): one local dot
 //! plus an all-reduce.
 
+use crate::error::SolveError;
 use crate::solver::{dd_fgmres, DdResult, DistributedOperator};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::KrylovWorkspace;
@@ -395,6 +396,10 @@ pub type RddResult = DdResult;
 /// Allocates a throwaway [`KrylovWorkspace`]; callers solving repeatedly
 /// should hold one and use [`rdd_fgmres_with`].
 ///
+/// # Errors
+/// [`SolveError::Comm`] when the communication substrate degrades mid-solve
+/// (see [`dd_fgmres`]).
+///
 /// # Panics
 /// Panics on dimension mismatches.
 pub fn rdd_fgmres<'a, C, P>(
@@ -403,7 +408,7 @@ pub fn rdd_fgmres<'a, C, P>(
     precond: &P,
     x0: &[f64],
     cfg: &GmresConfig,
-) -> RddResult
+) -> Result<RddResult, SolveError>
 where
     C: Communicator,
     P: Preconditioner<RddOperator<'a, C>> + ?Sized,
@@ -417,6 +422,10 @@ where
 /// iterations perform no heap allocation on this rank, and the iterates are
 /// bit-identical to the allocating entry point.
 ///
+/// # Errors
+/// [`SolveError::Comm`] when the communication substrate degrades mid-solve
+/// (see [`dd_fgmres`]).
+///
 /// # Panics
 /// Panics on dimension mismatches.
 pub fn rdd_fgmres_with<'a, C, P>(
@@ -426,7 +435,7 @@ pub fn rdd_fgmres_with<'a, C, P>(
     x0: &[f64],
     cfg: &GmresConfig,
     ws: &mut KrylovWorkspace,
-) -> RddResult
+) -> Result<RddResult, SolveError>
 where
     C: Communicator,
     P: Preconditioner<RddOperator<'a, C>> + ?Sized,
@@ -534,7 +543,8 @@ mod tests {
         let gls = GlsPrecond::for_scaled_system(5);
         let out = run_ranks(4, MachineModel::ideal(), |comm| {
             let sys = &systems[comm.rank()];
-            let res = rdd_fgmres(comm, sys, &gls, &vec![0.0; sys.n_local()], &cfg);
+            let res = rdd_fgmres(comm, sys, &gls, &vec![0.0; sys.n_local()], &cfg)
+                .expect("fault-free solve must not error");
             (res.x, res.history)
         });
         let mut x = vec![0.0; a.n_rows()];
@@ -563,7 +573,8 @@ mod tests {
         };
         let out = run_ranks(2, MachineModel::ideal(), |comm| {
             let sys = &systems[comm.rank()];
-            let res = rdd_fgmres(comm, sys, &IdentityPrecond, &vec![0.0; sys.n_local()], &cfg);
+            let res = rdd_fgmres(comm, sys, &IdentityPrecond, &vec![0.0; sys.n_local()], &cfg)
+                .expect("fault-free solve must not error");
             res.history.converged()
         });
         assert!(out.results.iter().all(|&c| c));
@@ -586,7 +597,8 @@ mod tests {
                 &IdentityPrecond,
                 &vec![0.0; systems[0].n_local()],
                 &cfg,
-            );
+            )
+            .expect("fault-free solve must not error");
             (res.x, res.history.iterations())
         });
         assert_eq!(out.results[0].1, seq.history.iterations());
@@ -610,8 +622,10 @@ mod tests {
         let out = run_ranks(3, MachineModel::ideal(), |comm| {
             let sys = &systems[comm.rank()];
             let ilu = RddLocalIlu::factorize(sys).expect("clamped blocks factorize");
-            let pre = rdd_fgmres(comm, sys, &ilu, &vec![0.0; sys.n_local()], &cfg);
-            let plain = rdd_fgmres(comm, sys, &IdentityPrecond, &vec![0.0; sys.n_local()], &cfg);
+            let pre = rdd_fgmres(comm, sys, &ilu, &vec![0.0; sys.n_local()], &cfg)
+                .expect("fault-free solve must not error");
+            let plain = rdd_fgmres(comm, sys, &IdentityPrecond, &vec![0.0; sys.n_local()], &cfg)
+                .expect("fault-free solve must not error");
             (
                 pre.history.iterations(),
                 plain.history.iterations(),

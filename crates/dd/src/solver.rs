@@ -24,6 +24,7 @@
 //! golden tests in `crates/dd/tests/golden.rs` pin the pre-refactor
 //! iterates bit for bit.
 
+use crate::error::SolveError;
 use parfem_krylov::givens::Givens;
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::history::{ConvergenceHistory, StopReason};
@@ -113,6 +114,14 @@ pub struct DdResult {
 /// solves that reuse a workspace are bit-identical to solves on a fresh
 /// one.
 ///
+/// # Errors
+/// [`SolveError::Comm`] when the communication substrate degrades: the
+/// direct reductions are fallible, and the rank's latched error state
+/// ([`Communicator::status`]) is checked after every distributed
+/// matvec/preconditioner application, so an error inside an infallible
+/// exchange surfaces within the same iteration instead of corrupting the
+/// solve silently.
+///
 /// # Panics
 /// Panics on dimension mismatches or a non-positive restart length.
 pub fn dd_fgmres<Op, P>(
@@ -121,7 +130,7 @@ pub fn dd_fgmres<Op, P>(
     x0: &[f64],
     cfg: &GmresConfig,
     ws: &mut KrylovWorkspace,
-) -> DdResult
+) -> Result<DdResult, SolveError>
 where
     Op: DistributedOperator,
     P: Preconditioner<Op> + ?Sized,
@@ -139,37 +148,38 @@ where
     let mut restarts = 0usize;
     let mut total_iters = 0usize;
 
-    let global_norm = |v: &[f64]| -> f64 {
+    let global_norm = |v: &[f64]| -> Result<f64, SolveError> {
         comm.work(dot_f * n as u64);
-        comm.allreduce_sum_scalar(op.dot_partial(v, v)).sqrt()
+        Ok(comm.try_allreduce_sum_scalar(op.dot_partial(v, v))?.sqrt())
     };
 
     op.residual_into(&x, &mut ws.r);
-    let r0_norm = global_norm(&ws.r);
+    comm.status()?;
+    let r0_norm = global_norm(&ws.r)?;
     residuals.push(1.0);
     if r0_norm == 0.0 {
-        return DdResult {
+        return Ok(DdResult {
             x,
             history: ConvergenceHistory {
                 relative_residuals: residuals,
                 stop: StopReason::Converged,
                 restarts: 0,
             },
-        };
+        });
     }
     let breakdown_tol = 1e-14 * r0_norm;
 
     loop {
-        let beta = global_norm(&ws.r);
+        let beta = global_norm(&ws.r)?;
         if beta / r0_norm <= cfg.tol {
-            return DdResult {
+            return Ok(DdResult {
                 x,
                 history: ConvergenceHistory {
                     relative_residuals: residuals,
                     stop: StopReason::Converged,
                     restarts,
                 },
-            };
+            });
         }
 
         ws.rotations.clear();
@@ -210,11 +220,16 @@ where
             // Matrix-vector product (the one exchange Algorithm 6 keeps).
             op.apply_into(&ws.z[j], &mut ws.w);
 
+            // The preconditioner and matvec run over infallible (latching)
+            // exchanges; surface anything they latched before their output
+            // contaminates the Krylov basis.
+            comm.status()?;
+
             // Batched classical Gram-Schmidt reductions: all projections
             // plus ||w||^2 in ONE all-reduce, batched into `ws.reduce`.
             op.gs_dots(&ws.w, &ws.v[..(j + 1)], &mut ws.reduce);
             comm.work(dot_f * (n * (j + 2)) as u64);
-            comm.allreduce_sum_into(&mut ws.reduce[..(j + 2)]);
+            comm.try_allreduce_sum_into(&mut ws.reduce[..(j + 2)])?;
 
             let hcol = &mut ws.h[j];
             hcol[..(j + 1)].copy_from_slice(&ws.reduce[..(j + 1)]);
@@ -231,7 +246,7 @@ where
             let mut hh = ww - h_sq;
             if hh < 1e-2 * ww.max(1e-300) {
                 hh = comm
-                    .allreduce_sum_scalar(op.dot_partial(&ws.w, &ws.w))
+                    .try_allreduce_sum_scalar(op.dot_partial(&ws.w, &ws.w))?
                     .max(0.0);
                 comm.work(dot_f * n as u64);
             }
@@ -313,28 +328,29 @@ where
 
         match stop {
             Some(reason @ (StopReason::Converged | StopReason::Breakdown)) => {
-                return DdResult {
+                return Ok(DdResult {
                     x,
                     history: ConvergenceHistory {
                         relative_residuals: residuals,
                         stop: reason,
                         restarts,
                     },
-                };
+                });
             }
             Some(StopReason::MaxIterations) => {
-                return DdResult {
+                return Ok(DdResult {
                     x,
                     history: ConvergenceHistory {
                         relative_residuals: residuals,
                         stop: StopReason::MaxIterations,
                         restarts,
                     },
-                };
+                });
             }
             None => {
                 restarts += 1;
                 op.residual_into(&x, &mut ws.r);
+                comm.status()?;
             }
         }
     }

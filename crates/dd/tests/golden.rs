@@ -18,8 +18,9 @@ use parfem_dd::scaling::DistributedScaling;
 use parfem_dd::{edd_fgmres, rdd_fgmres, EddLayout, EddVariant, RddLocalIlu, RddSystem};
 use parfem_fem::{assembly, Material, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
+use parfem_krylov::ConvergenceHistory;
 use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, QuadMesh};
-use parfem_msg::{run_ranks, Communicator, MachineModel};
+use parfem_msg::{run_ranks, Communicator, FaultPlan, FaultyComm, MachineModel};
 use parfem_precond::{GlsPrecond, IdentityPrecond};
 use parfem_sparse::scaling::scale_system;
 
@@ -62,7 +63,34 @@ fn edd_digest(
     variant: EddVariant,
     cfg: &GmresConfig,
 ) -> Digest {
-    edd_digest_overlap(nx, ny, p, degree, variant, cfg, false)
+    edd_digest_overlap(nx, ny, p, degree, variant, cfg, false, None)
+}
+
+/// The per-rank EDD golden body, generic over the communicator so the same
+/// floating-point sequence runs on the raw [`run_ranks`] endpoint and under
+/// a [`FaultyComm`] chaos wrapper.
+fn edd_rank_body<C: Communicator>(
+    comm: &C,
+    sys: &SubdomainSystem,
+    gls: Option<&GlsPrecond>,
+    cfg: &GmresConfig,
+    variant: EddVariant,
+    overlap: bool,
+) -> (Vec<f64>, ConvergenceHistory) {
+    let mut layout = EddLayout::from_system(sys);
+    layout.set_overlap(overlap);
+    let sc = DistributedScaling::build(comm, &layout, &sys.k_local);
+    let mut b = sys.f_local.clone();
+    let a = sc.apply(&sys.k_local, &mut b);
+    let x0 = vec![0.0; b.len()];
+    let res = match gls {
+        Some(g) => edd_fgmres(comm, &layout, &a, g, &b, &x0, cfg, variant),
+        None => edd_fgmres(comm, &layout, &a, &IdentityPrecond, &b, &x0, cfg, variant),
+    }
+    .expect("recoverable golden run must solve");
+    let mut u = res.x;
+    sc.unscale(&mut u);
+    (u, res.history)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -74,6 +102,7 @@ fn edd_digest_overlap(
     variant: EddVariant,
     cfg: &GmresConfig,
     overlap: bool,
+    faults: Option<FaultPlan>,
 ) -> Digest {
     let mesh = QuadMesh::cantilever(nx, ny);
     let mut dm = DofMap::new(mesh.n_nodes());
@@ -90,19 +119,13 @@ fn edd_digest_overlap(
     let gls = (degree > 0).then(|| GlsPrecond::for_scaled_system(degree));
     let out = run_ranks(p, MachineModel::ideal(), |comm| {
         let sys = &systems[comm.rank()];
-        let mut layout = EddLayout::from_system(sys);
-        layout.set_overlap(overlap);
-        let sc = DistributedScaling::build(comm, &layout, &sys.k_local);
-        let mut b = sys.f_local.clone();
-        let a = sc.apply(&sys.k_local, &mut b);
-        let x0 = vec![0.0; b.len()];
-        let res = match &gls {
-            Some(g) => edd_fgmres(comm, &layout, &a, g, &b, &x0, cfg, variant),
-            None => edd_fgmres(comm, &layout, &a, &IdentityPrecond, &b, &x0, cfg, variant),
-        };
-        let mut u = res.x;
-        sc.unscale(&mut u);
-        (u, res.history)
+        match &faults {
+            Some(plan) => {
+                let faulty = FaultyComm::new(comm, plan.clone());
+                edd_rank_body(&faulty, sys, gls.as_ref(), cfg, variant, overlap)
+            }
+            None => edd_rank_body(comm, sys, gls.as_ref(), cfg, variant, overlap),
+        }
     });
     let mut xh = Fnv::new();
     for (u, _) in &out.results {
@@ -125,7 +148,29 @@ enum RddPre {
 }
 
 fn rdd_digest(nx: usize, ny: usize, p: usize, pre: RddPre, cfg: &GmresConfig) -> Digest {
-    rdd_digest_overlap(nx, ny, p, pre, cfg, false)
+    rdd_digest_overlap(nx, ny, p, pre, cfg, false, None)
+}
+
+/// The per-rank RDD golden body, generic over the communicator (see
+/// [`edd_rank_body`]).
+fn rdd_rank_body<C: Communicator>(
+    comm: &C,
+    sys: &RddSystem,
+    gls: Option<&GlsPrecond>,
+    ilu: bool,
+    cfg: &GmresConfig,
+) -> (Vec<f64>, ConvergenceHistory) {
+    let x0 = vec![0.0; sys.n_local()];
+    let res = if let Some(g) = gls {
+        rdd_fgmres(comm, sys, g, &x0, cfg)
+    } else if ilu {
+        let f = RddLocalIlu::factorize(sys).expect("factorize");
+        rdd_fgmres(comm, sys, &f, &x0, cfg)
+    } else {
+        rdd_fgmres(comm, sys, &IdentityPrecond, &x0, cfg)
+    }
+    .expect("recoverable golden run must solve");
+    (res.x, res.history)
 }
 
 fn rdd_digest_overlap(
@@ -135,6 +180,7 @@ fn rdd_digest_overlap(
     pre: RddPre,
     cfg: &GmresConfig,
     overlap: bool,
+    faults: Option<FaultPlan>,
 ) -> Digest {
     let mesh = QuadMesh::cantilever(nx, ny);
     let mut dm = DofMap::new(mesh.n_nodes());
@@ -156,16 +202,13 @@ fn rdd_digest_overlap(
     let ilu = matches!(pre, RddPre::LocalIlu);
     let out = run_ranks(p, MachineModel::ideal(), |comm| {
         let sys = &systems[comm.rank()];
-        let x0 = vec![0.0; sys.n_local()];
-        let res = if let Some(g) = &gls {
-            rdd_fgmres(comm, sys, g, &x0, cfg)
-        } else if ilu {
-            let f = RddLocalIlu::factorize(sys).expect("factorize");
-            rdd_fgmres(comm, sys, &f, &x0, cfg)
-        } else {
-            rdd_fgmres(comm, sys, &IdentityPrecond, &x0, cfg)
-        };
-        (res.x, res.history)
+        match &faults {
+            Some(plan) => {
+                let faulty = FaultyComm::new(comm, plan.clone());
+                rdd_rank_body(&faulty, sys, gls.as_ref(), ilu, cfg)
+            }
+            None => rdd_rank_body(comm, sys, gls.as_ref(), ilu, cfg),
+        }
     });
     let mut xh = Fnv::new();
     for (u, _) in &out.results {
@@ -328,7 +371,7 @@ fn edd_overlapped_matches_pre_refactor_blocking_digest() {
     // messages fly, never the arithmetic.
     check(
         "edd_enhanced_gls5_overlap",
-        edd_digest_overlap(8, 3, 4, 5, EddVariant::Enhanced, &cfg(1e-8), true),
+        edd_digest_overlap(8, 3, 4, 5, EddVariant::Enhanced, &cfg(1e-8), true, None),
         Digest {
             iterations: 13,
             restarts: 0,
@@ -338,7 +381,7 @@ fn edd_overlapped_matches_pre_refactor_blocking_digest() {
     );
     check(
         "edd_basic_gls3_overlap",
-        edd_digest_overlap(6, 2, 3, 3, EddVariant::Basic, &cfg(1e-8), true),
+        edd_digest_overlap(6, 2, 3, 3, EddVariant::Basic, &cfg(1e-8), true, None),
         Digest {
             iterations: 12,
             restarts: 0,
@@ -352,7 +395,7 @@ fn edd_overlapped_matches_pre_refactor_blocking_digest() {
 fn rdd_overlapped_matches_pre_refactor_blocking_digest() {
     check(
         "rdd_gls5_overlap",
-        rdd_digest_overlap(8, 2, 4, RddPre::Gls(5), &cfg(1e-9), true),
+        rdd_digest_overlap(8, 2, 4, RddPre::Gls(5), &cfg(1e-9), true, None),
         Digest {
             iterations: 13,
             restarts: 0,
@@ -362,7 +405,7 @@ fn rdd_overlapped_matches_pre_refactor_blocking_digest() {
     );
     check(
         "rdd_local_ilu_overlap",
-        rdd_digest_overlap(6, 2, 3, RddPre::LocalIlu, &cfg(1e-8), true),
+        rdd_digest_overlap(6, 2, 3, RddPre::LocalIlu, &cfg(1e-8), true, None),
         Digest {
             iterations: 13,
             restarts: 0,
@@ -384,4 +427,124 @@ fn rdd_local_ilu_matches_pre_refactor() {
             res_hash: 0x6d5045eb980f57ac,
         },
     );
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan golden cases: a recoverable chaos schedule must reproduce the
+// *fault-free* digests above bit for bit. Delays and duplicates perturb only
+// message timing and wire traffic; the sequence-numbered delivery layer makes
+// the payload stream — and hence every floating-point operation of the solve
+// — identical to the clean run.
+// ---------------------------------------------------------------------------
+
+/// A delay-heavy recoverable plan (80% of frames late by up to 1 ms).
+fn delay_plan() -> FaultPlan {
+    FaultPlan::new(101).with_delays(0.8, 1e-3)
+}
+
+/// A duplicate-heavy recoverable plan (60% of frames sent twice).
+fn duplicate_plan() -> FaultPlan {
+    FaultPlan::new(202).with_duplicates(0.6)
+}
+
+#[test]
+fn edd_under_delay_plan_matches_fault_free_digest() {
+    let want = || Digest {
+        iterations: 13,
+        restarts: 0,
+        x_hash: 0x7199b55dbcbc5141,
+        res_hash: 0x04b565949448c04f,
+    };
+    for overlap in [false, true] {
+        check(
+            "edd_enhanced_gls5_delayed",
+            edd_digest_overlap(
+                8,
+                3,
+                4,
+                5,
+                EddVariant::Enhanced,
+                &cfg(1e-8),
+                overlap,
+                Some(delay_plan()),
+            ),
+            want(),
+        );
+    }
+}
+
+#[test]
+fn edd_under_duplicate_plan_matches_fault_free_digest() {
+    let want = || Digest {
+        iterations: 12,
+        restarts: 0,
+        x_hash: 0x2ac0866b4c359264,
+        res_hash: 0x4dba55a5e6273932,
+    };
+    for overlap in [false, true] {
+        check(
+            "edd_basic_gls3_duplicated",
+            edd_digest_overlap(
+                6,
+                2,
+                3,
+                3,
+                EddVariant::Basic,
+                &cfg(1e-8),
+                overlap,
+                Some(duplicate_plan()),
+            ),
+            want(),
+        );
+    }
+}
+
+#[test]
+fn rdd_under_delay_plan_matches_fault_free_digest() {
+    let want = || Digest {
+        iterations: 13,
+        restarts: 0,
+        x_hash: 0x09911e4844f6b481,
+        res_hash: 0xa284689e9f354307,
+    };
+    for overlap in [false, true] {
+        check(
+            "rdd_gls5_delayed",
+            rdd_digest_overlap(
+                8,
+                2,
+                4,
+                RddPre::Gls(5),
+                &cfg(1e-9),
+                overlap,
+                Some(delay_plan()),
+            ),
+            want(),
+        );
+    }
+}
+
+#[test]
+fn rdd_under_duplicate_plan_matches_fault_free_digest() {
+    let want = || Digest {
+        iterations: 13,
+        restarts: 0,
+        x_hash: 0x47a6ca904898afdd,
+        res_hash: 0x6d5045eb980f57ac,
+    };
+    for overlap in [false, true] {
+        check(
+            "rdd_local_ilu_duplicated",
+            rdd_digest_overlap(
+                6,
+                2,
+                3,
+                RddPre::LocalIlu,
+                &cfg(1e-8),
+                overlap,
+                Some(duplicate_plan()),
+            ),
+            want(),
+        );
+    }
 }

@@ -42,6 +42,7 @@ proptest! {
             precond: PrecondSpec::Gls { degree: 5, theta: None },
             variant: EddVariant::Enhanced,
             overlap: false,
+            ..Default::default()
         };
         let out = solve_edd(&mesh, &dm, &mat, &loads,
             &ElementPartition::strips_x(&mesh, parts), MachineModel::ideal(), &cfg);
@@ -64,6 +65,7 @@ proptest! {
             precond: PrecondSpec::Gls { degree: 5, theta: None },
             variant: EddVariant::Enhanced,
             overlap: false,
+            ..Default::default()
         };
         let e = solve_edd(&mesh, &dm, &mat, &loads,
             &ElementPartition::strips_x(&mesh, parts), MachineModel::ideal(), &cfg);

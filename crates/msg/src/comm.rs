@@ -5,7 +5,24 @@
 //! Gram–Schmidt inner products, and a barrier. Implementations additionally
 //! account virtual time (see [`crate::model`]) so modeled parallel
 //! performance can be extracted from any run.
+//!
+//! # Failure model
+//!
+//! Every blocking operation has a fallible `try_*` form returning
+//! [`CommError`] — a timeout on a hung peer, an immediate error on a
+//! disconnected one, a typed give-up after a retransmission budget. The
+//! plain (infallible) forms remain for setup code and tests: on failure
+//! they **latch** the error on the endpoint (see [`Communicator::status`])
+//! and degrade to a harmless no-op instead of panicking. Errors are sticky:
+//! once latched, every subsequent fallible operation short-circuits with
+//! the same error, so a degraded rank pays its wall-clock watchdog once and
+//! then fails fast. Solver loops call `status()` at iteration boundaries to
+//! convert a latched error into a typed solve failure.
+//!
+//! Programming errors — peer index out of range, self-send, mismatched
+//! collective lengths — still panic: they are bugs, not runtime conditions.
 
+use crate::error::CommError;
 use crate::stats::CommStats;
 use parfem_trace::RankTracer;
 
@@ -38,46 +55,155 @@ pub trait Communicator {
     /// Number of ranks.
     fn size(&self) -> usize;
 
-    /// Sends `data` to rank `to` (asynchronous, unbounded buffering — the
-    /// classic MPI eager protocol, which makes paired exchanges
-    /// deadlock-free).
+    /// Fallible send with an extra virtual-latency penalty: the message is
+    /// charged `extra_delay_s` modeled seconds *on top of* the machine
+    /// model's `α + bytes/β` before it becomes visible to the receiver's
+    /// clock. This is the hook the fault layer uses to charge
+    /// retransmission backoff and injected delays to virtual time without
+    /// perturbing the sender's own clock (the eager-send semantics).
+    ///
+    /// Implementations without a virtual clock may ignore the penalty.
+    ///
+    /// # Errors
+    /// [`CommError::Disconnected`] if the peer's endpoint is gone; any
+    /// previously latched error (sticky failure).
     ///
     /// # Panics
     /// Panics if `to` is out of range or equal to this rank.
-    fn send(&self, to: usize, data: &[f64]);
+    fn try_send_delayed(
+        &self,
+        to: usize,
+        data: &[f64],
+        extra_delay_s: f64,
+    ) -> Result<(), CommError>;
+
+    /// Fallible form of [`Communicator::send`].
+    ///
+    /// # Errors
+    /// See [`Communicator::try_send_delayed`].
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or equal to this rank.
+    fn try_send(&self, to: usize, data: &[f64]) -> Result<(), CommError> {
+        self.try_send_delayed(to, data, 0.0)
+    }
+
+    /// Sends `data` to rank `to` (asynchronous, unbounded buffering — the
+    /// classic MPI eager protocol, which makes paired exchanges
+    /// deadlock-free). On communication failure the error is latched (see
+    /// [`Communicator::status`]) and the call is a no-op.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or equal to this rank.
+    fn send(&self, to: usize, data: &[f64]) {
+        if let Err(e) = self.try_send(to, data) {
+            self.post_error(e);
+        }
+    }
+
+    /// Fallible form of [`Communicator::recv`]: blocks until the next
+    /// message from `from` arrives or the wall-clock watchdog expires.
+    ///
+    /// # Errors
+    /// [`CommError::Timeout`] after the watchdog,
+    /// [`CommError::Disconnected`] if the peer's endpoint is gone, or any
+    /// previously latched error.
+    ///
+    /// # Panics
+    /// Panics if `from` is out of range or equal to this rank.
+    fn try_recv(&self, from: usize) -> Result<Vec<f64>, CommError>;
 
     /// Receives the next message from rank `from`, blocking.
     ///
-    /// Messages between a fixed pair of ranks arrive in send order.
+    /// Messages between a fixed pair of ranks arrive in send order. On
+    /// communication failure (timeout, disconnected peer) the error is
+    /// latched (see [`Communicator::status`]) and an **empty** buffer is
+    /// returned, so downstream arithmetic degrades to a no-op until the
+    /// caller checks `status()`.
     ///
     /// # Panics
-    /// Panics if `from` is out of range, equal to this rank, or the peer
-    /// disconnected.
-    fn recv(&self, from: usize) -> Vec<f64>;
+    /// Panics if `from` is out of range or equal to this rank.
+    fn recv(&self, from: usize) -> Vec<f64> {
+        match self.try_recv(from) {
+            Ok(msg) => msg,
+            Err(e) => {
+                self.post_error(e);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Fallible form of [`Communicator::recv_into`].
+    ///
+    /// # Errors
+    /// See [`Communicator::try_recv`]. On error `buf` is cleared.
+    fn try_recv_into(&self, from: usize, buf: &mut Vec<f64>) -> Result<(), CommError> {
+        buf.clear();
+        match self.try_recv(from) {
+            Ok(msg) => {
+                buf.extend_from_slice(&msg);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
 
     /// [`Communicator::recv`] into a caller-owned buffer, so a persistent
     /// buffer absorbs repeated receives without per-message allocation on
     /// the receiving side (once its capacity has grown to the message
-    /// size). `buf` is cleared and refilled; its capacity is reused.
+    /// size). `buf` is cleared and refilled; its capacity is reused. On
+    /// communication failure the error is latched and `buf` stays empty.
     fn recv_into(&self, from: usize, buf: &mut Vec<f64>) {
-        let msg = self.recv(from);
-        buf.clear();
-        buf.extend_from_slice(&msg);
+        if let Err(e) = self.try_recv_into(from, buf) {
+            self.post_error(e);
+        }
     }
 
-    /// Element-wise sum of `v` across all ranks. All ranks must call with
-    /// equal lengths; every rank receives the same result (summed in rank
-    /// order, so the outcome is deterministic).
-    fn allreduce_sum(&self, v: &[f64]) -> Vec<f64>;
+    /// Fallible in-place all-reduce: `buf` is replaced by the element-wise
+    /// sum over all ranks (summed in rank order, so the outcome is
+    /// deterministic). All ranks must call with equal lengths.
+    ///
+    /// # Errors
+    /// [`CommError::Timeout`] if some rank never reaches the collective
+    /// within the watchdog, [`CommError::Poisoned`] if a participant
+    /// panicked mid-rendezvous, or any previously latched error.
+    ///
+    /// # Panics
+    /// Panics if ranks call with mismatched lengths.
+    fn try_allreduce_sum_into(&self, buf: &mut [f64]) -> Result<(), CommError>;
+
+    /// Element-wise sum of `v` across all ranks; every rank receives the
+    /// same result. On communication failure the error is latched and `v`
+    /// is returned unchanged (the single-rank identity).
+    fn allreduce_sum(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = v.to_vec();
+        if let Err(e) = self.try_allreduce_sum_into(&mut out) {
+            self.post_error(e);
+            out.copy_from_slice(v);
+        }
+        out
+    }
+
+    /// Fallible allocating all-reduce.
+    ///
+    /// # Errors
+    /// See [`Communicator::try_allreduce_sum_into`].
+    fn try_allreduce_sum(&self, v: &[f64]) -> Result<Vec<f64>, CommError> {
+        let mut out = v.to_vec();
+        self.try_allreduce_sum_into(&mut out)?;
+        Ok(out)
+    }
 
     /// In-place variant of [`Communicator::allreduce_sum`]: `buf` is
     /// replaced by the element-wise sum over all ranks. Lets hot loops
     /// (the batched Gram–Schmidt reduction) reuse one persistent buffer
     /// instead of allocating a result vector per iteration. Counts as
-    /// exactly one all-reduce, like the allocating form.
+    /// exactly one all-reduce, like the allocating form. On failure the
+    /// error is latched and `buf` is left as it was.
     fn allreduce_sum_into(&self, buf: &mut [f64]) {
-        let sums = self.allreduce_sum(buf);
-        buf.copy_from_slice(&sums);
+        if let Err(e) = self.try_allreduce_sum_into(buf) {
+            self.post_error(e);
+        }
     }
 
     /// Scalar convenience wrapper over [`Communicator::allreduce_sum`].
@@ -85,8 +211,44 @@ pub trait Communicator {
         self.allreduce_sum(&[v])[0]
     }
 
-    /// Blocks until every rank reaches the barrier.
-    fn barrier(&self);
+    /// Fallible scalar all-reduce.
+    ///
+    /// # Errors
+    /// See [`Communicator::try_allreduce_sum_into`].
+    fn try_allreduce_sum_scalar(&self, v: f64) -> Result<f64, CommError> {
+        let mut buf = [v];
+        self.try_allreduce_sum_into(&mut buf)?;
+        Ok(buf[0])
+    }
+
+    /// Fallible form of [`Communicator::barrier`].
+    ///
+    /// # Errors
+    /// See [`Communicator::try_allreduce_sum_into`].
+    fn try_barrier(&self) -> Result<(), CommError>;
+
+    /// Blocks until every rank reaches the barrier. On failure the error is
+    /// latched and the call returns.
+    fn barrier(&self) {
+        if let Err(e) = self.try_barrier() {
+            self.post_error(e);
+        }
+    }
+
+    /// The endpoint's latched failure state: `Ok(())` while healthy, the
+    /// first observed [`CommError`] once anything failed. Solver loops call
+    /// this at iteration boundaries — the infallible operations degrade to
+    /// no-ops after a failure, so checking here converts silent degradation
+    /// into a typed error exactly once per solve.
+    ///
+    /// # Errors
+    /// The first communication failure observed by this endpoint.
+    fn status(&self) -> Result<(), CommError>;
+
+    /// Latches `err` as this endpoint's failure state (first error wins).
+    /// Called by the infallible wrappers; also available to wrappers such
+    /// as the fault layer to record out-of-band failures.
+    fn post_error(&self, err: CommError);
 
     /// Reports `flops` of local computation to the virtual clock.
     fn work(&self, flops: u64);
@@ -137,6 +299,25 @@ pub trait Communicator {
     /// # Panics
     /// Panics if `neighbors`, `data` and `out` lengths differ.
     fn exchange_into(&self, neighbors: &[usize], data: &[Vec<f64>], out: &mut [Vec<f64>]) {
+        if let Err(e) = self.try_exchange_into(neighbors, data, out) {
+            self.post_error(e);
+        }
+    }
+
+    /// Fallible form of [`Communicator::exchange_into`]: stops at the first
+    /// failing send or receive.
+    ///
+    /// # Errors
+    /// The first send/receive failure of the round.
+    ///
+    /// # Panics
+    /// Panics if `neighbors`, `data` and `out` lengths differ.
+    fn try_exchange_into(
+        &self,
+        neighbors: &[usize],
+        data: &[Vec<f64>],
+        out: &mut [Vec<f64>],
+    ) -> Result<(), CommError> {
         assert_eq!(
             neighbors.len(),
             data.len(),
@@ -149,11 +330,12 @@ pub trait Communicator {
         );
         self.count_neighbor_exchange();
         for (&nb, buf) in neighbors.iter().zip(data) {
-            self.send(nb, buf);
+            self.try_send(nb, buf)?;
         }
         for (&nb, buf) in neighbors.iter().zip(out.iter_mut()) {
-            self.recv_into(nb, buf);
+            self.try_recv_into(nb, buf)?;
         }
+        Ok(())
     }
 
     /// Nonblocking half of [`Communicator::exchange_into`]: posts the sends
@@ -173,6 +355,10 @@ pub trait Communicator {
     /// `max(own compute, message arrival)` instead of their sum — see
     /// [`MachineModel::overlapped_time`](crate::model::MachineModel::overlapped_time).
     ///
+    /// On a send failure the error is latched and the remaining sends are
+    /// skipped; the matching [`Communicator::finish_exchange`] then fails
+    /// fast on the sticky error.
+    ///
     /// # Panics
     /// Panics if `neighbors` and `data` lengths differ.
     fn start_exchange(&self, neighbors: &[usize], data: &[Vec<f64>]) -> ExchangeHandle {
@@ -183,7 +369,10 @@ pub trait Communicator {
         );
         self.count_neighbor_exchange();
         for (&nb, buf) in neighbors.iter().zip(data) {
-            self.send(nb, buf);
+            if let Err(e) = self.try_send(nb, buf) {
+                self.post_error(e);
+                break;
+            }
         }
         ExchangeHandle {
             pending: neighbors.len(),
@@ -195,6 +384,8 @@ pub trait Communicator {
     /// the caller-owned buffers. `neighbors` must be the list the exchange
     /// was started with. The modeled time this rank spends blocked on
     /// late messages is recorded as an `exchange-wait` span when tracing.
+    /// On a receive failure the error is latched and the remaining buffers
+    /// are cleared.
     ///
     /// # Panics
     /// Panics if the handle's pending count or `out` length disagrees with

@@ -1,0 +1,726 @@
+//! Deterministic fault injection for the message layer.
+//!
+//! [`FaultPlan`] is a *seeded, pure schedule* of communication faults:
+//! whether the `attempt`-th transmission of message `seq` from rank `from`
+//! to rank `to` is dropped, delayed, duplicated, or reordered is a pure
+//! hash of `(seed, from, to, seq, attempt)`. Both endpoints of a channel
+//! can therefore evaluate the *same* schedule independently — no shared
+//! mutable state, no dependence on thread interleaving — which is what
+//! makes chaos runs reproducible: same seed ⇒ same faults ⇒ same outcome,
+//! bit for bit.
+//!
+//! [`FaultyComm`] wraps any inner [`Communicator`] and implements the
+//! recovery protocol on top of the plan:
+//!
+//! - every point-to-point payload travels in a *sequence-numbered frame*
+//!   (`[seq, attempt]` header + data);
+//! - a dropped frame is retransmitted up to [`FaultPlan::max_retries`]
+//!   times, each retry charged `retry_timeout · backoff^k` **virtual**
+//!   seconds to the arrival stamp (the sender's own clock is untouched —
+//!   eager-send semantics survive);
+//! - the receiver discards frames the plan says were dropped, discards
+//!   duplicates, buffers out-of-order frames, and releases payloads in
+//!   sequence order — so the *payload stream the solver sees is identical
+//!   to the fault-free run*; only virtual time differs;
+//! - a message dropped on every attempt surfaces as
+//!   [`CommError::RetriesExhausted`] on **both** endpoints (each evaluates
+//!   the plan for itself), and a killed rank starts failing with
+//!   [`CommError::RankKilled`] after its scheduled operation count.
+//!
+//! Collectives are delegated to the inner communicator untouched: the
+//! rank-ordered summation is the determinism anchor, and a rank that dies
+//! before a collective surfaces there as a timeout/disconnect from the
+//! inner layer's watchdog.
+
+use crate::comm::Communicator;
+use crate::error::CommError;
+use crate::stats::CommStats;
+use parfem_trace::RankTracer;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+/// Number of `f64` slots prepended to every faulty-layer frame
+/// (`[seq, attempt]`).
+const HEADER: usize = 2;
+
+/// splitmix64 finalizer: a high-quality 64-bit mixer, used to turn the
+/// (seed, edge, seq, attempt) tuple into an i.i.d.-looking stream.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform deviate in `[0, 1)`.
+fn u01(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A scheduled rank kill: the deterministic stand-in for a node crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKill {
+    /// The rank to kill.
+    pub rank: usize,
+    /// Communicator operations the rank completes before dying.
+    pub after_ops: u64,
+}
+
+/// Counters of the faults a [`FaultyComm`] endpoint injected/absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames the plan dropped (and the sender retransmitted past).
+    pub drops: u64,
+    /// Retransmissions performed (attempts beyond the first).
+    pub retransmits: u64,
+    /// Duplicate frames injected by the sender.
+    pub duplicates: u64,
+    /// Messages that incurred an injected delay.
+    pub delays: u64,
+    /// Messages held back for reordering.
+    pub reorders: u64,
+    /// Stale or duplicate frames the receiver discarded.
+    pub discards: u64,
+}
+
+/// A seeded, deterministic schedule of message-layer faults.
+///
+/// All decision functions are pure in `(seed, from, to, seq, attempt)`;
+/// cloning a plan or evaluating it from another thread yields identical
+/// answers. Probabilities are per-message (drop is per-attempt), in
+/// `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; the identity of the schedule.
+    pub seed: u64,
+    /// Probability that any single transmission attempt is dropped.
+    pub drop_p: f64,
+    /// Probability that a delivered message is also duplicated.
+    pub dup_p: f64,
+    /// Probability that a message incurs an extra delivery delay.
+    pub delay_p: f64,
+    /// Probability that a message is held back behind its successor.
+    pub reorder_p: f64,
+    /// Upper bound of the injected delay (virtual seconds).
+    pub max_delay_s: f64,
+    /// Retransmissions allowed after the initial attempt.
+    pub max_retries: u32,
+    /// Virtual-time retransmission timeout for the first retry (seconds).
+    pub retry_timeout_s: f64,
+    /// Multiplicative backoff applied to successive retry timeouts.
+    pub backoff: f64,
+    /// Ranks scheduled to die, and when.
+    pub kills: Vec<RankKill>,
+    /// `(rank, slowdown)` pairs: the rank's compute costs are multiplied
+    /// by `slowdown` (≥ 1 models a straggler node).
+    pub stragglers: Vec<(usize, f64)>,
+}
+
+// Salts separating the independent decision streams.
+const S_DROP: u64 = 0x01;
+const S_DUP: u64 = 0x02;
+const S_DELAY: u64 = 0x03;
+const S_REORDER: u64 = 0x04;
+const S_DELAY_AMT: u64 = 0x05;
+
+impl FaultPlan {
+    /// The fault-free plan for `seed` (all probabilities zero). Useful as a
+    /// base for the builder methods.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            reorder_p: 0.0,
+            max_delay_s: 0.0,
+            max_retries: 4,
+            retry_timeout_s: 1e-3,
+            backoff: 2.0,
+            kills: Vec::new(),
+            stragglers: Vec::new(),
+        }
+    }
+
+    /// A mixed recoverable plan scaled by `intensity` in `[0, 1]` — the
+    /// CLI's `--faults seed:intensity` spec. Drops, duplicates, delays and
+    /// reorders all fire with probability proportional to the intensity;
+    /// the retry budget is sized so that even `intensity = 1` leaves a
+    /// vanishing chance of an undeliverable message.
+    pub fn from_seed_intensity(seed: u64, intensity: f64) -> Self {
+        let p = intensity.clamp(0.0, 1.0);
+        let mut plan = FaultPlan::new(seed);
+        plan.drop_p = 0.4 * p;
+        plan.dup_p = 0.3 * p;
+        plan.delay_p = p;
+        plan.reorder_p = 0.3 * p;
+        plan.max_delay_s = 1e-3;
+        plan.max_retries = 30;
+        plan
+    }
+
+    /// Parses a `seed:intensity` spec (e.g. `42:0.2`).
+    ///
+    /// # Errors
+    /// A human-readable message when the spec does not parse.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let (seed, intensity) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad fault spec '{spec}': expected SEED:INTENSITY"))?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("bad fault seed '{seed}': expected an integer"))?;
+        let intensity: f64 = intensity
+            .parse()
+            .map_err(|_| format!("bad fault intensity '{intensity}': expected a number"))?;
+        if !(0.0..=1.0).contains(&intensity) {
+            return Err(format!("fault intensity {intensity} outside [0, 1]"));
+        }
+        Ok(FaultPlan::from_seed_intensity(seed, intensity))
+    }
+
+    /// Sets the per-attempt drop probability.
+    pub fn with_drops(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Sets the duplicate probability.
+    pub fn with_duplicates(mut self, p: f64) -> Self {
+        self.dup_p = p;
+        self
+    }
+
+    /// Sets the delay probability and the delay upper bound.
+    pub fn with_delays(mut self, p: f64, max_delay_s: f64) -> Self {
+        self.delay_p = p;
+        self.max_delay_s = max_delay_s;
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn with_reorders(mut self, p: f64) -> Self {
+        self.reorder_p = p;
+        self
+    }
+
+    /// Schedules `rank` to die after `after_ops` communicator operations.
+    pub fn with_kill(mut self, rank: usize, after_ops: u64) -> Self {
+        self.kills.push(RankKill { rank, after_ops });
+        self
+    }
+
+    /// Multiplies `rank`'s compute costs by `slowdown` (a straggler node).
+    pub fn with_straggler(mut self, rank: usize, slowdown: f64) -> Self {
+        self.stragglers.push((rank, slowdown));
+        self
+    }
+
+    /// Sets the retransmission policy: retry budget, first-retry virtual
+    /// timeout, and multiplicative backoff.
+    pub fn with_retry_policy(
+        mut self,
+        max_retries: u32,
+        retry_timeout_s: f64,
+        backoff: f64,
+    ) -> Self {
+        self.max_retries = max_retries;
+        self.retry_timeout_s = retry_timeout_s;
+        self.backoff = backoff;
+        self
+    }
+
+    /// The decision hash for one (salt, edge, seq, attempt) tuple.
+    fn h(&self, salt: u64, from: usize, to: usize, seq: u64, attempt: u32) -> u64 {
+        mix(self.seed.wrapping_mul(0x9E6D)
+            ^ salt.wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ (from as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25)
+            ^ (to as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ seq.wrapping_mul(0x1656_67B1_9E37_79F9)
+            ^ (attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D))
+    }
+
+    /// Is transmission attempt `attempt` of message `seq` on edge
+    /// `from → to` dropped?
+    pub fn attempt_dropped(&self, from: usize, to: usize, seq: u64, attempt: u32) -> bool {
+        self.drop_p > 0.0 && u01(self.h(S_DROP, from, to, seq, attempt)) < self.drop_p
+    }
+
+    /// The first attempt of message `seq` that gets through, or `None` if
+    /// every attempt within the retry budget is dropped (the message is
+    /// undeliverable). Both endpoints evaluate this identically.
+    pub fn delivery_attempt(&self, from: usize, to: usize, seq: u64) -> Option<u32> {
+        (0..=self.max_retries).find(|&a| !self.attempt_dropped(from, to, seq, a))
+    }
+
+    /// Is the delivered copy of message `seq` duplicated in flight?
+    pub fn duplicated(&self, from: usize, to: usize, seq: u64) -> bool {
+        self.dup_p > 0.0 && u01(self.h(S_DUP, from, to, seq, 0)) < self.dup_p
+    }
+
+    /// Injected delivery delay for message `seq` (0 when the message is not
+    /// delayed), in virtual seconds.
+    pub fn extra_delay(&self, from: usize, to: usize, seq: u64) -> f64 {
+        if self.delay_p > 0.0 && u01(self.h(S_DELAY, from, to, seq, 0)) < self.delay_p {
+            u01(self.h(S_DELAY_AMT, from, to, seq, 0)) * self.max_delay_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Is message `seq` held back behind its successor on the same edge?
+    pub fn reordered(&self, from: usize, to: usize, seq: u64) -> bool {
+        self.reorder_p > 0.0 && u01(self.h(S_REORDER, from, to, seq, 0)) < self.reorder_p
+    }
+
+    /// Virtual time charged to a frame that is delivered on attempt
+    /// `attempt`: the sum of the elapsed retransmission timeouts
+    /// `Σ_{k<attempt} retry_timeout · backoff^k`.
+    pub fn retry_delay(&self, attempt: u32) -> f64 {
+        let mut t = 0.0;
+        let mut step = self.retry_timeout_s;
+        for _ in 0..attempt {
+            t += step;
+            step *= self.backoff;
+        }
+        t
+    }
+
+    /// When `rank` is scheduled to die: the operation count after which all
+    /// its communicator calls fail with [`CommError::RankKilled`].
+    pub fn kill_after(&self, rank: usize) -> Option<u64> {
+        self.kills
+            .iter()
+            .find(|k| k.rank == rank)
+            .map(|k| k.after_ops)
+    }
+
+    /// Compute-cost multiplier for `rank` (1.0 unless scheduled as a
+    /// straggler).
+    pub fn slowdown(&self, rank: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|(r, _)| *r == rank)
+            .map(|(_, s)| *s)
+            .unwrap_or(1.0)
+    }
+}
+
+/// A frame held back by the reorder fault, with its accumulated virtual
+/// delay, awaiting a flush.
+struct HeldFrame {
+    frame: Vec<f64>,
+    delay_s: f64,
+}
+
+/// A [`Communicator`] that injects the faults of a [`FaultPlan`] and
+/// recovers from the recoverable ones — see the [module docs](self) for
+/// the protocol. Wraps any inner communicator by reference; collectives
+/// and the virtual clock are the inner layer's.
+pub struct FaultyComm<'a, C: Communicator> {
+    inner: &'a C,
+    plan: FaultPlan,
+    /// Next sequence number per destination rank.
+    send_seq: RefCell<Vec<u64>>,
+    /// Next expected sequence number per source rank.
+    next_expected: RefCell<Vec<u64>>,
+    /// Out-of-order frames buffered per source rank, keyed by seq.
+    pending: RefCell<Vec<BTreeMap<u64, Vec<f64>>>>,
+    /// Frames held back for reordering, per destination rank.
+    held: RefCell<Vec<Vec<HeldFrame>>>,
+    /// Operations performed (for the kill schedule).
+    ops: Cell<u64>,
+    /// When this rank is scheduled to die.
+    kill_after: Option<u64>,
+    /// Compute-cost multiplier (straggler model).
+    slowdown: f64,
+    /// First failure observed at this layer (sticky).
+    error: RefCell<Option<CommError>>,
+    fstats: RefCell<FaultStats>,
+}
+
+impl<'a, C: Communicator> FaultyComm<'a, C> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: &'a C, plan: FaultPlan) -> Self {
+        let p = inner.size();
+        let kill_after = plan.kill_after(inner.rank());
+        let slowdown = plan.slowdown(inner.rank());
+        FaultyComm {
+            inner,
+            plan,
+            send_seq: RefCell::new(vec![0; p]),
+            next_expected: RefCell::new(vec![0; p]),
+            pending: RefCell::new(vec![BTreeMap::new(); p]),
+            held: RefCell::new((0..p).map(|_| Vec::new()).collect()),
+            ops: Cell::new(0),
+            kill_after,
+            slowdown,
+            error: RefCell::new(None),
+            fstats: RefCell::new(FaultStats::default()),
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters of faults injected/absorbed by this endpoint.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.fstats.borrow()
+    }
+
+    /// Latch `err` (first error wins) and return it.
+    fn latch(&self, err: CommError) -> CommError {
+        let mut slot = self.error.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(err.clone());
+        }
+        err
+    }
+
+    /// Sticky-error short circuit plus the kill schedule: every operation
+    /// counts toward the rank's scheduled death.
+    fn preflight(&self) -> Result<(), CommError> {
+        if let Some(e) = self.error.borrow().clone() {
+            return Err(e);
+        }
+        let ops = self.ops.get();
+        if let Some(after) = self.kill_after {
+            if ops >= after {
+                return Err(self.latch(CommError::RankKilled {
+                    rank: self.inner.rank(),
+                    after_ops: after,
+                }));
+            }
+        }
+        self.ops.set(ops + 1);
+        Ok(())
+    }
+
+    fn count(&self, name: &str, bump: impl FnOnce(&mut FaultStats)) {
+        bump(&mut self.fstats.borrow_mut());
+        if let Some(tracer) = self.inner.tracer() {
+            tracer.add_count(name, 1);
+        }
+    }
+
+    /// Sends every physical frame of message `seq` (retransmissions the
+    /// plan drops, the delivered copy, and a duplicate when scheduled).
+    fn transmit(
+        &self,
+        to: usize,
+        seq: u64,
+        payload: &[f64],
+        base_delay_s: f64,
+    ) -> Result<(), CommError> {
+        let rank = self.inner.rank();
+        let delivered = match self.plan.delivery_attempt(rank, to, seq) {
+            Some(a) => a,
+            None => {
+                return Err(self.latch(CommError::RetriesExhausted {
+                    from: rank,
+                    to,
+                    seq,
+                    attempts: self.plan.max_retries + 1,
+                }))
+            }
+        };
+        let extra = self.plan.extra_delay(rank, to, seq);
+        if extra > 0.0 {
+            self.count("fault_delays", |s| s.delays += 1);
+        }
+        let mut frame = Vec::with_capacity(HEADER + payload.len());
+        for attempt in 0..=delivered {
+            frame.clear();
+            frame.push(seq as f64);
+            frame.push(attempt as f64);
+            frame.extend_from_slice(payload);
+            let delay = base_delay_s + extra + self.plan.retry_delay(attempt);
+            if attempt > 0 {
+                self.count("fault_retransmits", |s| s.retransmits += 1);
+            }
+            if attempt < delivered {
+                self.count("fault_drops", |s| s.drops += 1);
+            }
+            if self.plan.reordered(rank, to, seq) && attempt == delivered {
+                // Hold the delivered copy back; it flushes behind the next
+                // message to this destination (or at the next blocking
+                // point, so paired exchanges cannot deadlock).
+                self.count("fault_reorders", |s| s.reorders += 1);
+                self.held.borrow_mut()[to].push(HeldFrame {
+                    frame: frame.clone(),
+                    delay_s: delay,
+                });
+            } else {
+                self.inner.try_send_delayed(to, &frame, delay)?;
+            }
+        }
+        if self.plan.duplicated(rank, to, seq) {
+            self.count("fault_duplicates", |s| s.duplicates += 1);
+            frame.clear();
+            frame.push(seq as f64);
+            frame.push(delivered as f64);
+            frame.extend_from_slice(payload);
+            self.inner
+                .try_send_delayed(to, &frame, base_delay_s + extra)?;
+        }
+        Ok(())
+    }
+
+    /// Releases frames held back for reordering toward `to`.
+    fn flush_held(&self, to: usize) -> Result<(), CommError> {
+        let frames: Vec<HeldFrame> = std::mem::take(&mut self.held.borrow_mut()[to]);
+        for hf in frames {
+            self.inner.try_send_delayed(to, &hf.frame, hf.delay_s)?;
+        }
+        Ok(())
+    }
+
+    /// Releases every held frame (before collectives, and on drop).
+    fn flush_all_held(&self) -> Result<(), CommError> {
+        for to in 0..self.inner.size() {
+            self.flush_held(to)?;
+        }
+        Ok(())
+    }
+}
+
+impl<C: Communicator> Drop for FaultyComm<'_, C> {
+    fn drop(&mut self) {
+        // A frame held for reordering must not outlive the endpoint: a
+        // peer could still be blocked waiting for it. Errors are moot here.
+        let _ = self.flush_all_held();
+    }
+}
+
+impl<C: Communicator> Communicator for FaultyComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn try_send_delayed(
+        &self,
+        to: usize,
+        data: &[f64],
+        extra_delay_s: f64,
+    ) -> Result<(), CommError> {
+        assert!(to < self.size() && to != self.rank(), "send: bad peer {to}");
+        self.preflight()?;
+        let seq = {
+            let mut seqs = self.send_seq.borrow_mut();
+            let s = seqs[to];
+            seqs[to] += 1;
+            s
+        };
+        // A newer message flushes the held (reordered) one *after* itself:
+        // that is the reordering. The receiver restores sequence order.
+        let had_held = !self.held.borrow()[to].is_empty();
+        let res = self.transmit(to, seq, data, extra_delay_s);
+        if had_held {
+            self.flush_held(to)?;
+        }
+        res
+    }
+
+    fn try_recv(&self, from: usize) -> Result<Vec<f64>, CommError> {
+        assert!(
+            from < self.size() && from != self.rank(),
+            "recv: bad peer {from}"
+        );
+        self.preflight()?;
+        // Before blocking, release *every* held frame — a peer (directly,
+        // or through a cycle of waiting ranks) could be blocked on one of
+        // them. With nothing held while waiting, the faulty layer is
+        // deadlock-free whenever the fault-free pattern is: every
+        // fault-free send has physically happened before any rank blocks.
+        self.flush_all_held()?;
+        let rank = self.inner.rank();
+        let expected = self.next_expected.borrow()[from];
+        if let Some(payload) = self.pending.borrow_mut()[from].remove(&expected) {
+            self.next_expected.borrow_mut()[from] = expected + 1;
+            return Ok(payload);
+        }
+        // Symmetric undeliverability check: if the plan drops every attempt
+        // of the message we are about to wait for, fail now — the sender
+        // reached the same verdict from its side.
+        if self.plan.delivery_attempt(from, rank, expected).is_none() {
+            return Err(self.latch(CommError::RetriesExhausted {
+                from,
+                to: rank,
+                seq: expected,
+                attempts: self.plan.max_retries + 1,
+            }));
+        }
+        loop {
+            let frame = self.inner.try_recv(from).map_err(|e| self.latch(e))?;
+            assert!(
+                frame.len() >= HEADER,
+                "faulty-layer frame shorter than its header"
+            );
+            let seq = frame[0] as u64;
+            let attempt = frame[1] as u32;
+            if self.plan.attempt_dropped(from, rank, seq, attempt) {
+                // This physical copy is one the plan dropped in flight.
+                continue;
+            }
+            if seq < expected {
+                // Stale duplicate of an already-delivered message.
+                self.count("fault_discards", |s| s.discards += 1);
+                continue;
+            }
+            if seq == expected {
+                self.next_expected.borrow_mut()[from] = expected + 1;
+                return Ok(frame[HEADER..].to_vec());
+            }
+            // Out of order: park it unless an identical copy is parked.
+            let mut pending = self.pending.borrow_mut();
+            match pending[from].entry(seq) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(frame[HEADER..].to_vec());
+                }
+                std::collections::btree_map::Entry::Occupied(_) => {
+                    self.count("fault_discards", |s| s.discards += 1);
+                }
+            }
+        }
+    }
+
+    fn try_allreduce_sum_into(&self, buf: &mut [f64]) -> Result<(), CommError> {
+        self.preflight()?;
+        self.flush_all_held()?;
+        self.inner
+            .try_allreduce_sum_into(buf)
+            .map_err(|e| self.latch(e))
+    }
+
+    fn try_barrier(&self) -> Result<(), CommError> {
+        self.preflight()?;
+        self.flush_all_held()?;
+        self.inner.try_barrier().map_err(|e| self.latch(e))
+    }
+
+    fn status(&self) -> Result<(), CommError> {
+        if let Some(e) = self.error.borrow().clone() {
+            return Err(e);
+        }
+        self.inner.status()
+    }
+
+    fn post_error(&self, err: CommError) {
+        self.latch(err);
+    }
+
+    fn work(&self, flops: u64) {
+        if self.slowdown == 1.0 {
+            self.inner.work(flops);
+        } else {
+            self.inner
+                .work((flops as f64 * self.slowdown).round() as u64);
+        }
+    }
+
+    fn virtual_time(&self) -> f64 {
+        self.inner.virtual_time()
+    }
+
+    fn stats(&self) -> CommStats {
+        self.inner.stats()
+    }
+
+    fn count_neighbor_exchange(&self) {
+        self.inner.count_neighbor_exchange();
+    }
+
+    fn tracer(&self) -> Option<&RankTracer> {
+        self.inner.tracer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_decisions_are_deterministic() {
+        let a = FaultPlan::from_seed_intensity(42, 0.5);
+        let b = FaultPlan::from_seed_intensity(42, 0.5);
+        for seq in 0..200u64 {
+            assert_eq!(a.delivery_attempt(0, 1, seq), b.delivery_attempt(0, 1, seq));
+            assert_eq!(a.duplicated(0, 1, seq), b.duplicated(0, 1, seq));
+            assert_eq!(a.extra_delay(0, 1, seq), b.extra_delay(0, 1, seq));
+            assert_eq!(a.reordered(0, 1, seq), b.reordered(0, 1, seq));
+        }
+    }
+
+    #[test]
+    fn different_edges_get_different_streams() {
+        let plan = FaultPlan::new(7).with_drops(0.5);
+        let forward: Vec<bool> = (0..64).map(|s| plan.attempt_dropped(0, 1, s, 0)).collect();
+        let backward: Vec<bool> = (0..64).map(|s| plan.attempt_dropped(1, 0, s, 0)).collect();
+        assert_ne!(forward, backward, "edge direction must matter");
+        assert!(forward.iter().any(|&d| d), "p=0.5 should drop something");
+        assert!(
+            !forward.iter().all(|&d| d),
+            "p=0.5 should deliver something"
+        );
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(3).with_drops(0.3);
+        let n = 10_000;
+        let dropped = (0..n).filter(|&s| plan.attempt_dropped(2, 5, s, 0)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn zero_probability_plan_is_transparent() {
+        let plan = FaultPlan::new(99);
+        for seq in 0..100 {
+            assert_eq!(plan.delivery_attempt(0, 1, seq), Some(0));
+            assert!(!plan.duplicated(0, 1, seq));
+            assert_eq!(plan.extra_delay(0, 1, seq), 0.0);
+            assert!(!plan.reordered(0, 1, seq));
+        }
+    }
+
+    #[test]
+    fn retry_delay_follows_exponential_backoff() {
+        let plan = FaultPlan::new(0).with_retry_policy(5, 1.0, 2.0);
+        assert_eq!(plan.retry_delay(0), 0.0);
+        assert_eq!(plan.retry_delay(1), 1.0);
+        assert_eq!(plan.retry_delay(2), 3.0);
+        assert_eq!(plan.retry_delay(3), 7.0);
+    }
+
+    #[test]
+    fn certain_drop_exhausts_retries() {
+        let plan = FaultPlan::new(1).with_drops(1.0);
+        assert_eq!(plan.delivery_attempt(0, 1, 0), None);
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let plan = FaultPlan::from_spec("42:0.25").expect("valid spec");
+        assert_eq!(plan, FaultPlan::from_seed_intensity(42, 0.25));
+        assert!(FaultPlan::from_spec("42").is_err());
+        assert!(FaultPlan::from_spec("x:0.5").is_err());
+        assert!(FaultPlan::from_spec("42:1.5").is_err());
+        assert!(FaultPlan::from_spec("42:nope").is_err());
+    }
+
+    #[test]
+    fn kill_and_straggler_lookups() {
+        let plan = FaultPlan::new(0).with_kill(2, 100).with_straggler(1, 3.0);
+        assert_eq!(plan.kill_after(2), Some(100));
+        assert_eq!(plan.kill_after(0), None);
+        assert_eq!(plan.slowdown(1), 3.0);
+        assert_eq!(plan.slowdown(0), 1.0);
+    }
+}

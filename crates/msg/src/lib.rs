@@ -23,7 +23,12 @@
 //!   reproduce the latency/bandwidth contrast the paper observes in
 //!   Fig. 17(e);
 //! - [`stats`] — per-rank communication statistics (message counts, bytes,
-//!   reductions) that regenerate the paper's Table 1 cost comparison.
+//!   reductions) that regenerate the paper's Table 1 cost comparison;
+//! - [`error`] and [`fault`] — the failure model: typed [`CommError`]s with
+//!   sticky latching and wall-clock watchdogs on every blocking wait, plus
+//!   deterministic seeded fault injection ([`FaultPlan`]/[`FaultyComm`])
+//!   with sequence-numbered retransmission, so chaos runs reproduce bit
+//!   for bit and degraded runs return errors instead of hanging.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -33,11 +38,18 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod comm;
+pub mod error;
+pub mod fault;
 pub mod model;
 pub mod stats;
 pub mod thread;
 
 pub use comm::{Communicator, ExchangeHandle};
+pub use error::CommError;
+pub use fault::{FaultPlan, FaultStats, FaultyComm, RankKill};
 pub use model::MachineModel;
 pub use stats::CommStats;
-pub use thread::{run_ranks, run_ranks_traced, RankReport, RunOutput, ThreadComm};
+pub use thread::{
+    run_ranks, run_ranks_traced, try_run_ranks, RankPanic, RankReport, RunOptions, RunOutput,
+    ThreadComm,
+};

@@ -9,10 +9,20 @@
 //!
 //! Virtual-time rules (see [`crate::model`]):
 //! - `work(f)` advances the local clock by `f / rate`;
-//! - a message is stamped `sender_clock + α + bytes/β`; the receiver's clock
-//!   becomes `max(receiver_clock, stamp)` (eager/asynchronous send);
+//! - a message is stamped `sender_clock + α + bytes/β` (plus any injected
+//!   delay, see [`crate::fault`]); the receiver's clock becomes
+//!   `max(receiver_clock, stamp)` (eager/asynchronous send);
 //! - an all-reduce synchronizes every participant to
 //!   `max(all clocks) + ⌈log₂P⌉ · stage_cost`.
+//!
+//! Failure handling: every blocking wait carries a **wall-clock watchdog**
+//! ([`RunOptions::comm_timeout`]). A rank whose peer died sees the closed
+//! channel immediately ([`CommError::Disconnected`]); a rank whose peer
+//! merely never sends gives up after the watchdog
+//! ([`CommError::Timeout`]). Errors latch on the endpoint (see
+//! [`Communicator::status`]) so a degraded rank fails fast after its first
+//! watchdog wait, and [`try_run_ranks`] converts rank panics into per-rank
+//! [`RankPanic`] values instead of aborting the whole process.
 //!
 //! Tracing: [`run_ranks_traced`] hands each rank a
 //! [`parfem_trace::RankTracer`], and every communicator operation then emits
@@ -22,12 +32,14 @@
 //! untraced path pays one `Option` branch per operation.
 
 use crate::comm::Communicator;
+use crate::error::CommError;
 use crate::model::MachineModel;
 use crate::stats::CommStats;
 use parfem_trace::{EventKind, Histogram, RankTracer, TraceSink, Value};
 use std::cell::{Cell, RefCell};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A message with its modeled arrival time.
 struct Msg {
@@ -68,12 +80,20 @@ impl CollectivePoint {
     }
 
     /// Contributes `v` at virtual time `clock`; returns the rank-ordered sum
-    /// and the max contribution clock.
-    fn allreduce(&self, rank: usize, v: &[f64], clock: f64) -> (Vec<f64>, f64) {
+    /// and the max contribution clock. A rank that waits longer than
+    /// `timeout` wall-clock seconds withdraws its contribution and returns a
+    /// timeout error, so a dead rank cannot hang the survivors.
+    fn allreduce(
+        &self,
+        rank: usize,
+        v: &[f64],
+        clock: f64,
+        timeout: Duration,
+    ) -> Result<(Vec<f64>, f64), CommError> {
         if self.size == 1 {
-            return (v.to_vec(), clock);
+            return Ok((v.to_vec(), clock));
         }
-        let mut st = self.state.lock().expect("collective mutex poisoned");
+        let mut st = self.state.lock().map_err(|_| CommError::Poisoned)?;
         let my_gen = st.generation;
         st.contributions[rank] = Some(v.to_vec());
         st.clocks[rank] = clock;
@@ -98,12 +118,30 @@ impl CollectivePoint {
             st.count = 0;
             st.generation += 1;
             self.cv.notify_all();
-            (sum, max_clock)
+            Ok((sum, max_clock))
         } else {
+            let start = Instant::now();
             while st.generation == my_gen {
-                st = self.cv.wait(st).expect("collective mutex poisoned");
+                let waited = start.elapsed();
+                if waited >= timeout {
+                    // Withdraw so a later generation is not corrupted by a
+                    // stale contribution.
+                    st.contributions[rank] = None;
+                    st.count -= 1;
+                    return Err(CommError::Timeout {
+                        op: "allreduce",
+                        rank,
+                        peer: None,
+                        waited_s: waited.as_secs_f64(),
+                    });
+                }
+                let (guard, _) = self
+                    .cv
+                    .wait_timeout(st, timeout - waited)
+                    .map_err(|_| CommError::Poisoned)?;
+                st = guard;
             }
-            (st.result.clone(), st.result_clock)
+            Ok((st.result.clone(), st.result_clock))
         }
     }
 }
@@ -120,10 +158,33 @@ pub struct ThreadComm {
     collective: Arc<CollectivePoint>,
     clock: Cell<f64>,
     stats: RefCell<CommStats>,
+    /// Wall-clock watchdog for blocking waits.
+    timeout: Duration,
+    /// First communication failure observed by this endpoint (sticky).
+    error: RefCell<Option<CommError>>,
     /// Present only under a recording sink; every comm op then emits an
     /// event and sends feed the message-size histogram.
     tracer: Option<RankTracer>,
     msg_bytes: RefCell<Histogram>,
+}
+
+impl ThreadComm {
+    /// Short-circuit with the latched error, if any.
+    fn check(&self) -> Result<(), CommError> {
+        match &*self.error.borrow() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Latch `err` (first error wins) and return it.
+    fn latch(&self, err: CommError) -> CommError {
+        let mut slot = self.error.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(err.clone());
+        }
+        err
+    }
 }
 
 impl Communicator for ThreadComm {
@@ -135,10 +196,29 @@ impl Communicator for ThreadComm {
         self.size
     }
 
-    fn send(&self, to: usize, data: &[f64]) {
+    fn try_send_delayed(
+        &self,
+        to: usize,
+        data: &[f64],
+        extra_delay_s: f64,
+    ) -> Result<(), CommError> {
         assert!(to < self.size && to != self.rank, "send: bad peer {to}");
+        self.check()?;
         let bytes = std::mem::size_of_val(data);
-        let arrival = self.clock.get() + self.model.message_time(bytes);
+        let arrival = self.clock.get() + self.model.message_time(bytes) + extra_delay_s;
+        let sent = self.senders[to]
+            .as_ref()
+            .expect("sender exists for peers")
+            .send(Msg {
+                data: data.to_vec(),
+                arrival,
+            });
+        if sent.is_err() {
+            return Err(self.latch(CommError::Disconnected {
+                rank: self.rank,
+                peer: to,
+            }));
+        }
         let mut st = self.stats.borrow_mut();
         st.sends += 1;
         st.bytes_sent += bytes as u64;
@@ -155,26 +235,36 @@ impl Communicator for ThreadComm {
             );
             self.msg_bytes.borrow_mut().record(bytes as u64);
         }
-        self.senders[to]
-            .as_ref()
-            .expect("sender exists for peers")
-            .send(Msg {
-                data: data.to_vec(),
-                arrival,
-            })
-            .expect("peer hung up");
+        Ok(())
     }
 
-    fn recv(&self, from: usize) -> Vec<f64> {
+    fn try_recv(&self, from: usize) -> Result<Vec<f64>, CommError> {
         assert!(
             from < self.size && from != self.rank,
             "recv: bad peer {from}"
         );
+        self.check()?;
         let msg = self.receivers[from]
             .as_ref()
             .expect("receiver exists for peers")
-            .recv()
-            .expect("peer hung up");
+            .recv_timeout(self.timeout);
+        let msg = match msg {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(self.latch(CommError::Timeout {
+                    op: "recv",
+                    rank: self.rank,
+                    peer: Some(from),
+                    waited_s: self.timeout.as_secs_f64(),
+                }))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(self.latch(CommError::Disconnected {
+                    rank: self.rank,
+                    peer: from,
+                }))
+            }
+        };
         self.clock.set(self.clock.get().max(msg.arrival));
         let bytes = std::mem::size_of_val(&msg.data[..]);
         let mut st = self.stats.borrow_mut();
@@ -192,19 +282,23 @@ impl Communicator for ThreadComm {
                 ],
             );
         }
-        msg.data
+        Ok(msg.data)
     }
 
-    fn allreduce_sum(&self, v: &[f64]) -> Vec<f64> {
-        let bytes = std::mem::size_of_val(v);
-        {
-            let mut st = self.stats.borrow_mut();
-            st.allreduces += 1;
-            st.allreduce_bytes += bytes as u64;
-        }
-        let (sum, max_clock) = self.collective.allreduce(self.rank, v, self.clock.get());
+    fn try_allreduce_sum_into(&self, buf: &mut [f64]) -> Result<(), CommError> {
+        self.check()?;
+        let bytes = std::mem::size_of_val(&buf[..]);
+        let (sum, max_clock) = self
+            .collective
+            .allreduce(self.rank, buf, self.clock.get(), self.timeout)
+            .map_err(|e| self.latch(e))?;
+        buf.copy_from_slice(&sum);
         self.clock
             .set(max_clock + self.model.allreduce_time(self.size, bytes));
+        let mut st = self.stats.borrow_mut();
+        st.allreduces += 1;
+        st.allreduce_bytes += bytes as u64;
+        drop(st);
         if let Some(tracer) = &self.tracer {
             tracer.emit(
                 EventKind::Allreduce,
@@ -213,17 +307,30 @@ impl Communicator for ThreadComm {
                 vec![("bytes".to_string(), Value::U64(bytes as u64))],
             );
         }
-        sum
+        Ok(())
     }
 
-    fn barrier(&self) {
-        self.stats.borrow_mut().barriers += 1;
-        let (_, max_clock) = self.collective.allreduce(self.rank, &[], self.clock.get());
+    fn try_barrier(&self) -> Result<(), CommError> {
+        self.check()?;
+        let (_, max_clock) = self
+            .collective
+            .allreduce(self.rank, &[], self.clock.get(), self.timeout)
+            .map_err(|e| self.latch(e))?;
         self.clock
             .set(max_clock + self.model.allreduce_time(self.size, 0));
+        self.stats.borrow_mut().barriers += 1;
         if let Some(tracer) = &self.tracer {
             tracer.emit(EventKind::Barrier, "", self.clock.get(), Vec::new());
         }
+        Ok(())
+    }
+
+    fn status(&self) -> Result<(), CommError> {
+        self.check()
+    }
+
+    fn post_error(&self, err: CommError) {
+        self.latch(err);
     }
 
     fn work(&self, flops: u64) {
@@ -274,6 +381,48 @@ pub struct RunOutput<R> {
     pub modeled_time: f64,
 }
 
+/// A rank's closure panicked during a [`try_run_ranks`] run.
+///
+/// The panic is caught on the rank's own thread; the rank's report (and its
+/// `rank_end` trace event) are still produced, and surviving ranks see the
+/// dead rank's closed channels as [`CommError::Disconnected`] instead of
+/// hanging.
+#[derive(Debug, Clone)]
+pub struct RankPanic {
+    /// The rank that panicked.
+    pub rank: usize,
+    /// The panic payload, rendered as a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for RankPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankPanic {}
+
+/// Knobs for a parallel run's failure handling.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Wall-clock watchdog for every blocking communicator wait (receives
+    /// and collective rendezvous). A rank that waits longer surfaces
+    /// [`CommError::Timeout`] instead of hanging forever. This is *real*
+    /// time, unrelated to the virtual clock.
+    pub comm_timeout: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            // Generous enough that a healthy run never trips it, short
+            // enough that CI watchdogs see a typed error, not a hang.
+            comm_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
 /// Runs `f` on `p` ranks over OS threads and collects results and reports.
 ///
 /// `f` receives each rank's [`ThreadComm`]; ranks communicate only through
@@ -291,7 +440,8 @@ pub struct RunOutput<R> {
 /// ```
 ///
 /// # Panics
-/// Panics if `p == 0` or if any rank panics.
+/// Panics if `p == 0` or if any rank panics (use [`try_run_ranks`] to get
+/// per-rank results instead).
 pub fn run_ranks<F, R>(p: usize, model: MachineModel, f: F) -> RunOutput<R>
 where
     F: Fn(&ThreadComm) -> R + Send + Sync,
@@ -310,8 +460,49 @@ where
 /// histogram. With [`TraceSink::disabled`] this is exactly [`run_ranks`].
 ///
 /// # Panics
-/// Panics if `p == 0` or if any rank panics.
+/// Panics if `p == 0` or if any rank panics (use [`try_run_ranks`] to get
+/// per-rank results instead).
 pub fn run_ranks_traced<F, R>(p: usize, model: MachineModel, sink: &TraceSink, f: F) -> RunOutput<R>
+where
+    F: Fn(&ThreadComm) -> R + Send + Sync,
+    R: Send,
+{
+    let out = try_run_ranks(p, model, RunOptions::default(), sink, f);
+    let results = out
+        .results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(e) => panic!("rank panicked: {}", e.message),
+        })
+        .collect();
+    RunOutput {
+        results,
+        reports: out.reports,
+        modeled_time: out.modeled_time,
+    }
+}
+
+/// Fault-tolerant [`run_ranks_traced`]: rank panics become per-rank
+/// [`RankPanic`] values instead of aborting the run.
+///
+/// Each rank's closure runs under `catch_unwind`; a panicking rank still
+/// produces its [`RankReport`] (and `rank_end` trace event), and its
+/// dropped channel endpoints make every surviving peer's next receive fail
+/// fast with [`CommError::Disconnected`] rather than hang. Combined with
+/// the wall-clock watchdog in [`RunOptions::comm_timeout`], a run with any
+/// mixture of dead, killed, and healthy ranks always terminates: every
+/// thread is joined before this function returns — no orphans.
+///
+/// # Panics
+/// Panics if `p == 0`.
+pub fn try_run_ranks<F, R>(
+    p: usize,
+    model: MachineModel,
+    opts: RunOptions,
+    sink: &TraceSink,
+    f: F,
+) -> RunOutput<Result<R, RankPanic>>
 where
     F: Fn(&ThreadComm) -> R + Send + Sync,
     R: Send,
@@ -353,18 +544,21 @@ where
             collective: Arc::clone(&collective),
             clock: Cell::new(0.0),
             stats: RefCell::new(CommStats::default()),
+            timeout: opts.comm_timeout,
+            error: RefCell::new(None),
             tracer: sink.tracer(Some(rank)),
             msg_bytes: RefCell::new(Histogram::new()),
         });
     }
 
     let f = &f;
-    let outputs: Vec<(R, RankReport)> = std::thread::scope(|scope| {
+    let outputs: Vec<(Result<R, RankPanic>, RankReport)> = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|comm| {
                 scope.spawn(move || {
-                    let result = f(&comm);
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&comm)));
                     let report = RankReport {
                         rank: comm.rank(),
                         virtual_time: comm.virtual_time(),
@@ -378,15 +572,21 @@ where
                         fields.extend(comm.msg_bytes.borrow().to_fields());
                         tracer.emit(EventKind::RankEnd, "", report.virtual_time, fields);
                     }
+                    let result = result.map_err(|payload| RankPanic {
+                        rank: report.rank,
+                        message: panic_message(payload.as_ref()),
+                    });
                     // Dropping `comm` drops its tracer, flushing this rank's
-                    // buffered events into the sink in one lock acquisition.
+                    // buffered events into the sink in one lock acquisition
+                    // — and closes its channels, so peers of a dead rank
+                    // fail fast instead of waiting out the watchdog.
                     (result, report)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
+            .map(|h| h.join().expect("rank thread could not be joined"))
             .collect()
     });
 
@@ -404,6 +604,18 @@ where
         results,
         reports,
         modeled_time,
+    }
+}
+
+/// Renders a caught panic payload as a string (the common `&str` / `String`
+/// payloads verbatim, anything else as a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -585,6 +797,21 @@ mod tests {
     }
 
     #[test]
+    fn delayed_send_charges_only_the_receiver() {
+        let out = run_ranks(2, MachineModel::ideal(), |c| {
+            if c.rank() == 0 {
+                c.try_send_delayed(1, &[1.0], 2.5).expect("send");
+                c.virtual_time()
+            } else {
+                c.recv(0);
+                c.virtual_time()
+            }
+        });
+        assert_eq!(out.results[0], 0.0, "sender clock untouched (eager send)");
+        assert!((out.results[1] - 2.5).abs() < 1e-12, "receiver pays delay");
+    }
+
+    #[test]
     fn barrier_joins_all_ranks() {
         let out = run_ranks(3, MachineModel::ideal(), |c| {
             if c.rank() == 2 {
@@ -687,8 +914,160 @@ mod tests {
         run_ranks(2, MachineModel::ideal(), |c| {
             if c.rank() == 0 {
                 c.send(0, &[1.0]);
+            } else {
+                // Keep rank 1 from waiting on the dead rank.
             }
         });
+    }
+
+    #[test]
+    fn try_run_captures_panics_per_rank() {
+        let out = try_run_ranks(
+            2,
+            MachineModel::ideal(),
+            RunOptions::default(),
+            &TraceSink::disabled(),
+            |c| {
+                if c.rank() == 0 {
+                    panic!("deliberate failure on rank 0");
+                }
+                c.rank()
+            },
+        );
+        let err = out.results[0].as_ref().expect_err("rank 0 panicked");
+        assert_eq!(err.rank, 0);
+        assert!(err.message.contains("deliberate failure"));
+        assert_eq!(*out.results[1].as_ref().expect("rank 1 survives"), 1);
+        assert_eq!(out.reports.len(), 2);
+    }
+
+    #[test]
+    fn dead_peer_surfaces_as_disconnected_not_hang() {
+        let opts = RunOptions {
+            comm_timeout: Duration::from_secs(5),
+        };
+        let start = Instant::now();
+        let out = try_run_ranks(
+            2,
+            MachineModel::ideal(),
+            opts,
+            &TraceSink::disabled(),
+            |c| {
+                if c.rank() == 0 {
+                    // Return immediately: rank 1's recv sees closed channels.
+                    Ok(())
+                } else {
+                    c.try_recv(0).map(|_| ())
+                }
+            },
+        );
+        assert!(out.results[0].as_ref().expect("no panic").is_ok());
+        let r1 = out.results[1].as_ref().expect("no panic");
+        assert_eq!(
+            *r1,
+            Err(CommError::Disconnected { rank: 1, peer: 0 }),
+            "{r1:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "disconnect must beat the watchdog"
+        );
+    }
+
+    #[test]
+    fn recv_timeout_fires_and_latches() {
+        let opts = RunOptions {
+            comm_timeout: Duration::from_millis(50),
+        };
+        let out = try_run_ranks(
+            2,
+            MachineModel::ideal(),
+            opts,
+            &TraceSink::disabled(),
+            |c| {
+                if c.rank() == 1 {
+                    // Rank 0 never sends: the watchdog fires. The error
+                    // latches, so the next operation fails instantly.
+                    let first = c.try_recv(0);
+                    let second_started = Instant::now();
+                    let second = c.try_recv(0);
+                    assert_eq!(first, second, "sticky error repeats");
+                    assert!(
+                        second_started.elapsed() < Duration::from_millis(40),
+                        "latched error must short-circuit"
+                    );
+                    assert!(c.status().is_err());
+                    matches!(first, Err(CommError::Timeout { op: "recv", .. }))
+                } else {
+                    // Keep rank 0 alive past rank 1's first watchdog window
+                    // so the closed-channel (Disconnected) path cannot win.
+                    std::thread::sleep(Duration::from_millis(80));
+                    true
+                }
+            },
+        );
+        assert!(out.results.iter().all(|r| *r.as_ref().expect("no panic")));
+    }
+
+    #[test]
+    fn allreduce_timeout_does_not_hang_survivors() {
+        let opts = RunOptions {
+            comm_timeout: Duration::from_millis(50),
+        };
+        let start = Instant::now();
+        let out = try_run_ranks(
+            3,
+            MachineModel::ideal(),
+            opts,
+            &TraceSink::disabled(),
+            |c| {
+                if c.rank() == 0 {
+                    // Never joins the collective.
+                    Ok(0.0)
+                } else {
+                    c.try_allreduce_sum_scalar(1.0)
+                }
+            },
+        );
+        for r in 1..3 {
+            let res = out.results[r].as_ref().expect("no panic");
+            assert!(
+                matches!(
+                    res,
+                    Err(CommError::Timeout {
+                        op: "allreduce",
+                        ..
+                    })
+                ),
+                "rank {r}: {res:?}"
+            );
+        }
+        assert!(start.elapsed() < Duration::from_secs(10), "no hang");
+    }
+
+    #[test]
+    fn infallible_ops_latch_and_degrade() {
+        let out = try_run_ranks(
+            2,
+            MachineModel::ideal(),
+            RunOptions {
+                comm_timeout: Duration::from_millis(50),
+            },
+            &TraceSink::disabled(),
+            |c| {
+                if c.rank() == 0 {
+                    return (true, true);
+                }
+                // Infallible recv from a dead peer: empty buffer, latched
+                // error, and subsequent allreduce degrades to identity.
+                let got = c.recv(0);
+                let sum = c.allreduce_sum(&[41.0]);
+                (got.is_empty() && sum == vec![41.0], c.status().is_err())
+            },
+        );
+        let (degraded, latched) = out.results[1].as_ref().expect("no panic");
+        assert!(degraded, "degraded returns are identity-shaped");
+        assert!(latched, "error latched for the solver to pick up");
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Chaos tests for the message layer: deterministic fault injection under
+//! real multi-threaded runs.
+//!
+//! The invariants pinned here are the foundation the solver-level chaos
+//! suite builds on:
+//! - recoverable fault schedules (drops + retries, duplicates, delays,
+//!   reorders) leave the **payload stream bit-identical** to the fault-free
+//!   run — only virtual time changes;
+//! - unrecoverable schedules (killed ranks, undeliverable messages) return
+//!   typed [`CommError`]s on every affected rank within the wall-clock
+//!   watchdog — no hangs, no orphaned threads.
+
+use parfem_msg::{
+    try_run_ranks, CommError, Communicator, FaultPlan, FaultyComm, MachineModel, RunOptions,
+    ThreadComm,
+};
+use parfem_trace::TraceSink;
+use std::time::{Duration, Instant};
+
+/// A communication-heavy workload: `rounds` of ring exchanges plus an
+/// all-reduce per round. Returns every payload this rank received, plus the
+/// reduction results — the full numerical transcript of the run.
+fn ring_workload(comm: &dyn Communicator, rounds: usize) -> Result<Vec<f64>, CommError> {
+    let p = comm.size();
+    let rank = comm.rank();
+    let next = (rank + 1) % p;
+    let prev = (rank + p - 1) % p;
+    let mut transcript = Vec::new();
+    for round in 0..rounds {
+        let payload = vec![rank as f64 + round as f64 * 0.25, round as f64];
+        comm.try_send(next, &payload)?;
+        let got = comm.try_recv(prev)?;
+        transcript.extend_from_slice(&got);
+        let sum = comm.try_allreduce_sum_scalar(got[0])?;
+        transcript.push(sum);
+    }
+    Ok(transcript)
+}
+
+fn run_with_plan(
+    p: usize,
+    rounds: usize,
+    plan: Option<FaultPlan>,
+) -> (Vec<Result<Vec<f64>, CommError>>, f64) {
+    let opts = RunOptions {
+        comm_timeout: Duration::from_secs(10),
+    };
+    let out = try_run_ranks(
+        p,
+        MachineModel::ibm_sp2(),
+        opts,
+        &TraceSink::disabled(),
+        |comm: &ThreadComm| match &plan {
+            Some(plan) => {
+                let faulty = FaultyComm::new(comm, plan.clone());
+                ring_workload(&faulty, rounds)
+            }
+            None => ring_workload(comm, rounds),
+        },
+    );
+    let results = out
+        .results
+        .into_iter()
+        .map(|r| r.expect("no rank panicked"))
+        .collect();
+    (results, out.modeled_time)
+}
+
+#[test]
+fn drop_with_retries_is_bit_identical_to_fault_free() {
+    let (clean, clean_time) = run_with_plan(4, 20, None);
+    for seed in [1u64, 42, 2026] {
+        let plan = FaultPlan::new(seed)
+            .with_drops(0.4)
+            .with_retry_policy(30, 1e-3, 2.0);
+        let (faulty, faulty_time) = run_with_plan(4, 20, Some(plan));
+        for (rank, (c, f)) in clean.iter().zip(&faulty).enumerate() {
+            let c = c.as_ref().expect("clean run succeeds");
+            let f = f.as_ref().expect("recoverable faults must recover");
+            assert_eq!(
+                c, f,
+                "seed {seed}, rank {rank}: payloads must match bit for bit"
+            );
+        }
+        assert!(
+            faulty_time >= clean_time,
+            "retransmission can only add virtual time"
+        );
+    }
+}
+
+#[test]
+fn duplicates_delays_and_reorders_are_absorbed() {
+    let (clean, _) = run_with_plan(4, 20, None);
+    let plan = FaultPlan::new(7)
+        .with_duplicates(0.5)
+        .with_delays(0.5, 1e-3)
+        .with_reorders(0.5);
+    let (faulty, _) = run_with_plan(4, 20, Some(plan));
+    for (c, f) in clean.iter().zip(&faulty) {
+        assert_eq!(
+            c.as_ref().expect("clean"),
+            f.as_ref().expect("recoverable"),
+            "dup/delay/reorder must be invisible in the payload stream"
+        );
+    }
+}
+
+#[test]
+fn mixed_intensity_plan_recovers_across_seeds() {
+    let (clean, _) = run_with_plan(3, 15, None);
+    for seed in 0..5u64 {
+        let plan = FaultPlan::from_seed_intensity(seed, 0.5);
+        let (faulty, _) = run_with_plan(3, 15, Some(plan));
+        for (c, f) in clean.iter().zip(&faulty) {
+            assert_eq!(c.as_ref().unwrap(), f.as_ref().unwrap(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_same_faulted_run() {
+    let plan = FaultPlan::from_seed_intensity(1234, 0.6);
+    let (a, ta) = run_with_plan(4, 10, Some(plan.clone()));
+    let (b, tb) = run_with_plan(4, 10, Some(plan));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.as_ref().unwrap(), y.as_ref().unwrap());
+    }
+    assert_eq!(ta, tb, "virtual time is part of the reproducible outcome");
+}
+
+#[test]
+fn injected_delay_shows_up_in_virtual_time() {
+    let (_, clean_time) = run_with_plan(2, 10, None);
+    let plan = FaultPlan::new(5).with_delays(1.0, 0.5);
+    let (_, slow_time) = run_with_plan(2, 10, Some(plan));
+    assert!(
+        slow_time > clean_time + 0.4,
+        "a certain 0..0.5s delay per message must slow the modeled run \
+         (clean {clean_time}, faulted {slow_time})"
+    );
+}
+
+#[test]
+fn straggler_rank_stretches_modeled_time() {
+    let workload = |comm: &dyn Communicator| -> Result<f64, CommError> {
+        comm.work(1_000_000);
+        comm.try_barrier()?;
+        Ok(comm.virtual_time())
+    };
+    let base = try_run_ranks(
+        2,
+        MachineModel::ideal(),
+        RunOptions::default(),
+        &TraceSink::disabled(),
+        |c: &ThreadComm| workload(c),
+    );
+    let straggling = try_run_ranks(
+        2,
+        MachineModel::ideal(),
+        RunOptions::default(),
+        &TraceSink::disabled(),
+        |c: &ThreadComm| {
+            let faulty = FaultyComm::new(c, FaultPlan::new(0).with_straggler(1, 4.0));
+            workload(&faulty)
+        },
+    );
+    let t_base = base.modeled_time;
+    let t_slow = straggling.modeled_time;
+    assert!(
+        (t_slow / t_base - 4.0).abs() < 1e-9,
+        "4x straggler must dominate the barrier: {t_base} vs {t_slow}"
+    );
+}
+
+#[test]
+fn killed_rank_errors_everywhere_within_budget() {
+    let watchdog = Duration::from_millis(200);
+    let start = Instant::now();
+    let out = try_run_ranks(
+        4,
+        MachineModel::ibm_sp2(),
+        RunOptions {
+            comm_timeout: watchdog,
+        },
+        &TraceSink::disabled(),
+        |comm: &ThreadComm| {
+            // Rank 2 dies after 5 communicator operations.
+            let faulty = FaultyComm::new(comm, FaultPlan::new(0).with_kill(2, 5));
+            ring_workload(&faulty, 20)
+        },
+    );
+    let elapsed = start.elapsed();
+    for (rank, res) in out.results.iter().enumerate() {
+        let res = res.as_ref().expect("no rank panicked");
+        let err = res.as_ref().expect_err("every rank must observe the kill");
+        match (rank, err) {
+            (
+                2,
+                CommError::RankKilled {
+                    rank: 2,
+                    after_ops: 5,
+                },
+            ) => {}
+            (2, other) => panic!("rank 2 must die by schedule, got {other:?}"),
+            (_, CommError::RankKilled { .. }) => {
+                panic!("surviving rank {rank} reported itself killed")
+            }
+            // Survivors see the death as a disconnect (fast path) or as a
+            // watchdog timeout on a collective the dead rank never joins.
+            (_, CommError::Disconnected { .. } | CommError::Timeout { .. }) => {}
+            (_, other) => panic!("rank {rank}: unexpected error {other:?}"),
+        }
+    }
+    // Every rank errors within a few watchdog periods; nothing hangs. The
+    // bound is loose (threads, scheduling) but orders below a hang.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "killed-rank run took {elapsed:?}"
+    );
+}
+
+#[test]
+fn undeliverable_message_errors_on_both_endpoints() {
+    // drop_p = 1 with a tiny retry budget: the first ring message is
+    // undeliverable; the sender and the receiver must independently reach
+    // the same typed verdict, with no watchdog wait on the receive side.
+    let out = try_run_ranks(
+        2,
+        MachineModel::ideal(),
+        RunOptions {
+            comm_timeout: Duration::from_secs(5),
+        },
+        &TraceSink::disabled(),
+        |comm: &ThreadComm| {
+            let faulty = FaultyComm::new(
+                comm,
+                FaultPlan::new(3)
+                    .with_drops(1.0)
+                    .with_retry_policy(2, 1e-3, 2.0),
+            );
+            ring_workload(&faulty, 1)
+        },
+    );
+    for (rank, res) in out.results.iter().enumerate() {
+        let err = res
+            .as_ref()
+            .expect("no panic")
+            .as_ref()
+            .expect_err("undeliverable message must surface");
+        assert!(
+            matches!(err, CommError::RetriesExhausted { attempts: 3, .. }),
+            "rank {rank}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn fault_counters_record_injections() {
+    let out = try_run_ranks(
+        2,
+        MachineModel::ideal(),
+        RunOptions::default(),
+        &TraceSink::disabled(),
+        |comm: &ThreadComm| {
+            let faulty = FaultyComm::new(
+                comm,
+                FaultPlan::new(11)
+                    .with_drops(0.5)
+                    .with_duplicates(0.5)
+                    .with_retry_policy(30, 1e-3, 2.0),
+            );
+            ring_workload(&faulty, 30)?;
+            Ok::<_, CommError>(faulty.fault_stats())
+        },
+    );
+    let totals = out
+        .results
+        .iter()
+        .map(|r| r.as_ref().unwrap().as_ref().unwrap())
+        .fold((0u64, 0u64, 0u64), |acc, s| {
+            (acc.0 + s.drops, acc.1 + s.retransmits, acc.2 + s.duplicates)
+        });
+    assert!(totals.0 > 0, "p=0.5 over 60 messages must drop some");
+    assert_eq!(
+        totals.0, totals.1,
+        "every dropped frame is answered by exactly one retransmission"
+    );
+    assert!(totals.2 > 0, "p=0.5 must duplicate some");
+}
+
+#[test]
+fn reorder_swaps_wire_order_but_not_delivery_order() {
+    // Two back-to-back messages 0 -> 1 with the first scheduled for
+    // reordering: on the wire the second leaves first, yet the receiver
+    // still delivers them in sequence order.
+    let plan_seed = (0..1000)
+        .find(|&s| {
+            let plan = FaultPlan::new(s).with_reorders(0.999);
+            plan.reordered(0, 1, 0)
+        })
+        .expect("a seed reordering message 0 exists");
+    let plan = FaultPlan::new(plan_seed).with_reorders(0.999);
+    let out = try_run_ranks(
+        2,
+        MachineModel::ideal(),
+        RunOptions::default(),
+        &TraceSink::disabled(),
+        |comm: &ThreadComm| {
+            let faulty = FaultyComm::new(comm, plan.clone());
+            if comm.rank() == 0 {
+                faulty.try_send(1, &[10.0])?;
+                faulty.try_send(1, &[20.0])?;
+                Ok::<_, CommError>(vec![faulty.fault_stats().reorders as f64])
+            } else {
+                let a = faulty.try_recv(0)?;
+                let b = faulty.try_recv(0)?;
+                Ok(vec![a[0], b[0]])
+            }
+        },
+    );
+    let sender = out.results[0].as_ref().unwrap().as_ref().unwrap();
+    assert!(sender[0] >= 1.0, "at least one message was held back");
+    let receiver = out.results[1].as_ref().unwrap().as_ref().unwrap();
+    assert_eq!(receiver, &vec![10.0, 20.0], "sequence order restored");
+}

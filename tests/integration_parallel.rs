@@ -119,6 +119,7 @@ fn table1_exchange_counts_basic_vs_enhanced_vs_rdd() {
         },
         variant,
         overlap: false,
+        ..Default::default()
     };
     let part = ElementPartition::strips_x(&p.mesh, 4);
     let basic = solve_edd(

@@ -148,6 +148,7 @@ fn escalating_gls_runs_distributed_and_converges() {
         precond: PrecondSpec::GlsEscalating { period: 3 },
         variant: EddVariant::Enhanced,
         overlap: false,
+        ..Default::default()
     };
     let cfg_fixed = SolverConfig {
         gmres: GmresConfig {
@@ -160,6 +161,7 @@ fn escalating_gls_runs_distributed_and_converges() {
         },
         variant: EddVariant::Enhanced,
         overlap: false,
+        ..Default::default()
     };
     let esc = solve_edd(
         &p.mesh,
@@ -199,6 +201,7 @@ fn edd_gls_equals_rdd_gls_in_iterations() {
         },
         variant: EddVariant::Enhanced,
         overlap: false,
+        ..Default::default()
     };
     let edd = solve_edd(
         &p.mesh,
