@@ -16,15 +16,11 @@ fn bench_dd(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("edd", "enhanced"), |b| {
         b.iter(|| {
-            let out = solve_edd(
-                &p.mesh,
-                &p.dof_map,
-                &p.material,
-                &p.loads,
-                black_box(&epart),
-                MachineModel::ideal(),
-                &cfg,
-            );
+            let out = SolveSession::new(p.as_problem())
+                .strategy(Strategy::Edd(black_box(&epart).clone()))
+                .config(cfg.clone())
+                .run()
+                .expect("fault-free solve");
             assert!(out.history.converged());
             black_box(out.u)
         })
@@ -35,29 +31,21 @@ fn bench_dd(c: &mut Criterion) {
     };
     group.bench_function(BenchmarkId::new("edd", "basic"), |b| {
         b.iter(|| {
-            let out = solve_edd(
-                &p.mesh,
-                &p.dof_map,
-                &p.material,
-                &p.loads,
-                black_box(&epart),
-                MachineModel::ideal(),
-                &basic_cfg,
-            );
+            let out = SolveSession::new(p.as_problem())
+                .strategy(Strategy::Edd(black_box(&epart).clone()))
+                .config(basic_cfg.clone())
+                .run()
+                .expect("fault-free solve");
             black_box(out.u)
         })
     });
     group.bench_function(BenchmarkId::new("rdd", "block_row"), |b| {
         b.iter(|| {
-            let out = solve_rdd(
-                &p.mesh,
-                &p.dof_map,
-                &p.material,
-                &p.loads,
-                black_box(&npart),
-                MachineModel::ideal(),
-                &cfg,
-            );
+            let out = SolveSession::new(p.as_problem())
+                .strategy(Strategy::Rdd(black_box(&npart).clone()))
+                .config(cfg.clone())
+                .run()
+                .expect("fault-free solve");
             assert!(out.history.converged());
             black_box(out.u)
         })

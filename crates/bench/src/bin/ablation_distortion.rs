@@ -10,7 +10,7 @@
 use parfem::fem::assembly;
 use parfem::prelude::*;
 use parfem::sequential::SeqPrecond;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 
 fn main() {
     banner("Ablation: interior-node distortion (24x8 cantilever, gls(7) / ilu(0))");
@@ -20,11 +20,7 @@ fn main() {
         max_iters: 40_000,
         ..Default::default()
     };
-    println!(
-        "{:>10} {:>12} {:>12} {:>12}",
-        "amplitude", "gls(7)", "ilu(0)", "none"
-    );
-    let mut rows = Vec::new();
+    let mut table = Table::new(&["amplitude", "gls7_iters", "ilu0_iters", "none_iters"]);
     let mut gls_iters = Vec::new();
     for amp in [0.0f64, 0.15, 0.3, 0.45] {
         let mesh = QuadMesh::distorted(nx, ny, nx as f64, ny as f64, amp, 12345);
@@ -40,11 +36,7 @@ fn main() {
             assert!(h.converged(), "amp {amp} {}", pc.name());
             cells.push(h.iterations());
         }
-        println!(
-            "{:>10.2} {:>12} {:>12} {:>12}",
-            amp, cells[0], cells[1], cells[2]
-        );
-        rows.push(vec![
+        table.row([
             format!("{amp}"),
             cells[0].to_string(),
             cells[1].to_string(),
@@ -52,11 +44,7 @@ fn main() {
         ]);
         gls_iters.push(cells[0]);
     }
-    write_csv(
-        "ablation_distortion",
-        &["amplitude", "gls7_iters", "ilu0_iters", "none_iters"],
-        &rows,
-    );
+    table.emit("ablation_distortion");
     // GLS must keep converging on every distortion level; growth bounded.
     let worst = *gls_iters.iter().max().unwrap();
     let base = gls_iters[0];

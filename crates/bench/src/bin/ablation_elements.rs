@@ -9,7 +9,7 @@
 use parfem::fem::{assembly, quad8s, tri3, Material};
 use parfem::mesh::graph::Adjacency;
 use parfem::prelude::*;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 
 fn main() {
     banner("Ablation: element family vs G(K) density (paper Section 5)");
@@ -40,25 +40,19 @@ fn main() {
         (0..emesh.n_elems()).map(|e| emesh.elem_nodes(e).to_vec()),
     );
 
-    println!(
-        "{:>8} {:>8} {:>10} {:>12} {:>10} {:>8}",
-        "element", "nodes", "avg_deg", "nnz_per_row", "planar?", "nnz"
-    );
-    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "element",
+        "nodes",
+        "avg_degree",
+        "nnz_per_row",
+        "planar",
+        "nnz",
+    ]);
     let mut degs = Vec::new();
     for (name, g, k) in [("T3", &gt, &kt), ("Q4", &gq, &kq), ("Q8", &ge, &ke)] {
         let planar = g.satisfies_planar_edge_bound();
         let nnz_row = k.nnz() as f64 / k.n_rows() as f64;
-        println!(
-            "{:>8} {:>8} {:>10.2} {:>12.2} {:>10} {:>8}",
-            name,
-            g.n_vertices(),
-            g.average_degree(),
-            nnz_row,
-            planar,
-            k.nnz()
-        );
-        rows.push(vec![
+        table.row([
             name.to_string(),
             g.n_vertices().to_string(),
             format!("{:.3}", g.average_degree()),
@@ -68,18 +62,7 @@ fn main() {
         ]);
         degs.push(g.average_degree());
     }
-    write_csv(
-        "ablation_elements",
-        &[
-            "element",
-            "nodes",
-            "avg_degree",
-            "nnz_per_row",
-            "planar",
-            "nnz",
-        ],
-        &rows,
-    );
+    table.emit("ablation_elements");
 
     // Section-5 shape: T3 planar, Q4/Q8 not; density strictly increases.
     assert!(gt.satisfies_planar_edge_bound());
@@ -94,7 +77,7 @@ fn main() {
         max_iters: 20_000,
         ..Default::default()
     };
-    let mut iter_rows = Vec::new();
+    let mut iter_table = Table::new(&["element", "n_eqn", "iterations"]);
     for (name, mesh_kind) in [("T3", 0usize), ("Q4", 1), ("Q8", 2)] {
         let (k, rhs) = match mesh_kind {
             0 => {
@@ -139,23 +122,13 @@ fn main() {
             &cfg,
         )
         .unwrap();
-        println!(
-            "{:>8}: {:>5} equations, {:>5} iterations (converged = {})",
-            name,
-            k.n_rows(),
-            h.iterations(),
-            h.converged()
-        );
-        iter_rows.push(vec![
+        assert!(h.converged(), "{name} static solve must converge");
+        iter_table.row([
             name.to_string(),
             k.n_rows().to_string(),
             h.iterations().to_string(),
         ]);
     }
-    write_csv(
-        "ablation_elements_iters",
-        &["element", "n_eqn", "iterations"],
-        &iter_rows,
-    );
+    iter_table.emit("ablation_elements_iters");
     println!("\nshape checks passed: planarity and density behave exactly as Section 5 argues");
 }

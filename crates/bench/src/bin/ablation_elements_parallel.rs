@@ -12,8 +12,8 @@ use parfem::fem::{assembly, quad8s, tri3, Material, SubdomainSystem};
 use parfem::mesh::{Cells, ElementPartition, NodePartition, Quad8Mesh, TriMesh};
 use parfem::prelude::*;
 use parfem::sparse::scaling::scale_system;
-use parfem_bench::{banner, write_csv};
-use parfem_dd::{rdd_fgmres, solve_edd_systems, RddSystem};
+use parfem_bench::harness::{banner, Table};
+use parfem_dd::{rdd_fgmres, RddSystem};
 use parfem_msg::{run_ranks, Communicator};
 
 const P: usize = 4;
@@ -58,12 +58,10 @@ fn run_rdd(a: &parfem::sparse::CsrMatrix, b: &[f64], part: &NodePartition) -> (f
 }
 
 fn run_edd(systems: &[SubdomainSystem], n_dofs: usize) -> (f64, usize) {
-    let out = solve_edd_systems(
-        systems,
-        n_dofs,
-        MachineModel::ideal(),
-        &SolverConfig::default(),
-    );
+    let out = SolveSession::from_systems(systems, n_dofs)
+        .machine(MachineModel::ideal())
+        .run()
+        .expect("fault-free solve must not error");
     assert!(out.history.converged());
     let iters = out.history.iterations();
     let max_bytes = out
@@ -175,24 +173,18 @@ fn main() {
         let _ = Cells::n_cells(&mesh);
     }
 
-    println!(
-        "{:>6} {:>8} {:>16} {:>16} {:>10} {:>10} {:>12}",
-        "elem", "n_eqn", "EDD bytes/iter", "RDD bytes/iter", "EDD iters", "RDD iters", "RDD/EDD"
-    );
-    let mut csv = Vec::new();
+    let mut table = Table::new(&[
+        "element",
+        "n_eqn",
+        "edd_bytes_per_iter",
+        "rdd_bytes_per_iter",
+        "edd_iters",
+        "rdd_iters",
+        "rdd_over_edd",
+    ]);
     for r in &rows {
         let ratio = r.rdd_bytes_per_iter / r.edd_bytes_per_iter;
-        println!(
-            "{:>6} {:>8} {:>16.0} {:>16.0} {:>10} {:>10} {:>12.2}",
-            r.name,
-            r.n_eqn,
-            r.edd_bytes_per_iter,
-            r.rdd_bytes_per_iter,
-            r.edd_iters,
-            r.rdd_iters,
-            ratio
-        );
-        csv.push(vec![
+        table.row([
             r.name.to_string(),
             r.n_eqn.to_string(),
             format!("{:.1}", r.edd_bytes_per_iter),
@@ -202,19 +194,7 @@ fn main() {
             format!("{ratio:.3}"),
         ]);
     }
-    write_csv(
-        "ablation_elements_parallel",
-        &[
-            "element",
-            "n_eqn",
-            "edd_bytes_per_iter",
-            "rdd_bytes_per_iter",
-            "edd_iters",
-            "rdd_iters",
-            "rdd_over_edd",
-        ],
-        &csv,
-    );
+    table.emit("ablation_elements_parallel");
 
     // Section-5 shape: the RDD/EDD communication ratio must not improve as
     // the element order rises from T3 through Q4 to Q8 — denser G(K) means

@@ -4,16 +4,14 @@
 //! SP2-vs-Origin gap.
 
 use parfem::prelude::*;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Case, Table};
 
 fn main() {
     banner("Ablation: P = 8 speedup vs message latency (EDD-FGMRES-gls(7))");
     let p = CantileverProblem::paper_mesh(4);
-    let cfg = SolverConfig::default();
 
     let latencies_us = [1.0f64, 10.0, 40.0, 100.0, 400.0, 1600.0];
-    println!("{:>14} {:>12} {:>10}", "latency (us)", "T8 (s)", "S(8)");
-    let mut rows = Vec::new();
+    let mut table = Table::new(&["latency_us", "t8_s", "speedup8"]);
     let mut speedups = Vec::new();
     for &lat in &latencies_us {
         let model = MachineModel {
@@ -23,40 +21,13 @@ fn main() {
             flops_per_s: 100e6,
             reduce_latency_s: lat * 1e-6,
         };
-        let t1 = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &ElementPartition::strips_x(&p.mesh, 1),
-            model.clone(),
-            &cfg,
-        )
-        .modeled_time;
-        let t8 = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &ElementPartition::strips_x(&p.mesh, 8),
-            model,
-            &cfg,
-        )
-        .modeled_time;
+        let runs = Case::edd(&p).machine(model).sweep(&[1, 8]);
+        let (t1, t8) = (runs[0].modeled_time, runs[1].modeled_time);
         let s = t1 / t8;
-        println!("{lat:>14.1} {t8:>12.4} {s:>10.2}");
-        rows.push(vec![
-            format!("{lat}"),
-            format!("{t8:.6}"),
-            format!("{s:.3}"),
-        ]);
+        table.row([format!("{lat}"), format!("{t8:.6}"), format!("{s:.3}")]);
         speedups.push(s);
     }
-    write_csv(
-        "ablation_machine_latency",
-        &["latency_us", "t8_s", "speedup8"],
-        &rows,
-    );
+    table.emit("ablation_machine_latency");
 
     // Speedup must decay monotonically with latency, from near-linear to
     // communication-bound.

@@ -8,15 +8,11 @@
 use parfem::krylov::gmres::Orthogonalization;
 use parfem::prelude::*;
 use parfem::sequential::SeqPrecond;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 
 fn main() {
     banner("Ablation: CGS vs MGS orthogonalization");
-    println!(
-        "{:>6} {:>12} {:>10} {:>10} {:>8}",
-        "mesh", "precond", "cgs_iters", "mgs_iters", "delta"
-    );
-    let mut rows = Vec::new();
+    let mut table = Table::new(&["mesh", "precond", "cgs_iters", "mgs_iters", "delta"]);
     let mut max_delta = 0i64;
     for k in [1usize, 2, 3] {
         let p = CantileverProblem::paper_mesh(k);
@@ -39,15 +35,7 @@ fn main() {
             }
             let delta = iters[0] as i64 - iters[1] as i64;
             max_delta = max_delta.max(delta.abs());
-            println!(
-                "{:>6} {:>12} {:>10} {:>10} {:>8}",
-                format!("Mesh{k}"),
-                pc.name(),
-                iters[0],
-                iters[1],
-                delta
-            );
-            rows.push(vec![
+            table.row([
                 format!("Mesh{k}"),
                 pc.name(),
                 iters[0].to_string(),
@@ -56,11 +44,7 @@ fn main() {
             ]);
         }
     }
-    write_csv(
-        "ablation_orthogonalization",
-        &["mesh", "precond", "cgs_iters", "mgs_iters", "delta"],
-        &rows,
-    );
+    table.emit("ablation_orthogonalization");
     assert!(
         max_delta <= 2,
         "CGS must track MGS within 2 iterations on these systems (max delta {max_delta})"

@@ -6,12 +6,12 @@
 //! quantifies how much the partition geometry matters for the EDD solver.
 
 use parfem::prelude::*;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Case, Table};
 
 fn main() {
     banner("Ablation: partition geometry at P = 4 (EDD-FGMRES-gls(7), SGI-Origin)");
     let p = CantileverProblem::new(32, 32, Material::unit(), LoadCase::PullX(1.0));
-    let cfg = SolverConfig::default();
+    let case = Case::edd(&p);
 
     let parts: Vec<(&str, ElementPartition)> = vec![
         ("strips_x", ElementPartition::strips_x(&p.mesh, 4)),
@@ -23,50 +23,26 @@ fn main() {
         ),
     ];
 
-    println!(
-        "{:>10} {:>8} {:>12} {:>14} {:>12} {:>8}",
-        "partition", "iters", "iface_nodes", "bytes/iter", "time(s)", "S(4)"
-    );
-    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "partition",
+        "iterations",
+        "interface_nodes",
+        "bytes_per_iter",
+        "modeled_time_s",
+        "speedup_vs_p1",
+    ]);
     let mut times = Vec::new();
     // Single-rank baseline for speedup.
-    let t1 = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &ElementPartition::strips_x(&p.mesh, 1),
-        MachineModel::sgi_origin(),
-        &cfg,
-    )
-    .modeled_time;
+    let t1 = case.run(1).modeled_time;
 
     for (name, part) in &parts {
         // Interface size: nodes with multiplicity > 1, summed over subs.
         let subs = part.subdomains(&p.mesh);
         let iface: usize = subs.iter().map(|s| s.n_interface_nodes()).sum();
-        let out = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            part,
-            MachineModel::sgi_origin(),
-            &cfg,
-        );
-        assert!(out.history.converged(), "{name}");
+        let out = case.run_strategy(Strategy::Edd(part.clone()));
         let bytes_per_iter =
             out.reports[0].stats.bytes_sent as f64 / out.history.iterations() as f64;
-        println!(
-            "{:>10} {:>8} {:>12} {:>14.0} {:>12.4} {:>8.2}",
-            name,
-            out.history.iterations(),
-            iface,
-            bytes_per_iter,
-            out.modeled_time,
-            t1 / out.modeled_time
-        );
-        rows.push(vec![
+        table.row([
             name.to_string(),
             out.history.iterations().to_string(),
             iface.to_string(),
@@ -76,18 +52,7 @@ fn main() {
         ]);
         times.push(out.modeled_time);
     }
-    write_csv(
-        "ablation_partition",
-        &[
-            "partition",
-            "iterations",
-            "interface_nodes",
-            "bytes_per_iter",
-            "modeled_time_s",
-            "speedup_vs_p1",
-        ],
-        &rows,
-    );
+    table.emit("ablation_partition");
 
     // Shape: every partition achieves solid speedup; the worst/best modeled
     // times stay within 2x of each other on this square mesh.

@@ -9,7 +9,7 @@
 use parfem::precond::{ChebyshevPrecond, GlsPrecond, NeumannPrecond};
 use parfem::prelude::*;
 use parfem::sequential::SeqPrecond;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 
 fn main() {
     banner("Ablation: polynomial preconditioner families (Mesh3, static, degree 7)");
@@ -54,21 +54,11 @@ fn main() {
     );
 
     // Practice: solver iterations and total matvec cost.
-    println!(
-        "\n{:>18} {:>8} {:>14} {:>10}",
-        "preconditioner", "iters", "total_matvecs", "converged"
-    );
-    let mut rows = Vec::new();
+    println!();
+    let mut table = Table::new(&["preconditioner", "iterations", "total_matvecs", "converged"]);
     let mut by_name = std::collections::BTreeMap::new();
     let mut record = |name: String, iters: usize, matvecs_per_iter: usize, converged: bool| {
-        println!(
-            "{:>18} {:>8} {:>14} {:>10}",
-            name,
-            iters,
-            iters * matvecs_per_iter,
-            converged
-        );
-        rows.push(vec![
+        table.row([
             name.clone(),
             iters.to_string(),
             (iters * matvecs_per_iter).to_string(),
@@ -105,11 +95,7 @@ fn main() {
             res.history.converged(),
         );
     }
-    write_csv(
-        "ablation_polynomials",
-        &["preconditioner", "iterations", "total_matvecs", "converged"],
-        &rows,
-    );
+    table.emit("ablation_polynomials");
 
     // Shape: GLS dominates everything at equal degree — the paper's core
     // claim. A further *finding* of this reproduction: on severely

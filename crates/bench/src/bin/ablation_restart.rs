@@ -6,16 +6,18 @@
 
 use parfem::prelude::*;
 use parfem::sequential::SeqPrecond;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 
 fn main() {
     banner("Ablation: restart dimension (Mesh3, static)");
     let p = CantileverProblem::paper_mesh(3);
-    println!(
-        "{:>8} {:>14} {:>14} {:>10}",
-        "restart", "gls(7) iters", "none iters", "restarts"
-    );
-    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "restart",
+        "gls7_iters",
+        "gls7_converged",
+        "none_iters",
+        "none_converged",
+    ]);
     let mut gls_by_restart = Vec::new();
     for restart in [5usize, 10, 25, 50, 100] {
         let cfg = GmresConfig {
@@ -26,22 +28,7 @@ fn main() {
         };
         let (_, hg) = parfem::sequential::solve_static(&p, &SeqPrecond::Gls(7), &cfg).unwrap();
         let (_, hn) = parfem::sequential::solve_static(&p, &SeqPrecond::None, &cfg).unwrap();
-        println!(
-            "{:>8} {:>14} {:>14} {:>10}",
-            restart,
-            format!(
-                "{}{}",
-                hg.iterations(),
-                if hg.converged() { "" } else { "*" }
-            ),
-            format!(
-                "{}{}",
-                hn.iterations(),
-                if hn.converged() { "" } else { "*" }
-            ),
-            hg.restarts
-        );
-        rows.push(vec![
+        table.row([
             restart.to_string(),
             hg.iterations().to_string(),
             hg.converged().to_string(),
@@ -52,17 +39,7 @@ fn main() {
             gls_by_restart.push((restart, hg.iterations()));
         }
     }
-    write_csv(
-        "ablation_restart",
-        &[
-            "restart",
-            "gls7_iters",
-            "gls7_converged",
-            "none_iters",
-            "none_converged",
-        ],
-        &rows,
-    );
+    table.emit("ablation_restart");
     // With gls(7) the iteration count at the paper's restart 25 must be
     // within 20% of the unrestarted (restart 100) count — i.e. m = 25 is
     // already in the flat region for preconditioned runs.

@@ -5,7 +5,7 @@
 //! interval as the degree grows, with `ω` chosen from the spectrum bound
 //! (`ω = 1/30`).
 
-use parfem_bench::{banner, fmt, write_csv};
+use parfem_bench::harness::{banner, fmt, write_csv};
 use parfem_precond::NeumannPrecond;
 
 fn main() {

@@ -4,7 +4,7 @@
 //!   (b) Θ = (−4, −1) ∪ (7, 10);
 //!   (c) Θ = (−6, −4.1) ∪ (−3.9, −0.1) ∪ (0.1, 5.9) ∪ (6.1, 8).
 
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, write_csv};
 use parfem_precond::{GlsPrecond, IntervalUnion};
 
 fn sweep(name: &str, theta: IntervalUnion, degrees: &[usize]) {

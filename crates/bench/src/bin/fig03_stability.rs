@@ -5,7 +5,7 @@
 //! The paper concludes the practical degree must stay below ~10; the bound
 //! here grows by orders of magnitude per few degrees.
 
-use parfem_bench::{banner, fmt, write_csv};
+use parfem_bench::harness::{banner, fmt, write_csv};
 use parfem_precond::poly::stability_bound;
 use parfem_precond::{GlsPrecond, IntervalUnion};
 

@@ -7,7 +7,7 @@
 
 use parfem::prelude::*;
 use parfem::sequential::SeqPrecond;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 use parfem_sparse::gershgorin;
 
 fn main() {
@@ -41,20 +41,14 @@ fn main() {
         ("(0.9,1.0) top only".into(), IntervalUnion::single(0.9, 1.0)),
     ];
 
-    println!("\n{:>22} {:>8} {:>10}", "theta", "iters", "converged");
-    let mut rows = Vec::new();
+    println!();
+    let mut table = Table::new(&["theta", "iterations", "converged"]);
     let mut iters = Vec::new();
     // Ritz-estimated theta first (30-step Lanczos inside the harness).
     {
         let (_, h) = parfem::sequential::solve_static(&p, &SeqPrecond::GlsAuto(10), &cfg).unwrap();
-        println!(
-            "{:>22} {:>8} {:>10}",
-            "ritz-measured (auto)",
-            h.iterations(),
-            h.converged()
-        );
-        rows.push(vec![
-            "ritz-measured".into(),
+        table.row([
+            "ritz-measured".to_string(),
             h.iterations().to_string(),
             h.converged().to_string(),
         ]);
@@ -62,19 +56,14 @@ fn main() {
     for (label, theta) in &thetas {
         let pc = SeqPrecond::GlsOnTheta(10, theta.clone());
         let (_, h) = parfem::sequential::solve_static(&p, &pc, &cfg).unwrap();
-        println!("{:>22} {:>8} {:>10}", label, h.iterations(), h.converged());
-        rows.push(vec![
+        table.row([
             label.clone(),
             h.iterations().to_string(),
             h.converged().to_string(),
         ]);
         iters.push(h.iterations());
     }
-    write_csv(
-        "fig10_theta_sensitivity",
-        &["theta", "iterations", "converged"],
-        &rows,
-    );
+    table.emit("fig10_theta_sensitivity");
 
     // Shape checks: the measured-spectrum estimate is at least as good as
     // the default, and the narrow/top-only estimates are strictly worse.

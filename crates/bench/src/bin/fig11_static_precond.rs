@@ -6,7 +6,7 @@
 
 use parfem::prelude::*;
 use parfem::sequential::SeqPrecond;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, write_csv};
 
 fn run_mesh(k: usize) {
     let p = CantileverProblem::paper_mesh(k);

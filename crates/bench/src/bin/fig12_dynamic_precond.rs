@@ -4,7 +4,7 @@
 use parfem::dynamic::first_step_solve;
 use parfem::prelude::*;
 use parfem::sequential::SeqPrecond;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 
 fn run_mesh(k: usize, dt: f64) {
     let p = CantileverProblem::paper_mesh(k);
@@ -23,28 +23,18 @@ fn run_mesh(k: usize, dt: f64) {
         SeqPrecond::Neumann(20),
         SeqPrecond::Gls(7),
     ];
-    let mut rows = Vec::new();
+    let mut table = Table::new(&["preconditioner", "iterations", "converged"]);
     let mut iters = Vec::new();
     for pc in &precs {
         let (_, h) = first_step_solve(&p, dt, pc, &cfg).expect("solve");
-        println!(
-            "{:>12}: {:>5} iterations (converged = {})",
-            pc.name(),
-            h.iterations(),
-            h.converged()
-        );
-        rows.push(vec![
+        table.row([
             pc.name(),
             h.iterations().to_string(),
             h.converged().to_string(),
         ]);
         iters.push(h.iterations());
     }
-    write_csv(
-        &format!("fig12_dynamic_mesh{k}"),
-        &["preconditioner", "iterations", "converged"],
-        &rows,
-    );
+    table.emit(&format!("fig12_dynamic_mesh{k}"));
     // Shape: gls(7) beats ilu(0) and the unpreconditioned run, as in the
     // static case (the paper's ordering carries over to the effective
     // dynamic systems).

@@ -6,7 +6,7 @@
 
 use parfem::prelude::*;
 use parfem::sequential::SeqPrecond;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 
 const DEGREES: [usize; 5] = [1, 3, 7, 10, 20];
 
@@ -21,27 +21,18 @@ fn run_mesh(k: usize) -> Vec<usize> {
         max_iters: 40_000,
         ..Default::default()
     };
-    let mut rows = Vec::new();
+    let mut table = Table::new(&["degree", "iterations", "total_matvecs"]);
     let mut iters = Vec::new();
     for &m in &DEGREES {
         let (_, h) = parfem::sequential::solve_static(&p, &SeqPrecond::Gls(m), &cfg).unwrap();
-        println!(
-            "gls({m:>2}): {:>5} iterations, {:>6} total matvecs",
-            h.iterations(),
-            h.iterations() * (m + 1)
-        );
-        rows.push(vec![
+        table.row([
             m.to_string(),
             h.iterations().to_string(),
             (h.iterations() * (m + 1)).to_string(),
         ]);
         iters.push(h.iterations());
     }
-    write_csv(
-        &format!("fig13_static_degree_mesh{k}"),
-        &["degree", "iterations", "total_matvecs"],
-        &rows,
-    );
+    table.emit(&format!("fig13_static_degree_mesh{k}"));
     iters
 }
 

@@ -4,7 +4,7 @@
 use parfem::dynamic::first_step_solve;
 use parfem::prelude::*;
 use parfem::sequential::SeqPrecond;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 
 const DEGREES: [usize; 5] = [1, 3, 7, 10, 20];
 
@@ -19,19 +19,14 @@ fn run_mesh(k: usize, dt: f64) -> Vec<usize> {
         max_iters: 40_000,
         ..Default::default()
     };
-    let mut rows = Vec::new();
+    let mut table = Table::new(&["degree", "iterations"]);
     let mut iters = Vec::new();
     for &m in &DEGREES {
         let (_, h) = first_step_solve(&p, dt, &SeqPrecond::Gls(m), &cfg).unwrap();
-        println!("gls({m:>2}): {:>5} iterations", h.iterations());
-        rows.push(vec![m.to_string(), h.iterations().to_string()]);
+        table.row([m.to_string(), h.iterations().to_string()]);
         iters.push(h.iterations());
     }
-    write_csv(
-        &format!("fig14_dynamic_degree_mesh{k}"),
-        &["degree", "iterations"],
-        &rows,
-    );
+    table.emit(&format!("fig14_dynamic_degree_mesh{k}"));
     iters
 }
 

@@ -8,53 +8,34 @@
 //! closely: the per-step work has the same structure.
 
 use parfem::prelude::*;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, quick, Case, Table, RANKS};
 
 fn main() {
-    let quick = std::env::var("PARFEM_QUICK").is_ok();
     banner("Figs. 15/16: dynamic (Newmark) speedup, EDD-FGMRES-gls(7)");
-    let mesh_id = if quick { 3 } else { 5 };
+    let mesh_id = if quick() { 3 } else { 5 };
     let p = CantileverProblem::paper_mesh(mesh_id);
     let tip = p.dof_map.dof(p.mesh.node_at(p.mesh.nx(), p.mesh.ny()), 0);
-    let steps = if quick { 3 } else { 5 };
-    let cfg = DynamicRunConfig {
-        solver: SolverConfig::default(),
-        params: NewmarkParams::average_acceleration(1.0),
-        steps,
-    };
+    let steps = if quick() { 3 } else { 5 };
+    let params = NewmarkParams::average_acceleration(1.0);
 
     println!(
         "Mesh{mesh_id}, {} equations, {} Newmark steps of dt = 1\n",
         p.n_eqn(),
         steps
     );
-    println!(
-        "{:>4} {:>16} {:>10} {:>16} {:>10} {:>12}",
-        "P", "Origin T (s)", "S", "SP2 T (s)", "S", "total iters"
-    );
-    let mut rows = Vec::new();
+    let mut table = Table::new(&["P", "origin_t", "origin_s", "sp2_t", "sp2_s", "total_iters"]);
     let mut t1 = [0.0f64; 2];
     let mut s8 = [0.0f64; 2];
-    for np in [1usize, 2, 4, 8] {
-        let part = ElementPartition::strips_x(&p.mesh, np);
+    for np in RANKS {
         let mut line = vec![np.to_string()];
-        let mut cells = String::new();
         let mut iters = 0;
         for (mi, model) in [MachineModel::sgi_origin(), MachineModel::ibm_sp2()]
             .into_iter()
             .enumerate()
         {
-            let out = solve_dynamic_edd(
-                &p.mesh,
-                &p.dof_map,
-                &p.material,
-                &p.loads,
-                &part,
-                model,
-                &cfg,
-                &[tip],
-            );
-            assert!(out.all_converged, "P={np}");
+            let out = Case::edd(&p)
+                .machine(model)
+                .run_dynamic(np, params, steps, &[tip]);
             let t = out.last.modeled_time;
             if np == 1 {
                 t1[mi] = t;
@@ -63,20 +44,14 @@ fn main() {
             if np == 8 {
                 s8[mi] = s;
             }
-            cells += &format!(" {t:>16.4} {s:>10.2}");
             line.push(format!("{t:.6}"));
             line.push(format!("{s:.3}"));
             iters = out.total_iterations;
         }
-        println!("{:>4}{} {:>12}", np, cells, iters);
         line.push(iters.to_string());
-        rows.push(line);
+        table.row(line);
     }
-    write_csv(
-        "fig16_dynamic_speedup",
-        &["P", "origin_t", "origin_s", "sp2_t", "sp2_s", "total_iters"],
-        &rows,
-    );
+    table.emit("fig16_dynamic_speedup");
     assert!(s8[0] > 5.5, "Origin dynamic speedup too low: {}", s8[0]);
     assert!(
         s8[0] > s8[1],

@@ -12,153 +12,59 @@
 //! Set `PARFEM_QUICK=1` to shrink the sweep for smoke runs.
 
 use parfem::prelude::*;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, quick, Case, Table, RANKS};
 
-fn speedups_edd(
-    p: &CantileverProblem,
-    degree: usize,
-    model: &MachineModel,
-    ps: &[usize],
-) -> Vec<f64> {
-    let cfg = SolverConfig {
-        gmres: GmresConfig::default(),
-        precond: PrecondSpec::Gls {
-            degree,
-            theta: None,
-        },
-        variant: EddVariant::Enhanced,
-        overlap: false,
-        ..Default::default()
-    };
-    let mut t1 = 0.0;
-    ps.iter()
-        .map(|&np| {
-            let out = solve_edd(
-                &p.mesh,
-                &p.dof_map,
-                &p.material,
-                &p.loads,
-                &ElementPartition::strips_x(&p.mesh, np),
-                model.clone(),
-                &cfg,
-            );
-            assert!(out.history.converged(), "EDD P={np} gls({degree})");
-            if np == ps[0] {
-                t1 = out.modeled_time;
-            }
-            t1 / out.modeled_time
-        })
-        .collect()
+fn gls(degree: usize) -> PrecondSpec {
+    PrecondSpec::Gls {
+        degree,
+        theta: None,
+    }
 }
 
-fn speedups_rdd(
-    p: &CantileverProblem,
-    degree: usize,
-    model: &MachineModel,
-    ps: &[usize],
-) -> Vec<f64> {
-    let cfg = SolverConfig {
-        gmres: GmresConfig::default(),
-        precond: PrecondSpec::Gls {
-            degree,
-            theta: None,
-        },
-        variant: EddVariant::Enhanced,
-        overlap: false,
-        ..Default::default()
-    };
-    let mut t1 = 0.0;
-    ps.iter()
-        .map(|&np| {
-            let out = solve_rdd(
-                &p.mesh,
-                &p.dof_map,
-                &p.material,
-                &p.loads,
-                &NodePartition::strips_x(&p.mesh, np),
-                model.clone(),
-                &cfg,
-            );
-            assert!(out.history.converged(), "RDD P={np} gls({degree})");
-            if np == ps[0] {
-                t1 = out.modeled_time;
-            }
-            t1 / out.modeled_time
-        })
-        .collect()
-}
-
-fn print_panel(title: &str, labels: &[String], ps: &[usize], series: &[Vec<f64>]) {
+fn panel(title: &str, csv: &str, labels: &[String], ps: &[usize], series: &[Vec<f64>]) {
     banner(title);
-    print!("{:>6}", "P");
-    for l in labels {
-        print!(" {l:>12}");
-    }
-    println!();
+    let header: Vec<String> = std::iter::once("P".to_string())
+        .chain(labels.iter().cloned())
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
     for (i, &np) in ps.iter().enumerate() {
-        print!("{np:>6}");
-        for s in series {
-            print!(" {:>12.2}", s[i]);
-        }
-        println!();
+        t.row(std::iter::once(np.to_string()).chain(series.iter().map(|s| format!("{:.4}", s[i]))));
     }
-}
-
-fn to_rows(ps: &[usize], series: &[Vec<f64>]) -> Vec<Vec<String>> {
-    ps.iter()
-        .enumerate()
-        .map(|(i, &np)| {
-            std::iter::once(np.to_string())
-                .chain(series.iter().map(|s| format!("{:.4}", s[i])))
-                .collect()
-        })
-        .collect()
+    t.emit(csv);
 }
 
 fn main() {
-    let quick = std::env::var("PARFEM_QUICK").is_ok();
-    let ps: Vec<usize> = vec![1, 2, 4, 8];
+    let ps = RANKS.to_vec();
     let origin = MachineModel::sgi_origin();
     let sp2 = MachineModel::ibm_sp2();
 
     // Panels (a)/(b): degree sweep on Mesh5 (60x60) or Mesh3 in quick mode.
-    let mesh_ab = if quick { 3 } else { 5 };
+    let mesh_ab = if quick() { 3 } else { 5 };
     let degrees = [3usize, 7, 10];
     let p_ab = CantileverProblem::paper_mesh(mesh_ab);
+    let labels: Vec<String> = degrees.iter().map(|m| format!("gls({m})")).collect();
     let edd_series: Vec<Vec<f64>> = degrees
         .iter()
-        .map(|&m| speedups_edd(&p_ab, m, &origin, &ps))
+        .map(|&m| Case::edd(&p_ab).precond(gls(m)).speedups(&ps))
         .collect();
-    let labels: Vec<String> = degrees.iter().map(|m| format!("gls({m})")).collect();
-    print_panel(
+    panel(
         &format!("Fig 17(a): EDD speedup vs degree, Mesh{mesh_ab}, SGI-Origin"),
+        "fig17a_edd_degree",
         &labels,
         &ps,
         &edd_series,
     );
-    let mut header = vec!["P".to_string()];
-    header.extend(labels.clone());
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    write_csv(
-        "fig17a_edd_degree",
-        &header_refs,
-        &to_rows(&ps, &edd_series),
-    );
-
     let rdd_series: Vec<Vec<f64>> = degrees
         .iter()
-        .map(|&m| speedups_rdd(&p_ab, m, &origin, &ps))
+        .map(|&m| Case::rdd(&p_ab).precond(gls(m)).speedups(&ps))
         .collect();
-    print_panel(
+    panel(
         &format!("Fig 17(b): RDD speedup vs degree, Mesh{mesh_ab}, SGI-Origin"),
+        "fig17b_rdd_degree",
         &labels,
         &ps,
         &rdd_series,
-    );
-    write_csv(
-        "fig17b_rdd_degree",
-        &header_refs,
-        &to_rows(&ps, &rdd_series),
     );
 
     // Shape check (a): EDD speedup at P=8 grows with degree.
@@ -169,32 +75,34 @@ fn main() {
     );
 
     // Panels (c)/(d): size sweep.
-    let meshes: Vec<usize> = if quick { vec![2, 3] } else { vec![3, 5, 7] };
+    let meshes: Vec<usize> = if quick() { vec![2, 3] } else { vec![3, 5, 7] };
     let size_labels: Vec<String> = meshes.iter().map(|k| format!("Mesh{k}")).collect();
-    let mut edd_size = Vec::new();
-    let mut rdd_size = Vec::new();
-    for &k in &meshes {
-        let prob = CantileverProblem::paper_mesh(k);
-        edd_size.push(speedups_edd(&prob, 7, &origin, &ps));
-        rdd_size.push(speedups_rdd(&prob, 7, &origin, &ps));
-    }
-    print_panel(
+    let probs: Vec<CantileverProblem> = meshes
+        .iter()
+        .map(|&k| CantileverProblem::paper_mesh(k))
+        .collect();
+    let edd_size: Vec<Vec<f64>> = probs
+        .iter()
+        .map(|prob| Case::edd(prob).precond(gls(7)).speedups(&ps))
+        .collect();
+    let rdd_size: Vec<Vec<f64>> = probs
+        .iter()
+        .map(|prob| Case::rdd(prob).precond(gls(7)).speedups(&ps))
+        .collect();
+    panel(
         "Fig 17(c): EDD speedup vs problem size, gls(7), SGI-Origin",
+        "fig17c_edd_size",
         &size_labels,
         &ps,
         &edd_size,
     );
-    print_panel(
+    panel(
         "Fig 17(d): RDD speedup vs problem size, gls(7), SGI-Origin",
+        "fig17d_rdd_size",
         &size_labels,
         &ps,
         &rdd_size,
     );
-    let mut h2 = vec!["P".to_string()];
-    h2.extend(size_labels.clone());
-    let h2_refs: Vec<&str> = h2.iter().map(|s| s.as_str()).collect();
-    write_csv("fig17c_edd_size", &h2_refs, &to_rows(&ps, &edd_size));
-    write_csv("fig17d_rdd_size", &h2_refs, &to_rows(&ps, &rdd_size));
 
     // Shape check (c): bigger problems scale better at P=8.
     let first = edd_size.first().expect("non-empty")[3];
@@ -205,19 +113,18 @@ fn main() {
     );
 
     // Panel (e): SP2 vs Origin on one configuration.
-    let p_e = CantileverProblem::paper_mesh(if quick { 3 } else { 6 });
-    let origin_s = speedups_edd(&p_e, 7, &origin, &ps);
-    let sp2_s = speedups_edd(&p_e, 7, &sp2, &ps);
-    print_panel(
+    let p_e = CantileverProblem::paper_mesh(if quick() { 3 } else { 6 });
+    let origin_s = Case::edd(&p_e)
+        .precond(gls(7))
+        .machine(origin)
+        .speedups(&ps);
+    let sp2_s = Case::edd(&p_e).precond(gls(7)).machine(sp2).speedups(&ps);
+    panel(
         "Fig 17(e): EDD gls(7) speedup, SP2 vs Origin",
-        &["SGI-Origin".into(), "IBM-SP2".into()],
+        "fig17e_machines",
+        &["sgi_origin".into(), "ibm_sp2".into()],
         &ps,
         &[origin_s.clone(), sp2_s.clone()],
-    );
-    write_csv(
-        "fig17e_machines",
-        &["P", "sgi_origin", "ibm_sp2"],
-        &to_rows(&ps, &[origin_s.clone(), sp2_s.clone()]),
     );
     assert!(
         origin_s[3] > sp2_s[3],

@@ -18,10 +18,8 @@
 //! so the report also carries allocations-per-iteration for the FGMRES hot
 //! loop — the quantity the reusable Krylov workspace drives to zero.
 
-use parfem::prelude::{
-    solve_edd, CantileverProblem, EddVariant, ElementPartition, LoadCase, MachineModel, Material,
-    PrecondSpec, SolverConfig,
-};
+use parfem::prelude::{CantileverProblem, LoadCase, MachineModel, Material, PrecondSpec};
+use parfem_bench::harness::Case;
 use parfem_krylov::{fgmres, GmresConfig};
 use parfem_precond::{GlsPrecond, IdentityPrecond, Preconditioner};
 use parfem_sparse::{scaling, CooMatrix, CsrMatrix};
@@ -207,19 +205,9 @@ struct OverlapLine {
 
 fn bench_overlap() -> Vec<OverlapLine> {
     let p = CantileverProblem::new(48, 12, Material::unit(), LoadCase::ShearY(1.0));
-    let part = ElementPartition::strips_x(&p.mesh, 8);
-    let mk = |overlap| SolverConfig {
-        gmres: GmresConfig {
-            tol: 1e-8,
-            max_iters: 50_000,
-            ..Default::default()
-        },
-        precond: PrecondSpec::Gls {
-            degree: 5,
-            theta: None,
-        },
-        variant: EddVariant::Enhanced,
-        overlap,
+    let gmres = GmresConfig {
+        tol: 1e-8,
+        max_iters: 50_000,
         ..Default::default()
     };
     [
@@ -228,24 +216,19 @@ fn bench_overlap() -> Vec<OverlapLine> {
     ]
     .into_iter()
     .map(|(machine, model)| {
-        let blocking = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &part,
-            model.clone(),
-            &mk(false),
-        );
-        let overlapped = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &part,
-            model,
-            &mk(true),
-        );
+        let run = |overlap: bool| {
+            Case::edd(&p)
+                .precond(PrecondSpec::Gls {
+                    degree: 5,
+                    theta: None,
+                })
+                .gmres(gmres)
+                .machine(model.clone())
+                .overlap(overlap)
+                .run(8)
+        };
+        let blocking = run(false);
+        let overlapped = run(true);
         assert_eq!(
             blocking.u, overlapped.u,
             "overlapped exchange must be bit-identical ({machine})"

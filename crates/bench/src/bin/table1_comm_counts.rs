@@ -8,64 +8,41 @@
 //! three and reported separately.
 
 use parfem::prelude::*;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Case, Table};
 
 fn main() {
     banner("Table 1: measured communication per Arnoldi iteration (Mesh4, P=4, gls(5))");
     let p = CantileverProblem::paper_mesh(4);
     let degree = 5usize;
-    let gmres = GmresConfig::default();
-    let mk = |variant| SolverConfig {
-        gmres,
-        precond: PrecondSpec::Gls {
-            degree,
-            theta: None,
-        },
-        variant,
-        overlap: false,
-        ..Default::default()
+    let gls5 = PrecondSpec::Gls {
+        degree,
+        theta: None,
     };
 
-    let epart = ElementPartition::strips_x(&p.mesh, 4);
-    let npart = NodePartition::strips_x(&p.mesh, 4);
-
-    let basic = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &epart,
-        MachineModel::ideal(),
-        &mk(EddVariant::Basic),
-    );
+    let basic = Case::edd(&p)
+        .precond(gls5.clone())
+        .variant(EddVariant::Basic)
+        .machine(MachineModel::ideal())
+        .run(4);
     // Trace the enhanced run: the event stream must reproduce the live
     // counters exactly, which cross-validates the Table 1 numbers below.
     let sink = TraceSink::recording();
-    let enhanced = solve_edd_traced(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &epart,
-        MachineModel::ideal(),
-        &mk(EddVariant::Enhanced),
-        &sink,
-    );
-    let rdd = solve_rdd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &npart,
-        MachineModel::ideal(),
-        &mk(EddVariant::Enhanced),
-    );
+    let enhanced = Case::edd(&p)
+        .precond(gls5.clone())
+        .machine(MachineModel::ideal())
+        .run_traced(4, &sink);
+    let rdd = Case::rdd(&p)
+        .precond(gls5)
+        .machine(MachineModel::ideal())
+        .run(4);
 
-    println!(
-        "{:>22} {:>6} {:>16} {:>14} {:>14}",
-        "algorithm", "iters", "nbr-exch/iter", "glob-red/iter", "precond-exch"
-    );
-    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "algorithm",
+        "iterations",
+        "neighbor_exchanges_per_iter",
+        "global_reductions_per_iter",
+        "precond_exchanges_total",
+    ]);
     let mut per_iter_exchanges = Vec::new();
     for (name, out) in [
         ("Alg5 EDD basic", &basic),
@@ -81,11 +58,7 @@ fn main() {
         let precond = degree as f64 * iters;
         let skeleton = (total - precond) / iters;
         let reds = s.allreduces as f64 / iters;
-        println!(
-            "{:>22} {:>6} {:>16.2} {:>14.2} {:>14.0}",
-            name, iters, skeleton, reds, precond
-        );
-        rows.push(vec![
+        table.row([
             name.to_string(),
             format!("{iters}"),
             format!("{skeleton:.3}"),
@@ -94,17 +67,7 @@ fn main() {
         ]);
         per_iter_exchanges.push(skeleton);
     }
-    write_csv(
-        "table1_comm_counts",
-        &[
-            "algorithm",
-            "iterations",
-            "neighbor_exchanges_per_iter",
-            "global_reductions_per_iter",
-            "precond_exchanges_total",
-        ],
-        &rows,
-    );
+    table.emit("table1_comm_counts");
 
     // The trace must re-derive the enhanced run's comm counts by counting
     // events — any drift between instrumentation and live stats is a bug.

@@ -8,30 +8,18 @@
 //! values per mesh.
 
 use parfem::prelude::*;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, Table};
 
 fn main() {
     banner("Table 2: finite element meshes");
     let paper_neqn = [
         28usize, 656, 1640, 5100, 7320, 9940, 12960, 16380, 20200, 40400,
     ];
-    println!(
-        "{:>7} {:>12} {:>8} {:>10} {:>12}",
-        "Mesh", "nXele x nYele", "nNode", "nEqn(ours)", "nEqn(paper)"
-    );
-    let mut rows = Vec::new();
+    let mut table = Table::new(&["mesh", "nx", "ny", "n_node", "n_eqn_ours", "n_eqn_paper"]);
     for k in 1..=10 {
         let p = CantileverProblem::paper_mesh(k);
         let (nx, ny) = PAPER_MESHES[k - 1];
-        println!(
-            "{:>7} {:>12} {:>8} {:>10} {:>12}",
-            format!("Mesh{k}"),
-            format!("{nx} x {ny}"),
-            p.mesh.n_nodes(),
-            p.n_eqn(),
-            paper_neqn[k - 1]
-        );
-        rows.push(vec![
+        table.row([
             format!("Mesh{k}"),
             nx.to_string(),
             ny.to_string(),
@@ -40,11 +28,7 @@ fn main() {
             paper_neqn[k - 1].to_string(),
         ]);
     }
-    write_csv(
-        "table2_meshes",
-        &["mesh", "nx", "ny", "n_node", "n_eqn_ours", "n_eqn_paper"],
-        &rows,
-    );
+    table.emit("table2_meshes");
 
     // Node counts must match the paper exactly.
     let expected_nodes = [16, 369, 861, 2601, 3721, 5041, 6561, 8281, 10201, 20301];

@@ -11,22 +11,20 @@
 //! Set `PARFEM_QUICK=1` to restrict to meshes 1–4 and degrees {7, 10}.
 
 use parfem::prelude::*;
-use parfem_bench::{banner, write_csv};
+use parfem_bench::harness::{banner, quick, write_csv, Case, RANKS};
 
 fn main() {
-    let quick = std::env::var("PARFEM_QUICK").is_ok();
-    let meshes: Vec<usize> = if quick {
+    let meshes: Vec<usize> = if quick() {
         vec![1, 2, 3, 4]
     } else {
         vec![1, 2, 3, 4, 5, 6, 7]
     };
-    let degrees: Vec<usize> = if quick {
+    let degrees: Vec<usize> = if quick() {
         vec![7, 10]
     } else {
         vec![7, 8, 9, 10]
     };
-    let ps = [1usize, 2, 4, 8];
-    let model = MachineModel::sgi_origin();
+    let ps = RANKS;
 
     banner("Table 3: EDD-FGMRES-GLS(m), static problem, virtual SGI-Origin");
     println!(
@@ -55,26 +53,12 @@ fn main() {
             let mut cells = Vec::new();
             let mut row = vec![format!("Mesh{k}"), np.to_string()];
             for (di, &m) in degrees.iter().enumerate() {
-                let cfg = SolverConfig {
-                    gmres: GmresConfig::default(),
-                    precond: PrecondSpec::Gls {
+                let out = Case::edd(&prob)
+                    .precond(PrecondSpec::Gls {
                         degree: m,
                         theta: None,
-                    },
-                    variant: EddVariant::Enhanced,
-                    overlap: false,
-                    ..Default::default()
-                };
-                let out = solve_edd(
-                    &prob.mesh,
-                    &prob.dof_map,
-                    &prob.material,
-                    &prob.loads,
-                    &ElementPartition::strips_x(&prob.mesh, np_eff),
-                    model.clone(),
-                    &cfg,
-                );
-                assert!(out.history.converged(), "Mesh{k} P={np} gls({m})");
+                    })
+                    .run(np_eff);
                 if np == 1 {
                     t1[di] = out.modeled_time;
                 }

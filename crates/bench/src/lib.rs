@@ -4,6 +4,8 @@
 //! it prints the paper-style rows to stdout **and** writes a CSV under
 //! `results/` at the workspace root, so the data can be re-plotted.
 
+pub mod harness;
+
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;

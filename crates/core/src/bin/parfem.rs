@@ -25,6 +25,13 @@ use std::process::ExitCode;
 static ALLOC: parfem::trace::alloc::CountingAlloc = parfem::trace::alloc::CountingAlloc;
 
 fn usage() -> ExitCode {
+    // The `--precond` and `--machine` help lines come straight from the
+    // registries, so the usage screen can never drift from the parsers.
+    let precond_help = parfem::precond::registry::grammar_help()
+        .lines()
+        .map(|l| format!("                        {l}"))
+        .collect::<Vec<_>>()
+        .join("\n");
     eprintln!(
         "usage:
   parfem meshes
@@ -40,9 +47,9 @@ solve options:
   --parts P             number of subdomains/ranks (default 4)
   --strategy edd|rdd    decomposition strategy (default edd)
   --variant basic|enhanced   EDD algorithm variant (default enhanced)
-  --precond SPEC        none|jacobi|gls:M|neumann:M|chebyshev:M|
-                        gls-escalating:PERIOD (default gls:7)
-  --machine origin|sp2|ideal  virtual machine model (default origin)
+  --precond SPEC        preconditioner (default gls:7), one of:
+{precond_help}
+  --machine NAME        virtual machine model: {machines} (default origin)
   --overlap             nonblocking interface exchange overlapped with the
                         interior matvec (bit-identical; changes modeled time)
   --tol T               relative residual tolerance (default 1e-6)
@@ -61,7 +68,8 @@ solve options:
 
 report options:
   --trace FILE.jsonl    trace file written by `parfem solve --trace`
-  --width N             timeline width in columns (default 72)"
+  --width N             timeline width in columns (default 72)",
+        machines = MachineModel::NAMES.join("|"),
     );
     ExitCode::from(2)
 }
@@ -136,43 +144,6 @@ fn build_problem(args: &Args) -> Result<CantileverProblem, String> {
     })
 }
 
-fn parse_precond(spec: &str) -> Result<PrecondSpec, String> {
-    let (kind, deg) = match spec.split_once(':') {
-        Some((k, d)) => (k, Some(d)),
-        None => (spec, None),
-    };
-    let degree = |d: Option<&str>| -> Result<usize, String> {
-        d.ok_or_else(|| format!("{kind} needs a degree, e.g. {kind}:7"))?
-            .parse()
-            .map_err(|_| "bad degree".to_string())
-    };
-    match kind {
-        "none" => Ok(PrecondSpec::None),
-        "jacobi" => Ok(PrecondSpec::Jacobi),
-        "gls" => Ok(PrecondSpec::Gls {
-            degree: degree(deg)?,
-            theta: None,
-        }),
-        "neumann" => Ok(PrecondSpec::Neumann {
-            degree: degree(deg)?,
-        }),
-        "chebyshev" => Ok(PrecondSpec::Chebyshev {
-            degree: degree(deg)?,
-        }),
-        "gls-escalating" => {
-            let period = deg
-                .ok_or_else(|| "gls-escalating needs a period, e.g. gls-escalating:5".to_string())?
-                .parse()
-                .map_err(|_| "bad period".to_string())?;
-            if period == 0 {
-                return Err("period must be positive".to_string());
-            }
-            Ok(PrecondSpec::GlsEscalating { period })
-        }
-        _ => Err(format!("unknown preconditioner {kind}")),
-    }
-}
-
 fn cmd_meshes() -> ExitCode {
     println!("{:>7} {:>12} {:>8} {:>8}", "Mesh", "grid", "nNode", "nEqn");
     for k in 1..=10 {
@@ -225,16 +196,15 @@ fn cmd_solve(args: &Args) -> ExitCode {
         .value_of("--parts")
         .map(|s| s.parse().unwrap_or(4))
         .unwrap_or(4);
-    let machine = match args.value_of("--machine").unwrap_or("origin") {
-        "origin" => MachineModel::sgi_origin(),
-        "sp2" => MachineModel::ibm_sp2(),
-        "ideal" => MachineModel::ideal(),
-        m => {
-            eprintln!("unknown machine {m}");
-            return usage();
-        }
+    let machine_name = args.value_of("--machine").unwrap_or("origin");
+    let Some(machine) = MachineModel::by_name(machine_name) else {
+        eprintln!(
+            "unknown machine {machine_name}; expected one of {}",
+            MachineModel::NAMES.join("|")
+        );
+        return usage();
     };
-    let precond = match parse_precond(args.value_of("--precond").unwrap_or("gls:7")) {
+    let precond = match PrecondSpec::parse(args.value_of("--precond").unwrap_or("gls:7")) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
@@ -297,41 +267,29 @@ fn cmd_solve(args: &Args) -> ExitCode {
         TraceSink::disabled()
     };
 
-    let strategy = args.value_of("--strategy").unwrap_or("edd");
-    println!(
-        "solving {} equations with {} on {} ranks ({}, {})",
-        problem.n_eqn(),
-        cfg.precond.name(),
-        parts,
-        strategy,
-        machine.name
-    );
-    let result = match strategy {
-        "edd" => try_solve_edd_traced(
-            &problem.mesh,
-            &problem.dof_map,
-            &problem.material,
-            &problem.loads,
-            &ElementPartition::strips_x(&problem.mesh, parts),
-            machine,
-            &cfg,
-            &sink,
-        ),
-        "rdd" => try_solve_rdd_traced(
-            &problem.mesh,
-            &problem.dof_map,
-            &problem.material,
-            &problem.loads,
-            &NodePartition::strips_x(&problem.mesh, parts),
-            machine,
-            &cfg,
-            &sink,
-        ),
+    let strategy_name = args.value_of("--strategy").unwrap_or("edd");
+    let strategy = match strategy_name {
+        "edd" => Strategy::Edd(ElementPartition::strips_x(&problem.mesh, parts)),
+        "rdd" => Strategy::Rdd(NodePartition::strips_x(&problem.mesh, parts)),
         s => {
             eprintln!("unknown strategy {s}");
             return usage();
         }
     };
+    println!(
+        "solving {} equations with {} on {} ranks ({}, {})",
+        problem.n_eqn(),
+        cfg.precond.name(),
+        parts,
+        strategy_name,
+        machine.name
+    );
+    let result = SolveSession::new(problem.as_problem())
+        .strategy(strategy)
+        .config(cfg)
+        .machine(machine)
+        .trace(&sink)
+        .run();
     let out = match result {
         Ok(out) => out,
         Err(failures) => {

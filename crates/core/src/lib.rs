@@ -16,8 +16,9 @@
 //!   convergence figures,
 //! - [`dynamic`] — Newmark first-step effective systems (`[αM + βK]u = f̂`)
 //!   and full transient simulation,
-//! - re-exported [`parfem_dd::solve_edd`] / [`parfem_dd::solve_rdd`] for
-//!   the parallel runs.
+//! - the re-exported [`parfem_dd::SolveSession`] builder for the parallel
+//!   runs (EDD/RDD, preconditioner, machine, overlap, faults, tracing as
+//!   orthogonal options).
 //!
 //! ## Quickstart
 //!
@@ -30,10 +31,11 @@
 //! // Solve in parallel with 4 subdomains and a GLS(7) polynomial
 //! // preconditioner on the virtual SGI Origin.
 //! let part = ElementPartition::strips_x(&problem.mesh, 4);
-//! let out = solve_edd(
-//!     &problem.mesh, &problem.dof_map, &problem.material, &problem.loads,
-//!     &part, MachineModel::sgi_origin(), &SolverConfig::default(),
-//! );
+//! let out = SolveSession::new(problem.as_problem())
+//!     .strategy(Strategy::Edd(part))
+//!     .machine(MachineModel::sgi_origin())
+//!     .run()
+//!     .expect("fault-free solve");
 //! assert!(out.history.converged());
 //! ```
 
@@ -59,11 +61,14 @@ pub mod prelude {
     pub use crate::dynamic::{first_step_system, simulate, DynamicOutcome};
     pub use crate::problems::{CantileverProblem, LoadCase, PAPER_MESHES};
     pub use crate::sequential::{solve_static, solve_system, SeqPrecond};
+    #[allow(deprecated)] // the frozen legacy entry points stay importable
     pub use parfem_dd::{
         solve_dynamic_edd, solve_edd, solve_edd_traced, solve_rdd, solve_rdd_traced,
-        try_solve_edd_systems_traced, try_solve_edd_traced, try_solve_rdd_traced, DdSolveOutput,
-        DynamicRunConfig, DynamicRunOutput, EddVariant, PrecondSpec, SolveError, SolveFailures,
-        SolverConfig,
+        try_solve_edd_systems_traced, try_solve_edd_traced, try_solve_rdd_traced,
+    };
+    pub use parfem_dd::{
+        DdSolveOutput, DynamicRunConfig, DynamicRunOutput, EddVariant, MultiSolveOutput,
+        PrecondSpec, Problem, SolveError, SolveFailures, SolveSession, SolverConfig, Strategy,
     };
     pub use parfem_fem::{Material, NewmarkParams};
     pub use parfem_krylov::{ConvergenceHistory, GmresConfig};

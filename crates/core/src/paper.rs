@@ -57,10 +57,10 @@
 //!
 //! | Paper | Code |
 //! |---|---|
-//! | Eq. 50 static / Eqs. 51–52 dynamics | [`crate::problems`], [`parfem_fem::dynamics`], [`parfem_dd::solve_dynamic_edd`] |
+//! | Eq. 50 static / Eqs. 51–52 dynamics | [`crate::problems`], [`parfem_fem::dynamics`], [`parfem_dd::SolveSession::run_dynamic`] |
 //! | Table 2 meshes | [`crate::problems::PAPER_MESHES`] |
 //! | Figs. 10–14 convergence studies | [`crate::sequential`], `fig10`–`fig14` binaries |
-//! | Figs. 15–17 / Table 3 speedups | [`parfem_dd::solve_edd`]/[`parfem_dd::solve_rdd`] on [`parfem_msg::MachineModel`]; `fig16`/`fig17`/`table3` binaries |
+//! | Figs. 15–17 / Table 3 speedups | [`parfem_dd::SolveSession`] (EDD/RDD strategies) on [`parfem_msg::MachineModel`]; `fig16`/`fig17`/`table3` binaries |
 //!
 //! The per-experiment parameters live in `DESIGN.md`; measured-vs-paper
 //! numbers in `EXPERIMENTS.md`.

@@ -96,6 +96,12 @@ impl CantileverProblem {
     pub fn static_system(&self) -> assembly::StaticSystem {
         assembly::build_static(&self.mesh, &self.dof_map, &self.material, &self.loads)
     }
+
+    /// The borrowed [`parfem_dd::Problem`] view of this cantilever — what
+    /// [`parfem_dd::SolveSession::new`] takes.
+    pub fn as_problem(&self) -> parfem_dd::Problem<'_> {
+        parfem_dd::Problem::new(&self.mesh, &self.dof_map, &self.material, &self.loads)
+    }
 }
 
 #[cfg(test)]

@@ -12,18 +12,14 @@
 //! every update is the same linear combination on every sharing rank.
 
 use crate::dist_vec::EddLayout;
-use crate::driver::{DdSolveOutput, PrecondSpec, SolverConfig};
 use crate::edd::edd_fgmres_with;
 use crate::scaling::DistributedScaling;
+use crate::session::{DdSolveOutput, SolverConfig};
 use parfem_fem::{Material, NewmarkParams, SubdomainSystem};
 use parfem_krylov::history::{ConvergenceHistory, StopReason};
 use parfem_krylov::KrylovWorkspace;
 use parfem_mesh::{DofMap, ElementPartition, QuadMesh};
 use parfem_msg::{run_ranks, Communicator, MachineModel};
-use parfem_precond::{
-    ChebyshevPrecond, EscalatingGls, GlsPrecond, IdentityPrecond, IntervalUnion, JacobiPrecond,
-    NeumannPrecond,
-};
 
 /// Configuration of a parallel transient run.
 #[derive(Debug, Clone)]
@@ -56,11 +52,39 @@ pub struct DynamicRunOutput {
 /// zero initial conditions, homogeneous Dirichlet BCs) with the EDD
 /// distributed solver, watching the global DOFs in `watch_dofs`.
 ///
+/// This frozen signature delegates to
+/// [`SolveSession::run_dynamic`](crate::SolveSession::run_dynamic); new
+/// code should use the session builder directly.
+///
 /// # Panics
 /// Panics if the DOF map carries non-zero prescribed values (the transient
 /// driver supports homogeneous constraints only) or on shape mismatches.
+#[deprecated(note = "use SolveSession::run_dynamic")]
 #[allow(clippy::too_many_arguments)] // problem + partition + machine + config + probes
 pub fn solve_dynamic_edd(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+    part: &ElementPartition,
+    model: MachineModel,
+    cfg: &DynamicRunConfig,
+    watch_dofs: &[usize],
+) -> DynamicRunOutput {
+    crate::session::SolveSession::new(crate::session::Problem::new(mesh, dm, material, loads))
+        .strategy(crate::session::Strategy::Edd(part.clone()))
+        .config(cfg.solver.clone())
+        .machine(model)
+        .run_dynamic(cfg.params, cfg.steps, watch_dofs)
+}
+
+/// The transient engine behind [`SolveSession::run_dynamic`]
+/// (`crate::SolveSession`): one `run_ranks` launch whose rank body builds
+/// the effective matrix, its distributed scaling and the registry
+/// preconditioner once, then time-steps with a warm-started, shared-
+/// workspace FGMRES per step.
+#[allow(clippy::too_many_arguments)] // problem + partition + machine + config + probes
+pub(crate) fn run_dynamic_edd(
     mesh: &QuadMesh,
     dm: &DofMap,
     material: &Material,
@@ -131,102 +155,26 @@ pub fn solve_dynamic_edd(
         }
 
         // Preconditioner (constructed once; theta = (eps, 1) post scaling).
-        enum Pc {
-            None(IdentityPrecond),
-            Jacobi(JacobiPrecond),
-            Gls(GlsPrecond),
-            Neumann(NeumannPrecond),
-            Chebyshev(ChebyshevPrecond),
-            Escalating(EscalatingGls),
-        }
-        let pc = match &cfg.solver.precond {
-            PrecondSpec::None => Pc::None(IdentityPrecond),
-            PrecondSpec::Jacobi => {
-                let mut d = a_eff.diagonal();
-                layout.interface_sum_buffered(comm, &mut d, &mut setup_bufs);
-                Pc::Jacobi(JacobiPrecond::from_diagonal(&d))
-            }
-            PrecondSpec::Gls { degree, theta } => Pc::Gls(GlsPrecond::new(
-                *degree,
-                theta.clone().unwrap_or_else(IntervalUnion::unit),
-            )),
-            PrecondSpec::Neumann { degree } => {
-                Pc::Neumann(NeumannPrecond::for_scaled_system(*degree))
-            }
-            PrecondSpec::Chebyshev { degree } => {
-                Pc::Chebyshev(ChebyshevPrecond::for_scaled_system(*degree))
-            }
-            PrecondSpec::GlsEscalating { period } => {
-                Pc::Escalating(EscalatingGls::default_for_scaled_system(*period))
-            }
-        };
-        let apply_solver = |b_local: &[f64], x0: &[f64], ws: &mut KrylovWorkspace| match &pc {
-            Pc::None(q) => edd_fgmres_with(
+        // Built through the registry as a concrete `BuiltPrecond` so the
+        // per-step RHS borrows below need not outlive it; the diagonal
+        // interface sum runs only for Jacobi (the closure is lazy).
+        let pc = cfg.solver.precond.instantiate(|| {
+            let mut d = a_eff.diagonal();
+            layout.interface_sum_buffered(comm, &mut d, &mut setup_bufs);
+            d
+        });
+        let apply_solver = |b_local: &[f64], x0: &[f64], ws: &mut KrylovWorkspace| {
+            edd_fgmres_with(
                 comm,
                 &layout,
                 &a_eff,
-                q,
+                &pc,
                 b_local,
                 x0,
                 &cfg.solver.gmres,
                 cfg.solver.variant,
                 ws,
-            ),
-            Pc::Jacobi(q) => edd_fgmres_with(
-                comm,
-                &layout,
-                &a_eff,
-                q,
-                b_local,
-                x0,
-                &cfg.solver.gmres,
-                cfg.solver.variant,
-                ws,
-            ),
-            Pc::Gls(q) => edd_fgmres_with(
-                comm,
-                &layout,
-                &a_eff,
-                q,
-                b_local,
-                x0,
-                &cfg.solver.gmres,
-                cfg.solver.variant,
-                ws,
-            ),
-            Pc::Neumann(q) => edd_fgmres_with(
-                comm,
-                &layout,
-                &a_eff,
-                q,
-                b_local,
-                x0,
-                &cfg.solver.gmres,
-                cfg.solver.variant,
-                ws,
-            ),
-            Pc::Chebyshev(q) => edd_fgmres_with(
-                comm,
-                &layout,
-                &a_eff,
-                q,
-                b_local,
-                x0,
-                &cfg.solver.gmres,
-                cfg.solver.variant,
-                ws,
-            ),
-            Pc::Escalating(q) => edd_fgmres_with(
-                comm,
-                &layout,
-                &a_eff,
-                q,
-                b_local,
-                x0,
-                &cfg.solver.gmres,
-                cfg.solver.variant,
-                ws,
-            ),
+            )
         };
 
         // Local indices of watched dofs (if present on this rank).
@@ -352,6 +300,7 @@ pub fn solve_dynamic_edd(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the frozen legacy entry point
 mod tests {
     use super::*;
     use parfem_fem::assembly;

@@ -12,8 +12,11 @@
 //! - [`solver`] — the unified distributed FGMRES core: one restarted
 //!   flexible GMRES loop over the [`solver::DistributedOperator`] trait
 //!   that both [`edd`] and [`rdd`] implement,
-//! - [`driver`] — high-level entry points that partition a mesh, spawn the
-//!   ranks, scale, precondition, solve, and gather the solution.
+//! - [`session`] — the composable [`SolveSession`] builder: strategy,
+//!   preconditioner, machine model, overlap, faults, tracing and
+//!   single-/multi-RHS/transient runs as orthogonal options,
+//! - [`driver`] — the frozen legacy entry points, now thin `#[deprecated]`
+//!   shims over [`SolveSession`].
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -29,18 +32,25 @@ pub mod edd;
 pub mod error;
 pub mod rdd;
 pub mod scaling;
+pub mod session;
 pub mod solver;
 
 pub use dist_vec::{EddLayout, ExchangeBuffers};
+#[allow(deprecated)] // the frozen legacy entry points stay importable
 pub use driver::{
     solve_edd, solve_edd_systems, solve_edd_systems_traced, solve_edd_traced, solve_rdd,
     solve_rdd_traced, try_solve_edd_systems_traced, try_solve_edd_traced, try_solve_rdd_traced,
-    DdSolveOutput, PrecondSpec, SolveFailures, SolverConfig,
 };
-pub use dynamic::{solve_dynamic_edd, DynamicRunConfig, DynamicRunOutput};
+#[allow(deprecated)] // the frozen legacy entry point stays importable
+pub use dynamic::solve_dynamic_edd;
+pub use dynamic::{DynamicRunConfig, DynamicRunOutput};
 pub use edd::{edd_fgmres, edd_fgmres_with, edd_lambda_max, EddOperator, EddVariant};
 pub use error::SolveError;
 pub use rdd::{rdd_fgmres, rdd_fgmres_with, RddLocalIlu, RddOperator, RddSystem};
+pub use session::{
+    DdSolveOutput, MultiSolveOutput, PrecondSpec, Problem, SolveFailures, SolveSession,
+    SolverConfig, Strategy,
+};
 pub use solver::{dd_fgmres, DdResult, DistributedOperator};
 
 #[cfg(test)]

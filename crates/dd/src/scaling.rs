@@ -19,7 +19,7 @@ use crate::dist_vec::{EddLayout, ExchangeBuffers};
 use parfem_fem::subdomain::SubdomainSystem;
 use parfem_mesh::numbering::DOFS_PER_NODE;
 use parfem_msg::Communicator;
-use parfem_sparse::{CsrMatrix, DiagonalScaling};
+use parfem_sparse::{dense, scaling::inv_sqrt_scaling, CsrMatrix, DiagonalScaling};
 
 /// The per-subdomain result of the distributed scaling.
 #[derive(Debug, Clone)]
@@ -36,11 +36,12 @@ impl DistributedScaling {
         comm.work(2 * k_local.nnz() as u64);
         let mut bufs = ExchangeBuffers::new();
         layout.interface_sum_buffered(comm, &mut sums, &mut bufs);
-        let d = sums
-            .iter()
-            .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 1.0 })
-            .collect();
-        DistributedScaling { d }
+        // The 1/√· map is shared with the sequential scaling, so the
+        // distributed diagonal is the restriction of the assembled one
+        // whenever the accumulated sums agree.
+        DistributedScaling {
+            d: inv_sqrt_scaling(&sums),
+        }
     }
 
     /// Algorithm 4 step 1–2: returns the scaled local matrix `D̂K̂D̂` and
@@ -48,18 +49,14 @@ impl DistributedScaling {
     pub fn apply(&self, k_local: &CsrMatrix, f_local: &mut [f64]) -> CsrMatrix {
         let mut a = k_local.clone();
         a.scale_symmetric(&self.d);
-        for (fi, di) in f_local.iter_mut().zip(&self.d) {
-            *fi *= di;
-        }
+        dense::diag_mul(&self.d, f_local);
         a
     }
 
     /// Recovers physical displacements from the scaled solution:
     /// `û = D̂ x̂` (Algorithm 4 step 5).
     pub fn unscale(&self, x: &mut [f64]) {
-        for (xi, di) in x.iter_mut().zip(&self.d) {
-            *xi *= di;
-        }
+        dense::diag_mul(&self.d, x);
     }
 }
 

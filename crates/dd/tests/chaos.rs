@@ -13,8 +13,7 @@
 //!   watchdog — no hangs, no orphaned threads, no partial "solutions".
 
 use parfem_dd::{
-    solve_edd, try_solve_edd_systems_traced, try_solve_rdd_traced, EddVariant, PrecondSpec,
-    SolveError, SolverConfig,
+    EddVariant, PrecondSpec, Problem, SolveError, SolveSession, SolverConfig, Strategy,
 };
 use parfem_fem::{assembly, Material, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
@@ -78,17 +77,21 @@ proptest! {
     ) {
         let overlap = overlap_bit == 1;
         let (mesh, dm, mat, loads) = problem(8, 3);
-        let clean = solve_edd(&mesh, &dm, &mat, &loads,
-            &ElementPartition::strips_x(&mesh, parts),
-            MachineModel::ibm_sp2(), &cfg_with(None, overlap));
+        let solve = |cfg: SolverConfig| {
+            SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+                .strategy(Strategy::Edd(ElementPartition::strips_x(&mesh, parts)))
+                .config(cfg)
+                .machine(MachineModel::ibm_sp2())
+                .run()
+                .expect("recoverable schedule must solve")
+        };
+        let clean = solve(cfg_with(None, overlap));
         prop_assert!(clean.history.converged());
 
         let plan = FaultPlan::new(seed)
             .with_drops(0.3)
             .with_retry_policy(30, 1e-3, 2.0);
-        let faulted = solve_edd(&mesh, &dm, &mat, &loads,
-            &ElementPartition::strips_x(&mesh, parts),
-            MachineModel::ibm_sp2(), &cfg_with(Some(plan), overlap));
+        let faulted = solve(cfg_with(Some(plan), overlap));
 
         prop_assert_eq!(&clean.u, &faulted.u,
             "drops+retries must not change solution bits");
@@ -111,23 +114,29 @@ proptest! {
         let plan = FaultPlan::from_seed_intensity(seed, intensity);
 
         let systems = subdomain_systems(&mesh, &dm, &mat, &loads, 3);
-        let clean = try_solve_edd_systems_traced(&systems, dm.n_dofs(),
-            MachineModel::sgi_origin(), &cfg_with(None, false),
-            &TraceSink::disabled()).expect("fault-free");
-        let faulted = try_solve_edd_systems_traced(&systems, dm.n_dofs(),
-            MachineModel::sgi_origin(), &cfg_with(Some(plan.clone()), false),
-            &TraceSink::disabled()).expect("recoverable plan must solve");
+        let esolve = |cfg: SolverConfig| {
+            SolveSession::from_systems(&systems, dm.n_dofs())
+                .config(cfg)
+                .machine(MachineModel::sgi_origin())
+                .run()
+        };
+        let clean = esolve(cfg_with(None, false)).expect("fault-free");
+        let faulted = esolve(cfg_with(Some(plan.clone()), false))
+            .expect("recoverable plan must solve");
         prop_assert_eq!(&clean.u, &faulted.u);
         prop_assert_eq!(&clean.history.relative_residuals,
             &faulted.history.relative_residuals);
 
-        let npart = NodePartition::contiguous(mesh.n_nodes(), 3);
-        let rclean = try_solve_rdd_traced(&mesh, &dm, &mat, &loads, &npart,
-            MachineModel::sgi_origin(), &cfg_with(None, false),
-            &TraceSink::disabled()).expect("fault-free");
-        let rfaulted = try_solve_rdd_traced(&mesh, &dm, &mat, &loads, &npart,
-            MachineModel::sgi_origin(), &cfg_with(Some(plan), false),
-            &TraceSink::disabled()).expect("recoverable plan must solve");
+        let rsolve = |cfg: SolverConfig| {
+            SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+                .strategy(Strategy::Rdd(NodePartition::contiguous(mesh.n_nodes(), 3)))
+                .config(cfg)
+                .machine(MachineModel::sgi_origin())
+                .run()
+        };
+        let rclean = rsolve(cfg_with(None, false)).expect("fault-free");
+        let rfaulted = rsolve(cfg_with(Some(plan), false))
+            .expect("recoverable plan must solve");
         prop_assert_eq!(&rclean.u, &rfaulted.u);
         prop_assert_eq!(&rclean.history.relative_residuals,
             &rfaulted.history.relative_residuals);
@@ -140,14 +149,11 @@ fn same_seed_reproduces_the_same_faulted_solve() {
     let systems = subdomain_systems(&mesh, &dm, &mat, &loads, 4);
     let plan = FaultPlan::from_seed_intensity(2026, 0.5);
     let run = || {
-        try_solve_edd_systems_traced(
-            &systems,
-            dm.n_dofs(),
-            MachineModel::ibm_sp2(),
-            &cfg_with(Some(plan.clone()), false),
-            &TraceSink::disabled(),
-        )
-        .expect("recoverable")
+        SolveSession::from_systems(&systems, dm.n_dofs())
+            .config(cfg_with(Some(plan.clone()), false))
+            .machine(MachineModel::ibm_sp2())
+            .run()
+            .expect("recoverable")
     };
     let a = run();
     let b = run();
@@ -163,14 +169,11 @@ fn injected_delays_stretch_modeled_time_but_not_the_solution() {
     let (mesh, dm, mat, loads) = problem(8, 3);
     let systems = subdomain_systems(&mesh, &dm, &mat, &loads, 4);
     let run = |faults| {
-        try_solve_edd_systems_traced(
-            &systems,
-            dm.n_dofs(),
-            MachineModel::sgi_origin(),
-            &cfg_with(faults, false),
-            &TraceSink::disabled(),
-        )
-        .expect("recoverable")
+        SolveSession::from_systems(&systems, dm.n_dofs())
+            .config(cfg_with(faults, false))
+            .machine(MachineModel::sgi_origin())
+            .run()
+            .expect("recoverable")
     };
     let clean = run(None);
     let slow = run(Some(FaultPlan::new(9).with_delays(1.0, 1e-3)));
@@ -197,14 +200,11 @@ fn killed_rank_fails_the_solve_on_every_rank_within_budget() {
         ..cfg_with(None, false)
     };
     let start = Instant::now();
-    let failures = try_solve_edd_systems_traced(
-        &systems,
-        dm.n_dofs(),
-        MachineModel::ibm_sp2(),
-        &cfg,
-        &TraceSink::disabled(),
-    )
-    .expect_err("a killed rank must fail the solve");
+    let failures = SolveSession::from_systems(&systems, dm.n_dofs())
+        .config(cfg)
+        .machine(MachineModel::ibm_sp2())
+        .run()
+        .expect_err("a killed rank must fail the solve");
     let elapsed = start.elapsed();
 
     assert_eq!(
@@ -248,17 +248,12 @@ fn killed_rank_fails_rdd_within_budget() {
         ..cfg_with(None, false)
     };
     let start = Instant::now();
-    let failures = try_solve_rdd_traced(
-        &mesh,
-        &dm,
-        &mat,
-        &loads,
-        &npart,
-        MachineModel::ibm_sp2(),
-        &cfg,
-        &TraceSink::disabled(),
-    )
-    .expect_err("a killed rank must fail the solve");
+    let failures = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Rdd(npart))
+        .config(cfg)
+        .machine(MachineModel::ibm_sp2())
+        .run()
+        .expect_err("a killed rank must fail the solve");
     assert!(failures
         .errors
         .iter()
@@ -287,14 +282,10 @@ fn undeliverable_messages_fail_the_solve_with_retries_exhausted() {
         ),
         ..cfg_with(None, false)
     };
-    let failures = try_solve_edd_systems_traced(
-        &systems,
-        dm.n_dofs(),
-        MachineModel::ideal(),
-        &cfg,
-        &TraceSink::disabled(),
-    )
-    .expect_err("certain drops with 2 retries are unrecoverable");
+    let failures = SolveSession::from_systems(&systems, dm.n_dofs())
+        .config(cfg)
+        .run()
+        .expect_err("certain drops with 2 retries are unrecoverable");
     assert!(
         failures.errors.iter().any(|(_, e)| matches!(
             e,
@@ -312,14 +303,10 @@ fn straggler_rank_stretches_modeled_time_but_not_the_solution() {
     let (mesh, dm, mat, loads) = problem(8, 3);
     let systems = subdomain_systems(&mesh, &dm, &mat, &loads, 4);
     let run = |faults| {
-        try_solve_edd_systems_traced(
-            &systems,
-            dm.n_dofs(),
-            MachineModel::ideal(),
-            &cfg_with(faults, false),
-            &TraceSink::disabled(),
-        )
-        .expect("recoverable")
+        SolveSession::from_systems(&systems, dm.n_dofs())
+            .config(cfg_with(faults, false))
+            .run()
+            .expect("recoverable")
     };
     let base = run(None);
     let dragged = run(Some(FaultPlan::new(0).with_straggler(1, 8.0)));
@@ -348,9 +335,11 @@ fn fault_counters_reach_the_trace_report() {
         ),
         false,
     );
-    let out =
-        try_solve_edd_systems_traced(&systems, dm.n_dofs(), MachineModel::ideal(), &cfg, &sink)
-            .expect("recoverable");
+    let out = SolveSession::from_systems(&systems, dm.n_dofs())
+        .config(cfg)
+        .trace(&sink)
+        .run()
+        .expect("recoverable");
     assert!(out.history.converged());
     let events = sink.take_events();
     let report = parfem_trace::TraceReport::from_events(&events);

@@ -15,7 +15,10 @@
 //! ```
 
 use parfem_dd::scaling::DistributedScaling;
-use parfem_dd::{edd_fgmres, rdd_fgmres, EddLayout, EddVariant, RddLocalIlu, RddSystem};
+use parfem_dd::{
+    edd_fgmres, rdd_fgmres, EddLayout, EddVariant, PrecondSpec, Problem, RddLocalIlu, RddSystem,
+    SolveSession, SolverConfig, Strategy,
+};
 use parfem_fem::{assembly, Material, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::ConvergenceHistory;
@@ -547,4 +550,75 @@ fn rdd_under_duplicate_plan_matches_fault_free_digest() {
             want(),
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Session-path golden cases: the `SolveSession` builder must reproduce the
+// pinned pre-refactor convergence bits. The per-rank `x_hash` does not apply
+// (the session returns one assembled global solution), so these cases pin
+// iterations, restarts and the residual-history hash of the named digests
+// above — any drift in the session pipeline's floating-point sequence
+// trips the same wire as the raw-solver cases.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_reproduces_edd_enhanced_gls5_history() {
+    // Same case as `edd_enhanced_gls5` above, through the builder.
+    let mesh = QuadMesh::cantilever(8, 3);
+    let mut dm = DofMap::new(mesh.n_nodes());
+    dm.clamp_edge(&mesh, Edge::Left);
+    let mat = Material::unit();
+    let mut loads = vec![0.0; dm.n_dofs()];
+    assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+    let out = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(ElementPartition::strips_x(&mesh, 4)))
+        .config(SolverConfig {
+            gmres: cfg(1e-8),
+            precond: PrecondSpec::Gls {
+                degree: 5,
+                theta: None,
+            },
+            ..SolverConfig::default()
+        })
+        .run()
+        .expect("golden session must solve");
+    assert_eq!(out.history.iterations(), 13);
+    assert_eq!(out.history.restarts, 0);
+    let mut rh = Fnv::new();
+    rh.f64s(&out.history.relative_residuals);
+    assert_eq!(
+        rh.0, 0x04b565949448c04f,
+        "session EDD path drifted from the pinned edd_enhanced_gls5 history"
+    );
+}
+
+#[test]
+fn session_reproduces_rdd_gls5_history() {
+    // Same case as `rdd_gls5` above, through the builder.
+    let mesh = QuadMesh::cantilever(8, 2);
+    let mut dm = DofMap::new(mesh.n_nodes());
+    dm.clamp_edge(&mesh, Edge::Left);
+    let mat = Material::unit();
+    let mut loads = vec![0.0; dm.n_dofs()];
+    assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+    let out = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Rdd(NodePartition::contiguous(mesh.n_nodes(), 4)))
+        .config(SolverConfig {
+            gmres: cfg(1e-9),
+            precond: PrecondSpec::Gls {
+                degree: 5,
+                theta: None,
+            },
+            ..SolverConfig::default()
+        })
+        .run()
+        .expect("golden session must solve");
+    assert_eq!(out.history.iterations(), 13);
+    assert_eq!(out.history.restarts, 0);
+    let mut rh = Fnv::new();
+    rh.f64s(&out.history.relative_residuals);
+    assert_eq!(
+        rh.0, 0xa284689e9f354307,
+        "session RDD path drifted from the pinned rdd_gls5 history"
+    );
 }

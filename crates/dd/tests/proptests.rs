@@ -6,7 +6,7 @@ use parfem_dd::dist_vec::EddLayout;
 use parfem_dd::rdd::RddOperator;
 use parfem_dd::scaling::edd_scaling_reference;
 use parfem_dd::{
-    solve_edd, solve_rdd, EddOperator, EddVariant, PrecondSpec, RddSystem, SolverConfig,
+    EddOperator, EddVariant, PrecondSpec, Problem, RddSystem, SolveSession, SolverConfig, Strategy,
 };
 use parfem_fem::{assembly, Material, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
@@ -44,8 +44,11 @@ proptest! {
             overlap: false,
             ..Default::default()
         };
-        let out = solve_edd(&mesh, &dm, &mat, &loads,
-            &ElementPartition::strips_x(&mesh, parts), MachineModel::ideal(), &cfg);
+        let out = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+            .strategy(Strategy::Edd(ElementPartition::strips_x(&mesh, parts)))
+            .config(cfg)
+            .run()
+            .expect("fault-free solve");
         prop_assert!(out.history.converged());
         let sys = assembly::build_static(&mesh, &dm, &mat, &loads);
         let r = sys.stiffness.spmv(&out.u);
@@ -67,10 +70,16 @@ proptest! {
             overlap: false,
             ..Default::default()
         };
-        let e = solve_edd(&mesh, &dm, &mat, &loads,
-            &ElementPartition::strips_x(&mesh, parts), MachineModel::ideal(), &cfg);
-        let r = solve_rdd(&mesh, &dm, &mat, &loads,
-            &NodePartition::strips_x(&mesh, parts), MachineModel::ideal(), &cfg);
+        let e = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+            .strategy(Strategy::Edd(ElementPartition::strips_x(&mesh, parts)))
+            .config(cfg.clone())
+            .run()
+            .expect("fault-free solve");
+        let r = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+            .strategy(Strategy::Rdd(NodePartition::strips_x(&mesh, parts)))
+            .config(cfg)
+            .run()
+            .expect("fault-free solve");
         prop_assert!(e.history.converged() && r.history.converged());
         let scale = e.u.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-12);
         for (a, b) in e.u.iter().zip(&r.u) {

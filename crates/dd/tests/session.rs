@@ -1,0 +1,270 @@
+//! Contract tests for the [`SolveSession`] builder: the single pipeline
+//! behind every legacy `solve_*` entry point.
+//!
+//! Three layers of guarantee:
+//!
+//! - **shim equivalence** — each deprecated entry point is a thin delegate,
+//!   so the session path reproduces its solution bits and residual history
+//!   exactly (the golden digests in `golden.rs` pin the absolute values;
+//!   here we pin the *relative* identity between the two call forms);
+//! - **option orthogonality** — tracing, fault injection and overlapped
+//!   exchange compose on one builder without changing the numbers;
+//! - **multi-RHS reuse** — `run_multi` shares scaling/layout/workspace
+//!   across right-hand sides yet stays bit-identical to independent
+//!   single-RHS runs.
+
+#![allow(deprecated)] // exercising the frozen legacy shims on purpose
+
+use parfem_dd::{
+    solve_edd, solve_rdd, DdSolveOutput, EddVariant, PrecondSpec, Problem, SolveSession,
+    SolverConfig, Strategy,
+};
+use parfem_fem::{assembly, Material, NewmarkParams, SubdomainSystem};
+use parfem_krylov::gmres::GmresConfig;
+use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, QuadMesh};
+use parfem_msg::{FaultPlan, MachineModel};
+use parfem_trace::TraceSink;
+use std::time::Duration;
+
+fn problem(nx: usize, ny: usize) -> (QuadMesh, DofMap, Material, Vec<f64>) {
+    let mesh = QuadMesh::cantilever(nx, ny);
+    let mut dm = DofMap::new(mesh.n_nodes());
+    dm.clamp_edge(&mesh, Edge::Left);
+    let mat = Material::unit();
+    let mut loads = vec![0.0; dm.n_dofs()];
+    assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+    (mesh, dm, mat, loads)
+}
+
+fn cfg() -> SolverConfig {
+    SolverConfig {
+        gmres: GmresConfig {
+            tol: 1e-8,
+            ..Default::default()
+        },
+        precond: PrecondSpec::Gls {
+            degree: 5,
+            theta: None,
+        },
+        variant: EddVariant::Enhanced,
+        overlap: false,
+        faults: None,
+        comm_timeout: Duration::from_secs(10),
+    }
+}
+
+fn assert_bit_identical(a: &DdSolveOutput, b: &DdSolveOutput, what: &str) {
+    assert_eq!(a.u, b.u, "{what}: solution bits differ");
+    assert_eq!(
+        a.history.relative_residuals, b.history.relative_residuals,
+        "{what}: residual histories differ"
+    );
+}
+
+/// The deprecated EDD shim and the session builder produce bit-identical
+/// output — the shim really is a delegate, not a fork.
+#[test]
+fn edd_shim_delegates_to_session() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = ElementPartition::strips_x(&mesh, 3);
+    let legacy = solve_edd(
+        &mesh,
+        &dm,
+        &mat,
+        &loads,
+        &part,
+        MachineModel::ibm_sp2(),
+        &cfg(),
+    );
+    let session = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .config(cfg())
+        .machine(MachineModel::ibm_sp2())
+        .run()
+        .expect("fault-free session must not fail");
+    assert!(session.history.converged());
+    assert_bit_identical(&legacy, &session, "EDD shim vs session");
+}
+
+/// Same for the RDD shim.
+#[test]
+fn rdd_shim_delegates_to_session() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = NodePartition::strips_x(&mesh, 3);
+    let legacy = solve_rdd(
+        &mesh,
+        &dm,
+        &mat,
+        &loads,
+        &part,
+        MachineModel::sgi_origin(),
+        &cfg(),
+    );
+    let session = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Rdd(part))
+        .config(cfg())
+        .machine(MachineModel::sgi_origin())
+        .run()
+        .expect("fault-free session must not fail");
+    assert!(session.history.converged());
+    assert_bit_identical(&legacy, &session, "RDD shim vs session");
+}
+
+/// Tracing + recoverable fault injection + overlapped exchange compose on
+/// one builder: the run converges, records trace events, and the numbers
+/// match the plain (untraced, unfaulted, blocking) run bit for bit.
+#[test]
+fn traced_faulted_overlapped_session_matches_plain_run() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = ElementPartition::strips_x(&mesh, 3);
+    let base = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part.clone()))
+        .config(cfg())
+        .machine(MachineModel::ibm_sp2());
+    let plain = base.run().expect("plain run");
+
+    let sink = TraceSink::recording();
+    let fancy = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .config(cfg())
+        .machine(MachineModel::ibm_sp2())
+        .overlap(true)
+        .faults(
+            FaultPlan::new(42)
+                .with_drops(0.2)
+                .with_retry_policy(30, 1e-3, 2.0),
+        )
+        .comm_timeout(Duration::from_secs(10))
+        .trace(&sink)
+        .run()
+        .expect("recoverable faults must not fail the solve");
+
+    assert!(fancy.history.converged());
+    assert_bit_identical(&plain, &fancy, "plain vs traced+faulted+overlapped");
+    assert!(
+        fancy.modeled_time >= plain.modeled_time,
+        "retransmission can only add virtual time"
+    );
+    let events = sink.take_events();
+    assert!(!events.is_empty(), "a traced run must record events");
+}
+
+/// Builder setters are views onto one `SolverConfig`: setting the options
+/// one by one equals passing the assembled config wholesale.
+#[test]
+fn granular_setters_equal_wholesale_config() {
+    let (mesh, dm, mat, loads) = problem(6, 3);
+    let part = ElementPartition::strips_x(&mesh, 2);
+    let c = cfg();
+    let wholesale = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part.clone()))
+        .config(c.clone())
+        .run()
+        .unwrap();
+    let granular = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .gmres(c.gmres)
+        .precond(c.precond.clone())
+        .variant(c.variant)
+        .overlap(c.overlap)
+        .faults(c.faults.clone())
+        .comm_timeout(c.comm_timeout)
+        .run()
+        .unwrap();
+    assert_bit_identical(&wholesale, &granular, "wholesale vs granular");
+}
+
+/// `run_multi` shares one scaling/layout/preconditioner across right-hand
+/// sides and still matches independent single-RHS sessions bit for bit.
+#[test]
+fn run_multi_matches_independent_single_runs() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = ElementPartition::strips_x(&mesh, 3);
+
+    // A second, different load case: x-direction traction.
+    let mut loads2 = vec![0.0; dm.n_dofs()];
+    assembly::edge_load(&mesh, &dm, Edge::Right, 1.0, 0.0, &mut loads2);
+
+    let multi = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part.clone()))
+        .config(cfg())
+        .run_multi(&[loads.clone(), loads2.clone()])
+        .expect("multi-RHS session");
+    assert!(multi.all_converged());
+    assert_eq!(multi.solutions.len(), 2);
+
+    for (i, rhs) in [loads.clone(), loads2].into_iter().enumerate() {
+        let single = SolveSession::new(Problem::new(&mesh, &dm, &mat, &rhs))
+            .strategy(Strategy::Edd(part.clone()))
+            .config(cfg())
+            .run()
+            .unwrap();
+        assert_eq!(
+            multi.solutions[i], single.u,
+            "RHS {i}: multi-solve bits differ from the single-RHS session"
+        );
+        assert_eq!(
+            multi.histories[i].relative_residuals, single.history.relative_residuals,
+            "RHS {i}: residual histories differ"
+        );
+    }
+}
+
+/// `from_systems` (prebuilt subdomain systems) equals the mesh-level path
+/// for the same partition.
+#[test]
+fn from_systems_matches_mesh_level_session() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = ElementPartition::strips_x(&mesh, 3);
+    let systems: Vec<SubdomainSystem> = part
+        .subdomains(&mesh)
+        .iter()
+        .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
+        .collect();
+
+    let mesh_level = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .config(cfg())
+        .run()
+        .unwrap();
+    let prebuilt = SolveSession::from_systems(&systems, dm.n_dofs())
+        .config(cfg())
+        .run()
+        .unwrap();
+    assert_bit_identical(&mesh_level, &prebuilt, "mesh-level vs from_systems");
+}
+
+/// The transient driver runs through the session builder and converges at
+/// every step.
+#[test]
+fn run_dynamic_smoke() {
+    let (mesh, dm, mat, loads) = problem(6, 3);
+    let part = ElementPartition::strips_x(&mesh, 2);
+    let tip = dm.dof(mesh.node_at(mesh.nx(), mesh.ny()), 0);
+    let out = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .config(cfg())
+        .run_dynamic(NewmarkParams::average_acceleration(1.0), 3, &[tip]);
+    assert!(out.all_converged, "every Newmark step must converge");
+    assert_eq!(out.watch_histories.len(), 1);
+    assert_eq!(out.watch_histories[0].len(), 3);
+}
+
+/// A killed rank surfaces as a typed failure through the session path —
+/// the `Result` arm of `run` is real, not vestigial.
+#[test]
+fn unrecoverable_fault_returns_solve_failures() {
+    let (mesh, dm, mat, loads) = problem(6, 3);
+    let part = ElementPartition::strips_x(&mesh, 3);
+    let err = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .config(cfg())
+        .faults(FaultPlan::new(7).with_kill(1, 3))
+        .comm_timeout(Duration::from_millis(500))
+        .run()
+        .expect_err("a killed rank must fail the session");
+    assert!(
+        !err.errors.is_empty(),
+        "failure must name the failing ranks"
+    );
+}

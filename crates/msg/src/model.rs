@@ -66,6 +66,21 @@ impl MachineModel {
         }
     }
 
+    /// Looks a preset machine up by its CLI name: `origin`, `sp2` or
+    /// `ideal` (the paper's two evaluation hosts plus the test machine).
+    /// Returns `None` for unknown names so callers can print the list.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "origin" => Some(Self::sgi_origin()),
+            "sp2" => Some(Self::ibm_sp2()),
+            "ideal" => Some(Self::ideal()),
+            _ => None,
+        }
+    }
+
+    /// The CLI names [`MachineModel::by_name`] accepts, for usage text.
+    pub const NAMES: &'static [&'static str] = &["origin", "sp2", "ideal"];
+
     /// Modeled time of one point-to-point message of `bytes`.
     pub fn message_time(&self, bytes: usize) -> f64 {
         self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s

@@ -15,7 +15,9 @@
 //!   stability bound `mε Σ|a_i|` of Eq. 24 (Fig. 3),
 //! - [`jacobi`], [`identity`] — the trivial comparators,
 //! - [`ilu0`] — a [`Preconditioner`] wrapper around
-//!   [`parfem_sparse::Ilu0`], the sequential comparator of Figs. 11–12.
+//!   [`parfem_sparse::Ilu0`], the sequential comparator of Figs. 11–12,
+//! - [`registry`] — the one spec type ([`PrecondSpec`]) every solver,
+//!   binary and test parses and builds preconditioners through.
 //!
 //! All preconditioners implement [`Preconditioner`] over an abstract
 //! [`LinearOperator`], so the identical code runs sequentially and inside
@@ -36,6 +38,7 @@ pub mod ilu0;
 pub mod jacobi;
 pub mod neumann;
 pub mod poly;
+pub mod registry;
 pub mod schwarz;
 
 pub use adaptive::EscalatingGls;
@@ -45,6 +48,7 @@ pub use identity::IdentityPrecond;
 pub use ilu0::Ilu0Precond;
 pub use jacobi::JacobiPrecond;
 pub use neumann::NeumannPrecond;
+pub use registry::{BuiltPrecond, ParseSpecError, PrecondSpec};
 pub use schwarz::BlockJacobiPrecond;
 
 use parfem_sparse::LinearOperator;

@@ -1,0 +1,410 @@
+//! The preconditioner registry: one spec type, one parser, one factory.
+//!
+//! Every consumer of a preconditioner — the CLI's `--precond` flag, the
+//! distributed [`SolveSession`](https://docs.rs/parfem-dd) pipeline, the
+//! bench harness and the tests — goes through this module:
+//!
+//! 1. [`PrecondSpec::parse`] turns a spec string (`gls:7`, `neumann:3`,
+//!    `gls-escalating:5`, …) into a typed [`PrecondSpec`], with a typed
+//!    [`ParseSpecError`] for every malformed arm,
+//! 2. [`PrecondSpec::build`] constructs the boxed scratch-aware
+//!    [`Preconditioner`] for **any** [`LinearOperator`] — the identical
+//!    factory serves the sequential solver, the element-based and the
+//!    row-based distributed operators,
+//! 3. [`grammar_help`] renders the accepted grammar so the CLI usage text
+//!    and the README document the registry itself rather than a copy.
+//!
+//! The parser also accepts the *display* form produced by
+//! [`PrecondSpec::name`] (`gls(7)`, `gls-escalating(x5)`), so
+//! `parse(spec.name())` round-trips for every spec — pinned by proptest.
+
+use crate::{
+    ChebyshevPrecond, EscalatingGls, GlsPrecond, IdentityPrecond, IntervalUnion, JacobiPrecond,
+    NeumannPrecond, Preconditioner,
+};
+use parfem_sparse::LinearOperator;
+use std::fmt;
+
+/// Which preconditioner a solver should build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrecondSpec {
+    /// No preconditioning.
+    None,
+    /// Diagonal (Jacobi) preconditioning on the assembled diagonal.
+    Jacobi,
+    /// GLS polynomial of the given degree; `theta` defaults to the
+    /// post-scaling `(ε, 1)`.
+    Gls {
+        /// Polynomial degree `m`.
+        degree: usize,
+        /// Spectrum estimate; `None` means `(ε, 1)`.
+        theta: Option<IntervalUnion>,
+    },
+    /// Neumann series of the given degree (`ω = 1` after scaling).
+    Neumann {
+        /// Polynomial degree `m`.
+        degree: usize,
+    },
+    /// Chebyshev (min-max) polynomial on the post-scaling interval.
+    Chebyshev {
+        /// Polynomial degree `m`.
+        degree: usize,
+    },
+    /// Degree-escalating GLS (1→3→7→10) switching every `period`
+    /// applications — the flexible-GMRES showcase. Each rank holds its own
+    /// schedule state; since every rank performs the same sequence of
+    /// applications, the schedules stay in lock step.
+    GlsEscalating {
+        /// Applications per schedule stage.
+        period: usize,
+    },
+}
+
+impl PrecondSpec {
+    /// Display name matching the paper's curve labels, e.g. `gls(7)`.
+    ///
+    /// [`PrecondSpec::parse`] accepts this form back, so the name doubles
+    /// as a serialization (modulo `theta`, which no string form carries).
+    pub fn name(&self) -> String {
+        match self {
+            PrecondSpec::None => "none".into(),
+            PrecondSpec::Jacobi => "jacobi".into(),
+            PrecondSpec::Gls { degree, .. } => format!("gls({degree})"),
+            PrecondSpec::Neumann { degree } => format!("neumann({degree})"),
+            PrecondSpec::Chebyshev { degree } => format!("chebyshev({degree})"),
+            PrecondSpec::GlsEscalating { period } => format!("gls-escalating(x{period})"),
+        }
+    }
+
+    /// Canonical CLI spec string, e.g. `gls:7` — the form `--precond`
+    /// takes. `parse(spec.spec_str()) == spec` for every spec (modulo
+    /// `theta`).
+    pub fn spec_str(&self) -> String {
+        match self {
+            PrecondSpec::None => "none".into(),
+            PrecondSpec::Jacobi => "jacobi".into(),
+            PrecondSpec::Gls { degree, .. } => format!("gls:{degree}"),
+            PrecondSpec::Neumann { degree } => format!("neumann:{degree}"),
+            PrecondSpec::Chebyshev { degree } => format!("chebyshev:{degree}"),
+            PrecondSpec::GlsEscalating { period } => format!("gls-escalating:{period}"),
+        }
+    }
+
+    /// Parses a spec string in either the CLI grammar (`gls:7`) or the
+    /// display form produced by [`PrecondSpec::name`] (`gls(7)`,
+    /// `gls-escalating(x5)`).
+    ///
+    /// # Errors
+    /// Returns a typed [`ParseSpecError`] naming exactly which part of the
+    /// spec is malformed.
+    pub fn parse(spec: &str) -> Result<PrecondSpec, ParseSpecError> {
+        let spec = spec.trim();
+        // Split `kind:arg` (CLI grammar) or `kind(arg)` (display form).
+        let (kind, arg) = if let Some((k, rest)) = spec.split_once('(') {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| ParseSpecError::UnknownKind(spec.to_string()))?;
+            (k, Some(inner))
+        } else if let Some((k, d)) = spec.split_once(':') {
+            (k, Some(d))
+        } else {
+            (spec, None)
+        };
+        let degree = |arg: Option<&str>| -> Result<usize, ParseSpecError> {
+            let d = arg.ok_or(ParseSpecError::MissingDegree {
+                kind: kind.to_string(),
+            })?;
+            d.parse().map_err(|_| ParseSpecError::BadDegree {
+                kind: kind.to_string(),
+                given: d.to_string(),
+            })
+        };
+        let no_arg = |spec: PrecondSpec| -> Result<PrecondSpec, ParseSpecError> {
+            match arg {
+                None => Ok(spec),
+                Some(a) => Err(ParseSpecError::UnexpectedArgument {
+                    kind: kind.to_string(),
+                    given: a.to_string(),
+                }),
+            }
+        };
+        match kind {
+            "none" => no_arg(PrecondSpec::None),
+            "jacobi" => no_arg(PrecondSpec::Jacobi),
+            "gls" => Ok(PrecondSpec::Gls {
+                degree: degree(arg)?,
+                theta: None,
+            }),
+            "neumann" => Ok(PrecondSpec::Neumann {
+                degree: degree(arg)?,
+            }),
+            "chebyshev" => Ok(PrecondSpec::Chebyshev {
+                degree: degree(arg)?,
+            }),
+            "gls-escalating" => {
+                let raw = arg.ok_or(ParseSpecError::MissingPeriod)?;
+                // The display form writes the period as `x5`.
+                let digits = raw.strip_prefix('x').unwrap_or(raw);
+                let period: usize = digits
+                    .parse()
+                    .map_err(|_| ParseSpecError::BadPeriod(raw.to_string()))?;
+                if period == 0 {
+                    return Err(ParseSpecError::ZeroPeriod);
+                }
+                Ok(PrecondSpec::GlsEscalating { period })
+            }
+            _ => Err(ParseSpecError::UnknownKind(kind.to_string())),
+        }
+    }
+
+    /// Builds the boxed preconditioner this spec describes, for any
+    /// operator type.
+    ///
+    /// `diag` supplies the **assembled** operator diagonal and is invoked
+    /// only when the spec actually needs it (Jacobi) — in the distributed
+    /// solvers it hides an interface sum, so laziness matters.
+    ///
+    /// The constructors are exactly those the historical per-driver
+    /// dispatchers used, so results are bit-identical through the registry.
+    pub fn build<Op: LinearOperator + ?Sized>(
+        &self,
+        diag: impl FnOnce() -> Vec<f64>,
+    ) -> Box<dyn Preconditioner<Op>> {
+        Box::new(self.instantiate(diag))
+    }
+
+    /// Builds the preconditioner as a concrete [`BuiltPrecond`] value.
+    ///
+    /// Use this instead of [`PrecondSpec::build`] when one preconditioner
+    /// must serve a *loop* of solves whose operator borrows differ per
+    /// iteration (the transient driver, multi-right-hand-side sessions): a
+    /// `Box<dyn Preconditioner<Op<'a>>>` pins one `'a` through trait-object
+    /// invariance, while `BuiltPrecond` names no operator type at all and
+    /// instantiates the bound freshly at every call site.
+    pub fn instantiate(&self, diag: impl FnOnce() -> Vec<f64>) -> BuiltPrecond {
+        match self {
+            PrecondSpec::None => BuiltPrecond::None(IdentityPrecond),
+            PrecondSpec::Jacobi => BuiltPrecond::Jacobi(JacobiPrecond::from_diagonal(&diag())),
+            PrecondSpec::Gls { degree, theta } => {
+                let t = theta.clone().unwrap_or_else(IntervalUnion::unit);
+                BuiltPrecond::Gls(GlsPrecond::new(*degree, t))
+            }
+            PrecondSpec::Neumann { degree } => {
+                BuiltPrecond::Neumann(NeumannPrecond::for_scaled_system(*degree))
+            }
+            PrecondSpec::Chebyshev { degree } => {
+                BuiltPrecond::Chebyshev(ChebyshevPrecond::for_scaled_system(*degree))
+            }
+            PrecondSpec::GlsEscalating { period } => {
+                BuiltPrecond::Escalating(EscalatingGls::default_for_scaled_system(*period))
+            }
+        }
+    }
+}
+
+/// A registry-built preconditioner as one concrete (operator-free) value.
+///
+/// Every variant wraps the same constructor [`PrecondSpec::build`] boxes;
+/// the [`Preconditioner`] impl delegates method-for-method, so the two
+/// forms are interchangeable bit for bit.
+pub enum BuiltPrecond {
+    /// [`PrecondSpec::None`].
+    None(IdentityPrecond),
+    /// [`PrecondSpec::Jacobi`].
+    Jacobi(JacobiPrecond),
+    /// [`PrecondSpec::Gls`].
+    Gls(GlsPrecond),
+    /// [`PrecondSpec::Neumann`].
+    Neumann(NeumannPrecond),
+    /// [`PrecondSpec::Chebyshev`].
+    Chebyshev(ChebyshevPrecond),
+    /// [`PrecondSpec::GlsEscalating`].
+    Escalating(EscalatingGls),
+}
+
+macro_rules! delegate {
+    ($self:ident, $p:pat => $e:expr) => {
+        match $self {
+            BuiltPrecond::None($p) => $e,
+            BuiltPrecond::Jacobi($p) => $e,
+            BuiltPrecond::Gls($p) => $e,
+            BuiltPrecond::Neumann($p) => $e,
+            BuiltPrecond::Chebyshev($p) => $e,
+            BuiltPrecond::Escalating($p) => $e,
+        }
+    };
+}
+
+impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for BuiltPrecond {
+    fn apply_into(&self, op: &Op, v: &[f64], z: &mut [f64]) {
+        delegate!(self, p => p.apply_into(op, v, z))
+    }
+
+    fn scratch_vectors(&self) -> usize {
+        delegate!(self, p => Preconditioner::<Op>::scratch_vectors(p))
+    }
+
+    fn apply_scratch(&self, op: &Op, v: &[f64], z: &mut [f64], scratch: &mut [Vec<f64>]) {
+        delegate!(self, p => p.apply_scratch(op, v, z, scratch))
+    }
+
+    fn operator_applications(&self) -> usize {
+        delegate!(self, p => Preconditioner::<Op>::operator_applications(p))
+    }
+
+    fn current_operator_applications(&self) -> usize {
+        delegate!(self, p => Preconditioner::<Op>::current_operator_applications(p))
+    }
+
+    fn name(&self) -> String {
+        delegate!(self, p => Preconditioner::<Op>::name(p))
+    }
+}
+
+/// A malformed preconditioner spec string — one arm per way to get the
+/// grammar wrong, each with an error message that names the fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSpecError {
+    /// The kind (the part before `:`) is not in the registry.
+    UnknownKind(String),
+    /// A polynomial kind came without its degree (`gls`, not `gls:7`).
+    MissingDegree {
+        /// The kind that needs a degree.
+        kind: String,
+    },
+    /// The degree is not a non-negative integer.
+    BadDegree {
+        /// The kind whose degree is malformed.
+        kind: String,
+        /// The malformed degree text.
+        given: String,
+    },
+    /// `gls-escalating` came without its period.
+    MissingPeriod,
+    /// The escalation period is not a positive integer.
+    BadPeriod(String),
+    /// The escalation period is zero (the schedule would never advance).
+    ZeroPeriod,
+    /// An argument was given to a kind that takes none (`none`, `jacobi`).
+    UnexpectedArgument {
+        /// The argument-free kind.
+        kind: String,
+        /// The spurious argument.
+        given: String,
+    },
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSpecError::UnknownKind(kind) => {
+                write!(f, "unknown preconditioner {kind}; expected {GRAMMAR}")
+            }
+            ParseSpecError::MissingDegree { kind } => {
+                write!(f, "{kind} needs a degree, e.g. {kind}:7")
+            }
+            ParseSpecError::BadDegree { kind, given } => {
+                write!(
+                    f,
+                    "bad degree {given} for {kind}: expected a non-negative integer"
+                )
+            }
+            ParseSpecError::MissingPeriod => {
+                write!(f, "gls-escalating needs a period, e.g. gls-escalating:5")
+            }
+            ParseSpecError::BadPeriod(given) => {
+                write!(f, "bad period {given}: expected a positive integer")
+            }
+            ParseSpecError::ZeroPeriod => write!(f, "period must be positive"),
+            ParseSpecError::UnexpectedArgument { kind, given } => {
+                write!(f, "{kind} takes no argument (got {kind}:{given})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+/// The accepted `--precond` grammar, one spec per alternative.
+pub const GRAMMAR: &str = "none|jacobi|gls:M|neumann:M|chebyshev:M|gls-escalating:PERIOD";
+
+/// Multi-line help text for the grammar — rendered by the CLI usage screen
+/// and quoted by the README, so the documentation always matches the
+/// parser.
+pub fn grammar_help() -> String {
+    format!(
+        "{GRAMMAR}\n\
+         none                 unpreconditioned FGMRES\n\
+         jacobi               assembled-diagonal scaling\n\
+         gls:M                degree-M generalized least-squares polynomial on (eps, 1)\n\
+         neumann:M            degree-M Neumann series (omega = 1 after scaling)\n\
+         chebyshev:M          degree-M Chebyshev (min-max) polynomial\n\
+         gls-escalating:P     GLS degree schedule 1->3->7->10, advancing every P applies"
+    )
+}
+
+/// Every registered spec kind with a representative example — the registry
+/// enumerates itself for tests and docs.
+pub fn examples() -> Vec<PrecondSpec> {
+    vec![
+        PrecondSpec::None,
+        PrecondSpec::Jacobi,
+        PrecondSpec::Gls {
+            degree: 7,
+            theta: None,
+        },
+        PrecondSpec::Neumann { degree: 3 },
+        PrecondSpec::Chebyshev { degree: 8 },
+        PrecondSpec::GlsEscalating { period: 5 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_sparse::CsrMatrix;
+
+    #[test]
+    fn parses_cli_grammar() {
+        assert_eq!(PrecondSpec::parse("none").unwrap(), PrecondSpec::None);
+        assert_eq!(PrecondSpec::parse("jacobi").unwrap(), PrecondSpec::Jacobi);
+        assert_eq!(
+            PrecondSpec::parse("gls:7").unwrap(),
+            PrecondSpec::Gls {
+                degree: 7,
+                theta: None
+            }
+        );
+        assert_eq!(
+            PrecondSpec::parse("neumann:3").unwrap(),
+            PrecondSpec::Neumann { degree: 3 }
+        );
+        assert_eq!(
+            PrecondSpec::parse("chebyshev:12").unwrap(),
+            PrecondSpec::Chebyshev { degree: 12 }
+        );
+        assert_eq!(
+            PrecondSpec::parse("gls-escalating:5").unwrap(),
+            PrecondSpec::GlsEscalating { period: 5 }
+        );
+    }
+
+    #[test]
+    fn parses_display_names_back() {
+        for spec in examples() {
+            assert_eq!(PrecondSpec::parse(&spec.name()).unwrap(), spec);
+            assert_eq!(PrecondSpec::parse(&spec.spec_str()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn builds_every_example_against_a_csr_operator() {
+        let a = CsrMatrix::identity(4);
+        for spec in examples() {
+            let pc = spec.build::<CsrMatrix>(|| a.diagonal());
+            let z = pc.apply(&a, &[1.0, 2.0, 3.0, 4.0]);
+            assert_eq!(z.len(), 4);
+            assert!(z.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Registry contract tests: the spec grammar round-trips through both
+//! string forms, and every malformed arm produces the exact diagnostic the
+//! CLI shows — pinning the messages so help text and errors cannot drift.
+
+use parfem_precond::registry::{examples, grammar_help, GRAMMAR};
+use parfem_precond::{ParseSpecError, PrecondSpec};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary spec from the registry's kinds, with a random
+/// degree/period where the kind takes one.
+fn any_spec() -> impl Strategy<Value = PrecondSpec> {
+    (0usize..6, 0usize..40).prop_map(|(kind, n)| match kind {
+        0 => PrecondSpec::None,
+        1 => PrecondSpec::Jacobi,
+        2 => PrecondSpec::Gls {
+            degree: n,
+            theta: None,
+        },
+        3 => PrecondSpec::Neumann { degree: n },
+        4 => PrecondSpec::Chebyshev { degree: n },
+        _ => PrecondSpec::GlsEscalating { period: n + 1 },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(spec.name()) == spec`: the display form (paper curve labels,
+    /// `gls(7)` / `gls-escalating(x5)`) is a faithful serialization.
+    #[test]
+    fn display_name_round_trips(spec in any_spec()) {
+        prop_assert_eq!(PrecondSpec::parse(&spec.name()).unwrap(), spec);
+    }
+
+    /// `parse(spec.spec_str()) == spec`: the CLI grammar round-trips too.
+    #[test]
+    fn cli_spec_round_trips(spec in any_spec()) {
+        prop_assert_eq!(PrecondSpec::parse(&spec.spec_str()).unwrap(), spec);
+    }
+
+    /// Whitespace padding never changes the parse.
+    #[test]
+    fn parse_ignores_surrounding_whitespace(spec in any_spec()) {
+        let padded = format!("  {}\t", spec.spec_str());
+        prop_assert_eq!(PrecondSpec::parse(&padded).unwrap(), spec);
+    }
+}
+
+#[test]
+fn examples_cover_every_kind_once() {
+    let kinds: Vec<String> = examples()
+        .iter()
+        .map(|s| s.spec_str().split(':').next().unwrap().to_string())
+        .collect();
+    let mut unique = kinds.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), kinds.len(), "duplicate kind in examples()");
+    for kind in GRAMMAR.split('|') {
+        let kind = kind.split(':').next().unwrap();
+        assert!(
+            kinds.iter().any(|k| k == kind),
+            "grammar kind {kind} missing from examples()"
+        );
+    }
+}
+
+#[test]
+fn grammar_help_leads_with_the_grammar() {
+    let help = grammar_help();
+    assert!(
+        help.starts_with(GRAMMAR),
+        "help must open with the grammar line"
+    );
+    // Every registered kind is documented in the help body.
+    for spec in examples() {
+        let kind = spec.spec_str().split(':').next().unwrap().to_string();
+        assert!(help.contains(&kind), "help text missing kind {kind}");
+    }
+}
+
+// -- one test per malformed arm, pinning the exact error and its message --
+
+#[test]
+fn unknown_kind_is_rejected_with_the_grammar() {
+    let err = PrecondSpec::parse("ssor:3").unwrap_err();
+    assert_eq!(err, ParseSpecError::UnknownKind("ssor".into()));
+    assert_eq!(
+        err.to_string(),
+        format!("unknown preconditioner ssor; expected {GRAMMAR}")
+    );
+}
+
+#[test]
+fn unclosed_display_form_is_rejected() {
+    let err = PrecondSpec::parse("gls(7").unwrap_err();
+    assert_eq!(err, ParseSpecError::UnknownKind("gls(7".into()));
+}
+
+#[test]
+fn missing_degree_names_the_fix() {
+    for kind in ["gls", "neumann", "chebyshev"] {
+        let err = PrecondSpec::parse(kind).unwrap_err();
+        assert_eq!(
+            err,
+            ParseSpecError::MissingDegree {
+                kind: kind.to_string()
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            format!("{kind} needs a degree, e.g. {kind}:7")
+        );
+    }
+}
+
+#[test]
+fn bad_degree_names_kind_and_text() {
+    let err = PrecondSpec::parse("gls:seven").unwrap_err();
+    assert_eq!(
+        err,
+        ParseSpecError::BadDegree {
+            kind: "gls".into(),
+            given: "seven".into()
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "bad degree seven for gls: expected a non-negative integer"
+    );
+    assert!(PrecondSpec::parse("neumann:-1").is_err());
+}
+
+#[test]
+fn missing_period_is_its_own_arm() {
+    let err = PrecondSpec::parse("gls-escalating").unwrap_err();
+    assert_eq!(err, ParseSpecError::MissingPeriod);
+    assert_eq!(
+        err.to_string(),
+        "gls-escalating needs a period, e.g. gls-escalating:5"
+    );
+}
+
+#[test]
+fn bad_period_is_rejected() {
+    let err = PrecondSpec::parse("gls-escalating:soon").unwrap_err();
+    assert_eq!(err, ParseSpecError::BadPeriod("soon".into()));
+    assert_eq!(
+        err.to_string(),
+        "bad period soon: expected a positive integer"
+    );
+}
+
+#[test]
+fn zero_period_is_rejected() {
+    let err = PrecondSpec::parse("gls-escalating:0").unwrap_err();
+    assert_eq!(err, ParseSpecError::ZeroPeriod);
+    assert_eq!(err.to_string(), "period must be positive");
+    // The display form `x0` hits the same arm.
+    assert_eq!(
+        PrecondSpec::parse("gls-escalating(x0)").unwrap_err(),
+        ParseSpecError::ZeroPeriod
+    );
+}
+
+#[test]
+fn unexpected_argument_is_rejected() {
+    let err = PrecondSpec::parse("jacobi:3").unwrap_err();
+    assert_eq!(
+        err,
+        ParseSpecError::UnexpectedArgument {
+            kind: "jacobi".into(),
+            given: "3".into()
+        }
+    );
+    assert_eq!(err.to_string(), "jacobi takes no argument (got jacobi:3)");
+    assert!(PrecondSpec::parse("none:1").is_err());
+}

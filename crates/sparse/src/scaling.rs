@@ -17,6 +17,20 @@ use crate::csr::CsrMatrix;
 use crate::dense;
 use crate::error::SparseError;
 
+/// The norm-1 scaling map of Theorem 1: `d_i = 1/√s_i` for positive row
+/// absolute sums, and 1 for empty rows so the transform stays well defined
+/// (such systems are singular anyway and the solver reports them).
+///
+/// This is the **single** implementation of the map — the sequential
+/// [`DiagonalScaling`] and the distributed Algorithm 3 in `parfem-dd` both
+/// build their diagonals through it, so the two paths cannot drift.
+pub fn inv_sqrt_scaling(row_sums: &[f64]) -> Vec<f64> {
+    row_sums
+        .iter()
+        .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 1.0 })
+        .collect()
+}
+
 /// The norm-1 diagonal scaling `D = diag(1/√‖k_i‖₁)` of a square matrix.
 #[derive(Debug, Clone)]
 pub struct DiagonalScaling {
@@ -43,10 +57,7 @@ impl DiagonalScaling {
             });
         }
         let row_sums = k.row_abs_sums();
-        let d = row_sums
-            .iter()
-            .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 1.0 })
-            .collect();
+        let d = inv_sqrt_scaling(&row_sums);
         Ok(DiagonalScaling { d, row_sums })
     }
 
@@ -54,10 +65,7 @@ impl DiagonalScaling {
     /// (used by the distributed Algorithm 3, where the sums are accumulated
     /// across subdomains before the square root).
     pub fn from_row_sums(row_sums: Vec<f64>) -> Self {
-        let d = row_sums
-            .iter()
-            .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 1.0 })
-            .collect();
+        let d = inv_sqrt_scaling(&row_sums);
         DiagonalScaling { d, row_sums }
     }
 

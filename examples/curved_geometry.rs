@@ -36,21 +36,15 @@ fn main() {
     );
 
     let part = ElementPartition::strips_x(&mesh, 4);
-    let out = solve_edd(
-        &mesh,
-        &dm,
-        &mat,
-        &loads,
-        &part,
-        MachineModel::sgi_origin(),
-        &SolverConfig {
-            gmres: GmresConfig {
-                tol: 1e-10,
-                ..Default::default()
-            },
+    let out = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .gmres(GmresConfig {
+            tol: 1e-10,
             ..Default::default()
-        },
-    );
+        })
+        .machine(MachineModel::sgi_origin())
+        .run()
+        .expect("fault-free solve");
     assert!(out.history.converged());
     println!(
         "EDD-FGMRES-gls(7), P=4: {} iterations, modeled time {:.4} s",

@@ -23,15 +23,12 @@ fn main() {
     // preconditioning, virtual SGI Origin machine model.
     let part = ElementPartition::strips_x(&problem.mesh, 4);
     let cfg = SolverConfig::default(); // gls(7), enhanced EDD, tol 1e-6
-    let out = solve_edd(
-        &problem.mesh,
-        &problem.dof_map,
-        &problem.material,
-        &problem.loads,
-        &part,
-        MachineModel::sgi_origin(),
-        &cfg,
-    );
+    let out = SolveSession::new(problem.as_problem())
+        .strategy(Strategy::Edd(part))
+        .config(cfg.clone())
+        .machine(MachineModel::sgi_origin())
+        .run()
+        .expect("fault-free solve");
     println!(
         "parallel EDD-FGMRES-gls(7), P=4: {} iterations, converged={}, modeled time {:.4} s",
         out.history.iterations(),

@@ -24,25 +24,19 @@ fn main() {
         let mut rdd_t1 = 0.0;
         for p in [1usize, 2, 4, 8] {
             let epart = ElementPartition::strips_x(&problem.mesh, p);
-            let edd = solve_edd(
-                &problem.mesh,
-                &problem.dof_map,
-                &problem.material,
-                &problem.loads,
-                &epart,
-                model.clone(),
-                &cfg,
-            );
+            let edd = SolveSession::new(problem.as_problem())
+                .strategy(Strategy::Edd(epart))
+                .config(cfg.clone())
+                .machine(model.clone())
+                .run()
+                .expect("fault-free solve");
             let npart = NodePartition::contiguous(problem.mesh.n_nodes(), p);
-            let rdd = solve_rdd(
-                &problem.mesh,
-                &problem.dof_map,
-                &problem.material,
-                &problem.loads,
-                &npart,
-                model.clone(),
-                &cfg,
-            );
+            let rdd = SolveSession::new(problem.as_problem())
+                .strategy(Strategy::Rdd(npart))
+                .config(cfg.clone())
+                .machine(model.clone())
+                .run()
+                .expect("fault-free solve");
             assert!(edd.history.converged() && rdd.history.converged());
             if p == 1 {
                 edd_t1 = edd.modeled_time;

@@ -17,15 +17,12 @@ fn main() {
         },
         ..Default::default()
     };
-    let out = solve_edd(
-        &problem.mesh,
-        &problem.dof_map,
-        &problem.material,
-        &problem.loads,
-        &part,
-        MachineModel::sgi_origin(),
-        &cfg,
-    );
+    let out = SolveSession::new(problem.as_problem())
+        .strategy(Strategy::Edd(part))
+        .config(cfg)
+        .machine(MachineModel::sgi_origin())
+        .run()
+        .expect("fault-free solve");
     assert!(out.history.converged());
     println!(
         "solved {} equations in {} iterations",

@@ -9,7 +9,7 @@ use parfem::fem::{assembly, SubdomainSystem};
 use parfem::mesh::graph::greedy_bfs_partition_cells;
 use parfem::mesh::GenericQuadMesh;
 use parfem::prelude::*;
-use parfem_dd::solve_edd_systems;
+use parfem_dd::SolveSession;
 
 fn main() {
     // 1. Produce an "external" mesh file: a distorted cantilever written in
@@ -73,12 +73,10 @@ fn main() {
     }
 
     // 5. Parallel solve.
-    let out = solve_edd_systems(
-        &systems,
-        dm.n_dofs(),
-        MachineModel::sgi_origin(),
-        &SolverConfig::default(),
-    );
+    let out = SolveSession::from_systems(&systems, dm.n_dofs())
+        .machine(MachineModel::sgi_origin())
+        .run()
+        .expect("fault-free solve");
     assert!(out.history.converged());
     println!(
         "EDD-FGMRES-gls(7), P={parts}: {} iterations, modeled time {:.4} s",

@@ -113,15 +113,10 @@ fn distorted_mesh_runs_through_the_full_parallel_pipeline() {
     let mut loads = vec![0.0; dm.n_dofs()];
     assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1e-3, &mut loads);
 
-    let out = solve_edd(
-        &mesh,
-        &dm,
-        &mat,
-        &loads,
-        &ElementPartition::strips_x(&mesh, 4),
-        MachineModel::ideal(),
-        &SolverConfig::default(),
-    );
+    let out = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(ElementPartition::strips_x(&mesh, 4)))
+        .run()
+        .expect("fault-free solve");
     assert!(out.history.converged());
     // Physical residual on the distorted geometry.
     let sys = assembly::build_static(&mesh, &dm, &mat, &loads);
@@ -155,21 +150,10 @@ fn distortion_preserves_scaling_guarantee() {
 fn dynamic_parallel_driver_is_reachable_from_the_facade() {
     let p = CantileverProblem::new(10, 2, Material::unit(), LoadCase::ShearY(-1e-3));
     let tip = p.dof_map.dof(p.mesh.node_at(10, 2), 1);
-    let cfg = DynamicRunConfig {
-        solver: SolverConfig::default(),
-        params: NewmarkParams::average_acceleration(1.0),
-        steps: 4,
-    };
-    let out = solve_dynamic_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &ElementPartition::strips_x(&p.mesh, 2),
-        MachineModel::sgi_origin(),
-        &cfg,
-        &[tip],
-    );
+    let out = SolveSession::new(p.as_problem())
+        .strategy(Strategy::Edd(ElementPartition::strips_x(&p.mesh, 2)))
+        .machine(MachineModel::sgi_origin())
+        .run_dynamic(NewmarkParams::average_acceleration(1.0), 4, &[tip]);
     assert!(out.all_converged);
     assert_eq!(out.watch_histories[0].len(), 4);
     // Displacement moves in the load direction from step one.

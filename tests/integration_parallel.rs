@@ -7,6 +7,34 @@ fn problem() -> CantileverProblem {
     CantileverProblem::new(24, 6, Material::unit(), LoadCase::PullX(1.0))
 }
 
+fn edd(
+    p: &CantileverProblem,
+    part: ElementPartition,
+    model: MachineModel,
+    cfg: &SolverConfig,
+) -> DdSolveOutput {
+    SolveSession::new(p.as_problem())
+        .strategy(Strategy::Edd(part))
+        .config(cfg.clone())
+        .machine(model)
+        .run()
+        .expect("fault-free solve")
+}
+
+fn rdd(
+    p: &CantileverProblem,
+    part: NodePartition,
+    model: MachineModel,
+    cfg: &SolverConfig,
+) -> DdSolveOutput {
+    SolveSession::new(p.as_problem())
+        .strategy(Strategy::Rdd(part))
+        .config(cfg.clone())
+        .machine(model)
+        .run()
+        .expect("fault-free solve")
+}
+
 #[test]
 fn iteration_count_is_independent_of_rank_count() {
     // EDD-FGMRES runs the *same* Krylov iteration regardless of P (only the
@@ -17,12 +45,9 @@ fn iteration_count_is_independent_of_rank_count() {
     let cfg = SolverConfig::default();
     let mut iters = Vec::new();
     for ranks in [1usize, 2, 3, 4, 6, 8] {
-        let out = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &ElementPartition::strips_x(&p.mesh, ranks),
+        let out = edd(
+            &p,
+            ElementPartition::strips_x(&p.mesh, ranks),
             MachineModel::ideal(),
             &cfg,
         );
@@ -47,23 +72,17 @@ fn solutions_agree_across_rank_counts_to_solver_tolerance() {
         },
         ..Default::default()
     };
-    let reference = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &ElementPartition::strips_x(&p.mesh, 1),
+    let reference = edd(
+        &p,
+        ElementPartition::strips_x(&p.mesh, 1),
         MachineModel::ideal(),
         &cfg,
     );
     let scale = reference.u.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
     for ranks in [2usize, 4, 8] {
-        let out = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &ElementPartition::strips_x(&p.mesh, ranks),
+        let out = edd(
+            &p,
+            ElementPartition::strips_x(&p.mesh, ranks),
             MachineModel::ideal(),
             &cfg,
         );
@@ -80,24 +99,8 @@ fn runs_are_deterministic() {
     let p = problem();
     let cfg = SolverConfig::default();
     let part = ElementPartition::strips_x(&p.mesh, 4);
-    let a = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &part,
-        MachineModel::ideal(),
-        &cfg,
-    );
-    let b = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &part,
-        MachineModel::ideal(),
-        &cfg,
-    );
+    let a = edd(&p, part.clone(), MachineModel::ideal(), &cfg);
+    let b = edd(&p, part, MachineModel::ideal(), &cfg);
     assert_eq!(a.u, b.u, "parallel runs must be deterministic");
     assert_eq!(a.history.iterations(), b.history.iterations());
     assert_eq!(a.modeled_time, b.modeled_time);
@@ -122,21 +125,15 @@ fn table1_exchange_counts_basic_vs_enhanced_vs_rdd() {
         ..Default::default()
     };
     let part = ElementPartition::strips_x(&p.mesh, 4);
-    let basic = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &part,
+    let basic = edd(
+        &p,
+        part.clone(),
         MachineModel::ideal(),
         &mk_cfg(EddVariant::Basic),
     );
-    let enhanced = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &part,
+    let enhanced = edd(
+        &p,
+        part,
         MachineModel::ideal(),
         &mk_cfg(EddVariant::Enhanced),
     );
@@ -160,22 +157,16 @@ fn sp2_models_slower_than_origin_and_speedup_orders_match_fig17e() {
     let cfg = SolverConfig::default();
     let mut speedups = Vec::new();
     for model in [MachineModel::ibm_sp2(), MachineModel::sgi_origin()] {
-        let t1 = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &ElementPartition::strips_x(&p.mesh, 1),
+        let t1 = edd(
+            &p,
+            ElementPartition::strips_x(&p.mesh, 1),
             model.clone(),
             &cfg,
         )
         .modeled_time;
-        let t8 = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &ElementPartition::strips_x(&p.mesh, 8),
+        let t8 = edd(
+            &p,
+            ElementPartition::strips_x(&p.mesh, 8),
             model.clone(),
             &cfg,
         )
@@ -202,22 +193,16 @@ fn larger_problems_scale_better() {
     let mut effs = Vec::new();
     for (nx, ny) in [(16usize, 8usize), (48, 24)] {
         let p = CantileverProblem::new(nx, ny, Material::unit(), LoadCase::PullX(1.0));
-        let t1 = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &ElementPartition::strips_x(&p.mesh, 1),
+        let t1 = edd(
+            &p,
+            ElementPartition::strips_x(&p.mesh, 1),
             MachineModel::ibm_sp2(),
             &cfg,
         )
         .modeled_time;
-        let t8 = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &ElementPartition::strips_x(&p.mesh, 8),
+        let t8 = edd(
+            &p,
+            ElementPartition::strips_x(&p.mesh, 8),
             MachineModel::ibm_sp2(),
             &cfg,
         )
@@ -238,12 +223,9 @@ fn extreme_partition_one_element_per_rank_still_works() {
     let n_elems = p.mesh.n_elems();
     let owner: Vec<usize> = (0..n_elems).collect();
     let part = ElementPartition::from_owner(n_elems, owner);
-    let out = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &part,
+    let out = edd(
+        &p,
+        part,
         MachineModel::ideal(),
         &SolverConfig {
             gmres: GmresConfig {
@@ -272,27 +254,21 @@ fn rdd_and_edd_exchange_comparable_bytes_per_iteration() {
     // says their leading-order communication volume matches.
     let p = problem();
     let cfg = SolverConfig::default();
-    let edd = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &ElementPartition::strips_x(&p.mesh, 4),
+    let e = edd(
+        &p,
+        ElementPartition::strips_x(&p.mesh, 4),
         MachineModel::ideal(),
         &cfg,
     );
-    let rdd = solve_rdd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
+    let r = rdd(
+        &p,
         // Same interface orientation as the element strips for fairness.
-        &NodePartition::strips_x(&p.mesh, 4),
+        NodePartition::strips_x(&p.mesh, 4),
         MachineModel::ideal(),
         &cfg,
     );
-    let be = edd.reports[0].stats.bytes_sent as f64 / edd.history.iterations() as f64;
-    let br = rdd.reports[0].stats.bytes_sent as f64 / rdd.history.iterations() as f64;
+    let be = e.reports[0].stats.bytes_sent as f64 / e.history.iterations() as f64;
+    let br = r.reports[0].stats.bytes_sent as f64 / r.history.iterations() as f64;
     let ratio = be / br;
     assert!(
         (0.3..3.0).contains(&ratio),

@@ -163,24 +163,16 @@ fn escalating_gls_runs_distributed_and_converges() {
         overlap: false,
         ..Default::default()
     };
-    let esc = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &part,
-        MachineModel::ideal(),
-        &cfg_esc,
-    );
-    let fixed = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &part,
-        MachineModel::ideal(),
-        &cfg_fixed,
-    );
+    let esc = SolveSession::new(p.as_problem())
+        .strategy(Strategy::Edd(part.clone()))
+        .config(cfg_esc)
+        .run()
+        .expect("fault-free solve");
+    let fixed = SolveSession::new(p.as_problem())
+        .strategy(Strategy::Edd(part))
+        .config(cfg_fixed)
+        .run()
+        .expect("fault-free solve");
     assert!(esc.history.converged() && fixed.history.converged());
     let scale = fixed.u.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
     for (a, b) in esc.u.iter().zip(&fixed.u) {
@@ -203,24 +195,19 @@ fn edd_gls_equals_rdd_gls_in_iterations() {
         overlap: false,
         ..Default::default()
     };
-    let edd = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &ElementPartition::strips_x(&p.mesh, 4),
-        MachineModel::ideal(),
-        &cfg,
-    );
-    let rdd = solve_rdd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &NodePartition::contiguous(p.mesh.n_nodes(), 4),
-        MachineModel::ideal(),
-        &cfg,
-    );
+    let edd = SolveSession::new(p.as_problem())
+        .strategy(Strategy::Edd(ElementPartition::strips_x(&p.mesh, 4)))
+        .config(cfg.clone())
+        .run()
+        .expect("fault-free solve");
+    let rdd = SolveSession::new(p.as_problem())
+        .strategy(Strategy::Rdd(NodePartition::contiguous(
+            p.mesh.n_nodes(),
+            4,
+        )))
+        .config(cfg)
+        .run()
+        .expect("fault-free solve");
     let (ie, ir) = (edd.history.iterations(), rdd.history.iterations());
     // EDD scales with the distributed (Algorithm 3) row sums, RDD with the
     // assembled sums, so tiny differences are expected.

@@ -31,24 +31,19 @@ fn sequential_edd_and_rdd_agree_on_mesh2() {
         gmres: cfg,
         ..Default::default()
     };
-    let edd = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &ElementPartition::strips_x(&p.mesh, 4),
-        MachineModel::ideal(),
-        &solver_cfg,
-    );
-    let rdd = solve_rdd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &NodePartition::contiguous(p.mesh.n_nodes(), 4),
-        MachineModel::ideal(),
-        &solver_cfg,
-    );
+    let edd = SolveSession::new(p.as_problem())
+        .strategy(Strategy::Edd(ElementPartition::strips_x(&p.mesh, 4)))
+        .config(solver_cfg.clone())
+        .run()
+        .expect("fault-free solve");
+    let rdd = SolveSession::new(p.as_problem())
+        .strategy(Strategy::Rdd(NodePartition::contiguous(
+            p.mesh.n_nodes(),
+            4,
+        )))
+        .config(solver_cfg)
+        .run()
+        .expect("fault-free solve");
     assert!(edd.history.converged() && rdd.history.converged());
     let scale = u_seq.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
     for ((a, b), c) in edd.u.iter().zip(&rdd.u).zip(&u_seq) {
@@ -106,33 +101,16 @@ fn solution_is_partition_invariant() {
         },
         ..Default::default()
     };
-    let strips = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &ElementPartition::strips_x(&p.mesh, 4),
-        MachineModel::ideal(),
-        &cfg,
-    );
-    let blocks = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &ElementPartition::blocks(&p.mesh, 2, 2),
-        MachineModel::ideal(),
-        &cfg,
-    );
-    let bfs = solve_edd(
-        &p.mesh,
-        &p.dof_map,
-        &p.material,
-        &p.loads,
-        &parfem::mesh::graph::greedy_bfs_partition(&p.mesh, 4),
-        MachineModel::ideal(),
-        &cfg,
-    );
+    let run = |part: ElementPartition| {
+        SolveSession::new(p.as_problem())
+            .strategy(Strategy::Edd(part))
+            .config(cfg.clone())
+            .run()
+            .expect("fault-free solve")
+    };
+    let strips = run(ElementPartition::strips_x(&p.mesh, 4));
+    let blocks = run(ElementPartition::blocks(&p.mesh, 2, 2));
+    let bfs = run(parfem::mesh::graph::greedy_bfs_partition(&p.mesh, 4));
     let scale = strips.u.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
     for ((a, b), c) in strips.u.iter().zip(&blocks.u).zip(&bfs.u) {
         assert!((a - b).abs() < 1e-5 * scale);
@@ -146,15 +124,11 @@ fn all_small_paper_meshes_solve() {
     for k in 1..=4 {
         let p = CantileverProblem::paper_mesh(k);
         let parts = if k == 1 { 2 } else { 4 };
-        let out = solve_edd(
-            &p.mesh,
-            &p.dof_map,
-            &p.material,
-            &p.loads,
-            &ElementPartition::strips_x(&p.mesh, parts),
-            MachineModel::sgi_origin(),
-            &SolverConfig::default(),
-        );
+        let out = SolveSession::new(p.as_problem())
+            .strategy(Strategy::Edd(ElementPartition::strips_x(&p.mesh, parts)))
+            .machine(MachineModel::sgi_origin())
+            .run()
+            .expect("fault-free solve");
         assert!(out.history.converged(), "Mesh{k} did not converge");
         assert!(
             residual_norm(&p, &out.u) < 1e-5,
