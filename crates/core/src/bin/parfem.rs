@@ -5,16 +5,21 @@
 //! parfem spectrum --mesh 40x8            # spectrum bounds of the scaled operator
 //! parfem solve --mesh 100x100 --parts 8 --strategy edd --precond gls:7 \
 //!              --machine origin --tol 1e-6 --load pull:1.0 [--mtx-out prefix] \
-//!              [--trace run.jsonl] [--profile]
+//!              [--trace run.jsonl] [--profile] [--metrics]
 //! parfem report --trace run.jsonl        # phase/comm/convergence report from a trace
+//! parfem report --trace run.jsonl --critical-path   # cross-rank critical path
+//! parfem export-trace --trace run.jsonl --out run.trace.json   # Perfetto/chrome
+//! parfem perf-gate                       # CI perf-regression gate over BENCH_*.json
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free.
 
+use parfem::perfgate;
 use parfem::prelude::*;
 use parfem::sparse::{gershgorin, io as mmio, scaling::scale_system};
 use parfem::trace::{
-    jsonl, render_comm_table, render_convergence, render_phase_table, render_timeline,
+    export_chrome_trace, jsonl, render_comm_table, render_convergence, render_critical_path,
+    render_phase_table, render_timeline, CritPath, MetricsRegistry,
 };
 use std::process::ExitCode;
 
@@ -37,7 +42,9 @@ fn usage() -> ExitCode {
   parfem meshes
   parfem spectrum --mesh NXxNY | --paper-mesh K
   parfem solve [options]
-  parfem report --trace FILE.jsonl
+  parfem report --trace FILE.jsonl [--critical-path] [--critpath-json FILE]
+  parfem export-trace --trace FILE.jsonl --out FILE.trace.json
+  parfem perf-gate [--perf FILE] [--baseline FILE]
 
 solve options:
   --mesh NXxNY          element grid (e.g. 100x100)
@@ -64,11 +71,23 @@ solve options:
                         (default 30)
   --trace FILE.jsonl    record a structured event trace to FILE
   --profile             print per-rank phase/comm tables after the solve
+  --metrics             print the metrics-registry exposition after the solve
   --mtx-out PREFIX      write PREFIX_k.mtx / PREFIX_f.mtx / PREFIX_u.mtx
 
 report options:
   --trace FILE.jsonl    trace file written by `parfem solve --trace`
-  --width N             timeline width in columns (default 72)",
+  --width N             timeline width in columns (default 72)
+  --critical-path       reconstruct and print the cross-rank critical path
+  --critpath-json FILE  also write the critical path as JSON to FILE
+
+export-trace options:
+  --trace FILE.jsonl    trace file written by `parfem solve --trace`
+  --out FILE            chrome trace_event JSON (open in Perfetto/about:tracing)
+
+perf-gate options:
+  --perf FILE           bench snapshot (default BENCH_PERF.json)
+  --baseline FILE       frozen reference (default BENCH_BASELINE.json)
+                        exits non-zero when any metric regresses",
         machines = MachineModel::NAMES.join("|"),
     );
     ExitCode::from(2)
@@ -235,6 +254,11 @@ fn cmd_solve(args: &Args) -> ExitCode {
             }
         },
     };
+    let metrics = if args.has_flag("--metrics") {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::disabled()
+    };
     let cfg = SolverConfig {
         gmres: GmresConfig {
             tol: args
@@ -257,6 +281,7 @@ fn cmd_solve(args: &Args) -> ExitCode {
                 .map(|s| s.parse().unwrap_or(30.0))
                 .unwrap_or(30.0),
         ),
+        metrics: metrics.clone(),
     };
 
     let trace_path = args.value_of("--trace");
@@ -331,6 +356,10 @@ fn cmd_solve(args: &Args) -> ExitCode {
         s0.flops as f64 / 1e6
     );
 
+    if metrics.is_enabled() {
+        print!("\n{}", metrics.render());
+    }
+
     if sink.is_enabled() {
         let events = sink.take_events();
         if let Some(path) = trace_path {
@@ -396,7 +425,89 @@ fn cmd_report(args: &Args) -> ExitCode {
     print!("\n{}", render_comm_table(&report));
     print!("\n{}", render_convergence(&report));
     print!("\n{}", render_timeline(&report, width));
+    if args.has_flag("--critical-path") || args.value_of("--critpath-json").is_some() {
+        let cp = CritPath::from_events(&events);
+        if args.has_flag("--critical-path") {
+            print!("\n{}", render_critical_path(&cp));
+        }
+        if let Some(out) = args.value_of("--critpath-json") {
+            if let Err(e) = std::fs::write(out, cp.to_json()) {
+                eprintln!("error: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote critical path to {out}");
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// `parfem export-trace`: convert a recorded `.jsonl` trace into the
+/// chrome `trace_event` JSON that Perfetto / `about:tracing` load directly.
+fn cmd_export_trace(args: &Args) -> ExitCode {
+    let Some(path) = args.value_of("--trace") else {
+        eprintln!("error: export-trace needs --trace FILE.jsonl");
+        return usage();
+    };
+    let Some(out) = args.value_of("--out") else {
+        eprintln!("error: export-trace needs --out FILE.trace.json");
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match jsonl::decode_all(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let chrome = export_chrome_trace(&events);
+    match std::fs::write(out, &chrome) {
+        Ok(()) => {
+            println!("wrote {} events to {out} (open in Perfetto)", events.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `parfem perf-gate`: the CI regression gate over the committed bench
+/// snapshots. Exits non-zero when any metric regresses past its threshold.
+fn cmd_perf_gate(args: &Args) -> ExitCode {
+    let perf_path = args.value_of("--perf").unwrap_or("BENCH_PERF.json");
+    let baseline_path = args.value_of("--baseline").unwrap_or("BENCH_BASELINE.json");
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(perf), Some(baseline)) = (read(perf_path), read(baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+    match perfgate::evaluate_texts(&perf, &baseline, &perfgate::GateConfig::default()) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -410,6 +521,8 @@ fn main() -> ExitCode {
         "spectrum" => cmd_spectrum(&args),
         "solve" => cmd_solve(&args),
         "report" => cmd_report(&args),
+        "export-trace" => cmd_export_trace(&args),
+        "perf-gate" => cmd_perf_gate(&args),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command {other}");

@@ -44,6 +44,7 @@
 
 pub mod dynamic;
 pub mod paper;
+pub mod perfgate;
 pub mod problems;
 pub mod sequential;
 

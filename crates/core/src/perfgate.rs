@@ -1,0 +1,373 @@
+//! The CI performance-regression gate.
+//!
+//! Compares the committed benchmark snapshot (`BENCH_PERF.json`, its
+//! `current` section) against the frozen reference (`BENCH_BASELINE.json`)
+//! and fails — with a non-zero exit from `parfem perf-gate` — when any
+//! tracked metric regresses past its threshold. The thresholds are
+//! deliberately generous: the gate catches *structural* regressions (a lost
+//! workspace reuse, an accidentally quadratic kernel, a broken overlap
+//! schedule), not machine-to-machine noise.
+//!
+//! Three families of checks:
+//!
+//! - **throughput** (`mflops`, `iters_per_s`) — higher is better; fail when
+//!   `current < threshold × reference`,
+//! - **allocation** (`allocs_per_iter`, `alloc_bytes_per_iter`) — lower is
+//!   better; fail when `current > threshold × reference + slack` (the
+//!   additive slack keeps a zero-allocation reference from forbidding any
+//!   future allocation at all),
+//! - **overlap** (`overlap_modeled.*.speedup`) — the modeled
+//!   overlapped-exchange speedup must stay ≥ 1: overlapping may never be
+//!   modeled as slower than blocking.
+
+use parfem_trace::json::{self, Json};
+use std::fmt;
+
+/// Gate thresholds. [`GateConfig::default`] matches what CI runs.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Minimum allowed `current / reference` for higher-is-better
+    /// throughput metrics (default `0.6`: a 40% drop fails).
+    pub min_throughput_ratio: f64,
+    /// Maximum allowed `current / reference` for lower-is-better
+    /// allocation metrics (default `1.25`).
+    pub max_alloc_ratio: f64,
+    /// Additive slack for allocation metrics, in the metric's own unit
+    /// (default `16.0` — a zero-allocation reference still admits a few
+    /// allocations per iteration before failing).
+    pub alloc_slack: f64,
+    /// Minimum allowed modeled overlap speedup (default `1.0`).
+    pub min_overlap_speedup: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            min_throughput_ratio: 0.6,
+            max_alloc_ratio: 1.25,
+            alloc_slack: 16.0,
+            min_overlap_speedup: 1.0,
+        }
+    }
+}
+
+/// One evaluated metric.
+#[derive(Debug, Clone)]
+pub struct GateCheck {
+    /// `bench.metric` (for example `spmv.mflops`).
+    pub name: String,
+    /// The measured value from `BENCH_PERF.json`'s `current` section.
+    pub current: f64,
+    /// The reference value from `BENCH_BASELINE.json`.
+    pub reference: f64,
+    /// The limit `current` was compared against.
+    pub limit: f64,
+    /// Whether the check passed.
+    pub pass: bool,
+    /// `>=` for higher-is-better metrics, `<=` for lower-is-better ones.
+    pub direction: &'static str,
+}
+
+/// Result of a gate evaluation: every check, pass or fail.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// All evaluated checks, in file order.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The failing checks.
+    pub fn failures(&self) -> Vec<&GateCheck> {
+        self.checks.iter().filter(|c| !c.pass).collect()
+    }
+
+    /// Renders the fixed-width pass/fail table `parfem perf-gate` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<42} {:>14} {:>14} {:>14}  {}\n",
+            "metric", "current", "reference", "limit", "status"
+        ));
+        for c in &self.checks {
+            out.push_str(&format!(
+                "{:<42} {:>14.4} {:>14.4} {:>14.4}  {}\n",
+                format!("{} ({})", c.name, c.direction),
+                c.current,
+                c.reference,
+                c.limit,
+                if c.pass { "ok" } else { "REGRESSION" }
+            ));
+        }
+        let failures = self.failures();
+        if failures.is_empty() {
+            out.push_str(&format!("perf gate: {} checks passed\n", self.checks.len()));
+        } else {
+            out.push_str(&format!(
+                "perf gate: {} of {} checks FAILED\n",
+                failures.len(),
+                self.checks.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Why a gate evaluation could not run (distinct from a failing gate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateError {
+    /// A JSON document failed to parse.
+    Parse {
+        /// Which document (`"perf"` or `"baseline"`).
+        which: &'static str,
+        /// The underlying parse error, rendered.
+        detail: String,
+    },
+    /// A document parsed but is missing a required section or has an
+    /// unexpected schema tag.
+    Schema(String),
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Parse { which, detail } => {
+                write!(f, "could not parse the {which} document: {detail}")
+            }
+            GateError::Schema(msg) => write!(f, "unexpected bench schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// The throughput metrics of the committed bench schema, per bench.
+const THROUGHPUT_METRICS: &[&str] = &["mflops", "iters_per_s"];
+/// The allocation metrics of the committed bench schema, per bench.
+const ALLOC_METRICS: &[&str] = &["allocs_per_iter", "alloc_bytes_per_iter"];
+
+fn expect_schema(doc: &Json, which: &'static str) -> Result<(), GateError> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("parfem-bench-perf-v1") => Ok(()),
+        Some(other) => Err(GateError::Schema(format!(
+            "{which}: schema {other:?}, expected \"parfem-bench-perf-v1\""
+        ))),
+        None => Err(GateError::Schema(format!(
+            "{which}: missing \"schema\" tag"
+        ))),
+    }
+}
+
+/// Evaluates the gate over the two parsed documents.
+///
+/// `perf` is `BENCH_PERF.json` (its `current` and `overlap_modeled`
+/// sections are read); `baseline` is `BENCH_BASELINE.json` (benches at the
+/// top level). Benches or metrics present on only one side are skipped —
+/// the gate compares what both sides measured.
+///
+/// # Errors
+/// [`GateError::Schema`] when either document lacks the expected schema
+/// tag or the perf document has no `current` section.
+pub fn evaluate(perf: &Json, baseline: &Json, cfg: &GateConfig) -> Result<GateReport, GateError> {
+    expect_schema(perf, "perf")?;
+    expect_schema(baseline, "baseline")?;
+    let current = perf
+        .get("current")
+        .and_then(Json::as_object)
+        .ok_or_else(|| GateError::Schema("perf: missing \"current\" section".to_string()))?;
+
+    let mut checks = Vec::new();
+    for (bench, cur_bench) in current {
+        let Some(ref_bench) = baseline.get(bench) else {
+            continue;
+        };
+        for &metric in THROUGHPUT_METRICS {
+            let (Some(cur), Some(reference)) = (
+                cur_bench.get(metric).and_then(Json::as_f64),
+                ref_bench.get(metric).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let limit = cfg.min_throughput_ratio * reference;
+            checks.push(GateCheck {
+                name: format!("{bench}.{metric}"),
+                current: cur,
+                reference,
+                limit,
+                pass: cur >= limit,
+                direction: ">=",
+            });
+        }
+        for &metric in ALLOC_METRICS {
+            let (Some(cur), Some(reference)) = (
+                cur_bench.get(metric).and_then(Json::as_f64),
+                ref_bench.get(metric).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let limit = cfg.max_alloc_ratio * reference + cfg.alloc_slack;
+            checks.push(GateCheck {
+                name: format!("{bench}.{metric}"),
+                current: cur,
+                reference,
+                limit,
+                pass: cur <= limit,
+                direction: "<=",
+            });
+        }
+    }
+    if let Some(overlap) = perf.get("overlap_modeled").and_then(Json::as_object) {
+        for (machine, entry) in overlap {
+            let Some(speedup) = entry.get("speedup").and_then(Json::as_f64) else {
+                continue;
+            };
+            checks.push(GateCheck {
+                name: format!("overlap_modeled.{machine}.speedup"),
+                current: speedup,
+                reference: 1.0,
+                limit: cfg.min_overlap_speedup,
+                pass: speedup >= cfg.min_overlap_speedup,
+                direction: ">=",
+            });
+        }
+    }
+    Ok(GateReport { checks })
+}
+
+/// [`evaluate`] over raw JSON texts (what the CLI reads from disk).
+///
+/// # Errors
+/// [`GateError::Parse`] when either text is not valid JSON, plus
+/// everything [`evaluate`] reports.
+pub fn evaluate_texts(
+    perf_text: &str,
+    baseline_text: &str,
+    cfg: &GateConfig,
+) -> Result<GateReport, GateError> {
+    let perf = json::parse(perf_text).map_err(|e| GateError::Parse {
+        which: "perf",
+        detail: e.to_string(),
+    })?;
+    let baseline = json::parse(baseline_text).map_err(|e| GateError::Parse {
+        which: "baseline",
+        detail: e.to_string(),
+    })?;
+    evaluate(&perf, &baseline, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+        "schema": "parfem-bench-perf-v1",
+        "spmv": { "n": 65536, "secs": 3.4e-4, "mflops": 1900.0 },
+        "fgmres_iteration": { "n": 40000, "iters_per_s": 900.0,
+                              "allocs_per_iter": 3.33, "alloc_bytes_per_iter": 665837.8 }
+    }"#;
+
+    fn perf(spmv_mflops: f64, allocs: f64, overlap: f64) -> String {
+        format!(
+            r#"{{
+                "schema": "parfem-bench-perf-v1",
+                "current": {{
+                    "spmv": {{ "n": 65536, "mflops": {spmv_mflops} }},
+                    "fgmres_iteration": {{ "iters_per_s": 1600.0,
+                                           "allocs_per_iter": {allocs},
+                                           "alloc_bytes_per_iter": 8.0 }}
+                }},
+                "overlap_modeled": {{
+                    "ibm_sp2": {{ "speedup": {overlap} }}
+                }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn healthy_snapshot_passes() {
+        let report =
+            evaluate_texts(&perf(2400.0, 0.0, 1.29), BASELINE, &GateConfig::default()).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        // spmv.mflops, fgmres iters_per_s + 2 alloc metrics, 1 overlap.
+        assert_eq!(report.checks.len(), 5);
+    }
+
+    #[test]
+    fn throughput_collapse_fails() {
+        let report =
+            evaluate_texts(&perf(400.0, 0.0, 1.29), BASELINE, &GateConfig::default()).unwrap();
+        assert!(!report.passed());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "spmv.mflops");
+        assert!(report.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn allocation_regression_fails() {
+        let report =
+            evaluate_texts(&perf(2400.0, 50.0, 1.29), BASELINE, &GateConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(
+            report.failures()[0].name,
+            "fgmres_iteration.allocs_per_iter"
+        );
+    }
+
+    #[test]
+    fn lost_overlap_speedup_fails() {
+        let report =
+            evaluate_texts(&perf(2400.0, 0.0, 0.97), BASELINE, &GateConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.failures()[0].name, "overlap_modeled.ibm_sp2.speedup");
+    }
+
+    #[test]
+    fn zero_alloc_reference_keeps_additive_slack() {
+        let baseline = r#"{
+            "schema": "parfem-bench-perf-v1",
+            "fgmres_iteration": { "allocs_per_iter": 0.0 }
+        }"#;
+        let perf = r#"{
+            "schema": "parfem-bench-perf-v1",
+            "current": { "fgmres_iteration": { "allocs_per_iter": 4.0 } }
+        }"#;
+        let report = evaluate_texts(perf, baseline, &GateConfig::default()).unwrap();
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn committed_snapshots_pass_the_default_gate() {
+        // The acceptance criterion: the repo's own BENCH_PERF.json vs
+        // BENCH_BASELINE.json must pass deterministically.
+        let perf = include_str!("../../../BENCH_PERF.json");
+        let baseline = include_str!("../../../BENCH_BASELINE.json");
+        let report = evaluate_texts(perf, baseline, &GateConfig::default()).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.checks.len() >= 8, "{}", report.render());
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let err = evaluate_texts("{not json", BASELINE, &GateConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, GateError::Parse { which: "perf", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn wrong_schema_is_a_schema_error() {
+        let err = evaluate_texts(
+            r#"{"schema": "parfem-bench-perf-v2", "current": {}}"#,
+            BASELINE,
+            &GateConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GateError::Schema(_)), "{err}");
+    }
+}

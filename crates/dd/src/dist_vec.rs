@@ -129,30 +129,12 @@ impl EddLayout {
         self.overlap
     }
 
-    /// The nearest-neighbour interface sum `v ← ⊕Σ_{∂Ω} v` (Eq. 28):
-    /// converts a local distributed vector into the global distributed
-    /// format in place. One exchange round with every neighbour.
-    ///
-    /// Allocates fresh staging buffers on every call; hot paths should hold
-    /// an [`ExchangeBuffers`] and use
-    /// [`EddLayout::interface_sum_buffered`] instead — this shim exists
-    /// only for one-shot setup code and old callers.
-    ///
-    /// # Panics
-    /// Panics if `v` has the wrong length.
-    #[deprecated(
-        since = "0.1.0",
-        note = "allocates staging buffers per call; use interface_sum_buffered"
-    )]
-    pub fn interface_sum<C: Communicator>(&self, comm: &C, v: &mut [f64]) {
-        let mut bufs = ExchangeBuffers::new();
-        self.interface_sum_buffered(comm, v, &mut bufs);
-    }
-
-    /// [`EddLayout::interface_sum`] through persistent [`ExchangeBuffers`]:
-    /// identical exchange pattern, accounting and arithmetic, but the
-    /// send/receive staging reuses the caller's buffers, so repeated calls
-    /// allocate nothing.
+    /// The nearest-neighbour interface sum `v ← ⊕Σ_{∂Ω} v` (Eq. 28) through
+    /// persistent [`ExchangeBuffers`]: converts a local distributed vector
+    /// into the global distributed format in place, one exchange round with
+    /// every neighbour. The send/receive staging reuses the caller's
+    /// buffers, so repeated calls allocate nothing; one-shot setup code
+    /// just passes a fresh [`ExchangeBuffers::new`].
     ///
     /// # Panics
     /// Panics if `v` has the wrong length.
@@ -326,10 +308,8 @@ mod tests {
             let sys = &systems[0];
             let layout = EddLayout::from_system(sys);
             let mut v = sys.restrict(&u);
-            // The deprecated shim must stay behaviourally identical to the
-            // buffered form it forwards to.
-            #[allow(deprecated)]
-            layout.interface_sum(comm, &mut v);
+            let mut bufs = ExchangeBuffers::new();
+            layout.interface_sum_buffered(comm, &mut v, &mut bufs);
             v
         });
         assert_eq!(out.results[0], u);

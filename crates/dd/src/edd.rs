@@ -38,6 +38,7 @@ use parfem_krylov::KrylovWorkspace;
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
 use parfem_sparse::{kernels, CsrMatrix, LinearOperator};
+use parfem_trace::MetricsRegistry;
 use std::cell::RefCell;
 
 /// Which of the paper's EDD algorithms to run.
@@ -79,6 +80,9 @@ pub struct EddOperator<'a, C: Communicator> {
     /// in-flight exchange. `interface_flops + interior_flops` equals
     /// [`CsrMatrix::spmv_flops`] exactly.
     interior_flops: u64,
+    /// Live metrics surface for solves driven through this operator
+    /// (disabled unless installed via [`EddOperator::with_metrics`]).
+    metrics: MetricsRegistry,
 }
 
 impl<'a, C: Communicator> EddOperator<'a, C> {
@@ -112,7 +116,15 @@ impl<'a, C: Communicator> EddOperator<'a, C> {
             xbufs: RefCell::new(ExchangeBuffers::new()),
             interface_flops: row_nnz_flops(layout.interface_rows()),
             interior_flops: row_nnz_flops(layout.interior_rows()),
+            metrics: MetricsRegistry::disabled(),
         }
+    }
+
+    /// Installs a live [`MetricsRegistry`]; [`dd_fgmres`] then records its
+    /// solver aggregates through it (rank 0 only).
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     fn trace_spmv(&self) {
@@ -203,6 +215,10 @@ impl<C: Communicator> DistributedOperator for EddOperator<'_, C> {
 
     fn dot_flops_factor(&self) -> u64 {
         3 // multiply, multiplicity weight, accumulate
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     fn gs_dots(&self, w: &[f64], basis: &[Vec<f64>], reduce: &mut [f64]) {
@@ -372,6 +388,47 @@ where
     C: Communicator,
     P: Preconditioner<EddOperator<'a, C>> + ?Sized,
 {
+    edd_fgmres_metered(
+        comm,
+        layout,
+        a_local,
+        precond,
+        b_local,
+        x0,
+        cfg,
+        variant,
+        ws,
+        &MetricsRegistry::disabled(),
+    )
+}
+
+/// [`edd_fgmres_with`] with a live [`MetricsRegistry`] installed on the
+/// operator: identical arithmetic and trace events, plus the solver
+/// aggregates [`dd_fgmres`] records (rank 0 only).
+///
+/// # Errors
+/// [`SolveError::Comm`] when the communication substrate degrades mid-solve
+/// (see [`dd_fgmres`]).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn edd_fgmres_metered<'a, C, P>(
+    comm: &'a C,
+    layout: &'a EddLayout,
+    a_local: &'a CsrMatrix,
+    precond: &P,
+    b_local: &'a [f64],
+    x0: &[f64],
+    cfg: &GmresConfig,
+    variant: EddVariant,
+    ws: &mut KrylovWorkspace,
+    metrics: &MetricsRegistry,
+) -> Result<EddResult, SolveError>
+where
+    C: Communicator,
+    P: Preconditioner<EddOperator<'a, C>> + ?Sized,
+{
     assert_eq!(
         b_local.len(),
         a_local.n_rows(),
@@ -380,7 +437,8 @@ where
     if let Some(tracer) = comm.tracer() {
         tracer.span_begin("fgmres", comm.virtual_time());
     }
-    let op = EddOperator::for_solve(a_local, layout, comm, Some(b_local), variant);
+    let op = EddOperator::for_solve(a_local, layout, comm, Some(b_local), variant)
+        .with_metrics(metrics.clone());
     let res = dd_fgmres(&op, precond, x0, cfg, ws);
     if let Some(tracer) = comm.tracer() {
         tracer.span_end("fgmres", comm.virtual_time());

@@ -27,6 +27,7 @@ use parfem_mesh::NodePartition;
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
 use parfem_sparse::{kernels, CooMatrix, CsrMatrix, LinearOperator};
+use parfem_trace::MetricsRegistry;
 use std::cell::RefCell;
 
 /// One rank's block-row system.
@@ -218,6 +219,8 @@ pub struct RddOperator<'a, C: Communicator> {
     /// Halo staging, behind interior mutability because
     /// [`LinearOperator::apply_into`] takes `&self`.
     halo: RefCell<RddHaloBuffers>,
+    /// Solver-level metrics sink (disabled by default).
+    metrics: MetricsRegistry,
 }
 
 impl<'a, C: Communicator> RddOperator<'a, C> {
@@ -227,7 +230,16 @@ impl<'a, C: Communicator> RddOperator<'a, C> {
             sys,
             comm,
             halo: RefCell::new(RddHaloBuffers::default()),
+            metrics: MetricsRegistry::disabled(),
         }
+    }
+
+    /// Attaches a [`MetricsRegistry`] so [`dd_fgmres`] records solver
+    /// counters (rank 0 only, to avoid double counting in SPMD runs).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Performs the halo exchange for `x_loc`, leaving the external values
@@ -324,6 +336,10 @@ impl<C: Communicator> DistributedOperator for RddOperator<'_, C> {
 
     fn comm(&self) -> &C {
         self.comm
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// `r ← b_loc − A x` over the owned rows (one halo exchange).
@@ -440,10 +456,45 @@ where
     C: Communicator,
     P: Preconditioner<RddOperator<'a, C>> + ?Sized,
 {
+    rdd_fgmres_metered(
+        comm,
+        sys,
+        precond,
+        x0,
+        cfg,
+        ws,
+        &MetricsRegistry::disabled(),
+    )
+}
+
+/// [`rdd_fgmres_with`] plus a [`MetricsRegistry`]: solver counters
+/// (iterations, restarts, preconditioner applies, convergence outcome)
+/// are recorded on rank 0. A disabled registry makes this identical to
+/// [`rdd_fgmres_with`].
+///
+/// # Errors
+/// [`SolveError::Comm`] when the communication substrate degrades mid-solve
+/// (see [`dd_fgmres`]).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn rdd_fgmres_metered<'a, C, P>(
+    comm: &'a C,
+    sys: &'a RddSystem,
+    precond: &P,
+    x0: &[f64],
+    cfg: &GmresConfig,
+    ws: &mut KrylovWorkspace,
+    metrics: &MetricsRegistry,
+) -> Result<RddResult, SolveError>
+where
+    C: Communicator,
+    P: Preconditioner<RddOperator<'a, C>> + ?Sized,
+{
     if let Some(tracer) = comm.tracer() {
         tracer.span_begin("fgmres", comm.virtual_time());
     }
-    let op = RddOperator::new(sys, comm);
+    let op = RddOperator::new(sys, comm).with_metrics(metrics.clone());
     let res = dd_fgmres(&op, precond, x0, cfg, ws);
     if let Some(tracer) = comm.tracer() {
         tracer.span_end("fgmres", comm.virtual_time());

@@ -39,9 +39,9 @@
 
 use crate::dist_vec::EddLayout;
 use crate::dynamic::{run_dynamic_edd, DynamicRunConfig, DynamicRunOutput};
-use crate::edd::{edd_fgmres, edd_fgmres_with, EddVariant};
+use crate::edd::{edd_fgmres_metered, EddVariant};
 use crate::error::SolveError;
-use crate::rdd::{rdd_fgmres, rdd_fgmres_with, RddSystem};
+use crate::rdd::{rdd_fgmres_metered, RddSystem};
 use crate::scaling::DistributedScaling;
 use parfem_fem::{Material, NewmarkParams, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
@@ -49,13 +49,13 @@ use parfem_krylov::history::ConvergenceHistory;
 use parfem_krylov::KrylovWorkspace;
 use parfem_mesh::{DofMap, ElementPartition, NodePartition, QuadMesh};
 use parfem_msg::{
-    try_run_ranks, Communicator, FaultPlan, FaultyComm, MachineModel, RankReport, RunOptions,
-    ThreadComm,
+    try_run_ranks, Communicator, FaultPlan, FaultStats, FaultyComm, MachineModel, RankReport,
+    RunOptions, ThreadComm,
 };
 pub use parfem_precond::PrecondSpec;
 
 use parfem_sparse::{dense, scaling::scale_system, CsrMatrix};
-use parfem_trace::{alloc, TraceSink, Value};
+use parfem_trace::{alloc, MetricsRegistry, TraceSink, Value};
 use std::fmt;
 use std::time::Duration;
 
@@ -84,6 +84,16 @@ pub struct SolverConfig {
     /// surfaces as a typed [`parfem_msg::CommError::Timeout`] instead of a
     /// hang.
     pub comm_timeout: Duration,
+    /// Metrics sink for the whole session. Disabled by default (zero
+    /// overhead); an enabled registry collects solver counters (iterations,
+    /// restarts, preconditioner applies, convergence outcomes — recorded on
+    /// rank 0 to avoid SPMD double counting), aggregate communication and
+    /// flop counters summed over the per-rank [`CommStats`], fault-injection
+    /// counters from the [`FaultyComm`] machinery, and session-level gauges
+    /// and histograms. Render with [`MetricsRegistry::render`].
+    ///
+    /// [`CommStats`]: parfem_msg::CommStats
+    pub metrics: MetricsRegistry,
 }
 
 impl Default for SolverConfig {
@@ -98,6 +108,7 @@ impl Default for SolverConfig {
             overlap: false,
             faults: None,
             comm_timeout: Duration::from_secs(30),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 }
@@ -342,6 +353,14 @@ impl<'a> SolveSession<'a> {
         self
     }
 
+    /// Records solver, communication, fault and session counters into the
+    /// given [`MetricsRegistry`] (see [`SolverConfig::metrics`]). Pass an
+    /// enabled registry; the default is disabled (zero overhead).
+    pub fn metrics(mut self, metrics: &MetricsRegistry) -> Self {
+        self.cfg.metrics = metrics.clone();
+        self
+    }
+
     /// Runs one distributed solve of the session's problem.
     ///
     /// # Errors
@@ -548,6 +567,85 @@ fn emit_solve_summary(
     }
 }
 
+/// Sums the per-rank [`parfem_msg::CommStats`] into aggregate
+/// communication/compute counters and records the modeled session time. A
+/// disabled registry makes this a no-op.
+fn record_comm_metrics(metrics: &MetricsRegistry, reports: &[RankReport], modeled_time: f64) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    let mut total = parfem_msg::CommStats::default();
+    let h_virt = metrics.histogram("parfem_rank_virtual_microseconds");
+    for r in reports {
+        total = total.merged(&r.stats);
+        h_virt.observe((r.virtual_time * 1e6).round().max(0.0) as u64);
+    }
+    metrics.counter("parfem_msg_sends_total").add(total.sends);
+    metrics
+        .counter("parfem_msg_sent_bytes_total")
+        .add(total.bytes_sent);
+    metrics.counter("parfem_msg_recvs_total").add(total.recvs);
+    metrics
+        .counter("parfem_msg_recv_bytes_total")
+        .add(total.bytes_received);
+    metrics
+        .counter("parfem_msg_allreduces_total")
+        .add(total.allreduces);
+    metrics
+        .counter("parfem_msg_barriers_total")
+        .add(total.barriers);
+    metrics
+        .counter("parfem_msg_exchanges_total")
+        .add(total.neighbor_exchanges);
+    metrics
+        .counter("parfem_compute_flops_total")
+        .add(total.flops);
+    metrics
+        .gauge("parfem_session_last_modeled_seconds")
+        .set(modeled_time);
+}
+
+/// Folds one rank's [`FaultStats`] into the fault-injection counters. A
+/// disabled registry makes this a no-op.
+fn record_fault_metrics(metrics: &MetricsRegistry, stats: &FaultStats) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    metrics.counter("parfem_fault_drops_total").add(stats.drops);
+    metrics
+        .counter("parfem_fault_retransmits_total")
+        .add(stats.retransmits);
+    metrics
+        .counter("parfem_fault_duplicates_total")
+        .add(stats.duplicates);
+    metrics
+        .counter("parfem_fault_delays_total")
+        .add(stats.delays);
+    metrics
+        .counter("parfem_fault_reorders_total")
+        .add(stats.reorders);
+    metrics
+        .counter("parfem_fault_discards_total")
+        .add(stats.discards);
+}
+
+/// Bumps the session outcome counters around a run result. A disabled
+/// registry makes this the identity.
+fn record_session_outcome<T>(
+    metrics: &MetricsRegistry,
+    res: Result<T, SolveFailures>,
+) -> Result<T, SolveFailures> {
+    if metrics.is_enabled() {
+        match &res {
+            Ok(_) => metrics.counter("parfem_session_solves_total").incr(),
+            Err(_) => metrics
+                .counter("parfem_session_solve_failures_total")
+                .incr(),
+        }
+    }
+    res
+}
+
 /// Runs `f` under a named host-side (wall-clock) span.
 fn host_span<R>(sink: &TraceSink, name: &str, f: impl FnOnce() -> R) -> R {
     let tracer = sink.host_tracer();
@@ -592,7 +690,7 @@ fn edd_rank_body<C: Communicator>(
     if let Some(t) = comm.tracer() {
         t.span_end("precond-build", comm.virtual_time());
     }
-    let res = edd_fgmres(
+    let res = edd_fgmres_metered(
         comm,
         &layout,
         &a,
@@ -601,6 +699,8 @@ fn edd_rank_body<C: Communicator>(
         &x0,
         &cfg.gmres,
         cfg.variant,
+        &mut KrylovWorkspace::new(),
+        &cfg.metrics,
     )?;
     let mut u = res.x;
     sc.unscale(&mut u);
@@ -659,7 +759,7 @@ fn edd_multi_rank_body<C: Communicator>(
             b[l] = 0.0;
         }
         dense::diag_mul(&sc.d, &mut b);
-        let res = edd_fgmres_with(
+        let res = edd_fgmres_metered(
             comm,
             &layout,
             &a,
@@ -669,6 +769,7 @@ fn edd_multi_rank_body<C: Communicator>(
             &cfg.gmres,
             cfg.variant,
             &mut ws,
+            &cfg.metrics,
         )?;
         let mut u = res.x;
         sc.unscale(&mut u);
@@ -731,13 +832,18 @@ fn run_edd_systems(
         match &cfg.faults {
             Some(plan) => {
                 let faulty = FaultyComm::new(comm, plan.clone());
-                edd_rank_body(&faulty, sys, cfg)
+                let r = edd_rank_body(&faulty, sys, cfg);
+                record_fault_metrics(&cfg.metrics, &faulty.fault_stats());
+                r
             }
             None => edd_rank_body(comm, sys, cfg),
         }
     });
-    let (results, reports, modeled_time) =
-        collect_rank_results(out.results, out.reports, out.modeled_time)?;
+    record_comm_metrics(&cfg.metrics, &out.reports, out.modeled_time);
+    let (results, reports, modeled_time) = record_session_outcome(
+        &cfg.metrics,
+        collect_rank_results(out.results, out.reports, out.modeled_time),
+    )?;
 
     let mut u = vec![0.0; n_dofs];
     host_span(sink, "gather", || {
@@ -802,13 +908,18 @@ fn run_multi_edd(
         match &cfg.faults {
             Some(plan) => {
                 let faulty = FaultyComm::new(comm, plan.clone());
-                edd_multi_rank_body(&faulty, sys, fixed, rhs_set, cfg)
+                let r = edd_multi_rank_body(&faulty, sys, fixed, rhs_set, cfg);
+                record_fault_metrics(&cfg.metrics, &faulty.fault_stats());
+                r
             }
             None => edd_multi_rank_body(comm, sys, fixed, rhs_set, cfg),
         }
     });
-    let (results, reports, modeled_time) =
-        collect_rank_results(out.results, out.reports, out.modeled_time)?;
+    record_comm_metrics(&cfg.metrics, &out.reports, out.modeled_time);
+    let (results, reports, modeled_time) = record_session_outcome(
+        &cfg.metrics,
+        collect_rank_results(out.results, out.reports, out.modeled_time),
+    )?;
 
     let n_dofs = p.dof_map.n_dofs();
     let (solutions, histories) = host_span(sink, "gather", || {
@@ -850,7 +961,15 @@ fn rdd_rank_body<C: Communicator>(
     if let Some(t) = comm.tracer() {
         t.span_end("precond-build", comm.virtual_time());
     }
-    let res = rdd_fgmres(comm, sys, pc.as_ref(), &x0, &cfg.gmres)?;
+    let res = rdd_fgmres_metered(
+        comm,
+        sys,
+        pc.as_ref(),
+        &x0,
+        &cfg.gmres,
+        &mut KrylovWorkspace::new(),
+        &cfg.metrics,
+    )?;
     Ok((res.x, res.history))
 }
 
@@ -884,13 +1003,18 @@ fn run_rdd(
         match &cfg.faults {
             Some(plan) => {
                 let faulty = FaultyComm::new(comm, plan.clone());
-                rdd_rank_body(&faulty, sys, &a, cfg)
+                let r = rdd_rank_body(&faulty, sys, &a, cfg);
+                record_fault_metrics(&cfg.metrics, &faulty.fault_stats());
+                r
             }
             None => rdd_rank_body(comm, sys, &a, cfg),
         }
     });
-    let (results, reports, modeled_time) =
-        collect_rank_results(out.results, out.reports, out.modeled_time)?;
+    record_comm_metrics(&cfg.metrics, &out.reports, out.modeled_time);
+    let (results, reports, modeled_time) = record_session_outcome(
+        &cfg.metrics,
+        collect_rank_results(out.results, out.reports, out.modeled_time),
+    )?;
 
     let mut x = vec![0.0; p.dof_map.n_dofs()];
     let solved = host_span(sink, "gather", || {
@@ -953,13 +1077,18 @@ fn run_multi_rdd(
         match &cfg.faults {
             Some(plan) => {
                 let faulty = FaultyComm::new(comm, plan.clone());
-                rdd_multi_rank_body(&faulty, template, &scaled_rhs, &a, cfg)
+                let r = rdd_multi_rank_body(&faulty, template, &scaled_rhs, &a, cfg);
+                record_fault_metrics(&cfg.metrics, &faulty.fault_stats());
+                r
             }
             None => rdd_multi_rank_body(comm, template, &scaled_rhs, &a, cfg),
         }
     });
-    let (results, reports, modeled_time) =
-        collect_rank_results(out.results, out.reports, out.modeled_time)?;
+    record_comm_metrics(&cfg.metrics, &out.reports, out.modeled_time);
+    let (results, reports, modeled_time) = record_session_outcome(
+        &cfg.metrics,
+        collect_rank_results(out.results, out.reports, out.modeled_time),
+    )?;
 
     let (solutions, histories) = host_span(sink, "gather", || {
         let mut solutions = Vec::with_capacity(rhs_set.len());
@@ -1008,7 +1137,7 @@ fn rdd_multi_rank_body<C: Communicator>(
     let mut histories = Vec::with_capacity(scaled_rhs.len());
     for g in scaled_rhs {
         sys.b_loc = sys.rows.iter().map(|&d| g[d]).collect();
-        let res = rdd_fgmres_with(comm, &sys, &pc, &x0, &cfg.gmres, &mut ws)?;
+        let res = rdd_fgmres_metered(comm, &sys, &pc, &x0, &cfg.gmres, &mut ws, &cfg.metrics)?;
         solutions.push(res.x);
         histories.push(res.history);
     }

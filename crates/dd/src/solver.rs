@@ -32,7 +32,7 @@ use parfem_krylov::KrylovWorkspace;
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
 use parfem_sparse::LinearOperator;
-use parfem_trace::{EventKind, Value};
+use parfem_trace::{EventKind, MetricsRegistry, Value};
 
 /// The hooks a domain decomposition must provide to run under
 /// [`dd_fgmres`].
@@ -74,6 +74,16 @@ pub trait DistributedOperator: LinearOperator {
     /// the two solvers historically used different (bit-compatible only
     /// with themselves) sweep kernels.
     fn gs_dots(&self, w: &[f64], basis: &[Vec<f64>], reduce: &mut [f64]);
+
+    /// Live metrics surface for this operator's solves
+    /// ([`MetricsRegistry::disabled`] unless the implementor carries one).
+    /// [`dd_fgmres`] records its per-iteration and per-solve aggregates
+    /// through it **on rank 0 only**, so fleet-wide totals are not
+    /// multiplied by the rank count.
+    fn metrics(&self) -> &MetricsRegistry {
+        static DISABLED: MetricsRegistry = MetricsRegistry::disabled();
+        &DISABLED
+    }
 
     /// Produces the flexible vector `z_j` from the basis vector `v_j`
     /// through `precond`. The default is a plain scratch-buffered
@@ -143,6 +153,16 @@ where
     let dot_f = op.dot_flops_factor();
     ws.ensure(n, m, precond.scratch_vectors());
 
+    // Convergence is identical on every rank, so live aggregates are
+    // recorded on rank 0 only — other ranks get no-op handles.
+    let metrics = if comm.rank() == 0 {
+        op.metrics().clone()
+    } else {
+        MetricsRegistry::disabled()
+    };
+    let m_iters = metrics.counter("parfem_solver_iterations_total");
+    let m_precond = metrics.counter("parfem_solver_precond_applies_total");
+
     let mut x = x0.to_vec();
     let mut residuals = Vec::with_capacity(cfg.max_iters.saturating_add(2).min(1 << 20));
     let mut restarts = 0usize;
@@ -158,28 +178,26 @@ where
     let r0_norm = global_norm(&ws.r)?;
     residuals.push(1.0);
     if r0_norm == 0.0 {
-        return Ok(DdResult {
-            x,
-            history: ConvergenceHistory {
-                relative_residuals: residuals,
-                stop: StopReason::Converged,
-                restarts: 0,
-            },
-        });
+        let history = ConvergenceHistory {
+            relative_residuals: residuals,
+            stop: StopReason::Converged,
+            restarts: 0,
+        };
+        record_solve_end(&metrics, &history);
+        return Ok(DdResult { x, history });
     }
     let breakdown_tol = 1e-14 * r0_norm;
 
     loop {
         let beta = global_norm(&ws.r)?;
         if beta / r0_norm <= cfg.tol {
-            return Ok(DdResult {
-                x,
-                history: ConvergenceHistory {
-                    relative_residuals: residuals,
-                    stop: StopReason::Converged,
-                    restarts,
-                },
-            });
+            let history = ConvergenceHistory {
+                relative_residuals: residuals,
+                stop: StopReason::Converged,
+                restarts,
+            };
+            record_solve_end(&metrics, &history);
+            return Ok(DdResult { x, history });
         }
 
         ws.rotations.clear();
@@ -200,6 +218,7 @@ where
                 break;
             }
             total_iters += 1;
+            m_iters.incr();
             let iter_start_stats = comm.stats();
             let degree = precond.current_operator_applications();
 
@@ -209,6 +228,7 @@ where
             if let Some(tracer) = comm.tracer() {
                 tracer.add_count("precond_applies", 1);
             }
+            m_precond.incr();
             op.apply_precond(
                 precond,
                 &ws.v[j],
@@ -327,25 +347,14 @@ where
         }
 
         match stop {
-            Some(reason @ (StopReason::Converged | StopReason::Breakdown)) => {
-                return Ok(DdResult {
-                    x,
-                    history: ConvergenceHistory {
-                        relative_residuals: residuals,
-                        stop: reason,
-                        restarts,
-                    },
-                });
-            }
-            Some(StopReason::MaxIterations) => {
-                return Ok(DdResult {
-                    x,
-                    history: ConvergenceHistory {
-                        relative_residuals: residuals,
-                        stop: StopReason::MaxIterations,
-                        restarts,
-                    },
-                });
+            Some(reason) => {
+                let history = ConvergenceHistory {
+                    relative_residuals: residuals,
+                    stop: reason,
+                    restarts,
+                };
+                record_solve_end(&metrics, &history);
+                return Ok(DdResult { x, history });
             }
             None => {
                 restarts += 1;
@@ -354,4 +363,29 @@ where
             }
         }
     }
+}
+
+/// Rolls one finished solve into the live metrics surface (no-op when the
+/// registry is disabled).
+fn record_solve_end(metrics: &MetricsRegistry, history: &ConvergenceHistory) {
+    if !metrics.is_enabled() {
+        return;
+    }
+    metrics.counter("parfem_solver_solves_total").incr();
+    metrics
+        .counter("parfem_solver_restarts_total")
+        .add(history.restarts as u64);
+    if history.converged() {
+        metrics.counter("parfem_solver_converged_total").incr();
+    }
+    metrics.gauge("parfem_solver_last_rel_res").set(
+        history
+            .relative_residuals
+            .last()
+            .copied()
+            .unwrap_or(f64::NAN),
+    );
+    metrics
+        .histogram("parfem_solver_iterations")
+        .observe(history.iterations() as u64);
 }

@@ -47,6 +47,7 @@ fn cfg_with(faults: Option<FaultPlan>, overlap: bool) -> SolverConfig {
         overlap,
         faults,
         comm_timeout: Duration::from_secs(10),
+        ..Default::default()
     }
 }
 

@@ -166,6 +166,16 @@ pub struct ThreadComm {
     /// event and sends feed the message-size histogram.
     tracer: Option<RankTracer>,
     msg_bytes: RefCell<Histogram>,
+    /// Per-peer send/receive ordinals. Channels are FIFO per ordered pair,
+    /// so the k-th send `s → d` is consumed by the k-th receive at `d` from
+    /// `s`; stamping that ordinal on both events lets the critical-path
+    /// analyzer re-match message flights offline.
+    send_seq: RefCell<Vec<u64>>,
+    recv_seq: RefCell<Vec<u64>>,
+    /// Collective ordinal: all collectives serialize through one
+    /// [`CollectivePoint`], and SPMD code calls them in the same order on
+    /// every rank, so ordinal `k` names the same rendezvous everywhere.
+    coll_seq: Cell<u64>,
 }
 
 impl ThreadComm {
@@ -223,6 +233,12 @@ impl Communicator for ThreadComm {
         st.sends += 1;
         st.bytes_sent += bytes as u64;
         drop(st);
+        let seq = {
+            let mut seqs = self.send_seq.borrow_mut();
+            let s = seqs[to];
+            seqs[to] += 1;
+            s
+        };
         if let Some(tracer) = &self.tracer {
             tracer.emit(
                 EventKind::Send,
@@ -231,6 +247,7 @@ impl Communicator for ThreadComm {
                 vec![
                     ("peer".to_string(), Value::U64(to as u64)),
                     ("bytes".to_string(), Value::U64(bytes as u64)),
+                    ("seq".to_string(), Value::U64(seq)),
                 ],
             );
             self.msg_bytes.borrow_mut().record(bytes as u64);
@@ -265,12 +282,19 @@ impl Communicator for ThreadComm {
                 }))
             }
         };
-        self.clock.set(self.clock.get().max(msg.arrival));
+        let t_before = self.clock.get();
+        self.clock.set(t_before.max(msg.arrival));
         let bytes = std::mem::size_of_val(&msg.data[..]);
         let mut st = self.stats.borrow_mut();
         st.recvs += 1;
         st.bytes_received += bytes as u64;
         drop(st);
+        let seq = {
+            let mut seqs = self.recv_seq.borrow_mut();
+            let s = seqs[from];
+            seqs[from] += 1;
+            s
+        };
         if let Some(tracer) = &self.tracer {
             tracer.emit(
                 EventKind::Recv,
@@ -279,6 +303,9 @@ impl Communicator for ThreadComm {
                 vec![
                     ("peer".to_string(), Value::U64(from as u64)),
                     ("bytes".to_string(), Value::U64(bytes as u64)),
+                    ("seq".to_string(), Value::U64(seq)),
+                    ("t_before".to_string(), Value::F64(t_before)),
+                    ("t_arrival".to_string(), Value::F64(msg.arrival)),
                 ],
             );
         }
@@ -288,9 +315,12 @@ impl Communicator for ThreadComm {
     fn try_allreduce_sum_into(&self, buf: &mut [f64]) -> Result<(), CommError> {
         self.check()?;
         let bytes = std::mem::size_of_val(&buf[..]);
+        let t_before = self.clock.get();
+        let coll = self.coll_seq.get();
+        self.coll_seq.set(coll + 1);
         let (sum, max_clock) = self
             .collective
-            .allreduce(self.rank, buf, self.clock.get(), self.timeout)
+            .allreduce(self.rank, buf, t_before, self.timeout)
             .map_err(|e| self.latch(e))?;
         buf.copy_from_slice(&sum);
         self.clock
@@ -304,7 +334,12 @@ impl Communicator for ThreadComm {
                 EventKind::Allreduce,
                 "",
                 self.clock.get(),
-                vec![("bytes".to_string(), Value::U64(bytes as u64))],
+                vec![
+                    ("bytes".to_string(), Value::U64(bytes as u64)),
+                    ("coll".to_string(), Value::U64(coll)),
+                    ("t_before".to_string(), Value::F64(t_before)),
+                    ("t_sync".to_string(), Value::F64(max_clock)),
+                ],
             );
         }
         Ok(())
@@ -312,15 +347,27 @@ impl Communicator for ThreadComm {
 
     fn try_barrier(&self) -> Result<(), CommError> {
         self.check()?;
+        let t_before = self.clock.get();
+        let coll = self.coll_seq.get();
+        self.coll_seq.set(coll + 1);
         let (_, max_clock) = self
             .collective
-            .allreduce(self.rank, &[], self.clock.get(), self.timeout)
+            .allreduce(self.rank, &[], t_before, self.timeout)
             .map_err(|e| self.latch(e))?;
         self.clock
             .set(max_clock + self.model.allreduce_time(self.size, 0));
         self.stats.borrow_mut().barriers += 1;
         if let Some(tracer) = &self.tracer {
-            tracer.emit(EventKind::Barrier, "", self.clock.get(), Vec::new());
+            tracer.emit(
+                EventKind::Barrier,
+                "",
+                self.clock.get(),
+                vec![
+                    ("coll".to_string(), Value::U64(coll)),
+                    ("t_before".to_string(), Value::F64(t_before)),
+                    ("t_sync".to_string(), Value::F64(max_clock)),
+                ],
+            );
         }
         Ok(())
     }
@@ -548,6 +595,9 @@ where
             error: RefCell::new(None),
             tracer: sink.tracer(Some(rank)),
             msg_bytes: RefCell::new(Histogram::new()),
+            send_seq: RefCell::new(vec![0; p]),
+            recv_seq: RefCell::new(vec![0; p]),
+            coll_seq: Cell::new(0),
         });
     }
 

@@ -1,0 +1,405 @@
+//! Chrome / Perfetto `trace_event` exporter.
+//!
+//! Converts a recorded [`TraceEvent`] stream into the JSON object format
+//! consumed by `chrome://tracing`, [Perfetto](https://ui.perfetto.dev) and
+//! Speedscope, so per-rank timelines stay inspectable at P = 64+ where the
+//! ASCII renderer stops being useful.
+//!
+//! Mapping (all timestamps in microseconds, as the format requires):
+//!
+//! | trace event            | `trace_event` record                          |
+//! |------------------------|-----------------------------------------------|
+//! | rank span begin/end    | `B` / `E` on `tid = rank + 1`, virtual time   |
+//! | host span begin/end    | `B` / `E` on `tid = 0`, wall time             |
+//! | `recv` that blocked    | `X` slice `recv-wait` (`t_before → t_virt`)   |
+//! | `allreduce`/`barrier`  | `X` slice (`t_before → t_virt`)               |
+//! | `send`/`recv`/`iter`/… | `i` instant with the fields as `args`         |
+//! | flushed `counter`      | `C` counter sample                            |
+//! | `rank_end`             | `i` instant (final clock in `args`)           |
+//!
+//! One process (`pid` 0) per trace; rank clocks are virtual seconds from
+//! the same origin, so slices line up across rank rows exactly as the
+//! machine model scheduled them. Host events run on wall time in their own
+//! row — a different clock, kept for orientation rather than alignment.
+
+use crate::event::{EventKind, TraceEvent, Value};
+use crate::jsonl::encode_json_string;
+use std::fmt::Write as _;
+
+/// Converts seconds to integer-ish microseconds with sub-µs remainder kept
+/// (the format accepts fractional `ts`).
+fn us(seconds: f64) -> f64 {
+    seconds * 1e6
+}
+
+fn push_args(out: &mut String, fields: &[(String, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&encode_json_string(k));
+        out.push(':');
+        match v {
+            Value::U64(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::F64(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => out.push_str(&encode_json_string(s)),
+        }
+    }
+    out.push('}');
+}
+
+struct Record<'a> {
+    ph: char,
+    name: &'a str,
+    tid: u64,
+    ts: f64,
+    dur: Option<f64>,
+    args: Option<&'a [(String, Value)]>,
+}
+
+fn push_record(out: &mut String, first: &mut bool, rec: &Record<'_>) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "  {{\"name\":{},\"ph\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{}",
+        encode_json_string(rec.name),
+        rec.ph,
+        rec.tid,
+        us(rec.ts)
+    );
+    if let Some(dur) = rec.dur {
+        let _ = write!(out, ",\"dur\":{}", us(dur));
+    }
+    if let Some(fields) = rec.args {
+        out.push_str(",\"args\":");
+        push_args(out, fields);
+    }
+    out.push('}');
+}
+
+/// Renders the event stream as one `trace_event` JSON document
+/// (`{"traceEvents":[...]}`). The output always parses as valid JSON (the
+/// exporter tests pin this via [`crate::json::parse`]).
+pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 128 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Thread-name metadata: host row + one row per rank seen.
+    let mut max_rank: Option<usize> = None;
+    let mut has_host = false;
+    for ev in events {
+        match ev.rank {
+            Some(r) => max_rank = Some(max_rank.map_or(r, |m: usize| m.max(r))),
+            None => has_host = true,
+        }
+    }
+    let name_meta = |out: &mut String, first: &mut bool, tid: u64, label: &str| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        let _ = write!(
+            out,
+            "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+            encode_json_string(label)
+        );
+    };
+    if has_host {
+        name_meta(&mut out, &mut first, 0, "host (wall clock)");
+    }
+    if let Some(m) = max_rank {
+        for r in 0..=m {
+            name_meta(&mut out, &mut first, r as u64 + 1, &format!("rank {r}"));
+        }
+    }
+
+    for ev in events {
+        // Host events run on wall time in row 0; rank rows use virtual time.
+        let (tid, ts) = match ev.rank {
+            Some(r) => (r as u64 + 1, ev.t_virt),
+            None => (0, ev.t_wall),
+        };
+        match ev.kind {
+            EventKind::SpanBegin => push_record(
+                &mut out,
+                &mut first,
+                &Record {
+                    ph: 'B',
+                    name: &ev.name,
+                    tid,
+                    ts,
+                    dur: None,
+                    args: None,
+                },
+            ),
+            EventKind::SpanEnd => push_record(
+                &mut out,
+                &mut first,
+                &Record {
+                    ph: 'E',
+                    name: &ev.name,
+                    tid,
+                    ts,
+                    dur: None,
+                    args: None,
+                },
+            ),
+            EventKind::Recv => {
+                // A blocked receive renders as a wait slice; the instant
+                // carries the matching fields either way.
+                let before = ev.f64("t_before").unwrap_or(ev.t_virt);
+                if ev.t_virt > before {
+                    push_record(
+                        &mut out,
+                        &mut first,
+                        &Record {
+                            ph: 'X',
+                            name: "recv-wait",
+                            tid,
+                            ts: before,
+                            dur: Some(ev.t_virt - before),
+                            args: Some(&ev.fields),
+                        },
+                    );
+                } else {
+                    push_record(
+                        &mut out,
+                        &mut first,
+                        &Record {
+                            ph: 'i',
+                            name: "recv",
+                            tid,
+                            ts,
+                            dur: None,
+                            args: Some(&ev.fields),
+                        },
+                    );
+                }
+            }
+            EventKind::Allreduce | EventKind::Barrier => {
+                let name = if ev.kind == EventKind::Allreduce {
+                    "allreduce"
+                } else {
+                    "barrier"
+                };
+                let before = ev.f64("t_before").unwrap_or(ev.t_virt);
+                push_record(
+                    &mut out,
+                    &mut first,
+                    &Record {
+                        ph: 'X',
+                        name,
+                        tid,
+                        ts: before.min(ev.t_virt),
+                        dur: Some((ev.t_virt - before).max(0.0)),
+                        args: Some(&ev.fields),
+                    },
+                );
+            }
+            EventKind::Counter => {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "  {{\"name\":{},\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                    encode_json_string(&ev.name),
+                    us(ts),
+                    ev.u64("value").unwrap_or(0)
+                );
+            }
+            EventKind::Send
+            | EventKind::Instant
+            | EventKind::Exchange
+            | EventKind::Iter
+            | EventKind::RankEnd => {
+                let name: &str = match ev.kind {
+                    EventKind::Send => "send",
+                    EventKind::Exchange => "exchange",
+                    EventKind::Iter => "iter",
+                    EventKind::RankEnd => "rank_end",
+                    _ => &ev.name,
+                };
+                push_record(
+                    &mut out,
+                    &mut first,
+                    &Record {
+                        ph: 'i',
+                        name,
+                        tid,
+                        ts,
+                        dur: None,
+                        args: Some(&ev.fields),
+                    },
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let mk = |rank: Option<usize>,
+                  t: f64,
+                  kind: EventKind,
+                  name: &str,
+                  fields: Vec<(&str, Value)>| TraceEvent {
+            rank,
+            t_wall: t,
+            t_virt: t,
+            kind,
+            name: name.to_string(),
+            fields: fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        };
+        vec![
+            mk(None, 0.0, EventKind::SpanBegin, "assembly", vec![]),
+            mk(None, 0.25, EventKind::SpanEnd, "assembly", vec![]),
+            mk(Some(0), 0.0, EventKind::SpanBegin, "fgmres", vec![]),
+            mk(
+                Some(0),
+                0.5,
+                EventKind::Send,
+                "",
+                vec![
+                    ("peer", Value::U64(1)),
+                    ("bytes", Value::U64(80)),
+                    ("seq", Value::U64(0)),
+                ],
+            ),
+            mk(
+                Some(1),
+                0.9,
+                EventKind::Recv,
+                "",
+                vec![
+                    ("peer", Value::U64(0)),
+                    ("bytes", Value::U64(80)),
+                    ("seq", Value::U64(0)),
+                    ("t_before", Value::F64(0.4)),
+                    ("t_arrival", Value::F64(0.9)),
+                ],
+            ),
+            mk(
+                Some(0),
+                1.0,
+                EventKind::Allreduce,
+                "",
+                vec![
+                    ("bytes", Value::U64(8)),
+                    ("coll", Value::U64(0)),
+                    ("t_before", Value::F64(0.8)),
+                    ("t_sync", Value::F64(0.9)),
+                ],
+            ),
+            mk(Some(0), 1.5, EventKind::SpanEnd, "fgmres", vec![]),
+            mk(
+                Some(0),
+                1.5,
+                EventKind::Counter,
+                "spmv_calls",
+                vec![("value", Value::U64(42))],
+            ),
+            mk(
+                Some(0),
+                1.5,
+                EventKind::RankEnd,
+                "",
+                vec![("t_virt_final", Value::F64(1.5))],
+            ),
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_trace_event_json() {
+        let text = export_chrome_trace(&sample_events());
+        let doc = json::parse(&text).expect("exporter output must parse as JSON");
+        let events = doc
+            .get("traceEvents")
+            .expect("traceEvents key")
+            .as_array()
+            .expect("traceEvents must be an array");
+        assert!(!events.is_empty());
+        for e in events {
+            let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph");
+            assert!(["B", "E", "X", "i", "C", "M"].contains(&ph), "ph {ph:?}");
+            assert!(e.get("pid").is_some() && e.get("tid").is_some());
+            if ph != "M" {
+                assert!(e.get("ts").and_then(|t| t.as_f64()).is_some(), "ts on {ph}");
+            }
+            if ph == "X" {
+                assert!(e.get("dur").and_then(|d| d.as_f64()).unwrap() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn spans_pair_up_and_land_on_the_right_thread() {
+        let text = export_chrome_trace(&sample_events());
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let fgmres: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("fgmres"))
+            .collect();
+        assert_eq!(fgmres.len(), 2);
+        for e in &fgmres {
+            assert_eq!(e.get("tid").unwrap().as_f64(), Some(1.0)); // rank 0 → tid 1
+        }
+        // B before E, microsecond timestamps.
+        assert_eq!(fgmres[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(fgmres[1].get("ph").unwrap().as_str(), Some("E"));
+        assert_eq!(fgmres[1].get("ts").unwrap().as_f64(), Some(1.5e6));
+        // Host span sits on tid 0.
+        let host: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("assembly"))
+            .collect();
+        assert_eq!(host.len(), 2);
+        assert_eq!(host[0].get("tid").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn blocked_recv_becomes_wait_slice() {
+        let text = export_chrome_trace(&sample_events());
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let wait = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("recv-wait"))
+            .expect("blocked recv must export a wait slice");
+        assert_eq!(wait.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(wait.get("ts").unwrap().as_f64(), Some(0.4e6));
+        let dur = wait.get("dur").unwrap().as_f64().unwrap();
+        assert!((dur - 0.5e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_stream_exports_empty_valid_document() {
+        let text = export_chrome_trace(&[]);
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

@@ -55,6 +55,15 @@ pub fn encode_all(events: &[TraceEvent]) -> String {
     out
 }
 
+/// Encodes `s` as one quoted JSON string literal (the crate's canonical
+/// escaping, shared with the JSONL codec). Used by the other JSON-emitting
+/// exporters ([`crate::chrome`], [`crate::CritPath::to_json`]).
+pub fn encode_json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str(&mut out, s);
+    out
+}
+
 fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         // `{}` on f64 is shortest-round-trip, so parse() recovers the bits.

@@ -25,6 +25,17 @@
 //!   precond-build → FGMRES cycles → gather), Table-1-style communication
 //!   counts, a per-iteration convergence record, and an ASCII per-rank
 //!   timeline over virtual time.
+//! * [`CritPath`] — the critical-path analyzer: reconstructs the cross-rank
+//!   dependency DAG from the recorded send/recv/collective events and walks
+//!   back the makespan-bounding chain, attributing it to compute, message
+//!   flight, and collective segments.
+//! * [`MetricsRegistry`] — a thread-safe live-aggregate surface (named
+//!   counters, gauges, histograms) with a stable text exposition, for
+//!   long-running sessions that need scraping rather than post-hoc traces.
+//! * [`chrome`] — a Chrome/Perfetto `trace_event` exporter for interactive
+//!   per-rank timelines at high rank counts.
+//! * [`json`] — a small generic JSON reader shared by the perf-gate and the
+//!   exporter tests.
 //!
 //! The event schema is documented on [`TraceEvent`]; the stable JSON keys are
 //! documented in [`jsonl`].
@@ -37,14 +48,21 @@
 
 mod aggregate;
 pub mod alloc;
+pub mod chrome;
+mod critpath;
 mod event;
+pub mod json;
 pub mod jsonl;
 mod metrics;
+mod registry;
 mod report;
 mod sink;
 
 pub use aggregate::{CommCounts, IterRecord, PhaseTotals, RankSummary, SolveSummary, TraceReport};
+pub use chrome::export_chrome_trace;
+pub use critpath::{render_critical_path, CritPath, PathSegment, RankWaits, SegmentKind};
 pub use event::{EventKind, TraceEvent, Value};
 pub use metrics::{Counter, Histogram};
+pub use registry::{MetricCounter, MetricGauge, MetricHistogram, MetricsRegistry};
 pub use report::{render_comm_table, render_convergence, render_phase_table, render_timeline};
 pub use sink::{RankTracer, TraceSink};

@@ -45,6 +45,12 @@ impl Counter {
 /// holds samples whose value needs `i` significant bits (`0 → [0,0]`,
 /// `1 → [1,1]`, `2 → [2,3]`, `3 → [4,7]`, …). Recording is two instructions
 /// (leading-zeros + bump), which is cheap enough for per-message accounting.
+///
+/// **Bucket-edge rule (pinned):** a value exactly at a power of two, `2^k`,
+/// is the inclusive *lower* edge of bucket `k+1` = `[2^k, 2^(k+1) − 1]` —
+/// it never lands in the bucket below. Consequently every quantile estimate
+/// reports the inclusive upper bound `2^(k+1) − 1` of the bucket it falls
+/// in, clamped to the observed maximum.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: [u64; 65],
@@ -126,6 +132,25 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Approximate percentile (`0.0..=100.0`): `percentile(95.0)` is the
+    /// p95 upper bound. Sugar over [`Histogram::quantile`] — same bucket
+    /// resolution (exact to within a factor of two).
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Folds `other`'s samples into `self` bucket-wise. Exact: the merged
+    /// histogram equals recording both sample streams into one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Approximate quantile (`0.0..=1.0`): the inclusive upper bound of the
@@ -230,6 +255,73 @@ mod tests {
         // Median lands in bucket of 3 → upper bound 3.
         assert_eq!(h.quantile(0.5), 3);
         assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    /// Pins the documented bucket-edge rule: `2^k` is the inclusive lower
+    /// edge of bucket `k+1`, for every representable power of two.
+    #[test]
+    fn power_of_two_values_open_the_upper_bucket() {
+        for k in 0..63u32 {
+            let v = 1u64 << k;
+            let b = Histogram::bucket_of(v);
+            assert_eq!(b, k as usize + 1, "2^{k} must land in bucket {}", k + 1);
+            // ... and it is that bucket's lower edge: one less lands below.
+            assert_eq!(Histogram::bucket_of(v - 1), k as usize, "2^{k}-1");
+            // The bucket's inclusive bounds are [2^k, 2^(k+1)-1].
+            assert_eq!(Histogram::bucket_hi(b), (v - 1).wrapping_add(v));
+        }
+    }
+
+    /// A histogram holding only `2^k` reports quantiles from bucket `k+1`,
+    /// clamped to the observed max — so exact powers of two round-trip.
+    #[test]
+    fn power_of_two_quantiles_clamp_to_observed_max() {
+        for k in [0u32, 3, 10, 20] {
+            let v = 1u64 << k;
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.quantile(0.5), v);
+            assert_eq!(h.percentile(99.0), v);
+        }
+    }
+
+    #[test]
+    fn percentile_is_quantile_in_percent() {
+        let mut h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        for (p, q) in [(0.0, 0.0), (50.0, 0.5), (95.0, 0.95), (99.0, 0.99)] {
+            assert_eq!(h.percentile(p), h.quantile(q));
+        }
+        // p95/p99 of 0..100 sit in bucket 7 = [64,127], clamped to max 99.
+        assert_eq!(h.percentile(95.0), 99);
+        assert_eq!(h.percentile(99.0), 99);
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [1u64, 5, 64, 300] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 2, 4096] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.to_fields(), both.to_fields());
+        // Merging an empty histogram is the identity (min stays sentinel).
+        let before = both.to_fields();
+        both.merge(&Histogram::new());
+        assert_eq!(both.to_fields(), before);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! A thread-safe metrics registry: named counters, gauges, and histograms
+//! with a stable text exposition format.
+//!
+//! Where [`crate::sink`] records an *event stream* for post-hoc analysis,
+//! the registry holds *live aggregates* — the surface a long-running
+//! session server scrapes. It follows the same disabled-is-`None` pattern
+//! as [`crate::TraceSink`]: a disabled registry hands out no-op handles, so
+//! instrumented code pays one branch when metrics are off.
+//!
+//! Naming convention (enforced by review, documented here and in
+//! DESIGN.md): `parfem_<subsystem>_<quantity>[_<unit>]`, with `_total` for
+//! monotonic counters, `_seconds`/`_bytes` for unit-carrying values —
+//! e.g. `parfem_solver_iterations_total`, `parfem_msg_sent_bytes_total`,
+//! `parfem_solver_last_modeled_seconds`.
+//!
+//! Handles are `Send + Sync` and cheap to clone: counters and gauges are a
+//! shared `AtomicU64` (gauges store `f64` bits), histograms a shared
+//! `Mutex<Histogram>`. Rank threads can therefore record into one registry
+//! concurrently without funnelling through the owner.
+
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Default)]
+struct RegistryShared {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+}
+
+/// A cheap, cloneable, thread-safe handle to one live metrics surface — or
+/// a no-op when disabled.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry(Option<Arc<RegistryShared>>);
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn new() -> Self {
+        MetricsRegistry(Some(Arc::new(RegistryShared::default())))
+    }
+
+    /// The no-op registry. `const`, so it can sit in statics and defaults.
+    pub const fn disabled() -> Self {
+        MetricsRegistry(None)
+    }
+
+    /// Whether metrics are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Gets or creates the named monotonic counter.
+    pub fn counter(&self, name: &str) -> MetricCounter {
+        MetricCounter(self.0.as_ref().map(|shared| {
+            Arc::clone(
+                shared
+                    .counters
+                    .lock()
+                    .unwrap()
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Gets or creates the named gauge (a last-write-wins `f64`).
+    pub fn gauge(&self, name: &str) -> MetricGauge {
+        MetricGauge(self.0.as_ref().map(|shared| {
+            Arc::clone(
+                shared
+                    .gauges
+                    .lock()
+                    .unwrap()
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Gets or creates the named histogram over `u64` samples.
+    pub fn histogram(&self, name: &str) -> MetricHistogram {
+        MetricHistogram(self.0.as_ref().map(|shared| {
+            Arc::clone(
+                shared
+                    .histograms
+                    .lock()
+                    .unwrap()
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Current value of a counter, if it exists (`None` when disabled or
+    /// never touched). Convenience for tests and report code.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let shared = self.0.as_ref()?;
+        let map = shared.counters.lock().unwrap();
+        map.get(name).map(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// Renders every metric in the stable text exposition format: one
+    /// `# TYPE` comment per metric, names sorted, counters/gauges as
+    /// `name value`, histograms exploded into `_count`/`_sum`/`_min`/
+    /// `_max`/`_p50`/`_p95`/`_p99` lines. Returns an empty string when
+    /// disabled.
+    pub fn render(&self) -> String {
+        let Some(shared) = self.0.as_ref() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for (name, c) in shared.counters.lock().unwrap().iter() {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.load(Ordering::Relaxed));
+        }
+        for (name, g) in shared.gauges.lock().unwrap().iter() {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", f64::from_bits(g.load(Ordering::Relaxed)));
+        }
+        for (name, h) in shared.histograms.lock().unwrap().iter() {
+            let h = h.lock().unwrap();
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let _ = writeln!(out, "{name}_count {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_min {}", h.min());
+            let _ = writeln!(out, "{name}_max {}", h.max());
+            for p in [50.0, 95.0, 99.0] {
+                let _ = writeln!(out, "{name}_p{} {}", p as u32, h.percentile(p));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MetricsRegistry({})",
+            if self.is_enabled() {
+                "live"
+            } else {
+                "disabled"
+            }
+        )
+    }
+}
+
+/// A handle to one monotonic counter (no-op when its registry is disabled).
+#[derive(Clone, Debug, Default)]
+pub struct MetricCounter(Option<Arc<AtomicU64>>);
+
+impl MetricCounter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A handle to one gauge (no-op when its registry is disabled).
+#[derive(Clone, Debug, Default)]
+pub struct MetricGauge(Option<Arc<AtomicU64>>);
+
+impl MetricGauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// A handle to one histogram (no-op when its registry is disabled).
+#[derive(Clone, Debug, Default)]
+pub struct MetricHistogram(Option<Arc<Mutex<Histogram>>>);
+
+impl MetricHistogram {
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.lock().unwrap().record(v);
+        }
+    }
+
+    /// Folds a whole pre-aggregated [`Histogram`] in (used when a rank
+    /// merges its per-run message-size histogram at teardown).
+    pub fn merge(&self, other: &Histogram) {
+        if let Some(h) = &self.0 {
+            h.lock().unwrap().merge(other);
+        }
+    }
+
+    /// A snapshot of the current distribution (`None` when disabled).
+    pub fn snapshot(&self) -> Option<Histogram> {
+        self.0.as_ref().map(|h| h.lock().unwrap().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = MetricsRegistry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("parfem_solves_total");
+        c.incr();
+        assert_eq!(c.get(), 0);
+        let g = reg.gauge("parfem_last_res");
+        g.set(1.5);
+        assert_eq!(g.get(), 0.0);
+        let h = reg.histogram("parfem_msg_bytes");
+        h.observe(64);
+        assert!(h.snapshot().is_none());
+        assert_eq!(reg.render(), "");
+        assert_eq!(reg.counter_value("parfem_solves_total"), None);
+    }
+
+    #[test]
+    fn handles_share_state_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("parfem_x_total");
+        let b = reg.counter("parfem_x_total");
+        a.add(3);
+        b.add(4);
+        assert_eq!(reg.counter_value("parfem_x_total"), Some(7));
+        let g1 = reg.gauge("parfem_y");
+        let g2 = reg.gauge("parfem_y");
+        g1.set(2.25);
+        assert_eq!(g2.get(), 2.25);
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = reg.counter("parfem_hits_total");
+                let h = reg.histogram("parfem_sizes_bytes");
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        c.incr();
+                        h.observe(i % 17);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter_value("parfem_hits_total"), Some(8000));
+        assert_eq!(
+            reg.histogram("parfem_sizes_bytes")
+                .snapshot()
+                .unwrap()
+                .count(),
+            8000
+        );
+    }
+
+    #[test]
+    fn exposition_format_is_stable_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("parfem_b_total").add(2);
+        reg.counter("parfem_a_total").add(1);
+        reg.gauge("parfem_g_seconds").set(0.5);
+        let h = reg.histogram("parfem_h_bytes");
+        for v in [1u64, 2, 3, 100] {
+            h.observe(v);
+        }
+        let text = reg.render();
+        let a_pos = text.find("parfem_a_total 1").unwrap();
+        let b_pos = text.find("parfem_b_total 2").unwrap();
+        assert!(a_pos < b_pos, "counters must render sorted by name");
+        assert!(text.contains("# TYPE parfem_g_seconds gauge"));
+        assert!(text.contains("parfem_g_seconds 0.5"));
+        assert!(text.contains("parfem_h_bytes_count 4"));
+        assert!(text.contains("parfem_h_bytes_sum 106"));
+        assert!(text.contains("parfem_h_bytes_p50 "));
+        assert!(text.contains("parfem_h_bytes_p99 "));
+        // Two renders are byte-identical when nothing changed.
+        assert_eq!(text, reg.render());
+    }
+}

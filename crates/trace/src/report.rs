@@ -125,10 +125,12 @@ pub fn render_comm_table(report: &TraceReport) -> String {
         if let Some(h) = &rank.msg_bytes {
             let _ = writeln!(
                 out,
-                "rank {} message sizes: n={} p50<={}B max={}B mean={:.1}B",
+                "rank {} message sizes: n={} p50<={}B p95<={}B p99<={}B max={}B mean={:.1}B",
                 rank.rank,
                 h.count(),
-                h.quantile(0.5),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
                 h.max(),
                 h.mean()
             );
