@@ -20,9 +20,9 @@
 
 use parfem::prelude::{CantileverProblem, LoadCase, MachineModel, Material, PrecondSpec};
 use parfem_bench::harness::Case;
-use parfem_krylov::{fgmres, GmresConfig};
-use parfem_precond::{GlsPrecond, IdentityPrecond, Preconditioner};
-use parfem_sparse::{scaling, CooMatrix, CsrMatrix};
+use parfem_krylov::{fgmres_with, GmresConfig, KrylovWorkspace};
+use parfem_precond::{GlsPrecond, GlsPrecondF32, IdentityPrecond, Preconditioner};
+use parfem_sparse::{scaling, variant, BcsrMatrix, CooMatrix, CsrMatrix, KernelPolicy, SellMatrix};
 use parfem_trace::alloc::{self, CountingAlloc};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -112,6 +112,60 @@ fn bench_spmv() -> BenchLine {
     }
 }
 
+/// SpMV throughput of the SELL-C-σ storage format (same Laplacian as
+/// `bench_spmv`, so the MFLOP/s are directly comparable).
+fn bench_spmv_sellcs() -> BenchLine {
+    let nx = 256;
+    let a = laplacian_2d(nx);
+    let sell = SellMatrix::from_csr(&a, 8, 64);
+    let n = a.n_rows();
+    let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+    let mut y = vec![0.0; n];
+    let reps = 50;
+    let secs = time_best(20, || {
+        for _ in 0..reps {
+            sell.spmv_into(&x, &mut y);
+            std::hint::black_box(&y);
+        }
+    }) / reps as f64;
+    BenchLine {
+        name: "spmv_sellcs",
+        n,
+        secs,
+        rate: a.spmv_flops() as f64 / secs / 1e6,
+        rate_unit: "mflops",
+        allocs_per_iter: None,
+        alloc_bytes_per_iter: None,
+    }
+}
+
+/// SpMV throughput of the 2×2 block-CSR format on a 2-D elasticity
+/// stiffness matrix (the DOF structure the format targets).
+fn bench_spmv_bcsr() -> BenchLine {
+    let p = CantileverProblem::new(160, 40, Material::unit(), LoadCase::PullX(1.0));
+    let a = p.static_system().stiffness;
+    let bcsr = BcsrMatrix::try_from_csr(&a).expect("elasticity stiffness has even dimensions");
+    let n = a.n_rows();
+    let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+    let mut y = vec![0.0; n];
+    let reps = 50;
+    let secs = time_best(20, || {
+        for _ in 0..reps {
+            bcsr.spmv_into(&x, &mut y);
+            std::hint::black_box(&y);
+        }
+    }) / reps as f64;
+    BenchLine {
+        name: "spmv_bcsr",
+        n,
+        secs,
+        rate: a.spmv_flops() as f64 / secs / 1e6,
+        rate_unit: "mflops",
+        allocs_per_iter: None,
+        alloc_bytes_per_iter: None,
+    }
+}
+
 fn bench_precond_apply() -> BenchLine {
     let nx = 256;
     let k = laplacian_2d(nx);
@@ -140,39 +194,108 @@ fn bench_precond_apply() -> BenchLine {
     }
 }
 
+/// The mixed-precision mirror of `bench_precond_apply`: the same GLS(7)
+/// polynomial evaluated in `f32` through the attached single-precision
+/// matrix copy. The rate counts the same nominal flops as the `f64` bench,
+/// so the ratio of the two is the raw mixed-precision speedup.
+fn bench_precond_apply_f32() -> BenchLine {
+    let nx = 256;
+    let k = laplacian_2d(nx);
+    let n = k.n_rows();
+    let f = vec![1.0; n];
+    let (a, _b, _sc) = scaling::scale_system(&k, &f).expect("scale");
+    let p = GlsPrecondF32::for_scaled_system(7).with_matrix(&a);
+    let v: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) / 5.0).collect();
+    let mut z = vec![0.0; n];
+    let mut scratch = vec![vec![0.0; n]; Preconditioner::<CsrMatrix>::scratch_vectors(&p)];
+    let ops = Preconditioner::<CsrMatrix>::operator_applications(&p) as f64;
+    let reps = 10;
+    let secs = time_best(20, || {
+        for _ in 0..reps {
+            p.apply_scratch(&a, &v, &mut z, &mut scratch);
+            std::hint::black_box(&z);
+        }
+    }) / reps as f64;
+    BenchLine {
+        name: "precond_apply_gls7_f32",
+        n,
+        secs,
+        rate: ops * a.spmv_flops() as f64 / secs / 1e6,
+        rate_unit: "mflops",
+        allocs_per_iter: None,
+        alloc_bytes_per_iter: None,
+    }
+}
+
 /// FGMRES iteration throughput: a fixed iteration budget on the scaled
 /// Laplacian with `tol = 0` so every run performs exactly `iters` inner
-/// iterations regardless of convergence.
-fn bench_fgmres<P>(name: &'static str, precond: &P, iters: usize) -> BenchLine
+/// iterations regardless of convergence. Runs through a caller-owned
+/// [`KrylovWorkspace`] warmed by one untimed solve, so the timed/measured
+/// solves are the production zero-allocation configuration.
+fn bench_fgmres<P>(
+    name: &'static str,
+    precond: &P,
+    iters: usize,
+    kernels: KernelPolicy,
+) -> BenchLine
 where
-    P: Preconditioner<CsrMatrix>,
+    P: Preconditioner<CsrMatrix> + for<'s> Preconditioner<variant::SelectedKernel<'s>>,
 {
     let nx = 200;
     let k = laplacian_2d(nx);
     let n = k.n_rows();
     let f = vec![1.0; n];
     let (a, b, _sc) = scaling::scale_system(&k, &f).expect("scale");
+    // A non-scalar policy runs the solve through the per-matrix selector —
+    // the operator the SolveSession would pick at build time.
+    if !matches!(kernels, KernelPolicy::Scalar) {
+        let sel = variant::select(&a, kernels);
+        return bench_fgmres_op(name, &sel, n, &b, precond, iters, kernels);
+    }
+    bench_fgmres_op(name, &a, n, &b, precond, iters, kernels)
+}
+
+/// The measured FGMRES body of [`bench_fgmres`], generic over the operator
+/// variant chosen by the policy.
+fn bench_fgmres_op<Op, P>(
+    name: &'static str,
+    a: &Op,
+    n: usize,
+    b: &[f64],
+    precond: &P,
+    iters: usize,
+    kernels: KernelPolicy,
+) -> BenchLine
+where
+    Op: parfem_sparse::LinearOperator + ?Sized,
+    P: Preconditioner<Op> + ?Sized,
+{
     let x0 = vec![0.0; n];
     let cfg = |max_iters: usize| GmresConfig {
         restart: 25,
         max_iters,
         tol: 0.0,
+        kernels,
         ..Default::default()
     };
+    let mut ws = KrylovWorkspace::new();
+    // Warm: size every buffer and record the history high-water mark.
+    let _ = std::hint::black_box(fgmres_with(a, precond, b, &x0, &cfg(iters), &mut ws));
     let secs = time_best(5, || {
-        let res = fgmres(&a, precond, &b, &x0, &cfg(iters));
+        let res = fgmres_with(a, precond, b, &x0, &cfg(iters), &mut ws);
         assert_eq!(res.history.iterations(), iters, "{name}: fixed-work solve");
         std::hint::black_box(&res.x);
     });
 
     // Allocation traffic per iteration: difference between a long and a
-    // short solve divided by the iteration difference, so per-solve setup
-    // costs cancel.
+    // short solve divided by the iteration difference, so per-solve costs
+    // (the returned history/solution vectors) cancel. With the warm
+    // workspace this is exactly zero.
     let short = iters / 4;
     let s0 = alloc::stats();
-    let _ = std::hint::black_box(fgmres(&a, precond, &b, &x0, &cfg(short)));
+    let _ = std::hint::black_box(fgmres_with(a, precond, b, &x0, &cfg(short), &mut ws));
     let s1 = alloc::stats();
-    let _ = std::hint::black_box(fgmres(&a, precond, &b, &x0, &cfg(iters)));
+    let _ = std::hint::black_box(fgmres_with(a, precond, b, &x0, &cfg(iters), &mut ws));
     let s2 = alloc::stats();
     let d_short = s1.since(s0);
     let d_long = s2.since(s1);
@@ -264,12 +387,27 @@ fn render_overlap(lines: &[OverlapLine]) -> String {
 fn run_all() -> Vec<BenchLine> {
     vec![
         bench_spmv(),
+        bench_spmv_sellcs(),
+        bench_spmv_bcsr(),
         bench_precond_apply(),
-        bench_fgmres("fgmres_iteration", &IdentityPrecond, 400),
+        bench_precond_apply_f32(),
+        bench_fgmres(
+            "fgmres_iteration",
+            &IdentityPrecond,
+            400,
+            KernelPolicy::Scalar,
+        ),
+        bench_fgmres(
+            "fgmres_iteration_simd",
+            &IdentityPrecond,
+            400,
+            KernelPolicy::Auto,
+        ),
         bench_fgmres(
             "fgmres_iteration_gls7",
             &GlsPrecond::for_scaled_system(7),
             200,
+            KernelPolicy::Scalar,
         ),
     ]
 }

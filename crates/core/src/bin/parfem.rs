@@ -16,7 +16,7 @@
 
 use parfem::perfgate;
 use parfem::prelude::*;
-use parfem::sparse::{gershgorin, io as mmio, scaling::scale_system};
+use parfem::sparse::{gershgorin, io as mmio, scaling::scale_system, KernelPolicy};
 use parfem::trace::{
     export_chrome_trace, jsonl, render_comm_table, render_convergence, render_critical_path,
     render_phase_table, render_timeline, CritPath, MetricsRegistry,
@@ -61,6 +61,9 @@ solve options:
                         interior matvec (bit-identical; changes modeled time)
   --tol T               relative residual tolerance (default 1e-6)
   --restart M           GMRES restart dimension (default 25)
+  --kernels POLICY      kernel variant: scalar|simd|sellcs|bcsr|auto
+                        (default scalar, the bit-exact reference; auto
+                        micro-benchmarks the formats per local matrix)
   --faults SEED:P       deterministic chaos: inject drops/duplicates/delays/
                         reorders at intensity P in [0,1], seeded by SEED
                         (bit-reproducible; recoverable faults change only
@@ -259,6 +262,16 @@ fn cmd_solve(args: &Args) -> ExitCode {
     } else {
         MetricsRegistry::disabled()
     };
+    let kernels = match args.value_of("--kernels") {
+        None => KernelPolicy::Scalar,
+        Some(s) => match KernelPolicy::parse(s) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        },
+    };
     let cfg = SolverConfig {
         gmres: GmresConfig {
             tol: args
@@ -270,6 +283,7 @@ fn cmd_solve(args: &Args) -> ExitCode {
                 .map(|s| s.parse().unwrap_or(25))
                 .unwrap_or(25),
             max_iters: 200_000,
+            kernels,
             ..Default::default()
         },
         precond,

@@ -38,6 +38,13 @@ pub struct GateConfig {
     pub alloc_slack: f64,
     /// Minimum allowed modeled overlap speedup (default `1.0`).
     pub min_overlap_speedup: f64,
+    /// Per-metric **absolute** caps on allocation metrics, overriding the
+    /// ratio-plus-slack rule wherever tighter. Each entry is a
+    /// (check-name prefix, cap) pair matched against `bench.metric`; the
+    /// default caps every `fgmres_iteration*` bench at **zero** allocations
+    /// and bytes per iteration — the warm-workspace solvers are exactly
+    /// allocation-free and must stay that way.
+    pub alloc_caps: Vec<(String, f64)>,
 }
 
 impl Default for GateConfig {
@@ -47,6 +54,7 @@ impl Default for GateConfig {
             max_alloc_ratio: 1.25,
             alloc_slack: 16.0,
             min_overlap_speedup: 1.0,
+            alloc_caps: vec![("fgmres_iteration".to_string(), 0.0)],
         }
     }
 }
@@ -209,9 +217,15 @@ pub fn evaluate(perf: &Json, baseline: &Json, cfg: &GateConfig) -> Result<GateRe
             ) else {
                 continue;
             };
-            let limit = cfg.max_alloc_ratio * reference + cfg.alloc_slack;
+            let name = format!("{bench}.{metric}");
+            let limit = cfg
+                .alloc_caps
+                .iter()
+                .filter(|(prefix, _)| name.starts_with(prefix.as_str()))
+                .map(|&(_, cap)| cap)
+                .fold(cfg.max_alloc_ratio * reference + cfg.alloc_slack, f64::min);
             checks.push(GateCheck {
-                name: format!("{bench}.{metric}"),
+                name,
                 current: cur,
                 reference,
                 limit,
@@ -278,7 +292,7 @@ mod tests {
                     "spmv": {{ "n": 65536, "mflops": {spmv_mflops} }},
                     "fgmres_iteration": {{ "iters_per_s": 1600.0,
                                            "allocs_per_iter": {allocs},
-                                           "alloc_bytes_per_iter": 8.0 }}
+                                           "alloc_bytes_per_iter": 0.0 }}
                 }},
                 "overlap_modeled": {{
                     "ibm_sp2": {{ "speedup": {overlap} }}
@@ -327,17 +341,41 @@ mod tests {
     }
 
     #[test]
-    fn zero_alloc_reference_keeps_additive_slack() {
+    fn zero_alloc_reference_keeps_additive_slack_for_uncapped_benches() {
+        // Benches without an absolute cap keep the ratio-plus-slack rule:
+        // a zero-allocation reference still admits a few allocations.
         let baseline = r#"{
             "schema": "parfem-bench-perf-v1",
-            "fgmres_iteration": { "allocs_per_iter": 0.0 }
+            "precond_apply_gls7": { "allocs_per_iter": 0.0 }
         }"#;
         let perf = r#"{
             "schema": "parfem-bench-perf-v1",
-            "current": { "fgmres_iteration": { "allocs_per_iter": 4.0 } }
+            "current": { "precond_apply_gls7": { "allocs_per_iter": 4.0 } }
         }"#;
         let report = evaluate_texts(perf, baseline, &GateConfig::default()).unwrap();
         assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn fgmres_allocation_cap_is_absolute_zero() {
+        // The warm-workspace FGMRES benches carry an absolute cap: even a
+        // single byte per iteration fails, slack or not.
+        let baseline = r#"{
+            "schema": "parfem-bench-perf-v1",
+            "fgmres_iteration_simd": { "allocs_per_iter": 0.0,
+                                       "alloc_bytes_per_iter": 0.0 }
+        }"#;
+        let perf = r#"{
+            "schema": "parfem-bench-perf-v1",
+            "current": { "fgmres_iteration_simd": { "allocs_per_iter": 0.0,
+                                                    "alloc_bytes_per_iter": 1.0 } }
+        }"#;
+        let report = evaluate_texts(perf, baseline, &GateConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(
+            report.failures()[0].name,
+            "fgmres_iteration_simd.alloc_bytes_per_iter"
+        );
     }
 
     #[test]

@@ -37,7 +37,8 @@ use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::KrylovWorkspace;
 use parfem_msg::Communicator;
 use parfem_precond::Preconditioner;
-use parfem_sparse::{kernels, CsrMatrix, LinearOperator};
+use parfem_sparse::variant::{select, SelectedKernel, VariantChoice};
+use parfem_sparse::{kernels, CsrMatrix, KernelPolicy, LinearOperator};
 use parfem_trace::MetricsRegistry;
 use std::cell::RefCell;
 
@@ -83,6 +84,12 @@ pub struct EddOperator<'a, C: Communicator> {
     /// Live metrics surface for solves driven through this operator
     /// (disabled unless installed via [`EddOperator::with_metrics`]).
     metrics: MetricsRegistry,
+    /// Kernel variant for the *blocking* local SpMV, chosen by
+    /// [`EddOperator::with_kernels`]. `None` keeps the scalar CSR path
+    /// (the golden reference). The overlapped interface/interior split
+    /// always uses the row-indexed CSR kernels regardless — the split
+    /// schedule needs per-row addressing the packed formats don't expose.
+    local_variant: Option<SelectedKernel<'a>>,
 }
 
 impl<'a, C: Communicator> EddOperator<'a, C> {
@@ -117,6 +124,7 @@ impl<'a, C: Communicator> EddOperator<'a, C> {
             interface_flops: row_nnz_flops(layout.interface_rows()),
             interior_flops: row_nnz_flops(layout.interior_rows()),
             metrics: MetricsRegistry::disabled(),
+            local_variant: None,
         }
     }
 
@@ -125,6 +133,76 @@ impl<'a, C: Communicator> EddOperator<'a, C> {
     pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
         self.metrics = metrics;
         self
+    }
+
+    /// Selects a local-SpMV kernel variant for `policy` (see
+    /// [`parfem_sparse::variant::select`]). [`KernelPolicy::Scalar`] keeps
+    /// the plain CSR path untouched; other policies replace the blocking
+    /// local SpMV only — the overlapped split schedule and the residual
+    /// recompute stay on the (bit-identical) row-indexed scalar kernels.
+    pub fn with_kernels(mut self, policy: KernelPolicy) -> Self {
+        self.local_variant = match policy {
+            KernelPolicy::Scalar => None,
+            p => Some(select(self.a_local, p)),
+        };
+        self
+    }
+
+    /// The kernel variant the blocking local SpMV dispatches to.
+    pub fn kernel_choice(&self) -> VariantChoice {
+        self.local_variant
+            .as_ref()
+            .map_or(VariantChoice::Scalar, |s| s.choice())
+    }
+
+    /// Fused `y = ⊕Σ (Â⁽ˢ⁾ diag(s) x)`: scaling, local SpMV and interface
+    /// exchange in one pass, without materialising `diag(s) x`.
+    ///
+    /// Each CSR row accumulates `v·(s[c]·x[c])` terms in the same 4-way
+    /// tree as the plain kernel on a pre-scaled vector, so the result is
+    /// **bit-identical** to `tmp[i] = s[i]*x[i]; self.apply_into(&tmp, y)`
+    /// — only the intermediate store/reload of `tmp` is eliminated. The
+    /// overlapped schedule is preserved: interface rows finish first, the
+    /// exchange posts, interior rows compute in flight.
+    pub fn apply_scaled_into(&self, s: &[f64], x: &[f64], y: &mut [f64]) {
+        assert_eq!(s.len(), x.len(), "scale/vector length mismatch");
+        let (row_ptr, col_idx, values) = self.a_local.raw_parts();
+        // Fused arithmetic is 3 flops per stored entry (scale, multiply,
+        // add) versus 2 for the plain SpMV; charge the modeled machine
+        // accordingly so overlap studies stay honest.
+        let fused = |flops: u64| flops + flops / 2;
+        if self.layout.overlap() && !self.layout.neighbors.is_empty() {
+            kernels::spmv_scaled_rows_indexed(
+                row_ptr,
+                col_idx,
+                values,
+                s,
+                x,
+                y,
+                self.layout.interface_rows(),
+            );
+            self.comm.work(fused(self.interface_flops));
+            self.trace_spmv();
+            self.layout
+                .interface_sum_split(self.comm, y, &mut self.bufs.borrow_mut(), |y| {
+                    kernels::spmv_scaled_rows_indexed(
+                        row_ptr,
+                        col_idx,
+                        values,
+                        s,
+                        x,
+                        y,
+                        self.layout.interior_rows(),
+                    );
+                    self.comm.work(fused(self.interior_flops));
+                });
+        } else {
+            kernels::spmv_scaled_raw_range(row_ptr, col_idx, values, s, x, y, 0..y.len());
+            self.comm.work(fused(self.a_local.spmv_flops()));
+            self.trace_spmv();
+            self.layout
+                .interface_sum_buffered(self.comm, y, &mut self.bufs.borrow_mut());
+        }
     }
 
     fn trace_spmv(&self) {
@@ -173,7 +251,10 @@ impl<C: Communicator> LinearOperator for EddOperator<'_, C> {
                     self.comm.work(self.interior_flops);
                 });
         } else {
-            self.a_local.spmv_into(x, y);
+            match &self.local_variant {
+                Some(sel) => sel.apply_into(x, y),
+                None => self.a_local.spmv_into(x, y),
+            }
             self.comm.work(self.a_local.spmv_flops());
             self.trace_spmv();
             self.layout
@@ -438,7 +519,18 @@ where
         tracer.span_begin("fgmres", comm.virtual_time());
     }
     let op = EddOperator::for_solve(a_local, layout, comm, Some(b_local), variant)
-        .with_metrics(metrics.clone());
+        .with_metrics(metrics.clone())
+        .with_kernels(cfg.kernels);
+    let choice = op.kernel_choice();
+    metrics
+        .counter(&format!(
+            "parfem_kernel_variant_{}_solves_total",
+            choice.label()
+        ))
+        .incr();
+    if let Some(tracer) = comm.tracer() {
+        tracer.add_count(&format!("kernel_variant_{}", choice.label()), 1);
+    }
     let res = dd_fgmres(&op, precond, x0, cfg, ws);
     if let Some(tracer) = comm.tracer() {
         tracer.span_end("fgmres", comm.virtual_time());
@@ -636,6 +728,55 @@ mod tests {
         assert_eq!(h_par.iterations(), h_seq.iterations());
         for (a, b) in u_par.iter().zip(&u_seq) {
             assert!((a - b).abs() < 1e-10 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn fused_scaled_apply_is_bit_identical_to_scale_then_apply() {
+        let fx = fixture(6, 2, 3);
+        for overlap in [false, true] {
+            let out = run_ranks(3, MachineModel::ideal(), |comm| {
+                let sys = &fx.systems[comm.rank()];
+                let mut layout = EddLayout::from_system(sys);
+                layout.set_overlap(overlap);
+                let op = EddOperator::new(&sys.k_local, &layout, comm);
+                let n = sys.k_local.n_rows();
+                let s: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+                let x: Vec<f64> = (0..n).map(|i| ((i * 13) % 11) as f64 - 5.0).collect();
+                let mut fused = vec![0.0; n];
+                op.apply_scaled_into(&s, &x, &mut fused);
+                let sx: Vec<f64> = s.iter().zip(&x).map(|(si, xi)| si * xi).collect();
+                let mut reference = vec![0.0; n];
+                op.apply_into(&sx, &mut reference);
+                (fused, reference)
+            });
+            for (fused, reference) in &out.results {
+                assert_eq!(fused, reference, "fused path drifted (overlap={overlap})");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_local_variant_is_bit_identical_and_recorded() {
+        let fx = fixture(5, 2, 2);
+        let out = run_ranks(2, MachineModel::ideal(), |comm| {
+            let sys = &fx.systems[comm.rank()];
+            let layout = EddLayout::from_system(sys);
+            let scalar_op = EddOperator::new(&sys.k_local, &layout, comm);
+            let simd_op =
+                EddOperator::new(&sys.k_local, &layout, comm).with_kernels(KernelPolicy::Simd);
+            assert_eq!(scalar_op.kernel_choice(), VariantChoice::Scalar);
+            assert_eq!(simd_op.kernel_choice(), VariantChoice::Simd);
+            let n = sys.k_local.n_rows();
+            let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 * 0.5 - 3.0).collect();
+            let mut want = vec![0.0; n];
+            scalar_op.apply_into(&x, &mut want);
+            let mut got = vec![0.0; n];
+            simd_op.apply_into(&x, &mut got);
+            (got, want)
+        });
+        for (got, want) in &out.results {
+            assert_eq!(got, want, "SIMD local variant must match scalar exactly");
         }
     }
 

@@ -46,6 +46,7 @@ pub use dynamic::solve_dynamic_edd;
 pub use dynamic::{DynamicRunConfig, DynamicRunOutput};
 pub use edd::{edd_fgmres, edd_fgmres_with, edd_lambda_max, EddOperator, EddVariant};
 pub use error::SolveError;
+pub use parfem_sparse::KernelPolicy;
 pub use rdd::{rdd_fgmres, rdd_fgmres_with, RddLocalIlu, RddOperator, RddSystem};
 pub use session::{
     DdSolveOutput, MultiSolveOutput, PrecondSpec, Problem, SolveFailures, SolveSession,

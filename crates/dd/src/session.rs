@@ -54,7 +54,7 @@ use parfem_msg::{
 };
 pub use parfem_precond::PrecondSpec;
 
-use parfem_sparse::{dense, scaling::scale_system, CsrMatrix};
+use parfem_sparse::{dense, scaling::scale_system, CsrMatrix, KernelPolicy};
 use parfem_trace::{alloc, MetricsRegistry, TraceSink, Value};
 use std::fmt;
 use std::time::Duration;
@@ -317,6 +317,20 @@ impl<'a> SolveSession<'a> {
     /// Sets the GMRES restart/tolerance settings.
     pub fn gmres(mut self, gmres: GmresConfig) -> Self {
         self.cfg.gmres = gmres;
+        self
+    }
+
+    /// Selects the kernel-variant policy (default
+    /// [`KernelPolicy::Scalar`], the bit-exact golden reference).
+    /// [`KernelPolicy::Auto`] micro-benchmarks the candidate formats
+    /// against each rank's local matrix at operator build time and keeps
+    /// the fastest; the winning choice is recorded per solve in the
+    /// metrics registry (`parfem_kernel_variant_<label>_solves_total`)
+    /// and on the trace. The policy drives the EDD local SpMV and the
+    /// lane-kernel Gram–Schmidt path inside FGMRES; the RDD baseline and
+    /// the overlapped split schedule keep their scalar row kernels.
+    pub fn kernels(mut self, policy: KernelPolicy) -> Self {
+        self.cfg.gmres.kernels = policy;
         self
     }
 

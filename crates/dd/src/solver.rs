@@ -164,7 +164,11 @@ where
     let m_precond = metrics.counter("parfem_solver_precond_applies_total");
 
     let mut x = x0.to_vec();
-    let mut residuals = Vec::with_capacity(cfg.max_iters.saturating_add(2).min(1 << 20));
+    // Reserve to the workspace's history high-water mark, not to
+    // `max_iters`: a `max_iters`-scaled reservation reads as per-iteration
+    // bytes to the alloc gate, while the warm-workspace hint makes repeat
+    // solves push into an exactly-sized Vec with zero growth.
+    let mut residuals = Vec::with_capacity(ws.history_hint);
     let mut restarts = 0usize;
     let mut total_iters = 0usize;
 
@@ -183,6 +187,7 @@ where
             stop: StopReason::Converged,
             restarts: 0,
         };
+        ws.history_hint = ws.history_hint.max(history.relative_residuals.len());
         record_solve_end(&metrics, &history);
         return Ok(DdResult { x, history });
     }
@@ -196,6 +201,7 @@ where
                 stop: StopReason::Converged,
                 restarts,
             };
+            ws.history_hint = ws.history_hint.max(history.relative_residuals.len());
             record_solve_end(&metrics, &history);
             return Ok(DdResult { x, history });
         }
@@ -353,6 +359,7 @@ where
                     stop: reason,
                     restarts,
                 };
+                ws.history_hint = ws.history_hint.max(history.relative_residuals.len());
                 record_solve_end(&metrics, &history);
                 return Ok(DdResult { x, history });
             }

@@ -17,7 +17,7 @@ use crate::givens::Givens;
 use crate::history::{ConvergenceHistory, StopReason};
 use crate::workspace::KrylovWorkspace;
 use parfem_precond::Preconditioner;
-use parfem_sparse::{dense, kernels, LinearOperator};
+use parfem_sparse::{dense, kernels, simd, KernelPolicy, LinearOperator};
 use parfem_trace::{EventKind, RankTracer, Value};
 
 /// Arnoldi orthogonalization scheme.
@@ -47,6 +47,14 @@ pub struct GmresConfig {
     pub tol: f64,
     /// Gram–Schmidt variant.
     pub ortho: Orthogonalization,
+    /// Vector-kernel policy for the iteration loop. [`KernelPolicy::Scalar`]
+    /// (the default) keeps the bit-identical golden-reference kernels; any
+    /// other policy switches the classical Gram–Schmidt reductions to the
+    /// lane kernels of [`parfem_sparse::simd`] (results agree to ULP
+    /// bounds, pinned by the kernel-equivalence tests). The *operator*
+    /// variant is chosen by the caller — pass a
+    /// [`parfem_sparse::SelectedKernel`] as `op` to pair both.
+    pub kernels: KernelPolicy,
 }
 
 impl Default for GmresConfig {
@@ -56,6 +64,7 @@ impl Default for GmresConfig {
             max_iters: 10_000,
             tol: 1e-6,
             ortho: Orthogonalization::Classical,
+            kernels: KernelPolicy::Scalar,
         }
     }
 }
@@ -243,7 +252,40 @@ fn cgs_orthogonalize(vs: &[Vec<f64>], w: &mut [f64], hcol: &mut [f64]) -> f64 {
     sq.sqrt()
 }
 
+/// Lane-kernel classical Gram–Schmidt step (the [`KernelPolicy::Simd`]
+/// counterpart of [`cgs_orthogonalize`]): batched lane-tree dot products,
+/// then the fused projection-subtraction whose vector update is
+/// bit-identical to the scalar kernels and whose returned norm uses the
+/// lane tree (ULP-bounded; pinned by the kernel-equivalence tests).
+fn cgs_orthogonalize_lanes(vs: &[Vec<f64>], w: &mut [f64], hcol: &mut [f64]) -> f64 {
+    if vs.is_empty() {
+        return simd::dot_lanes(w, w).sqrt();
+    }
+    simd::dot_many_lanes(w, vs, hcol);
+    simd::axpy_sweep_neg_lanes(&hcol[..vs.len()], vs, w).sqrt()
+}
+
 fn fgmres_inner<Op, P>(
+    op: &Op,
+    precond: &P,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &GmresConfig,
+    tracer: Option<&RankTracer>,
+    ws: &mut KrylovWorkspace,
+) -> GmresResult
+where
+    Op: LinearOperator + ?Sized,
+    P: Preconditioner<Op> + ?Sized,
+{
+    let res = fgmres_core(op, precond, b, x0, cfg, tracer, ws);
+    // Remember the history length so the next solve on this workspace can
+    // reserve it exactly (see `KrylovWorkspace::history_hint`).
+    ws.history_hint = ws.history_hint.max(res.history.relative_residuals.len());
+    res
+}
+
+fn fgmres_core<Op, P>(
     op: &Op,
     precond: &P,
     b: &[f64],
@@ -267,10 +309,13 @@ where
     ws.ensure(n, m, precond.scratch_vectors());
 
     let mut x = x0.to_vec();
-    // Reserving the full history up front keeps the iteration loop
-    // allocation-free (capped so absurd `max_iters` cannot pre-reserve
-    // gigabytes; past the cap the Vec grows amortized as usual).
-    let mut residuals = Vec::with_capacity(cfg.max_iters.saturating_add(2).min(1 << 20));
+    // Reserve the history to the workspace's high-water mark: after one
+    // solve of representative length the capacity is exact, so the
+    // iteration loop pushes without growing — allocation traffic per
+    // iteration is zero, independent of `max_iters` (a `max_iters`-scaled
+    // reservation would itself read as bytes-per-iteration to the alloc
+    // gate). A cold workspace just grows amortized on the first solve.
+    let mut residuals = Vec::with_capacity(ws.history_hint);
     let mut restarts = 0usize;
     let mut total_iters = 0usize;
 
@@ -293,6 +338,14 @@ where
     // Breakdown threshold relative to the initial residual scale.
     let breakdown_tol = 1e-14 * r0_norm;
 
+    // Any non-scalar policy engages the lane kernels for the vector work of
+    // the loop (the operator variant is the caller's choice of `op`).
+    let lanes = !matches!(cfg.kernels, KernelPolicy::Scalar);
+    // With the exact identity preconditioner, z_j ≡ v_j bit-for-bit: skip
+    // the `z = C v` copy entirely and alias the basis column wherever a
+    // flexible vector is read (operator application and solution update).
+    let identity = precond.is_identity();
+
     loop {
         let beta = dense::norm2(&ws.r);
         if beta / r0_norm <= cfg.tol {
@@ -312,8 +365,9 @@ where
         ws.rotations.clear();
         ws.g.fill(0.0);
         ws.g[0] = beta;
-        ws.v[0].copy_from_slice(&ws.r);
-        dense::scale(1.0 / beta, &mut ws.v[0]);
+        // Fused normalization: one pass instead of copy-then-scale, same
+        // per-element product either way (`scale_into` is bit-identical).
+        dense::scale_into(1.0 / beta, &ws.r, &mut ws.v[0]);
 
         let mut j_done = 0usize;
         let mut stop: Option<StopReason> = None;
@@ -329,17 +383,28 @@ where
                 t.add_count("precond_applies", 1);
             }
             // Flexible preconditioning z_j = C v_j, into the preallocated
-            // column (apply_scratch overwrites it completely).
-            precond.apply_scratch(op, &ws.v[j], &mut ws.z[j], &mut ws.precond_scratch);
-            op.apply_into(&ws.z[j], &mut ws.w);
+            // column (apply_scratch overwrites it completely). The exact
+            // identity skips the copy and applies the operator to v_j
+            // directly — the same bits z_j would hold.
+            if identity {
+                op.apply_into(&ws.v[j], &mut ws.w);
+            } else {
+                precond.apply_scratch(op, &ws.v[j], &mut ws.z[j], &mut ws.precond_scratch);
+                op.apply_into(&ws.z[j], &mut ws.w);
+            }
 
             let hcol = &mut ws.h[j];
             let h_next = match cfg.ortho {
                 Orthogonalization::Classical => {
                     // All projections off the same w: fused blocked dots,
                     // AXPYs and trailing norm (bit-identical to the unfused
-                    // form — see `cgs_orthogonalize`).
-                    cgs_orthogonalize(&ws.v[..j + 1], &mut ws.w, hcol)
+                    // form — see `cgs_orthogonalize`). The lane variant
+                    // regroups the reductions (ULP-bounded).
+                    if lanes {
+                        cgs_orthogonalize_lanes(&ws.v[..j + 1], &mut ws.w, hcol)
+                    } else {
+                        cgs_orthogonalize(&ws.v[..j + 1], &mut ws.w, hcol)
+                    }
                 }
                 Orthogonalization::Modified => {
                     // Sequential projections off the running w.
@@ -394,8 +459,8 @@ where
                 stop = Some(StopReason::Breakdown);
                 break;
             }
-            ws.v[j + 1].copy_from_slice(&ws.w);
-            dense::scale(1.0 / h_next, &mut ws.v[j + 1]);
+            // Fused normalization (see the v[0] note above).
+            dense::scale_into(1.0 / h_next, &ws.w, &mut ws.v[j + 1]);
         }
 
         // Solve the triangular system R y = g for the iterations done.
@@ -407,8 +472,44 @@ where
                 }
                 ws.y[i] = acc / ws.h[i][i];
             }
-            for k in 0..j_done {
-                dense::axpy(ws.y[k], &ws.z[k], &mut x);
+            // Blocked solution update x += Σ y_k z_k: one pass over x per
+            // four flexible vectors instead of one per vector —
+            // bit-identical to the sequential AXPYs ([`kernels::axpy_block`]
+            // preserves the per-element update order).
+            let zs: &[Vec<f64>] = if identity { &ws.v } else { &ws.z };
+            let mut k = 0;
+            while k + 4 <= j_done {
+                kernels::axpy_block(
+                    [ws.y[k], ws.y[k + 1], ws.y[k + 2], ws.y[k + 3]],
+                    [
+                        zs[k].as_slice(),
+                        zs[k + 1].as_slice(),
+                        zs[k + 2].as_slice(),
+                        zs[k + 3].as_slice(),
+                    ],
+                    &mut x,
+                );
+                k += 4;
+            }
+            match j_done - k {
+                1 => {
+                    kernels::axpy_block([ws.y[k]], [zs[k].as_slice()], &mut x);
+                }
+                2 => {
+                    kernels::axpy_block(
+                        [ws.y[k], ws.y[k + 1]],
+                        [zs[k].as_slice(), zs[k + 1].as_slice()],
+                        &mut x,
+                    );
+                }
+                3 => {
+                    kernels::axpy_block(
+                        [ws.y[k], ws.y[k + 1], ws.y[k + 2]],
+                        [zs[k].as_slice(), zs[k + 1].as_slice(), zs[k + 2].as_slice()],
+                        &mut x,
+                    );
+                }
+                _ => {}
             }
         }
 
@@ -705,6 +806,57 @@ mod tests {
         for (x, y) in rc.x.iter().zip(&rm.x) {
             assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
         }
+    }
+
+    #[test]
+    fn simd_policy_agrees_with_scalar_reference() {
+        let n = 80;
+        let k = laplacian(n);
+        let f = vec![1.0; n];
+        let (a, b, _) = scaling::scale_system(&k, &f).unwrap();
+        let scalar_cfg = GmresConfig {
+            tol: 1e-9,
+            ..Default::default()
+        };
+        let simd_cfg = GmresConfig {
+            kernels: KernelPolicy::Simd,
+            ..scalar_cfg
+        };
+        let gls = GlsPrecond::for_scaled_system(7);
+        let rs = fgmres(&a, &gls, &b, &vec![0.0; n], &scalar_cfg);
+        let rv = fgmres(&a, &gls, &b, &vec![0.0; n], &simd_cfg);
+        assert!(rs.history.converged() && rv.history.converged());
+        assert!(
+            rs.history.iterations().abs_diff(rv.history.iterations()) <= 1,
+            "scalar {} vs simd {}",
+            rs.history.iterations(),
+            rv.history.iterations()
+        );
+        for (x, y) in rs.x.iter().zip(&rv.x) {
+            assert!((x - y).abs() <= 1e-7 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn warm_workspace_history_hint_reserves_exactly() {
+        let n = 40;
+        let a = laplacian(n);
+        let b = vec![1.0; n];
+        let cfg = GmresConfig {
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let mut ws = KrylovWorkspace::new();
+        let first = fgmres_with(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg, &mut ws);
+        assert_eq!(ws.history_hint, first.history.relative_residuals.len());
+        // A second identical solve must be bit-identical and keep the hint.
+        let second = fgmres_with(&a, &IdentityPrecond, &b, &vec![0.0; n], &cfg, &mut ws);
+        assert_eq!(
+            first.history.relative_residuals,
+            second.history.relative_residuals
+        );
+        assert_eq!(first.x, second.x);
+        assert_eq!(ws.history_hint, first.history.relative_residuals.len());
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub struct KrylovWorkspace {
     /// classical-Gram–Schmidt dot products of one iteration here so the
     /// all-reduce is a single message).
     pub reduce: Vec<f64>,
+    /// High-water mark of convergence-history lengths seen by solves using
+    /// this workspace. Solvers pre-reserve their residual history to this
+    /// hint, so once a workspace is warm (one solve of representative
+    /// length), subsequent solves allocate a history of fixed capacity and
+    /// push into it without growth — the last per-iteration allocation the
+    /// zero-alloc gates track. Purely a capacity hint: it never affects
+    /// results.
+    pub history_hint: usize,
 }
 
 /// Grows `pool` to `count` buffers, each of exact length `len`.

@@ -1,0 +1,184 @@
+//! Mixed-precision accuracy harness: running the GLS / Neumann polynomial
+//! recurrence in `f32` must not change what the outer `f64` FGMRES delivers.
+//!
+//! Flexible GMRES only needs the preconditioner to be some bounded operator,
+//! so the single-precision mirrors are licensed as long as the polynomial's
+//! own approximation error dominates the downcast rounding. This harness
+//! pins that claim two ways:
+//!
+//! 1. **Golden iteration counts**: the `f32` path takes *exactly* as many
+//!    iterations as the `f64` path on the reference systems, and both match
+//!    hard-coded goldens so a silent convergence regression (in either
+//!    precision) fails loudly.
+//! 2. **Final residuals**: the delivered solution, measured as a true
+//!    `f64` residual `‖b − A x‖ / ‖b‖` against the original operator,
+//!    meets the solver tolerance on both paths.
+
+use parfem_krylov::gmres::{fgmres_with, GmresConfig};
+use parfem_krylov::KrylovWorkspace;
+use parfem_precond::{
+    GlsPrecond, GlsPrecondF32, NeumannPrecond, NeumannPrecondF32, Preconditioner,
+};
+use parfem_sparse::{dense, scaling, CooMatrix, CsrMatrix};
+
+/// Deterministic SPD reference system: a 2-D 5-point Laplacian on an
+/// `nx × ny` grid (the sequential analogue of the paper's subdomain
+/// stiffness blocks), plus its scaled form and right-hand side.
+fn scaled_laplacian_2d(nx: usize, ny: usize) -> (CsrMatrix, Vec<f64>, CsrMatrix, Vec<f64>) {
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let r = idx(i, j);
+            coo.push(r, r, 4.0).unwrap();
+            if i + 1 < nx {
+                coo.push(r, idx(i + 1, j), -1.0).unwrap();
+                coo.push(idx(i + 1, j), r, -1.0).unwrap();
+            }
+            if j + 1 < ny {
+                coo.push(r, idx(i, j + 1), -1.0).unwrap();
+                coo.push(idx(i, j + 1), r, -1.0).unwrap();
+            }
+        }
+    }
+    let a = coo.to_csr();
+    // A smooth, non-constant load so convergence exercises many modes.
+    let f: Vec<f64> = (0..n).map(|k| 1.0 + (k as f64 * 0.37).sin()).collect();
+    let (scaled, b, _) = scaling::scale_system(&a, &f).unwrap();
+    (a, f, scaled, b)
+}
+
+/// Solves the scaled system with the given preconditioner and returns
+/// `(iterations, true scaled-system relative residual)`.
+fn solve_with<P: Preconditioner<CsrMatrix>>(
+    scaled: &CsrMatrix,
+    b: &[f64],
+    precond: &P,
+) -> (usize, f64) {
+    let cfg = GmresConfig {
+        restart: 30,
+        max_iters: 400,
+        tol: 1e-10,
+        ..Default::default()
+    };
+    let x0 = vec![0.0; b.len()];
+    let mut ws = KrylovWorkspace::new();
+    let res = fgmres_with(scaled, precond, b, &x0, &cfg, &mut ws);
+    assert!(
+        res.history.converged(),
+        "{} did not converge: {:?}",
+        precond.name(),
+        res.history.stop
+    );
+    let mut r = scaled.spmv(&res.x);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri -= bi;
+    }
+    (res.history.iterations(), dense::norm2(&r) / dense::norm2(b))
+}
+
+#[test]
+fn gls7_f32_matches_f64_iteration_for_iteration() {
+    let (_, _, scaled, b) = scaled_laplacian_2d(24, 24);
+
+    let f64_precond = GlsPrecond::for_scaled_system(7);
+    let f32_precond = GlsPrecondF32::for_scaled_system(7).with_matrix(&scaled);
+    let (iters_f64, res_f64) = solve_with(&scaled, &b, &f64_precond);
+    let (iters_f32, res_f32) = solve_with(&scaled, &b, &f32_precond);
+
+    // Golden counts: a change in either precision's convergence behaviour
+    // must be a conscious decision, not drift.
+    assert_eq!(iters_f64, 14, "f64 GLS(7) golden iteration count moved");
+    assert_eq!(
+        iters_f32, iters_f64,
+        "f32 GLS(7) changed the iteration count"
+    );
+    assert!(res_f64 <= 1e-10, "f64 final residual {res_f64}");
+    assert!(res_f32 <= 1e-10, "f32 final residual {res_f32}");
+}
+
+#[test]
+fn gls7_f32_cast_through_path_matches_too() {
+    // Without an attached matrix the recurrence stages through the f64
+    // operator (the distributed solvers' path) — same pinned behaviour.
+    let (_, _, scaled, b) = scaled_laplacian_2d(24, 24);
+
+    let f64_precond = GlsPrecond::for_scaled_system(7);
+    let f32_precond = GlsPrecondF32::for_scaled_system(7);
+    let (iters_f64, _) = solve_with(&scaled, &b, &f64_precond);
+    let (iters_f32, res_f32) = solve_with(&scaled, &b, &f32_precond);
+
+    assert_eq!(
+        iters_f32, iters_f64,
+        "cast-through f32 GLS(7) diverged from f64"
+    );
+    assert!(res_f32 <= 1e-10, "cast-through final residual {res_f32}");
+}
+
+#[test]
+fn neumann_f32_matches_f64_iteration_for_iteration() {
+    let (_, _, scaled, b) = scaled_laplacian_2d(24, 24);
+
+    let f64_precond = NeumannPrecond::for_scaled_system(7);
+    let f32_precond = NeumannPrecondF32::for_scaled_system(7).with_matrix(&scaled);
+    let (iters_f64, res_f64) = solve_with(&scaled, &b, &f64_precond);
+    let (iters_f32, res_f32) = solve_with(&scaled, &b, &f32_precond);
+
+    assert_eq!(iters_f64, 29, "f64 Neumann(7) golden iteration count moved");
+    assert_eq!(
+        iters_f32, iters_f64,
+        "f32 Neumann(7) changed the iteration count"
+    );
+    assert!(res_f64 <= 1e-10, "f64 final residual {res_f64}");
+    assert!(res_f32 <= 1e-10, "f32 final residual {res_f32}");
+}
+
+#[test]
+fn mixed_precision_solutions_agree_to_solver_tolerance() {
+    // The two solutions are distinct floating-point objects, but both must
+    // solve the *original* (unscaled) system to the outer tolerance: the
+    // f32 recurrence may perturb the path, never the destination.
+    let (a, f, scaled, b) = scaled_laplacian_2d(24, 24);
+    let s = scaling::DiagonalScaling::from_matrix(&a).unwrap();
+
+    for (name, x_scaled) in [
+        ("gls7-f64", {
+            let p = GlsPrecond::for_scaled_system(7);
+            let cfg = GmresConfig {
+                restart: 30,
+                max_iters: 400,
+                tol: 1e-10,
+                ..Default::default()
+            };
+            let x0 = vec![0.0; b.len()];
+            let mut ws = KrylovWorkspace::new();
+            fgmres_with(&scaled, &p, &b, &x0, &cfg, &mut ws).x
+        }),
+        ("gls7-f32", {
+            let p = GlsPrecondF32::for_scaled_system(7).with_matrix(&scaled);
+            let cfg = GmresConfig {
+                restart: 30,
+                max_iters: 400,
+                tol: 1e-10,
+                ..Default::default()
+            };
+            let x0 = vec![0.0; b.len()];
+            let mut ws = KrylovWorkspace::new();
+            fgmres_with(&scaled, &p, &b, &x0, &cfg, &mut ws).x
+        }),
+    ] {
+        // Unscale: u = D x.
+        let u: Vec<f64> = x_scaled
+            .iter()
+            .zip(s.diagonal())
+            .map(|(xi, di)| xi * di)
+            .collect();
+        let mut r = a.spmv(&u);
+        for (ri, fi) in r.iter_mut().zip(&f) {
+            *ri -= fi;
+        }
+        let rel = dense::norm2(&r) / dense::norm2(&f);
+        assert!(rel <= 1e-9, "{name}: unscaled residual {rel}");
+    }
+}

@@ -7,7 +7,7 @@
 use parfem_krylov::gmres::{fgmres_with, GmresConfig};
 use parfem_krylov::KrylovWorkspace;
 use parfem_precond::{GlsPrecond, IdentityPrecond, Preconditioner};
-use parfem_sparse::{scaling, CooMatrix, CsrMatrix, LinearOperator};
+use parfem_sparse::{scaling, variant, CooMatrix, CsrMatrix, KernelPolicy, LinearOperator};
 use parfem_trace::alloc::{self, CountingAlloc};
 
 #[global_allocator]
@@ -120,4 +120,48 @@ fn warm_workspace_alloc_count_is_iteration_free_with_polynomial_precond() {
         d_short, d_long,
         "preconditioned loop allocated: 4 iters cost {d_short} calls, 64 iters cost {d_long}"
     );
+}
+
+#[test]
+fn every_kernel_variant_is_iteration_free() {
+    assert!(alloc::is_counting(), "counting allocator not installed");
+    let n = 64; // even, so the 2x2 block format is admissible
+    let a = laplacian(n);
+    let b = vec![1.0; n];
+
+    for policy in [
+        KernelPolicy::Scalar,
+        KernelPolicy::Simd,
+        KernelPolicy::SellCSigma,
+        KernelPolicy::Bcsr2x2,
+        KernelPolicy::Auto,
+    ] {
+        // The selection itself may allocate (format conversion, probe
+        // buffers); once selected, the iteration loop must not.
+        let op = variant::select(&a, policy);
+        let short = GmresConfig {
+            restart: 10,
+            max_iters: 5,
+            tol: 0.0,
+            kernels: policy,
+            ..Default::default()
+        };
+        let long = GmresConfig {
+            max_iters: 80,
+            ..short
+        };
+
+        let mut ws = KrylovWorkspace::new();
+        alloc_delta(&op, &IdentityPrecond, &b, &long, &mut ws);
+
+        let d_short = alloc_delta(&op, &IdentityPrecond, &b, &short, &mut ws);
+        let d_long = alloc_delta(&op, &IdentityPrecond, &b, &long, &mut ws);
+        assert_eq!(
+            d_short,
+            d_long,
+            "{policy:?} ({}) allocated in the loop: 5 iters cost {d_short} calls, \
+             80 iters cost {d_long}",
+            op.choice().label(),
+        );
+    }
 }

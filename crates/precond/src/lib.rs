@@ -16,6 +16,8 @@
 //! - [`jacobi`], [`identity`] — the trivial comparators,
 //! - [`ilu0`] — a [`Preconditioner`] wrapper around
 //!   [`parfem_sparse::Ilu0`], the sequential comparator of Figs. 11–12,
+//! - [`mixed`] — `f32` mirrors of the polynomial preconditioners for
+//!   mixed-precision runs (outer FGMRES stays `f64`),
 //! - [`registry`] — the one spec type ([`PrecondSpec`]) every solver,
 //!   binary and test parses and builds preconditioners through.
 //!
@@ -36,6 +38,7 @@ pub mod gls;
 pub mod identity;
 pub mod ilu0;
 pub mod jacobi;
+pub mod mixed;
 pub mod neumann;
 pub mod poly;
 pub mod registry;
@@ -47,6 +50,7 @@ pub use gls::{GlsPrecond, IntervalUnion};
 pub use identity::IdentityPrecond;
 pub use ilu0::Ilu0Precond;
 pub use jacobi::JacobiPrecond;
+pub use mixed::{GlsPrecondF32, NeumannPrecondF32};
 pub use neumann::NeumannPrecond;
 pub use registry::{BuiltPrecond, ParseSpecError, PrecondSpec};
 pub use schwarz::BlockJacobiPrecond;
@@ -96,6 +100,16 @@ pub trait Preconditioner<Op: LinearOperator + ?Sized> {
     fn apply_scratch(&self, op: &Op, v: &[f64], z: &mut [f64], scratch: &mut [Vec<f64>]) {
         let _ = scratch;
         self.apply_into(op, v, z);
+    }
+
+    /// `true` iff this preconditioner is exactly the identity (`z = v`,
+    /// bit-for-bit). Solvers use it to elide the `z = C v` copy and alias
+    /// the Krylov basis vector instead — a pure memory-traffic optimization
+    /// that cannot change any result. Only [`IdentityPrecond`] returns
+    /// `true`; preconditioners that merely *happen* to act as the identity
+    /// (e.g. a degree-0 polynomial) must not.
+    fn is_identity(&self) -> bool {
+        false
     }
 
     /// Number of operator applications (matrix–vector products) one

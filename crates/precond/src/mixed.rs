@@ -1,0 +1,371 @@
+//! Mixed-precision polynomial preconditioning: `f32` mirrors of the GLS and
+//! Neumann preconditioners for an outer `f64` FGMRES.
+//!
+//! Flexible GMRES only requires the preconditioner to be *some* bounded
+//! operator per iteration — it never assumes `M⁻¹` is applied exactly, which
+//! is what licenses running the whole polynomial recurrence in single
+//! precision while the Krylov recurrence, the orthogonalization, and the
+//! residual accounting stay in `f64`. The polynomial's own approximation
+//! error (`‖1 − λP(λ)‖ ≫ f32 ε` at practical degrees) dominates the
+//! rounding introduced by the downcast, so iteration counts are unchanged on
+//! the paper's problem set — pinned by the accuracy harness in
+//! `crates/krylov/tests/mixed_accuracy.rs`.
+//!
+//! Two application paths:
+//!
+//! - **Matrix path** ([`GlsPrecondF32::with_matrix`] /
+//!   [`NeumannPrecondF32::with_matrix`]): the caller attaches a
+//!   [`CsrMatrixF32`] downcast of the operator and the whole recurrence —
+//!   SpMV included — runs in `f32`, halving value and index bandwidth.
+//! - **Cast-through path** (no matrix attached): the recurrence state stays
+//!   `f32`, but each operator application stages up to `f64`, calls the real
+//!   operator, and stages back down. This is the path the *distributed*
+//!   solvers use — halo exchanges and interface sums remain `f64` and
+//!   bit-consistent across ranks, only the local polynomial state is single
+//!   precision.
+//!
+//! Both paths are allocation-free per application after the first call: the
+//! `f32` state lives in a [`RefCell`]-held buffer set sized on first use,
+//! and the `f64` staging reuses the caller's scratch vectors.
+
+use crate::gls::{GlsPrecond, IntervalUnion};
+use crate::neumann::NeumannPrecond;
+use crate::Preconditioner;
+use parfem_sparse::{CsrMatrix, CsrMatrixF32, LinearOperator};
+use std::cell::RefCell;
+
+/// Reusable `f32` state shared by the mixed-precision recurrences.
+#[derive(Debug, Clone, Default)]
+struct F32Bufs {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
+}
+
+impl F32Bufs {
+    fn ensure(&mut self, n: usize) {
+        if self.a.len() != n {
+            self.a.resize(n, 0.0);
+            self.b.resize(n, 0.0);
+            self.c.resize(n, 0.0);
+        }
+    }
+}
+
+/// Applies the attached `f32` matrix, or casts through the `f64` operator
+/// using two caller-provided staging vectors.
+fn apply_op_f32<Op: LinearOperator + ?Sized>(
+    matrix: Option<&CsrMatrixF32>,
+    op: &Op,
+    x32: &[f32],
+    y32: &mut [f32],
+    stage: &mut [Vec<f64>],
+) {
+    match matrix {
+        Some(m) => m.spmv_into(x32, y32),
+        None => {
+            let (s_in, s_out) = stage.split_at_mut(1);
+            let (s_in, s_out) = (&mut s_in[0], &mut s_out[0]);
+            for (d, s) in s_in.iter_mut().zip(x32) {
+                *d = *s as f64;
+            }
+            op.apply_into(s_in, s_out);
+            for (d, s) in y32.iter_mut().zip(s_out.iter()) {
+                *d = *s as f32;
+            }
+        }
+    }
+}
+
+/// Single-precision mirror of [`GlsPrecond`]: identical Stieltjes
+/// recurrence, coefficients and state downcast to `f32`.
+#[derive(Debug, Clone)]
+pub struct GlsPrecondF32 {
+    inner: GlsPrecond,
+    phi0: f32,
+    alpha: Vec<f32>,
+    beta_inv: Vec<f32>,
+    beta: Vec<f32>,
+    mu: Vec<f32>,
+    matrix: Option<CsrMatrixF32>,
+    bufs: RefCell<F32Bufs>,
+}
+
+impl GlsPrecondF32 {
+    /// Builds the degree-`m` GLS preconditioner on `theta` (coefficients
+    /// are computed in `f64` by [`GlsPrecond::new`], then downcast).
+    pub fn new(degree: usize, theta: IntervalUnion) -> Self {
+        Self::from_f64(GlsPrecond::new(degree, theta))
+    }
+
+    /// The paper's default: degree `m` on `Θ = (ε, 1)` after scaling.
+    pub fn for_scaled_system(degree: usize) -> Self {
+        Self::from_f64(GlsPrecond::for_scaled_system(degree))
+    }
+
+    /// Downcasts an existing `f64` preconditioner.
+    pub fn from_f64(inner: GlsPrecond) -> Self {
+        let (phi0, alpha, beta, mu) = inner.coefficients();
+        GlsPrecondF32 {
+            phi0: phi0 as f32,
+            alpha: alpha.iter().map(|&v| v as f32).collect(),
+            beta_inv: beta.iter().map(|&v| (1.0 / v) as f32).collect(),
+            beta: beta.iter().map(|&v| v as f32).collect(),
+            mu: mu.iter().map(|&v| v as f32).collect(),
+            matrix: None,
+            bufs: RefCell::new(F32Bufs::default()),
+            inner,
+        }
+    }
+
+    /// Attaches the `f32` downcast of the operator matrix, switching every
+    /// internal SpMV to single precision (the fast path for sequential
+    /// solves — distributed operators must *not* attach a matrix, their
+    /// apply includes the halo exchange).
+    pub fn with_matrix(mut self, a: &CsrMatrix) -> Self {
+        self.matrix = Some(CsrMatrixF32::from_csr(a));
+        self
+    }
+
+    /// Polynomial degree `m`.
+    pub fn degree(&self) -> usize {
+        self.inner.degree()
+    }
+
+    /// The `f64` preconditioner this mirror was downcast from.
+    pub fn as_f64(&self) -> &GlsPrecond {
+        &self.inner
+    }
+}
+
+impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for GlsPrecondF32 {
+    fn apply_into(&self, op: &Op, v: &[f64], z: &mut [f64]) {
+        let n = op.dim();
+        let mut scratch = vec![vec![0.0; n], vec![0.0; n]];
+        self.apply_scratch(op, v, z, &mut scratch);
+    }
+
+    fn scratch_vectors(&self) -> usize {
+        2
+    }
+
+    fn apply_scratch(&self, op: &Op, v: &[f64], z: &mut [f64], scratch: &mut [Vec<f64>]) {
+        let n = op.dim();
+        assert_eq!(v.len(), n, "gls-f32: v length mismatch");
+        assert_eq!(z.len(), n, "gls-f32: z length mismatch");
+        if let Some(m) = &self.matrix {
+            assert_eq!(m.n_rows(), n, "gls-f32: attached matrix dim mismatch");
+        }
+        let mut bufs = self.bufs.borrow_mut();
+        bufs.ensure(n);
+        let F32Bufs { a, b, c } = &mut *bufs;
+        let (mut u_prev, mut u_cur, au) = (a, b, c);
+        // Same recurrence as GlsPrecond::apply_scratch, in f32; z (f64)
+        // accumulates the downcast mu_k u_k terms directly.
+        for u in u_prev.iter_mut() {
+            *u = 0.0;
+        }
+        for (u, vi) in u_cur.iter_mut().zip(v) {
+            *u = self.phi0 * (*vi as f32);
+        }
+        for (zi, ui) in z.iter_mut().zip(u_cur.iter()) {
+            *zi = (self.mu[0] * ui) as f64;
+        }
+        for k in 0..self.degree() {
+            let b_prev = if k == 0 { 0.0f32 } else { self.beta[k - 1] };
+            apply_op_f32(self.matrix.as_ref(), op, u_cur, au, scratch);
+            let inv_b = self.beta_inv[k];
+            for i in 0..n {
+                u_prev[i] = (au[i] - self.alpha[k] * u_cur[i] - b_prev * u_prev[i]) * inv_b;
+            }
+            std::mem::swap(&mut u_prev, &mut u_cur);
+            for (zi, ui) in z.iter_mut().zip(u_cur.iter()) {
+                *zi += (self.mu[k + 1] * ui) as f64;
+            }
+        }
+    }
+
+    fn operator_applications(&self) -> usize {
+        self.degree()
+    }
+
+    fn name(&self) -> String {
+        format!("gls-f32({})", self.degree())
+    }
+}
+
+/// Single-precision mirror of [`NeumannPrecond`]: the truncated Neumann
+/// series applied in `f32`.
+#[derive(Debug, Clone)]
+pub struct NeumannPrecondF32 {
+    inner: NeumannPrecond,
+    omega: f32,
+    matrix: Option<CsrMatrixF32>,
+    bufs: RefCell<F32Bufs>,
+}
+
+impl NeumannPrecondF32 {
+    /// Creates the preconditioner (see [`NeumannPrecond::new`]).
+    ///
+    /// # Panics
+    /// Panics if `omega` is not positive.
+    pub fn new(degree: usize, omega: f64) -> Self {
+        Self::from_f64(NeumannPrecond::new(degree, omega))
+    }
+
+    /// The preconditioner for a system scaled to `σ(A) ⊂ (0, 1)` (`ω = 1`).
+    pub fn for_scaled_system(degree: usize) -> Self {
+        Self::from_f64(NeumannPrecond::for_scaled_system(degree))
+    }
+
+    /// Downcasts an existing `f64` preconditioner.
+    pub fn from_f64(inner: NeumannPrecond) -> Self {
+        NeumannPrecondF32 {
+            omega: inner.omega() as f32,
+            matrix: None,
+            bufs: RefCell::new(F32Bufs::default()),
+            inner,
+        }
+    }
+
+    /// Attaches the `f32` downcast of the operator matrix (see
+    /// [`GlsPrecondF32::with_matrix`]).
+    pub fn with_matrix(mut self, a: &CsrMatrix) -> Self {
+        self.matrix = Some(CsrMatrixF32::from_csr(a));
+        self
+    }
+
+    /// Polynomial degree `m`.
+    pub fn degree(&self) -> usize {
+        self.inner.degree()
+    }
+
+    /// The `f64` preconditioner this mirror was downcast from.
+    pub fn as_f64(&self) -> &NeumannPrecond {
+        &self.inner
+    }
+}
+
+impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for NeumannPrecondF32 {
+    fn apply_into(&self, op: &Op, v: &[f64], z: &mut [f64]) {
+        let n = op.dim();
+        let mut scratch = vec![vec![0.0; n], vec![0.0; n]];
+        self.apply_scratch(op, v, z, &mut scratch);
+    }
+
+    fn scratch_vectors(&self) -> usize {
+        2
+    }
+
+    fn apply_scratch(&self, op: &Op, v: &[f64], z: &mut [f64], scratch: &mut [Vec<f64>]) {
+        let n = op.dim();
+        assert_eq!(v.len(), n, "neumann-f32: v length mismatch");
+        assert_eq!(z.len(), n, "neumann-f32: z length mismatch");
+        if let Some(m) = &self.matrix {
+            assert_eq!(m.n_rows(), n, "neumann-f32: attached matrix dim mismatch");
+        }
+        let mut bufs = self.bufs.borrow_mut();
+        bufs.ensure(n);
+        let F32Bufs { a, b, c } = &mut *bufs;
+        let (v32, z32, az) = (a, b, c);
+        for (d, s) in v32.iter_mut().zip(v) {
+            *d = *s as f32;
+        }
+        // z_{k+1} = v + z_k - omega * A z_k, start z_0 = v; result omega*z.
+        z32.copy_from_slice(v32);
+        for _ in 0..self.degree() {
+            apply_op_f32(self.matrix.as_ref(), op, z32, az, scratch);
+            for i in 0..n {
+                z32[i] = v32[i] + z32[i] - self.omega * az[i];
+            }
+        }
+        for (zi, zf) in z.iter_mut().zip(z32.iter()) {
+            *zi = (self.omega * zf) as f64;
+        }
+    }
+
+    fn operator_applications(&self) -> usize {
+        self.degree()
+    }
+
+    fn name(&self) -> String {
+        format!("neumann-f32({})", self.degree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_sparse::CooMatrix;
+
+    fn scaled_laplacian(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 0.5).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -0.25).unwrap();
+                coo.push(i + 1, i, -0.25).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn gls_f32_tracks_f64_within_single_precision() {
+        let a = scaled_laplacian(24);
+        let v: Vec<f64> = (0..24).map(|i| ((i * 5 % 7) as f64) - 3.0).collect();
+        let f64p = GlsPrecond::for_scaled_system(7);
+        let want = f64p.apply(&a, &v);
+        let scale: f64 = want.iter().map(|w| w.abs()).fold(0.0, f64::max);
+        for p in [
+            GlsPrecondF32::for_scaled_system(7),
+            GlsPrecondF32::for_scaled_system(7).with_matrix(&a),
+        ] {
+            let got = p.apply(&a, &v);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-4 * (1.0 + scale), "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn neumann_f32_tracks_f64_within_single_precision() {
+        let a = scaled_laplacian(24);
+        let v: Vec<f64> = (0..24).map(|i| ((i * 3 % 5) as f64) - 2.0).collect();
+        let f64p = NeumannPrecond::for_scaled_system(4);
+        let want = f64p.apply(&a, &v);
+        for p in [
+            NeumannPrecondF32::for_scaled_system(4),
+            NeumannPrecondF32::for_scaled_system(4).with_matrix(&a),
+        ] {
+            let got = p.apply(&a, &v);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-5 * (1.0 + w.abs()), "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn cast_through_and_matrix_paths_agree_closely() {
+        let a = scaled_laplacian(31);
+        let v: Vec<f64> = (0..31).map(|i| (i as f64 * 0.7).cos()).collect();
+        let cast = GlsPrecondF32::for_scaled_system(7).apply(&a, &v);
+        let fast = GlsPrecondF32::for_scaled_system(7)
+            .with_matrix(&a)
+            .apply(&a, &v);
+        for (c, f) in cast.iter().zip(&fast) {
+            // Same f32 recurrence; only the operator rounding differs.
+            assert!((c - f).abs() <= 1e-5 * (1.0 + f.abs()), "{c} vs {f}");
+        }
+    }
+
+    #[test]
+    fn names_and_op_counts() {
+        let g = GlsPrecondF32::for_scaled_system(7);
+        let n = NeumannPrecondF32::for_scaled_system(3);
+        assert_eq!(Preconditioner::<CsrMatrix>::name(&g), "gls-f32(7)");
+        assert_eq!(Preconditioner::<CsrMatrix>::name(&n), "neumann-f32(3)");
+        assert_eq!(Preconditioner::<CsrMatrix>::operator_applications(&g), 7);
+        assert_eq!(Preconditioner::<CsrMatrix>::operator_applications(&n), 3);
+    }
+}

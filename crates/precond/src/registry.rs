@@ -19,8 +19,8 @@
 //! `parse(spec.name())` round-trips for every spec — pinned by proptest.
 
 use crate::{
-    ChebyshevPrecond, EscalatingGls, GlsPrecond, IdentityPrecond, IntervalUnion, JacobiPrecond,
-    NeumannPrecond, Preconditioner,
+    ChebyshevPrecond, EscalatingGls, GlsPrecond, GlsPrecondF32, IdentityPrecond, IntervalUnion,
+    JacobiPrecond, NeumannPrecond, NeumannPrecondF32, Preconditioner,
 };
 use parfem_sparse::LinearOperator;
 use std::fmt;
@@ -42,6 +42,17 @@ pub enum PrecondSpec {
     },
     /// Neumann series of the given degree (`ω = 1` after scaling).
     Neumann {
+        /// Polynomial degree `m`.
+        degree: usize,
+    },
+    /// GLS polynomial applied in `f32` (mixed precision; outer solver stays
+    /// `f64`), on the post-scaling `(ε, 1)`.
+    GlsF32 {
+        /// Polynomial degree `m`.
+        degree: usize,
+    },
+    /// Neumann series applied in `f32` (mixed precision; `ω = 1`).
+    NeumannF32 {
         /// Polynomial degree `m`.
         degree: usize,
     },
@@ -71,6 +82,8 @@ impl PrecondSpec {
             PrecondSpec::Jacobi => "jacobi".into(),
             PrecondSpec::Gls { degree, .. } => format!("gls({degree})"),
             PrecondSpec::Neumann { degree } => format!("neumann({degree})"),
+            PrecondSpec::GlsF32 { degree } => format!("gls-f32({degree})"),
+            PrecondSpec::NeumannF32 { degree } => format!("neumann-f32({degree})"),
             PrecondSpec::Chebyshev { degree } => format!("chebyshev({degree})"),
             PrecondSpec::GlsEscalating { period } => format!("gls-escalating(x{period})"),
         }
@@ -85,6 +98,8 @@ impl PrecondSpec {
             PrecondSpec::Jacobi => "jacobi".into(),
             PrecondSpec::Gls { degree, .. } => format!("gls:{degree}"),
             PrecondSpec::Neumann { degree } => format!("neumann:{degree}"),
+            PrecondSpec::GlsF32 { degree } => format!("gls-f32:{degree}"),
+            PrecondSpec::NeumannF32 { degree } => format!("neumann-f32:{degree}"),
             PrecondSpec::Chebyshev { degree } => format!("chebyshev:{degree}"),
             PrecondSpec::GlsEscalating { period } => format!("gls-escalating:{period}"),
         }
@@ -136,6 +151,12 @@ impl PrecondSpec {
                 theta: None,
             }),
             "neumann" => Ok(PrecondSpec::Neumann {
+                degree: degree(arg)?,
+            }),
+            "gls-f32" => Ok(PrecondSpec::GlsF32 {
+                degree: degree(arg)?,
+            }),
+            "neumann-f32" => Ok(PrecondSpec::NeumannF32 {
                 degree: degree(arg)?,
             }),
             "chebyshev" => Ok(PrecondSpec::Chebyshev {
@@ -192,6 +213,12 @@ impl PrecondSpec {
             PrecondSpec::Neumann { degree } => {
                 BuiltPrecond::Neumann(NeumannPrecond::for_scaled_system(*degree))
             }
+            PrecondSpec::GlsF32 { degree } => {
+                BuiltPrecond::GlsF32(GlsPrecondF32::for_scaled_system(*degree))
+            }
+            PrecondSpec::NeumannF32 { degree } => {
+                BuiltPrecond::NeumannF32(NeumannPrecondF32::for_scaled_system(*degree))
+            }
             PrecondSpec::Chebyshev { degree } => {
                 BuiltPrecond::Chebyshev(ChebyshevPrecond::for_scaled_system(*degree))
             }
@@ -216,6 +243,10 @@ pub enum BuiltPrecond {
     Gls(GlsPrecond),
     /// [`PrecondSpec::Neumann`].
     Neumann(NeumannPrecond),
+    /// [`PrecondSpec::GlsF32`].
+    GlsF32(GlsPrecondF32),
+    /// [`PrecondSpec::NeumannF32`].
+    NeumannF32(NeumannPrecondF32),
     /// [`PrecondSpec::Chebyshev`].
     Chebyshev(ChebyshevPrecond),
     /// [`PrecondSpec::GlsEscalating`].
@@ -229,6 +260,8 @@ macro_rules! delegate {
             BuiltPrecond::Jacobi($p) => $e,
             BuiltPrecond::Gls($p) => $e,
             BuiltPrecond::Neumann($p) => $e,
+            BuiltPrecond::GlsF32($p) => $e,
+            BuiltPrecond::NeumannF32($p) => $e,
             BuiltPrecond::Chebyshev($p) => $e,
             BuiltPrecond::Escalating($p) => $e,
         }
@@ -326,7 +359,8 @@ impl fmt::Display for ParseSpecError {
 impl std::error::Error for ParseSpecError {}
 
 /// The accepted `--precond` grammar, one spec per alternative.
-pub const GRAMMAR: &str = "none|jacobi|gls:M|neumann:M|chebyshev:M|gls-escalating:PERIOD";
+pub const GRAMMAR: &str =
+    "none|jacobi|gls:M|neumann:M|gls-f32:M|neumann-f32:M|chebyshev:M|gls-escalating:PERIOD";
 
 /// Multi-line help text for the grammar — rendered by the CLI usage screen
 /// and quoted by the README, so the documentation always matches the
@@ -338,6 +372,8 @@ pub fn grammar_help() -> String {
          jacobi               assembled-diagonal scaling\n\
          gls:M                degree-M generalized least-squares polynomial on (eps, 1)\n\
          neumann:M            degree-M Neumann series (omega = 1 after scaling)\n\
+         gls-f32:M            degree-M GLS applied in f32 (mixed precision)\n\
+         neumann-f32:M        degree-M Neumann series applied in f32 (mixed precision)\n\
          chebyshev:M          degree-M Chebyshev (min-max) polynomial\n\
          gls-escalating:P     GLS degree schedule 1->3->7->10, advancing every P applies"
     )
@@ -354,6 +390,8 @@ pub fn examples() -> Vec<PrecondSpec> {
             theta: None,
         },
         PrecondSpec::Neumann { degree: 3 },
+        PrecondSpec::GlsF32 { degree: 7 },
+        PrecondSpec::NeumannF32 { degree: 2 },
         PrecondSpec::Chebyshev { degree: 8 },
         PrecondSpec::GlsEscalating { period: 5 },
     ]

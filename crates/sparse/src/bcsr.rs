@@ -1,0 +1,290 @@
+//! Block-CSR storage with fixed 2×2 blocks, converted from CSR.
+//!
+//! The workspace's FE discretization carries two DOFs per node (2-D
+//! elasticity: `u_x`, `u_y`), so the assembled stiffness has a natural 2×2
+//! block structure — any entry coupling node `a` to node `b` lands in the
+//! same 2×2 block as its three companions. Storing those blocks contiguously
+//! halves the index metadata (one block column index per four entries) and
+//! turns the inner SpMV loop into a dense 2×2 `y += B x` update with perfect
+//! register reuse of the two `x` values.
+//!
+//! Blocks are filled with explicit zeros where the scalar pattern is
+//! incomplete; a 4-bit structural mask per block remembers which entries the
+//! source matrix actually stored, which makes [`BcsrMatrix::to_csr`] an
+//! **exact** inverse of [`BcsrMatrix::try_from_csr`] — including explicitly
+//! stored zeros (pinned by a round-trip property test).
+//!
+//! Reduction-order contract: each row accumulates block-by-block as
+//! `acc += b0·x0 + b1·x1`, which differs from the CSR kernels' four-partial
+//! tree — block SpMV results agree with the scalar reference to a pinned
+//! ULP bound, not bit-for-bit. The scalar CSR path remains the golden
+//! reference.
+
+use crate::csr::CsrMatrix;
+use crate::op::LinearOperator;
+
+/// A sparse matrix in 2×2 block-CSR format. Build with
+/// [`BcsrMatrix::try_from_csr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcsrMatrix {
+    /// Scalar row count (even).
+    n_rows: usize,
+    /// Scalar column count (even).
+    n_cols: usize,
+    /// Per-block-row offsets into `bcol_idx`/`blocks`.
+    brow_ptr: Vec<usize>,
+    /// Block column indices (scalar columns `2c`, `2c + 1`).
+    bcol_idx: Vec<u32>,
+    /// Row-major 2×2 blocks `[a00, a01, a10, a11]`.
+    blocks: Vec<[f64; 4]>,
+    /// Structural mask per block: bit `i` set iff entry `i` of the block was
+    /// stored in the source matrix (the rest are fill-in zeros).
+    mask: Vec<u8>,
+    /// Stored entries of the source matrix (fill-in excluded).
+    nnz: usize,
+}
+
+impl BcsrMatrix {
+    /// Converts a CSR matrix with even dimensions into 2×2 block CSR.
+    /// Returns `None` when either dimension is odd (no natural 2×2 DOF
+    /// structure).
+    ///
+    /// # Panics
+    /// Panics if a block column index does not fit in `u32`.
+    pub fn try_from_csr(a: &CsrMatrix) -> Option<Self> {
+        if !a.n_rows().is_multiple_of(2) || !a.n_cols().is_multiple_of(2) {
+            return None;
+        }
+        assert!(a.n_cols() / 2 <= u32::MAX as usize, "block column overflow");
+        let (row_ptr, col_idx, values) = a.raw_parts();
+        let nb = a.n_rows() / 2;
+        let mut brow_ptr = Vec::with_capacity(nb + 1);
+        brow_ptr.push(0usize);
+        let mut bcol_idx: Vec<u32> = Vec::new();
+        let mut blocks: Vec<[f64; 4]> = Vec::new();
+        let mut mask: Vec<u8> = Vec::new();
+        for br in 0..nb {
+            let start = bcol_idx.len();
+            // Merge the two scalar rows; columns are strictly increasing per
+            // row, so the union of block columns comes from a two-way merge.
+            for local in 0..2 {
+                let r = 2 * br + local;
+                for e in row_ptr[r]..row_ptr[r + 1] {
+                    let bc = (col_idx[e] / 2) as u32;
+                    // Find or append this block within the current block row
+                    // (kept sorted; entries arrive in ascending column order
+                    // per scalar row, so a backwards scan is short).
+                    let slot = match bcol_idx[start..].binary_search(&bc) {
+                        Ok(i) => start + i,
+                        Err(i) => {
+                            bcol_idx.insert(start + i, bc);
+                            blocks.insert(start + i, [0.0; 4]);
+                            mask.insert(start + i, 0);
+                            start + i
+                        }
+                    };
+                    let entry = 2 * local + (col_idx[e] % 2);
+                    blocks[slot][entry] = values[e];
+                    mask[slot] |= 1 << entry;
+                }
+            }
+            brow_ptr.push(bcol_idx.len());
+        }
+        Some(BcsrMatrix {
+            n_rows: a.n_rows(),
+            n_cols: a.n_cols(),
+            brow_ptr,
+            bcol_idx,
+            blocks,
+            mask,
+            nnz: a.nnz(),
+        })
+    }
+
+    /// Scalar row count.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Scalar column count.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Stored entries of the source matrix (fill-in excluded).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of stored 2×2 blocks (each holds 4 values).
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Fill-in ratio: stored block entries over source entries (1.0 means
+    /// the scalar pattern was perfectly 2×2-blocked).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            (4 * self.blocks.len()) as f64 / self.nnz as f64
+        }
+    }
+
+    /// Flops of one SpMV (fill-in excluded, matching
+    /// [`CsrMatrix::spmv_flops`] on the source matrix).
+    pub fn spmv_flops(&self) -> u64 {
+        2 * self.nnz as u64
+    }
+
+    /// Exact inverse of [`BcsrMatrix::try_from_csr`]: reconstructs the
+    /// source CSR matrix, explicit zeros and all (fill-in is dropped via the
+    /// structural mask).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.nnz);
+        let mut values = Vec::with_capacity(self.nnz);
+        for br in 0..self.n_rows / 2 {
+            for local in 0..2 {
+                for e in self.brow_ptr[br]..self.brow_ptr[br + 1] {
+                    let c0 = 2 * self.bcol_idx[e] as usize;
+                    for sub in 0..2 {
+                        let entry = 2 * local + sub;
+                        if self.mask[e] & (1 << entry) != 0 {
+                            col_idx.push(c0 + sub);
+                            values.push(self.blocks[e][entry]);
+                        }
+                    }
+                }
+                row_ptr.push(col_idx.len());
+            }
+        }
+        CsrMatrix::from_raw_parts(self.n_rows, self.n_cols, row_ptr, col_idx, values)
+            .expect("BCSR round-trip produced invalid CSR")
+    }
+
+    /// `y = A x` via dense 2×2 block updates.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "bcsr spmv: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "bcsr spmv: y length mismatch");
+        for br in 0..self.n_rows / 2 {
+            let lo = self.brow_ptr[br];
+            let hi = self.brow_ptr[br + 1];
+            let mut y0 = 0.0;
+            let mut y1 = 0.0;
+            for e in lo..hi {
+                let c0 = 2 * self.bcol_idx[e] as usize;
+                let b = &self.blocks[e];
+                let x0 = x[c0];
+                let x1 = x[c0 + 1];
+                y0 += b[0] * x0 + b[1] * x1;
+                y1 += b[2] * x0 + b[3] * x1;
+            }
+            y[2 * br] = y0;
+            y[2 * br + 1] = y1;
+        }
+    }
+
+    /// Allocating convenience wrapper for [`BcsrMatrix::spmv_into`].
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+}
+
+impl LinearOperator for BcsrMatrix {
+    fn dim(&self) -> usize {
+        self.n_rows
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into(x, y);
+    }
+
+    fn apply_flops(&self) -> u64 {
+        self.spmv_flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn blocky(nb: usize) -> CsrMatrix {
+        // Block-tridiagonal with full 2x2 blocks — the elasticity shape.
+        let n = 2 * nb;
+        let mut coo = CooMatrix::new(n, n);
+        for b in 0..nb {
+            for (db, w) in [(0i64, 4.0), (-1, -1.0), (1, -1.0)] {
+                let c = b as i64 + db;
+                if c < 0 || c >= nb as i64 {
+                    continue;
+                }
+                let c = c as usize;
+                for i in 0..2 {
+                    for j in 0..2 {
+                        let v = w + 0.1 * (i * 2 + j) as f64 + 0.01 * b as f64;
+                        coo.push(2 * b + i, 2 * c + j, v).unwrap();
+                    }
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn partial_blocks(n: usize) -> CsrMatrix {
+        // Scalar diagonal pattern: every block is quarter-full.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0 + i as f64).unwrap();
+            if i + 2 < n {
+                coo.push(i, i + 2, -0.5).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn odd_dims_are_rejected() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        assert!(BcsrMatrix::try_from_csr(&coo.to_csr()).is_none());
+    }
+
+    #[test]
+    fn round_trip_is_exact_on_full_blocks() {
+        let a = blocky(9);
+        let b = BcsrMatrix::try_from_csr(&a).unwrap();
+        assert_eq!(b.fill_ratio(), 1.0);
+        assert_eq!(b.to_csr().raw_parts(), a.raw_parts());
+    }
+
+    #[test]
+    fn round_trip_is_exact_on_partial_blocks() {
+        let a = partial_blocks(12);
+        let b = BcsrMatrix::try_from_csr(&a).unwrap();
+        assert!(b.fill_ratio() > 1.0);
+        assert_eq!(b.to_csr().raw_parts(), a.raw_parts());
+    }
+
+    #[test]
+    fn spmv_matches_csr_closely() {
+        for a in [blocky(11), partial_blocks(16)] {
+            let b = BcsrMatrix::try_from_csr(&a).unwrap();
+            let x: Vec<f64> = (0..a.n_cols())
+                .map(|i| ((i * 31 % 13) as f64) - 6.0)
+                .collect();
+            let want = a.spmv(&x);
+            let got = b.spmv(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() <= 1e-12 * (1.0 + w.abs()), "{g} vs {w}");
+            }
+        }
+    }
+}

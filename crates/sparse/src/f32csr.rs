@@ -1,0 +1,136 @@
+//! Single-precision CSR mirror for mixed-precision preconditioning.
+//!
+//! Flexible GMRES tolerates a variable/inexact preconditioner, so the
+//! polynomial preconditioners can run their internal matrix–vector products
+//! in `f32` while the outer Krylov recurrence stays in `f64` — halving the
+//! preconditioner's value *and* index bandwidth (`f32` values, `u32`
+//! columns). [`CsrMatrixF32`] is that mirror: a lossy downcast of a
+//! [`CsrMatrix`] with the same pattern, plus an `f32` SpMV using the same
+//! four-partial reduction tree as [`crate::kernels::row_dot`] (in `f32`
+//! arithmetic).
+//!
+//! Accuracy is pinned by the mixed-precision harness in
+//! `crates/precond/tests`: final FGMRES residuals and iteration counts with
+//! an `f32` preconditioner match the `f64` path within the tolerances the
+//! paper's figures resolve.
+
+use crate::csr::CsrMatrix;
+
+/// A CSR matrix with `f32` values and `u32` column indices, downcast from a
+/// [`CsrMatrix`]. Build with [`CsrMatrixF32::from_csr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrixF32 {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrixF32 {
+    /// Downcasts a double-precision matrix (same pattern, `f32` values).
+    ///
+    /// # Panics
+    /// Panics if a column index does not fit in `u32`.
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        assert!(a.n_cols() <= u32::MAX as usize, "column index overflow");
+        let (row_ptr, col_idx, values) = a.raw_parts();
+        CsrMatrixF32 {
+            n_rows: a.n_rows(),
+            n_cols: a.n_cols(),
+            row_ptr: row_ptr.to_vec(),
+            col_idx: col_idx.iter().map(|&c| c as u32).collect(),
+            values: values.iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Flops of one SpMV.
+    pub fn spmv_flops(&self) -> u64 {
+        2 * self.nnz() as u64
+    }
+
+    /// `y = A x` in single precision, with the `f32` analogue of the
+    /// [`crate::kernels::row_dot`] four-partial reduction per row.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.n_cols, "f32 spmv: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "f32 spmv: y length mismatch");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            *yr = row_dot_f32(&self.col_idx[lo..hi], &self.values[lo..hi], x);
+        }
+    }
+}
+
+/// One `f32` CSR row dot product, 4-way unrolled with the
+/// `(a0 + a1) + (a2 + a3)` combination (the `f32` mirror of
+/// [`crate::kernels::row_dot`]).
+#[inline(always)]
+fn row_dot_f32(cols: &[u32], vals: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(cols.len(), vals.len());
+    let mut c4 = cols.chunks_exact(4);
+    let mut v4 = vals.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0, 0.0, 0.0);
+    for (c, v) in (&mut c4).zip(&mut v4) {
+        a0 += v[0] * x[c[0] as usize];
+        a1 += v[1] * x[c[1] as usize];
+        a2 += v[2] * x[c[2] as usize];
+        a3 += v[3] * x[c[3] as usize];
+    }
+    let mut acc = (a0 + a1) + (a2 + a3);
+    for (&c, &v) in c4.remainder().iter().zip(v4.remainder()) {
+        acc += v * x[c as usize];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    #[test]
+    fn f32_spmv_tracks_f64_within_single_precision() {
+        let n = 40;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0 + 0.01 * i as f64).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let a32 = CsrMatrixF32::from_csr(&a);
+        assert_eq!(a32.nnz(), a.nnz());
+        let x: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let want = a.spmv(&x);
+        let mut got = vec![0.0f32; n];
+        a32.spmv_into(&x32, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert!(
+                (*g as f64 - w).abs() <= 1e-5 * (1.0 + w.abs()),
+                "{g} vs {w}"
+            );
+        }
+    }
+}

@@ -19,7 +19,15 @@
 //!   paper's Figures 11–12,
 //! - [`op`] — the [`LinearOperator`] abstraction shared by the sequential
 //!   and distributed solvers,
-//! - [`io`] — MatrixMarket import/export for reproducibility.
+//! - [`io`] — MatrixMarket import/export for reproducibility,
+//! - [`simd`] — hand-unrolled `f64x4`-style lane kernels (SpMV, dots,
+//!   Gram–Schmidt sweeps) selectable via [`variant::KernelPolicy`],
+//! - [`sell`] / [`bcsr`] — cache-aware SELL-C-σ and 2×2 block-CSR storage
+//!   formats, convertible to and from CSR without loss,
+//! - [`f32csr`] — a single-precision CSR mirror for mixed-precision
+//!   preconditioning,
+//! - [`variant`] — the kernel-variant policy and the per-matrix
+//!   (format × kernel) selector.
 //!
 //! All matrices are real, square-or-rectangular, `f64`-valued. Row and column
 //! indices are `usize`. Nothing in this crate allocates in per-iteration hot
@@ -33,20 +41,29 @@
 // row spans at once); the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod bcsr;
 pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod f32csr;
 pub mod gershgorin;
 pub mod ilu;
 pub mod io;
 pub mod kernels;
 pub mod op;
 pub mod scaling;
+pub mod sell;
+pub mod simd;
+pub mod variant;
 
+pub use bcsr::BcsrMatrix;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use f32csr::CsrMatrixF32;
 pub use ilu::Ilu0;
 pub use op::LinearOperator;
 pub use scaling::DiagonalScaling;
+pub use sell::SellMatrix;
+pub use variant::{KernelPolicy, SelectedKernel, VariantChoice};

@@ -1,0 +1,365 @@
+//! SELL-C-σ sliced-ELLPACK storage (Kreutzer et al.), converted from CSR.
+//!
+//! Rows are grouped into *chunks* of `C` consecutive (sorted) rows; inside a
+//! sorting window of `σ` rows, rows are ordered by descending length so the
+//! rows sharing a chunk have similar lengths and the per-chunk padding stays
+//! small. Each chunk is stored column-major ("lane-major"): entry `j` of
+//! every row in the chunk is adjacent in memory, so the SpMV walks `C`
+//! independent row accumulators through a perfectly regular access pattern —
+//! the layout CPUs and wide vector units prefer for stencil-like matrices
+//! whose CSR rows are short and uniform.
+//!
+//! Column indices are stored as `u32` (half the index bandwidth of the CSR
+//! kernels); padding entries carry a value of `0.0` and a valid in-bounds
+//! column, so the kernel needs no branches. The true row lengths are kept,
+//! which makes [`SellMatrix::to_csr`] an **exact** inverse of
+//! [`SellMatrix::from_csr`] — including explicitly stored zeros (pinned by a
+//! round-trip property test in `crates/sparse/tests`).
+//!
+//! Reduction-order contract: each row is accumulated **sequentially** in
+//! column order (one accumulator per lane), which differs from the CSR
+//! kernels' four-partial tree — SELL SpMV results therefore agree with the
+//! scalar reference to a pinned ULP bound, not bit-for-bit. The
+//! bit-identical scalar CSR path remains the golden reference.
+
+use crate::csr::CsrMatrix;
+use crate::op::LinearOperator;
+
+/// Maximum supported chunk height (the SpMV keeps one stack accumulator per
+/// lane).
+pub const MAX_CHUNK: usize = 32;
+
+/// A sparse matrix in SELL-C-σ format. Build with [`SellMatrix::from_csr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// Chunk height `C`.
+    c: usize,
+    /// Sorting-window length `σ` (in rows).
+    sigma: usize,
+    /// Per-chunk offsets into `col_idx`/`values`; `chunk_ptr[k + 1] -
+    /// chunk_ptr[k] == width_k * C`.
+    chunk_ptr: Vec<usize>,
+    /// Lane-major column indices (padding entries repeat a valid column).
+    col_idx: Vec<u32>,
+    /// Lane-major values (padding entries are `0.0`).
+    values: Vec<f64>,
+    /// `perm[p]` = original row stored at sorted position `p`.
+    perm: Vec<usize>,
+    /// True stored-entry count of the row at each sorted position.
+    row_len: Vec<usize>,
+    /// Stored entries of the source matrix (excludes padding).
+    nnz: usize,
+}
+
+impl SellMatrix {
+    /// Converts a CSR matrix to SELL-C-σ with chunk height `c` and sorting
+    /// window `sigma` (clamped up to `c`).
+    ///
+    /// # Panics
+    /// Panics if `c` is zero or exceeds [`MAX_CHUNK`], or if a column index
+    /// does not fit in `u32`.
+    pub fn from_csr(a: &CsrMatrix, c: usize, sigma: usize) -> Self {
+        assert!(c > 0 && c <= MAX_CHUNK, "chunk height {c} out of range");
+        assert!(a.n_cols() <= u32::MAX as usize, "column index overflow");
+        let sigma = sigma.max(c);
+        let (row_ptr, col_idx_csr, values_csr) = a.raw_parts();
+        let n = a.n_rows();
+        let len_of = |r: usize| row_ptr[r + 1] - row_ptr[r];
+
+        // Sort rows by descending length inside each sigma window (stable,
+        // so equal-length rows keep their original order).
+        let mut perm: Vec<usize> = (0..n).collect();
+        for window in perm.chunks_mut(sigma) {
+            window.sort_by_key(|&r| std::cmp::Reverse(len_of(r)));
+        }
+        let row_len: Vec<usize> = perm.iter().map(|&r| len_of(r)).collect();
+
+        let n_chunks = n.div_ceil(c);
+        let mut chunk_ptr = Vec::with_capacity(n_chunks + 1);
+        chunk_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for k in 0..n_chunks {
+            let base = k * c;
+            let width = (base..(base + c).min(n))
+                .map(|p| row_len[p])
+                .max()
+                .unwrap_or(0);
+            for j in 0..width {
+                for lane in 0..c {
+                    let p = base + lane;
+                    if p < n && j < row_len[p] {
+                        let e = row_ptr[perm[p]] + j;
+                        col_idx.push(col_idx_csr[e] as u32);
+                        values.push(values_csr[e]);
+                    } else {
+                        // Padding: zero value, and the row's own last column
+                        // (or 0) so the gather stays in bounds.
+                        let pad_col = if p < n && row_len[p] > 0 {
+                            col_idx_csr[row_ptr[perm[p]] + row_len[p] - 1] as u32
+                        } else {
+                            0
+                        };
+                        col_idx.push(pad_col);
+                        values.push(0.0);
+                    }
+                }
+            }
+            chunk_ptr.push(col_idx.len());
+        }
+
+        SellMatrix {
+            n_rows: n,
+            n_cols: a.n_cols(),
+            c,
+            sigma,
+            chunk_ptr,
+            col_idx,
+            values,
+            perm,
+            row_len,
+            nnz: a.nnz(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Chunk height `C`.
+    pub fn chunk_height(&self) -> usize {
+        self.c
+    }
+
+    /// Sorting window `σ`.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Stored entries of the source matrix (padding excluded).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Stored entries *including* padding — the actual memory footprint.
+    pub fn padded_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Flops of one SpMV (padding excluded, matching
+    /// [`CsrMatrix::spmv_flops`] on the source matrix).
+    pub fn spmv_flops(&self) -> u64 {
+        2 * self.nnz as u64
+    }
+
+    /// Exact inverse of [`SellMatrix::from_csr`]: reconstructs the source
+    /// CSR matrix, explicit zeros and all.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let n = self.n_rows;
+        // Sorted position of each original row.
+        let mut pos = vec![0usize; n];
+        for (p, &r) in self.perm.iter().enumerate() {
+            pos[r] = p;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.nnz);
+        let mut values = Vec::with_capacity(self.nnz);
+        for r in 0..n {
+            let p = pos[r];
+            let (chunk, lane) = (p / self.c, p % self.c);
+            let off = self.chunk_ptr[chunk];
+            for j in 0..self.row_len[p] {
+                let e = off + j * self.c + lane;
+                col_idx.push(self.col_idx[e] as usize);
+                values.push(self.values[e]);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_raw_parts(n, self.n_cols, row_ptr, col_idx, values)
+            .expect("SELL round-trip produced invalid CSR")
+    }
+
+    /// `y = A x`.
+    ///
+    /// Each row accumulates sequentially in column order (one accumulator
+    /// per lane); see the module docs for the reduction-order contract.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "sell spmv: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "sell spmv: y length mismatch");
+        if self.c == 8 {
+            // The default chunk height gets a fully unrolled kernel; the
+            // generic fallback below pays a runtime-`c` inner loop.
+            return self.spmv_into_c8(x, y);
+        }
+        let c = self.c;
+        let mut acc = [0.0f64; MAX_CHUNK];
+        for k in 0..self.chunk_ptr.len() - 1 {
+            let base = k * c;
+            let lanes = c.min(self.n_rows - base);
+            let lo = self.chunk_ptr[k];
+            let hi = self.chunk_ptr[k + 1];
+            acc[..c].fill(0.0);
+            let mut off = lo;
+            while off < hi {
+                let cols = &self.col_idx[off..off + c];
+                let vals = &self.values[off..off + c];
+                for lane in 0..c {
+                    acc[lane] += vals[lane] * x[cols[lane] as usize];
+                }
+                off += c;
+            }
+            for lane in 0..lanes {
+                y[self.perm[base + lane]] = acc[lane];
+            }
+        }
+    }
+
+    /// `C = 8` specialization of [`SellMatrix::spmv_into`]: the chunk height
+    /// is a compile-time constant, so the eight lane accumulators unroll and
+    /// the fixed-size slices carry no per-entry bounds checks. Per-lane
+    /// accumulation order is identical to the generic path (sequential in
+    /// column order), so the two are bit-identical.
+    fn spmv_into_c8(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.n_rows;
+        for k in 0..self.chunk_ptr.len() - 1 {
+            let base = k * 8;
+            let lo = self.chunk_ptr[k];
+            let hi = self.chunk_ptr[k + 1];
+            let mut acc = [0.0f64; 8];
+            let mut off = lo;
+            while off < hi {
+                let cols: &[u32; 8] = self.col_idx[off..off + 8].try_into().expect("chunk of 8");
+                let vals: &[f64; 8] = self.values[off..off + 8].try_into().expect("chunk of 8");
+                for lane in 0..8 {
+                    acc[lane] += vals[lane] * x[cols[lane] as usize];
+                }
+                off += 8;
+            }
+            let lanes = 8.min(n - base);
+            for lane in 0..lanes {
+                y[self.perm[base + lane]] = acc[lane];
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper for [`SellMatrix::spmv_into`].
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+}
+
+impl LinearOperator for SellMatrix {
+    fn dim(&self) -> usize {
+        self.n_rows
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into(x, y);
+    }
+
+    fn apply_flops(&self) -> u64 {
+        self.spmv_flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0).unwrap();
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+                coo.push(i + 1, i, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn ragged(n: usize) -> CsrMatrix {
+        // Deterministically ragged row lengths to exercise sorting/padding.
+        let mut coo = CooMatrix::new(n, n);
+        let mut s = 0x243f_6a88_85a3_08d3u64;
+        for i in 0..n {
+            coo.push(i, i, 4.0 + (i % 3) as f64).unwrap();
+            let extra = (i * 7) % 5;
+            for k in 0..extra {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let j = (s as usize) % n;
+                if j != i {
+                    let _ = coo.push(i, j, ((k + 1) as f64) * 0.25 - 0.6);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        for (c, sigma) in [(4, 4), (8, 32), (3, 7)] {
+            let a = ragged(37);
+            let sell = SellMatrix::from_csr(&a, c, sigma);
+            let back = sell.to_csr();
+            assert_eq!(a.raw_parts(), back.raw_parts(), "C={c} sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn spmv_matches_csr_closely() {
+        let a = ragged(53);
+        let sell = SellMatrix::from_csr(&a, 8, 64);
+        let x: Vec<f64> = (0..53).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+        let want = a.spmv(&x);
+        let got = sell.spmv(&x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-12 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn uniform_rows_have_no_padding() {
+        let a = laplacian_1d(64);
+        // All interior rows have 3 entries, the two end rows 2: with sigma
+        // covering everything the short rows sort to the tail.
+        let sell = SellMatrix::from_csr(&a, 8, 64);
+        assert!(sell.padded_len() <= sell.nnz() + 2 * 8);
+        assert_eq!(sell.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut coo = CooMatrix::new(6, 6);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(4, 2, -2.0).unwrap();
+        let a = coo.to_csr();
+        let sell = SellMatrix::from_csr(&a, 4, 4);
+        assert_eq!(sell.to_csr().raw_parts(), a.raw_parts());
+        let y = sell.spmv(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 0.0, -6.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk height")]
+    fn zero_chunk_rejected() {
+        SellMatrix::from_csr(&laplacian_1d(4), 0, 4);
+    }
+}

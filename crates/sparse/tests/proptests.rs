@@ -1,7 +1,24 @@
-//! Property-based tests for the sparse kernels.
+//! Property-based tests for the sparse kernels, including the kernel-variant
+//! equivalence contracts: the lane (SIMD) kernels are bit-identical to the
+//! scalar reference wherever they preserve the reduction order, ULP-bounded
+//! where they regroup it, and the SELL-C-σ / block-CSR storage formats
+//! round-trip exactly and multiply within a pinned error bound.
 
-use parfem_sparse::{coo::CooMatrix, csr::CsrMatrix, dense, scaling::DiagonalScaling};
+use parfem_sparse::{
+    coo::CooMatrix, csr::CsrMatrix, dense, scaling::DiagonalScaling, simd, BcsrMatrix, SellMatrix,
+};
 use proptest::prelude::*;
+
+/// Pinned error bound for a reordered row reduction: a sum of `terms`
+/// products reassociated in any order differs from the reference by at most
+/// a few ULPs of the magnitude sum `Σ|aᵢⱼ xⱼ|` per term.
+fn reduction_bound(a: &CsrMatrix, x: &[f64], r: usize) -> f64 {
+    let (row_ptr, col_idx, values) = a.raw_parts();
+    let lo = row_ptr[r];
+    let hi = row_ptr[r + 1];
+    let mag: f64 = (lo..hi).map(|e| (values[e] * x[col_idx[e]]).abs()).sum();
+    4.0 * (hi - lo + 1) as f64 * f64::EPSILON * (mag + 1.0)
+}
 
 /// Strategy: a random list of triplets inside an `n x n` shape.
 fn triplets(n: usize, max_len: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
@@ -216,5 +233,155 @@ proptest! {
         let mut par = vec![0.0; 24];
         a.par_spmv_into(&x, &mut par, threads);
         prop_assert_eq!(par, seq);
+    }
+}
+
+// Kernel-variant equivalence contracts (PR 7): every storage format and lane
+// kernel is pinned against the scalar CSR reference — exactly where the
+// reduction order is preserved, within `reduction_bound` where it is not.
+proptest! {
+    #[test]
+    fn spmv_lanes_matches_scalar_bitwise(ts in triplets(17, 100),
+                                         x in prop::collection::vec(-5.0..5.0f64, 17)) {
+        // The two-row-unrolled lane SpMV keeps the verbatim row_dot
+        // reduction, so it is bit-identical to the scalar path.
+        let mut coo = CooMatrix::new(17, 17);
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let mut scalar = vec![0.0; 17];
+        a.spmv_into(&x, &mut scalar);
+        let (row_ptr, col_idx, values) = a.raw_parts();
+        let mut lanes = vec![0.0; 17];
+        simd::spmv_lanes(row_ptr, col_idx, values, &x, &mut lanes);
+        prop_assert_eq!(lanes, scalar);
+    }
+
+    #[test]
+    fn sell_round_trips_csr_exactly(ts in triplets(19, 140),
+                                    c in 1usize..9,
+                                    sigma in 1usize..33) {
+        // CSR -> SELL-C-sigma -> CSR is the identity, for any chunk height
+        // and sorting window: padding and row permutation must both vanish.
+        let mut coo = CooMatrix::new(19, 19);
+        for &(r, c_, v) in &ts {
+            coo.push(r, c_, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let sell = SellMatrix::from_csr(&a, c, sigma);
+        prop_assert_eq!(sell.nnz(), a.nnz());
+        prop_assert_eq!(sell.to_csr(), a);
+    }
+
+    #[test]
+    fn sell_spmv_within_reduction_bound(ts in triplets(19, 140),
+                                        x in prop::collection::vec(-5.0..5.0f64, 19),
+                                        c in 1usize..9,
+                                        sigma in 1usize..33) {
+        // SELL accumulates each row sequentially in column order like CSR,
+        // but padding entries contribute exact `+ 0.0 * x[pad]` terms, so
+        // pin it within the reassociation bound rather than bit-for-bit.
+        let mut coo = CooMatrix::new(19, 19);
+        for &(r, c_, v) in &ts {
+            coo.push(r, c_, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let mut scalar = vec![0.0; 19];
+        a.spmv_into(&x, &mut scalar);
+        let sell = SellMatrix::from_csr(&a, c, sigma);
+        let got = sell.spmv(&x);
+        for r in 0..19 {
+            prop_assert!((got[r] - scalar[r]).abs() <= reduction_bound(&a, &x, r),
+                "sell row {}: {} vs {}", r, got[r], scalar[r]);
+        }
+    }
+
+    #[test]
+    fn bcsr_round_trips_csr_exactly(ts in triplets(18, 120)) {
+        // Even dimensions: 2x2 blocking must reconstruct the source exactly,
+        // with fill-in zeros dropped via the structural mask.
+        let mut coo = CooMatrix::new(18, 18);
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let b = BcsrMatrix::try_from_csr(&a).expect("even dims must block");
+        prop_assert_eq!(b.nnz(), a.nnz());
+        prop_assert!(b.fill_ratio() >= 1.0 || a.nnz() == 0);
+        prop_assert_eq!(b.to_csr(), a);
+    }
+
+    #[test]
+    fn bcsr_spmv_within_reduction_bound(ts in triplets(18, 120),
+                                        x in prop::collection::vec(-5.0..5.0f64, 18)) {
+        // The 2x2 block kernel regroups each row reduction into block-column
+        // order with fused fill-in zeros — ULP-bounded, not bit-identical.
+        let mut coo = CooMatrix::new(18, 18);
+        for &(r, c, v) in &ts {
+            coo.push(r, c, v).unwrap();
+        }
+        let a = coo.to_csr();
+        let mut scalar = vec![0.0; 18];
+        a.spmv_into(&x, &mut scalar);
+        let b = BcsrMatrix::try_from_csr(&a).expect("even dims must block");
+        let got = b.spmv(&x);
+        for r in 0..18 {
+            prop_assert!((got[r] - scalar[r]).abs() <= reduction_bound(&a, &x, r),
+                "bcsr row {}: {} vs {}", r, got[r], scalar[r]);
+        }
+    }
+
+    #[test]
+    fn lane_dots_within_ulp_bound(w in prop::collection::vec(-5.0..5.0f64, 1..96),
+                                  k in 1usize..7) {
+        // dot_many_lanes uses a 4-lane accumulator tree per vector; bound
+        // the reassociation error by the magnitude sum of the products.
+        let vs: Vec<Vec<f64>> = (0..k)
+            .map(|i| w.iter().map(|&x| (x * (i as f64 + 0.5)).sin()).collect())
+            .collect();
+        let mut out = vec![0.0; k];
+        simd::dot_many_lanes(&w, &vs, &mut out);
+        for (i, v) in vs.iter().enumerate() {
+            let seq: f64 = w.iter().zip(v).map(|(a, b)| a * b).sum();
+            let mag: f64 = w.iter().zip(v).map(|(a, b)| (a * b).abs()).sum();
+            let bound = 4.0 * (w.len() + 1) as f64 * f64::EPSILON * (mag + 1.0);
+            prop_assert!((out[i] - seq).abs() <= bound,
+                "lane dot {}: {} vs {}", i, out[i], seq);
+        }
+    }
+
+    #[test]
+    fn lane_axpy_sweep_updates_bit_identically(w0 in prop::collection::vec(-5.0..5.0f64, 1..96),
+                                               coeffs in prop::collection::vec(-2.0..2.0f64, 0..7)) {
+        // The lane projection-subtraction sweep must update `w` bit-for-bit
+        // like the scalar sweep (same 4s + tail vector grouping, same
+        // left-associated per-element subtraction chain); only the fused
+        // Σw² reduction is allowed to differ, within the lane-tree bound.
+        let vs: Vec<Vec<f64>> = (0..coeffs.len())
+            .map(|i| w0.iter().map(|&x| (x + i as f64).cos()).collect())
+            .collect();
+        let mut scalar_w = w0.clone();
+        let scalar_sq =
+            parfem_sparse::kernels::axpy_sweep_neg(&coeffs, &vs, &mut scalar_w);
+        let mut lane_w = w0;
+        let lane_sq = simd::axpy_sweep_neg_lanes(&coeffs, &vs, &mut lane_w);
+        prop_assert_eq!(&lane_w, &scalar_w);
+        let mag: f64 = scalar_w.iter().map(|&x| x * x).sum();
+        let bound = 4.0 * (scalar_w.len() + 1) as f64 * f64::EPSILON * (mag + 1.0);
+        prop_assert!((lane_sq - scalar_sq).abs() <= bound,
+            "sq mismatch: {} vs {}", lane_sq, scalar_sq);
+    }
+
+    #[test]
+    fn scale_into_matches_copy_then_scale_bitwise(x in prop::collection::vec(-10.0..10.0f64, 0..64),
+                                                  alpha in -4.0..4.0f64) {
+        // The fused normalization write must equal copy-then-scale exactly —
+        // it is substituted on the solver hot path under that contract.
+        let mut reference = x.clone();
+        dense::scale(alpha, &mut reference);
+        let mut fused = vec![0.0; x.len()];
+        dense::scale_into(alpha, &x, &mut fused);
+        prop_assert_eq!(fused, reference);
     }
 }
