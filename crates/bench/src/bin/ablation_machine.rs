@@ -14,13 +14,7 @@ fn main() {
     let mut table = Table::new(&["latency_us", "t8_s", "speedup8"]);
     let mut speedups = Vec::new();
     for &lat in &latencies_us {
-        let model = MachineModel {
-            name: "sweep",
-            latency_s: lat * 1e-6,
-            bandwidth_bytes_per_s: 100e6,
-            flops_per_s: 100e6,
-            reduce_latency_s: lat * 1e-6,
-        };
+        let model = MachineModel::flat("sweep", lat * 1e-6, 100e6, 100e6, lat * 1e-6);
         let runs = Case::edd(&p).machine(model).sweep(&[1, 8]);
         let (t1, t8) = (runs[0].modeled_time, runs[1].modeled_time);
         let s = t1 / t8;

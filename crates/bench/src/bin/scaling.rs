@@ -1,0 +1,316 @@
+//! Scaling laboratory: modeled weak- and strong-scaling curves at large P.
+//!
+//! The paper evaluates P ≤ 8 on mid-90s hosts; this lab asks what the same
+//! EDD/RDD algorithms cost at P = 64..4096 on modern topologies (two-level
+//! cluster, fat tree, 3-D torus), using the analytic machine model rather
+//! than real threads:
+//!
+//! - **weak scaling** — a fixed 8x8-element tile per rank (the mesh grows
+//!   with P), so the curve isolates the parallel overheads: the O(log P)
+//!   all-reduce, interface exchange, and link contention;
+//! - **strong scaling** — one fixed mesh spread ever thinner, so the curve
+//!   shows where per-rank compute stops hiding those overheads.
+//!
+//! Each point partitions the mesh twice — structured strips (the paper's
+//! layout) and the multilevel graph partitioner — and records edge cut,
+//! imbalance, and the worst link-sharing factor alongside the modeled
+//! per-iteration times for blocking EDD, RDD, and overlapped EDD. The
+//! summary feeds the `scaling_modeled` series of `BENCH_PERF.json`, which
+//! the perf gate checks (graph must never cut more than strips; overlap
+//! must never be modeled slower than blocking).
+//!
+//! `PARFEM_QUICK=1` shrinks both sweeps to CI smoke size.
+
+use parfem::prelude::*;
+use parfem_bench::harness::{banner, quick, Table};
+use parfem_mesh::Cells;
+use std::collections::BTreeMap;
+
+/// Per-element flops of one FGMRES+gls(7) iteration: 8 matvecs (degree-7
+/// polynomial application plus the outer operator) at ~150 flops per
+/// element-row contribution.
+const FLOPS_PER_ELEM_ITER: f64 = 1200.0;
+/// Interface exchanges per iteration — one per matvec.
+const EXCHANGE_ROUNDS: usize = 8;
+/// Global synchronizations per iteration: Gram-Schmidt dots + residual norm.
+const SYNCS_PER_ITER: usize = 3;
+/// Interface payload per shared node: two displacement dofs, f64.
+const BYTES_PER_NODE: usize = 16;
+/// All-reduce payload: one f64 partial sum (header-dominated).
+const ALLREDUCE_BYTES: usize = 8;
+const GRAPH_SEED: u64 = 0;
+
+/// Per-rank element counts and neighbor interface sizes of a partition.
+struct RankStats {
+    elems: Vec<usize>,
+    /// For each rank: `(neighbor, interface bytes)` — shared mesh nodes
+    /// times [`BYTES_PER_NODE`].
+    nbr_bytes: Vec<Vec<(usize, usize)>>,
+}
+
+fn rank_stats<M: Cells>(mesh: &M, owner: &[usize], p: usize) -> RankStats {
+    let mut elems = vec![0usize; p];
+    for &o in owner {
+        elems[o] += 1;
+    }
+    // Parts touching each node; a node shared by parts {a, b} is one
+    // interface entry each way.
+    let mut node_parts: Vec<Vec<usize>> = vec![Vec::new(); mesh.n_cell_nodes()];
+    for (e, &own) in owner.iter().enumerate() {
+        for n in mesh.cell_nodes(e) {
+            let parts = &mut node_parts[n];
+            if !parts.contains(&own) {
+                parts.push(own);
+            }
+        }
+    }
+    let mut shared: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for parts in &node_parts {
+        for (i, &a) in parts.iter().enumerate() {
+            for &b in &parts[i + 1..] {
+                *shared.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut nbr_bytes: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
+    for (&(a, b), &nodes) in &shared {
+        nbr_bytes[a].push((b, nodes * BYTES_PER_NODE));
+        nbr_bytes[b].push((a, nodes * BYTES_PER_NODE));
+    }
+    RankStats { elems, nbr_bytes }
+}
+
+/// Modeled per-iteration times of one EDD partition on one machine:
+/// `(blocking, overlapped, worst contention factor)`.
+///
+/// A rank's exchange round posts all neighbor sends at once, so the round
+/// costs its slowest contended message; blocking pays compute + comm,
+/// overlapped pays `max(compute, comm)`. Both then pay the collectives.
+fn modeled_edd(model: &MachineModel, p: usize, stats: &RankStats) -> (f64, f64, f64) {
+    let sync = SYNCS_PER_ITER as f64 * model.allreduce_time(p, ALLREDUCE_BYTES);
+    let (mut t_block, mut t_overlap, mut worst_factor) = (0.0f64, 0.0f64, 1.0f64);
+    for r in 0..p {
+        let compute = model.compute_time((stats.elems[r] as f64 * FLOPS_PER_ELEM_ITER) as u64);
+        let nbrs: Vec<usize> = stats.nbr_bytes[r].iter().map(|&(q, _)| q).collect();
+        let factors = model.contention_factors(p, r, &nbrs);
+        let mut round = 0.0f64;
+        for (&(q, bytes), &f) in stats.nbr_bytes[r].iter().zip(&factors) {
+            round = round.max(model.message_time_contended(p, r, q, bytes, f));
+            worst_factor = worst_factor.max(f);
+        }
+        let comm = EXCHANGE_ROUNDS as f64 * round;
+        t_block = t_block.max(compute + comm);
+        t_overlap = t_overlap.max(model.overlapped_time(compute, comm));
+    }
+    (t_block + sync, t_overlap + sync, worst_factor)
+}
+
+/// Modeled per-iteration time of the RDD strategy, which always splits the
+/// node columns into strips (matching the CLI): each rank trades one
+/// column of externals with each side neighbor per matvec.
+fn modeled_rdd(model: &MachineModel, p: usize, mesh: &QuadMesh, total_flops: f64) -> f64 {
+    let part = NodePartition::strips_x(mesh, p);
+    let mut nodes = vec![0usize; p];
+    for &o in part.owners() {
+        nodes[o] += 1;
+    }
+    let n_nodes = part.owners().len() as f64;
+    let bytes = (mesh.ny() + 1) * BYTES_PER_NODE;
+    let sync = SYNCS_PER_ITER as f64 * model.allreduce_time(p, ALLREDUCE_BYTES);
+    let mut t = 0.0f64;
+    for (r, &owned) in nodes.iter().enumerate() {
+        let compute = model.compute_time((total_flops * owned as f64 / n_nodes) as u64);
+        let nbrs: Vec<usize> = (r.saturating_sub(1)..=(r + 1).min(p - 1))
+            .filter(|&q| q != r)
+            .collect();
+        let factors = model.contention_factors(p, r, &nbrs);
+        let mut round = 0.0f64;
+        for (&q, &f) in nbrs.iter().zip(&factors) {
+            round = round.max(model.message_time_contended(p, r, q, bytes, f));
+        }
+        t = t.max(compute + EXCHANGE_ROUNDS as f64 * round);
+    }
+    t + sync
+}
+
+struct SeriesSummary {
+    p_max: usize,
+    cut_ratio_max: f64,
+    overlap_speedup_min: f64,
+    /// `(machine name, efficiency at p_max)` per topology.
+    eff_at_pmax: Vec<(&'static str, f64)>,
+}
+
+/// Runs one series (`weak` grows the mesh with P, `strong` fixes it) over
+/// every P and topology, emits the table, and returns the gate summary.
+fn run_series(
+    name: &str,
+    ps: &[usize],
+    mesh_for: impl Fn(usize) -> QuadMesh,
+    weak: bool,
+    topos: &[MachineModel],
+) -> SeriesSummary {
+    banner(&format!(
+        "{name}-scaling (modeled, EDD graph partition vs RDD strips)"
+    ));
+    let mut table = Table::new(&[
+        "p",
+        "machine",
+        "elems",
+        "strips_cut",
+        "graph_cut",
+        "cut_ratio",
+        "imbalance",
+        "contention",
+        "t_edd_s",
+        "t_rdd_s",
+        "t_overlap_s",
+        "overlap_speedup",
+        "efficiency",
+    ]);
+    let mut cut_ratio_max = 0.0f64;
+    let mut overlap_speedup_min = f64::INFINITY;
+    let mut eff_curves: Vec<Vec<f64>> = vec![Vec::new(); topos.len()];
+    for &p in ps {
+        let mesh = mesh_for(p);
+        let n = mesh.n_elems();
+        let strips = PartitionerSpec::Strips.element_partition(&mesh, p);
+        let graph = PartitionerSpec::Graph { seed: GRAPH_SEED }.element_partition(&mesh, p);
+        let (strips_cut, graph_cut) = (
+            strips.edge_cut().expect("strips cut recorded"),
+            graph.edge_cut().expect("graph cut recorded"),
+        );
+        assert!(
+            graph_cut < strips_cut,
+            "{name} P={p}: graph cut {graph_cut} must beat strips {strips_cut}"
+        );
+        let imbalance = graph.imbalance();
+        assert!(
+            imbalance <= 1.25,
+            "{name} P={p}: graph imbalance {imbalance} out of tolerance"
+        );
+        let ratio = graph_cut as f64 / strips_cut as f64;
+        cut_ratio_max = cut_ratio_max.max(ratio);
+        let stats = rank_stats(&mesh, graph.owners(), p);
+        let total_flops = n as f64 * FLOPS_PER_ELEM_ITER;
+        for (ti, model) in topos.iter().enumerate() {
+            let (t_edd, t_overlap, contention) = modeled_edd(model, p, &stats);
+            let t_rdd = modeled_rdd(model, p, &mesh, total_flops);
+            let speedup = t_edd / t_overlap;
+            overlap_speedup_min = overlap_speedup_min.min(speedup);
+            // Weak: time of the per-rank tile with all overheads removed.
+            // Strong: the one-rank time over P ranks.
+            let t_ref = if weak {
+                model.compute_time((total_flops / p as f64) as u64)
+            } else {
+                model.compute_time(total_flops as u64) / p as f64
+            };
+            let eff = t_ref / t_edd;
+            eff_curves[ti].push(eff);
+            table.row([
+                format!("{p}"),
+                model.name.to_string(),
+                format!("{n}"),
+                format!("{strips_cut}"),
+                format!("{graph_cut}"),
+                format!("{ratio:.4}"),
+                format!("{imbalance:.4}"),
+                format!("{contention:.2}"),
+                format!("{t_edd:.6e}"),
+                format!("{t_rdd:.6e}"),
+                format!("{t_overlap:.6e}"),
+                format!("{speedup:.4}"),
+                format!("{eff:.4}"),
+            ]);
+        }
+    }
+    table.emit(&format!("scaling_{name}"));
+
+    assert!(
+        overlap_speedup_min >= 1.0 - 1e-12,
+        "{name}: overlap modeled slower than blocking ({overlap_speedup_min})"
+    );
+    let mut eff_at_pmax = Vec::new();
+    for (ti, model) in topos.iter().enumerate() {
+        let effs = &eff_curves[ti];
+        for &e in effs {
+            assert!(
+                e > 0.0 && e <= 1.0 + 1e-9,
+                "{name}/{}: modeled efficiency {e} outside (0, 1]",
+                model.name
+            );
+        }
+        assert!(
+            effs.last().unwrap() <= effs.first().unwrap(),
+            "{name}/{}: efficiency must not rise with P: {effs:?}",
+            model.name
+        );
+        eff_at_pmax.push((model.name, *effs.last().unwrap()));
+    }
+    SeriesSummary {
+        p_max: *ps.last().unwrap(),
+        cut_ratio_max,
+        overlap_speedup_min,
+        eff_at_pmax,
+    }
+}
+
+fn emit_summary(series: &[(&str, SeriesSummary)]) {
+    println!("\nBENCH_PERF.json `scaling_modeled` section:");
+    println!("  \"scaling_modeled\": {{");
+    for (i, (name, s)) in series.iter().enumerate() {
+        let effs: Vec<String> = s
+            .eff_at_pmax
+            .iter()
+            .map(|(m, e)| format!("      \"efficiency_{m}_p{}\": {e:.4}", s.p_max))
+            .collect();
+        println!("    \"{name}\": {{");
+        println!("      \"p_max\": {},", s.p_max);
+        println!("      \"graph_cut_ratio_max\": {:.4},", s.cut_ratio_max);
+        println!(
+            "      \"overlap_speedup_min\": {:.4},",
+            s.overlap_speedup_min
+        );
+        println!("{}", effs.join(",\n"));
+        println!("    }}{}", if i + 1 < series.len() { "," } else { "" });
+    }
+    println!("  }}");
+}
+
+fn main() {
+    let topos = [
+        MachineModel::cluster(),
+        MachineModel::fat_tree(),
+        MachineModel::torus3d(),
+    ];
+    // Weak: an 8x8 tile per rank on a (p/4) x 4 rank grid -> a 2p x 32
+    // mesh, so strips exist at every P (p <= nx) while the 2-D layout
+    // keeps a real edge-cut advantage.
+    // Strong: one fixed mesh with the same aspect guarantees, spread
+    // thinner as P grows.
+    let (weak_ps, strong_ps, strong_mesh): (&[usize], &[usize], _) = if quick() {
+        (&[64, 256], &[64, 256], QuadMesh::cantilever(1024, 96))
+    } else {
+        (
+            &[64, 256, 1024, 4096],
+            &[64, 256, 1024, 4096],
+            QuadMesh::cantilever(4096, 384),
+        )
+    };
+    let weak = run_series(
+        "weak",
+        weak_ps,
+        |p| QuadMesh::cantilever(2 * p, 32),
+        true,
+        &topos,
+    );
+    let strong = run_series(
+        "strong",
+        strong_ps,
+        move |_| strong_mesh.clone(),
+        false,
+        &topos,
+    );
+    emit_summary(&[("weak", weak), ("strong", strong)]);
+    println!("\ngraph partitioner beat strips on edge cut at every point");
+}

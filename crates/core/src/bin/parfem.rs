@@ -53,6 +53,9 @@ solve options:
   --load pull:F|shear:F load case and total force (default pull:1.0)
   --parts P             number of subdomains/ranks (default 4)
   --strategy edd|rdd    decomposition strategy (default edd)
+  --partitioner SPEC    element partitioner: strips|blocks|graph:<seed>
+                        (default strips; EDD only — RDD always partitions
+                        node columns into strips)
   --variant basic|enhanced   EDD algorithm variant (default enhanced)
   --precond SPEC        preconditioner (default gls:7), one of:
 {precond_help}
@@ -219,12 +222,13 @@ fn cmd_solve(args: &Args) -> ExitCode {
         .map(|s| s.parse().unwrap_or(4))
         .unwrap_or(4);
     let machine_name = args.value_of("--machine").unwrap_or("origin");
-    let Some(machine) = MachineModel::by_name(machine_name) else {
-        eprintln!(
-            "unknown machine {machine_name}; expected one of {}",
-            MachineModel::NAMES.join("|")
-        );
-        return usage();
+    let machine = match MachineModel::by_name(machine_name) {
+        Ok(m) => m,
+        Err(e) => {
+            // The typed error renders the full preset list itself.
+            eprintln!("error: {e}");
+            return usage();
+        }
     };
     let precond = match PrecondSpec::parse(args.value_of("--precond").unwrap_or("gls:7")) {
         Ok(p) => p,
@@ -306,21 +310,36 @@ fn cmd_solve(args: &Args) -> ExitCode {
         TraceSink::disabled()
     };
 
+    let partitioner =
+        match PartitionerSpec::parse(args.value_of("--partitioner").unwrap_or("strips")) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return usage();
+            }
+        };
     let strategy_name = args.value_of("--strategy").unwrap_or("edd");
     let strategy = match strategy_name {
-        "edd" => Strategy::Edd(ElementPartition::strips_x(&problem.mesh, parts)),
-        "rdd" => Strategy::Rdd(NodePartition::strips_x(&problem.mesh, parts)),
+        "edd" => Strategy::Edd(partitioner.element_partition(&problem.mesh, parts)),
+        "rdd" => {
+            if partitioner != PartitionerSpec::Strips {
+                eprintln!("error: --partitioner {partitioner} only applies to --strategy edd");
+                return usage();
+            }
+            Strategy::Rdd(NodePartition::strips_x(&problem.mesh, parts))
+        }
         s => {
             eprintln!("unknown strategy {s}");
             return usage();
         }
     };
     println!(
-        "solving {} equations with {} on {} ranks ({}, {})",
+        "solving {} equations with {} on {} ranks ({}, {}, {})",
         problem.n_eqn(),
         cfg.precond.name(),
         parts,
         strategy_name,
+        partitioner,
         machine.name
     );
     let result = SolveSession::new(problem.as_problem())

@@ -73,7 +73,9 @@ pub mod prelude {
     };
     pub use parfem_fem::{Material, NewmarkParams};
     pub use parfem_krylov::{ConvergenceHistory, GmresConfig};
-    pub use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, QuadMesh};
+    pub use parfem_mesh::{
+        DofMap, Edge, ElementPartition, NodePartition, PartitionerSpec, QuadMesh,
+    };
     pub use parfem_msg::{CommError, FaultPlan, FaultStats, MachineModel, RankReport};
     pub use parfem_precond::IntervalUnion;
     pub use parfem_sparse::CsrMatrix;

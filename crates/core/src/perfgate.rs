@@ -8,7 +8,7 @@
 //! workspace reuse, an accidentally quadratic kernel, a broken overlap
 //! schedule), not machine-to-machine noise.
 //!
-//! Three families of checks:
+//! Four families of checks:
 //!
 //! - **throughput** (`mflops`, `iters_per_s`) — higher is better; fail when
 //!   `current < threshold × reference`,
@@ -18,7 +18,13 @@
 //!   future allocation at all),
 //! - **overlap** (`overlap_modeled.*.speedup`) — the modeled
 //!   overlapped-exchange speedup must stay ≥ 1: overlapping may never be
-//!   modeled as slower than blocking.
+//!   modeled as slower than blocking,
+//! - **scaling** (`scaling_modeled.*`, the large-P series the `scaling`
+//!   bench bin regenerates) — the graph partitioner's worst edge-cut ratio
+//!   against strips must stay ≤ 1, each series' worst modeled overlap
+//!   speedup must stay ≥ 1, and every recorded parallel efficiency must
+//!   lie in `(0, 1]` (an efficiency above 1 or at 0 means the machine
+//!   model is broken, not that the machine got faster).
 
 use parfem_trace::json::{self, Json};
 use std::fmt;
@@ -38,6 +44,11 @@ pub struct GateConfig {
     pub alloc_slack: f64,
     /// Minimum allowed modeled overlap speedup (default `1.0`).
     pub min_overlap_speedup: f64,
+    /// Maximum allowed `scaling_modeled.*.graph_cut_ratio_max` — the graph
+    /// partitioner's worst edge cut relative to strips across a scaling
+    /// series (default `1.0`: the graph partitioner may never lose to the
+    /// structured strips it refines).
+    pub max_graph_cut_ratio: f64,
     /// Per-metric **absolute** caps on allocation metrics, overriding the
     /// ratio-plus-slack rule wherever tighter. Each entry is a
     /// (check-name prefix, cap) pair matched against `bench.metric`; the
@@ -54,6 +65,7 @@ impl Default for GateConfig {
             max_alloc_ratio: 1.25,
             alloc_slack: 16.0,
             min_overlap_speedup: 1.0,
+            max_graph_cut_ratio: 1.0,
             alloc_caps: vec![("fgmres_iteration".to_string(), 0.0)],
         }
     }
@@ -249,6 +261,47 @@ pub fn evaluate(perf: &Json, baseline: &Json, cfg: &GateConfig) -> Result<GateRe
             });
         }
     }
+    if let Some(scaling) = perf.get("scaling_modeled").and_then(Json::as_object) {
+        for (series, entry) in scaling {
+            if let Some(ratio) = entry.get("graph_cut_ratio_max").and_then(Json::as_f64) {
+                checks.push(GateCheck {
+                    name: format!("scaling_modeled.{series}.graph_cut_ratio_max"),
+                    current: ratio,
+                    reference: 1.0,
+                    limit: cfg.max_graph_cut_ratio,
+                    pass: ratio <= cfg.max_graph_cut_ratio,
+                    direction: "<=",
+                });
+            }
+            if let Some(speedup) = entry.get("overlap_speedup_min").and_then(Json::as_f64) {
+                checks.push(GateCheck {
+                    name: format!("scaling_modeled.{series}.overlap_speedup_min"),
+                    current: speedup,
+                    reference: 1.0,
+                    limit: cfg.min_overlap_speedup,
+                    pass: speedup >= cfg.min_overlap_speedup,
+                    direction: ">=",
+                });
+            }
+            let Some(fields) = entry.as_object() else {
+                continue;
+            };
+            for (key, value) in fields {
+                if !key.starts_with("efficiency_") {
+                    continue;
+                }
+                let Some(eff) = value.as_f64() else { continue };
+                checks.push(GateCheck {
+                    name: format!("scaling_modeled.{series}.{key}"),
+                    current: eff,
+                    reference: 1.0,
+                    limit: 1.0,
+                    pass: eff > 0.0 && eff <= 1.0 + 1e-9,
+                    direction: "<=",
+                });
+            }
+        }
+    }
     Ok(GateReport { checks })
 }
 
@@ -338,6 +391,83 @@ mod tests {
             evaluate_texts(&perf(2400.0, 0.0, 0.97), BASELINE, &GateConfig::default()).unwrap();
         assert!(!report.passed());
         assert_eq!(report.failures()[0].name, "overlap_modeled.ibm_sp2.speedup");
+    }
+
+    fn scaling_perf(ratio: f64, overlap_min: f64, eff: f64) -> String {
+        format!(
+            r#"{{
+                "schema": "parfem-bench-perf-v1",
+                "current": {{}},
+                "scaling_modeled": {{
+                    "weak": {{
+                        "p_max": 4096,
+                        "graph_cut_ratio_max": {ratio},
+                        "overlap_speedup_min": {overlap_min},
+                        "efficiency_cluster-2level_p4096": {eff}
+                    }}
+                }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn healthy_scaling_series_passes() {
+        let report = evaluate_texts(
+            &scaling_perf(0.43, 1.14, 0.51),
+            BASELINE,
+            &GateConfig::default(),
+        )
+        .unwrap();
+        assert!(report.passed(), "{}", report.render());
+        // cut ratio + overlap minimum + one efficiency field.
+        assert_eq!(report.checks.len(), 3);
+    }
+
+    #[test]
+    fn graph_partitioner_losing_to_strips_fails() {
+        let report = evaluate_texts(
+            &scaling_perf(1.02, 1.14, 0.51),
+            BASELINE,
+            &GateConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.passed());
+        assert_eq!(
+            report.failures()[0].name,
+            "scaling_modeled.weak.graph_cut_ratio_max"
+        );
+    }
+
+    #[test]
+    fn scaling_overlap_regression_fails() {
+        let report = evaluate_texts(
+            &scaling_perf(0.43, 0.96, 0.51),
+            BASELINE,
+            &GateConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.passed());
+        assert_eq!(
+            report.failures()[0].name,
+            "scaling_modeled.weak.overlap_speedup_min"
+        );
+    }
+
+    #[test]
+    fn nonphysical_efficiency_fails_in_both_directions() {
+        for bad in [1.2, 0.0, -0.1] {
+            let report = evaluate_texts(
+                &scaling_perf(0.43, 1.14, bad),
+                BASELINE,
+                &GateConfig::default(),
+            )
+            .unwrap();
+            assert!(!report.passed(), "efficiency {bad} must fail");
+            assert_eq!(
+                report.failures()[0].name,
+                "scaling_modeled.weak.efficiency_cluster-2level_p4096"
+            );
+        }
     }
 
     #[test]

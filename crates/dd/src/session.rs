@@ -47,7 +47,7 @@ use parfem_fem::{Material, NewmarkParams, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::history::ConvergenceHistory;
 use parfem_krylov::KrylovWorkspace;
-use parfem_mesh::{DofMap, ElementPartition, NodePartition, QuadMesh};
+use parfem_mesh::{DofMap, ElementPartition, NodePartition, PartitionerSpec, QuadMesh};
 use parfem_msg::{
     try_run_ranks, Communicator, FaultPlan, FaultStats, FaultyComm, MachineModel, RankReport,
     RunOptions, ThreadComm,
@@ -292,6 +292,21 @@ impl<'a> SolveSession<'a> {
     /// Chooses the decomposition strategy (and its partition).
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = Some(strategy);
+        self
+    }
+
+    /// Chooses EDD over the element partition `spec` produces for `parts`
+    /// subdomains — the session-builder face of the CLI's `--partitioner`
+    /// flag (`strips`, `blocks`, or the seeded graph partitioner).
+    ///
+    /// # Panics
+    /// Panics for sessions built from prebuilt systems: those are already
+    /// partitioned.
+    pub fn partitioned(mut self, spec: PartitionerSpec, parts: usize) -> Self {
+        let SessionInput::Mesh(ref p) = self.input else {
+            panic!("partitioned() needs a mesh-level session; prebuilt systems already are");
+        };
+        self.strategy = Some(Strategy::Edd(spec.element_partition(p.mesh, parts)));
         self
     }
 

@@ -21,7 +21,7 @@ use parfem_dd::{
 };
 use parfem_fem::{assembly, Material, NewmarkParams, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
-use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, QuadMesh};
+use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, PartitionerSpec, QuadMesh};
 use parfem_msg::{FaultPlan, MachineModel};
 use parfem_trace::TraceSink;
 use std::time::Duration;
@@ -85,6 +85,44 @@ fn edd_shim_delegates_to_session() {
         .expect("fault-free session must not fail");
     assert!(session.history.converged());
     assert_bit_identical(&legacy, &session, "EDD shim vs session");
+}
+
+/// `.partitioned(spec, p)` is sugar for `.strategy(Strategy::Edd(..))`
+/// with the partition the spec produces — bit-identical for strips, and a
+/// converging solve for the seeded graph partitioner whose solution agrees
+/// with the strips run to solver tolerance.
+#[test]
+fn partitioned_builder_selects_edd_partitions() {
+    let (mesh, dm, mat, loads) = problem(12, 4);
+    let explicit = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(ElementPartition::strips_x(&mesh, 4)))
+        .config(cfg())
+        .run()
+        .expect("strips run");
+    let sugar = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .partitioned(PartitionerSpec::Strips, 4)
+        .config(cfg())
+        .run()
+        .expect("partitioned(strips) run");
+    assert_bit_identical(&explicit, &sugar, "partitioned(strips) vs explicit");
+
+    let graph = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .partitioned(PartitionerSpec::Graph { seed: 1 }, 4)
+        .config(cfg())
+        .run()
+        .expect("partitioned(graph) run");
+    assert!(graph.history.converged());
+    // Different partitions, same assembled operator: solutions agree to
+    // the (tighter-than-tol) discretization-free limit.
+    let norm: f64 = explicit.u.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let diff: f64 = explicit
+        .u
+        .iter()
+        .zip(&graph.u)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    assert!(diff <= 1e-5 * norm.max(1.0), "diff {diff} vs norm {norm}");
 }
 
 /// Same for the RDD shim.

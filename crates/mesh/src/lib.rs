@@ -8,7 +8,10 @@
 //!   and node-based partitions (the RDD baseline, Section 4), including the
 //!   subdomain interface graphs that drive nearest-neighbour communication,
 //! - [`graph`] — mesh adjacency graphs and a greedy BFS partitioner for
-//!   unstructured input.
+//!   unstructured input,
+//! - [`gpart`] — a seeded multilevel-style graph partitioner (recursive
+//!   bisection + KL/FM boundary refinement) and the [`PartitionerSpec`]
+//!   selector wired through the CLI's `--partitioner` flag.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -19,6 +22,7 @@
 
 pub mod cells;
 pub mod generic;
+pub mod gpart;
 pub mod graph;
 pub mod numbering;
 pub mod partition;
@@ -28,6 +32,7 @@ pub mod tri;
 
 pub use cells::Cells;
 pub use generic::GenericQuadMesh;
+pub use gpart::{graph_partition, PartitionerSpec};
 pub use numbering::{DofMap, Edge};
 pub use partition::{ElementPartition, NodePartition, Subdomain};
 pub use quad8::Quad8Mesh;

@@ -35,6 +35,20 @@ pub struct ElementPartition {
     edge_cut: Option<usize>,
 }
 
+/// Shared `P * max_part_size / n_items` imbalance, `0.0` for empty owner
+/// arrays (an empty partition is vacuously balanced, not `NaN`).
+fn imbalance_of(n_parts: usize, owner: &[usize]) -> f64 {
+    if owner.is_empty() {
+        return 0.0;
+    }
+    let mut sizes = vec![0usize; n_parts];
+    for &o in owner {
+        sizes[o] += 1;
+    }
+    let max = sizes.iter().copied().max().unwrap_or(0);
+    (n_parts * max) as f64 / owner.len() as f64
+}
+
 /// Node-adjacent cell pairs whose cells live in different parts — the
 /// communication-volume proxy reported in the partition's `Debug` output.
 fn edge_cut_of<M: Cells>(mesh: &M, owner: &[usize]) -> usize {
@@ -229,13 +243,9 @@ impl ElementPartition {
 
     /// Load imbalance `P * max_part_size / n_elems` — `1.0` is perfectly
     /// balanced; `2.0` means the largest part carries twice its fair share.
+    /// A partition with no elements reports `0.0`, never `NaN`.
     pub fn imbalance(&self) -> f64 {
-        let mut sizes = vec![0usize; self.n_parts];
-        for &o in &self.owner {
-            sizes[o] += 1;
-        }
-        let max = sizes.iter().copied().max().unwrap_or(0);
-        (self.n_parts * max) as f64 / (self.owner.len().max(1)) as f64
+        imbalance_of(self.n_parts, &self.owner)
     }
 
     /// Builds the full subdomain descriptions for a quadrilateral mesh.
@@ -395,11 +405,32 @@ impl Subdomain {
     }
 }
 
+/// Node pairs sharing an element whose nodes live in different parts —
+/// the RDD counterpart of [`ElementPartition::edge_cut`]: off-diagonal
+/// stiffness couplings `K_ij != 0` that cross the block-row partition.
+fn node_cut_of<M: Cells>(mesh: &M, owner: &[usize]) -> usize {
+    let mut cut: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for e in 0..mesh.n_cells() {
+        let nodes = mesh.cell_nodes(e);
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if owner[a] != owner[b] {
+                    cut.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+    }
+    cut.len()
+}
+
 /// A partition of mesh *nodes* into `P` parts (RDD block-row partition).
 #[derive(Debug, Clone)]
 pub struct NodePartition {
     n_parts: usize,
     owner: Vec<usize>,
+    /// Cross-part node couplings, when the constructor (or
+    /// [`NodePartition::with_edge_cut`]) saw mesh connectivity.
+    edge_cut: Option<usize>,
 }
 
 impl NodePartition {
@@ -415,7 +446,39 @@ impl NodePartition {
             seen[o] = true;
         }
         assert!(seen.iter().all(|&s| s), "every part must own a node");
-        NodePartition { n_parts, owner }
+        NodePartition {
+            n_parts,
+            owner,
+            edge_cut: None,
+        }
+    }
+
+    /// Computes and records the node-coupling cut against `mesh` — parity
+    /// with [`ElementPartition::with_edge_cut`] so both decompositions
+    /// report comparable communication-volume proxies.
+    ///
+    /// # Panics
+    /// Panics if the partition does not match the mesh's node count.
+    pub fn with_edge_cut<M: Cells>(mut self, mesh: &M) -> Self {
+        assert_eq!(
+            self.owner.len(),
+            mesh.n_cell_nodes(),
+            "partition does not match mesh"
+        );
+        self.edge_cut = Some(node_cut_of(mesh, &self.owner));
+        self
+    }
+
+    /// Cross-part node couplings, when known (see
+    /// [`NodePartition::with_edge_cut`]).
+    pub fn edge_cut(&self) -> Option<usize> {
+        self.edge_cut
+    }
+
+    /// Load imbalance `P * max_part_size / n_nodes` — parity with
+    /// [`ElementPartition::imbalance`]; `0.0` for an empty owner array.
+    pub fn imbalance(&self) -> f64 {
+        imbalance_of(self.n_parts, &self.owner)
     }
 
     /// Splits the node ids into `p` contiguous ranges, balanced to within
@@ -427,7 +490,11 @@ impl NodePartition {
     pub fn contiguous(n_nodes: usize, p: usize) -> Self {
         assert!(p > 0 && p <= n_nodes, "part count must be in 1..=n_nodes");
         let owner = (0..n_nodes).map(|n| (n * p) / n_nodes).collect();
-        NodePartition { n_parts: p, owner }
+        NodePartition {
+            n_parts: p,
+            owner,
+            edge_cut: None,
+        }
     }
 
     /// Partitions the nodes of a structured mesh into `p` vertical strips
@@ -440,13 +507,18 @@ impl NodePartition {
     pub fn strips_x(mesh: &QuadMesh, p: usize) -> Self {
         let ncols = mesh.nx() + 1;
         assert!(p > 0 && p <= ncols, "strip count must be in 1..=nx+1");
-        let owner = (0..mesh.n_nodes())
+        let owner: Vec<usize> = (0..mesh.n_nodes())
             .map(|n| {
                 let i = n % ncols;
                 (i * p) / ncols
             })
             .collect();
-        NodePartition { n_parts: p, owner }
+        let edge_cut = Some(node_cut_of(mesh, &owner));
+        NodePartition {
+            n_parts: p,
+            owner,
+            edge_cut,
+        }
     }
 
     /// Number of parts.
@@ -713,6 +785,44 @@ mod tests {
         for r in 0..3 {
             assert!(!np.nodes_of(r).is_empty());
         }
+    }
+
+    #[test]
+    fn imbalance_of_elementless_partition_is_zero() {
+        // `from_owner` rejects empty parts, but internal callers (the graph
+        // partitioner's intermediate states) construct partitions directly;
+        // imbalance must stay finite, not NaN.
+        let empty = ElementPartition {
+            n_parts: 3,
+            owner: Vec::new(),
+            edge_cut: None,
+        };
+        assert_eq!(empty.imbalance(), 0.0);
+        let empty_nodes = NodePartition {
+            n_parts: 2,
+            owner: Vec::new(),
+            edge_cut: None,
+        };
+        assert_eq!(empty_nodes.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn node_partition_reports_cut_and_imbalance_parity() {
+        let mesh = QuadMesh::rectangle(5, 2, 5.0, 2.0);
+        let np = NodePartition::strips_x(&mesh, 3);
+        // strips_x sees the mesh, so the cut is recorded eagerly.
+        let cut = np.edge_cut().expect("strips_x records its cut");
+        assert!(cut > 0);
+        // from_owner does not know the mesh until with_edge_cut.
+        let manual = NodePartition::from_owner(3, np.owners().to_vec());
+        assert_eq!(manual.edge_cut(), None);
+        let manual = manual.with_edge_cut(&mesh);
+        assert_eq!(manual.edge_cut(), Some(cut));
+        assert!(np.imbalance() >= 1.0);
+        // One part split down the middle: couplings across the boundary
+        // column pair every boundary node with its 2-3 cross neighbours.
+        let half = NodePartition::contiguous(mesh.n_nodes(), 2).with_edge_cut(&mesh);
+        assert!(half.edge_cut().unwrap() > 0);
     }
 
     #[test]

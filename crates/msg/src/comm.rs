@@ -263,6 +263,20 @@ pub trait Communicator {
     /// per `⊕Σ_{∂Ω}` operation by the distributed vector code).
     fn count_neighbor_exchange(&self);
 
+    /// Announces the neighbour list of an exchange round *before* its sends
+    /// are posted, so topology-aware endpoints can derive deterministic
+    /// link-sharing (contention) factors for the batch — see
+    /// [`Topology::contention_factors`](crate::topology::Topology::contention_factors).
+    /// The default (and any flat-topology endpoint) is a no-op. Called by
+    /// the default `exchange*` implementations; wrappers must forward it to
+    /// their inner communicator.
+    fn note_exchange_batch(&self, _neighbors: &[usize]) {}
+
+    /// Closes the send half of an exchange round: batch contention factors
+    /// stop applying to subsequent sends. Paired with
+    /// [`Communicator::note_exchange_batch`]; default no-op.
+    fn end_exchange_batch(&self) {}
+
     /// The structured-event tracer attached to this rank, when the run was
     /// started under a recording [`parfem_trace::TraceSink`]. Solver code
     /// uses this to emit per-iteration events and hot-path counters; the
@@ -286,9 +300,11 @@ pub trait Communicator {
             "exchange: neighbour/data length mismatch"
         );
         self.count_neighbor_exchange();
+        self.note_exchange_batch(neighbors);
         for (&nb, buf) in neighbors.iter().zip(data) {
             self.send(nb, buf);
         }
+        self.end_exchange_batch();
         neighbors.iter().map(|&nb| self.recv(nb)).collect()
     }
 
@@ -329,9 +345,16 @@ pub trait Communicator {
             "exchange_into: neighbour/output length mismatch"
         );
         self.count_neighbor_exchange();
+        self.note_exchange_batch(neighbors);
+        let mut sent = Ok(());
         for (&nb, buf) in neighbors.iter().zip(data) {
-            self.try_send(nb, buf)?;
+            if let Err(e) = self.try_send(nb, buf) {
+                sent = Err(e);
+                break;
+            }
         }
+        self.end_exchange_batch();
+        sent?;
         for (&nb, buf) in neighbors.iter().zip(out.iter_mut()) {
             self.try_recv_into(nb, buf)?;
         }
@@ -368,12 +391,14 @@ pub trait Communicator {
             "start_exchange: neighbour/data length mismatch"
         );
         self.count_neighbor_exchange();
+        self.note_exchange_batch(neighbors);
         for (&nb, buf) in neighbors.iter().zip(data) {
             if let Err(e) = self.try_send(nb, buf) {
                 self.post_error(e);
                 break;
             }
         }
+        self.end_exchange_batch();
         ExchangeHandle {
             pending: neighbors.len(),
         }

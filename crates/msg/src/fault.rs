@@ -636,6 +636,16 @@ impl<C: Communicator> Communicator for FaultyComm<'_, C> {
         self.inner.count_neighbor_exchange();
     }
 
+    fn note_exchange_batch(&self, neighbors: &[usize]) {
+        // Contention factors are a property of the physical network, not of
+        // the fault layer: forward so the inner endpoint sees the batch.
+        self.inner.note_exchange_batch(neighbors);
+    }
+
+    fn end_exchange_batch(&self) {
+        self.inner.end_exchange_batch();
+    }
+
     fn tracer(&self) -> Option<&RankTracer> {
         self.inner.tracer()
     }

@@ -22,6 +22,11 @@
 //!   and [`MachineModel::sgi_origin`](model::MachineModel::sgi_origin)
 //!   reproduce the latency/bandwidth contrast the paper observes in
 //!   Fig. 17(e);
+//! - [`topology`] — composable network topologies behind the machine
+//!   model: the legacy flat network plus two-level cluster / fat-tree /
+//!   3-D-torus presets with route-aware message costs, deterministic
+//!   per-batch link contention, and `O(log P)` hierarchical collective
+//!   algorithms for the P=64..4096 scaling laboratory;
 //! - [`stats`] — per-rank communication statistics (message counts, bytes,
 //!   reductions) that regenerate the paper's Table 1 cost comparison;
 //! - [`error`] and [`fault`] — the failure model: typed [`CommError`]s with
@@ -43,13 +48,15 @@ pub mod fault;
 pub mod model;
 pub mod stats;
 pub mod thread;
+pub mod topology;
 
 pub use comm::{Communicator, ExchangeHandle};
 pub use error::CommError;
 pub use fault::{FaultPlan, FaultStats, FaultyComm, RankKill};
-pub use model::MachineModel;
+pub use model::{MachineModel, UnknownMachine};
 pub use stats::CommStats;
 pub use thread::{
     run_ranks, run_ranks_traced, try_run_ranks, RankPanic, RankReport, RunOptions, RunOutput,
     ThreadComm,
 };
+pub use topology::{CollectiveAlgo, Link, Topology};

@@ -1,89 +1,217 @@
-//! Virtual-time machine models (LogP-style).
+//! Virtual-time machine models (LogP-style) over composable topologies.
 //!
 //! A [`MachineModel`] turns counted work into modeled time:
 //!
 //! - computation: `flops / flops_per_s`,
-//! - a point-to-point message of `b` bytes: `latency + b / bandwidth`,
-//! - an all-reduce over `P` ranks: `⌈log₂ P⌉ · (reduce latency + b/bandwidth)`,
+//! - a point-to-point message: the [`Topology`]'s route cost between the
+//!   two ranks (for the flat legacy presets: `latency + bytes/bandwidth`),
+//! - an all-reduce over `P` ranks: the [`CollectiveAlgo`]'s `O(log P)`
+//!   tree over the topology (for the legacy presets:
+//!   `⌈log₂ P⌉ · (reduce latency + bytes/bandwidth)`).
 //!
 //! The SP2/Origin presets use published characteristics of the mid-1990s
 //! machines (MPI latency, sustained link bandwidth, sustained per-node
 //! sparse-kernel flop rates); the paper's observation that the Origin
 //! out-scales the SP2 at small processor counts comes directly from the
-//! latency gap.
+//! latency gap. They are built through [`MachineModel::flat`], whose cost
+//! expressions are **bit-identical** to the pre-topology model — golden
+//! solve digests do not move.
+//!
+//! The modern presets ([`MachineModel::cluster`],
+//! [`MachineModel::fat_tree`], [`MachineModel::torus3d`]) model
+//! commodity-cluster-class hardware for the P=64..4096 scaling laboratory:
+//! hierarchical links, shared-uplink contention, and per-level collective
+//! trees.
+
+use crate::topology::{CollectiveAlgo, Link, Topology};
 
 /// A parametric machine for virtual-time accounting.
 #[derive(Debug, Clone)]
 pub struct MachineModel {
     /// Human-readable machine name.
     pub name: &'static str,
-    /// Point-to-point message latency `α` in seconds.
-    pub latency_s: f64,
-    /// Link bandwidth `1/β` in bytes per second.
-    pub bandwidth_bytes_per_s: f64,
     /// Sustained floating-point rate in flop/s (sparse-kernel sustained,
     /// not peak).
     pub flops_per_s: f64,
-    /// Per-tree-stage latency of a reduction in seconds.
-    pub reduce_latency_s: f64,
+    /// The network: how ranks map onto links.
+    pub topology: Topology,
+    /// The all-reduce algorithm run over that network.
+    pub collective: CollectiveAlgo,
 }
 
+/// Typed error of [`MachineModel::by_name`]: the requested preset does not
+/// exist. Displays the full list of valid names so CLI layers can print it
+/// verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMachine {
+    /// The name that failed to resolve.
+    pub given: String,
+}
+
+impl std::fmt::Display for UnknownMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown machine '{}' (valid: {})",
+            self.given,
+            MachineModel::NAMES.join("|")
+        )
+    }
+}
+
+impl std::error::Error for UnknownMachine {}
+
 impl MachineModel {
+    /// Compatibility constructor: a flat (uniform, dedicated-wire) machine
+    /// with the legacy four-parameter shape. Every cost it produces is
+    /// bit-identical to the historical flat `MachineModel` — the topology
+    /// layer evaluates the same `latency + bytes/bandwidth` and
+    /// `⌈log₂P⌉·(reduce_latency + bytes/bandwidth)` expressions.
+    pub fn flat(
+        name: &'static str,
+        latency_s: f64,
+        bandwidth_bytes_per_s: f64,
+        flops_per_s: f64,
+        reduce_latency_s: f64,
+    ) -> Self {
+        MachineModel {
+            name,
+            flops_per_s,
+            topology: Topology::Flat(Link::new(latency_s, bandwidth_bytes_per_s)),
+            collective: CollectiveAlgo::FlatTree { reduce_latency_s },
+        }
+    }
+
     /// IBM SP2 (thin nodes, TB3 switch): ~40 µs MPI latency, ~35 MB/s
     /// sustained bandwidth, ~60 Mflop/s sustained per node on sparse
     /// kernels.
     pub fn ibm_sp2() -> Self {
-        MachineModel {
-            name: "IBM-SP2",
-            latency_s: 40e-6,
-            bandwidth_bytes_per_s: 35e6,
-            flops_per_s: 60e6,
-            reduce_latency_s: 40e-6,
-        }
+        Self::flat("IBM-SP2", 40e-6, 35e6, 60e6, 40e-6)
     }
 
     /// SGI Origin 2000 (ccNUMA): ~10 µs effective MPI latency, ~160 MB/s,
     /// ~100 Mflop/s sustained per node on sparse kernels.
     pub fn sgi_origin() -> Self {
-        MachineModel {
-            name: "SGI-ORIGIN",
-            latency_s: 10e-6,
-            bandwidth_bytes_per_s: 160e6,
-            flops_per_s: 100e6,
-            reduce_latency_s: 10e-6,
-        }
+        Self::flat("SGI-ORIGIN", 10e-6, 160e6, 100e6, 10e-6)
     }
 
     /// An idealized machine with free communication — modeled speedup under
     /// it is bounded only by load imbalance (useful in tests).
     pub fn ideal() -> Self {
+        Self::flat("ideal", 0.0, f64::INFINITY, 100e6, 0.0)
+    }
+
+    /// A modern two-level commodity cluster: 32 ranks per node, shared-
+    /// memory intra-node links (~0.3 µs, ~20 GB/s per rank pair), 100 Gb/s
+    /// NIC per node (~1.5 µs, 12.5 GB/s) shared by all of the node's
+    /// cross-node traffic, hierarchical tree collectives, ~1.5 Gflop/s
+    /// sustained sparse per rank.
+    pub fn cluster() -> Self {
         MachineModel {
-            name: "ideal",
-            latency_s: 0.0,
-            bandwidth_bytes_per_s: f64::INFINITY,
-            flops_per_s: 100e6,
-            reduce_latency_s: 0.0,
+            name: "cluster-2level",
+            flops_per_s: 1.5e9,
+            topology: Topology::TwoLevel {
+                node_size: 32,
+                intra: Link::new(0.3e-6, 20e9),
+                inter: Link::new(1.5e-6, 12.5e9),
+            },
+            collective: CollectiveAlgo::Tree,
         }
     }
 
-    /// Looks a preset machine up by its CLI name: `origin`, `sp2` or
-    /// `ideal` (the paper's two evaluation hosts plus the test machine).
-    /// Returns `None` for unknown names so callers can print the list.
-    pub fn by_name(name: &str) -> Option<Self> {
+    /// A radix-16 fat tree (16 ranks per edge switch, full bisection
+    /// bandwidth per link): ~0.9 µs per hop, 25 GB/s links, per-level tree
+    /// collectives, ~1.5 Gflop/s sustained sparse per rank.
+    pub fn fat_tree() -> Self {
+        MachineModel {
+            name: "fattree-r16",
+            flops_per_s: 1.5e9,
+            topology: Topology::FatTree {
+                radix: 16,
+                link: Link::new(0.9e-6, 25e9),
+            },
+            collective: CollectiveAlgo::Tree,
+        }
+    }
+
+    /// A 3-D torus (near-cubic folding of P): ~0.8 µs per hop, 10 GB/s
+    /// links, recursive-doubling collectives along the rings,
+    /// ~1.5 Gflop/s sustained sparse per rank.
+    pub fn torus3d() -> Self {
+        MachineModel {
+            name: "torus3d",
+            flops_per_s: 1.5e9,
+            topology: Topology::Torus3d {
+                link: Link::new(0.8e-6, 10e9),
+            },
+            collective: CollectiveAlgo::RecursiveDoubling,
+        }
+    }
+
+    /// Looks a preset machine up by its CLI name.
+    ///
+    /// Legacy presets: `origin`, `sp2`, `ideal` (the paper's two
+    /// evaluation hosts plus the test machine). Modern topologies:
+    /// `cluster`, `fattree`, `torus3d`.
+    ///
+    /// # Errors
+    /// [`UnknownMachine`] (whose `Display` lists every valid name) for
+    /// anything else.
+    pub fn by_name(name: &str) -> Result<Self, UnknownMachine> {
         match name {
-            "origin" => Some(Self::sgi_origin()),
-            "sp2" => Some(Self::ibm_sp2()),
-            "ideal" => Some(Self::ideal()),
-            _ => None,
+            "origin" => Ok(Self::sgi_origin()),
+            "sp2" => Ok(Self::ibm_sp2()),
+            "ideal" => Ok(Self::ideal()),
+            "cluster" => Ok(Self::cluster()),
+            "fattree" => Ok(Self::fat_tree()),
+            "torus3d" => Ok(Self::torus3d()),
+            _ => Err(UnknownMachine {
+                given: name.to_string(),
+            }),
         }
     }
 
     /// The CLI names [`MachineModel::by_name`] accepts, for usage text.
-    pub const NAMES: &'static [&'static str] = &["origin", "sp2", "ideal"];
+    pub const NAMES: &'static [&'static str] =
+        &["origin", "sp2", "ideal", "cluster", "fattree", "torus3d"];
 
-    /// Modeled time of one point-to-point message of `bytes`.
+    /// Modeled time of one point-to-point message of `bytes` between
+    /// nearest peers (for flat topologies: between *any* pair — the
+    /// legacy `α + bytes/β`).
     pub fn message_time(&self, bytes: usize) -> f64 {
-        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+        match self.topology {
+            // The legacy expression, verbatim.
+            Topology::Flat(link) => link.latency_s + bytes as f64 / link.bandwidth_bytes_per_s,
+            _ => self.topology.message_time(2, 0, 1, bytes),
+        }
+    }
+
+    /// Modeled time of one message of `bytes` from `from` to `to` in a
+    /// `p`-rank job — route-aware on hierarchical topologies, identical to
+    /// [`MachineModel::message_time`] on flat ones.
+    pub fn message_time_between(&self, p: usize, from: usize, to: usize, bytes: usize) -> f64 {
+        self.topology.message_time(p, from, to, bytes)
+    }
+
+    /// Route-aware message time under a link-sharing `factor` (see
+    /// [`Topology::contention_factors`]). `factor == 1.0` is the
+    /// uncontended expression, bit for bit.
+    pub fn message_time_contended(
+        &self,
+        p: usize,
+        from: usize,
+        to: usize,
+        bytes: usize,
+        factor: f64,
+    ) -> f64 {
+        self.topology
+            .message_time_contended(p, from, to, bytes, factor)
+    }
+
+    /// Link-sharing factors for one rank's batched sends to `neighbors`
+    /// (all `1.0` on flat topologies — the legacy dedicated-wire model).
+    pub fn contention_factors(&self, p: usize, from: usize, neighbors: &[usize]) -> Vec<f64> {
+        self.topology.contention_factors(p, from, neighbors)
     }
 
     /// Modeled time of `flops` floating-point operations.
@@ -105,15 +233,13 @@ impl MachineModel {
         compute_s.max(comm_s)
     }
 
-    /// Modeled time of an all-reduce of `bytes` across `p` ranks
-    /// (binary-tree combine + broadcast folded into `⌈log₂ p⌉` stages, the
-    /// `O(log P)` cost the paper cites for hypercube/switched networks).
+    /// Modeled time of an all-reduce of `bytes` across `p` ranks: the
+    /// configured [`CollectiveAlgo`] over the configured [`Topology`] —
+    /// `O(log P)` stages with per-level costs. For the legacy flat presets
+    /// this is the historical
+    /// `⌈log₂ p⌉ · (reduce latency + bytes/bandwidth)`, bit for bit.
     pub fn allreduce_time(&self, p: usize, bytes: usize) -> f64 {
-        if p <= 1 {
-            return 0.0;
-        }
-        let stages = (p as f64).log2().ceil();
-        stages * (self.reduce_latency_s + bytes as f64 / self.bandwidth_bytes_per_s)
+        self.collective.allreduce_time(&self.topology, p, bytes)
     }
 }
 
@@ -125,18 +251,54 @@ mod tests {
     fn sp2_has_higher_latency_than_origin() {
         let sp2 = MachineModel::ibm_sp2();
         let origin = MachineModel::sgi_origin();
-        assert!(sp2.latency_s > origin.latency_s);
-        assert!(sp2.bandwidth_bytes_per_s < origin.bandwidth_bytes_per_s);
+        assert!(sp2.message_time(0) > origin.message_time(0));
         // Small-message cost gap: this is what degrades SP2 speedup at
         // small P in Fig. 17(e).
         assert!(sp2.message_time(64) > 2.0 * origin.message_time(64));
     }
 
     #[test]
+    fn legacy_presets_reproduce_the_flat_expressions_bitwise() {
+        // The pre-topology model computed `latency + bytes/bw` and
+        // `ceil(log2 p) * (reduce_latency + bytes/bw)` directly from four
+        // scalar fields. The topology path must produce the *same bits*.
+        let cases = [
+            (MachineModel::ibm_sp2(), 40e-6, 35e6, 40e-6),
+            (MachineModel::sgi_origin(), 10e-6, 160e6, 10e-6),
+            (MachineModel::ideal(), 0.0, f64::INFINITY, 0.0),
+        ];
+        for (m, lat, bw, rl) in cases {
+            for bytes in [0usize, 8, 88, 1 << 20] {
+                assert_eq!(m.message_time(bytes), lat + bytes as f64 / bw);
+                assert_eq!(
+                    m.message_time_between(8, 3, 6, bytes),
+                    lat + bytes as f64 / bw
+                );
+                for p in [2usize, 3, 4, 8] {
+                    let stages = (p as f64).log2().ceil();
+                    assert_eq!(
+                        m.allreduce_time(p, bytes),
+                        stages * (rl + bytes as f64 / bw)
+                    );
+                }
+                assert_eq!(m.allreduce_time(1, bytes), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_compat_constructor_matches_struct_shape() {
+        let m = MachineModel::flat("test", 0.5, 2.0, 1e9, 0.25);
+        assert_eq!(m.message_time(4), 0.5 + 4.0 / 2.0);
+        assert_eq!(m.allreduce_time(2, 4), 0.25 + 4.0 / 2.0);
+        assert_eq!(m.compute_time(2_000_000_000), 2.0);
+    }
+
+    #[test]
     fn message_time_scales_with_size() {
         let m = MachineModel::ibm_sp2();
         assert!(m.message_time(1_000_000) > m.message_time(1_000));
-        assert!(m.message_time(0) == m.latency_s);
+        assert!(m.message_time(0) == 40e-6);
     }
 
     #[test]
@@ -174,5 +336,54 @@ mod tests {
         assert_eq!(m.message_time(1 << 20), 0.0);
         assert_eq!(m.allreduce_time(8, 1 << 20), 0.0);
         assert!(m.compute_time(1) > 0.0);
+    }
+
+    #[test]
+    fn by_name_resolves_every_listed_preset() {
+        for name in MachineModel::NAMES {
+            let m = MachineModel::by_name(name)
+                .unwrap_or_else(|e| panic!("listed preset must resolve: {e}"));
+            assert!(!m.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn by_name_error_lists_the_valid_names() {
+        let err = MachineModel::by_name("vax").expect_err("vax is not a machine");
+        assert_eq!(err.given, "vax");
+        let msg = err.to_string();
+        for name in MachineModel::NAMES {
+            assert!(msg.contains(name), "{msg} must list {name}");
+        }
+    }
+
+    #[test]
+    fn modern_presets_scale_allreduce_logarithmically() {
+        for m in [
+            MachineModel::cluster(),
+            MachineModel::fat_tree(),
+            MachineModel::torus3d(),
+        ] {
+            let t64 = m.allreduce_time(64, 8);
+            let t4096 = m.allreduce_time(4096, 8);
+            assert!(t64 > 0.0, "{}", m.name);
+            // A 64x rank increase costs far less than 64x — single-digit
+            // growth, consistent with O(log P) stages at per-level prices.
+            assert!(
+                t4096 < 8.0 * t64,
+                "{}: allreduce must be O(log p): t64={t64} t4096={t4096}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_charges_cross_node_messages_more() {
+        let m = MachineModel::cluster();
+        // Ranks 0 and 1 share a node; ranks 0 and 32 do not.
+        assert!(m.message_time_between(64, 0, 1, 8192) < m.message_time_between(64, 0, 32, 8192));
+        // And the cross-node batch contends on the uplink.
+        let f = m.contention_factors(128, 0, &[1, 32, 64, 96]);
+        assert_eq!(f, vec![1.0, 3.0, 3.0, 3.0]);
     }
 }

@@ -26,6 +26,9 @@ pub struct CommStats {
     pub neighbor_exchanges: u64,
     /// Floating-point operations reported by the solver kernels.
     pub flops: u64,
+    /// Sends whose modeled cost included a link-sharing (contention)
+    /// factor > 1 — always 0 on flat topologies.
+    pub contended_sends: u64,
 }
 
 impl CommStats {
@@ -41,6 +44,7 @@ impl CommStats {
             barriers: self.barriers + other.barriers,
             neighbor_exchanges: self.neighbor_exchanges + other.neighbor_exchanges,
             flops: self.flops + other.flops,
+            contended_sends: self.contended_sends + other.contended_sends,
         }
     }
 }
@@ -61,6 +65,7 @@ mod tests {
             barriers: 4,
             neighbor_exchanges: 5,
             flops: 100,
+            contended_sends: 6,
         };
         let b = a;
         let c = a.merged(&b);
@@ -68,6 +73,7 @@ mod tests {
         assert_eq!(c.bytes_received, 40);
         assert_eq!(c.flops, 200);
         assert_eq!(c.neighbor_exchanges, 10);
+        assert_eq!(c.contended_sends, 12);
     }
 
     #[test]

@@ -176,6 +176,13 @@ pub struct ThreadComm {
     /// [`CollectivePoint`], and SPMD code calls them in the same order on
     /// every rank, so ordinal `k` names the same rendezvous everywhere.
     coll_seq: Cell<u64>,
+    /// Link-sharing factors of the exchange round currently posting its
+    /// sends: `(peer, factor > 1)` pairs set by
+    /// [`Communicator::note_exchange_batch`] from the topology (a pure
+    /// function of the neighbour list, never of scheduling) and cleared by
+    /// [`Communicator::end_exchange_batch`]. Empty on flat topologies, so
+    /// legacy runs never consult it.
+    batch_factors: RefCell<Vec<(usize, f64)>>,
 }
 
 impl ThreadComm {
@@ -215,7 +222,20 @@ impl Communicator for ThreadComm {
         assert!(to < self.size && to != self.rank, "send: bad peer {to}");
         self.check()?;
         let bytes = std::mem::size_of_val(data);
-        let arrival = self.clock.get() + self.model.message_time(bytes) + extra_delay_s;
+        let factor = self
+            .batch_factors
+            .borrow()
+            .iter()
+            .find(|(peer, _)| *peer == to)
+            .map_or(1.0, |(_, f)| *f);
+        let flight = if factor > 1.0 {
+            self.model
+                .message_time_contended(self.size, self.rank, to, bytes, factor)
+        } else {
+            self.model
+                .message_time_between(self.size, self.rank, to, bytes)
+        };
+        let arrival = self.clock.get() + flight + extra_delay_s;
         let sent = self.senders[to]
             .as_ref()
             .expect("sender exists for peers")
@@ -232,6 +252,9 @@ impl Communicator for ThreadComm {
         let mut st = self.stats.borrow_mut();
         st.sends += 1;
         st.bytes_sent += bytes as u64;
+        if factor > 1.0 {
+            st.contended_sends += 1;
+        }
         drop(st);
         let seq = {
             let mut seqs = self.send_seq.borrow_mut();
@@ -240,16 +263,19 @@ impl Communicator for ThreadComm {
             s
         };
         if let Some(tracer) = &self.tracer {
-            tracer.emit(
-                EventKind::Send,
-                "",
-                self.clock.get(),
-                vec![
-                    ("peer".to_string(), Value::U64(to as u64)),
-                    ("bytes".to_string(), Value::U64(bytes as u64)),
-                    ("seq".to_string(), Value::U64(seq)),
-                ],
-            );
+            let mut fields = vec![
+                ("peer".to_string(), Value::U64(to as u64)),
+                ("bytes".to_string(), Value::U64(bytes as u64)),
+                ("seq".to_string(), Value::U64(seq)),
+            ];
+            if factor > 1.0 {
+                let uncontended = self
+                    .model
+                    .message_time_between(self.size, self.rank, to, bytes);
+                fields.push(("contention".to_string(), Value::F64(factor)));
+                fields.push(("t_contention".to_string(), Value::F64(flight - uncontended)));
+            }
+            tracer.emit(EventKind::Send, "", self.clock.get(), fields);
             self.msg_bytes.borrow_mut().record(bytes as u64);
         }
         Ok(())
@@ -399,6 +425,23 @@ impl Communicator for ThreadComm {
         if let Some(tracer) = &self.tracer {
             tracer.emit(EventKind::Exchange, "", self.clock.get(), Vec::new());
         }
+    }
+
+    fn note_exchange_batch(&self, neighbors: &[usize]) {
+        let factors = self
+            .model
+            .contention_factors(self.size, self.rank, neighbors);
+        let mut slot = self.batch_factors.borrow_mut();
+        slot.clear();
+        for (&nb, &f) in neighbors.iter().zip(&factors) {
+            if f > 1.0 {
+                slot.push((nb, f));
+            }
+        }
+    }
+
+    fn end_exchange_batch(&self) {
+        self.batch_factors.borrow_mut().clear();
     }
 
     fn tracer(&self) -> Option<&RankTracer> {
@@ -598,6 +641,7 @@ where
             send_seq: RefCell::new(vec![0; p]),
             recv_seq: RefCell::new(vec![0; p]),
             coll_seq: Cell::new(0),
+            batch_factors: RefCell::new(Vec::new()),
         });
     }
 
@@ -827,13 +871,7 @@ mod tests {
 
     #[test]
     fn message_latency_advances_receiver_clock() {
-        let model = MachineModel {
-            name: "test",
-            latency_s: 0.5,
-            bandwidth_bytes_per_s: f64::INFINITY,
-            flops_per_s: 1e9,
-            reduce_latency_s: 0.0,
-        };
+        let model = MachineModel::flat("test", 0.5, f64::INFINITY, 1e9, 0.0);
         let out = run_ranks(2, model, |c| {
             if c.rank() == 0 {
                 c.send(1, &[1.0]);
@@ -941,13 +979,7 @@ mod tests {
 
     #[test]
     fn broadcast_costs_latency_on_receivers() {
-        let model = MachineModel {
-            name: "test",
-            latency_s: 1.0,
-            bandwidth_bytes_per_s: f64::INFINITY,
-            flops_per_s: 1e9,
-            reduce_latency_s: 0.0,
-        };
+        let model = MachineModel::flat("test", 1.0, f64::INFINITY, 1e9, 0.0);
         let out = run_ranks(2, model, |c| {
             let _ = c.broadcast(0, &[1.0]);
             c.virtual_time()
@@ -1126,6 +1158,85 @@ mod tests {
             assert!(c.tracer().is_none());
             c.barrier();
         });
+    }
+
+    /// Two nodes of two ranks: rank 0's batch to `[1, 2, 3]` has one free
+    /// intra-node message and two cross-node messages sharing the node
+    /// uplink (factor 2). The contended arrival is `α + 2·bytes/β`; the
+    /// intra-node arrival is unaffected; a send outside the batch is
+    /// uncontended again.
+    #[test]
+    fn contended_batch_charges_the_shared_uplink() {
+        use crate::topology::{CollectiveAlgo, Link, Topology};
+        let model = MachineModel {
+            name: "2x2",
+            flops_per_s: 1e9,
+            topology: Topology::TwoLevel {
+                node_size: 2,
+                intra: Link::new(0.0, f64::INFINITY),
+                inter: Link::new(1.0, 8.0), // 8 B (one f64) costs 1 s
+            },
+            collective: CollectiveAlgo::Tree,
+        };
+        let run = || {
+            run_ranks(4, model.clone(), |c| {
+                if c.rank() == 0 {
+                    c.note_exchange_batch(&[1, 2, 3]);
+                    for to in 1..4 {
+                        c.send(to, &[1.0]);
+                    }
+                    c.end_exchange_batch();
+                    c.stats().contended_sends as f64
+                } else {
+                    c.recv(0);
+                    c.virtual_time()
+                }
+            })
+        };
+        let out = run();
+        assert_eq!(out.results[0], 2.0, "two cross-node sends contend");
+        assert_eq!(out.results[1], 0.0, "intra-node message is free");
+        // α=1 + factor 2 × (8 B / 8 B/s) = 3 s on both uplink riders.
+        assert!((out.results[2] - 3.0).abs() < 1e-12, "{}", out.results[2]);
+        assert!((out.results[3] - 3.0).abs() < 1e-12);
+        // Scheduling independence: a second run reproduces bit for bit.
+        let again = run();
+        assert_eq!(out.results, again.results);
+    }
+
+    /// The default `exchange` wires the batch hooks itself: an all-to-all
+    /// on the two-level machine counts its cross-node sends as contended.
+    #[test]
+    fn exchange_on_hierarchical_topology_counts_contended_sends() {
+        use crate::topology::{CollectiveAlgo, Link, Topology};
+        let model = MachineModel {
+            name: "2x2",
+            flops_per_s: 1e9,
+            topology: Topology::TwoLevel {
+                node_size: 2,
+                intra: Link::new(0.1, 1e9),
+                inter: Link::new(1.0, 1e9),
+            },
+            collective: CollectiveAlgo::Tree,
+        };
+        let out = run_ranks(4, model, |c| {
+            let neighbors: Vec<usize> = (0..4).filter(|&r| r != c.rank()).collect();
+            let data: Vec<Vec<f64>> = neighbors.iter().map(|_| vec![1.0; 4]).collect();
+            let _ = c.exchange(&neighbors, &data);
+            c.stats()
+        });
+        for st in &out.results {
+            assert_eq!(st.sends, 3);
+            assert_eq!(st.contended_sends, 2, "two cross-node sends per rank");
+        }
+        // Flat machines never contend, even through the same helper.
+        let flat = run_ranks(4, MachineModel::ideal(), |c| {
+            let neighbors: Vec<usize> = (0..4).filter(|&r| r != c.rank()).collect();
+            let data: Vec<Vec<f64>> = neighbors.iter().map(|_| vec![1.0; 4]).collect();
+            let _ = c.exchange(&neighbors, &data);
+            c.stats().contended_sends
+        });
+        assert!(flat.results.iter().all(|&n| n == 0));
     }
 
     #[test]

@@ -127,6 +127,11 @@ pub struct CritPath {
     pub path_compute: f64,
     /// Virtual seconds of the chain spent in message flight.
     pub path_message: f64,
+    /// Portion of `path_message` attributable to link contention — the
+    /// extra flight time the topology's bandwidth-sharing model charged
+    /// the path's messages beyond their uncontended cost. Zero on flat
+    /// (dedicated-wire) machine models.
+    pub path_contention: f64,
     /// Virtual seconds of the chain spent in collective cost.
     pub path_collective: f64,
     /// Per-rank wait decomposition over the whole run.
@@ -149,6 +154,7 @@ struct CommEv {
     t_arrival: f64,
     t_sync: f64,
     coll: u64,
+    t_cont: f64,
 }
 
 impl CritPath {
@@ -184,6 +190,7 @@ impl CritPath {
                         t_arrival: ev.f64("t_arrival").unwrap_or(ev.t_virt),
                         t_sync: 0.0,
                         coll: 0,
+                        t_cont: ev.f64("t_contention").unwrap_or(0.0),
                     });
                 }
                 EventKind::Allreduce | EventKind::Barrier => {
@@ -197,6 +204,7 @@ impl CritPath {
                         t_arrival: 0.0,
                         t_sync: ev.f64("t_sync").unwrap_or(ev.t_virt),
                         coll: ev.u64("coll").unwrap_or(u64::MAX),
+                        t_cont: 0.0,
                     });
                 }
                 EventKind::RankEnd => {
@@ -211,15 +219,16 @@ impl CritPath {
         let makespan = finals.iter().cloned().fold(0.0, f64::max);
 
         // ---- indices for the hops.
-        // (src, dst, seq) -> (index in src's list, send stamp).
-        let mut send_index: HashMap<(usize, usize, u64), (usize, f64)> = HashMap::new();
+        // (src, dst, seq) -> (index in src's list, send stamp, contention
+        // delay the model charged this message).
+        let mut send_index: HashMap<(usize, usize, u64), (usize, f64, f64)> = HashMap::new();
         // coll ordinal -> [(rank, index, t_before)].
         let mut coll_index: HashMap<u64, Vec<(usize, usize, f64)>> = HashMap::new();
         for (rank, evs) in per_rank.iter().enumerate() {
             for (i, e) in evs.iter().enumerate() {
                 match e.kind {
                     EventKind::Send if e.seq != u64::MAX && e.peer != usize::MAX => {
-                        send_index.insert((rank, e.peer, e.seq), (i, e.t_virt));
+                        send_index.insert((rank, e.peer, e.seq), (i, e.t_virt, e.t_cont));
                     }
                     EventKind::Allreduce | EventKind::Barrier if e.coll != u64::MAX => {
                         coll_index
@@ -269,6 +278,7 @@ impl CritPath {
 
         // ---- the backward walk.
         let mut segments: Vec<PathSegment> = Vec::new();
+        let mut path_contention = 0.0f64;
         let bound_rank = finals
             .iter()
             .enumerate()
@@ -320,13 +330,22 @@ impl CritPath {
                 match e.kind {
                     EventKind::Recv => {
                         let matched = send_index.get(&(e.peer, r, e.seq)).copied();
-                        if let Some((sidx, s_stamp)) = matched {
+                        if let Some((sidx, s_stamp, s_cont)) = matched {
+                            let detail = if s_cont > 0.0 {
+                                path_contention += s_cont.min((e.t_virt - s_stamp).max(0.0));
+                                format!(
+                                    "r{}→r{} seq {} ({}B, +{:.3e}s contention)",
+                                    e.peer, r, e.seq, e.bytes, s_cont
+                                )
+                            } else {
+                                format!("r{}→r{} seq {} ({}B)", e.peer, r, e.seq, e.bytes)
+                            };
                             segments.push(PathSegment {
                                 rank: r,
                                 t0: s_stamp,
                                 t1: e.t_virt,
                                 kind: SegmentKind::Message,
-                                detail: format!("r{}→r{} seq {} ({}B)", e.peer, r, e.seq, e.bytes),
+                                detail,
                             });
                             cursor[e.peer] = cursor[e.peer].min(sidx);
                             r = e.peer;
@@ -406,6 +425,7 @@ impl CritPath {
             segments,
             path_compute,
             path_message,
+            path_contention,
             path_collective,
             ranks,
             efficiency,
@@ -448,6 +468,8 @@ impl CritPath {
         num(&mut out, self.path_compute);
         out.push_str(", \"message\": ");
         num(&mut out, self.path_message);
+        out.push_str(", \"contention\": ");
+        num(&mut out, self.path_contention);
         out.push_str(", \"collective\": ");
         num(&mut out, self.path_collective);
         out.push_str(" },\n  \"segments\": [\n");
@@ -510,11 +532,12 @@ pub fn render_critical_path(cp: &CritPath) -> String {
     );
     let _ = writeln!(
         out,
-        "path attribution: compute {:.6e}s ({:.1}%)  message {:.6e}s ({:.1}%)  collective {:.6e}s ({:.1}%)",
+        "path attribution: compute {:.6e}s ({:.1}%)  message {:.6e}s ({:.1}%, {:.6e}s contention)  collective {:.6e}s ({:.1}%)",
         cp.path_compute,
         pct(cp.path_compute, cp.makespan),
         cp.path_message,
         pct(cp.path_message, cp.makespan),
+        cp.path_contention,
         cp.path_collective,
         pct(cp.path_collective, cp.makespan),
     );
@@ -654,6 +677,65 @@ mod tests {
         // Rank 1 waited 1.3s on the recv.
         assert!((cp.ranks[1].recv_wait - 1.3).abs() < 1e-12);
         assert!((cp.ranks[0].busy - 1.0).abs() < 1e-12);
+        // No contention fields anywhere: nothing attributed.
+        assert_eq!(cp.path_contention, 0.0);
+    }
+
+    /// A send stamped with a contention delay: the matched message segment
+    /// carries the attribution in its detail, the chain total picks it up,
+    /// and it round-trips through the JSON export.
+    #[test]
+    fn contended_send_is_attributed_on_the_path() {
+        let events = vec![
+            ev(
+                0,
+                1.0,
+                EventKind::Send,
+                vec![
+                    ("peer", Value::U64(1)),
+                    ("bytes", Value::U64(80)),
+                    ("seq", Value::U64(0)),
+                    ("contention", Value::F64(3.0)),
+                    ("t_contention", Value::F64(0.2)),
+                ],
+            ),
+            ev(
+                0,
+                1.0,
+                EventKind::RankEnd,
+                vec![("t_virt_final", Value::F64(1.0))],
+            ),
+            ev(
+                1,
+                1.5,
+                EventKind::Recv,
+                vec![
+                    ("peer", Value::U64(0)),
+                    ("bytes", Value::U64(80)),
+                    ("seq", Value::U64(0)),
+                    ("t_before", Value::F64(0.2)),
+                    ("t_arrival", Value::F64(1.5)),
+                ],
+            ),
+            ev(
+                1,
+                2.0,
+                EventKind::RankEnd,
+                vec![("t_virt_final", Value::F64(2.0))],
+            ),
+        ];
+        let cp = CritPath::from_events(&events);
+        assert!((cp.path_contention - 0.2).abs() < 1e-12);
+        let msg = cp
+            .segments
+            .iter()
+            .find(|s| s.kind == SegmentKind::Message)
+            .expect("message segment on the path");
+        assert!(msg.detail.contains("contention"), "{}", msg.detail);
+        let json = cp.to_json();
+        assert!(json.contains("\"contention\": 0.2"), "{json}");
+        let text = render_critical_path(&cp);
+        assert!(text.contains("contention"), "{text}");
     }
 
     /// A non-blocking recv (arrival before the receiver got there) must NOT
