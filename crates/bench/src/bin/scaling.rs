@@ -19,11 +19,37 @@
 //! the perf gate checks (graph must never cut more than strips; overlap
 //! must never be modeled slower than blocking).
 //!
+//! A third series asks the paper's *convergence* question at the same
+//! scale: the `twolevel` sweep runs real (sequential) FGMRES solves on a
+//! weak-scaling cantilever family (one 3x3-element square aggregate per
+//! rank, mesh growing with P) and records the iteration count of the
+//! two-level preconditioner against its one-level smoother as P grows.
+//! The configuration is the one that actually flattens elasticity counts:
+//! `twolevel:rbm.s3:gls-3` — three rigid-body modes per aggregate run
+//! through three prolongator-smoothing passes (plain aggregation modes
+//! keep elasticity counts creeping up with P; the smoothed-aggregation
+//! prolongator is what stops the creep). Solves run to 1e-12 so the
+//! recorded counts reflect the asymptotic convergence rate rather than the
+//! initial outlier-elimination transient. One-level runs are capped; a
+//! point that hits the cap is reported as a censored lower bound (only the
+//! first point must converge, since it anchors the growth ratio). The
+//! `twolevel_modeled` section of `BENCH_PERF.json` records both growth
+//! ratios and the perf gate enforces them. Modeled per-machine times add
+//! the coarse level's extra all-reduce, replicated back-solve, and
+//! (multiplicative composition) one extra operator application.
+//!
 //! `PARFEM_QUICK=1` shrinks both sweeps to CI smoke size.
 
 use parfem::prelude::*;
 use parfem_bench::harness::{banner, quick, Table};
-use parfem_mesh::Cells;
+use parfem_krylov::gmres::fgmres_with;
+use parfem_krylov::KrylovWorkspace;
+use parfem_mesh::numbering::DOFS_PER_NODE;
+use parfem_mesh::{Cells, DofMap};
+use parfem_precond::twolevel::{build_coarse_basis, CoarseSolver};
+use parfem_precond::CoarsePartGeometry;
+use parfem_sparse::scaling;
+use parfem_sparse::skyline::DEFAULT_PIVOT_TOL;
 use std::collections::BTreeMap;
 
 /// Per-element flops of one FGMRES+gls(7) iteration: 8 matvecs (degree-7
@@ -255,6 +281,272 @@ fn run_series(
     }
 }
 
+/// The two-level spec the convergence sweep runs, and the one-level
+/// smoother it is compared against.
+const TWOLEVEL_SPEC: &str = "twolevel:rbm.s3:gls-3";
+const ONELEVEL_SPEC: &str = "gls:3";
+/// The gate threshold on two-level iteration growth from `p_min` to
+/// `p_max` — must match `GateConfig::default().max_twolevel_iter_growth`.
+const MAX_TWOLEVEL_ITER_GROWTH: f64 = 1.3;
+/// Per-mode flops of the replicated coarse back-solve (skyline forward +
+/// backward sweep over a narrow strip-coupled band).
+const COARSE_SOLVE_FLOPS_PER_MODE: f64 = 50.0;
+
+/// One solved point of the two-level convergence sweep.
+struct TwoLevelPoint {
+    p: usize,
+    iters_two: usize,
+    iters_one: usize,
+    /// One-level hit the iteration cap without converging; `iters_one` is
+    /// then a lower bound, which only understates its growth.
+    one_censored: bool,
+}
+
+struct TwoLevelSummary {
+    p_min: usize,
+    p_max: usize,
+    points: Vec<TwoLevelPoint>,
+    growth_two: f64,
+    growth_one: f64,
+    one_censored_any: bool,
+    /// `(machine, modeled one-level/two-level solve-time ratio at p_max)`.
+    speedup_at_pmax: Vec<(&'static str, f64)>,
+}
+
+/// Per-part coarse geometry of an element partition: every dof of every
+/// node a part's elements touch, with the global multiplicity (how many
+/// parts share each dof) for the partition-of-unity weights.
+fn coarse_parts(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    owner: &[usize],
+    p: usize,
+) -> (Vec<CoarsePartGeometry>, Vec<f64>) {
+    let coords = mesh.coords();
+    // Disjoint node aggregation: a node shared by several tiles goes to
+    // the lowest-indexed element touching it, so every dof sits in
+    // exactly one aggregate and the coarse modes are true indicator
+    // functions rather than partition-of-unity ramps.
+    let n_nodes = coords.len();
+    let mut node_owner = vec![usize::MAX; n_nodes];
+    for (e, &own) in owner.iter().enumerate() {
+        for n in mesh.elem_nodes(e) {
+            if node_owner[n] == usize::MAX {
+                node_owner[n] = own;
+            }
+        }
+    }
+    let mut nodes_of: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); p];
+    for (n, &own) in node_owner.iter().enumerate() {
+        nodes_of[own].insert(n);
+    }
+    let mut mult = vec![0.0f64; dm.n_dofs()];
+    let parts = nodes_of
+        .iter()
+        .map(|nodes| {
+            let mut geo = CoarsePartGeometry::default();
+            for &n in nodes {
+                for c in 0..DOFS_PER_NODE {
+                    let g = n * DOFS_PER_NODE + c;
+                    geo.dofs.push(g);
+                    geo.pos.push(coords[n]);
+                    geo.comp.push(c);
+                    geo.constrained.push(dm.is_fixed(g));
+                    mult[g] += 1.0;
+                }
+            }
+            geo
+        })
+        .collect();
+    (parts, mult)
+}
+
+/// Element owners of a `px × py` checkerboard tiling of a structured
+/// mesh — square tiles, so coarse aggregates keep a bounded diameter in
+/// both directions as the weak family grows.
+fn tile_owners(mesh: &QuadMesh, px: usize, py: usize) -> Vec<usize> {
+    let (tx, ty) = (mesh.nx() / px, mesh.ny() / py);
+    (0..mesh.n_elems())
+        .map(|e| {
+            let (i, j) = (e % mesh.nx(), e / mesh.nx());
+            (j / ty) * px + i / tx
+        })
+        .collect()
+}
+
+/// One sequential FGMRES solve of the scaled system under `spec_str`,
+/// capped at `cap` iterations: `(iterations, converged)`.
+fn solve_iters(
+    scaled: &CsrMatrix,
+    b: &[f64],
+    coarse: Option<CoarseSolver>,
+    spec_str: &str,
+    cap: usize,
+) -> (usize, bool) {
+    let cfg = GmresConfig {
+        restart: 100,
+        max_iters: cap,
+        tol: 1e-12,
+        ..Default::default()
+    };
+    let x0 = vec![0.0; b.len()];
+    let spec = PrecondSpec::parse(spec_str).expect("bench spec parses");
+    let pc = spec.instantiate_with_coarse(coarse, || scaled.diagonal());
+    let res = fgmres_with(scaled, &pc, b, &x0, &cfg, &mut KrylovWorkspace::new());
+    (res.history.iterations(), res.history.converged())
+}
+
+/// Runs the two-level convergence sweep over the weak-scaling cantilever
+/// family and models the per-machine solve times.
+fn run_twolevel_series(
+    ps: &[usize],
+    onelevel_cap: usize,
+    topos: &[MachineModel],
+) -> TwoLevelSummary {
+    banner("twolevel convergence (real solves, weak family, modeled times)");
+    let mut table = Table::new(&[
+        "p",
+        "machine",
+        "dofs",
+        "modes",
+        "iters_1lvl",
+        "iters_2lvl",
+        "t_iter_1lvl_s",
+        "t_iter_2lvl_s",
+        "t_solve_1lvl_s",
+        "t_solve_2lvl_s",
+        "speedup",
+    ]);
+    let mut points = Vec::new();
+    let mut speedup_at_pmax = Vec::new();
+    for &p in ps {
+        let side = (p as f64).sqrt().round() as usize;
+        assert_eq!(side * side, p, "twolevel sweep wants square rank grids");
+        let prob =
+            CantileverProblem::new(3 * side, 3 * side, Material::unit(), LoadCase::PullX(1.0));
+        let sys = prob.static_system();
+        let (scaled, b, _sc) =
+            scaling::scale_system(&sys.stiffness, &sys.rhs).expect("SPD cantilever scales");
+        let d: Vec<f64> = scaled.diagonal();
+        let owners = tile_owners(&prob.mesh, side, side);
+        let (parts, mult) = coarse_parts(&prob.mesh, &prob.dof_map, &owners, p);
+        let coarse_spec = match PrecondSpec::parse(TWOLEVEL_SPEC).expect("bench spec parses") {
+            PrecondSpec::TwoLevel { coarse, .. } => coarse,
+            _ => unreachable!("TWOLEVEL_SPEC is a twolevel spec"),
+        };
+        let basis = build_coarse_basis(&coarse_spec, &parts, &mult, &d, &scaled, DEFAULT_PIVOT_TOL);
+        let n_modes = basis.n_modes();
+        let (iters_two, conv_two) = solve_iters(
+            &scaled,
+            &b,
+            Some(basis.solver()),
+            TWOLEVEL_SPEC,
+            onelevel_cap,
+        );
+        assert!(
+            conv_two,
+            "twolevel P={p}: {TWOLEVEL_SPEC} must converge within {onelevel_cap} iterations"
+        );
+        let (iters_one, conv_one) = solve_iters(&scaled, &b, None, ONELEVEL_SPEC, onelevel_cap);
+
+        // Modeled per-iteration times on the strip partition. The
+        // two-level apply adds: one n_modes-double all-reduce for the
+        // coarse residual moments, the replicated skyline back-solve, and
+        // (multiplicative composition) one extra operator application.
+        let stats = rank_stats(&prob.mesh, &owners, p);
+        let elems_max = *stats.elems.iter().max().unwrap() as f64;
+        for model in topos {
+            let (t_one_iter, _, _) = modeled_edd(model, p, &stats);
+            let extra = model.allreduce_time(p, n_modes * 8)
+                + model.compute_time((n_modes as f64 * COARSE_SOLVE_FLOPS_PER_MODE) as u64)
+                + model.compute_time((elems_max * FLOPS_PER_ELEM_ITER / 8.0) as u64);
+            let t_two_iter = t_one_iter + extra;
+            let t_one = iters_one as f64 * t_one_iter;
+            let t_two = iters_two as f64 * t_two_iter;
+            let speedup = t_one / t_two;
+            if p == *ps.last().unwrap() {
+                speedup_at_pmax.push((model.name, speedup));
+            }
+            table.row([
+                format!("{p}"),
+                model.name.to_string(),
+                format!("{}", prob.n_dofs()),
+                format!("{n_modes}"),
+                format!("{}{}", iters_one, if conv_one { "" } else { "+" }),
+                format!("{iters_two}"),
+                format!("{t_one_iter:.6e}"),
+                format!("{t_two_iter:.6e}"),
+                format!("{t_one:.6e}"),
+                format!("{t_two:.6e}"),
+                format!("{speedup:.4}"),
+            ]);
+        }
+        points.push(TwoLevelPoint {
+            p,
+            iters_two,
+            iters_one,
+            one_censored: !conv_one,
+        });
+    }
+    table.emit("scaling_twolevel");
+
+    let first = points.first().unwrap();
+    let last = points.last().unwrap();
+    assert!(
+        !first.one_censored,
+        "one-level must converge at P={} so the growth baseline is real",
+        first.p
+    );
+    let growth_two = last.iters_two as f64 / first.iters_two as f64;
+    let growth_one = last.iters_one as f64 / first.iters_one as f64;
+    assert!(
+        growth_two <= MAX_TWOLEVEL_ITER_GROWTH,
+        "two-level iteration growth {growth_two:.4} exceeds {MAX_TWOLEVEL_ITER_GROWTH}"
+    );
+    assert!(
+        growth_one > growth_two,
+        "one-level growth {growth_one:.4} must exceed two-level growth {growth_two:.4}"
+    );
+    TwoLevelSummary {
+        p_min: first.p,
+        p_max: last.p,
+        one_censored_any: points.iter().any(|pt| pt.one_censored),
+        points,
+        growth_two,
+        growth_one,
+        speedup_at_pmax,
+    }
+}
+
+fn emit_twolevel_summary(s: &TwoLevelSummary) {
+    println!("\nBENCH_PERF.json `twolevel_modeled` section:");
+    println!("  \"twolevel_modeled\": {{");
+    println!("    \"weak\": {{");
+    println!("      \"p_min\": {},", s.p_min);
+    println!("      \"p_max\": {},", s.p_max);
+    for pt in &s.points {
+        println!("      \"iters_twolevel_p{}\": {},", pt.p, pt.iters_two);
+    }
+    for pt in &s.points {
+        println!("      \"iters_onelevel_p{}\": {},", pt.p, pt.iters_one);
+    }
+    println!(
+        "      \"onelevel_censored\": {},",
+        if s.one_censored_any { 1 } else { 0 }
+    );
+    println!("      \"twolevel_iter_growth\": {:.4},", s.growth_two);
+    println!("      \"onelevel_iter_growth\": {:.4},", s.growth_one);
+    let rows: Vec<String> = s
+        .speedup_at_pmax
+        .iter()
+        .map(|(m, v)| format!("      \"modeled_speedup_{m}_p{}\": {v:.4}", s.p_max))
+        .collect();
+    println!("{}", rows.join(",\n"));
+    println!("    }}");
+    println!("  }}");
+}
+
 fn emit_summary(series: &[(&str, SeriesSummary)]) {
     println!("\nBENCH_PERF.json `scaling_modeled` section:");
     println!("  \"scaling_modeled\": {{");
@@ -297,6 +589,14 @@ fn main() {
             QuadMesh::cantilever(4096, 384),
         )
     };
+    // The convergence sweep runs real solves, so the one-level runs are
+    // capped: past the cap the count is reported as a lower bound, which
+    // only understates how much faster one-level iteration counts grow.
+    let (twolevel_ps, onelevel_cap): (&[usize], usize) = if quick() {
+        (&[64, 256, 1024], 400)
+    } else {
+        (&[64, 256, 1024, 4096], 1200)
+    };
     let weak = run_series(
         "weak",
         weak_ps,
@@ -311,6 +611,12 @@ fn main() {
         false,
         &topos,
     );
+    let twolevel = run_twolevel_series(twolevel_ps, onelevel_cap, &topos);
     emit_summary(&[("weak", weak), ("strong", strong)]);
+    emit_twolevel_summary(&twolevel);
     println!("\ngraph partitioner beat strips on edge cut at every point");
+    println!(
+        "two-level iteration growth {:.4} (one-level {:.4}) over P={}..{}",
+        twolevel.growth_two, twolevel.growth_one, twolevel.p_min, twolevel.p_max
+    );
 }

@@ -24,7 +24,13 @@
 //!   against strips must stay ≤ 1, each series' worst modeled overlap
 //!   speedup must stay ≥ 1, and every recorded parallel efficiency must
 //!   lie in `(0, 1]` (an efficiency above 1 or at 0 means the machine
-//!   model is broken, not that the machine got faster).
+//!   model is broken, not that the machine got faster),
+//! - **two-level convergence** (`twolevel_modeled.*`, real FGMRES solves
+//!   over the weak-scaling family) — the two-level iteration growth from
+//!   `p_min` to `p_max` must stay ≤ 1.3, and the one-level growth over the
+//!   same range must stay strictly larger than the two-level growth: the
+//!   coarse space earns its keep only if it flattens the iteration curve
+//!   that the one-level smoother cannot.
 
 use parfem_trace::json::{self, Json};
 use std::fmt;
@@ -49,6 +55,10 @@ pub struct GateConfig {
     /// series (default `1.0`: the graph partitioner may never lose to the
     /// structured strips it refines).
     pub max_graph_cut_ratio: f64,
+    /// Maximum allowed `twolevel_modeled.*.twolevel_iter_growth` — the
+    /// two-level iteration count at `p_max` relative to `p_min` (default
+    /// `1.3`: near-flat counts are the whole point of the coarse space).
+    pub max_twolevel_iter_growth: f64,
     /// Per-metric **absolute** caps on allocation metrics, overriding the
     /// ratio-plus-slack rule wherever tighter. Each entry is a
     /// (check-name prefix, cap) pair matched against `bench.metric`; the
@@ -66,6 +76,7 @@ impl Default for GateConfig {
             alloc_slack: 16.0,
             min_overlap_speedup: 1.0,
             max_graph_cut_ratio: 1.0,
+            max_twolevel_iter_growth: 1.3,
             alloc_caps: vec![("fgmres_iteration".to_string(), 0.0)],
         }
     }
@@ -302,6 +313,39 @@ pub fn evaluate(perf: &Json, baseline: &Json, cfg: &GateConfig) -> Result<GateRe
             }
         }
     }
+    if let Some(twolevel) = perf.get("twolevel_modeled").and_then(Json::as_object) {
+        for (series, entry) in twolevel {
+            let growth_two = entry.get("twolevel_iter_growth").and_then(Json::as_f64);
+            if let Some(g2) = growth_two {
+                checks.push(GateCheck {
+                    name: format!("twolevel_modeled.{series}.twolevel_iter_growth"),
+                    current: g2,
+                    reference: 1.0,
+                    limit: cfg.max_twolevel_iter_growth,
+                    pass: g2 <= cfg.max_twolevel_iter_growth,
+                    direction: "<=",
+                });
+            }
+            if let (Some(g1), Some(g2)) = (
+                entry.get("onelevel_iter_growth").and_then(Json::as_f64),
+                growth_two,
+            ) {
+                // One-level growth is the reference *and* the limit: the
+                // one-level counts must grow strictly faster, so the
+                // two-level growth has to sit strictly below it. (With a
+                // censored one-level endpoint `g1` is a lower bound, which
+                // only makes this check conservative.)
+                checks.push(GateCheck {
+                    name: format!("twolevel_modeled.{series}.onelevel_iter_growth"),
+                    current: g1,
+                    reference: g2,
+                    limit: g2,
+                    pass: g1 > g2,
+                    direction: ">",
+                });
+            }
+        }
+    }
     Ok(GateReport { checks })
 }
 
@@ -466,6 +510,59 @@ mod tests {
             assert_eq!(
                 report.failures()[0].name,
                 "scaling_modeled.weak.efficiency_cluster-2level_p4096"
+            );
+        }
+    }
+
+    fn twolevel_perf(growth_two: f64, growth_one: f64) -> String {
+        format!(
+            r#"{{
+                "schema": "parfem-bench-perf-v1",
+                "current": {{}},
+                "twolevel_modeled": {{
+                    "weak": {{
+                        "p_min": 64,
+                        "p_max": 4096,
+                        "onelevel_censored": 1,
+                        "twolevel_iter_growth": {growth_two},
+                        "onelevel_iter_growth": {growth_one}
+                    }}
+                }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn healthy_twolevel_series_passes() {
+        let report =
+            evaluate_texts(&twolevel_perf(1.23, 24.0), BASELINE, &GateConfig::default()).unwrap();
+        assert!(report.passed(), "{}", report.render());
+        // growth bound + strict one-level comparison.
+        assert_eq!(report.checks.len(), 2);
+    }
+
+    #[test]
+    fn twolevel_iteration_growth_past_bound_fails() {
+        let report =
+            evaluate_texts(&twolevel_perf(1.5, 24.0), BASELINE, &GateConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert_eq!(
+            report.failures()[0].name,
+            "twolevel_modeled.weak.twolevel_iter_growth"
+        );
+    }
+
+    #[test]
+    fn onelevel_not_strictly_faster_growing_fails() {
+        // Equality fails too: the one-level counts must grow *strictly*
+        // faster, otherwise the coarse space buys nothing.
+        for g1 in [1.23, 1.1] {
+            let report =
+                evaluate_texts(&twolevel_perf(1.23, g1), BASELINE, &GateConfig::default()).unwrap();
+            assert!(!report.passed(), "one-level growth {g1} must fail");
+            assert_eq!(
+                report.failures()[0].name,
+                "twolevel_modeled.weak.onelevel_iter_growth"
             );
         }
     }

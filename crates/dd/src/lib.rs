@@ -9,6 +9,9 @@
 //!   Arnoldi step) and enhanced (Algorithm 6, one exchange) variants,
 //! - [`rdd`] — the row-based (block-row) distributed operator and FGMRES
 //!   (Algorithm 8), the PSPARSLIB/Aztec-style baseline,
+//! - [`coarse`] — two-level coarse-space construction over both
+//!   partitions: per-part geometry extraction, host-side Galerkin
+//!   assembly, and the per-rank restriction of the coarse basis,
 //! - [`solver`] — the unified distributed FGMRES core: one restarted
 //!   flexible GMRES loop over the [`solver::DistributedOperator`] trait
 //!   that both [`edd`] and [`rdd`] implement,
@@ -25,6 +28,7 @@
 // row spans at once); the iterator forms clippy suggests obscure them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod coarse;
 pub mod dist_vec;
 pub mod driver;
 pub mod dynamic;
@@ -35,6 +39,10 @@ pub mod scaling;
 pub mod session;
 pub mod solver;
 
+pub use coarse::{
+    edd_coarse_basis, edd_coarse_solvers, edd_part_geometry, edd_scaled_matrix, rdd_coarse_basis,
+    rdd_coarse_solvers,
+};
 pub use dist_vec::{EddLayout, ExchangeBuffers};
 #[allow(deprecated)] // the frozen legacy entry points stay importable
 pub use driver::{

@@ -37,6 +37,7 @@
 //! bit-identical to the historical `solve_*` entry points (pinned by the
 //! FNV-1a golden digests in `tests/golden.rs`).
 
+use crate::coarse::{edd_coarse_basis, edd_coarse_solvers, rdd_coarse_basis, rdd_coarse_solvers};
 use crate::dist_vec::EddLayout;
 use crate::dynamic::{run_dynamic_edd, DynamicRunConfig, DynamicRunOutput};
 use crate::edd::{edd_fgmres_metered, EddVariant};
@@ -52,8 +53,10 @@ use parfem_msg::{
     try_run_ranks, Communicator, FaultPlan, FaultStats, FaultyComm, MachineModel, RankReport,
     RunOptions, ThreadComm,
 };
+use parfem_precond::twolevel::{CoarseSolver, CoarseSpec};
 pub use parfem_precond::PrecondSpec;
 
+use parfem_sparse::skyline::DEFAULT_PIVOT_TOL;
 use parfem_sparse::{dense, scaling::scale_system, CsrMatrix, KernelPolicy};
 use parfem_trace::{alloc, MetricsRegistry, TraceSink, Value};
 use std::fmt;
@@ -405,7 +408,7 @@ impl<'a> SolveSession<'a> {
         let sink = self.sink.unwrap_or(&disabled);
         match (&self.input, &self.strategy) {
             (SessionInput::Systems { systems, n_dofs }, None) => {
-                run_edd_systems(systems, *n_dofs, self.model.clone(), &self.cfg, sink)
+                run_edd_systems(systems, *n_dofs, None, self.model.clone(), &self.cfg, sink)
             }
             (SessionInput::Systems { .. }, Some(_)) => panic!(
                 "prebuilt subdomain systems already encode the partition; do not set .strategy(..)"
@@ -415,6 +418,7 @@ impl<'a> SolveSession<'a> {
                 run_edd_systems(
                     &systems,
                     p.dof_map.n_dofs(),
+                    Some(p.mesh.coords()),
                     self.model.clone(),
                     &self.cfg,
                     sink,
@@ -489,7 +493,9 @@ impl<'a> SolveSession<'a> {
     ///
     /// # Panics
     /// Panics unless the session holds a mesh-level problem with an EDD
-    /// strategy, or if the DOF map carries non-zero prescribed values.
+    /// strategy, if the DOF map carries non-zero prescribed values, or if
+    /// the preconditioner spec is two-level (the transient driver has no
+    /// coarse-space plumbing).
     pub fn run_dynamic(
         &self,
         params: NewmarkParams,
@@ -506,6 +512,11 @@ impl<'a> SolveSession<'a> {
             Some(Strategy::Edd(part)) => part,
             _ => panic!("the transient driver is EDD-only: set .strategy(Strategy::Edd(..))"),
         };
+        assert!(
+            !self.cfg.precond.needs_coarse(),
+            "the transient driver does not support two-level preconditioning; \
+             use a one-level preconditioner spec"
+        );
         let cfg = DynamicRunConfig {
             solver: self.cfg.clone(),
             params,
@@ -688,12 +699,66 @@ fn host_span<R>(sink: &TraceSink, name: &str, f: impl FnOnce() -> R) -> R {
     r
 }
 
+/// The coarse-space component of a two-level preconditioner spec, if any.
+fn coarse_spec(spec: &PrecondSpec) -> Option<&CoarseSpec> {
+    match spec {
+        PrecondSpec::TwoLevel { coarse, .. } => Some(coarse),
+        _ => None,
+    }
+}
+
+/// Host-side coarse construction for an EDD run: when the spec is
+/// two-level, builds the global coarse basis once and restricts it to one
+/// [`CoarseSolver`] per rank, all under a `coarse-build` host span.
+fn build_edd_coarse(
+    spec: &PrecondSpec,
+    systems: &[SubdomainSystem],
+    n_dofs: usize,
+    coords: Option<&[[f64; 2]]>,
+    sink: &TraceSink,
+) -> Option<Vec<CoarseSolver>> {
+    coarse_spec(spec).map(|cs| {
+        host_span(sink, "coarse-build", || {
+            let basis = edd_coarse_basis(cs, systems, n_dofs, coords, DEFAULT_PIVOT_TOL);
+            edd_coarse_solvers(&basis, systems)
+        })
+    })
+}
+
+/// Host-side coarse construction for an RDD run, over the already-scaled
+/// assembled operator and the node partition's disjoint block rows.
+fn build_rdd_coarse(
+    spec: &PrecondSpec,
+    a: &CsrMatrix,
+    d: &[f64],
+    node_part: &NodePartition,
+    p: &Problem<'_>,
+    systems: &[RddSystem],
+    sink: &TraceSink,
+) -> Option<Vec<CoarseSolver>> {
+    coarse_spec(spec).map(|cs| {
+        host_span(sink, "coarse-build", || {
+            let basis = rdd_coarse_basis(
+                cs,
+                a,
+                d,
+                node_part,
+                p.dof_map,
+                p.mesh.coords(),
+                DEFAULT_PIVOT_TOL,
+            );
+            rdd_coarse_solvers(&basis, systems)
+        })
+    })
+}
+
 /// The per-rank EDD pipeline: distributed scaling, preconditioner build,
 /// and the flexible GMRES, over any [`Communicator`] — the raw
 /// [`ThreadComm`] in fault-free runs, a [`FaultyComm`] under chaos.
 fn edd_rank_body<C: Communicator>(
     comm: &C,
     sys: &SubdomainSystem,
+    coarse: Option<&CoarseSolver>,
     cfg: &SolverConfig,
 ) -> Result<(Vec<f64>, ConvergenceHistory), SolveError> {
     if let Some(t) = comm.tracer() {
@@ -709,7 +774,7 @@ fn edd_rank_body<C: Communicator>(
         t.span_begin("precond-build", comm.virtual_time());
     }
     let x0 = vec![0.0; b.len()];
-    let pc = cfg.precond.build(|| {
+    let pc = cfg.precond.instantiate_with_coarse(coarse.cloned(), || {
         // Assembled diagonal of the scaled operator for Jacobi.
         let mut d = a.diagonal();
         let mut bufs = crate::dist_vec::ExchangeBuffers::new();
@@ -723,7 +788,7 @@ fn edd_rank_body<C: Communicator>(
         comm,
         &layout,
         &a,
-        pc.as_ref(),
+        &pc,
         &b,
         &x0,
         &cfg.gmres,
@@ -741,6 +806,7 @@ fn edd_rank_body<C: Communicator>(
 fn edd_multi_rank_body<C: Communicator>(
     comm: &C,
     sys: &SubdomainSystem,
+    coarse: Option<&CoarseSolver>,
     fixed_local: &[usize],
     rhs_set: &[Vec<f64>],
     cfg: &SolverConfig,
@@ -758,10 +824,10 @@ fn edd_multi_rank_body<C: Communicator>(
         t.span_end("scaling", comm.virtual_time());
         t.span_begin("precond-build", comm.virtual_time());
     }
-    // A concrete `BuiltPrecond` (not the boxed form): the operator type is
+    // A concrete `SpecPrecond` (not the boxed form): the operator type is
     // re-instantiated at every solve, so the per-RHS `b` borrows below do
     // not have to outlive the preconditioner.
-    let pc = cfg.precond.instantiate(|| {
+    let pc = cfg.precond.instantiate_with_coarse(coarse.cloned(), || {
         let mut d = a.diagonal();
         let mut bufs = crate::dist_vec::ExchangeBuffers::new();
         layout.interface_sum_buffered(comm, &mut d, &mut bufs);
@@ -846,6 +912,7 @@ fn collect_rank_results<R>(
 fn run_edd_systems(
     systems: &[SubdomainSystem],
     n_dofs: usize,
+    coords: Option<&[[f64; 2]]>,
     model: MachineModel,
     cfg: &SolverConfig,
     sink: &TraceSink,
@@ -853,19 +920,21 @@ fn run_edd_systems(
     let p = systems.len();
     assert!(p > 0, "need at least one subdomain system");
     let alloc_start = alloc::stats();
+    let coarse = build_edd_coarse(&cfg.precond, systems, n_dofs, coords, sink);
     let opts = RunOptions {
         comm_timeout: cfg.comm_timeout,
     };
     let out = try_run_ranks(p, model, opts, sink, |comm: &ThreadComm| {
         let sys = &systems[comm.rank()];
+        let csol = coarse.as_ref().map(|c| &c[comm.rank()]);
         match &cfg.faults {
             Some(plan) => {
                 let faulty = FaultyComm::new(comm, plan.clone());
-                let r = edd_rank_body(&faulty, sys, cfg);
+                let r = edd_rank_body(&faulty, sys, csol, cfg);
                 record_fault_metrics(&cfg.metrics, &faulty.fault_stats());
                 r
             }
-            None => edd_rank_body(comm, sys, cfg),
+            None => edd_rank_body(comm, sys, csol, cfg),
         }
     });
     record_comm_metrics(&cfg.metrics, &out.reports, out.modeled_time);
@@ -928,20 +997,28 @@ fn run_multi_edd(
                 .collect()
         })
         .collect();
+    let coarse = build_edd_coarse(
+        &cfg.precond,
+        &systems,
+        p.dof_map.n_dofs(),
+        Some(p.mesh.coords()),
+        sink,
+    );
     let opts = RunOptions {
         comm_timeout: cfg.comm_timeout,
     };
     let out = try_run_ranks(systems.len(), model, opts, sink, |comm: &ThreadComm| {
         let sys = &systems[comm.rank()];
+        let csol = coarse.as_ref().map(|c| &c[comm.rank()]);
         let fixed = &fixed_local[comm.rank()];
         match &cfg.faults {
             Some(plan) => {
                 let faulty = FaultyComm::new(comm, plan.clone());
-                let r = edd_multi_rank_body(&faulty, sys, fixed, rhs_set, cfg);
+                let r = edd_multi_rank_body(&faulty, sys, csol, fixed, rhs_set, cfg);
                 record_fault_metrics(&cfg.metrics, &faulty.fault_stats());
                 r
             }
-            None => edd_multi_rank_body(comm, sys, fixed, rhs_set, cfg),
+            None => edd_multi_rank_body(comm, sys, csol, fixed, rhs_set, cfg),
         }
     });
     record_comm_metrics(&cfg.metrics, &out.reports, out.modeled_time);
@@ -978,22 +1055,23 @@ fn rdd_rank_body<C: Communicator>(
     comm: &C,
     sys: &RddSystem,
     a: &CsrMatrix,
+    coarse: Option<&CoarseSolver>,
     cfg: &SolverConfig,
 ) -> Result<(Vec<f64>, ConvergenceHistory), SolveError> {
     if let Some(t) = comm.tracer() {
         t.span_begin("precond-build", comm.virtual_time());
     }
     let x0 = vec![0.0; sys.n_local()];
-    let pc = cfg
-        .precond
-        .build(|| sys.rows.iter().map(|&d| a.get(d, d)).collect());
+    let pc = cfg.precond.instantiate_with_coarse(coarse.cloned(), || {
+        sys.rows.iter().map(|&d| a.get(d, d)).collect()
+    });
     if let Some(t) = comm.tracer() {
         t.span_end("precond-build", comm.virtual_time());
     }
     let res = rdd_fgmres_metered(
         comm,
         sys,
-        pc.as_ref(),
+        &pc,
         &x0,
         &cfg.gmres,
         &mut KrylovWorkspace::new(),
@@ -1022,6 +1100,15 @@ fn run_rdd(
     for sys in &mut systems {
         sys.overlap = cfg.overlap;
     }
+    let coarse = build_rdd_coarse(
+        &cfg.precond,
+        &a,
+        sc.diagonal(),
+        node_part,
+        p,
+        &systems,
+        sink,
+    );
     let nparts = node_part.n_parts();
     let opts = RunOptions {
         comm_timeout: cfg.comm_timeout,
@@ -1029,14 +1116,15 @@ fn run_rdd(
 
     let out = try_run_ranks(nparts, model, opts, sink, |comm: &ThreadComm| {
         let sys = &systems[comm.rank()];
+        let csol = coarse.as_ref().map(|c| &c[comm.rank()]);
         match &cfg.faults {
             Some(plan) => {
                 let faulty = FaultyComm::new(comm, plan.clone());
-                let r = rdd_rank_body(&faulty, sys, &a, cfg);
+                let r = rdd_rank_body(&faulty, sys, &a, csol, cfg);
                 record_fault_metrics(&cfg.metrics, &faulty.fault_stats());
                 r
             }
-            None => rdd_rank_body(comm, sys, &a, cfg),
+            None => rdd_rank_body(comm, sys, &a, csol, cfg),
         }
     });
     record_comm_metrics(&cfg.metrics, &out.reports, out.modeled_time);
@@ -1097,20 +1185,30 @@ fn run_multi_rdd(
     for sys in &mut systems {
         sys.overlap = cfg.overlap;
     }
+    let coarse = build_rdd_coarse(
+        &cfg.precond,
+        &a,
+        sc.diagonal(),
+        node_part,
+        p,
+        &systems,
+        sink,
+    );
     let nparts = node_part.n_parts();
     let opts = RunOptions {
         comm_timeout: cfg.comm_timeout,
     };
     let out = try_run_ranks(nparts, model, opts, sink, |comm: &ThreadComm| {
         let template = &systems[comm.rank()];
+        let csol = coarse.as_ref().map(|c| &c[comm.rank()]);
         match &cfg.faults {
             Some(plan) => {
                 let faulty = FaultyComm::new(comm, plan.clone());
-                let r = rdd_multi_rank_body(&faulty, template, &scaled_rhs, &a, cfg);
+                let r = rdd_multi_rank_body(&faulty, template, csol, &scaled_rhs, &a, cfg);
                 record_fault_metrics(&cfg.metrics, &faulty.fault_stats());
                 r
             }
-            None => rdd_multi_rank_body(comm, template, &scaled_rhs, &a, cfg),
+            None => rdd_multi_rank_body(comm, template, csol, &scaled_rhs, &a, cfg),
         }
     });
     record_comm_metrics(&cfg.metrics, &out.reports, out.modeled_time);
@@ -1144,6 +1242,7 @@ fn run_multi_rdd(
 fn rdd_multi_rank_body<C: Communicator>(
     comm: &C,
     template: &RddSystem,
+    coarse: Option<&CoarseSolver>,
     scaled_rhs: &[Vec<f64>],
     a: &CsrMatrix,
     cfg: &SolverConfig,
@@ -1151,11 +1250,11 @@ fn rdd_multi_rank_body<C: Communicator>(
     if let Some(t) = comm.tracer() {
         t.span_begin("precond-build", comm.virtual_time());
     }
-    // Concrete `BuiltPrecond`, so the local system can be mutated between
+    // Concrete `SpecPrecond`, so the local system can be mutated between
     // solves (a boxed trait object would pin the operator's lifetime).
-    let pc = cfg
-        .precond
-        .instantiate(|| template.rows.iter().map(|&d| a.get(d, d)).collect());
+    let pc = cfg.precond.instantiate_with_coarse(coarse.cloned(), || {
+        template.rows.iter().map(|&d| a.get(d, d)).collect()
+    });
     if let Some(t) = comm.tracer() {
         t.span_end("precond-build", comm.virtual_time());
     }

@@ -1,0 +1,387 @@
+//! Orthogonality and edge-case contracts for the two-level preconditioner
+//! inside [`SolveSession`].
+//!
+//! The two-level coarse correction must be just another value of the
+//! preconditioner axis: every other session option — overlapped exchange,
+//! recoverable fault injection, tracing, multi-RHS reuse, the graph
+//! partitioner, prebuilt systems — composes with it **bit-identically** to
+//! its own baseline. On top of that, the constructions the paper's Eq. 45
+//! flags as fatal for local factorizations (floating subdomains with no
+//! Dirichlet rows, one-element parts with rank-deficient mode blocks) must
+//! produce well-posed coarse solves through the pivoting skyline LDLᵀ.
+
+use parfem_dd::{
+    DdSolveOutput, EddVariant, PrecondSpec, Problem, SolveSession, SolverConfig, Strategy,
+};
+use parfem_fem::{assembly, Material, NewmarkParams, SubdomainSystem};
+use parfem_krylov::gmres::GmresConfig;
+use parfem_mesh::{DofMap, Edge, ElementPartition, NodePartition, PartitionerSpec, QuadMesh};
+use parfem_msg::{FaultPlan, MachineModel};
+use parfem_trace::TraceSink;
+use std::time::Duration;
+
+fn problem(nx: usize, ny: usize) -> (QuadMesh, DofMap, Material, Vec<f64>) {
+    let mesh = QuadMesh::cantilever(nx, ny);
+    let mut dm = DofMap::new(mesh.n_nodes());
+    dm.clamp_edge(&mesh, Edge::Left);
+    let mat = Material::unit();
+    let mut loads = vec![0.0; dm.n_dofs()];
+    assembly::edge_load(&mesh, &dm, Edge::Right, 0.0, -1.0, &mut loads);
+    (mesh, dm, mat, loads)
+}
+
+fn cfg(spec: &str) -> SolverConfig {
+    SolverConfig {
+        gmres: GmresConfig {
+            tol: 1e-8,
+            ..Default::default()
+        },
+        precond: PrecondSpec::parse(spec).expect("test spec parses"),
+        variant: EddVariant::Enhanced,
+        overlap: false,
+        faults: None,
+        comm_timeout: Duration::from_secs(10),
+        ..Default::default()
+    }
+}
+
+fn assert_bit_identical(a: &DdSolveOutput, b: &DdSolveOutput, what: &str) {
+    assert_eq!(a.u, b.u, "{what}: solution bits differ");
+    assert_eq!(
+        a.history.relative_residuals, b.history.relative_residuals,
+        "{what}: residual histories differ"
+    );
+}
+
+/// Overlapped interface exchange changes scheduling only: the two-level
+/// EDD solve is bit-identical to the blocking run, coarse correction
+/// included.
+#[test]
+fn twolevel_overlap_matches_blocking() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = ElementPartition::strips_x(&mesh, 3);
+    let blocking = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part.clone()))
+        .config(cfg("twolevel:rbm:gls-3"))
+        .run()
+        .expect("blocking two-level run");
+    assert!(blocking.history.converged());
+    let overlapped = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .config(cfg("twolevel:rbm:gls-3"))
+        .overlap(true)
+        .run()
+        .expect("overlapped two-level run");
+    assert_bit_identical(&blocking, &overlapped, "two-level overlap vs blocking");
+}
+
+/// Recoverable fault injection (drops + retry) and tracing leave the
+/// two-level numbers untouched — the coarse all-reduce rides the same
+/// latched retransmission machinery as every other collective.
+#[test]
+fn twolevel_faulted_traced_matches_plain_run() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = ElementPartition::strips_x(&mesh, 3);
+    let plain = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part.clone()))
+        .config(cfg("twolevel:rbm:neumann-2"))
+        .machine(MachineModel::ibm_sp2())
+        .run()
+        .expect("plain two-level run");
+
+    let sink = TraceSink::recording();
+    let fancy = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .config(cfg("twolevel:rbm:neumann-2"))
+        .machine(MachineModel::ibm_sp2())
+        .faults(
+            FaultPlan::new(42)
+                .with_drops(0.2)
+                .with_retry_policy(30, 1e-3, 2.0),
+        )
+        .comm_timeout(Duration::from_secs(10))
+        .trace(&sink)
+        .run()
+        .expect("recoverable faults must not fail the two-level solve");
+
+    assert!(fancy.history.converged());
+    assert_bit_identical(&plain, &fancy, "two-level plain vs faulted+traced");
+    assert!(
+        !sink.take_events().is_empty(),
+        "a traced run must record events"
+    );
+}
+
+/// `run_multi` with a two-level spec shares one coarse basis across
+/// right-hand sides and still matches independent single-RHS sessions.
+#[test]
+fn twolevel_run_multi_matches_single_runs() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = ElementPartition::strips_x(&mesh, 3);
+    let mut loads2 = vec![0.0; dm.n_dofs()];
+    assembly::edge_load(&mesh, &dm, Edge::Right, 1.0, 0.0, &mut loads2);
+
+    let multi = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part.clone()))
+        .config(cfg("twolevel:rbm:gls-3"))
+        .run_multi(&[loads.clone(), loads2.clone()])
+        .expect("two-level multi-RHS session");
+    assert!(multi.all_converged());
+
+    for (i, rhs) in [loads.clone(), loads2].into_iter().enumerate() {
+        let single = SolveSession::new(Problem::new(&mesh, &dm, &mat, &rhs))
+            .strategy(Strategy::Edd(part.clone()))
+            .config(cfg("twolevel:rbm:gls-3"))
+            .run()
+            .unwrap();
+        assert_eq!(
+            multi.solutions[i], single.u,
+            "RHS {i}: two-level multi-solve bits differ from the single run"
+        );
+        assert_eq!(
+            multi.histories[i].relative_residuals, single.history.relative_residuals,
+            "RHS {i}: residual histories differ"
+        );
+    }
+}
+
+/// The graph partitioner composes with two-level preconditioning and is
+/// deterministic: the same seed reproduces the solve bit for bit.
+#[test]
+fn twolevel_graph_partitioner_is_deterministic() {
+    let (mesh, dm, mat, loads) = problem(8, 4);
+    let run = || {
+        SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+            .partitioned(PartitionerSpec::Graph { seed: 3 }, 4)
+            .config(cfg("twolevel:rbm:gls-3"))
+            .run()
+            .expect("graph-partitioned two-level run")
+    };
+    let a = run();
+    assert!(a.history.converged());
+    assert_bit_identical(&a, &run(), "two-level graph partition, same seed");
+}
+
+/// Prebuilt subdomain systems reproduce the mesh-level two-level session
+/// exactly, for the geometry-free coarse spaces that raw systems support.
+#[test]
+fn twolevel_from_systems_matches_mesh_level() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = ElementPartition::strips_x(&mesh, 3);
+    let systems: Vec<SubdomainSystem> = part
+        .subdomains(&mesh)
+        .iter()
+        .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
+        .collect();
+    for spec in ["twolevel:const:gls-3", "twolevel:lowrank-2:gls-3"] {
+        let mesh_level = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+            .strategy(Strategy::Edd(part.clone()))
+            .config(cfg(spec))
+            .run()
+            .unwrap();
+        let prebuilt = SolveSession::from_systems(&systems, dm.n_dofs())
+            .config(cfg(spec))
+            .run()
+            .unwrap();
+        assert_bit_identical(&mesh_level, &prebuilt, spec);
+    }
+}
+
+/// Rigid-body modes need node coordinates, which prebuilt raw systems do
+/// not carry — the session fails fast with an actionable message.
+#[test]
+#[should_panic(expected = "rigid-body coarse modes need node coordinates")]
+fn twolevel_rbm_from_systems_panics() {
+    let (mesh, dm, mat, loads) = problem(6, 2);
+    let part = ElementPartition::strips_x(&mesh, 2);
+    let systems: Vec<SubdomainSystem> = part
+        .subdomains(&mesh)
+        .iter()
+        .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
+        .collect();
+    let _ = SolveSession::from_systems(&systems, dm.n_dofs())
+        .config(cfg("twolevel:rbm:gls-3"))
+        .run();
+}
+
+/// The transient driver has no coarse plumbing and must reject two-level
+/// specs instead of silently solving one-level.
+#[test]
+#[should_panic(expected = "transient driver does not support two-level")]
+fn twolevel_run_dynamic_panics() {
+    let (mesh, dm, mat, loads) = problem(6, 2);
+    let part = ElementPartition::strips_x(&mesh, 2);
+    let _ = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .config(cfg("twolevel:rbm:gls-3"))
+        .run_dynamic(NewmarkParams::average_acceleration(1.0), 1, &[0]);
+}
+
+/// Two-level works under the RDD (block-row) operator too, in both
+/// composition modes, and overlapped exchange stays bit-identical.
+#[test]
+fn twolevel_rdd_converges_in_both_compositions() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    for spec in ["twolevel:rbm:gls-3", "twolevel:rbm:gls-3:add"] {
+        let run = |overlap: bool| {
+            SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+                .strategy(Strategy::Rdd(NodePartition::strips_x(&mesh, 3)))
+                .config(cfg(spec))
+                .overlap(overlap)
+                .run()
+                .expect("RDD two-level run")
+        };
+        let blocking = run(false);
+        assert!(blocking.history.converged(), "{spec}: RDD must converge");
+        assert_bit_identical(&blocking, &run(true), spec);
+    }
+}
+
+/// RDD multi-RHS with two-level matches the independent single runs.
+#[test]
+fn twolevel_rdd_run_multi_matches_single_runs() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let mut loads2 = vec![0.0; dm.n_dofs()];
+    assembly::edge_load(&mesh, &dm, Edge::Right, 1.0, 0.0, &mut loads2);
+    let multi = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Rdd(NodePartition::strips_x(&mesh, 3)))
+        .config(cfg("twolevel:rbm:neumann-2"))
+        .run_multi(&[loads.clone(), loads2.clone()])
+        .expect("RDD two-level multi-RHS session");
+    assert!(multi.all_converged());
+    for (i, rhs) in [loads, loads2].into_iter().enumerate() {
+        let single = SolveSession::new(Problem::new(&mesh, &dm, &mat, &rhs))
+            .strategy(Strategy::Rdd(NodePartition::strips_x(&mesh, 3)))
+            .config(cfg("twolevel:rbm:neumann-2"))
+            .run()
+            .unwrap();
+        assert_eq!(multi.solutions[i], single.u, "RHS {i}: bits differ");
+    }
+}
+
+/// **Floating subdomains** (paper Eq. 45): in a cantilever strip partition
+/// only the first part touches the clamped edge — every other part has no
+/// Dirichlet row, which made local factorizations singular. The coarse
+/// Galerkin operator stays well-posed (the global matrix is SPD on the
+/// constrained space) and the two-level solve converges in no more
+/// iterations than the one-level smoother alone.
+#[test]
+fn floating_subdomains_coarse_solve_is_well_posed() {
+    let (mesh, dm, mat, loads) = problem(16, 2);
+    let part = ElementPartition::strips_x(&mesh, 8); // parts 1..8 are floating
+    let one_level = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part.clone()))
+        .config(cfg("gls:3"))
+        .run()
+        .expect("one-level run");
+    let two_level = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+        .strategy(Strategy::Edd(part))
+        .config(cfg("twolevel:rbm:gls-3"))
+        .run()
+        .expect("two-level run over floating parts");
+    assert!(two_level.history.converged());
+    assert!(
+        two_level.history.iterations() <= one_level.history.iterations(),
+        "two-level ({}) must not iterate more than one-level ({}) over floating parts",
+        two_level.history.iterations(),
+        one_level.history.iterations()
+    );
+}
+
+/// **One-element subdomains**: every part is a single element, so each
+/// rigid-body mode block is maximally rank-deficient relative to its
+/// neighbours (shared interface dofs, duplicated constants). The pivoting
+/// skyline factorization drops the dependent modes and the solve still
+/// converges to the true solution.
+#[test]
+fn one_element_subdomains_produce_valid_coarse_blocks() {
+    let (mesh, dm, mat, loads) = problem(6, 1);
+    let part = ElementPartition::strips_x(&mesh, 6); // one element per part
+    for spec in ["twolevel:rbm:gls-3", "twolevel:const:jacobi"] {
+        let out = SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+            .strategy(Strategy::Edd(part.clone()))
+            .config(cfg(spec))
+            .run()
+            .expect("one-element-part two-level run");
+        assert!(out.history.converged(), "{spec}: must converge");
+    }
+}
+
+/// Rigid-body modes are (numerically) exact null vectors of the
+/// unconstrained stiffness: on a fully floating mesh treated as one part,
+/// `A Ẑ = D K D (D⁻¹ z) = D (K z) ≈ 0` for each of the three modes — the
+/// two translations analytically, the infinitesimal rotation because the
+/// small-strain operator annihilates `(−y, x)` exactly.
+#[test]
+fn rigid_body_modes_span_the_null_space_of_unconstrained_stiffness() {
+    use parfem_dd::{edd_coarse_basis, edd_scaled_matrix};
+    use parfem_precond::CoarseSpec;
+    use parfem_sparse::skyline::DEFAULT_PIVOT_TOL;
+    use parfem_sparse::LinearOperator;
+
+    let mesh = QuadMesh::cantilever(6, 3);
+    let dm = DofMap::new(mesh.n_nodes()); // no Dirichlet constraints at all
+    let mat = Material::unit();
+    let loads = vec![0.0; dm.n_dofs()];
+    let part = ElementPartition::strips_x(&mesh, 1);
+    let systems: Vec<SubdomainSystem> = part
+        .subdomains(&mesh)
+        .iter()
+        .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
+        .collect();
+
+    let basis = edd_coarse_basis(
+        &CoarseSpec::Rbm,
+        &systems,
+        dm.n_dofs(),
+        Some(mesh.coords()),
+        DEFAULT_PIVOT_TOL,
+    );
+    assert_eq!(basis.n_modes(), 3, "2 translations + 1 rotation");
+    let (a, _d) = edd_scaled_matrix(&systems, dm.n_dofs());
+
+    for (m, col) in basis.modes.iter().enumerate() {
+        assert!(!col.is_empty(), "mode {m} must have support");
+        let mut zhat = vec![0.0; dm.n_dofs()];
+        for &(g, v) in col {
+            zhat[g] = v;
+        }
+        let mut y = vec![0.0; dm.n_dofs()];
+        a.apply_into(&zhat, &mut y);
+        let z_inf = zhat.iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+        let y_inf = y.iter().fold(0.0f64, |acc, x| acc.max(x.abs()));
+        assert!(
+            y_inf <= 1e-10 * z_inf,
+            "mode {m}: ‖A ẑ‖∞ = {y_inf:e} not ≈ 0 (‖ẑ‖∞ = {z_inf:e})"
+        );
+    }
+}
+
+/// Additive and multiplicative composition are genuinely different
+/// preconditioners (different residual histories) that converge to the
+/// same physical solution.
+#[test]
+fn additive_and_multiplicative_compositions_both_converge() {
+    let (mesh, dm, mat, loads) = problem(8, 3);
+    let part = ElementPartition::strips_x(&mesh, 4);
+    let run = |spec: &str| {
+        SolveSession::new(Problem::new(&mesh, &dm, &mat, &loads))
+            .strategy(Strategy::Edd(part.clone()))
+            .config(cfg(spec))
+            .run()
+            .expect("two-level run")
+    };
+    let mult = run("twolevel:rbm:gls-3");
+    let add = run("twolevel:rbm:gls-3:add");
+    assert!(mult.history.converged() && add.history.converged());
+    assert_ne!(
+        mult.history.relative_residuals, add.history.relative_residuals,
+        "compositions must actually differ"
+    );
+    for (a, b) in mult.u.iter().zip(&add.u) {
+        assert!(
+            (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+            "both compositions must reach the same physical solution"
+        );
+    }
+}

@@ -18,6 +18,10 @@
 //!   [`parfem_sparse::Ilu0`], the sequential comparator of Figs. 11–12,
 //! - [`mixed`] — `f32` mirrors of the polynomial preconditioners for
 //!   mixed-precision runs (outer FGMRES stays `f64`),
+//! - [`twolevel`] — the two-level coarse-space correction (per-subdomain
+//!   constant/rigid-body/low-rank modes, a directly factored Galerkin
+//!   coarse operator, additive and multiplicative composition around the
+//!   polynomial smoothers),
 //! - [`registry`] — the one spec type ([`PrecondSpec`]) every solver,
 //!   binary and test parses and builds preconditioners through.
 //!
@@ -43,6 +47,7 @@ pub mod neumann;
 pub mod poly;
 pub mod registry;
 pub mod schwarz;
+pub mod twolevel;
 
 pub use adaptive::EscalatingGls;
 pub use chebyshev::ChebyshevPrecond;
@@ -54,6 +59,10 @@ pub use mixed::{GlsPrecondF32, NeumannPrecondF32};
 pub use neumann::NeumannPrecond;
 pub use registry::{BuiltPrecond, ParseSpecError, PrecondSpec};
 pub use schwarz::BlockJacobiPrecond;
+pub use twolevel::{
+    build_coarse_basis, CoarseBasis, CoarsePartGeometry, CoarseReduce, CoarseSolver, CoarseSpec,
+    Composition, SpecPrecond, TwoLevelPrecond,
+};
 
 use parfem_sparse::LinearOperator;
 

@@ -18,6 +18,7 @@
 //! [`PrecondSpec::name`] (`gls(7)`, `gls-escalating(x5)`), so
 //! `parse(spec.name())` round-trips for every spec — pinned by proptest.
 
+use crate::twolevel::{CoarseSolver, CoarseSpec, Composition, SpecPrecond, TwoLevelPrecond};
 use crate::{
     ChebyshevPrecond, EscalatingGls, GlsPrecond, GlsPrecondF32, IdentityPrecond, IntervalUnion,
     JacobiPrecond, NeumannPrecond, NeumannPrecondF32, Preconditioner,
@@ -69,6 +70,66 @@ pub enum PrecondSpec {
         /// Applications per schedule stage.
         period: usize,
     },
+    /// Two-level preconditioning: a per-subdomain coarse space composed
+    /// around a one-level smoother (`twolevel:<coarse>:<smoother>[:add]`).
+    /// Needs a coarse solver at build time — see
+    /// [`PrecondSpec::instantiate_with_coarse`]; the plain
+    /// [`PrecondSpec::build`]/[`PrecondSpec::instantiate`] panic for this
+    /// arm.
+    TwoLevel {
+        /// Which coarse space to build per part.
+        coarse: CoarseSpec,
+        /// The one-level smoother spec (never itself `TwoLevel` when
+        /// produced by the parser).
+        smoother: Box<PrecondSpec>,
+        /// `true` for additive composition (`:add`); multiplicative
+        /// otherwise.
+        additive: bool,
+    },
+}
+
+/// Renders a smoother as a `twolevel` sub-segment, with `-` standing in
+/// for the degree separator so the segment stays colon-free: `gls-3`,
+/// `neumann-f32-2`, `jacobi`.
+fn smoother_token(spec: &PrecondSpec) -> String {
+    match spec {
+        PrecondSpec::None => "none".into(),
+        PrecondSpec::Jacobi => "jacobi".into(),
+        PrecondSpec::Gls { degree, .. } => format!("gls-{degree}"),
+        PrecondSpec::Neumann { degree } => format!("neumann-{degree}"),
+        PrecondSpec::GlsF32 { degree } => format!("gls-f32-{degree}"),
+        PrecondSpec::NeumannF32 { degree } => format!("neumann-f32-{degree}"),
+        PrecondSpec::Chebyshev { degree } => format!("chebyshev-{degree}"),
+        // Not parseable back (the registry rejects stateful smoothers
+        // inside twolevel), but printable for hand-built specs.
+        PrecondSpec::GlsEscalating { period } => format!("gls-escalating-{period}"),
+        PrecondSpec::TwoLevel { .. } => "twolevel".into(),
+    }
+}
+
+/// Parses a `twolevel` smoother sub-segment (the inverse of
+/// [`smoother_token`] over the accepted set).
+fn parse_smoother(tok: &str) -> Result<PrecondSpec, ParseSpecError> {
+    let bad = || ParseSpecError::BadSmoother(tok.to_string());
+    match tok {
+        "none" => Ok(PrecondSpec::None),
+        "jacobi" => Ok(PrecondSpec::Jacobi),
+        _ => {
+            let (base, deg) = tok.rsplit_once('-').ok_or_else(bad)?;
+            let degree: usize = deg.parse().map_err(|_| bad())?;
+            match base {
+                "gls" => Ok(PrecondSpec::Gls {
+                    degree,
+                    theta: None,
+                }),
+                "neumann" => Ok(PrecondSpec::Neumann { degree }),
+                "gls-f32" => Ok(PrecondSpec::GlsF32 { degree }),
+                "neumann-f32" => Ok(PrecondSpec::NeumannF32 { degree }),
+                "chebyshev" => Ok(PrecondSpec::Chebyshev { degree }),
+                _ => Err(bad()),
+            }
+        }
+    }
 }
 
 impl PrecondSpec {
@@ -86,6 +147,7 @@ impl PrecondSpec {
             PrecondSpec::NeumannF32 { degree } => format!("neumann-f32({degree})"),
             PrecondSpec::Chebyshev { degree } => format!("chebyshev({degree})"),
             PrecondSpec::GlsEscalating { period } => format!("gls-escalating(x{period})"),
+            PrecondSpec::TwoLevel { .. } => self.spec_str(),
         }
     }
 
@@ -102,6 +164,16 @@ impl PrecondSpec {
             PrecondSpec::NeumannF32 { degree } => format!("neumann-f32:{degree}"),
             PrecondSpec::Chebyshev { degree } => format!("chebyshev:{degree}"),
             PrecondSpec::GlsEscalating { period } => format!("gls-escalating:{period}"),
+            PrecondSpec::TwoLevel {
+                coarse,
+                smoother,
+                additive,
+            } => format!(
+                "twolevel:{}:{}{}",
+                coarse.token(),
+                smoother_token(smoother),
+                if *additive { ":add" } else { "" }
+            ),
         }
     }
 
@@ -162,6 +234,33 @@ impl PrecondSpec {
             "chebyshev" => Ok(PrecondSpec::Chebyshev {
                 degree: degree(arg)?,
             }),
+            "twolevel" => {
+                // `arg` holds everything after the first `:` — e.g.
+                // `rbm:gls-3` or `lowrank-8:neumann-2:add`.
+                let rest = arg
+                    .filter(|a| !a.is_empty())
+                    .ok_or(ParseSpecError::MissingCoarse)?;
+                let mut segs = rest.split(':');
+                let coarse_tok = segs.next().unwrap_or("");
+                let coarse = CoarseSpec::parse(coarse_tok)
+                    .ok_or_else(|| ParseSpecError::BadCoarse(coarse_tok.to_string()))?;
+                let smoother_tok = segs.next().ok_or(ParseSpecError::MissingSmoother)?;
+                let smoother = parse_smoother(smoother_tok)?;
+                let additive = match segs.next() {
+                    None => false,
+                    Some("add") => true,
+                    Some("mult") => false,
+                    Some(other) => return Err(ParseSpecError::BadComposition(other.to_string())),
+                };
+                if let Some(extra) = segs.next() {
+                    return Err(ParseSpecError::BadComposition(extra.to_string()));
+                }
+                Ok(PrecondSpec::TwoLevel {
+                    coarse,
+                    smoother: Box::new(smoother),
+                    additive,
+                })
+            }
             "gls-escalating" => {
                 let raw = arg.ok_or(ParseSpecError::MissingPeriod)?;
                 // The display form writes the period as `x5`.
@@ -225,6 +324,56 @@ impl PrecondSpec {
             PrecondSpec::GlsEscalating { period } => {
                 BuiltPrecond::Escalating(EscalatingGls::default_for_scaled_system(*period))
             }
+            PrecondSpec::TwoLevel { .. } => panic!(
+                "two-level spec `{}` needs a coarse solver; build it through \
+                 PrecondSpec::instantiate_with_coarse",
+                self.name()
+            ),
+        }
+    }
+
+    /// `true` iff building this spec requires a [`CoarseSolver`] — i.e. the
+    /// spec is a [`PrecondSpec::TwoLevel`]. Callers that can supply one
+    /// (the `SolveSession` pipeline, the benches) branch on this to
+    /// [`PrecondSpec::instantiate_with_coarse`]; callers that cannot (the
+    /// transient driver) reject such specs up front.
+    pub fn needs_coarse(&self) -> bool {
+        matches!(self, PrecondSpec::TwoLevel { .. })
+    }
+
+    /// Builds this spec as a [`SpecPrecond`], attaching `coarse` when the
+    /// spec is two-level. One-level specs ignore `coarse` and wrap the
+    /// identical [`PrecondSpec::instantiate`] result, so results are
+    /// bit-identical to the plain path.
+    ///
+    /// # Panics
+    /// Panics when the spec [`PrecondSpec::needs_coarse`] but `coarse` is
+    /// `None`.
+    pub fn instantiate_with_coarse(
+        &self,
+        coarse: Option<CoarseSolver>,
+        diag: impl FnOnce() -> Vec<f64>,
+    ) -> SpecPrecond {
+        match self {
+            PrecondSpec::TwoLevel {
+                smoother, additive, ..
+            } => {
+                let solver = coarse.unwrap_or_else(|| {
+                    panic!("two-level spec `{}` requires a coarse solver", self.name())
+                });
+                let composition = if *additive {
+                    Composition::Additive
+                } else {
+                    Composition::Multiplicative
+                };
+                SpecPrecond::TwoLevel(TwoLevelPrecond::new(
+                    smoother.instantiate(diag),
+                    solver,
+                    composition,
+                    self.name(),
+                ))
+            }
+            _ => SpecPrecond::Plain(self.instantiate(diag)),
         }
     }
 }
@@ -325,6 +474,20 @@ pub enum ParseSpecError {
         /// The spurious argument.
         given: String,
     },
+    /// `twolevel` came without its coarse segment (`twolevel`, not
+    /// `twolevel:rbm:gls-3`).
+    MissingCoarse,
+    /// The coarse segment is not `const`, `rbm` or `lowrank-K` (K ≥ 1).
+    BadCoarse(String),
+    /// `twolevel:<coarse>` came without its smoother segment.
+    MissingSmoother,
+    /// The smoother segment is not in the accepted one-level set
+    /// (`none`, `jacobi`, `gls-M`, `neumann-M`, `gls-f32-M`,
+    /// `neumann-f32-M`, `chebyshev-M`).
+    BadSmoother(String),
+    /// The composition segment is not `add` or `mult` (or the spec has
+    /// trailing segments).
+    BadComposition(String),
 }
 
 impl fmt::Display for ParseSpecError {
@@ -352,6 +515,32 @@ impl fmt::Display for ParseSpecError {
             ParseSpecError::UnexpectedArgument { kind, given } => {
                 write!(f, "{kind} takes no argument (got {kind}:{given})")
             }
+            ParseSpecError::MissingCoarse => {
+                write!(
+                    f,
+                    "twolevel needs a coarse space and a smoother, e.g. twolevel:rbm:gls-3"
+                )
+            }
+            ParseSpecError::BadCoarse(given) => {
+                write!(
+                    f,
+                    "bad coarse space {given}: expected const, rbm or lowrank-K \
+                     (K >= 1), optionally .sK for K prolongator-smoothing passes"
+                )
+            }
+            ParseSpecError::MissingSmoother => {
+                write!(f, "twolevel needs a smoother, e.g. twolevel:rbm:gls-3")
+            }
+            ParseSpecError::BadSmoother(given) => {
+                write!(
+                    f,
+                    "bad smoother {given}: expected none, jacobi, gls-M, neumann-M, \
+                     gls-f32-M, neumann-f32-M or chebyshev-M"
+                )
+            }
+            ParseSpecError::BadComposition(given) => {
+                write!(f, "bad composition {given}: expected add or mult")
+            }
         }
     }
 }
@@ -359,8 +548,8 @@ impl fmt::Display for ParseSpecError {
 impl std::error::Error for ParseSpecError {}
 
 /// The accepted `--precond` grammar, one spec per alternative.
-pub const GRAMMAR: &str =
-    "none|jacobi|gls:M|neumann:M|gls-f32:M|neumann-f32:M|chebyshev:M|gls-escalating:PERIOD";
+pub const GRAMMAR: &str = "none|jacobi|gls:M|neumann:M|gls-f32:M|neumann-f32:M|chebyshev:M|\
+                           gls-escalating:PERIOD|twolevel:COARSE:SMOOTHER[:add]";
 
 /// Multi-line help text for the grammar — rendered by the CLI usage screen
 /// and quoted by the README, so the documentation always matches the
@@ -375,7 +564,12 @@ pub fn grammar_help() -> String {
          gls-f32:M            degree-M GLS applied in f32 (mixed precision)\n\
          neumann-f32:M        degree-M Neumann series applied in f32 (mixed precision)\n\
          chebyshev:M          degree-M Chebyshev (min-max) polynomial\n\
-         gls-escalating:P     GLS degree schedule 1->3->7->10, advancing every P applies"
+         gls-escalating:P     GLS degree schedule 1->3->7->10, advancing every P applies\n\
+         twolevel:C:S         coarse space C (const|rbm|lowrank-K, each optionally .sK\n\
+                              for K prolongator-smoothing passes, e.g. rbm.s3) around\n\
+                              smoother S (none, jacobi, gls-M, neumann-M, gls-f32-M,\n\
+                              neumann-f32-M, chebyshev-M); multiplicative unless :add\n\
+                              is appended"
     )
 }
 
@@ -394,6 +588,14 @@ pub fn examples() -> Vec<PrecondSpec> {
         PrecondSpec::NeumannF32 { degree: 2 },
         PrecondSpec::Chebyshev { degree: 8 },
         PrecondSpec::GlsEscalating { period: 5 },
+        PrecondSpec::TwoLevel {
+            coarse: CoarseSpec::Rbm,
+            smoother: Box::new(PrecondSpec::Gls {
+                degree: 3,
+                theta: None,
+            }),
+            additive: false,
+        },
     ]
 }
 
@@ -439,10 +641,49 @@ mod tests {
     fn builds_every_example_against_a_csr_operator() {
         let a = CsrMatrix::identity(4);
         for spec in examples() {
+            if spec.needs_coarse() {
+                // Two-level specs need a coarse solver — covered by
+                // `instantiates_twolevel_examples_with_a_coarse` below.
+                continue;
+            }
             let pc = spec.build::<CsrMatrix>(|| a.diagonal());
             let z = pc.apply(&a, &[1.0, 2.0, 3.0, 4.0]);
             assert_eq!(z.len(), 4);
             assert!(z.iter().all(|v| v.is_finite()));
         }
+    }
+
+    #[test]
+    fn instantiates_twolevel_examples_with_a_coarse() {
+        use crate::twolevel::{build_coarse_basis, CoarsePartGeometry};
+        let a = CsrMatrix::identity(4);
+        let parts: Vec<CoarsePartGeometry> = (0..2)
+            .map(|p| CoarsePartGeometry {
+                dofs: vec![2 * p, 2 * p + 1],
+                pos: vec![[p as f64, 0.0], [p as f64, 1.0]],
+                comp: vec![0, 0],
+                constrained: vec![false, false],
+            })
+            .collect();
+        let mult = vec![1.0; 4];
+        let d = vec![1.0; 4];
+        for spec in examples().into_iter().filter(PrecondSpec::needs_coarse) {
+            let PrecondSpec::TwoLevel { coarse, .. } = &spec else {
+                unreachable!()
+            };
+            let basis = build_coarse_basis(coarse, &parts, &mult, &d, &a, 1e-12);
+            let pc = spec.instantiate_with_coarse(Some(basis.solver()), || a.diagonal());
+            let z = Preconditioner::<CsrMatrix>::apply(&pc, &a, &[1.0, 2.0, 3.0, 4.0]);
+            assert_eq!(z.len(), 4);
+            assert!(z.iter().all(|v| v.is_finite()));
+            assert_eq!(Preconditioner::<CsrMatrix>::name(&pc), spec.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a coarse solver")]
+    fn plain_instantiate_rejects_twolevel() {
+        let spec = PrecondSpec::parse("twolevel:rbm:gls-3").unwrap();
+        let _ = spec.instantiate(Vec::new);
     }
 }

@@ -3,22 +3,49 @@
 //! CLI shows — pinning the messages so help text and errors cannot drift.
 
 use parfem_precond::registry::{examples, grammar_help, GRAMMAR};
-use parfem_precond::{ParseSpecError, PrecondSpec};
+use parfem_precond::{CoarseSpec, ParseSpecError, PrecondSpec};
 use proptest::prelude::*;
 
-/// Strategy: an arbitrary spec from the registry's kinds, with a random
-/// degree/period where the kind takes one.
+/// Strategy: any spec the registry can print and re-parse — the one-level
+/// kinds with a random degree/period, plus the two-level compositions
+/// (any coarse space × any *smoother-grammar* one-level spec — everything
+/// except `gls-escalating`, which has no smoother token — × either
+/// composition).
 fn any_spec() -> impl Strategy<Value = PrecondSpec> {
-    (0usize..6, 0usize..40).prop_map(|(kind, n)| match kind {
-        0 => PrecondSpec::None,
-        1 => PrecondSpec::Jacobi,
-        2 => PrecondSpec::Gls {
-            degree: n,
-            theta: None,
-        },
-        3 => PrecondSpec::Neumann { degree: n },
-        4 => PrecondSpec::Chebyshev { degree: n },
-        _ => PrecondSpec::GlsEscalating { period: n + 1 },
+    (0usize..9, 1usize..9, 0usize..5, 0usize..40, 0usize..2).prop_map(|(kind, k, s, n, comp)| {
+        match kind {
+            0 => PrecondSpec::None,
+            1 => PrecondSpec::Jacobi,
+            2 => PrecondSpec::Gls {
+                degree: n,
+                theta: None,
+            },
+            3 => PrecondSpec::Neumann { degree: n },
+            4 => PrecondSpec::Chebyshev { degree: n },
+            5 => PrecondSpec::GlsEscalating { period: n + 1 },
+            _ => {
+                let coarse = match kind {
+                    6 => CoarseSpec::Const,
+                    7 => CoarseSpec::Rbm,
+                    _ => CoarseSpec::LowRank(k),
+                };
+                let smoother = match s {
+                    0 => PrecondSpec::None,
+                    1 => PrecondSpec::Jacobi,
+                    2 => PrecondSpec::Gls {
+                        degree: n,
+                        theta: None,
+                    },
+                    3 => PrecondSpec::Neumann { degree: n },
+                    _ => PrecondSpec::Chebyshev { degree: n },
+                };
+                PrecondSpec::TwoLevel {
+                    coarse,
+                    smoother: Box::new(smoother),
+                    additive: comp == 1,
+                }
+            }
+        }
     })
 }
 
@@ -161,6 +188,125 @@ fn zero_period_is_rejected() {
         PrecondSpec::parse("gls-escalating(x0)").unwrap_err(),
         ParseSpecError::ZeroPeriod
     );
+}
+
+#[test]
+fn twolevel_missing_coarse_is_rejected() {
+    for s in ["twolevel", "twolevel:"] {
+        let err = PrecondSpec::parse(s).unwrap_err();
+        assert_eq!(err, ParseSpecError::MissingCoarse);
+        assert_eq!(
+            err.to_string(),
+            "twolevel needs a coarse space and a smoother, e.g. twolevel:rbm:gls-3"
+        );
+    }
+}
+
+#[test]
+fn twolevel_bad_coarse_names_the_choices() {
+    // `rbm.s0` (no-op smoothing) and `rbm.s2.s2` (nested smoothing) are
+    // outside the grammar alongside the plainly malformed tokens.
+    for bad in [
+        "fine",
+        "lowrank-0",
+        "lowrank-x",
+        "lowrank",
+        "rbm.s0",
+        "rbm.s2.s2",
+        "rbm.sx",
+    ] {
+        let err = PrecondSpec::parse(&format!("twolevel:{bad}:gls-3")).unwrap_err();
+        assert_eq!(err, ParseSpecError::BadCoarse(bad.into()));
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "bad coarse space {bad}: expected const, rbm or lowrank-K \
+                 (K >= 1), optionally .sK for K prolongator-smoothing passes"
+            )
+        );
+    }
+}
+
+#[test]
+fn twolevel_smoothed_coarse_round_trips() {
+    for s in [
+        "twolevel:rbm.s3:gls-3",
+        "twolevel:const.s1:gls-7:add",
+        "twolevel:lowrank-4.s2:neumann-2",
+    ] {
+        let spec = PrecondSpec::parse(s).unwrap();
+        assert_eq!(spec.spec_str(), s);
+        assert_eq!(PrecondSpec::parse(&spec.name()).unwrap(), spec);
+    }
+}
+
+#[test]
+fn twolevel_missing_smoother_is_rejected() {
+    let err = PrecondSpec::parse("twolevel:rbm").unwrap_err();
+    assert_eq!(err, ParseSpecError::MissingSmoother);
+    assert_eq!(
+        err.to_string(),
+        "twolevel needs a smoother, e.g. twolevel:rbm:gls-3"
+    );
+}
+
+#[test]
+fn twolevel_bad_smoother_names_the_choices() {
+    for bad in ["gls", "gls-x", "ssor-2", "gls-escalating-5"] {
+        let err = PrecondSpec::parse(&format!("twolevel:rbm:{bad}")).unwrap_err();
+        assert_eq!(err, ParseSpecError::BadSmoother(bad.into()));
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "bad smoother {bad}: expected none, jacobi, gls-M, neumann-M, \
+                 gls-f32-M, neumann-f32-M or chebyshev-M"
+            )
+        );
+    }
+}
+
+#[test]
+fn twolevel_bad_composition_is_rejected() {
+    for bad in ["both", "add:extra"] {
+        let err = PrecondSpec::parse(&format!("twolevel:rbm:gls-3:{bad}")).unwrap_err();
+        assert!(
+            matches!(err, ParseSpecError::BadComposition(_)),
+            "twolevel:rbm:gls-3:{bad} must hit the composition arm, got {err:?}"
+        );
+    }
+    assert_eq!(
+        PrecondSpec::parse("twolevel:rbm:gls-3:both")
+            .unwrap_err()
+            .to_string(),
+        "bad composition both: expected add or mult"
+    );
+}
+
+#[test]
+fn twolevel_accepts_explicit_mult_and_defaults_to_it() {
+    let explicit = PrecondSpec::parse("twolevel:rbm:gls-3:mult").unwrap();
+    let default = PrecondSpec::parse("twolevel:rbm:gls-3").unwrap();
+    assert_eq!(explicit, default);
+    // The canonical printed form omits the default composition.
+    assert_eq!(default.spec_str(), "twolevel:rbm:gls-3");
+    assert_eq!(
+        PrecondSpec::parse("twolevel:rbm:gls-3:add")
+            .unwrap()
+            .spec_str(),
+        "twolevel:rbm:gls-3:add"
+    );
+}
+
+#[test]
+fn twolevel_mixed_precision_smoothers_round_trip() {
+    for s in [
+        "twolevel:const:gls-f32-4",
+        "twolevel:lowrank-6:neumann-f32-2:add",
+    ] {
+        let spec = PrecondSpec::parse(s).unwrap();
+        assert_eq!(spec.spec_str(), s);
+        assert_eq!(PrecondSpec::parse(&spec.name()).unwrap(), spec);
+    }
 }
 
 #[test]

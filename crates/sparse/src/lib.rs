@@ -26,6 +26,8 @@
 //!   formats, convertible to and from CSR without loss,
 //! - [`f32csr`] — a single-precision CSR mirror for mixed-precision
 //!   preconditioning,
+//! - [`skyline`] — a pivot-tolerant skyline/profile LDLᵀ direct solver for
+//!   the two-level preconditioner's Galerkin coarse operator,
 //! - [`variant`] — the kernel-variant policy and the per-matrix
 //!   (format × kernel) selector.
 //!
@@ -55,6 +57,7 @@ pub mod op;
 pub mod scaling;
 pub mod sell;
 pub mod simd;
+pub mod skyline;
 pub mod variant;
 
 pub use bcsr::BcsrMatrix;
@@ -66,4 +69,5 @@ pub use ilu::Ilu0;
 pub use op::LinearOperator;
 pub use scaling::DiagonalScaling;
 pub use sell::SellMatrix;
+pub use skyline::SkylineLdlt;
 pub use variant::{KernelPolicy, SelectedKernel, VariantChoice};
