@@ -42,107 +42,41 @@
 
 use parfem::prelude::*;
 use parfem_bench::harness::{banner, quick, Table};
+use parfem_bench::modeling::{modeled_edd, rank_stats, IterCostModel};
 use parfem_krylov::gmres::fgmres_with;
 use parfem_krylov::KrylovWorkspace;
 use parfem_mesh::numbering::DOFS_PER_NODE;
-use parfem_mesh::{Cells, DofMap};
+use parfem_mesh::DofMap;
 use parfem_precond::twolevel::{build_coarse_basis, CoarseSolver};
 use parfem_precond::CoarsePartGeometry;
 use parfem_sparse::scaling;
 use parfem_sparse::skyline::DEFAULT_PIVOT_TOL;
-use std::collections::BTreeMap;
 
-/// Per-element flops of one FGMRES+gls(7) iteration: 8 matvecs (degree-7
-/// polynomial application plus the outer operator) at ~150 flops per
-/// element-row contribution.
-const FLOPS_PER_ELEM_ITER: f64 = 1200.0;
-/// Interface exchanges per iteration — one per matvec.
-const EXCHANGE_ROUNDS: usize = 8;
-/// Global synchronizations per iteration: Gram-Schmidt dots + residual norm.
-const SYNCS_PER_ITER: usize = 3;
-/// Interface payload per shared node: two displacement dofs, f64.
-const BYTES_PER_NODE: usize = 16;
-/// All-reduce payload: one f64 partial sum (header-dominated).
-const ALLREDUCE_BYTES: usize = 8;
 const GRAPH_SEED: u64 = 0;
 
-/// Per-rank element counts and neighbor interface sizes of a partition.
-struct RankStats {
-    elems: Vec<usize>,
-    /// For each rank: `(neighbor, interface bytes)` — shared mesh nodes
-    /// times [`BYTES_PER_NODE`].
-    nbr_bytes: Vec<Vec<(usize, usize)>>,
-}
-
-fn rank_stats<M: Cells>(mesh: &M, owner: &[usize], p: usize) -> RankStats {
-    let mut elems = vec![0usize; p];
-    for &o in owner {
-        elems[o] += 1;
-    }
-    // Parts touching each node; a node shared by parts {a, b} is one
-    // interface entry each way.
-    let mut node_parts: Vec<Vec<usize>> = vec![Vec::new(); mesh.n_cell_nodes()];
-    for (e, &own) in owner.iter().enumerate() {
-        for n in mesh.cell_nodes(e) {
-            let parts = &mut node_parts[n];
-            if !parts.contains(&own) {
-                parts.push(own);
-            }
-        }
-    }
-    let mut shared: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for parts in &node_parts {
-        for (i, &a) in parts.iter().enumerate() {
-            for &b in &parts[i + 1..] {
-                *shared.entry((a.min(b), a.max(b))).or_insert(0) += 1;
-            }
-        }
-    }
-    let mut nbr_bytes: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
-    for (&(a, b), &nodes) in &shared {
-        nbr_bytes[a].push((b, nodes * BYTES_PER_NODE));
-        nbr_bytes[b].push((a, nodes * BYTES_PER_NODE));
-    }
-    RankStats { elems, nbr_bytes }
-}
-
-/// Modeled per-iteration times of one EDD partition on one machine:
-/// `(blocking, overlapped, worst contention factor)`.
-///
-/// A rank's exchange round posts all neighbor sends at once, so the round
-/// costs its slowest contended message; blocking pays compute + comm,
-/// overlapped pays `max(compute, comm)`. Both then pay the collectives.
-fn modeled_edd(model: &MachineModel, p: usize, stats: &RankStats) -> (f64, f64, f64) {
-    let sync = SYNCS_PER_ITER as f64 * model.allreduce_time(p, ALLREDUCE_BYTES);
-    let (mut t_block, mut t_overlap, mut worst_factor) = (0.0f64, 0.0f64, 1.0f64);
-    for r in 0..p {
-        let compute = model.compute_time((stats.elems[r] as f64 * FLOPS_PER_ELEM_ITER) as u64);
-        let nbrs: Vec<usize> = stats.nbr_bytes[r].iter().map(|&(q, _)| q).collect();
-        let factors = model.contention_factors(p, r, &nbrs);
-        let mut round = 0.0f64;
-        for (&(q, bytes), &f) in stats.nbr_bytes[r].iter().zip(&factors) {
-            round = round.max(model.message_time_contended(p, r, q, bytes, f));
-            worst_factor = worst_factor.max(f);
-        }
-        let comm = EXCHANGE_ROUNDS as f64 * round;
-        t_block = t_block.max(compute + comm);
-        t_overlap = t_overlap.max(model.overlapped_time(compute, comm));
-    }
-    (t_block + sync, t_overlap + sync, worst_factor)
+/// The paper's 2-D elasticity FGMRES + gls(7) iteration cost model.
+fn cost() -> IterCostModel {
+    IterCostModel::paper_gls7()
 }
 
 /// Modeled per-iteration time of the RDD strategy, which always splits the
 /// node columns into strips (matching the CLI): each rank trades one
 /// column of externals with each side neighbor per matvec.
-fn modeled_rdd(model: &MachineModel, p: usize, mesh: &QuadMesh, total_flops: f64) -> f64 {
+fn modeled_rdd(
+    model: &MachineModel,
+    p: usize,
+    mesh: &QuadMesh,
+    total_flops: f64,
+    cost: &IterCostModel,
+) -> f64 {
     let part = NodePartition::strips_x(mesh, p);
     let mut nodes = vec![0usize; p];
     for &o in part.owners() {
         nodes[o] += 1;
     }
     let n_nodes = part.owners().len() as f64;
-    let bytes = (mesh.ny() + 1) * BYTES_PER_NODE;
-    let sync = SYNCS_PER_ITER as f64 * model.allreduce_time(p, ALLREDUCE_BYTES);
+    let bytes = (mesh.ny() + 1) * cost.bytes_per_node;
+    let sync = cost.syncs_per_iter as f64 * model.allreduce_time(p, cost.allreduce_bytes);
     let mut t = 0.0f64;
     for (r, &owned) in nodes.iter().enumerate() {
         let compute = model.compute_time((total_flops * owned as f64 / n_nodes) as u64);
@@ -154,7 +88,7 @@ fn modeled_rdd(model: &MachineModel, p: usize, mesh: &QuadMesh, total_flops: f64
         for (&q, &f) in nbrs.iter().zip(&factors) {
             round = round.max(model.message_time_contended(p, r, q, bytes, f));
         }
-        t = t.max(compute + EXCHANGE_ROUNDS as f64 * round);
+        t = t.max(compute + cost.exchange_rounds as f64 * round);
     }
     t + sync
 }
@@ -217,11 +151,12 @@ fn run_series(
         );
         let ratio = graph_cut as f64 / strips_cut as f64;
         cut_ratio_max = cut_ratio_max.max(ratio);
-        let stats = rank_stats(&mesh, graph.owners(), p);
-        let total_flops = n as f64 * FLOPS_PER_ELEM_ITER;
+        let cost = cost();
+        let stats = rank_stats(&mesh, graph.owners(), p, &cost);
+        let total_flops = n as f64 * cost.flops_per_elem_iter;
         for (ti, model) in topos.iter().enumerate() {
-            let (t_edd, t_overlap, contention) = modeled_edd(model, p, &stats);
-            let t_rdd = modeled_rdd(model, p, &mesh, total_flops);
+            let (t_edd, t_overlap, contention) = modeled_edd(model, p, &stats, &cost);
+            let t_rdd = modeled_rdd(model, p, &mesh, total_flops, &cost);
             let speedup = t_edd / t_overlap;
             overlap_speedup_min = overlap_speedup_min.min(speedup);
             // Weak: time of the per-rank tile with all overheads removed.
@@ -350,7 +285,7 @@ fn coarse_parts(
                 for c in 0..DOFS_PER_NODE {
                     let g = n * DOFS_PER_NODE + c;
                     geo.dofs.push(g);
-                    geo.pos.push(coords[n]);
+                    geo.pos.push([coords[n][0], coords[n][1], 0.0]);
                     geo.comp.push(c);
                     geo.constrained.push(dm.is_fixed(g));
                     mult[g] += 1.0;
@@ -454,13 +389,14 @@ fn run_twolevel_series(
         // two-level apply adds: one n_modes-double all-reduce for the
         // coarse residual moments, the replicated skyline back-solve, and
         // (multiplicative composition) one extra operator application.
-        let stats = rank_stats(&prob.mesh, &owners, p);
+        let cost = cost();
+        let stats = rank_stats(&prob.mesh, &owners, p, &cost);
         let elems_max = *stats.elems.iter().max().unwrap() as f64;
         for model in topos {
-            let (t_one_iter, _, _) = modeled_edd(model, p, &stats);
+            let (t_one_iter, _, _) = modeled_edd(model, p, &stats, &cost);
             let extra = model.allreduce_time(p, n_modes * 8)
                 + model.compute_time((n_modes as f64 * COARSE_SOLVE_FLOPS_PER_MODE) as u64)
-                + model.compute_time((elems_max * FLOPS_PER_ELEM_ITER / 8.0) as u64);
+                + model.compute_time((elems_max * cost.flops_per_elem_iter / 8.0) as u64);
             let t_two_iter = t_one_iter + extra;
             let t_one = iters_one as f64 * t_one_iter;
             let t_two = iters_two as f64 * t_two_iter;

@@ -5,6 +5,7 @@
 //! `results/` at the workspace root, so the data can be re-plotted.
 
 pub mod harness;
+pub mod modeling;
 
 use std::fs;
 use std::io::Write;

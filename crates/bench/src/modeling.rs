@@ -1,0 +1,172 @@
+//! Shared modeled-cost machinery for the scaling laboratory binaries.
+//!
+//! The `scaling` and `physics_scaling` bins both turn an element partition
+//! into modeled per-iteration times on the analytic [`MachineModel`]
+//! topologies. The partition statistics ([`rank_stats`]) and the
+//! blocking/overlapped EDD iteration model ([`modeled_edd`]) live here so
+//! the two sweeps model the *same* machine with physics-dependent
+//! parameters — the interface payload in particular is `8 × dofs-per-node`
+//! bytes per shared mesh node, not a hardwired two-displacement-DOF
+//! constant.
+
+use parfem::prelude::MachineModel;
+use parfem_mesh::Cells;
+use std::collections::BTreeMap;
+
+/// Per-iteration cost parameters of the modeled FGMRES + polynomial
+/// preconditioner sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct IterCostModel {
+    /// Per-element flops of one preconditioned iteration (all matvecs).
+    pub flops_per_elem_iter: f64,
+    /// Interface exchanges per iteration — one per matvec.
+    pub exchange_rounds: usize,
+    /// Global synchronizations per iteration (Gram-Schmidt dots + norm).
+    pub syncs_per_iter: usize,
+    /// Interface payload per shared mesh node: `8 × dofs-per-node` bytes.
+    pub bytes_per_node: usize,
+    /// All-reduce payload: one f64 partial sum (header-dominated).
+    pub allreduce_bytes: usize,
+}
+
+impl IterCostModel {
+    /// The FGMRES + gls(7) iteration of the paper's 2-D elasticity
+    /// workload: 8 matvecs at ~150 flops per element-row contribution,
+    /// two displacement DOFs per interface node.
+    pub fn paper_gls7() -> Self {
+        IterCostModel {
+            flops_per_elem_iter: 1200.0,
+            exchange_rounds: 8,
+            syncs_per_iter: 3,
+            bytes_per_node: 16,
+            allreduce_bytes: 8,
+        }
+    }
+
+    /// The same machine traffic pattern for an arbitrary physics: the
+    /// interface payload scales with DOFs per node, the per-element flops
+    /// with the element stiffness row count (`flops_per_elem_iter` is per
+    /// preconditioned iteration, matvec count included).
+    pub fn for_physics(dofs_per_node: usize, flops_per_elem_iter: f64) -> Self {
+        IterCostModel {
+            flops_per_elem_iter,
+            bytes_per_node: 8 * dofs_per_node,
+            ..Self::paper_gls7()
+        }
+    }
+}
+
+/// Per-rank element counts and neighbor interface sizes of a partition.
+pub struct RankStats {
+    /// Elements owned by each rank.
+    pub elems: Vec<usize>,
+    /// For each rank: `(neighbor, interface bytes)` — shared mesh nodes
+    /// times [`IterCostModel::bytes_per_node`].
+    pub nbr_bytes: Vec<Vec<(usize, usize)>>,
+}
+
+/// Computes [`RankStats`] for an element `owner` map over any structured
+/// cell mesh (quadrilaterals and hexahedra alike).
+pub fn rank_stats<M: Cells>(
+    mesh: &M,
+    owner: &[usize],
+    p: usize,
+    cost: &IterCostModel,
+) -> RankStats {
+    let mut elems = vec![0usize; p];
+    for &o in owner {
+        elems[o] += 1;
+    }
+    // Parts touching each node; a node shared by parts {a, b} is one
+    // interface entry each way.
+    let mut node_parts: Vec<Vec<usize>> = vec![Vec::new(); mesh.n_cell_nodes()];
+    for (e, &own) in owner.iter().enumerate() {
+        for n in mesh.cell_nodes(e) {
+            let parts = &mut node_parts[n];
+            if !parts.contains(&own) {
+                parts.push(own);
+            }
+        }
+    }
+    let mut shared: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for parts in &node_parts {
+        for (i, &a) in parts.iter().enumerate() {
+            for &b in &parts[i + 1..] {
+                *shared.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut nbr_bytes: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
+    for (&(a, b), &nodes) in &shared {
+        nbr_bytes[a].push((b, nodes * cost.bytes_per_node));
+        nbr_bytes[b].push((a, nodes * cost.bytes_per_node));
+    }
+    RankStats { elems, nbr_bytes }
+}
+
+/// Modeled per-iteration times of one EDD partition on one machine:
+/// `(blocking, overlapped, worst contention factor)`.
+///
+/// A rank's exchange round posts all neighbor sends at once, so the round
+/// costs its slowest contended message; blocking pays compute + comm,
+/// overlapped pays `max(compute, comm)`. Both then pay the collectives.
+pub fn modeled_edd(
+    model: &MachineModel,
+    p: usize,
+    stats: &RankStats,
+    cost: &IterCostModel,
+) -> (f64, f64, f64) {
+    let sync = cost.syncs_per_iter as f64 * model.allreduce_time(p, cost.allreduce_bytes);
+    let (mut t_block, mut t_overlap, mut worst_factor) = (0.0f64, 0.0f64, 1.0f64);
+    for r in 0..p {
+        let compute = model.compute_time((stats.elems[r] as f64 * cost.flops_per_elem_iter) as u64);
+        let nbrs: Vec<usize> = stats.nbr_bytes[r].iter().map(|&(q, _)| q).collect();
+        let factors = model.contention_factors(p, r, &nbrs);
+        let mut round = 0.0f64;
+        for (&(q, bytes), &f) in stats.nbr_bytes[r].iter().zip(&factors) {
+            round = round.max(model.message_time_contended(p, r, q, bytes, f));
+            worst_factor = worst_factor.max(f);
+        }
+        let comm = cost.exchange_rounds as f64 * round;
+        t_block = t_block.max(compute + comm);
+        t_overlap = t_overlap.max(model.overlapped_time(compute, comm));
+    }
+    (t_block + sync, t_overlap + sync, worst_factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfem_mesh::QuadMesh;
+
+    #[test]
+    fn payload_scales_with_dofs_per_node() {
+        let scalar = IterCostModel::for_physics(1, 300.0);
+        let vector3 = IterCostModel::for_physics(3, 2700.0);
+        assert_eq!(scalar.bytes_per_node, 8);
+        assert_eq!(vector3.bytes_per_node, 24);
+        assert_eq!(IterCostModel::paper_gls7().bytes_per_node, 16);
+    }
+
+    #[test]
+    fn rank_stats_count_shared_interface_nodes() {
+        // 2x1 elements split into two ranks share one element edge: 2 nodes.
+        let mesh = QuadMesh::cantilever(2, 1);
+        let cost = IterCostModel::paper_gls7();
+        let stats = rank_stats(&mesh, &[0, 1], 2, &cost);
+        assert_eq!(stats.elems, vec![1, 1]);
+        assert_eq!(stats.nbr_bytes[0], vec![(1, 2 * cost.bytes_per_node)]);
+        assert_eq!(stats.nbr_bytes[1], vec![(0, 2 * cost.bytes_per_node)]);
+    }
+
+    #[test]
+    fn overlapped_never_models_slower_than_blocking() {
+        let mesh = QuadMesh::cantilever(16, 4);
+        let owner: Vec<usize> = (0..mesh.n_elems()).map(|e| (e % 16) / 4).collect();
+        let cost = IterCostModel::paper_gls7();
+        let stats = rank_stats(&mesh, &owner, 4, &cost);
+        let model = MachineModel::cluster();
+        let (block, overlap, _) = modeled_edd(&model, 4, &stats, &cost);
+        assert!(overlap <= block + 1e-15, "{overlap} vs {block}");
+    }
+}

@@ -47,10 +47,16 @@ fn usage() -> ExitCode {
   parfem perf-gate [--perf FILE] [--baseline FILE]
 
 solve options:
-  --mesh NXxNY          element grid (e.g. 100x100)
+  --problem NAME        workload physics: {problems}
+                        (default elasticity2d, the paper's cantilever)
+  --mesh NXxNY[xNZ]     element grid (e.g. 100x100, or 24x8x8 for the
+                        3-D hexahedral cantilever)
   --paper-mesh K        use Table 2 Mesh K (1..10) instead of --mesh
-  --distort AMP         distort interior nodes by AMP cell widths (0..0.5)
-  --load pull:F|shear:F load case and total force (default pull:1.0)
+                        (elasticity2d only)
+  --distort AMP         distort interior nodes by AMP cell widths (0..0.5;
+                        elasticity2d only)
+  --load pull:F|shear:F load case and total force (default pull:1.0;
+                        heat2d reads the magnitude as the total edge flux)
   --parts P             number of subdomains/ranks (default 4)
   --strategy edd|rdd    decomposition strategy (default edd)
   --partitioner SPEC    element partitioner: strips|blocks|graph:<seed>
@@ -94,6 +100,7 @@ perf-gate options:
   --perf FILE           bench snapshot (default BENCH_PERF.json)
   --baseline FILE       frozen reference (default BENCH_BASELINE.json)
                         exits non-zero when any metric regresses",
+        problems = Physics::ALL.map(|p| p.name()).join("|"),
         machines = MachineModel::NAMES.join("|"),
     );
     ExitCode::from(2)
@@ -115,12 +122,29 @@ impl Args {
     }
 }
 
-fn parse_grid(s: &str) -> Option<(usize, usize)> {
-    let (a, b) = s.split_once(['x', 'X'])?;
-    Some((a.parse().ok()?, b.parse().ok()?))
+/// `NXxNY` or `NXxNYxNZ` (the 3-D depth defaults to 1 when absent).
+fn parse_grid(s: &str) -> Option<(usize, usize, usize)> {
+    let mut it = s.split(['x', 'X']);
+    let nx = it.next()?.parse().ok()?;
+    let ny = it.next()?.parse().ok()?;
+    let nz = match it.next() {
+        None => 1,
+        Some(z) => z.parse().ok()?,
+    };
+    if it.next().is_some() {
+        return None;
+    }
+    Some((nx, ny, nz))
 }
 
-fn build_problem(args: &Args) -> Result<CantileverProblem, String> {
+fn build_problem(args: &Args) -> Result<PhysicsProblem, String> {
+    let physics_name = args.value_of("--problem").unwrap_or("elasticity2d");
+    let physics = Physics::parse(physics_name).ok_or_else(|| {
+        format!(
+            "unknown problem {physics_name}; expected {}",
+            Physics::ALL.map(|p| p.name()).join("|")
+        )
+    })?;
     let load = match args.value_of("--load") {
         None => LoadCase::PullX(1.0),
         Some(spec) => {
@@ -136,37 +160,53 @@ fn build_problem(args: &Args) -> Result<CantileverProblem, String> {
         }
     };
     if let Some(k) = args.value_of("--paper-mesh") {
+        if physics != Physics::Elasticity2d {
+            return Err(format!(
+                "--paper-mesh is the paper's 2-D elasticity family; \
+                 pass --mesh for --problem {physics}"
+            ));
+        }
         let k: usize = k.parse().map_err(|_| "bad --paper-mesh".to_string())?;
-        return Ok(CantileverProblem::paper_mesh(k));
+        return Ok(CantileverProblem::paper_mesh(k).into_physics_problem());
     }
     let grid = args
         .value_of("--mesh")
         .ok_or_else(|| "need --mesh or --paper-mesh".to_string())?;
-    let (nx, ny) = parse_grid(grid).ok_or_else(|| format!("bad --mesh {grid}"))?;
-    let mesh = match args.value_of("--distort") {
-        None => QuadMesh::cantilever(nx, ny),
-        Some(a) => {
-            let amp: f64 = a.parse().map_err(|_| "bad --distort".to_string())?;
-            QuadMesh::distorted(nx, ny, nx as f64, ny as f64, amp, 0x5eed)
-        }
-    };
-    let mut dof_map = DofMap::new(mesh.n_nodes());
-    dof_map.clamp_edge(&mesh, Edge::Left);
-    let mut loads = vec![0.0; dof_map.n_dofs()];
-    match load {
-        LoadCase::PullX(f) => {
-            parfem::fem::assembly::edge_load(&mesh, &dof_map, Edge::Right, f, 0.0, &mut loads)
-        }
-        LoadCase::ShearY(f) => {
-            parfem::fem::assembly::edge_load(&mesh, &dof_map, Edge::Right, 0.0, f, &mut loads)
-        }
+    let (nx, ny, nz) = parse_grid(grid).ok_or_else(|| format!("bad --mesh {grid}"))?;
+    if physics != Physics::Elasticity3d && grid.matches(['x', 'X']).count() > 1 {
+        return Err(format!("--problem {physics} takes a 2-D grid NXxNY"));
     }
-    Ok(CantileverProblem {
-        mesh,
-        dof_map,
-        material: Material::unit(),
-        loads,
-    })
+    if let Some(a) = args.value_of("--distort") {
+        if physics != Physics::Elasticity2d {
+            return Err("--distort supports --problem elasticity2d only".to_string());
+        }
+        let amp: f64 = a.parse().map_err(|_| "bad --distort".to_string())?;
+        let mesh = QuadMesh::distorted(nx, ny, nx as f64, ny as f64, amp, 0x5eed);
+        let mut dof_map = DofMap::new(mesh.n_nodes());
+        dof_map.clamp_edge(&mesh, Edge::Left);
+        let mut loads = vec![0.0; dof_map.n_dofs()];
+        match load {
+            LoadCase::PullX(f) => {
+                parfem::fem::assembly::edge_load(&mesh, &dof_map, Edge::Right, f, 0.0, &mut loads)
+            }
+            LoadCase::ShearY(f) => {
+                parfem::fem::assembly::edge_load(&mesh, &dof_map, Edge::Right, 0.0, f, &mut loads)
+            }
+        }
+        return Ok(CantileverProblem {
+            mesh,
+            dof_map,
+            material: Material::unit(),
+            loads,
+        }
+        .into_physics_problem());
+    }
+    Ok(PhysicsProblem::cantilever(
+        physics,
+        (nx, ny, nz),
+        Material::unit(),
+        load,
+    ))
 }
 
 fn cmd_meshes() -> ExitCode {
@@ -320,13 +360,13 @@ fn cmd_solve(args: &Args) -> ExitCode {
         };
     let strategy_name = args.value_of("--strategy").unwrap_or("edd");
     let strategy = match strategy_name {
-        "edd" => Strategy::Edd(partitioner.element_partition(&problem.mesh, parts)),
+        "edd" => Strategy::Edd(problem.element_partition(&partitioner, parts)),
         "rdd" => {
             if partitioner != PartitionerSpec::Strips {
                 eprintln!("error: --partitioner {partitioner} only applies to --strategy edd");
                 return usage();
             }
-            Strategy::Rdd(NodePartition::strips_x(&problem.mesh, parts))
+            Strategy::Rdd(problem.node_partition(parts))
         }
         s => {
             eprintln!("unknown strategy {s}");
@@ -334,8 +374,9 @@ fn cmd_solve(args: &Args) -> ExitCode {
         }
     };
     println!(
-        "solving {} equations with {} on {} ranks ({}, {}, {})",
+        "solving {} {} equations with {} on {} ranks ({}, {}, {})",
         problem.n_eqn(),
+        problem.physics,
         cfg.precond.name(),
         parts,
         strategy_name,

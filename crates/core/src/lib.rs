@@ -60,7 +60,9 @@ pub use parfem_trace as trace;
 /// One-stop imports for examples and experiments.
 pub mod prelude {
     pub use crate::dynamic::{first_step_system, simulate, DynamicOutcome};
-    pub use crate::problems::{CantileverProblem, LoadCase, PAPER_MESHES};
+    pub use crate::problems::{
+        CantileverProblem, LoadCase, PhysicsProblem, WorkloadMesh, PAPER_MESHES,
+    };
     pub use crate::sequential::{solve_static, solve_system, SeqPrecond};
     #[allow(deprecated)] // the frozen legacy entry points stay importable
     pub use parfem_dd::{
@@ -71,10 +73,10 @@ pub mod prelude {
         DdSolveOutput, DynamicRunConfig, DynamicRunOutput, EddVariant, MultiSolveOutput,
         PrecondSpec, Problem, SolveError, SolveFailures, SolveSession, SolverConfig, Strategy,
     };
-    pub use parfem_fem::{Material, NewmarkParams};
+    pub use parfem_fem::{Material, NewmarkParams, Physics};
     pub use parfem_krylov::{ConvergenceHistory, GmresConfig};
     pub use parfem_mesh::{
-        DofMap, Edge, ElementPartition, NodePartition, PartitionerSpec, QuadMesh,
+        DofMap, Edge, ElementPartition, Face, HexMesh, NodePartition, PartitionerSpec, QuadMesh,
     };
     pub use parfem_msg::{CommError, FaultPlan, FaultStats, MachineModel, RankReport};
     pub use parfem_precond::IntervalUnion;

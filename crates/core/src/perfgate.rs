@@ -30,7 +30,13 @@
 //!   `p_min` to `p_max` must stay ≤ 1.3, and the one-level growth over the
 //!   same range must stay strictly larger than the two-level growth: the
 //!   coarse space earns its keep only if it flattens the iteration curve
-//!   that the one-level smoother cannot.
+//!   that the one-level smoother cannot,
+//! - **physics workloads** (`physics_modeled.*`, real FGMRES solves over
+//!   the heat2d and elasticity3d weak families the `physics_scaling` bin
+//!   regenerates) — each problem's two-level iteration growth from `p_min`
+//!   to `p_max` must stay ≤ 1.5, and every recorded modeled solve time
+//!   must be positive and finite (a zero or non-finite time means the
+//!   machine model broke, not that the solve got free).
 
 use parfem_trace::json::{self, Json};
 use std::fmt;
@@ -59,6 +65,12 @@ pub struct GateConfig {
     /// two-level iteration count at `p_max` relative to `p_min` (default
     /// `1.3`: near-flat counts are the whole point of the coarse space).
     pub max_twolevel_iter_growth: f64,
+    /// Maximum allowed `physics_modeled.*.iter_growth` — each non-paper
+    /// workload's two-level iteration count at `p_max` relative to `p_min`
+    /// (default `1.5`: slightly looser than the elasticity2d bound, since
+    /// the 3-D rigid-body coarse space has six modes to smooth instead of
+    /// three and the heat family anchors at a very small count).
+    pub max_physics_iter_growth: f64,
     /// Per-metric **absolute** caps on allocation metrics, overriding the
     /// ratio-plus-slack rule wherever tighter. Each entry is a
     /// (check-name prefix, cap) pair matched against `bench.metric`; the
@@ -77,6 +89,7 @@ impl Default for GateConfig {
             min_overlap_speedup: 1.0,
             max_graph_cut_ratio: 1.0,
             max_twolevel_iter_growth: 1.3,
+            max_physics_iter_growth: 1.5,
             alloc_caps: vec![("fgmres_iteration".to_string(), 0.0)],
         }
     }
@@ -346,6 +359,37 @@ pub fn evaluate(perf: &Json, baseline: &Json, cfg: &GateConfig) -> Result<GateRe
             }
         }
     }
+    if let Some(physics) = perf.get("physics_modeled").and_then(Json::as_object) {
+        for (series, entry) in physics {
+            if let Some(growth) = entry.get("iter_growth").and_then(Json::as_f64) {
+                checks.push(GateCheck {
+                    name: format!("physics_modeled.{series}.iter_growth"),
+                    current: growth,
+                    reference: 1.0,
+                    limit: cfg.max_physics_iter_growth,
+                    pass: growth <= cfg.max_physics_iter_growth,
+                    direction: "<=",
+                });
+            }
+            let Some(fields) = entry.as_object() else {
+                continue;
+            };
+            for (key, value) in fields {
+                if !key.starts_with("modeled_time_") {
+                    continue;
+                }
+                let Some(t) = value.as_f64() else { continue };
+                checks.push(GateCheck {
+                    name: format!("physics_modeled.{series}.{key}"),
+                    current: t,
+                    reference: 0.0,
+                    limit: 0.0,
+                    pass: t.is_finite() && t > 0.0,
+                    direction: ">",
+                });
+            }
+        }
+    }
     Ok(GateReport { checks })
 }
 
@@ -563,6 +607,78 @@ mod tests {
             assert_eq!(
                 report.failures()[0].name,
                 "twolevel_modeled.weak.onelevel_iter_growth"
+            );
+        }
+    }
+
+    fn physics_perf(growth: f64, time_p1024: &str) -> String {
+        format!(
+            r#"{{
+                "schema": "parfem-bench-perf-v1",
+                "current": {{}},
+                "physics_modeled": {{
+                    "heat2d": {{
+                        "p_min": 64,
+                        "p_max": 1024,
+                        "iters_p64": 10,
+                        "iters_p1024": 10,
+                        "modeled_time_p64": 3.1e-4,
+                        "modeled_time_p1024": 8.9e-4,
+                        "iter_growth": 1.0
+                    }},
+                    "elasticity3d": {{
+                        "p_min": 64,
+                        "p_max": 1024,
+                        "iters_p64": 12,
+                        "iters_p1024": 17,
+                        "modeled_time_p64": 1.3e-3,
+                        "modeled_time_p1024": {time_p1024},
+                        "iter_growth": {growth}
+                    }}
+                }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn healthy_physics_series_passes() {
+        let report = evaluate_texts(
+            &physics_perf(1.42, "4.6e-3"),
+            BASELINE,
+            &GateConfig::default(),
+        )
+        .unwrap();
+        assert!(report.passed(), "{}", report.render());
+        // Two series × (1 growth + 2 modeled-time checks).
+        assert_eq!(report.checks.len(), 6);
+    }
+
+    #[test]
+    fn physics_iteration_growth_past_bound_fails() {
+        // The degraded-snapshot self-test: a coarse space that stops
+        // flattening a physics workload's counts must trip the gate.
+        let report = evaluate_texts(
+            &physics_perf(1.75, "4.6e-3"),
+            BASELINE,
+            &GateConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.passed());
+        assert_eq!(
+            report.failures()[0].name,
+            "physics_modeled.elasticity3d.iter_growth"
+        );
+    }
+
+    #[test]
+    fn nonpositive_physics_modeled_time_fails() {
+        for bad in ["0.0", "-1.0e-3"] {
+            let report =
+                evaluate_texts(&physics_perf(1.42, bad), BASELINE, &GateConfig::default()).unwrap();
+            assert!(!report.passed(), "modeled time {bad} must fail");
+            assert_eq!(
+                report.failures()[0].name,
+                "physics_modeled.elasticity3d.modeled_time_p1024"
             );
         }
     }

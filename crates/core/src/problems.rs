@@ -6,8 +6,10 @@
 //! default material is the dimensionless unit material since only iteration
 //! counts and timings are reported.
 
-use parfem_fem::{assembly, Material};
-use parfem_mesh::{DofMap, Edge, QuadMesh};
+use parfem_fem::{assembly, Material, Physics};
+use parfem_mesh::{
+    DofMap, Edge, ElementPartition, Face, HexMesh, NodePartition, PartitionerSpec, QuadMesh,
+};
 
 /// The ten meshes of the paper's Table 2 as `(nXele, nYele)`.
 pub const PAPER_MESHES: [(usize, usize); 10] = [
@@ -101,6 +103,175 @@ impl CantileverProblem {
     /// [`parfem_dd::SolveSession::new`] takes.
     pub fn as_problem(&self) -> parfem_dd::Problem<'_> {
         parfem_dd::Problem::new(&self.mesh, &self.dof_map, &self.material, &self.loads)
+    }
+}
+
+/// The mesh backing a [`PhysicsProblem`] workload.
+#[derive(Debug, Clone)]
+pub enum WorkloadMesh {
+    /// A 2-D structured quadrilateral mesh.
+    Quad(QuadMesh),
+    /// A 3-D structured hexahedral mesh.
+    Hex(HexMesh),
+}
+
+/// A ready-to-solve benchmark on the *physics axis*: the paper's cantilever
+/// geometry instantiated for any supported [`Physics`], so workloads are
+/// orthogonal to strategy × preconditioner × machine.
+///
+/// - [`Physics::Elasticity2d`] — the paper's plane-stress cantilever
+///   (identical to [`CantileverProblem`]),
+/// - [`Physics::Heat2d`] — scalar steady conduction on the same geometry:
+///   temperature fixed at the root, a distributed flux on the free edge,
+/// - [`Physics::Elasticity3d`] — an 8-node hexahedral cantilever bar,
+///   clamped on the `x = 0` face, loaded on the opposite face.
+#[derive(Debug, Clone)]
+pub struct PhysicsProblem {
+    /// Which physics this workload assembles.
+    pub physics: Physics,
+    /// The mesh (quadrilateral for 2-D physics, hexahedral for 3-D).
+    pub mesh: WorkloadMesh,
+    /// DOF map with the cantilever root constrained.
+    pub dof_map: DofMap,
+    /// Material.
+    pub material: Material,
+    /// Global load vector (`dof_map.n_dofs()` long).
+    pub loads: Vec<f64>,
+}
+
+impl PhysicsProblem {
+    /// Builds the cantilever workload for `physics` on an
+    /// `nx × ny (× nz)`-element grid (`nz` ignored by the 2-D physics).
+    ///
+    /// The load case carries over per physics: elasticity keeps its
+    /// pull/shear meaning ([`LoadCase::PullX`] pulls along the bar axis,
+    /// [`LoadCase::ShearY`] loads transversely); for scalar heat the load's
+    /// magnitude becomes the total boundary flux into the free edge.
+    pub fn cantilever(
+        physics: Physics,
+        (nx, ny, nz): (usize, usize, usize),
+        material: Material,
+        load: LoadCase,
+    ) -> Self {
+        match physics {
+            Physics::Elasticity2d => {
+                CantileverProblem::new(nx, ny, material, load).into_physics_problem()
+            }
+            Physics::Heat2d => {
+                let mesh = QuadMesh::cantilever(nx, ny);
+                let mut dof_map = DofMap::with_dofs(mesh.n_nodes(), 1);
+                dof_map.clamp_edge(&mesh, Edge::Left);
+                let mut loads = vec![0.0; dof_map.n_dofs()];
+                let q = match load {
+                    LoadCase::PullX(f) | LoadCase::ShearY(f) => f,
+                };
+                assembly::edge_source(&mesh, &dof_map, Edge::Right, q, &mut loads);
+                PhysicsProblem {
+                    physics,
+                    mesh: WorkloadMesh::Quad(mesh),
+                    dof_map,
+                    material,
+                    loads,
+                }
+            }
+            Physics::Elasticity3d => {
+                let mesh = HexMesh::cantilever(nx, ny, nz);
+                let mut dof_map = DofMap::with_dofs(mesh.n_nodes(), 3);
+                for node in mesh.face_nodes(Face::XMin) {
+                    dof_map.clamp_node(node);
+                }
+                let mut loads = vec![0.0; dof_map.n_dofs()];
+                let f = match load {
+                    LoadCase::PullX(f) => [f, 0.0, 0.0],
+                    LoadCase::ShearY(f) => [0.0, f, 0.0],
+                };
+                assembly::face_load(&mesh, &dof_map, Face::XMax, f, &mut loads);
+                PhysicsProblem {
+                    physics,
+                    mesh: WorkloadMesh::Hex(mesh),
+                    dof_map,
+                    material,
+                    loads,
+                }
+            }
+        }
+    }
+
+    /// The number of free equations (the paper's `nEqn`).
+    pub fn n_eqn(&self) -> usize {
+        self.dof_map.n_free()
+    }
+
+    /// Total DOFs including constrained ones.
+    pub fn n_dofs(&self) -> usize {
+        self.dof_map.n_dofs()
+    }
+
+    /// Assembles the constrained static system `K u = f` for this
+    /// problem's physics.
+    pub fn static_system(&self) -> assembly::StaticSystem {
+        match (&self.mesh, self.physics) {
+            (WorkloadMesh::Quad(m), Physics::Elasticity2d) => {
+                assembly::build_static(m, &self.dof_map, &self.material, &self.loads)
+            }
+            (WorkloadMesh::Quad(m), Physics::Heat2d) => {
+                assembly::build_static_heat(m, &self.dof_map, &self.material, &self.loads)
+            }
+            (WorkloadMesh::Hex(m), Physics::Elasticity3d) => {
+                assembly::build_static_hex(m, &self.dof_map, &self.material, &self.loads)
+            }
+            _ => unreachable!("mesh/physics pairing validated at construction"),
+        }
+    }
+
+    /// The borrowed [`parfem_dd::Problem`] view — what
+    /// [`parfem_dd::SolveSession::new`] takes.
+    pub fn as_problem(&self) -> parfem_dd::Problem<'_> {
+        match (&self.mesh, self.physics) {
+            (WorkloadMesh::Quad(m), Physics::Elasticity2d) => {
+                parfem_dd::Problem::new(m, &self.dof_map, &self.material, &self.loads)
+            }
+            (WorkloadMesh::Quad(m), Physics::Heat2d) => {
+                parfem_dd::Problem::heat(m, &self.dof_map, &self.material, &self.loads)
+            }
+            (WorkloadMesh::Hex(m), Physics::Elasticity3d) => {
+                parfem_dd::Problem::elasticity3d(m, &self.dof_map, &self.material, &self.loads)
+            }
+            _ => unreachable!("mesh/physics pairing validated at construction"),
+        }
+    }
+
+    /// The EDD element partition `spec` produces for `parts` subdomains —
+    /// the partitioner registry is generic over structured cell meshes, so
+    /// every spec works for both mesh families.
+    pub fn element_partition(&self, spec: &PartitionerSpec, parts: usize) -> ElementPartition {
+        match &self.mesh {
+            WorkloadMesh::Quad(m) => spec.element_partition(m, parts),
+            WorkloadMesh::Hex(m) => spec.element_partition(m, parts),
+        }
+    }
+
+    /// The RDD node partition into `parts` vertical strips (slabs of
+    /// constant-`x` node columns for hexahedra).
+    pub fn node_partition(&self, parts: usize) -> NodePartition {
+        match &self.mesh {
+            WorkloadMesh::Quad(m) => NodePartition::strips_x(m, parts),
+            WorkloadMesh::Hex(m) => NodePartition::strips_x_hex(m, parts),
+        }
+    }
+}
+
+impl CantileverProblem {
+    /// Wraps this cantilever as the equivalent
+    /// [`Physics::Elasticity2d`] [`PhysicsProblem`].
+    pub fn into_physics_problem(self) -> PhysicsProblem {
+        PhysicsProblem {
+            physics: Physics::Elasticity2d,
+            mesh: WorkloadMesh::Quad(self.mesh),
+            dof_map: self.dof_map,
+            material: self.material,
+            loads: self.loads,
+        }
     }
 }
 

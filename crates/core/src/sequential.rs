@@ -8,8 +8,8 @@ use crate::problems::CantileverProblem;
 use parfem_krylov::gmres::{fgmres, GmresConfig};
 use parfem_krylov::ConvergenceHistory;
 use parfem_precond::{
-    BlockJacobiPrecond, ChebyshevPrecond, GlsPrecond, IdentityPrecond, Ilu0Precond, IntervalUnion,
-    JacobiPrecond, NeumannPrecond,
+    BlockJacobiPrecond, ChebyshevPrecond, DirectPrecond, GlsPrecond, IdentityPrecond, Ilu0Precond,
+    IntervalUnion, JacobiPrecond, NeumannPrecond,
 };
 use parfem_sparse::{scaling::scale_system, CsrMatrix, SparseError};
 
@@ -22,6 +22,11 @@ pub enum SeqPrecond {
     Jacobi,
     /// Incomplete LU with zero fill (the paper's sequential comparator).
     Ilu0,
+    /// Exact sparse-direct factorization of the scaled operator (RCM +
+    /// skyline LDLᵀ) — the one-iteration reference that keeps working on
+    /// floating/semi-definite systems where ILU(0) hits a zero pivot
+    /// (Eq. 45).
+    Direct,
     /// Neumann series of the given degree.
     Neumann(usize),
     /// GLS polynomial of the given degree on `(ε, 1)`.
@@ -46,6 +51,7 @@ impl SeqPrecond {
             SeqPrecond::None => "none".into(),
             SeqPrecond::Jacobi => "jacobi".into(),
             SeqPrecond::Ilu0 => "ilu(0)".into(),
+            SeqPrecond::Direct => "direct".into(),
             SeqPrecond::Neumann(m) => format!("neumann({m})"),
             SeqPrecond::Gls(m) => format!("gls({m})"),
             SeqPrecond::GlsOnTheta(m, t) => {
@@ -79,6 +85,7 @@ pub fn solve_system(
             let p = Ilu0Precond::factorize(&a)?;
             fgmres(&a, &p, &b, &x0, cfg)
         }
+        SeqPrecond::Direct => fgmres(&a, &DirectPrecond::new(&a), &b, &x0, cfg),
         SeqPrecond::Neumann(m) => fgmres(&a, &NeumannPrecond::for_scaled_system(*m), &b, &x0, cfg),
         SeqPrecond::Gls(m) => fgmres(&a, &GlsPrecond::for_scaled_system(*m), &b, &x0, cfg),
         SeqPrecond::GlsOnTheta(m, theta) => {

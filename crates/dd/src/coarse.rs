@@ -27,7 +27,7 @@ use crate::edd::EddOperator;
 use crate::rdd::{RddOperator, RddSystem};
 use crate::scaling::edd_scaling_reference;
 use parfem_fem::SubdomainSystem;
-use parfem_mesh::{numbering::DOFS_PER_NODE, DofMap, NodePartition};
+use parfem_mesh::{DofMap, NodePartition};
 use parfem_msg::Communicator;
 use parfem_precond::twolevel::{
     build_coarse_basis, CoarseBasis, CoarsePartGeometry, CoarseReduce, CoarseSolver, CoarseSpec,
@@ -89,13 +89,18 @@ pub fn edd_scaled_matrix(systems: &[SubdomainSystem], n_dofs: usize) -> (CsrMatr
 /// neighbour is constrained matches too — harmless, it merely leaves that
 /// dof to the smoother.)
 ///
-/// `coords` are the mesh node positions; pass `None` for raw prebuilt
-/// systems, in which case positions are zero and only geometry-free coarse
-/// spaces ([`CoarseSpec::Const`], [`CoarseSpec::LowRank`]) remain valid.
+/// `coords` are the mesh node positions (`z = 0` for 2-D meshes); pass
+/// `None` for raw prebuilt systems, in which case positions are zero and
+/// only geometry-free coarse spaces ([`CoarseSpec::Const`],
+/// [`CoarseSpec::LowRank`]) remain valid. `dofs_per_node` is the physics'
+/// DOF count per node (1 scalar, 2 plane elasticity, 3 solid) — it decodes
+/// the interleaved global numbering `dof = dofs_per_node * node + comp`.
 pub fn edd_part_geometry(
     systems: &[SubdomainSystem],
-    coords: Option<&[[f64; 2]]>,
+    coords: Option<&[[f64; 3]]>,
+    dofs_per_node: usize,
 ) -> Vec<CoarsePartGeometry> {
+    assert!(dofs_per_node > 0, "need at least one DOF per node");
     systems
         .iter()
         .map(|sys| {
@@ -107,9 +112,9 @@ pub fn edd_part_geometry(
                 constrained: Vec::with_capacity(n),
             };
             for (l, &g) in sys.global_dofs.iter().enumerate() {
-                geo.comp.push(g % DOFS_PER_NODE);
+                geo.comp.push(g % dofs_per_node);
                 geo.pos
-                    .push(coords.map_or([0.0; 2], |c| c[g / DOFS_PER_NODE]));
+                    .push(coords.map_or([0.0; 3], |c| c[g / dofs_per_node]));
                 let (cols, _) = sys.k_local.row(l);
                 geo.constrained.push(cols.len() == 1 && cols[0] == l);
             }
@@ -132,7 +137,8 @@ pub fn edd_coarse_basis(
     spec: &CoarseSpec,
     systems: &[SubdomainSystem],
     n_dofs: usize,
-    coords: Option<&[[f64; 2]]>,
+    coords: Option<&[[f64; 3]]>,
+    dofs_per_node: usize,
     pivot_tol: f64,
 ) -> CoarseBasis {
     assert!(
@@ -140,7 +146,7 @@ pub fn edd_coarse_basis(
         "rigid-body coarse modes need node coordinates; build the session from a mesh \
          or use twolevel:const / twolevel:lowrank-K"
     );
-    let parts = edd_part_geometry(systems, coords);
+    let parts = edd_part_geometry(systems, coords, dofs_per_node);
     let mut mult = vec![1.0; n_dofs];
     for sys in systems {
         for (l, &g) in sys.global_dofs.iter().enumerate() {
@@ -203,14 +209,15 @@ pub fn rdd_coarse_basis(
     d: &[f64],
     node_part: &NodePartition,
     dof_map: &DofMap,
-    coords: &[[f64; 2]],
+    coords: &[[f64; 3]],
     pivot_tol: f64,
 ) -> CoarseBasis {
+    let dpn = dof_map.dofs_per_node();
     let mut parts = vec![CoarsePartGeometry::default(); node_part.n_parts()];
     for (node, &owner) in node_part.owners().iter().enumerate() {
         let geo = &mut parts[owner];
-        for c in 0..DOFS_PER_NODE {
-            let g = node * DOFS_PER_NODE + c;
+        for c in 0..dpn {
+            let g = node * dpn + c;
             geo.dofs.push(g);
             geo.pos.push(coords[node]);
             geo.comp.push(c);

@@ -155,10 +155,11 @@ pub(crate) fn run_dynamic_edd(
         }
 
         // Preconditioner (constructed once; theta = (eps, 1) post scaling).
-        // Built through the registry as a concrete `BuiltPrecond` so the
+        // Built through the registry as a concrete `SpecPrecond` so the
         // per-step RHS borrows below need not outlive it; the diagonal
-        // interface sum runs only for Jacobi (the closure is lazy).
-        let pc = cfg.solver.precond.instantiate(|| {
+        // interface sum runs only for Jacobi (the closure is lazy), and the
+        // effective local matrix feeds the `direct` spec's factorization.
+        let pc = cfg.solver.precond.instantiate_full(None, Some(&a_eff), || {
             let mut d = a_eff.diagonal();
             layout.interface_sum_buffered(comm, &mut d, &mut setup_bufs);
             d

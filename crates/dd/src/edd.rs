@@ -36,7 +36,7 @@ use crate::solver::{dd_fgmres, DdResult, DistributedOperator};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::KrylovWorkspace;
 use parfem_msg::Communicator;
-use parfem_precond::Preconditioner;
+use parfem_precond::{InterfaceConsistency, Preconditioner};
 use parfem_sparse::variant::{select, SelectedKernel, VariantChoice};
 use parfem_sparse::{kernels, CsrMatrix, KernelPolicy, LinearOperator};
 use parfem_trace::MetricsRegistry;
@@ -264,6 +264,20 @@ impl<C: Communicator> LinearOperator for EddOperator<'_, C> {
 
     fn apply_flops(&self) -> u64 {
         self.a_local.spmv_flops()
+    }
+}
+
+/// EDD local vectors replicate interface entries, so an exact rank-local
+/// solve leaves the sharing ranks disagreeing there. The partition-of-unity
+/// average `z ← ⊕Σ z/mult` (multiplicity weighting followed by the Eq. 28
+/// neighbour sum) restores the replication invariant — this is what turns
+/// the registry's `direct` spec into a multiplicity-weighted additive
+/// Schwarz step on EDD operators.
+impl<C: Communicator> InterfaceConsistency for EddOperator<'_, C> {
+    fn make_consistent(&self, z: &mut [f64]) {
+        self.layout.to_local_distributed(z);
+        self.layout
+            .interface_sum_buffered(self.comm, z, &mut self.bufs.borrow_mut());
     }
 }
 

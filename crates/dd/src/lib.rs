@@ -57,8 +57,8 @@ pub use error::SolveError;
 pub use parfem_sparse::KernelPolicy;
 pub use rdd::{rdd_fgmres, rdd_fgmres_with, RddLocalIlu, RddOperator, RddSystem};
 pub use session::{
-    DdSolveOutput, MultiSolveOutput, PrecondSpec, Problem, SolveFailures, SolveSession,
-    SolverConfig, Strategy,
+    DdSolveOutput, MultiSolveOutput, PrecondSpec, Problem, ProblemMesh, SolveFailures,
+    SolveSession, SolverConfig, Strategy,
 };
 pub use solver::{dd_fgmres, DdResult, DistributedOperator};
 

@@ -22,10 +22,9 @@ use crate::error::SolveError;
 use crate::solver::{dd_fgmres, DdResult, DistributedOperator};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::KrylovWorkspace;
-use parfem_mesh::numbering::DOFS_PER_NODE;
 use parfem_mesh::NodePartition;
 use parfem_msg::Communicator;
-use parfem_precond::Preconditioner;
+use parfem_precond::{InterfaceConsistency, Preconditioner};
 use parfem_sparse::{kernels, CooMatrix, CsrMatrix, LinearOperator};
 use parfem_trace::MetricsRegistry;
 use std::cell::RefCell;
@@ -70,13 +69,16 @@ impl RddSystem {
     pub fn build_all(a: &CsrMatrix, b: &[f64], part: &NodePartition) -> Vec<RddSystem> {
         let n = a.n_rows();
         assert_eq!(b.len(), n, "rdd: rhs length mismatch");
-        assert_eq!(
-            part.owners().len() * DOFS_PER_NODE,
-            n,
+        let n_nodes = part.owners().len();
+        assert!(
+            n_nodes > 0 && n.is_multiple_of(n_nodes),
             "rdd: node partition does not match matrix"
         );
+        // DOFs per node follows from the matrix itself, so the same block
+        // split serves every physics (1 scalar, 2 plane, 3 solid DOFs).
+        let dofs_per_node = n / n_nodes;
         let p = part.n_parts();
-        let dof_owner = |d: usize| part.owner(d / DOFS_PER_NODE);
+        let dof_owner = |d: usize| part.owner(d / dofs_per_node);
 
         // Owned rows per rank, ascending, and global -> local row maps.
         let mut rows: Vec<Vec<usize>> = vec![Vec::new(); p];
@@ -331,6 +333,11 @@ impl<C: Communicator> LinearOperator for RddOperator<'_, C> {
     }
 }
 
+/// RDD block rows are disjoint — nothing is replicated, so rank-local
+/// solves are already globally consistent and the hook is the default
+/// no-op.
+impl<C: Communicator> InterfaceConsistency for RddOperator<'_, C> {}
+
 impl<C: Communicator> DistributedOperator for RddOperator<'_, C> {
     type Comm = C;
 
@@ -534,7 +541,7 @@ mod tests {
             for (lr, &row) in sys.rows.iter().enumerate() {
                 let (cols, vals) = a.row(row);
                 for (&c, &v) in cols.iter().zip(vals) {
-                    let got = if part.owner(c / DOFS_PER_NODE) == sys.rank {
+                    let got = if part.owner(c / 2) == sys.rank {
                         let lc = sys.rows.binary_search(&c).expect("owned col");
                         sys.a_loc.get(lr, lc)
                     } else {

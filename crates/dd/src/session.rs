@@ -44,11 +44,13 @@ use crate::edd::{edd_fgmres_metered, EddVariant};
 use crate::error::SolveError;
 use crate::rdd::{rdd_fgmres_metered, RddSystem};
 use crate::scaling::DistributedScaling;
-use parfem_fem::{Material, NewmarkParams, SubdomainSystem};
+use parfem_fem::{assembly::StaticSystem, Material, NewmarkParams, Physics, SubdomainSystem};
 use parfem_krylov::gmres::GmresConfig;
 use parfem_krylov::history::ConvergenceHistory;
 use parfem_krylov::KrylovWorkspace;
-use parfem_mesh::{DofMap, ElementPartition, NodePartition, PartitionerSpec, QuadMesh};
+use parfem_mesh::{
+    DofMap, ElementPartition, HexMesh, NodePartition, PartitionerSpec, QuadMesh, Subdomain,
+};
 use parfem_msg::{
     try_run_ranks, Communicator, FaultPlan, FaultStats, FaultyComm, MachineModel, RankReport,
     RunOptions, ThreadComm,
@@ -195,12 +197,22 @@ impl std::error::Error for SolveFailures {
     }
 }
 
+/// The mesh a [`Problem`] discretizes: the structured 2-D quadrilateral
+/// family (elasticity and scalar heat) or the 3-D hexahedral box.
+#[derive(Clone, Copy)]
+pub enum ProblemMesh<'a> {
+    /// A structured 2-D quadrilateral mesh.
+    Quad(&'a QuadMesh),
+    /// A structured 3-D hexahedral mesh.
+    Hex(&'a HexMesh),
+}
+
 /// A borrowed view of the mesh-level problem a session solves: geometry,
-/// constraints, material and the global load vector.
+/// physics, constraints, material and the global load vector.
 #[derive(Clone, Copy)]
 pub struct Problem<'a> {
-    /// The element mesh.
-    pub mesh: &'a QuadMesh,
+    mesh: ProblemMesh<'a>,
+    physics: Physics,
     /// DOF numbering and Dirichlet constraints.
     pub dof_map: &'a DofMap,
     /// Material parameters.
@@ -210,9 +222,67 @@ pub struct Problem<'a> {
 }
 
 impl<'a> Problem<'a> {
-    /// Bundles the four references; asserts the load vector's length.
+    /// The 2-D elasticity problem of the paper (two displacement DOFs per
+    /// node on a quadrilateral mesh) — the historical constructor; results
+    /// are bit-identical to the pre-physics-axis sessions.
     pub fn new(
         mesh: &'a QuadMesh,
+        dof_map: &'a DofMap,
+        material: &'a Material,
+        loads: &'a [f64],
+    ) -> Self {
+        Self::with_physics(
+            ProblemMesh::Quad(mesh),
+            Physics::Elasticity2d,
+            dof_map,
+            material,
+            loads,
+        )
+    }
+
+    /// A scalar Poisson/steady-heat problem on a quadrilateral mesh (one
+    /// temperature DOF per node).
+    pub fn heat(
+        mesh: &'a QuadMesh,
+        dof_map: &'a DofMap,
+        material: &'a Material,
+        loads: &'a [f64],
+    ) -> Self {
+        Self::with_physics(
+            ProblemMesh::Quad(mesh),
+            Physics::Heat2d,
+            dof_map,
+            material,
+            loads,
+        )
+    }
+
+    /// A 3-D elasticity problem on a hexahedral mesh (three displacement
+    /// DOFs per node).
+    pub fn elasticity3d(
+        mesh: &'a HexMesh,
+        dof_map: &'a DofMap,
+        material: &'a Material,
+        loads: &'a [f64],
+    ) -> Self {
+        Self::with_physics(
+            ProblemMesh::Hex(mesh),
+            Physics::Elasticity3d,
+            dof_map,
+            material,
+            loads,
+        )
+    }
+
+    /// The general constructor: any supported (mesh, physics) pairing.
+    ///
+    /// # Panics
+    /// Panics when the load vector or the DOF map's DOFs-per-node count does
+    /// not match the physics, or when the physics' spatial dimension does
+    /// not match the mesh.
+    pub fn with_physics(
+        mesh: ProblemMesh<'a>,
+        physics: Physics,
         dof_map: &'a DofMap,
         material: &'a Material,
         loads: &'a [f64],
@@ -222,11 +292,101 @@ impl<'a> Problem<'a> {
             dof_map.n_dofs(),
             "load vector does not match the DOF map"
         );
+        assert_eq!(
+            dof_map.dofs_per_node(),
+            physics.dofs_per_node(),
+            "DOF map carries the wrong DOFs-per-node count for {physics}"
+        );
+        let mesh_dim = match mesh {
+            ProblemMesh::Quad(_) => 2,
+            ProblemMesh::Hex(_) => 3,
+        };
+        assert_eq!(
+            physics.dim(),
+            mesh_dim,
+            "{physics} needs a {}-D mesh",
+            physics.dim()
+        );
         Problem {
             mesh,
+            physics,
             dof_map,
             material,
             loads,
+        }
+    }
+
+    /// The mesh this problem discretizes.
+    pub fn mesh(&self) -> ProblemMesh<'a> {
+        self.mesh
+    }
+
+    /// The physics assembled on the mesh.
+    pub fn physics(&self) -> Physics {
+        self.physics
+    }
+
+    /// Node coordinates lifted to 3-D (`z = 0` on 2-D meshes) — the
+    /// geometry the rigid-body coarse modes consume.
+    pub fn coords3(&self) -> Vec<[f64; 3]> {
+        match self.mesh {
+            ProblemMesh::Quad(m) => m.coords().iter().map(|c| [c[0], c[1], 0.0]).collect(),
+            ProblemMesh::Hex(m) => m.coords().to_vec(),
+        }
+    }
+
+    /// The quadrilateral mesh, for the 2-D-only paths (`partitioned()`, the
+    /// transient driver).
+    ///
+    /// # Panics
+    /// Panics on a hexahedral mesh, naming the caller `what`.
+    fn quad_mesh(&self, what: &str) -> &'a QuadMesh {
+        match self.mesh {
+            ProblemMesh::Quad(m) => m,
+            ProblemMesh::Hex(_) => panic!("{what} supports 2-D quadrilateral meshes only"),
+        }
+    }
+
+    /// Element-partitions this problem's mesh into the subdomain node sets.
+    fn subdomains(&self, part: &ElementPartition) -> Vec<Subdomain> {
+        match self.mesh {
+            ProblemMesh::Quad(m) => part.subdomains(m),
+            ProblemMesh::Hex(m) => part.subdomains_of(m),
+        }
+    }
+
+    /// Assembles one subdomain's unassembled local system for this
+    /// problem's physics.
+    fn build_subdomain(&self, sub: &Subdomain) -> SubdomainSystem {
+        match (self.mesh, self.physics) {
+            (ProblemMesh::Quad(m), Physics::Elasticity2d) => {
+                SubdomainSystem::build(m, self.dof_map, self.material, sub, self.loads, None)
+            }
+            (ProblemMesh::Quad(m), Physics::Heat2d) => {
+                SubdomainSystem::build_heat(m, self.dof_map, self.material, sub, self.loads)
+            }
+            (ProblemMesh::Hex(m), Physics::Elasticity3d) => {
+                SubdomainSystem::build_hex(m, self.dof_map, self.material, sub, self.loads)
+            }
+            // `with_physics` pins the mesh dimension to the physics.
+            _ => unreachable!("mesh/physics pairing validated at construction"),
+        }
+    }
+
+    /// Assembles the constrained global static system for this problem's
+    /// physics (the RDD baseline's input).
+    fn build_static(&self) -> StaticSystem {
+        match (self.mesh, self.physics) {
+            (ProblemMesh::Quad(m), Physics::Elasticity2d) => {
+                parfem_fem::assembly::build_static(m, self.dof_map, self.material, self.loads)
+            }
+            (ProblemMesh::Quad(m), Physics::Heat2d) => {
+                parfem_fem::assembly::build_static_heat(m, self.dof_map, self.material, self.loads)
+            }
+            (ProblemMesh::Hex(m), Physics::Elasticity3d) => {
+                parfem_fem::assembly::build_static_hex(m, self.dof_map, self.material, self.loads)
+            }
+            _ => unreachable!("mesh/physics pairing validated at construction"),
         }
     }
 }
@@ -300,16 +460,22 @@ impl<'a> SolveSession<'a> {
 
     /// Chooses EDD over the element partition `spec` produces for `parts`
     /// subdomains — the session-builder face of the CLI's `--partitioner`
-    /// flag (`strips`, `blocks`, or the seeded graph partitioner).
+    /// flag (`strips`, `blocks`, or the seeded graph partitioner). Works
+    /// for every supported mesh: the partitioner registry is generic over
+    /// structured cell meshes, hexahedra included.
     ///
     /// # Panics
-    /// Panics for sessions built from prebuilt systems: those are already
-    /// partitioned.
+    /// Panics for sessions built from prebuilt systems (those are already
+    /// partitioned).
     pub fn partitioned(mut self, spec: PartitionerSpec, parts: usize) -> Self {
         let SessionInput::Mesh(ref p) = self.input else {
             panic!("partitioned() needs a mesh-level session; prebuilt systems already are");
         };
-        self.strategy = Some(Strategy::Edd(spec.element_partition(p.mesh, parts)));
+        let part = match p.mesh() {
+            ProblemMesh::Quad(m) => spec.element_partition(m, parts),
+            ProblemMesh::Hex(m) => spec.element_partition(m, parts),
+        };
+        self.strategy = Some(Strategy::Edd(part));
         self
     }
 
@@ -407,18 +573,26 @@ impl<'a> SolveSession<'a> {
         let disabled = TraceSink::disabled();
         let sink = self.sink.unwrap_or(&disabled);
         match (&self.input, &self.strategy) {
-            (SessionInput::Systems { systems, n_dofs }, None) => {
-                run_edd_systems(systems, *n_dofs, None, self.model.clone(), &self.cfg, sink)
-            }
+            (SessionInput::Systems { systems, n_dofs }, None) => run_edd_systems(
+                systems,
+                *n_dofs,
+                None,
+                parfem_mesh::numbering::DOFS_PER_NODE,
+                self.model.clone(),
+                &self.cfg,
+                sink,
+            ),
             (SessionInput::Systems { .. }, Some(_)) => panic!(
                 "prebuilt subdomain systems already encode the partition; do not set .strategy(..)"
             ),
             (SessionInput::Mesh(p), Some(Strategy::Edd(part))) => {
                 let systems = assemble_edd(p, part, sink);
+                let coords = p.coords3();
                 run_edd_systems(
                     &systems,
                     p.dof_map.n_dofs(),
-                    Some(p.mesh.coords()),
+                    Some(&coords),
+                    p.dof_map.dofs_per_node(),
                     self.model.clone(),
                     &self.cfg,
                     sink,
@@ -517,13 +691,18 @@ impl<'a> SolveSession<'a> {
             "the transient driver does not support two-level preconditioning; \
              use a one-level preconditioner spec"
         );
+        assert_eq!(
+            p.physics,
+            Physics::Elasticity2d,
+            "the transient driver integrates the 2-D elasticity equations of motion only"
+        );
         let cfg = DynamicRunConfig {
             solver: self.cfg.clone(),
             params,
             steps,
         };
         run_dynamic_edd(
-            p.mesh,
+            p.quad_mesh("run_dynamic"),
             p.dof_map,
             p.material,
             p.loads,
@@ -542,12 +721,9 @@ fn assemble_edd(
     part: &ElementPartition,
     sink: &TraceSink,
 ) -> Vec<SubdomainSystem> {
-    let subdomains = host_span(sink, "partition", || part.subdomains(p.mesh));
+    let subdomains = host_span(sink, "partition", || p.subdomains(part));
     host_span(sink, "assembly", || {
-        subdomains
-            .iter()
-            .map(|s| SubdomainSystem::build(p.mesh, p.dof_map, p.material, s, p.loads, None))
-            .collect()
+        subdomains.iter().map(|s| p.build_subdomain(s)).collect()
     })
 }
 
@@ -714,12 +890,20 @@ fn build_edd_coarse(
     spec: &PrecondSpec,
     systems: &[SubdomainSystem],
     n_dofs: usize,
-    coords: Option<&[[f64; 2]]>,
+    coords: Option<&[[f64; 3]]>,
+    dofs_per_node: usize,
     sink: &TraceSink,
 ) -> Option<Vec<CoarseSolver>> {
     coarse_spec(spec).map(|cs| {
         host_span(sink, "coarse-build", || {
-            let basis = edd_coarse_basis(cs, systems, n_dofs, coords, DEFAULT_PIVOT_TOL);
+            let basis = edd_coarse_basis(
+                cs,
+                systems,
+                n_dofs,
+                coords,
+                dofs_per_node,
+                DEFAULT_PIVOT_TOL,
+            );
             edd_coarse_solvers(&basis, systems)
         })
     })
@@ -738,15 +922,9 @@ fn build_rdd_coarse(
 ) -> Option<Vec<CoarseSolver>> {
     coarse_spec(spec).map(|cs| {
         host_span(sink, "coarse-build", || {
-            let basis = rdd_coarse_basis(
-                cs,
-                a,
-                d,
-                node_part,
-                p.dof_map,
-                p.mesh.coords(),
-                DEFAULT_PIVOT_TOL,
-            );
+            let coords = p.coords3();
+            let basis =
+                rdd_coarse_basis(cs, a, d, node_part, p.dof_map, &coords, DEFAULT_PIVOT_TOL);
             rdd_coarse_solvers(&basis, systems)
         })
     })
@@ -774,7 +952,9 @@ fn edd_rank_body<C: Communicator>(
         t.span_begin("precond-build", comm.virtual_time());
     }
     let x0 = vec![0.0; b.len()];
-    let pc = cfg.precond.instantiate_with_coarse(coarse.cloned(), || {
+    // The rank-local scaled matrix feeds the `direct` spec (exact local
+    // solve); the lazy closure feeds Jacobi its assembled diagonal.
+    let pc = cfg.precond.instantiate_full(coarse.cloned(), Some(&a), || {
         // Assembled diagonal of the scaled operator for Jacobi.
         let mut d = a.diagonal();
         let mut bufs = crate::dist_vec::ExchangeBuffers::new();
@@ -827,7 +1007,7 @@ fn edd_multi_rank_body<C: Communicator>(
     // A concrete `SpecPrecond` (not the boxed form): the operator type is
     // re-instantiated at every solve, so the per-RHS `b` borrows below do
     // not have to outlive the preconditioner.
-    let pc = cfg.precond.instantiate_with_coarse(coarse.cloned(), || {
+    let pc = cfg.precond.instantiate_full(coarse.cloned(), Some(&a), || {
         let mut d = a.diagonal();
         let mut bufs = crate::dist_vec::ExchangeBuffers::new();
         layout.interface_sum_buffered(comm, &mut d, &mut bufs);
@@ -912,7 +1092,8 @@ fn collect_rank_results<R>(
 fn run_edd_systems(
     systems: &[SubdomainSystem],
     n_dofs: usize,
-    coords: Option<&[[f64; 2]]>,
+    coords: Option<&[[f64; 3]]>,
+    dofs_per_node: usize,
     model: MachineModel,
     cfg: &SolverConfig,
     sink: &TraceSink,
@@ -920,7 +1101,7 @@ fn run_edd_systems(
     let p = systems.len();
     assert!(p > 0, "need at least one subdomain system");
     let alloc_start = alloc::stats();
-    let coarse = build_edd_coarse(&cfg.precond, systems, n_dofs, coords, sink);
+    let coarse = build_edd_coarse(&cfg.precond, systems, n_dofs, coords, dofs_per_node, sink);
     let opts = RunOptions {
         comm_timeout: cfg.comm_timeout,
     };
@@ -997,11 +1178,13 @@ fn run_multi_edd(
                 .collect()
         })
         .collect();
+    let coords = p.coords3();
     let coarse = build_edd_coarse(
         &cfg.precond,
         &systems,
         p.dof_map.n_dofs(),
-        Some(p.mesh.coords()),
+        Some(&coords),
+        p.dof_map.dofs_per_node(),
         sink,
     );
     let opts = RunOptions {
@@ -1062,9 +1245,13 @@ fn rdd_rank_body<C: Communicator>(
         t.span_begin("precond-build", comm.virtual_time());
     }
     let x0 = vec![0.0; sys.n_local()];
-    let pc = cfg.precond.instantiate_with_coarse(coarse.cloned(), || {
-        sys.rows.iter().map(|&d| a.get(d, d)).collect()
-    });
+    // `a_loc` (the owned diagonal block) feeds the `direct` spec; the lazy
+    // closure feeds Jacobi its diagonal.
+    let pc = cfg
+        .precond
+        .instantiate_full(coarse.cloned(), Some(&sys.a_loc), || {
+            sys.rows.iter().map(|&d| a.get(d, d)).collect()
+        });
     if let Some(t) = comm.tracer() {
         t.span_end("precond-build", comm.virtual_time());
     }
@@ -1090,9 +1277,7 @@ fn run_rdd(
     sink: &TraceSink,
 ) -> Result<DdSolveOutput, SolveFailures> {
     let alloc_start = alloc::stats();
-    let assembled = host_span(sink, "assembly", || {
-        parfem_fem::assembly::build_static(p.mesh, p.dof_map, p.material, p.loads)
-    });
+    let assembled = host_span(sink, "assembly", || p.build_static());
     let (a, b, sc) = host_span(sink, "scaling", || {
         scale_system(&assembled.stiffness, &assembled.rhs).expect("square assembled system")
     });
@@ -1160,9 +1345,7 @@ fn run_multi_rdd(
     cfg: &SolverConfig,
     sink: &TraceSink,
 ) -> Result<MultiSolveOutput, SolveFailures> {
-    let assembled = host_span(sink, "assembly", || {
-        parfem_fem::assembly::build_static(p.mesh, p.dof_map, p.material, p.loads)
-    });
+    let assembled = host_span(sink, "assembly", || p.build_static());
     let (a, b, sc) = host_span(sink, "scaling", || {
         scale_system(&assembled.stiffness, &assembled.rhs).expect("square assembled system")
     });
@@ -1252,9 +1435,11 @@ fn rdd_multi_rank_body<C: Communicator>(
     }
     // Concrete `SpecPrecond`, so the local system can be mutated between
     // solves (a boxed trait object would pin the operator's lifetime).
-    let pc = cfg.precond.instantiate_with_coarse(coarse.cloned(), || {
-        template.rows.iter().map(|&d| a.get(d, d)).collect()
-    });
+    let pc = cfg
+        .precond
+        .instantiate_full(coarse.cloned(), Some(&template.a_loc), || {
+            template.rows.iter().map(|&d| a.get(d, d)).collect()
+        });
     if let Some(t) = comm.tracer() {
         t.span_end("precond-build", comm.virtual_time());
     }

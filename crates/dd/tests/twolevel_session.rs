@@ -330,11 +330,13 @@ fn rigid_body_modes_span_the_null_space_of_unconstrained_stiffness() {
         .map(|s| SubdomainSystem::build(&mesh, &dm, &mat, s, &loads, None))
         .collect();
 
+    let coords3: Vec<[f64; 3]> = mesh.coords().iter().map(|c| [c[0], c[1], 0.0]).collect();
     let basis = edd_coarse_basis(
         &CoarseSpec::Rbm,
         &systems,
         dm.n_dofs(),
-        Some(mesh.coords()),
+        Some(&coords3),
+        dm.dofs_per_node(),
         DEFAULT_PIVOT_TOL,
     );
     assert_eq!(basis.n_modes(), 3, "2 translations + 1 rotation");

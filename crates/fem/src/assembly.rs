@@ -6,8 +6,8 @@
 //! the element-based decomposition exploits (paper claim ii).
 
 use crate::material::Material;
-use crate::quad4;
-use parfem_mesh::{DofMap, Edge, QuadMesh};
+use crate::{hex8, physics, quad4};
+use parfem_mesh::{DofMap, Edge, Face, HexMesh, QuadMesh, TriMesh};
 use parfem_sparse::{CooMatrix, CsrMatrix};
 
 /// A fully assembled, boundary-condition-applied static system `K u = f`.
@@ -44,6 +44,74 @@ pub fn assemble_stiffness_generic(
     for e in 0..mesh.n_elems() {
         let ke = quad4::stiffness(&mesh.elem_coords(e), material);
         let dofs = dm.elem_dofs(mesh.elem_nodes(e));
+        coo.push_block(&dofs, &ke).expect("element dofs in bounds");
+    }
+    coo.to_csr()
+}
+
+/// Assembles the raw scalar conduction stiffness of a quad mesh (no
+/// boundary conditions). The map must carry one DOF per node.
+pub fn assemble_stiffness_heat(mesh: &QuadMesh, dm: &DofMap, material: &Material) -> CsrMatrix {
+    assert_eq!(
+        dm.dofs_per_node(),
+        1,
+        "heat assembly needs a scalar DOF map"
+    );
+    let n = dm.n_dofs();
+    let mut coo = CooMatrix::with_capacity(n, n, mesh.n_elems() * 16);
+    for e in 0..mesh.n_elems() {
+        let ke = physics::heat_stiffness_quad4(&mesh.elem_coords(e), material);
+        let nodes = mesh.elem_nodes(e);
+        let mut dofs = [0usize; 4];
+        for (k, &nd) in nodes.iter().enumerate() {
+            dofs[k] = dm.dof(nd, 0);
+        }
+        coo.push_block(&dofs, &ke).expect("element dofs in bounds");
+    }
+    coo.to_csr()
+}
+
+/// Assembles the raw scalar conduction stiffness of a triangle mesh (no
+/// boundary conditions). The map must carry one DOF per node.
+pub fn assemble_stiffness_heat_tri(mesh: &TriMesh, dm: &DofMap, material: &Material) -> CsrMatrix {
+    assert_eq!(
+        dm.dofs_per_node(),
+        1,
+        "heat assembly needs a scalar DOF map"
+    );
+    let n = dm.n_dofs();
+    let mut coo = CooMatrix::with_capacity(n, n, mesh.n_elems() * 9);
+    for e in 0..mesh.n_elems() {
+        let ke = physics::heat_stiffness_tri3(&mesh.elem_coords(e), material);
+        let nodes = mesh.elem_nodes(e);
+        let mut dofs = [0usize; 3];
+        for (k, &nd) in nodes.iter().enumerate() {
+            dofs[k] = dm.dof(nd, 0);
+        }
+        coo.push_block(&dofs, &ke).expect("element dofs in bounds");
+    }
+    coo.to_csr()
+}
+
+/// Assembles the raw 3-D elasticity stiffness of a hex mesh (no boundary
+/// conditions). The map must carry three DOFs per node.
+pub fn assemble_stiffness_hex(mesh: &HexMesh, dm: &DofMap, material: &Material) -> CsrMatrix {
+    assert_eq!(
+        dm.dofs_per_node(),
+        3,
+        "hex8 assembly needs a 3-DOF-per-node map"
+    );
+    let n = dm.n_dofs();
+    let mut coo = CooMatrix::with_capacity(n, n, mesh.n_elems() * 576);
+    for e in 0..mesh.n_elems() {
+        let ke = hex8::stiffness(&mesh.elem_coords(e), material);
+        let nodes = mesh.elem_nodes(e);
+        let mut dofs = [0usize; 24];
+        for (k, &nd) in nodes.iter().enumerate() {
+            for c in 0..3 {
+                dofs[3 * k + c] = dm.dof(nd, c);
+            }
+        }
         coo.push_block(&dofs, &ke).expect("element dofs in bounds");
     }
     coo.to_csr()
@@ -147,6 +215,64 @@ pub fn edge_load(mesh: &QuadMesh, dm: &DofMap, edge: Edge, fx: f64, fy: f64, rhs
     }
 }
 
+/// Adds a uniformly distributed scalar source with total strength `q` over
+/// a boundary edge of a scalar (heat) problem, trapezoidally partitioned
+/// like [`edge_load`].
+pub fn edge_source(mesh: &QuadMesh, dm: &DofMap, edge: Edge, q: f64, rhs: &mut [f64]) {
+    assert_eq!(dm.dofs_per_node(), 1, "edge_source needs a scalar DOF map");
+    let nodes = mesh.edge_nodes(edge);
+    let n_seg = (nodes.len() - 1) as f64;
+    for (k, &node) in nodes.iter().enumerate() {
+        let w = if k == 0 || k == nodes.len() - 1 {
+            0.5 / n_seg
+        } else {
+            1.0 / n_seg
+        };
+        rhs[dm.dof(node, 0)] += w * q;
+    }
+}
+
+/// Adds a uniformly distributed traction with total force `(fx, fy, fz)`
+/// over a boundary face of a hex mesh, consistently partitioned with
+/// tensor-product trapezoidal weights (the bilinear consistent load on a
+/// uniform face grid).
+pub fn face_load(mesh: &HexMesh, dm: &DofMap, face: Face, f: [f64; 3], rhs: &mut [f64]) {
+    assert_eq!(
+        dm.dofs_per_node(),
+        3,
+        "face_load needs a 3-DOF-per-node map"
+    );
+    // The two in-face grid directions and the fixed coordinate.
+    let (na, nb) = match face {
+        Face::XMin | Face::XMax => (mesh.ny(), mesh.nz()),
+        Face::YMin | Face::YMax => (mesh.nx(), mesh.nz()),
+        Face::ZMin | Face::ZMax => (mesh.nx(), mesh.ny()),
+    };
+    let w1 = |idx: usize, n: usize| -> f64 {
+        if idx == 0 || idx == n {
+            0.5 / n as f64
+        } else {
+            1.0 / n as f64
+        }
+    };
+    for b in 0..=nb {
+        for a in 0..=na {
+            let node = match face {
+                Face::XMin => mesh.node_at(0, a, b),
+                Face::XMax => mesh.node_at(mesh.nx(), a, b),
+                Face::YMin => mesh.node_at(a, 0, b),
+                Face::YMax => mesh.node_at(a, mesh.ny(), b),
+                Face::ZMin => mesh.node_at(a, b, 0),
+                Face::ZMax => mesh.node_at(a, b, mesh.nz()),
+            };
+            let w = w1(a, na) * w1(b, nb);
+            for c in 0..3 {
+                rhs[dm.dof(node, c)] += w * f[c];
+            }
+        }
+    }
+}
+
 /// Assembles the complete constrained static system for a mesh with loads
 /// already accumulated in `loads` (length `dm.n_dofs()`).
 pub fn build_static(
@@ -156,6 +282,40 @@ pub fn build_static(
     loads: &[f64],
 ) -> StaticSystem {
     let k = assemble_stiffness(mesh, dm, material);
+    let mut rhs = loads.to_vec();
+    let k_bc = apply_dirichlet(&k, dm, &mut rhs);
+    StaticSystem {
+        stiffness: k_bc,
+        rhs,
+    }
+}
+
+/// Assembles the complete constrained scalar conduction system for a quad
+/// mesh (one DOF per node).
+pub fn build_static_heat(
+    mesh: &QuadMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+) -> StaticSystem {
+    let k = assemble_stiffness_heat(mesh, dm, material);
+    let mut rhs = loads.to_vec();
+    let k_bc = apply_dirichlet(&k, dm, &mut rhs);
+    StaticSystem {
+        stiffness: k_bc,
+        rhs,
+    }
+}
+
+/// Assembles the complete constrained 3-D elasticity system for a hex mesh
+/// (three DOFs per node).
+pub fn build_static_hex(
+    mesh: &HexMesh,
+    dm: &DofMap,
+    material: &Material,
+    loads: &[f64],
+) -> StaticSystem {
+    let k = assemble_stiffness_hex(mesh, dm, material);
     let mut rhs = loads.to_vec();
     let k_bc = apply_dirichlet(&k, dm, &mut rhs);
     StaticSystem {
@@ -341,6 +501,114 @@ mod tests {
         let fy: f64 = (0..mesh.n_nodes()).map(|n| rhs[dm.dof(n, 1)]).sum();
         assert!((fx - 2.0).abs() < 1e-12);
         assert!((fy + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heat_system_reproduces_one_d_conduction() {
+        // Left edge held at T = 0, unit total flux in through the right
+        // edge, k = t = 1: T(x) = q x / (k ly t) is linear and must be
+        // reproduced exactly by bilinear elements.
+        let mesh = QuadMesh::rectangle(4, 2, 4.0, 2.0);
+        let mut dm = DofMap::with_dofs(mesh.n_nodes(), 1);
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mut loads = vec![0.0; dm.n_dofs()];
+        edge_source(&mesh, &dm, Edge::Right, 1.0, &mut loads);
+        let sys = build_static_heat(&mesh, &dm, &Material::unit(), &loads);
+        assert!(sys.stiffness.is_symmetric(1e-12));
+        let u = dense_solve(&sys.stiffness, &sys.rhs);
+        for node in 0..mesh.n_nodes() {
+            let [x, _] = mesh.node_coords(node);
+            assert!(
+                (u[dm.dof(node, 0)] - x / 2.0).abs() < 1e-10,
+                "T at node {node}: {} vs {}",
+                u[dm.dof(node, 0)],
+                x / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn heat_tri_assembly_matches_quad_on_linear_field() {
+        // The same 1-D conduction problem on the split-triangle mesh gives
+        // the same exact linear solution.
+        let tmesh = TriMesh::cantilever(4, 2);
+        let mut dm = DofMap::with_dofs(tmesh.n_nodes(), 1);
+        for node in tmesh.edge_nodes(Edge::Left) {
+            dm.clamp_node(node);
+        }
+        let k = assemble_stiffness_heat_tri(&tmesh, &dm, &Material::unit());
+        assert!(k.is_symmetric(1e-12));
+        let mut rhs = vec![0.0; dm.n_dofs()];
+        for (i, &node) in tmesh.edge_nodes(Edge::Right).iter().enumerate() {
+            // ny = 2 -> 3 edge nodes, trapezoidal weights over 2 segments.
+            let w = if i == 0 || i == 2 { 0.25 } else { 0.5 };
+            rhs[dm.dof(node, 0)] += w;
+        }
+        let kbc = apply_dirichlet(&k, &dm, &mut rhs);
+        let u = dense_solve(&kbc, &rhs);
+        for node in 0..tmesh.n_nodes() {
+            let [x, _] = tmesh.node_coords(node);
+            assert!((u[dm.dof(node, 0)] - x / 2.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn hex_cantilever_deflects_under_transverse_face_load() {
+        let mesh = HexMesh::cantilever(3, 2, 2);
+        let mut dm = DofMap::with_dofs(mesh.n_nodes(), 3);
+        for node in mesh.face_nodes(Face::XMin) {
+            dm.clamp_node(node);
+        }
+        let mut loads = vec![0.0; dm.n_dofs()];
+        face_load(&mesh, &dm, Face::XMax, [0.0, 0.0, -1.0], &mut loads);
+        let sys = build_static_hex(&mesh, &dm, &Material::unit(), &loads);
+        assert!(sys.stiffness.is_symmetric(1e-12));
+        let u = dense_solve(&sys.stiffness, &sys.rhs);
+        // Clamped DOFs stay put; the tip deflects in -z.
+        for (d, v) in dm.fixed_dofs() {
+            assert!((u[d] - v).abs() < 1e-12);
+        }
+        let tip = dm.dof(mesh.node_at(3, 1, 2), 2);
+        assert!(u[tip] < 0.0, "tip deflection {}", u[tip]);
+        let r = sys.stiffness.spmv(&u);
+        for (ri, fi) in r.iter().zip(&sys.rhs) {
+            assert!((ri - fi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hex_raw_stiffness_has_translation_null_modes() {
+        let mesh = HexMesh::cantilever(2, 2, 2);
+        let dm = DofMap::with_dofs(mesh.n_nodes(), 3);
+        let k = assemble_stiffness_hex(&mesh, &dm, &Material::unit());
+        for c in 0..3 {
+            let mut t = vec![0.0; dm.n_dofs()];
+            for node in 0..mesh.n_nodes() {
+                t[dm.dof(node, c)] = 1.0;
+            }
+            for v in k.spmv(&t) {
+                assert!(v.abs() < 1e-9, "translation {c} residual {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn face_and_edge_source_totals_are_preserved() {
+        let mesh = HexMesh::cantilever(3, 2, 4);
+        let dm = DofMap::with_dofs(mesh.n_nodes(), 3);
+        let mut rhs = vec![0.0; dm.n_dofs()];
+        face_load(&mesh, &dm, Face::YMax, [2.0, -5.0, 1.5], &mut rhs);
+        for c in 0..3 {
+            let total: f64 = (0..mesh.n_nodes()).map(|n| rhs[dm.dof(n, c)]).sum();
+            let want = [2.0, -5.0, 1.5][c];
+            assert!((total - want).abs() < 1e-12, "component {c}: {total}");
+        }
+        let qmesh = QuadMesh::cantilever(5, 3);
+        let sdm = DofMap::with_dofs(qmesh.n_nodes(), 1);
+        let mut srhs = vec![0.0; sdm.n_dofs()];
+        edge_source(&qmesh, &sdm, Edge::Right, 3.0, &mut srhs);
+        let total: f64 = srhs.iter().sum();
+        assert!((total - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! The 8-node trilinear hexahedron (hex8) element for 3-D elasticity.
+//!
+//! Shape functions on the reference cube `(ξ, η, ζ) ∈ [-1, 1]³`:
+//! `N_i = ⅛ (1 + ξ ξ_i)(1 + η η_i)(1 + ζ ζ_i)` with corners ordered as in
+//! [`parfem_mesh::HexMesh`] connectivity (bottom face counter-clockwise
+//! seen from `+z`, then the top face). Stiffness `kₑ = ∫ Bᵀ D B dΩ` is
+//! integrated with 2×2×2 Gauss quadrature, exact for the trilinear element
+//! on a parallelepiped.
+
+use crate::material::Material;
+
+/// Reference corner coordinates, matching `HexMesh` connectivity order.
+const XI: [f64; 8] = [-1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0, -1.0];
+const ETA: [f64; 8] = [-1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0, 1.0];
+const ZETA: [f64; 8] = [-1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0, 1.0];
+
+/// 2×2×2 Gauss point abscissa.
+const GP: f64 = 0.577_350_269_189_625_8; // 1/sqrt(3)
+
+/// Shape function values at `(xi, eta, zeta)`.
+pub fn shape_functions(xi: f64, eta: f64, zeta: f64) -> [f64; 8] {
+    let mut n = [0.0; 8];
+    for i in 0..8 {
+        n[i] = 0.125 * (1.0 + xi * XI[i]) * (1.0 + eta * ETA[i]) * (1.0 + zeta * ZETA[i]);
+    }
+    n
+}
+
+/// Shape function derivatives `(dN/dξ, dN/dη, dN/dζ)` at `(xi, eta, zeta)`.
+pub fn shape_derivatives(xi: f64, eta: f64, zeta: f64) -> ([f64; 8], [f64; 8], [f64; 8]) {
+    let mut dxi = [0.0; 8];
+    let mut deta = [0.0; 8];
+    let mut dzeta = [0.0; 8];
+    for i in 0..8 {
+        dxi[i] = 0.125 * XI[i] * (1.0 + eta * ETA[i]) * (1.0 + zeta * ZETA[i]);
+        deta[i] = 0.125 * ETA[i] * (1.0 + xi * XI[i]) * (1.0 + zeta * ZETA[i]);
+        dzeta[i] = 0.125 * ZETA[i] * (1.0 + xi * XI[i]) * (1.0 + eta * ETA[i]);
+    }
+    (dxi, deta, dzeta)
+}
+
+/// The Jacobian determinant and the physical shape-function gradients
+/// `(dN/dx, dN/dy, dN/dz)` at a reference point.
+///
+/// # Panics
+/// Panics if the element is degenerate (non-positive Jacobian).
+pub fn physical_gradients(
+    coords: &[[f64; 3]; 8],
+    xi: f64,
+    eta: f64,
+    zeta: f64,
+) -> (f64, [f64; 8], [f64; 8], [f64; 8]) {
+    let (dxi, deta, dzeta) = shape_derivatives(xi, eta, zeta);
+    // Jacobian J, row-major: row r is d(x,y,z)/d(ref coordinate r).
+    let mut j = [0.0f64; 9];
+    for i in 0..8 {
+        for (a, c) in coords[i].iter().enumerate() {
+            j[a] += dxi[i] * c;
+            j[3 + a] += deta[i] * c;
+            j[6 + a] += dzeta[i] * c;
+        }
+    }
+    let det = j[0] * (j[4] * j[8] - j[5] * j[7]) - j[1] * (j[3] * j[8] - j[5] * j[6])
+        + j[2] * (j[3] * j[7] - j[4] * j[6]);
+    assert!(det > 0.0, "degenerate element: Jacobian determinant {det}");
+    // inv = adj(J)^T / det; inv[r][c] maps reference derivative c to
+    // physical derivative r.
+    let inv = [
+        (j[4] * j[8] - j[5] * j[7]) / det,
+        (j[2] * j[7] - j[1] * j[8]) / det,
+        (j[1] * j[5] - j[2] * j[4]) / det,
+        (j[5] * j[6] - j[3] * j[8]) / det,
+        (j[0] * j[8] - j[2] * j[6]) / det,
+        (j[2] * j[3] - j[0] * j[5]) / det,
+        (j[3] * j[7] - j[4] * j[6]) / det,
+        (j[1] * j[6] - j[0] * j[7]) / det,
+        (j[0] * j[4] - j[1] * j[3]) / det,
+    ];
+    let mut dx = [0.0; 8];
+    let mut dy = [0.0; 8];
+    let mut dz = [0.0; 8];
+    for i in 0..8 {
+        dx[i] = inv[0] * dxi[i] + inv[1] * deta[i] + inv[2] * dzeta[i];
+        dy[i] = inv[3] * dxi[i] + inv[4] * deta[i] + inv[5] * dzeta[i];
+        dz[i] = inv[6] * dxi[i] + inv[7] * deta[i] + inv[8] * dzeta[i];
+    }
+    (det, dx, dy, dz)
+}
+
+/// The 24×24 element stiffness matrix (row-major) of a hex8 element.
+///
+/// DOF ordering is `[u0x, u0y, u0z, u1x, …]`, matching a three-DOF
+/// [`parfem_mesh::DofMap`] over the element's connectivity order.
+pub fn stiffness(coords: &[[f64; 3]; 8], material: &Material) -> [f64; 576] {
+    let d = material.d_matrix_3d();
+    let mut ke = [0.0f64; 576];
+    for &gx in &[-GP, GP] {
+        for &gy in &[-GP, GP] {
+            for &gz in &[-GP, GP] {
+                let (det, dx, dy, dz) = physical_gradients(coords, gx, gy, gz);
+                // B is 6x24: strain (exx, eyy, ezz, gxy, gyz, gzx) = B u_e.
+                let mut b = [0.0f64; 6 * 24];
+                for i in 0..8 {
+                    b[3 * i] = dx[i];
+                    b[24 + 3 * i + 1] = dy[i];
+                    b[2 * 24 + 3 * i + 2] = dz[i];
+                    b[3 * 24 + 3 * i] = dy[i];
+                    b[3 * 24 + 3 * i + 1] = dx[i];
+                    b[4 * 24 + 3 * i + 1] = dz[i];
+                    b[4 * 24 + 3 * i + 2] = dy[i];
+                    b[5 * 24 + 3 * i] = dz[i];
+                    b[5 * 24 + 3 * i + 2] = dx[i];
+                }
+                // ke += B^T D B * det (unit Gauss weights for the 2-point rule).
+                let mut db = [0.0f64; 6 * 24];
+                for r in 0..6 {
+                    for c in 0..24 {
+                        let mut acc = 0.0;
+                        for k in 0..6 {
+                            acc += d[r * 6 + k] * b[k * 24 + c];
+                        }
+                        db[r * 24 + c] = acc;
+                    }
+                }
+                for r in 0..24 {
+                    for c in 0..24 {
+                        let mut acc = 0.0;
+                        for k in 0..6 {
+                            acc += b[k * 24 + r] * db[k * 24 + c];
+                        }
+                        ke[r * 24 + c] += acc * det;
+                    }
+                }
+            }
+        }
+    }
+    ke
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cube() -> [[f64; 3]; 8] {
+        [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 1.0],
+            [1.0, 1.0, 1.0],
+            [0.0, 1.0, 1.0],
+        ]
+    }
+
+    fn matvec24(m: &[f64; 576], x: &[f64; 24]) -> [f64; 24] {
+        let mut y = [0.0; 24];
+        for r in 0..24 {
+            for c in 0..24 {
+                y[r] += m[r * 24 + c] * x[c];
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn shape_functions_partition_unity_and_interpolate() {
+        for &(xi, eta, zeta) in &[(0.0, 0.0, 0.0), (0.3, -0.7, 0.5), (-1.0, 1.0, -1.0)] {
+            let n = shape_functions(xi, eta, zeta);
+            let s: f64 = n.iter().sum();
+            assert!((s - 1.0).abs() < 1e-14, "sum {s}");
+        }
+        for i in 0..8 {
+            let n = shape_functions(XI[i], ETA[i], ZETA[i]);
+            for j in 0..8 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((n[j] - want).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_of_unit_cube() {
+        let (det, dx, _, dz) = physical_gradients(&unit_cube(), 0.0, 0.0, 0.0);
+        assert!((det - 0.125).abs() < 1e-14, "det {det}");
+        assert!((dx[0] + 0.25).abs() < 1e-14);
+        assert!((dz[0] + 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn stiffness_is_symmetric() {
+        let ke = stiffness(&unit_cube(), &Material::unit());
+        for r in 0..24 {
+            for c in 0..24 {
+                assert!(
+                    (ke[r * 24 + c] - ke[c * 24 + r]).abs() < 1e-12,
+                    "asymmetry at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn six_rigid_body_modes_are_in_null_space() {
+        // A distorted (but valid) hex: translations and infinitesimal
+        // rotations about all three axes must produce zero force.
+        let mut coords = unit_cube();
+        coords[6] = [1.2, 1.1, 0.9];
+        coords[0] = [-0.1, 0.05, 0.0];
+        let ke = stiffness(&coords, &Material::unit());
+        let mut modes: Vec<[f64; 24]> = Vec::new();
+        for c in 0..3 {
+            let mut t = [0.0; 24];
+            for i in 0..8 {
+                t[3 * i + c] = 1.0;
+            }
+            modes.push(t);
+        }
+        // Rotations: ω × x for ω = e_z, e_x, e_y.
+        let mut rz = [0.0; 24];
+        let mut rx = [0.0; 24];
+        let mut ry = [0.0; 24];
+        for i in 0..8 {
+            let [x, y, z] = coords[i];
+            rz[3 * i] = -y;
+            rz[3 * i + 1] = x;
+            rx[3 * i + 1] = -z;
+            rx[3 * i + 2] = y;
+            ry[3 * i] = z;
+            ry[3 * i + 2] = -x;
+        }
+        modes.extend([rz, rx, ry]);
+        for (m, mode) in modes.iter().enumerate() {
+            for v in matvec24(&ke, mode) {
+                assert!(v.abs() < 1e-10, "rigid mode {m} force {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniaxial_stretch_energy_matches_continuum() {
+        // u_x = x on the unit cube (eps_xx = 1): energy = D[0][0]/2 for unit
+        // volume.
+        let m = Material::unit();
+        let ke = stiffness(&unit_cube(), &m);
+        let coords = unit_cube();
+        let mut u = [0.0; 24];
+        for i in 0..8 {
+            u[3 * i] = coords[i][0];
+        }
+        let ku = matvec24(&ke, &u);
+        let e: f64 = u.iter().zip(&ku).map(|(a, b)| a * b).sum::<f64>() / 2.0;
+        let d = m.d_matrix_3d();
+        assert!(
+            (e - d[0] / 2.0).abs() < 1e-12,
+            "energy {e} vs {}",
+            d[0] / 2.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate element")]
+    fn inverted_element_is_rejected() {
+        let mut coords = unit_cube();
+        // Swap bottom and top faces: negative Jacobian.
+        coords.swap(0, 4);
+        coords.swap(1, 5);
+        coords.swap(2, 6);
+        coords.swap(3, 7);
+        stiffness(&coords, &Material::unit());
+    }
+}

@@ -3,10 +3,15 @@
 //! Implements everything the paper's evaluation needs from a FEM code:
 //!
 //! - [`material`] — isotropic linear elasticity (plane stress / plane
-//!   strain) constitutive matrices,
+//!   strain / 3-D) constitutive matrices and the scalar conductivity,
+//! - [`physics`] — the [`physics::Physics`] axis (2-D elasticity, scalar
+//!   Poisson/heat, 3-D elasticity): DOFs per node, rigid-mode counts, and
+//!   the scalar conduction element kernels,
 //! - [`quad4`] — the 4-node bilinear quadrilateral of the paper's cantilever
 //!   experiments: stiffness and (consistent or lumped) mass matrices by 2×2
 //!   Gauss quadrature,
+//! - [`hex8`] — the 8-node trilinear hexahedron of the 3-D elasticity
+//!   workload,
 //! - [`truss`] — the 1-D two-node truss of the paper's Fig. 5, used to
 //!   explain local vs. global distributed formats,
 //! - [`assembly`] — global CSR assembly with Dirichlet boundary conditions
@@ -25,7 +30,9 @@
 
 pub mod assembly;
 pub mod dynamics;
+pub mod hex8;
 pub mod material;
+pub mod physics;
 pub mod quad4;
 pub mod quad8s;
 pub mod stress;
@@ -36,4 +43,5 @@ pub mod truss;
 pub use assembly::{assemble_mass, assemble_stiffness, StaticSystem};
 pub use dynamics::{NewmarkIntegrator, NewmarkParams};
 pub use material::Material;
+pub use physics::Physics;
 pub use subdomain::SubdomainSystem;

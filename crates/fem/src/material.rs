@@ -91,6 +91,40 @@ impl Material {
             }
         }
     }
+
+    /// The 6×6 constitutive matrix of isotropic 3-D elasticity (row-major),
+    /// mapping engineering strains `(εxx, εyy, εzz, γxy, γyz, γzx)` to
+    /// stresses. Built from the Lamé parameters
+    /// `λ = Eν / ((1+ν)(1−2ν))`, `μ = E / (2(1+ν))`.
+    ///
+    /// # Panics
+    /// Panics for physically inadmissible Poisson ratios (`ν ≥ 0.5`).
+    pub fn d_matrix_3d(&self) -> [f64; 36] {
+        let e = self.youngs_modulus;
+        let nu = self.poissons_ratio;
+        assert!(nu < 0.5, "3-D elasticity requires nu < 1/2");
+        let lambda = e * nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+        let mu = e / (2.0 * (1.0 + nu));
+        let mut d = [0.0f64; 36];
+        for r in 0..3 {
+            for c in 0..3 {
+                d[r * 6 + c] = lambda;
+            }
+            d[r * 6 + r] = lambda + 2.0 * mu;
+            d[(3 + r) * 6 + 3 + r] = mu;
+        }
+        d
+    }
+
+    /// The scalar diffusion coefficient of the Poisson/heat physics.
+    ///
+    /// The scalar workloads reuse `youngs_modulus` as the isotropic
+    /// conductivity `k` (and `thickness` as the 2-D slab thickness), so one
+    /// `Material` value parameterizes every physics.
+    #[inline]
+    pub fn conductivity(&self) -> f64 {
+        self.youngs_modulus
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +162,48 @@ mod tests {
         assert!((m.d_matrix()[8] - g).abs() < 1e-12);
         m.model = PlaneModel::Strain;
         assert!((m.d_matrix()[8] - g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_d_d_matrix_recovers_youngs_modulus() {
+        // Uniaxial stress: eps = (1, -nu, -nu, 0, 0, 0) must give
+        // sigma_xx = E and sigma_yy = sigma_zz = 0.
+        let m = Material::unit();
+        let d = m.d_matrix_3d();
+        let nu = m.poissons_ratio;
+        let eps = [1.0, -nu, -nu, 0.0, 0.0, 0.0];
+        let mut sigma = [0.0; 6];
+        for r in 0..6 {
+            for c in 0..6 {
+                sigma[r] += d[r * 6 + c] * eps[c];
+            }
+        }
+        assert!((sigma[0] - 1.0).abs() < 1e-12, "sigma_xx {}", sigma[0]);
+        assert!(sigma[1].abs() < 1e-12 && sigma[2].abs() < 1e-12);
+        // Shear blocks carry G = E / (2 (1 + nu)).
+        let g = 1.0 / (2.0 * (1.0 + nu));
+        assert!((d[3 * 6 + 3] - g).abs() < 1e-12);
+        // Symmetry.
+        for r in 0..6 {
+            for c in 0..6 {
+                assert_eq!(d[r * 6 + c], d[c * 6 + r]);
+            }
+        }
+    }
+
+    #[test]
+    fn conductivity_aliases_youngs_modulus() {
+        let mut m = Material::unit();
+        m.youngs_modulus = 2.5;
+        assert_eq!(m.conductivity(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nu < 1/2")]
+    fn incompressible_three_d_rejected() {
+        let mut m = Material::unit();
+        m.poissons_ratio = 0.5;
+        m.d_matrix_3d();
     }
 
     #[test]

@@ -15,9 +15,8 @@
 //! divided by their node multiplicity so the assembled RHS is unchanged.
 
 use crate::material::Material;
-use crate::quad4;
-use parfem_mesh::numbering::DOFS_PER_NODE;
-use parfem_mesh::{DofMap, QuadMesh, Subdomain};
+use crate::{hex8, physics, quad4};
+use parfem_mesh::{DofMap, HexMesh, QuadMesh, Subdomain};
 use parfem_sparse::{CooMatrix, CsrMatrix};
 
 /// Interface DOFs shared with one neighbouring subdomain.
@@ -143,9 +142,51 @@ impl SubdomainSystem {
         })
     }
 
+    /// Assembles the subdomain system of a scalar conduction (heat) problem
+    /// on a quad mesh. The map must carry one DOF per node; mass is not
+    /// supported for the scalar physics.
+    pub fn build_heat(
+        mesh: &QuadMesh,
+        dm: &DofMap,
+        material: &Material,
+        sub: &Subdomain,
+        loads: &[f64],
+    ) -> Self {
+        assert_eq!(
+            dm.dofs_per_node(),
+            1,
+            "heat assembly needs a scalar DOF map"
+        );
+        Self::build_from_elements(dm, sub, loads, false, |e| {
+            let ke = physics::heat_stiffness_quad4(&mesh.elem_coords(e), material).to_vec();
+            (mesh.elem_nodes(e).to_vec(), ke, None)
+        })
+    }
+
+    /// Assembles the subdomain system of a 3-D elasticity problem on a hex
+    /// mesh (three DOFs per node).
+    pub fn build_hex(
+        mesh: &HexMesh,
+        dm: &DofMap,
+        material: &Material,
+        sub: &Subdomain,
+        loads: &[f64],
+    ) -> Self {
+        assert_eq!(
+            dm.dofs_per_node(),
+            3,
+            "hex8 assembly needs a 3-DOF-per-node map"
+        );
+        Self::build_from_elements(dm, sub, loads, false, |e| {
+            let ke = hex8::stiffness(&mesh.elem_coords(e), material).to_vec();
+            (mesh.elem_nodes(e).to_vec(), ke, None)
+        })
+    }
+
     /// Element-generic assembly core: `element_of(e)` returns the global
     /// node list plus dense stiffness (and optional mass) of element `e`,
-    /// row-major over `2 × n_nodes` interleaved DOFs.
+    /// row-major over `dofs_per_node × n_nodes` interleaved DOFs, where the
+    /// DOFs-per-node count comes from the `DofMap`.
     pub fn build_from_elements(
         dm: &DofMap,
         sub: &Subdomain,
@@ -154,15 +195,16 @@ impl SubdomainSystem {
         mut element_of: impl FnMut(usize) -> (Vec<usize>, Vec<f64>, Option<Vec<f64>>),
     ) -> Self {
         assert_eq!(loads.len(), dm.n_dofs(), "loads do not match DOF map");
+        let dpn = dm.dofs_per_node();
         let n_local_nodes = sub.n_local_nodes();
-        let n_local = n_local_nodes * DOFS_PER_NODE;
+        let n_local = n_local_nodes * dpn;
 
         // Local DOF bookkeeping.
         let mut global_dofs = Vec::with_capacity(n_local);
         let mut multiplicity = Vec::with_capacity(n_local);
         for (l, &g_node) in sub.nodes.iter().enumerate() {
             let m = sub.multiplicity[l] as f64;
-            for c in 0..DOFS_PER_NODE {
+            for c in 0..dpn {
                 global_dofs.push(dm.dof(g_node, c));
                 multiplicity.push(m);
             }
@@ -182,7 +224,7 @@ impl SubdomainSystem {
             with_mass.then(|| CooMatrix::with_capacity(n_local, n_local, sub.elements.len() * 64));
         for &e in &sub.elements {
             let (g_nodes, ke, me) = element_of(e);
-            let nd = g_nodes.len() * DOFS_PER_NODE;
+            let nd = g_nodes.len() * dpn;
             assert_eq!(ke.len(), nd * nd, "element stiffness shape mismatch");
             // Local dof of each element dof.
             let mut ldofs = vec![0usize; nd];
@@ -191,9 +233,9 @@ impl SubdomainSystem {
                 let ln = sub
                     .local_node(gn)
                     .expect("owned element references a local node");
-                for c in 0..DOFS_PER_NODE {
-                    ldofs[2 * k + c] = ln * DOFS_PER_NODE + c;
-                    gdofs[2 * k + c] = dm.dof(gn, c);
+                for c in 0..dpn {
+                    ldofs[dpn * k + c] = ln * dpn + c;
+                    gdofs[dpn * k + c] = dm.dof(gn, c);
                 }
             }
             for i in 0..nd {
@@ -242,7 +284,7 @@ impl SubdomainSystem {
                 shared_local_dofs: link
                     .shared_local_nodes
                     .iter()
-                    .flat_map(|&ln| (0..DOFS_PER_NODE).map(move |c| ln * DOFS_PER_NODE + c))
+                    .flat_map(|&ln| (0..dpn).map(move |c| ln * dpn + c))
                     .collect(),
             })
             .collect();
@@ -565,6 +607,115 @@ mod tests {
         for (a, b) in f_sum.iter().zip(&rhs) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn heat_subdomains_sum_to_the_assembled_scalar_matrix() {
+        // The EDD identity holds verbatim for the scalar physics (one DOF
+        // per node) — the regression for the old hardcoded 2-DOF layout.
+        let mesh = QuadMesh::cantilever(6, 3);
+        let mut dm = DofMap::with_dofs(mesh.n_nodes(), 1);
+        dm.clamp_edge(&mesh, Edge::Left);
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        crate::assembly::edge_source(&mesh, &dm, Edge::Right, 1.0, &mut loads);
+        let part = ElementPartition::strips_x(&mesh, 3);
+        let systems: Vec<SubdomainSystem> = part
+            .subdomains(&mesh)
+            .iter()
+            .map(|s| SubdomainSystem::build_heat(&mesh, &dm, &mat, s, &loads))
+            .collect();
+        let sys = crate::assembly::build_static_heat(&mesh, &dm, &mat, &loads);
+        let n = dm.n_dofs();
+        let mut dense_sum = vec![0.0; n * n];
+        let mut f_sum = vec![0.0; n];
+        for s in &systems {
+            assert_eq!(s.n_local_dofs(), s.nodes.len());
+            let kd = s.k_local.to_dense();
+            let nl = s.n_local_dofs();
+            for i in 0..nl {
+                for j in 0..nl {
+                    dense_sum[s.global_dofs[i] * n + s.global_dofs[j]] += kd[i * nl + j];
+                }
+            }
+            s.scatter_add(&s.f_local, &mut f_sum);
+        }
+        for (a, b) in dense_sum.iter().zip(&sys.stiffness.to_dense()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+        for (a, b) in f_sum.iter().zip(&sys.rhs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hex_subdomains_sum_to_the_assembled_3d_matrix() {
+        use parfem_mesh::{Face, HexMesh};
+        let mesh = HexMesh::cantilever(4, 2, 2);
+        let mut dm = DofMap::with_dofs(mesh.n_nodes(), 3);
+        for node in mesh.face_nodes(Face::XMin) {
+            dm.clamp_node(node);
+        }
+        let mat = Material::unit();
+        let mut loads = vec![0.0; dm.n_dofs()];
+        crate::assembly::face_load(&mesh, &dm, Face::XMax, [0.0, 0.0, -1.0], &mut loads);
+        let part = ElementPartition::blocks_of(&mesh, 2, 1);
+        let systems: Vec<SubdomainSystem> = part
+            .subdomains_of(&mesh)
+            .iter()
+            .map(|s| SubdomainSystem::build_hex(&mesh, &dm, &mat, s, &loads))
+            .collect();
+        let sys = crate::assembly::build_static_hex(&mesh, &dm, &mat, &loads);
+        let n = dm.n_dofs();
+        let mut dense_sum = vec![0.0; n * n];
+        let mut f_sum = vec![0.0; n];
+        for s in &systems {
+            assert_eq!(s.n_local_dofs(), 3 * s.nodes.len());
+            let kd = s.k_local.to_dense();
+            let nl = s.n_local_dofs();
+            for i in 0..nl {
+                for j in 0..nl {
+                    dense_sum[s.global_dofs[i] * n + s.global_dofs[j]] += kd[i * nl + j];
+                }
+            }
+            s.scatter_add(&s.f_local, &mut f_sum);
+        }
+        for (a, b) in dense_sum.iter().zip(&sys.stiffness.to_dense()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        for (a, b) in f_sum.iter().zip(&sys.rhs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn floating_hex_subdomain_defeats_ilu0_but_is_singular() {
+        // 3-D analogue of the Eq. 45 failure setup: the strip away from the
+        // clamped face carries the full 6-mode rigid null space.
+        use parfem_mesh::{Face, HexMesh};
+        let mesh = HexMesh::cantilever(2, 1, 1);
+        let mut dm = DofMap::with_dofs(mesh.n_nodes(), 3);
+        for node in mesh.face_nodes(Face::XMin) {
+            dm.clamp_node(node);
+        }
+        let mat = Material::unit();
+        let loads = vec![0.0; dm.n_dofs()];
+        let part = ElementPartition::blocks_of(&mesh, 2, 1);
+        let subs = part.subdomains_of(&mesh);
+        let right = SubdomainSystem::build_hex(&mesh, &dm, &mat, &subs[1], &loads);
+        // Rigid z-translation of the floating strip is in the null space.
+        let nl = right.n_local_dofs();
+        let mut tz = vec![0.0; nl];
+        for l in (2..nl).step_by(3) {
+            tz[l] = 1.0;
+        }
+        let r = right.k_local.spmv(&tz);
+        let norm: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm < 1e-9, "floating hex subdomain singular: {norm}");
+        assert!(matches!(
+            parfem_sparse::Ilu0::factorize(&right.k_local),
+            Err(parfem_sparse::SparseError::ZeroPivot { .. })
+        ));
     }
 
     #[test]

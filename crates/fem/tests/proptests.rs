@@ -1,6 +1,9 @@
 //! Property-based tests for the finite-element substrate.
 
-use parfem_fem::{quad4, tri3, Material};
+use parfem_fem::{hex8, physics, quad4, tri3, Material};
+use parfem_mesh::{DofMap, Edge, Face, HexMesh, QuadMesh};
+use parfem_sparse::direct::SparseDirect;
+use parfem_sparse::skyline::DEFAULT_PIVOT_TOL;
 use proptest::prelude::*;
 
 /// Strategy: a convex, non-degenerate quadrilateral built by perturbing the
@@ -27,10 +30,65 @@ fn tri_coords() -> impl Strategy<Value = [[f64; 2]; 3]> {
     })
 }
 
+/// Strategy: a mildly distorted unit cube (perturbations < 0.15 keep the
+/// hexahedron convex with a positive Jacobian everywhere).
+fn hex_coords() -> impl Strategy<Value = [[f64; 3]; 8]> {
+    prop::collection::vec(-0.12..0.12f64, 24).prop_map(|d| {
+        let base = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 1.0],
+            [1.0, 1.0, 1.0],
+            [0.0, 1.0, 1.0],
+        ];
+        let mut c = base;
+        for (i, node) in c.iter_mut().enumerate() {
+            for (a, axis) in node.iter_mut().enumerate() {
+                *axis += d[3 * i + a];
+            }
+        }
+        c
+    })
+}
+
 fn matvec(n: usize, m: &[f64], x: &[f64]) -> Vec<f64> {
     (0..n)
         .map(|r| (0..n).map(|c| m[r * n + c] * x[c]).sum())
         .collect()
+}
+
+/// A deterministic non-zero probe vector of length `n`.
+fn probe(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (1.7 * i as f64).sin() + 1.1).collect()
+}
+
+/// Asserts `a` (CSR) is symmetric and positive definite: symmetry by dense
+/// transpose comparison, definiteness by a pivot-complete LDLᵀ factorization
+/// plus a strictly positive probe energy.
+fn assert_spd(a: &parfem_sparse::CsrMatrix) {
+    let n = a.n_rows();
+    let dense = a.to_dense();
+    for r in 0..n {
+        for c in 0..n {
+            assert!(
+                (dense[r * n + c] - dense[c * n + r]).abs() < 1e-10,
+                "asymmetry at ({r},{c})"
+            );
+        }
+    }
+    let factor = SparseDirect::factorize(a, DEFAULT_PIVOT_TOL);
+    assert_eq!(
+        factor.n_skipped(),
+        0,
+        "Dirichlet-eliminated operator is singular"
+    );
+    let x = probe(n);
+    let ax = matvec(n, &dense, &x);
+    let energy: f64 = x.iter().zip(&ax).map(|(a, b)| a * b).sum();
+    assert!(energy > 0.0, "non-positive probe energy {energy}");
 }
 
 proptest! {
@@ -139,5 +197,116 @@ proptest! {
         for i in 0..36 {
             prop_assert!((k1[i] - k2[i]).abs() < 1e-9 * (1.0 + k1[i].abs()));
         }
+    }
+
+    #[test]
+    fn heat_quad_stiffness_symmetric_with_constant_null_space(coords in quad_coords(),
+                                                              k in 0.1..10.0f64) {
+        let mut mat = Material::unit();
+        // Conductivity aliases Young's modulus in the scalar physics.
+        mat.youngs_modulus = k;
+        let ke = physics::heat_stiffness_quad4(&coords, &mat);
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert!((ke[r * 4 + c] - ke[c * 4 + r]).abs() < 1e-10);
+            }
+        }
+        // The scalar physics has exactly one rigid mode: the constant field.
+        for v in matvec(4, &ke, &[1.0; 4]) {
+            prop_assert!(v.abs() < 1e-9, "constant-field flux {}", v);
+        }
+    }
+
+    #[test]
+    fn heat_quad_energy_nonnegative(coords in quad_coords(),
+                                    u in prop::collection::vec(-2.0..2.0f64, 4)) {
+        let ke = physics::heat_stiffness_quad4(&coords, &Material::unit());
+        let ku = matvec(4, &ke, &u);
+        let e: f64 = u.iter().zip(&ku).map(|(a, b)| a * b).sum();
+        prop_assert!(e >= -1e-10, "negative heat energy {}", e);
+    }
+
+    #[test]
+    fn heat_tri_stiffness_symmetric_with_constant_null_space(coords in tri_coords()) {
+        let ke = physics::heat_stiffness_tri3(&coords, &Material::unit());
+        for r in 0..3 {
+            for c in 0..3 {
+                prop_assert!((ke[r * 3 + c] - ke[c * 3 + r]).abs() < 1e-12);
+            }
+        }
+        for v in matvec(3, &ke, &[1.0; 3]) {
+            prop_assert!(v.abs() < 1e-10, "constant-field flux {}", v);
+        }
+    }
+
+    #[test]
+    fn hex_stiffness_symmetric_with_six_rigid_modes(coords in hex_coords(),
+                                                    nu in 0.0..0.45f64) {
+        let mut mat = Material::unit();
+        mat.poissons_ratio = nu;
+        let ke = hex8::stiffness(&coords, &mat);
+        for r in 0..24 {
+            for c in 0..24 {
+                prop_assert!((ke[r * 24 + c] - ke[c * 24 + r]).abs() < 1e-8);
+            }
+        }
+        // Three translations and three rotations annihilated (Physics::
+        // Elasticity3d::n_rigid_modes() == 6).
+        let mut modes = [[0.0; 24]; 6];
+        for i in 0..8 {
+            let [x, y, z] = coords[i];
+            for t in 0..3 {
+                modes[t][3 * i + t] = 1.0;
+            }
+            // rx = (0, -z, y), ry = (z, 0, -x), rz = (-y, x, 0).
+            modes[3][3 * i + 1] = -z;
+            modes[3][3 * i + 2] = y;
+            modes[4][3 * i] = z;
+            modes[4][3 * i + 2] = -x;
+            modes[5][3 * i] = -y;
+            modes[5][3 * i + 1] = x;
+        }
+        for mode in &modes {
+            for v in matvec(24, &ke, mode) {
+                prop_assert!(v.abs() < 1e-7, "rigid force {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn hex_energy_nonnegative(coords in hex_coords(),
+                              u in prop::collection::vec(-2.0..2.0f64, 24)) {
+        let ke = hex8::stiffness(&coords, &Material::unit());
+        let ku = matvec(24, &ke, &u);
+        let e: f64 = u.iter().zip(&ku).map(|(a, b)| a * b).sum();
+        prop_assert!(e >= -1e-7, "negative energy {}", e);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn assembled_heat_operator_spd_after_dirichlet(nx in 2..6usize, ny in 2..5usize) {
+        let mesh = QuadMesh::cantilever(nx, ny);
+        let mut dm = DofMap::with_dofs(mesh.n_nodes(), 1);
+        dm.clamp_edge(&mesh, Edge::Left);
+        let loads = vec![0.0; dm.n_dofs()];
+        let sys = parfem_fem::assembly::build_static_heat(&mesh, &dm, &Material::unit(), &loads);
+        assert_spd(&sys.stiffness);
+    }
+
+    #[test]
+    fn assembled_hex_operator_spd_after_dirichlet(nx in 2..5usize,
+                                                  ny in 1..3usize,
+                                                  nz in 1..3usize) {
+        let mesh = HexMesh::cantilever(nx, ny, nz);
+        let mut dm = DofMap::with_dofs(mesh.n_nodes(), 3);
+        for node in mesh.face_nodes(Face::XMin) {
+            dm.clamp_node(node);
+        }
+        let loads = vec![0.0; dm.n_dofs()];
+        let sys = parfem_fem::assembly::build_static_hex(&mesh, &dm, &Material::unit(), &loads);
+        assert_spd(&sys.stiffness);
     }
 }

@@ -54,7 +54,7 @@ fn strip_parts(nx: usize, ny: usize, p: usize) -> Vec<CoarsePartGeometry> {
             for i in lo..hi {
                 for j in 0..ny {
                     geo.dofs.push(i * ny + j);
-                    geo.pos.push([i as f64, j as f64]);
+                    geo.pos.push([i as f64, j as f64, 0.0]);
                     geo.comp.push(0);
                     geo.constrained.push(false);
                 }

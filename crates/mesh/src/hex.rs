@@ -1,0 +1,341 @@
+//! Structured 3-D hexahedral meshes.
+//!
+//! The 3-D elasticity workload runs on a box cantilever discretized by
+//! `nx x ny x nz` eight-node hexahedra. Nodes are numbered slab-major:
+//! node `(i, j, k)` (column `i` of `0..=nx`, row `j` of `0..=ny`, slab `k`
+//! of `0..=nz`) has index `k*(nx+1)*(ny+1) + j*(nx+1) + i`. Element
+//! `(i, j, k)` has the standard hex8 connectivity — the bottom face
+//! `[(i,j,k), (i+1,j,k), (i+1,j+1,k), (i,j+1,k)]` counter-clockwise when
+//! seen from `+z`, then the same four corners on the `k+1` slab.
+
+use crate::cells::Cells;
+
+/// A boundary face of the box domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Face {
+    /// `x = 0`.
+    XMin,
+    /// `x = lx`.
+    XMax,
+    /// `y = 0`.
+    YMin,
+    /// `y = ly`.
+    YMax,
+    /// `z = 0`.
+    ZMin,
+    /// `z = lz`.
+    ZMax,
+}
+
+/// A structured mesh of 8-node hexahedra on a box.
+///
+/// ```
+/// use parfem_mesh::HexMesh;
+///
+/// let mesh = HexMesh::cantilever(4, 2, 2);
+/// assert_eq!(mesh.n_nodes(), 45);
+/// assert_eq!(mesh.n_elems(), 16);
+/// assert_eq!(mesh.elem_nodes(0), [0, 1, 6, 5, 15, 16, 21, 20]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HexMesh {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    lx: f64,
+    ly: f64,
+    lz: f64,
+    coords: Vec<[f64; 3]>,
+    elems: Vec<[usize; 8]>,
+}
+
+impl HexMesh {
+    /// Builds an `nx x ny x nz`-element mesh of the box
+    /// `[0, lx] x [0, ly] x [0, lz]`.
+    ///
+    /// # Panics
+    /// Panics if any element count is zero or a length is non-positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn box_mesh(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Self {
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "mesh must have at least one element"
+        );
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "mesh lengths must be positive"
+        );
+        let (sx, sy) = (nx + 1, (nx + 1) * (ny + 1));
+        let mut coords = Vec::with_capacity(sy * (nz + 1));
+        for k in 0..=nz {
+            for j in 0..=ny {
+                for i in 0..=nx {
+                    coords.push([
+                        lx * i as f64 / nx as f64,
+                        ly * j as f64 / ny as f64,
+                        lz * k as f64 / nz as f64,
+                    ]);
+                }
+            }
+        }
+        let mut elems = Vec::with_capacity(nx * ny * nz);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let n0 = k * sy + j * sx + i;
+                    elems.push([
+                        n0,
+                        n0 + 1,
+                        n0 + sx + 1,
+                        n0 + sx,
+                        n0 + sy,
+                        n0 + sy + 1,
+                        n0 + sy + sx + 1,
+                        n0 + sy + sx,
+                    ]);
+                }
+            }
+        }
+        HexMesh {
+            nx,
+            ny,
+            nz,
+            lx,
+            ly,
+            lz,
+            coords,
+            elems,
+        }
+    }
+
+    /// A box cantilever with unit-cube elements — the 3-D counterpart of
+    /// [`crate::QuadMesh::cantilever`], clamped at the `x = 0` face in the
+    /// standard workloads.
+    pub fn cantilever(nx: usize, ny: usize, nz: usize) -> Self {
+        Self::box_mesh(nx, ny, nz, nx as f64, ny as f64, nz as f64)
+    }
+
+    /// Elements in the x direction.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Elements in the y direction.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Elements in the z direction.
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Domain length in x.
+    pub fn lx(&self) -> f64 {
+        self.lx
+    }
+
+    /// Domain length in y.
+    pub fn ly(&self) -> f64 {
+        self.ly
+    }
+
+    /// Domain length in z.
+    pub fn lz(&self) -> f64 {
+        self.lz
+    }
+
+    /// Total number of nodes (`(nx+1) * (ny+1) * (nz+1)`).
+    pub fn n_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Total number of elements.
+    pub fn n_elems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Node coordinates, indexed by node id.
+    pub fn coords(&self) -> &[[f64; 3]] {
+        &self.coords
+    }
+
+    /// The coordinates of one node.
+    pub fn node_coords(&self, node: usize) -> [f64; 3] {
+        self.coords[node]
+    }
+
+    /// Element connectivity (hex8 node ids), indexed by element.
+    pub fn elems(&self) -> &[[usize; 8]] {
+        &self.elems
+    }
+
+    /// Connectivity of one element.
+    pub fn elem_nodes(&self, e: usize) -> [usize; 8] {
+        self.elems[e]
+    }
+
+    /// The node id at grid position `(i, j, k)`.
+    ///
+    /// # Panics
+    /// Panics if the position is outside the grid.
+    pub fn node_at(&self, i: usize, j: usize, k: usize) -> usize {
+        assert!(
+            i <= self.nx && j <= self.ny && k <= self.nz,
+            "grid position out of range"
+        );
+        k * (self.nx + 1) * (self.ny + 1) + j * (self.nx + 1) + i
+    }
+
+    /// The coordinates of the eight nodes of element `e`, connectivity order.
+    pub fn elem_coords(&self, e: usize) -> [[f64; 3]; 8] {
+        let n = self.elems[e];
+        [
+            self.coords[n[0]],
+            self.coords[n[1]],
+            self.coords[n[2]],
+            self.coords[n[3]],
+            self.coords[n[4]],
+            self.coords[n[5]],
+            self.coords[n[6]],
+            self.coords[n[7]],
+        ]
+    }
+
+    /// Node ids on one boundary face of the box, ascending.
+    pub fn face_nodes(&self, face: Face) -> Vec<usize> {
+        let mut out = Vec::new();
+        for k in 0..=self.nz {
+            for j in 0..=self.ny {
+                for i in 0..=self.nx {
+                    let on = match face {
+                        Face::XMin => i == 0,
+                        Face::XMax => i == self.nx,
+                        Face::YMin => j == 0,
+                        Face::YMax => j == self.ny,
+                        Face::ZMin => k == 0,
+                        Face::ZMax => k == self.nz,
+                    };
+                    if on {
+                        out.push(self.node_at(i, j, k));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Cells for HexMesh {
+    fn n_cell_nodes(&self) -> usize {
+        self.n_nodes()
+    }
+    fn n_cells(&self) -> usize {
+        self.n_elems()
+    }
+    fn cell_nodes(&self, e: usize) -> Vec<usize> {
+        self.elem_nodes(e).to_vec()
+    }
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        // The logical 2-D grid folds y and z into one axis: column `i` of
+        // the x direction stays a column, so x-strip partitions (the
+        // paper's layout) exist for any P <= nx.
+        Some((self.nx, self.ny * self.nz))
+    }
+    fn grid_cell(&self, e: usize) -> Option<(usize, usize)> {
+        Some((e % self.nx, e / self.nx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element_mesh() {
+        let m = HexMesh::box_mesh(1, 1, 1, 2.0, 3.0, 4.0);
+        assert_eq!(m.n_nodes(), 8);
+        assert_eq!(m.n_elems(), 1);
+        assert_eq!(m.elem_nodes(0), [0, 1, 3, 2, 4, 5, 7, 6]);
+        assert_eq!(m.node_coords(0), [0.0, 0.0, 0.0]);
+        assert_eq!(m.node_coords(7), [2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn node_counts_and_grid_lookup() {
+        let m = HexMesh::cantilever(4, 3, 2);
+        assert_eq!(m.n_nodes(), 5 * 4 * 3);
+        assert_eq!(m.n_elems(), 24);
+        assert_eq!(m.node_at(0, 0, 0), 0);
+        assert_eq!(m.node_at(4, 3, 2), m.n_nodes() - 1);
+        assert_eq!(m.node_coords(m.node_at(2, 1, 1)), [2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn elements_have_unit_volume_and_shared_faces() {
+        let m = HexMesh::cantilever(3, 2, 2);
+        // Adjacent elements in x share exactly 4 nodes (a face).
+        let e0 = m.elem_nodes(0);
+        let e1 = m.elem_nodes(1);
+        let shared = e0.iter().filter(|n| e1.contains(n)).count();
+        assert_eq!(shared, 4);
+        // Corner deltas span a unit cube.
+        let c = m.elem_coords(0);
+        assert_eq!(c[1][0] - c[0][0], 1.0);
+        assert_eq!(c[3][1] - c[0][1], 1.0);
+        assert_eq!(c[4][2] - c[0][2], 1.0);
+    }
+
+    #[test]
+    fn face_nodes_cover_the_boundary() {
+        let m = HexMesh::cantilever(3, 2, 2);
+        assert_eq!(m.face_nodes(Face::XMin).len(), 3 * 3);
+        assert_eq!(m.face_nodes(Face::XMax).len(), 3 * 3);
+        assert_eq!(m.face_nodes(Face::YMin).len(), 4 * 3);
+        assert_eq!(m.face_nodes(Face::ZMax).len(), 4 * 3);
+        for n in m.face_nodes(Face::XMin) {
+            assert_eq!(m.node_coords(n)[0], 0.0);
+        }
+        for n in m.face_nodes(Face::XMax) {
+            assert_eq!(m.node_coords(n)[0], m.lx());
+        }
+    }
+
+    #[test]
+    fn cells_impl_folds_y_and_z_into_one_grid_axis() {
+        let m = HexMesh::cantilever(4, 3, 2);
+        assert_eq!(m.grid_dims(), Some((4, 6)));
+        assert_eq!(m.grid_cell(0), Some((0, 0)));
+        assert_eq!(m.grid_cell(5), Some((1, 1)));
+        assert_eq!(Cells::n_cells(&m), 24);
+        assert_eq!(Cells::cell_nodes(&m, 0).len(), 8);
+    }
+
+    #[test]
+    fn strip_partition_through_cells_keeps_columns_together() {
+        use crate::partition::ElementPartition;
+        let m = HexMesh::cantilever(4, 2, 2);
+        let part = ElementPartition::blocks_of(&m, 2, 1);
+        assert_eq!(part.n_parts(), 2);
+        // Elements in columns 0..2 belong to part 0, columns 2..4 to part 1.
+        for e in 0..m.n_elems() {
+            let i = e % m.nx();
+            assert_eq!(part.owner(e), if i < 2 { 0 } else { 1 });
+        }
+        let subs = part.subdomains_of(&m);
+        // The interface is the node plane i = 2: 3 x 3 nodes.
+        assert_eq!(subs[0].n_interface_nodes(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_elements_rejected() {
+        HexMesh::box_mesh(0, 1, 1, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_at_out_of_range_panics() {
+        HexMesh::cantilever(2, 2, 2).node_at(3, 0, 0);
+    }
+}

@@ -2,8 +2,11 @@
 //!
 //! - [`structured`] — structured 2-D quadrilateral meshes (the cantilever
 //!   meshes Mesh1–Mesh10 of the paper's Table 2),
-//! - [`numbering`] — DOF numbering (2 displacement DOFs per node) and
-//!   Dirichlet constraint sets,
+//! - [`hex`] — structured 3-D hexahedral meshes (the box cantilever of the
+//!   3-D elasticity workload),
+//! - [`numbering`] — DOF numbering (physics-dependent DOFs per node:
+//!   1 scalar, 2 for 2-D elasticity, 3 for 3-D) and Dirichlet constraint
+//!   sets,
 //! - [`partition`] — element-based partitions (the paper's EDD, Section 3)
 //!   and node-based partitions (the RDD baseline, Section 4), including the
 //!   subdomain interface graphs that drive nearest-neighbour communication,
@@ -24,6 +27,7 @@ pub mod cells;
 pub mod generic;
 pub mod gpart;
 pub mod graph;
+pub mod hex;
 pub mod numbering;
 pub mod partition;
 pub mod quad8;
@@ -33,6 +37,7 @@ pub mod tri;
 pub use cells::Cells;
 pub use generic::GenericQuadMesh;
 pub use gpart::{graph_partition, PartitionerSpec};
+pub use hex::{Face, HexMesh};
 pub use numbering::{DofMap, Edge};
 pub use partition::{ElementPartition, NodePartition, Subdomain};
 pub use quad8::Quad8Mesh;

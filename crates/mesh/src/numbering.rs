@@ -1,10 +1,12 @@
 //! DOF numbering and Dirichlet constraint bookkeeping.
 //!
-//! Each node of a 2-D elasticity mesh carries two displacement DOFs
-//! `(u_x, u_y)`; DOF `2*node + c` is component `c` of `node`. Constrained
-//! (Dirichlet) DOFs keep their global numbers — the assembly replaces their
-//! equations with identity rows instead of renumbering, which is what lets
-//! the element-based decomposition avoid any reordering (paper claim ii).
+//! Each node carries a physics-dependent number of DOFs: two displacement
+//! components `(u_x, u_y)` for the paper's 2-D elasticity, one for scalar
+//! Poisson/heat, three for 3-D elasticity. DOF `dpn*node + c` is component
+//! `c` of `node`. Constrained (Dirichlet) DOFs keep their global numbers —
+//! the assembly replaces their equations with identity rows instead of
+//! renumbering, which is what lets the element-based decomposition avoid
+//! any reordering (paper claim ii).
 
 use crate::structured::QuadMesh;
 
@@ -21,13 +23,15 @@ pub enum Edge {
     Top,
 }
 
-/// Number of displacement DOFs per node in 2-D elasticity.
+/// Number of displacement DOFs per node in 2-D elasticity — the default
+/// physics of [`DofMap::new`] and of the paper's experiments.
 pub const DOFS_PER_NODE: usize = 2;
 
 /// Maps nodes to global DOFs and tracks Dirichlet constraints.
 #[derive(Debug, Clone)]
 pub struct DofMap {
     n_nodes: usize,
+    dofs_per_node: usize,
     /// `fixed[d]` is true when DOF `d` is Dirichlet-constrained.
     fixed: Vec<bool>,
     /// Prescribed values for constrained DOFs (same length as `fixed`).
@@ -35,12 +39,24 @@ pub struct DofMap {
 }
 
 impl DofMap {
-    /// An unconstrained DOF map over `n_nodes` nodes.
+    /// An unconstrained DOF map over `n_nodes` nodes with the default two
+    /// displacement DOFs per node (2-D elasticity).
     pub fn new(n_nodes: usize) -> Self {
+        Self::with_dofs(n_nodes, DOFS_PER_NODE)
+    }
+
+    /// An unconstrained DOF map with an explicit number of DOFs per node:
+    /// `1` for scalar Poisson/heat, `2` for 2-D elasticity, `3` for 3-D.
+    ///
+    /// # Panics
+    /// Panics if `dofs_per_node` is zero.
+    pub fn with_dofs(n_nodes: usize, dofs_per_node: usize) -> Self {
+        assert!(dofs_per_node > 0, "need at least one DOF per node");
         DofMap {
             n_nodes,
-            fixed: vec![false; n_nodes * DOFS_PER_NODE],
-            values: vec![0.0; n_nodes * DOFS_PER_NODE],
+            dofs_per_node,
+            fixed: vec![false; n_nodes * dofs_per_node],
+            values: vec![0.0; n_nodes * dofs_per_node],
         }
     }
 
@@ -49,9 +65,15 @@ impl DofMap {
         self.n_nodes
     }
 
+    /// Number of DOFs each node carries.
+    #[inline]
+    pub fn dofs_per_node(&self) -> usize {
+        self.dofs_per_node
+    }
+
     /// Total number of DOFs (constrained + free).
     pub fn n_dofs(&self) -> usize {
-        self.n_nodes * DOFS_PER_NODE
+        self.n_nodes * self.dofs_per_node
     }
 
     /// Number of unconstrained DOFs (the paper's `nEqn`).
@@ -59,20 +81,27 @@ impl DofMap {
         self.fixed.iter().filter(|&&f| !f).count()
     }
 
-    /// The global DOF of component `c` (0 = x, 1 = y) of `node`.
+    /// The global DOF of component `c` of `node`.
     ///
     /// # Panics
     /// Panics if `node` or `c` is out of range.
     #[inline]
     pub fn dof(&self, node: usize, c: usize) -> usize {
         assert!(node < self.n_nodes, "node out of range");
-        assert!(c < DOFS_PER_NODE, "component out of range");
-        node * DOFS_PER_NODE + c
+        assert!(c < self.dofs_per_node, "component out of range");
+        node * self.dofs_per_node + c
     }
 
-    /// The global DOFs of a 4-node element, in the element-local order
-    /// `[u0x, u0y, u1x, u1y, u2x, u2y, u3x, u3y]`.
+    /// The global DOFs of a 4-node 2-D elasticity element, in the
+    /// element-local order `[u0x, u0y, u1x, u1y, u2x, u2y, u3x, u3y]`.
+    ///
+    /// # Panics
+    /// Panics unless the map carries exactly two DOFs per node.
     pub fn elem_dofs(&self, nodes: [usize; 4]) -> [usize; 8] {
+        assert_eq!(
+            self.dofs_per_node, 2,
+            "elem_dofs is the 2-D elasticity layout"
+        );
         let mut out = [0usize; 8];
         for (k, &n) in nodes.iter().enumerate() {
             out[2 * k] = self.dof(n, 0);
@@ -87,10 +116,11 @@ impl DofMap {
         self.values[dof] = value;
     }
 
-    /// Constrains both components of `node` to zero (a clamped node).
+    /// Constrains every component of `node` to zero (a clamped node).
     pub fn clamp_node(&mut self, node: usize) {
-        self.fix_dof(self.dof(node, 0), 0.0);
-        self.fix_dof(self.dof(node, 1), 0.0);
+        for c in 0..self.dofs_per_node {
+            self.fix_dof(self.dof(node, c), 0.0);
+        }
     }
 
     /// Clamps every node of a boundary edge (the paper's cantilever root).
@@ -130,9 +160,30 @@ mod tests {
     fn dof_numbering_is_two_per_node() {
         let m = DofMap::new(5);
         assert_eq!(m.n_dofs(), 10);
+        assert_eq!(m.dofs_per_node(), 2);
         assert_eq!(m.dof(0, 0), 0);
         assert_eq!(m.dof(0, 1), 1);
         assert_eq!(m.dof(4, 1), 9);
+    }
+
+    #[test]
+    fn scalar_map_has_one_dof_per_node() {
+        let m = DofMap::with_dofs(5, 1);
+        assert_eq!(m.n_dofs(), 5);
+        assert_eq!(m.dofs_per_node(), 1);
+        assert_eq!(m.dof(3, 0), 3);
+    }
+
+    #[test]
+    fn three_d_map_has_three_dofs_per_node() {
+        let mut m = DofMap::with_dofs(4, 3);
+        assert_eq!(m.n_dofs(), 12);
+        assert_eq!(m.dof(2, 2), 8);
+        m.clamp_node(1);
+        assert_eq!(m.n_free(), 9);
+        for c in 0..3 {
+            assert!(m.is_fixed(m.dof(1, c)));
+        }
     }
 
     #[test]
@@ -140,6 +191,12 @@ mod tests {
         let m = DofMap::new(10);
         let dofs = m.elem_dofs([2, 3, 7, 6]);
         assert_eq!(dofs, [4, 5, 6, 7, 14, 15, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D elasticity layout")]
+    fn elem_dofs_rejects_non_two_dof_maps() {
+        DofMap::with_dofs(5, 1).elem_dofs([0, 1, 2, 3]);
     }
 
     #[test]
@@ -157,6 +214,14 @@ mod tests {
         for node in mesh.edge_nodes(Edge::Right) {
             assert!(!dm.is_fixed(dm.dof(node, 0)));
         }
+    }
+
+    #[test]
+    fn scalar_clamp_edge_fixes_one_dof_per_node() {
+        let mesh = QuadMesh::rectangle(3, 2, 3.0, 2.0);
+        let mut dm = DofMap::with_dofs(mesh.n_nodes(), 1);
+        dm.clamp_edge(&mesh, Edge::Left);
+        assert_eq!(dm.n_free(), dm.n_dofs() - 3);
     }
 
     #[test]

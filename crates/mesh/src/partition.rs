@@ -18,6 +18,7 @@
 //! receives line up without any negotiation.
 
 use crate::cells::Cells;
+use crate::hex::HexMesh;
 use crate::quad8::Quad8Mesh;
 use crate::structured::QuadMesh;
 use crate::tri::TriMesh;
@@ -505,6 +506,30 @@ impl NodePartition {
     /// # Panics
     /// Panics if `p` is zero or exceeds the number of node columns.
     pub fn strips_x(mesh: &QuadMesh, p: usize) -> Self {
+        let ncols = mesh.nx() + 1;
+        assert!(p > 0 && p <= ncols, "strip count must be in 1..=nx+1");
+        let owner: Vec<usize> = (0..mesh.n_nodes())
+            .map(|n| {
+                let i = n % ncols;
+                (i * p) / ncols
+            })
+            .collect();
+        let edge_cut = Some(node_cut_of(mesh, &owner));
+        NodePartition {
+            n_parts: p,
+            owner,
+            edge_cut,
+        }
+    }
+
+    /// Partitions the nodes of a structured hexahedral mesh into `p`
+    /// vertical slabs of node columns (constant-`x` planes) — the 3-D
+    /// counterpart of [`NodePartition::strips_x`], so RDD block rows cut
+    /// the same interfaces an x-strip element partition does.
+    ///
+    /// # Panics
+    /// Panics if `p` is zero or exceeds the number of node planes.
+    pub fn strips_x_hex(mesh: &HexMesh, p: usize) -> Self {
         let ncols = mesh.nx() + 1;
         assert!(p > 0 && p <= ncols, "strip count must be in 1..=nx+1");
         let owner: Vec<usize> = (0..mesh.n_nodes())

@@ -18,6 +18,9 @@
 //!   [`parfem_sparse::Ilu0`], the sequential comparator of Figs. 11–12,
 //! - [`mixed`] — `f32` mirrors of the polynomial preconditioners for
 //!   mixed-precision runs (outer FGMRES stays `f64`),
+//! - [`direct`] — the exact rank-local sparse direct solve (RCM-ordered
+//!   profile LDLᵀ), pivot-tolerant where ILU(0) fails on floating
+//!   subdomains,
 //! - [`twolevel`] — the two-level coarse-space correction (per-subdomain
 //!   constant/rigid-body/low-rank modes, a directly factored Galerkin
 //!   coarse operator, additive and multiplicative composition around the
@@ -38,6 +41,7 @@
 
 pub mod adaptive;
 pub mod chebyshev;
+pub mod direct;
 pub mod gls;
 pub mod identity;
 pub mod ilu0;
@@ -51,6 +55,7 @@ pub mod twolevel;
 
 pub use adaptive::EscalatingGls;
 pub use chebyshev::ChebyshevPrecond;
+pub use direct::DirectPrecond;
 pub use gls::{GlsPrecond, IntervalUnion};
 pub use identity::IdentityPrecond;
 pub use ilu0::Ilu0Precond;
@@ -65,6 +70,29 @@ pub use twolevel::{
 };
 
 use parfem_sparse::LinearOperator;
+
+/// The hook a rank-local *subdomain solve* needs from a distributed
+/// operator: re-imposing interface agreement on per-rank solutions.
+///
+/// Element-based (EDD) local vectors replicate interface entries across the
+/// subdomains sharing them, and an exact local solve gives each sharing
+/// rank a *different* interface value — so [`DirectPrecond`] must follow
+/// its solve with the partition-of-unity average `z ← ⊕Σ z/mult` (weight by
+/// `1/multiplicity`, then neighbour-sum), restoring the replication
+/// invariant and making the composite the classical multiplicity-weighted
+/// additive Schwarz step. Operators whose vectors are not replicated —
+/// sequential matrices, RDD block rows — are already consistent, and the
+/// default no-op applies.
+pub trait InterfaceConsistency {
+    /// Restores interface agreement on the per-rank vector `z`. No-op for
+    /// operators without replicated interface entries.
+    fn make_consistent(&self, z: &mut [f64]) {
+        let _ = z;
+    }
+}
+
+/// Sequential operators hold the whole vector — nothing is replicated.
+impl InterfaceConsistency for parfem_sparse::CsrMatrix {}
 
 /// A (possibly operator-dependent) preconditioner `z = C v`.
 ///

@@ -20,10 +20,11 @@
 
 use crate::twolevel::{CoarseSolver, CoarseSpec, Composition, SpecPrecond, TwoLevelPrecond};
 use crate::{
-    ChebyshevPrecond, EscalatingGls, GlsPrecond, GlsPrecondF32, IdentityPrecond, IntervalUnion,
-    JacobiPrecond, NeumannPrecond, NeumannPrecondF32, Preconditioner,
+    ChebyshevPrecond, DirectPrecond, EscalatingGls, GlsPrecond, GlsPrecondF32, IdentityPrecond,
+    InterfaceConsistency, IntervalUnion, JacobiPrecond, NeumannPrecond, NeumannPrecondF32,
+    Preconditioner,
 };
-use parfem_sparse::LinearOperator;
+use parfem_sparse::{CsrMatrix, LinearOperator};
 use std::fmt;
 
 /// Which preconditioner a solver should build.
@@ -70,6 +71,13 @@ pub enum PrecondSpec {
         /// Applications per schedule stage.
         period: usize,
     },
+    /// Exact rank-local sparse direct solve (RCM-ordered profile LDLᵀ with
+    /// pivot skipping — well-defined even on floating subdomains where
+    /// ILU(0) hits the paper's Eq. 45 zero pivot). Needs the rank-local
+    /// matrix at build time — see [`PrecondSpec::instantiate_full`]; the
+    /// plain [`PrecondSpec::build`]/[`PrecondSpec::instantiate`] panic for
+    /// this arm.
+    Direct,
     /// Two-level preconditioning: a per-subdomain coarse space composed
     /// around a one-level smoother (`twolevel:<coarse>:<smoother>[:add]`).
     /// Needs a coarse solver at build time — see
@@ -100,6 +108,7 @@ fn smoother_token(spec: &PrecondSpec) -> String {
         PrecondSpec::GlsF32 { degree } => format!("gls-f32-{degree}"),
         PrecondSpec::NeumannF32 { degree } => format!("neumann-f32-{degree}"),
         PrecondSpec::Chebyshev { degree } => format!("chebyshev-{degree}"),
+        PrecondSpec::Direct => "direct".into(),
         // Not parseable back (the registry rejects stateful smoothers
         // inside twolevel), but printable for hand-built specs.
         PrecondSpec::GlsEscalating { period } => format!("gls-escalating-{period}"),
@@ -114,6 +123,7 @@ fn parse_smoother(tok: &str) -> Result<PrecondSpec, ParseSpecError> {
     match tok {
         "none" => Ok(PrecondSpec::None),
         "jacobi" => Ok(PrecondSpec::Jacobi),
+        "direct" => Ok(PrecondSpec::Direct),
         _ => {
             let (base, deg) = tok.rsplit_once('-').ok_or_else(bad)?;
             let degree: usize = deg.parse().map_err(|_| bad())?;
@@ -147,6 +157,7 @@ impl PrecondSpec {
             PrecondSpec::NeumannF32 { degree } => format!("neumann-f32({degree})"),
             PrecondSpec::Chebyshev { degree } => format!("chebyshev({degree})"),
             PrecondSpec::GlsEscalating { period } => format!("gls-escalating(x{period})"),
+            PrecondSpec::Direct => "direct".into(),
             PrecondSpec::TwoLevel { .. } => self.spec_str(),
         }
     }
@@ -164,6 +175,7 @@ impl PrecondSpec {
             PrecondSpec::NeumannF32 { degree } => format!("neumann-f32:{degree}"),
             PrecondSpec::Chebyshev { degree } => format!("chebyshev:{degree}"),
             PrecondSpec::GlsEscalating { period } => format!("gls-escalating:{period}"),
+            PrecondSpec::Direct => "direct".into(),
             PrecondSpec::TwoLevel {
                 coarse,
                 smoother,
@@ -218,6 +230,7 @@ impl PrecondSpec {
         match kind {
             "none" => no_arg(PrecondSpec::None),
             "jacobi" => no_arg(PrecondSpec::Jacobi),
+            "direct" => no_arg(PrecondSpec::Direct),
             "gls" => Ok(PrecondSpec::Gls {
                 degree: degree(arg)?,
                 theta: None,
@@ -286,7 +299,7 @@ impl PrecondSpec {
     ///
     /// The constructors are exactly those the historical per-driver
     /// dispatchers used, so results are bit-identical through the registry.
-    pub fn build<Op: LinearOperator + ?Sized>(
+    pub fn build<Op: LinearOperator + InterfaceConsistency + ?Sized>(
         &self,
         diag: impl FnOnce() -> Vec<f64>,
     ) -> Box<dyn Preconditioner<Op>> {
@@ -324,11 +337,35 @@ impl PrecondSpec {
             PrecondSpec::GlsEscalating { period } => {
                 BuiltPrecond::Escalating(EscalatingGls::default_for_scaled_system(*period))
             }
+            PrecondSpec::Direct => panic!(
+                "direct spec needs the rank-local matrix; build it through \
+                 PrecondSpec::instantiate_full"
+            ),
             PrecondSpec::TwoLevel { .. } => panic!(
                 "two-level spec `{}` needs a coarse solver; build it through \
                  PrecondSpec::instantiate_with_coarse",
                 self.name()
             ),
+        }
+    }
+
+    /// Builds a one-level spec as a [`BuiltPrecond`], factoring the
+    /// rank-local matrix for [`PrecondSpec::Direct`] and delegating to
+    /// [`PrecondSpec::instantiate`] for everything else (bit-identical to
+    /// the historical path).
+    fn instantiate_one_level(
+        &self,
+        local: Option<&CsrMatrix>,
+        diag: impl FnOnce() -> Vec<f64>,
+    ) -> BuiltPrecond {
+        match self {
+            PrecondSpec::Direct => {
+                let a = local.unwrap_or_else(|| {
+                    panic!("direct spec requires the rank-local matrix at build time")
+                });
+                BuiltPrecond::Direct(DirectPrecond::new(a))
+            }
+            _ => self.instantiate(diag),
         }
     }
 
@@ -339,6 +376,20 @@ impl PrecondSpec {
     /// transient driver) reject such specs up front.
     pub fn needs_coarse(&self) -> bool {
         matches!(self, PrecondSpec::TwoLevel { .. })
+    }
+
+    /// `true` iff building this spec requires the rank-local matrix — i.e.
+    /// the spec is [`PrecondSpec::Direct`], directly or as a `twolevel`
+    /// smoother. Callers that hold the post-scaling local matrix (the
+    /// `SolveSession` rank bodies, the sequential driver) branch on this to
+    /// [`PrecondSpec::instantiate_full`]; callers that cannot supply one
+    /// reject such specs up front.
+    pub fn needs_local_matrix(&self) -> bool {
+        match self {
+            PrecondSpec::Direct => true,
+            PrecondSpec::TwoLevel { smoother, .. } => smoother.needs_local_matrix(),
+            _ => false,
+        }
     }
 
     /// Builds this spec as a [`SpecPrecond`], attaching `coarse` when the
@@ -354,6 +405,26 @@ impl PrecondSpec {
         coarse: Option<CoarseSolver>,
         diag: impl FnOnce() -> Vec<f64>,
     ) -> SpecPrecond {
+        self.instantiate_full(coarse, None, diag)
+    }
+
+    /// Builds this spec as a [`SpecPrecond`] from everything a rank can
+    /// supply: a coarse solver (for two-level specs) and the rank-local
+    /// post-scaling matrix (for [`PrecondSpec::Direct`], standalone or as a
+    /// `twolevel` smoother). Specs needing neither ignore both arguments
+    /// and wrap the identical [`PrecondSpec::instantiate`] result, so
+    /// results are bit-identical to the plain path.
+    ///
+    /// # Panics
+    /// Panics when the spec [`PrecondSpec::needs_coarse`] but `coarse` is
+    /// `None`, or [`PrecondSpec::needs_local_matrix`] but `local` is
+    /// `None`.
+    pub fn instantiate_full(
+        &self,
+        coarse: Option<CoarseSolver>,
+        local: Option<&CsrMatrix>,
+        diag: impl FnOnce() -> Vec<f64>,
+    ) -> SpecPrecond {
         match self {
             PrecondSpec::TwoLevel {
                 smoother, additive, ..
@@ -367,13 +438,13 @@ impl PrecondSpec {
                     Composition::Multiplicative
                 };
                 SpecPrecond::TwoLevel(TwoLevelPrecond::new(
-                    smoother.instantiate(diag),
+                    smoother.instantiate_one_level(local, diag),
                     solver,
                     composition,
                     self.name(),
                 ))
             }
-            _ => SpecPrecond::Plain(self.instantiate(diag)),
+            _ => SpecPrecond::Plain(self.instantiate_one_level(local, diag)),
         }
     }
 }
@@ -400,6 +471,8 @@ pub enum BuiltPrecond {
     Chebyshev(ChebyshevPrecond),
     /// [`PrecondSpec::GlsEscalating`].
     Escalating(EscalatingGls),
+    /// [`PrecondSpec::Direct`].
+    Direct(DirectPrecond),
 }
 
 macro_rules! delegate {
@@ -413,11 +486,12 @@ macro_rules! delegate {
             BuiltPrecond::NeumannF32($p) => $e,
             BuiltPrecond::Chebyshev($p) => $e,
             BuiltPrecond::Escalating($p) => $e,
+            BuiltPrecond::Direct($p) => $e,
         }
     };
 }
 
-impl<Op: LinearOperator + ?Sized> Preconditioner<Op> for BuiltPrecond {
+impl<Op: LinearOperator + InterfaceConsistency + ?Sized> Preconditioner<Op> for BuiltPrecond {
     fn apply_into(&self, op: &Op, v: &[f64], z: &mut [f64]) {
         delegate!(self, p => p.apply_into(op, v, z))
     }
@@ -482,7 +556,7 @@ pub enum ParseSpecError {
     /// `twolevel:<coarse>` came without its smoother segment.
     MissingSmoother,
     /// The smoother segment is not in the accepted one-level set
-    /// (`none`, `jacobi`, `gls-M`, `neumann-M`, `gls-f32-M`,
+    /// (`none`, `jacobi`, `direct`, `gls-M`, `neumann-M`, `gls-f32-M`,
     /// `neumann-f32-M`, `chebyshev-M`).
     BadSmoother(String),
     /// The composition segment is not `add` or `mult` (or the spec has
@@ -534,8 +608,8 @@ impl fmt::Display for ParseSpecError {
             ParseSpecError::BadSmoother(given) => {
                 write!(
                     f,
-                    "bad smoother {given}: expected none, jacobi, gls-M, neumann-M, \
-                     gls-f32-M, neumann-f32-M or chebyshev-M"
+                    "bad smoother {given}: expected none, jacobi, direct, gls-M, \
+                     neumann-M, gls-f32-M, neumann-f32-M or chebyshev-M"
                 )
             }
             ParseSpecError::BadComposition(given) => {
@@ -548,8 +622,8 @@ impl fmt::Display for ParseSpecError {
 impl std::error::Error for ParseSpecError {}
 
 /// The accepted `--precond` grammar, one spec per alternative.
-pub const GRAMMAR: &str = "none|jacobi|gls:M|neumann:M|gls-f32:M|neumann-f32:M|chebyshev:M|\
-                           gls-escalating:PERIOD|twolevel:COARSE:SMOOTHER[:add]";
+pub const GRAMMAR: &str = "none|jacobi|direct|gls:M|neumann:M|gls-f32:M|neumann-f32:M|\
+                           chebyshev:M|gls-escalating:PERIOD|twolevel:COARSE:SMOOTHER[:add]";
 
 /// Multi-line help text for the grammar — rendered by the CLI usage screen
 /// and quoted by the README, so the documentation always matches the
@@ -559,6 +633,8 @@ pub fn grammar_help() -> String {
         "{GRAMMAR}\n\
          none                 unpreconditioned FGMRES\n\
          jacobi               assembled-diagonal scaling\n\
+         direct               exact rank-local sparse direct solve (RCM + profile LDLt;\n\
+                              pivot-tolerant on floating subdomains where ILU(0) fails)\n\
          gls:M                degree-M generalized least-squares polynomial on (eps, 1)\n\
          neumann:M            degree-M Neumann series (omega = 1 after scaling)\n\
          gls-f32:M            degree-M GLS applied in f32 (mixed precision)\n\
@@ -567,9 +643,9 @@ pub fn grammar_help() -> String {
          gls-escalating:P     GLS degree schedule 1->3->7->10, advancing every P applies\n\
          twolevel:C:S         coarse space C (const|rbm|lowrank-K, each optionally .sK\n\
                               for K prolongator-smoothing passes, e.g. rbm.s3) around\n\
-                              smoother S (none, jacobi, gls-M, neumann-M, gls-f32-M,\n\
-                              neumann-f32-M, chebyshev-M); multiplicative unless :add\n\
-                              is appended"
+                              smoother S (none, jacobi, direct, gls-M, neumann-M,\n\
+                              gls-f32-M, neumann-f32-M, chebyshev-M); multiplicative\n\
+                              unless :add is appended"
     )
 }
 
@@ -588,6 +664,7 @@ pub fn examples() -> Vec<PrecondSpec> {
         PrecondSpec::NeumannF32 { degree: 2 },
         PrecondSpec::Chebyshev { degree: 8 },
         PrecondSpec::GlsEscalating { period: 5 },
+        PrecondSpec::Direct,
         PrecondSpec::TwoLevel {
             coarse: CoarseSpec::Rbm,
             smoother: Box::new(PrecondSpec::Gls {
@@ -641,9 +718,9 @@ mod tests {
     fn builds_every_example_against_a_csr_operator() {
         let a = CsrMatrix::identity(4);
         for spec in examples() {
-            if spec.needs_coarse() {
-                // Two-level specs need a coarse solver — covered by
-                // `instantiates_twolevel_examples_with_a_coarse` below.
+            if spec.needs_coarse() || spec.needs_local_matrix() {
+                // Two-level and direct specs need a coarse solver / local
+                // matrix — covered by the instantiate_full tests below.
                 continue;
             }
             let pc = spec.build::<CsrMatrix>(|| a.diagonal());
@@ -654,13 +731,25 @@ mod tests {
     }
 
     #[test]
+    fn direct_instantiates_from_a_local_matrix() {
+        let a = CsrMatrix::identity(4);
+        let spec = PrecondSpec::parse("direct").unwrap();
+        assert!(spec.needs_local_matrix());
+        assert!(!spec.needs_coarse());
+        let pc = spec.instantiate_full(None, Some(&a), || a.diagonal());
+        let z = Preconditioner::<CsrMatrix>::apply(&pc, &a, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(z, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(Preconditioner::<CsrMatrix>::name(&pc), "direct");
+    }
+
+    #[test]
     fn instantiates_twolevel_examples_with_a_coarse() {
         use crate::twolevel::{build_coarse_basis, CoarsePartGeometry};
         let a = CsrMatrix::identity(4);
         let parts: Vec<CoarsePartGeometry> = (0..2)
             .map(|p| CoarsePartGeometry {
                 dofs: vec![2 * p, 2 * p + 1],
-                pos: vec![[p as f64, 0.0], [p as f64, 1.0]],
+                pos: vec![[p as f64, 0.0, 0.0], [p as f64, 1.0, 0.0]],
                 comp: vec![0, 0],
                 constrained: vec![false, false],
             })
@@ -672,7 +761,8 @@ mod tests {
                 unreachable!()
             };
             let basis = build_coarse_basis(coarse, &parts, &mult, &d, &a, 1e-12);
-            let pc = spec.instantiate_with_coarse(Some(basis.solver()), || a.diagonal());
+            let local = spec.needs_local_matrix().then_some(&a);
+            let pc = spec.instantiate_full(Some(basis.solver()), local, || a.diagonal());
             let z = Preconditioner::<CsrMatrix>::apply(&pc, &a, &[1.0, 2.0, 3.0, 4.0]);
             assert_eq!(z.len(), 4);
             assert!(z.iter().all(|v| v.is_finite()));
@@ -685,5 +775,38 @@ mod tests {
     fn plain_instantiate_rejects_twolevel() {
         let spec = PrecondSpec::parse("twolevel:rbm:gls-3").unwrap();
         let _ = spec.instantiate(Vec::new);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the rank-local matrix")]
+    fn plain_instantiate_rejects_direct() {
+        let _ = PrecondSpec::Direct.instantiate(Vec::new);
+    }
+
+    #[test]
+    fn twolevel_direct_smoother_round_trips_and_instantiates() {
+        use crate::twolevel::{build_coarse_basis, CoarsePartGeometry};
+        let spec = PrecondSpec::parse("twolevel:rbm:direct").unwrap();
+        assert!(spec.needs_coarse());
+        assert!(spec.needs_local_matrix());
+        assert_eq!(spec.spec_str(), "twolevel:rbm:direct");
+        assert_eq!(PrecondSpec::parse(&spec.name()).unwrap(), spec);
+        let a = CsrMatrix::identity(4);
+        let parts = vec![CoarsePartGeometry {
+            dofs: vec![0, 1, 2, 3],
+            pos: (0..4).map(|g| [g as f64, 0.0, 0.0]).collect(),
+            comp: vec![0; 4],
+            constrained: vec![false; 4],
+        }];
+        let mult = vec![1.0; 4];
+        let d = vec![1.0; 4];
+        let PrecondSpec::TwoLevel { coarse, .. } = &spec else {
+            unreachable!()
+        };
+        let basis = build_coarse_basis(coarse, &parts, &mult, &d, &a, 1e-12);
+        let pc = spec.instantiate_full(Some(basis.solver()), Some(&a), || a.diagonal());
+        let z = Preconditioner::<CsrMatrix>::apply(&pc, &a, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(z.iter().all(|v| v.is_finite()));
+        assert_eq!(Preconditioner::<CsrMatrix>::name(&pc), spec.name());
     }
 }

@@ -44,7 +44,7 @@
 //! for bit across ranks, preserving every existing bit-identity invariant.
 
 use crate::registry::BuiltPrecond;
-use crate::Preconditioner;
+use crate::{InterfaceConsistency, Preconditioner};
 use parfem_sparse::dense::{norm2, sym_eigen_jacobi};
 use parfem_sparse::skyline::SkylineLdlt;
 use parfem_sparse::{CooMatrix, CsrMatrix, LinearOperator};
@@ -58,8 +58,10 @@ pub enum CoarseSpec {
     /// per part (a scalar problem gets one, 2-D elasticity two).
     Const,
     /// Rigid-body modes: the translations of [`CoarseSpec::Const`] plus the
-    /// in-plane rotation `(−(y − ȳ_p), x − x̄_p)` centered on each part.
-    /// Falls back to [`CoarseSpec::Const`] on scalar (1-component)
+    /// part-centered rotations — the single in-plane rotation
+    /// `(−(y − ȳ_p), x − x̄_p)` for 2-component problems, the three axis
+    /// rotations for 3-component problems (`d(d+1)/2` modes per part in
+    /// total). Falls back to [`CoarseSpec::Const`] on scalar (1-component)
     /// problems, where no rotation exists.
     Rbm,
     /// The `k` lowest eigenvectors of each part's principal submatrix of
@@ -119,13 +121,9 @@ impl CoarseSpec {
     pub fn modes_per_part(&self, n_comp: usize) -> usize {
         match self {
             CoarseSpec::Const => n_comp,
-            CoarseSpec::Rbm => {
-                if n_comp >= 2 {
-                    n_comp + 1
-                } else {
-                    n_comp
-                }
-            }
+            // Translations plus rotations: d(d+1)/2 rigid modes in d
+            // dimensions (1 scalar, 3 in 2-D, 6 in 3-D).
+            CoarseSpec::Rbm => n_comp * (n_comp + 1) / 2,
             CoarseSpec::LowRank(k) => *k,
             CoarseSpec::Smoothed(base, _) => base.modes_per_part(n_comp),
         }
@@ -199,10 +197,10 @@ impl CoarseReduce for CsrMatrix {
 pub struct CoarsePartGeometry {
     /// Global dof ids of this part, ascending.
     pub dofs: Vec<usize>,
-    /// Node position of each dof.
-    pub pos: Vec<[f64; 2]>,
-    /// Displacement component of each dof (`0` = x, `1` = y; all `0` for
-    /// scalar problems).
+    /// Node position of each dof (`z = 0` for 2-D problems).
+    pub pos: Vec<[f64; 3]>,
+    /// Displacement component of each dof (`0` = x, `1` = y, `2` = z; all
+    /// `0` for scalar problems).
     pub comp: Vec<usize>,
     /// Whether each dof carries a Dirichlet constraint (coarse modes are
     /// zeroed there so corrections never perturb constrained values).
@@ -316,7 +314,7 @@ pub fn build_coarse_basis(
 }
 
 /// Partition-of-unity translations (and, for [`CoarseSpec::Rbm`], the
-/// centered rotation) of one part, transformed to scaled space:
+/// centered rotations) of one part, transformed to scaled space:
 /// `Ẑ[g] = geom(g) / (mult[g] · d[g])`.
 #[allow(clippy::too_many_arguments)]
 fn geometric_modes(
@@ -332,14 +330,16 @@ fn geometric_modes(
     let n = geo.dofs.len();
     // Per-part centroid over all entries (constrained included — fixed,
     // purely geometric, deterministic).
-    let (mut cx, mut cy) = (0.0, 0.0);
+    let (mut cx, mut cy, mut cz) = (0.0, 0.0, 0.0);
     for q in &geo.pos {
         cx += q[0];
         cy += q[1];
+        cz += q[2];
     }
     if n > 0 {
         cx /= n as f64;
         cy /= n as f64;
+        cz /= n as f64;
     }
     for e in 0..n {
         if geo.constrained[e] {
@@ -351,13 +351,35 @@ fn geometric_modes(
         // Translation mode of this dof's component.
         modes[p * mpp + c].push((g, w));
         if matches!(spec, CoarseSpec::Rbm) && n_comp >= 2 {
-            let rot = match c {
+            // Rotation about e_z: (−(y − ȳ), x − x̄, 0) — the single 2-D
+            // rotation, kept in the historical mode slot.
+            let rot_z = match c {
                 0 => -(geo.pos[e][1] - cy),
                 1 => geo.pos[e][0] - cx,
                 _ => 0.0,
             };
-            if rot != 0.0 {
-                modes[p * mpp + n_comp].push((g, rot * w));
+            if rot_z != 0.0 {
+                modes[p * mpp + n_comp].push((g, rot_z * w));
+            }
+            if n_comp >= 3 {
+                // Rotations about e_x: (0, −(z − z̄), y − ȳ) and
+                // e_y: (z − z̄, 0, −(x − x̄)).
+                let rot_x = match c {
+                    1 => -(geo.pos[e][2] - cz),
+                    2 => geo.pos[e][1] - cy,
+                    _ => 0.0,
+                };
+                let rot_y = match c {
+                    0 => geo.pos[e][2] - cz,
+                    2 => -(geo.pos[e][0] - cx),
+                    _ => 0.0,
+                };
+                if rot_x != 0.0 {
+                    modes[p * mpp + n_comp + 1].push((g, rot_x * w));
+                }
+                if rot_y != 0.0 {
+                    modes[p * mpp + n_comp + 2].push((g, rot_y * w));
+                }
             }
         }
     }
@@ -786,7 +808,9 @@ pub enum SpecPrecond {
     TwoLevel(TwoLevelPrecond<BuiltPrecond>),
 }
 
-impl<Op: LinearOperator + CoarseReduce + ?Sized> Preconditioner<Op> for SpecPrecond {
+impl<Op: LinearOperator + CoarseReduce + InterfaceConsistency + ?Sized> Preconditioner<Op>
+    for SpecPrecond
+{
     fn apply_into(&self, op: &Op, v: &[f64], z: &mut [f64]) {
         match self {
             SpecPrecond::Plain(p) => p.apply_into(op, v, z),
@@ -858,7 +882,7 @@ mod tests {
                 let dofs: Vec<usize> =
                     (p * per..if p + 1 == n_parts { n } else { (p + 1) * per }).collect();
                 CoarsePartGeometry {
-                    pos: dofs.iter().map(|&g| [g as f64, 0.0]).collect(),
+                    pos: dofs.iter().map(|&g| [g as f64, 0.0, 0.0]).collect(),
                     comp: vec![0; dofs.len()],
                     constrained: dofs.iter().map(|&g| g == 0 || g == n - 1).collect(),
                     dofs,
@@ -959,6 +983,72 @@ mod tests {
                 vec![vec![0.0; 24]; Preconditioner::<CsrMatrix>::scratch_vectors(&pc)];
             pc.apply_scratch(&a, &v, &mut z2, &mut scratch);
             assert_eq!(z1, z2);
+        }
+    }
+
+    #[test]
+    fn rbm_mode_counts_follow_the_physics() {
+        // d(d+1)/2 rigid modes: 1 scalar, 3 in 2-D, 6 in 3-D.
+        assert_eq!(CoarseSpec::Rbm.modes_per_part(1), 1);
+        assert_eq!(CoarseSpec::Rbm.modes_per_part(2), 3);
+        assert_eq!(CoarseSpec::Rbm.modes_per_part(3), 6);
+        assert_eq!(CoarseSpec::Const.modes_per_part(3), 3);
+    }
+
+    #[test]
+    fn three_d_rbm_modes_span_the_six_rigid_motions() {
+        // One unconstrained part of 4 non-coplanar nodes with 3 components
+        // per node; the geometric modes must be the 3 translations and the
+        // 3 axis rotations about the centroid, in that order.
+        let nodes = [
+            [0.0, 0.0, 0.0],
+            [2.0, 0.0, 0.0],
+            [0.0, 3.0, 0.0],
+            [0.0, 0.0, 4.0],
+        ];
+        let n_dofs = 12;
+        let geo = CoarsePartGeometry {
+            dofs: (0..n_dofs).collect(),
+            pos: (0..n_dofs).map(|g| nodes[g / 3]).collect(),
+            comp: (0..n_dofs).map(|g| g % 3).collect(),
+            constrained: vec![false; n_dofs],
+        };
+        let mult = vec![1.0; n_dofs];
+        let d = vec![1.0; n_dofs];
+        let mut modes: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 6];
+        geometric_modes(&CoarseSpec::Rbm, 0, &geo, &mult, &d, 6, 3, &mut modes);
+        // Dense expansion for checking.
+        let dense: Vec<Vec<f64>> = modes
+            .iter()
+            .map(|col| {
+                let mut v = vec![0.0; n_dofs];
+                for &(g, val) in col {
+                    v[g] = val;
+                }
+                v
+            })
+            .collect();
+        let (cx, cy, cz) = (0.5, 0.75, 1.0);
+        for (nd, q) in nodes.iter().enumerate() {
+            let (x, y, z) = (q[0] - cx, q[1] - cy, q[2] - cz);
+            // Translations.
+            for c in 0..3 {
+                for c2 in 0..3 {
+                    let want = if c == c2 { 1.0 } else { 0.0 };
+                    assert_eq!(dense[c][3 * nd + c2], want);
+                }
+            }
+            // Rotations about e_z, e_x, e_y.
+            for (m, want) in [(3, [-y, x, 0.0]), (4, [0.0, -z, y]), (5, [z, 0.0, -x])] {
+                for c in 0..3 {
+                    assert!(
+                        (dense[m][3 * nd + c] - want[c]).abs() < 1e-14,
+                        "mode {m} node {nd} comp {c}: {} vs {}",
+                        dense[m][3 * nd + c],
+                        want[c]
+                    );
+                }
+            }
         }
     }
 

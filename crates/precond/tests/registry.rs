@@ -12,7 +12,7 @@ use proptest::prelude::*;
 /// except `gls-escalating`, which has no smoother token — × either
 /// composition).
 fn any_spec() -> impl Strategy<Value = PrecondSpec> {
-    (0usize..9, 1usize..9, 0usize..5, 0usize..40, 0usize..2).prop_map(|(kind, k, s, n, comp)| {
+    (0usize..10, 1usize..9, 0usize..6, 0usize..40, 0usize..2).prop_map(|(kind, k, s, n, comp)| {
         match kind {
             0 => PrecondSpec::None,
             1 => PrecondSpec::Jacobi,
@@ -23,10 +23,11 @@ fn any_spec() -> impl Strategy<Value = PrecondSpec> {
             3 => PrecondSpec::Neumann { degree: n },
             4 => PrecondSpec::Chebyshev { degree: n },
             5 => PrecondSpec::GlsEscalating { period: n + 1 },
+            6 => PrecondSpec::Direct,
             _ => {
                 let coarse = match kind {
-                    6 => CoarseSpec::Const,
-                    7 => CoarseSpec::Rbm,
+                    7 => CoarseSpec::Const,
+                    8 => CoarseSpec::Rbm,
                     _ => CoarseSpec::LowRank(k),
                 };
                 let smoother = match s {
@@ -37,6 +38,7 @@ fn any_spec() -> impl Strategy<Value = PrecondSpec> {
                         theta: None,
                     },
                     3 => PrecondSpec::Neumann { degree: n },
+                    4 => PrecondSpec::Direct,
                     _ => PrecondSpec::Chebyshev { degree: n },
                 };
                 PrecondSpec::TwoLevel {
@@ -258,8 +260,8 @@ fn twolevel_bad_smoother_names_the_choices() {
         assert_eq!(
             err.to_string(),
             format!(
-                "bad smoother {bad}: expected none, jacobi, gls-M, neumann-M, \
-                 gls-f32-M, neumann-f32-M or chebyshev-M"
+                "bad smoother {bad}: expected none, jacobi, direct, gls-M, \
+                 neumann-M, gls-f32-M, neumann-f32-M or chebyshev-M"
             )
         );
     }

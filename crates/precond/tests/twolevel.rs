@@ -45,7 +45,7 @@ fn strip_parts(n: usize, p: usize, n_fixed: usize) -> Vec<CoarsePartGeometry> {
             let hi = (q + 1) * n / p;
             let dofs: Vec<usize> = (lo..hi).collect();
             CoarsePartGeometry {
-                pos: dofs.iter().map(|&g| [g as f64, 0.0]).collect(),
+                pos: dofs.iter().map(|&g| [g as f64, 0.0, 0.0]).collect(),
                 comp: vec![0; dofs.len()],
                 constrained: dofs.iter().map(|&g| g < n_fixed).collect(),
                 dofs,

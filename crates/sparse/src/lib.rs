@@ -28,6 +28,9 @@
 //!   preconditioning,
 //! - [`skyline`] — a pivot-tolerant skyline/profile LDLᵀ direct solver for
 //!   the two-level preconditioner's Galerkin coarse operator,
+//! - [`direct`] — a general sparse direct solver (deterministic
+//!   fill-reducing RCM ordering + the profile LDLᵀ) used as the exact
+//!   `direct` subdomain preconditioner and sequential comparator,
 //! - [`variant`] — the kernel-variant policy and the per-matrix
 //!   (format × kernel) selector.
 //!
@@ -47,6 +50,7 @@ pub mod bcsr;
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod direct;
 pub mod error;
 pub mod f32csr;
 pub mod gershgorin;
@@ -63,6 +67,7 @@ pub mod variant;
 pub use bcsr::BcsrMatrix;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
+pub use direct::SparseDirect;
 pub use error::SparseError;
 pub use f32csr::CsrMatrixF32;
 pub use ilu::Ilu0;

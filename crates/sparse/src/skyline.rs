@@ -36,6 +36,13 @@ pub struct SkylineLdlt {
     vals: Vec<f64>,
     /// Modes whose pivot fell under the tolerance (annihilated by solves).
     skipped: Vec<bool>,
+    /// Largest diagonal magnitude of the input — the natural stiffness
+    /// scale, recorded for [`SkylineLdlt::set_null_shift`] callers.
+    diag_scale: f64,
+    /// Pivot-shift fallback: when positive, solves replace each skipped
+    /// pivot with this value instead of annihilating its component. Zero
+    /// (the default) keeps the pseudo-inverse.
+    null_shift: f64,
 }
 
 /// Relative pivot tolerance of [`SkylineLdlt::factor`]: a diagonal pivot
@@ -82,7 +89,7 @@ impl SkylineLdlt {
     /// is widened to be monotone (`start[i] ≤ start[i+1]` is not required,
     /// but a row cannot start left of where fill can reach, which the
     /// column-profile intersection below handles).
-    fn factor_profile(
+    pub(crate) fn factor_profile(
         n: usize,
         start: Vec<usize>,
         entry: impl Fn(usize, usize) -> f64,
@@ -106,6 +113,8 @@ impl SkylineLdlt {
             offset,
             vals,
             skipped: vec![false; n],
+            diag_scale: 0.0,
+            null_shift: 0.0,
         };
         fact.factor_in_place(pivot_tol);
         fact
@@ -133,6 +142,7 @@ impl SkylineLdlt {
         for i in 0..n {
             diag_scale = diag_scale.max(self.at(i, i).abs());
         }
+        self.diag_scale = diag_scale;
         let threshold = pivot_tol * diag_scale.max(1e-300);
         for i in 0..n {
             let si = self.start[i];
@@ -188,9 +198,36 @@ impl SkylineLdlt {
         self.skipped.iter().filter(|&&s| s).count()
     }
 
+    /// Largest diagonal magnitude of the factored matrix — the natural
+    /// pivot-shift scale for [`SkylineLdlt::set_null_shift`].
+    pub fn diag_scale(&self) -> f64 {
+        self.diag_scale
+    }
+
+    /// Enables the pivot-shift fallback: subsequent solves substitute
+    /// `delta` for each skipped pivot instead of annihilating its
+    /// component, turning the pseudo-inverse `A⁺` into the *nonsingular*
+    /// `A⁺ + δ⁻¹ Z Zᵀ` (with `Z = L⁻ᵀ e_skipped` spanning the detected
+    /// near-null space). A singular preconditioner stalls Krylov methods on
+    /// floating subdomains — their rigid modes are simply erased every
+    /// application — while the shifted form passes them through at the
+    /// stiffness scale and restores convergence. Pass `0.0` to return to
+    /// pseudo-inverse solves; the consistency tests rely on that exactness.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite `delta`.
+    pub fn set_null_shift(&mut self, delta: f64) {
+        assert!(
+            delta.is_finite() && delta >= 0.0,
+            "SkylineLdlt::set_null_shift: delta must be finite and >= 0"
+        );
+        self.null_shift = delta;
+    }
+
     /// Solves `L D Lᵀ x = b` in place. Components of skipped modes are
-    /// zeroed (pseudo-inverse on the factorable complement). Performs no
-    /// heap allocation.
+    /// zeroed (pseudo-inverse on the factorable complement) unless a
+    /// pivot-shift fallback is armed via [`SkylineLdlt::set_null_shift`].
+    /// Performs no heap allocation.
     ///
     /// # Panics
     /// Panics when `b.len() != dim()`.
@@ -205,11 +242,17 @@ impl SkylineLdlt {
             }
             b[i] = sum;
         }
-        // Diagonal: z = D⁻¹ y (skipped modes annihilated).
+        // Diagonal: z = D⁻¹ y. Skipped modes are annihilated
+        // (pseudo-inverse) or, under the pivot-shift fallback, divided by
+        // the substitute pivot.
         for i in 0..self.n {
             let d = self.at(i, i);
             b[i] = if self.skipped[i] || d == 0.0 {
-                0.0
+                if self.null_shift > 0.0 {
+                    b[i] / self.null_shift
+                } else {
+                    0.0
+                }
             } else {
                 b[i] / d
             };

@@ -385,3 +385,126 @@ proptest! {
         prop_assert_eq!(fused, reference);
     }
 }
+
+/// Dense Gaussian elimination with partial pivoting — the reference the
+/// sparse direct solver is pinned against.
+fn dense_lu_solve(n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut m = a.to_vec();
+    let mut x = b.to_vec();
+    for k in 0..n {
+        let piv = (k..n)
+            .max_by(|&r, &s| m[r * n + k].abs().total_cmp(&m[s * n + k].abs()))
+            .unwrap();
+        if piv != k {
+            for c in 0..n {
+                m.swap(k * n + c, piv * n + c);
+            }
+            x.swap(k, piv);
+        }
+        let d = m[k * n + k];
+        assert!(d.abs() > 1e-300, "dense LU hit a zero pivot");
+        for r in k + 1..n {
+            let f = m[r * n + k] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                m[r * n + c] -= f * m[k * n + c];
+            }
+            x[r] -= f * x[k];
+        }
+    }
+    for k in (0..n).rev() {
+        let mut s = x[k];
+        for c in k + 1..n {
+            s -= m[k * n + c] * x[c];
+        }
+        x[k] = s / m[k * n + k];
+    }
+    x
+}
+
+/// Strategy: a free-free weighted chain Laplacian with `extra` random extra
+/// edges — symmetric PSD with exactly the constant vector in its null space
+/// (the chain keeps the graph connected), the scalar model of a floating
+/// subdomain (Eq. 45's ILU(0) breakdown case).
+fn floating_laplacian(n: usize) -> impl Strategy<Value = CsrMatrix> {
+    (
+        prop::collection::vec(0.1..10.0f64, n - 1),
+        prop::collection::vec((0..n, 0..n, 0.1..5.0f64), 0..2 * n),
+    )
+        .prop_map(move |(chain, extra)| {
+            let mut coo = CooMatrix::new(n, n);
+            let edge = |i: usize, j: usize, w: f64, coo: &mut CooMatrix| {
+                coo.push(i, i, w).unwrap();
+                coo.push(j, j, w).unwrap();
+                coo.push(i, j, -w).unwrap();
+                coo.push(j, i, -w).unwrap();
+            };
+            for (i, &w) in chain.iter().enumerate() {
+                edge(i, i + 1, w, &mut coo);
+            }
+            for &(i, j, w) in &extra {
+                if i != j {
+                    edge(i, j, w, &mut coo);
+                }
+            }
+            coo.to_csr()
+        })
+}
+
+// Sparse-direct contracts (PR 10): the fill-reducing profile LDL^T solver is
+// pinned against dense LU on well-conditioned subdomain-sized matrices, and
+// its pivot-skipping pseudo-inverse solves range RHS on floating (singular)
+// operators exactly where ILU(0) breaks down.
+proptest! {
+    #[test]
+    fn direct_matches_dense_lu(a in spd_matrix(10),
+                               xe in prop::collection::vec(-2.0..2.0f64, 10)) {
+        use parfem_sparse::direct::SparseDirect;
+        let b = a.spmv(&xe);
+        let factor = SparseDirect::factorize(&a, parfem_sparse::skyline::DEFAULT_PIVOT_TOL);
+        prop_assert_eq!(factor.n_skipped(), 0);
+        let mut z = b.clone();
+        factor.solve_in_place(&mut z);
+        let reference = dense_lu_solve(10, &a.to_dense(), &b);
+        let scale = reference.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (zi, ri) in z.iter().zip(&reference) {
+            prop_assert!((zi - ri).abs() <= 1e-12 * scale,
+                "direct {} vs dense LU {}", zi, ri);
+        }
+    }
+
+    #[test]
+    fn direct_solve_is_deterministic(a in spd_matrix(9),
+                                     b in prop::collection::vec(-3.0..3.0f64, 9)) {
+        use parfem_sparse::direct::SparseDirect;
+        let tol = parfem_sparse::skyline::DEFAULT_PIVOT_TOL;
+        let f1 = SparseDirect::factorize(&a, tol);
+        let f2 = SparseDirect::factorize(&a, tol);
+        prop_assert_eq!(f1.permutation(), f2.permutation());
+        let mut z1 = b.clone();
+        let mut z2 = b;
+        f1.solve_in_place(&mut z1);
+        f2.solve_in_place(&mut z2);
+        prop_assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn direct_solves_floating_operators_on_range_rhs(a in floating_laplacian(11),
+                                                     xe in prop::collection::vec(-2.0..2.0f64, 11)) {
+        use parfem_sparse::direct::SparseDirect;
+        // The constant mode is in the null space, so A xe is in the range.
+        let b = a.spmv(&xe);
+        let factor = SparseDirect::factorize(&a, parfem_sparse::skyline::DEFAULT_PIVOT_TOL);
+        prop_assert_eq!(factor.n_skipped(), 1, "chain Laplacian has one null mode");
+        let mut z = b.clone();
+        factor.solve_in_place(&mut z);
+        let az = a.spmv(&z);
+        let bnorm = dense::norm2(&b).max(1e-12);
+        for (p, q) in az.iter().zip(&b) {
+            prop_assert!((p - q).abs() <= 1e-9 * bnorm,
+                "range residual {} vs {}", p, q);
+        }
+    }
+}
